@@ -1,0 +1,391 @@
+package condmon
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index) and measures the
+// hot paths of each component. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The table benchmarks verify, on every iteration, that the regenerated
+// ✓/✗ matrix matches the paper cell for cell; a mismatch fails the
+// benchmark. Reported metric: rows_matched (out of 4 scenario rows).
+
+import (
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/exp"
+	"condmon/internal/link"
+	"condmon/internal/multicond"
+	"condmon/internal/props"
+	"condmon/internal/runtime"
+	"condmon/internal/sim"
+	"condmon/internal/wire"
+	"condmon/internal/workload"
+
+	"math/rand"
+)
+
+// benchConfig keeps benchmark iterations fast while preserving every
+// deterministic (canonical) counterexample; cmd/condmon-bench runs the
+// full 400-trial configuration.
+func benchConfig() exp.Config {
+	return exp.Config{Seed: 1, Trials: 50, StreamLen: 6, LossP: 0.3}
+}
+
+func benchTable(b *testing.B, run func(exp.Config) (*exp.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := run(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		matched := 0
+		for _, row := range tbl.Rows {
+			if row.Matches() {
+				matched++
+			}
+		}
+		if matched != len(tbl.Rows) {
+			b.Fatalf("%s does not match the paper:\n%s", tbl.Name, tbl.Format())
+		}
+		b.ReportMetric(float64(matched), "rows_matched")
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (single-variable systems, AD-1).
+func BenchmarkTable1(b *testing.B) { benchTable(b, exp.RunTable1) }
+
+// BenchmarkTable2 regenerates Table 2 (single-variable systems, AD-2).
+func BenchmarkTable2(b *testing.B) { benchTable(b, exp.RunTable2) }
+
+// BenchmarkTableAD3 regenerates the §4.3 variant (Table 1 under AD-3).
+func BenchmarkTableAD3(b *testing.B) { benchTable(b, exp.RunTableAD3) }
+
+// BenchmarkTableAD4 regenerates the §4.4 variant (Table 2 under AD-4).
+func BenchmarkTableAD4(b *testing.B) { benchTable(b, exp.RunTableAD4) }
+
+// BenchmarkTable3 regenerates Table 3 (multi-variable systems, AD-5).
+func BenchmarkTable3(b *testing.B) { benchTable(b, exp.RunTable3) }
+
+// BenchmarkTableAD6 regenerates the §5.2 variant (Table 3 under AD-6).
+func BenchmarkTableAD6(b *testing.B) { benchTable(b, exp.RunTableAD6) }
+
+// BenchmarkDomination measures the Theorem 6/8 domination relations
+// (AD-1 > AD-2, AD-1 > AD-3, and the derived AD-1 > AD-4).
+func BenchmarkDomination(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunDomination(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Matches() {
+			b.Fatalf("domination violated:\n%s", res.Format())
+		}
+		strict := 0
+		for _, p := range res.Pairs {
+			strict += p.StrictTrials
+		}
+		b.ReportMetric(float64(strict), "strict_witnesses")
+	}
+}
+
+// BenchmarkReplicationBenefit regenerates the Section 1 motivation curve:
+// alert recall with one vs. two CEs across a loss sweep.
+func BenchmarkReplicationBenefit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunBenefit(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Matches() {
+			b.Fatalf("replication benefit shape violated:\n%s", res.Format())
+		}
+		// Report the recall gap at 30% loss.
+		p := res.Points[3]
+		b.ReportMetric((p.RecallTwoCE-p.RecallOneCE)*100, "recall_gain_pct_at_p30")
+	}
+}
+
+// BenchmarkTradeoff regenerates the §4 filter-strength tradeoff curves
+// (fraction of offered alerts displayed per algorithm across a loss
+// sweep).
+func BenchmarkTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTradeoff(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Matches() {
+			b.Fatalf("tradeoff monotonicity violated:\n%s", res.Format())
+		}
+	}
+}
+
+// BenchmarkFigure1bRuntime drives the live goroutine system of Figure 1(b)
+// end to end: DM broadcast, two replicas, AD-1 display.
+func BenchmarkFigure1bRuntime(b *testing.B) {
+	trace := workload.Generate("x", workload.NewReactorTemp(1), 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := runtime.New(cond.NewOverheat("x"), ad.NewAD1(), runtime.Options{Replicas: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, u := range trace {
+			if _, err := sys.Emit("x", u.Value); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sys.Close()
+	}
+}
+
+// BenchmarkFigure3Runtime drives the two-variable live system of Figure 3
+// under AD-6.
+func BenchmarkFigure3Runtime(b *testing.B) {
+	tx := workload.Generate("x", workload.NewReactorTemp(1), 100)
+	ty := workload.Generate("y", workload.NewReactorTemp(2), 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := runtime.New(cond.NewTempDiff("x", "y"), ad.NewAD6("x", "y"), runtime.Options{Replicas: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range tx {
+			if _, err := sys.Emit("x", tx[j].Value); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.Emit("y", ty[j].Value); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sys.Close()
+	}
+}
+
+// BenchmarkFigureD7MultiCond drives the Appendix D separate-CE demux
+// (Figure D-7(c)): two conditions, per-condition filter instances.
+func BenchmarkFigureD7MultiCond(b *testing.B) {
+	condA := cond.GreaterThan{CondName: "A", X: "x", Y: "y"}
+	condB := cond.GreaterThan{CondName: "B", X: "y", Y: "x"}
+	mkAlert := func(name string, x, y int64) event.Alert {
+		return event.Alert{Cond: name, Histories: event.HistorySet{
+			"x": {Var: "x", Recent: []event.Update{event.U("x", x, 0)}},
+			"y": {Var: "y", Recent: []event.Update{event.U("y", y, 0)}},
+		}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := multicond.NewDemux(func(c cond.Condition) ad.Filter {
+			return ad.NewAD5(c.Vars()...)
+		}, condA, condB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for n := int64(1); n <= 64; n++ {
+			if _, err := d.Offer(mkAlert("A", n, n)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.Offer(mkAlert("B", n, n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- component micro-benchmarks ---
+
+// BenchmarkCEFeed measures the evaluator hot path: one update through a
+// degree-2 condition.
+func BenchmarkCEFeed(b *testing.B) {
+	eval, err := ce.New("CE1", cond.NewRiseAggressive("x"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eval.Feed(event.U("x", int64(i+1), float64(i%500))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDSLEval measures a compiled DSL condition against the
+// hand-written equivalent benchmarked in BenchmarkCEFeed.
+func BenchmarkDSLEval(b *testing.B) {
+	c := cond.MustParse("c3", "x[0] - x[-1] > 200 && consecutive(x)")
+	eval, err := ce.New("CE1", c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eval.Feed(event.U("x", int64(i+1), float64(i%500))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFilters measures each AD algorithm's Offer path on a
+// precomputed lossy two-CE alert stream.
+func BenchmarkFilters(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	trace := workload.Generate("x", workload.NewReactorTemp(3), 64)
+	run, err := sim.RunSingleVar(cond.NewRiseAggressive("x"), trace,
+		link.Bernoulli{P: 0.3}, link.Bernoulli{P: 0.3}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	merged := sim.RandomArrival(run.A1, run.A2, r)
+	if len(merged) == 0 {
+		b.Fatal("empty alert stream; adjust workload")
+	}
+	factories := []struct {
+		name string
+		mk   func() ad.Filter
+	}{
+		{"AD-1", func() ad.Filter { return ad.NewAD1() }},
+		{"AD-2", func() ad.Filter { return ad.NewAD2("x") }},
+		{"AD-3", func() ad.Filter { return ad.NewAD3("x") }},
+		{"AD-4", func() ad.Filter { return ad.NewAD4("x") }},
+	}
+	for _, f := range factories {
+		b.Run(f.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ad.Run(f.mk(), merged)
+			}
+		})
+	}
+}
+
+// BenchmarkConsistencyChecker measures the linear single-variable
+// consistency checker on a realistic output sequence.
+func BenchmarkConsistencyChecker(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	trace := workload.Generate("x", workload.NewReactorTemp(4), 64)
+	run, err := sim.RunSingleVar(cond.NewRiseAggressive("x"), trace,
+		link.Bernoulli{P: 0.3}, link.Bernoulli{P: 0.3}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	merged := sim.RandomArrival(run.A1, run.A2, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		props.ConsistentSingle(merged)
+	}
+}
+
+// BenchmarkWire measures the codec round trip for alerts.
+func BenchmarkWire(b *testing.B) {
+	a := event.Alert{Cond: "c2", Source: "CE1", Histories: event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 7, 700), event.U("x", 6, 400)}},
+	}}
+	b.Run("encode", func(b *testing.B) {
+		buf := make([]byte, 0, 128)
+		for i := 0; i < b.N; i++ {
+			out, err := wire.AppendAlert(buf[:0], a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = out
+		}
+	})
+	encoded, err := wire.EncodeAlert(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := wire.DecodeAlert(encoded); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("digest", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			wire.DigestOf(a)
+		}
+	})
+}
+
+// BenchmarkTable1ThreeReplicas regenerates Table 1's matrix with three CE
+// replicas (the Section 2.1 "easily extended" claim, validated).
+func BenchmarkTable1ThreeReplicas(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := exp.RunTableReplicas(benchConfig(), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !tbl.Matches() {
+			b.Fatalf("3-replica table mismatch:\n%s", tbl.Format())
+		}
+	}
+}
+
+// BenchmarkReplicaCountBenefit regenerates the replica-count recall sweep
+// (diminishing returns of replication).
+func BenchmarkReplicaCountBenefit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunReplicaBenefit(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Matches() {
+			b.Fatalf("replica benefit shape violated:\n%s", res.Format())
+		}
+		b.ReportMetric((res.Points[1].Recall-res.Points[0].Recall)*100, "recall_gain_pct_1to2")
+	}
+}
+
+// BenchmarkDowntimeBenefit regenerates the CE-outage recall sweep.
+func BenchmarkDowntimeBenefit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunDowntime(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Matches() {
+			b.Fatalf("downtime benefit shape violated:\n%s", res.Format())
+		}
+	}
+}
+
+// BenchmarkSnapshotRestore measures filter state snapshot/restore (AD-4
+// with accumulated state).
+func BenchmarkSnapshotRestore(b *testing.B) {
+	f := ad.NewAD4("x")
+	for n := int64(1); n <= 256; n += 2 {
+		ad.Offer(f, event.Alert{Cond: "c", Histories: event.HistorySet{
+			"x": {Var: "x", Recent: []event.Update{event.U("x", n+1, 0), event.U("x", n, 0)}},
+		}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := f.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := ad.NewAD4("x")
+		if err := g.Restore(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaximality audits every AD-2/AD-3/AD-4 drop decision against
+// the guarantee that forced it (Theorems 5, 7, 9 quantified).
+func BenchmarkMaximality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunMaximality(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Matches() {
+			b.Fatalf("maximality violated:\n%s", res.Format())
+		}
+	}
+}

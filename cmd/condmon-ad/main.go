@@ -1,0 +1,93 @@
+// Command condmon-ad runs the Alert Displayer: it accepts back-link TCP
+// connections from any number of Condition Evaluator replicas, merges
+// their alert streams, applies a filtering algorithm, and prints the
+// alerts a user would see.
+//
+// Usage:
+//
+//	condmon-ad -listen 127.0.0.1:7200 -ad-algo AD-1 -vars x
+//	condmon-ad -listen 127.0.0.1:7200 -ad-algo AD-6 -vars x,y -n 10
+//
+// With -n the displayer exits after receiving that many alerts; otherwise
+// it runs until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+
+	"condmon/internal/ad"
+	"condmon/internal/event"
+	"condmon/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "condmon-ad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("condmon-ad", flag.ContinueOnError)
+	var (
+		listen = fs.String("listen", "127.0.0.1:0", "TCP endpoint for back links")
+		algo   = fs.String("ad-algo", "AD-1", "filtering algorithm: AD-0 … AD-6")
+		vars   = fs.String("vars", "x", "comma-separated condition variables")
+		n      = fs.Int("n", 0, "exit after this many received alerts (0 = run until interrupted)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var varNames []event.VarName
+	for _, v := range strings.Split(*vars, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			varNames = append(varNames, event.VarName(v))
+		}
+	}
+	filter, err := ad.NewByName(*algo, varNames...)
+	if err != nil {
+		return err
+	}
+
+	l, err := transport.ListenAD(*listen)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Fprintf(out, "AD listening on %s with %s\n", l.Addr(), filter.Name())
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	defer signal.Stop(interrupt)
+
+	received, displayed, suppressed := 0, 0, 0
+	for {
+		select {
+		case <-interrupt:
+			fmt.Fprintf(out, "received=%d displayed=%d suppressed=%d\n", received, displayed, suppressed)
+			return nil
+		case a, ok := <-l.Alerts():
+			if !ok {
+				return nil
+			}
+			received++
+			if ad.Offer(filter, a) {
+				displayed++
+				fmt.Fprintf(out, "ALERT %v from %s\n", a, a.Source)
+			} else {
+				suppressed++
+				fmt.Fprintf(out, "  (suppressed %v from %s)\n", a, a.Source)
+			}
+			if *n > 0 && received >= *n {
+				fmt.Fprintf(out, "received=%d displayed=%d suppressed=%d\n", received, displayed, suppressed)
+				return nil
+			}
+		}
+	}
+}

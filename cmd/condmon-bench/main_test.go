@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedTable(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-trials", "25", "table1"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"Table 1", "Lossless", "match"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "Table 2") {
+		t.Error("unselected experiments must not run")
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-trials", "25", "domination", "tradeoff"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Domination") || !strings.Contains(got, "tradeoff") {
+		t.Errorf("expected both experiments in output:\n%s", got)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"nosuch"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("err = %v, want unknown experiment", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-trials", "0", "table1"}, &out); err == nil {
+		t.Error("trials=0 should fail")
+	}
+	if err := run([]string{"-loss", "2", "table1"}, &out); err == nil {
+		t.Error("loss=2 should fail")
+	}
+	if err := run([]string{"-len", "99", "table1"}, &out); err == nil {
+		t.Error("len=99 should fail")
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-trials", "20", "-csv", "benefit"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.HasPrefix(out.String(), "loss_p,recall_1ce") {
+		t.Errorf("CSV output missing header:\n%s", out.String())
+	}
+}

@@ -1,0 +1,115 @@
+// Command condmon-ce runs one Condition Evaluator replica: it listens for
+// updates on a UDP front-link endpoint, evaluates a condition over the
+// received histories, and forwards alerts to the Alert Displayer over a
+// reliable TCP back link.
+//
+// Usage:
+//
+//	condmon-ce -id CE1 -listen 127.0.0.1:7101 -ad 127.0.0.1:7200 -cond 'x[0] > 3000'
+//	condmon-ce -id CE2 -listen 127.0.0.1:7102 -ad 127.0.0.1:7200 -cond 'x[0] > 3000' -drop 0.3 -n 50
+//
+// With -n the evaluator exits after receiving that many updates (handy for
+// scripted demos); otherwise it runs until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/link"
+	"condmon/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "condmon-ce:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("condmon-ce", flag.ContinueOnError)
+	var (
+		id       = fs.String("id", "CE1", "replica identity carried in alerts")
+		listen   = fs.String("listen", "127.0.0.1:0", "UDP endpoint for the front link")
+		adAddr   = fs.String("ad", "", "Alert Displayer TCP address")
+		condExpr = fs.String("cond", "", "condition DSL expression")
+		dropP    = fs.Float64("drop", 0, "forced front-link drop probability (testing aid)")
+		seed     = fs.Int64("seed", 1, "seed for forced drops")
+		n        = fs.Int("n", 0, "exit after this many received updates (0 = run until interrupted)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *adAddr == "" || *condExpr == "" {
+		return fmt.Errorf("need -ad and -cond")
+	}
+
+	c, err := cond.Parse("cond", *condExpr)
+	if err != nil {
+		return err
+	}
+	eval, err := ce.New(*id, c)
+	if err != nil {
+		return err
+	}
+
+	var forced link.Model
+	if *dropP > 0 {
+		b, err := link.NewBernoulli(*dropP)
+		if err != nil {
+			return err
+		}
+		forced = b
+	}
+	recv, err := transport.ListenUDP(*listen, transport.UDPReceiverOptions{
+		ForcedLoss: forced,
+		Seed:       *seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer recv.Close()
+	fmt.Fprintf(out, "%s listening on %s, forwarding to %s\n", *id, recv.Addr(), *adAddr)
+
+	snd, err := transport.DialAD(*adAddr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = snd.Close() }()
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	defer signal.Stop(interrupt)
+
+	received := 0
+	for {
+		select {
+		case <-interrupt:
+			return nil
+		case u, ok := <-recv.Updates():
+			if !ok {
+				return nil
+			}
+			received++
+			a, fired, err := eval.Feed(u)
+			if err != nil {
+				return err
+			}
+			if fired {
+				if err := snd.Send(a); err != nil {
+					return fmt.Errorf("back link: %w", err)
+				}
+				fmt.Fprintf(out, "%s alert %v\n", *id, a)
+			}
+			if *n > 0 && received >= *n {
+				return nil
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTrace(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+func TestCheckTheorem2Scenario(t *testing.T) {
+	ce1 := writeTrace(t, "ce1.trace", "x,1,3100\nx,2,3500\n")
+	ce2 := writeTrace(t, "ce2.trace", "x,2,3500\n")
+	var out strings.Builder
+	code, err := run([]string{"-cond", "x[0] > 3000", "-ad", "AD-1", ce1, ce2}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2 (orderedness violated)", code)
+	}
+	if !strings.Contains(out.String(), "ord=✗ comp=✓ cons=✓") {
+		t.Errorf("verdict missing:\n%s", out.String())
+	}
+}
+
+func TestCheckAllPropertiesHold(t *testing.T) {
+	ce1 := writeTrace(t, "ce1.trace", "x,1,3100\nx,2,3500\n")
+	ce2 := writeTrace(t, "ce2.trace", "x,1,3100\nx,2,3500\n")
+	var out strings.Builder
+	code, err := run([]string{"-cond", "x[0] > 3000", ce1, ce2}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0 for identical lossless deliveries\n%s", code, out.String())
+	}
+}
+
+func TestCheckThreeReplicas(t *testing.T) {
+	ce1 := writeTrace(t, "ce1.trace", "x,1,3100\n")
+	ce2 := writeTrace(t, "ce2.trace", "x,2,3200\n")
+	ce3 := writeTrace(t, "ce3.trace", "x,3,3300\n")
+	var out strings.Builder
+	code, err := run([]string{"-cond", "x[0] > 3000", "-ad", "AD-2", ce1, ce2, ce3}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// AD-2 is ordered but incomplete here.
+	if code != 2 || !strings.Contains(out.String(), "ord=✓") {
+		t.Errorf("code=%d output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "CE3:") {
+		t.Error("third replica missing from the report")
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	var out strings.Builder
+	if _, err := run([]string{}, &out); err == nil {
+		t.Error("missing args should fail")
+	}
+	if _, err := run([]string{"-cond", "x[0] >", "t"}, &out); err == nil {
+		t.Error("bad condition should fail")
+	}
+	if _, err := run([]string{"-cond", "abs(x[0]-y[0])>1", "t"}, &out); err == nil {
+		t.Error("multi-variable condition should fail")
+	}
+	if _, err := run([]string{"-cond", "x[0]>1", "-ad", "AD-9", "t"}, &out); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+	if _, err := run([]string{"-cond", "x[0]>1", "/nonexistent/trace"}, &out); err == nil {
+		t.Error("missing trace file should fail")
+	}
+	bad := writeTrace(t, "bad.trace", "x,not-a-number,1\n")
+	if _, err := run([]string{"-cond", "x[0]>1", bad}, &out); err == nil {
+		t.Error("malformed trace should fail")
+	}
+}

@@ -1,0 +1,98 @@
+// Command condmon-dm runs a Data Monitor: it reads or generates a stream
+// of sensor values for one variable and multicasts sequence-numbered
+// updates over UDP to a set of Condition Evaluator endpoints — the front
+// links of Section 2.1.
+//
+// Usage:
+//
+//	condmon-dm -var x -ce 127.0.0.1:7101,127.0.0.1:7102 -source reactor -n 50 -interval 20ms
+//	condmon-dm -var x -ce 127.0.0.1:7101 -trace trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"condmon/internal/event"
+	"condmon/internal/transport"
+	"condmon/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "condmon-dm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("condmon-dm", flag.ContinueOnError)
+	var (
+		varName   = fs.String("var", "x", "variable name this DM monitors")
+		ceAddrs   = fs.String("ce", "", "comma-separated CE UDP endpoints")
+		source    = fs.String("source", "reactor", "source: reactor, stock, or sine")
+		n         = fs.Int("n", 50, "number of updates to send")
+		seed      = fs.Int64("seed", 1, "source seed")
+		interval  = fs.Duration("interval", 20*time.Millisecond, "delay between updates")
+		tracePath = fs.String("trace", "", "send updates from this trace instead of a generator")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ceAddrs == "" {
+		return fmt.Errorf("need -ce with at least one endpoint")
+	}
+
+	var updates []event.Update
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		all, err := workload.ReadTrace(f)
+		if err != nil {
+			return err
+		}
+		for _, u := range all {
+			if u.Var == event.VarName(*varName) {
+				updates = append(updates, u)
+			}
+		}
+		if len(updates) == 0 {
+			return fmt.Errorf("trace has no updates for variable %q", *varName)
+		}
+	} else {
+		var src workload.Source
+		switch *source {
+		case "reactor":
+			src = workload.NewReactorTemp(*seed)
+		case "stock":
+			src = workload.NewStockQuotes(*seed)
+		case "sine":
+			src = &workload.Sine{Base: 3000, Amplitude: 200, Period: 12}
+		default:
+			return fmt.Errorf("unknown source %q", *source)
+		}
+		updates = workload.Generate(event.VarName(*varName), src, *n)
+	}
+
+	pub, err := transport.NewUDPPublisher(strings.Split(*ceAddrs, ",")...)
+	if err != nil {
+		return err
+	}
+	defer pub.Close()
+
+	for _, u := range updates {
+		if err := pub.Publish(u); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "sent %v\n", u)
+		time.Sleep(*interval)
+	}
+	return nil
+}

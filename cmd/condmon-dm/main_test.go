@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"condmon/internal/event"
+	"condmon/internal/transport"
+)
+
+func TestRunPublishesGeneratedUpdates(t *testing.T) {
+	recv, err := transport.ListenUDP("127.0.0.1:0", transport.UDPReceiverOptions{})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer recv.Close()
+
+	var out strings.Builder
+	err = run([]string{
+		"-var", "x", "-ce", recv.Addr(), "-source", "sine", "-n", "4", "-interval", "1ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := strings.Count(out.String(), "sent"); got != 4 {
+		t.Errorf("logged %d sends, want 4:\n%s", got, out.String())
+	}
+
+	var received []event.Update
+	deadline := time.After(5 * time.Second)
+	for len(received) < 4 {
+		select {
+		case u := <-recv.Updates():
+			received = append(received, u)
+		case <-deadline:
+			t.Fatalf("received only %d updates", len(received))
+		}
+	}
+	if received[0].Var != "x" || received[0].SeqNo != 1 {
+		t.Errorf("first update = %v", received[0])
+	}
+}
+
+func TestRunPublishesTrace(t *testing.T) {
+	recv, err := transport.ListenUDP("127.0.0.1:0", transport.UDPReceiverOptions{})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer recv.Close()
+
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	if err := os.WriteFile(path, []byte("x,1,3100\ny,1,99\nx,2,3200\n"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	var out strings.Builder
+	err = run([]string{"-var", "x", "-ce", recv.Addr(), "-trace", path, "-interval", "1ms"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Only the x updates are sent.
+	if got := strings.Count(out.String(), "sent"); got != 2 {
+		t.Errorf("logged %d sends, want 2:\n%s", got, out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -ce should fail")
+	}
+	if err := run([]string{"-ce", "127.0.0.1:1", "-source", "nosuch"}, &out); err == nil {
+		t.Error("unknown source should fail")
+	}
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	if err := os.WriteFile(path, []byte("y,1,99\n"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := run([]string{"-var", "x", "-ce", "127.0.0.1:1", "-trace", path}, &out); err == nil {
+		t.Error("trace without the DM's variable should fail")
+	}
+}

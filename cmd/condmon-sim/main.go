@@ -1,0 +1,327 @@
+// Command condmon-sim replays the paper's worked examples and
+// counter-examples, or runs a custom single-variable scenario, printing the
+// update streams, per-CE alert streams, the filtered output under a chosen
+// AD algorithm, and the machine-checked property verdict.
+//
+// Usage:
+//
+//	condmon-sim -scenario example1 [-ad AD-1]
+//	condmon-sim -scenario list
+//	condmon-sim -cond 'x[0] - x[-1] > 200' -trace trace.txt -loss 0.3 -seed 2 -ad AD-4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/props"
+	"condmon/internal/sim"
+	"condmon/internal/workload"
+
+	"math/rand"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "condmon-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// scenario is a canned single-variable scenario from the paper.
+type scenario struct {
+	desc  string
+	cond  cond.Condition
+	u     []event.Update
+	loss1 link.Model
+	loss2 link.Model
+}
+
+func scenarios() map[string]scenario {
+	return map[string]scenario{
+		"example1": {
+			desc: "Example 1: c1 over ⟨1x(2900),2x(3100),3x(3200)⟩, CE2 misses 2x",
+			cond: cond.NewOverheat("x"),
+			u: []event.Update{
+				event.U("x", 1, 2900), event.U("x", 2, 3100), event.U("x", 3, 3200),
+			},
+			loss1: link.None{},
+			loss2: link.NewDropSeqNos("x", 2),
+		},
+		"example2": {
+			desc: "Example 2 (Theorem 2 proof): c1, CE1 sees only 1x(3100), CE2 only 2x(3200)",
+			cond: cond.NewOverheat("x"),
+			u: []event.Update{
+				event.U("x", 1, 3100), event.U("x", 2, 3200),
+			},
+			loss1: link.NewDropSeqNos("x", 2),
+			loss2: link.NewDropSeqNos("x", 1),
+		},
+		"example3": {
+			desc: "Example 3: AD-3 conflict — a1 on ⟨3x,1x⟩ then a2 on ⟨3x,2x⟩",
+			cond: cond.NewRiseAggressive("x"),
+			u: []event.Update{
+				event.U("x", 1, 100), event.U("x", 2, 400), event.U("x", 3, 700),
+			},
+			loss1: link.NewDropSeqNos("x", 2),
+			loss2: link.None{},
+		},
+		"theorem3": {
+			desc: "Theorem 3 proof: c3, U1=⟨1(1000),2(1500)⟩, U2=⟨3(2000),4(2500)⟩",
+			cond: cond.NewRiseConservative("x"),
+			u: []event.Update{
+				event.U("x", 1, 1000), event.U("x", 2, 1500),
+				event.U("x", 3, 2000), event.U("x", 4, 2500),
+			},
+			loss1: link.NewDropSeqNos("x", 3, 4),
+			loss2: link.NewDropSeqNos("x", 1, 2),
+		},
+		"theorem4": {
+			desc: "Theorem 4 proof: c2, U=⟨1(400),2(700),3(720)⟩, CE2 misses 2",
+			cond: cond.NewRiseAggressive("x"),
+			u: []event.Update{
+				event.U("x", 1, 400), event.U("x", 2, 700), event.U("x", 3, 720),
+			},
+			loss1: link.None{},
+			loss2: link.NewDropSeqNos("x", 2),
+		},
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("condmon-sim", flag.ContinueOnError)
+	var (
+		scenarioName = fs.String("scenario", "", "paper scenario to replay (or 'list')")
+		adName       = fs.String("ad", "AD-1", "AD algorithm: AD-0 … AD-6")
+		condExpr     = fs.String("cond", "", "condition DSL for a custom run, e.g. 'x[0] > 3000'")
+		tracePath    = fs.String("trace", "", "trace file with the DM's update stream (custom run)")
+		lossP        = fs.Float64("loss", 0.3, "front-link drop probability (custom run)")
+		seed         = fs.Int64("seed", 1, "randomness seed (custom run)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *scenarioName == "list" {
+		names := make([]string, 0)
+		for name := range scenarios() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(out, "%-10s %s\n", name, scenarios()[name].desc)
+		}
+		fmt.Fprintf(out, "%-10s %s\n", "theorem10", "Theorem 10 proof: cm with opposite update interleavings at the CEs (multi-variable)")
+		fmt.Fprintf(out, "%-10s %s\n", "lemma6", "Lemma 6 proof: AD-5 incompleteness counter-example (multi-variable)")
+		return nil
+	}
+
+	if *scenarioName == "theorem10" || *scenarioName == "lemma6" {
+		return runMultiVarScenario(*scenarioName, *adName, out)
+	}
+
+	var (
+		sc  scenario
+		rng *rand.Rand
+	)
+	switch {
+	case *scenarioName != "":
+		var ok bool
+		sc, ok = scenarios()[*scenarioName]
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (try -scenario list)", *scenarioName)
+		}
+	case *condExpr != "" && *tracePath != "":
+		c, err := cond.Parse("custom", *condExpr)
+		if err != nil {
+			return err
+		}
+		if got := len(c.Vars()); got != 1 {
+			return fmt.Errorf("custom runs are single-variable; condition has %d variables", got)
+		}
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		u, err := workload.ReadTrace(f)
+		if err != nil {
+			return err
+		}
+		b1, err := link.NewBernoulli(*lossP)
+		if err != nil {
+			return err
+		}
+		sc = scenario{desc: "custom run", cond: c, u: u, loss1: b1, loss2: b1}
+		rng = rand.New(rand.NewSource(*seed))
+	default:
+		return fmt.Errorf("need -scenario NAME, or both -cond and -trace (see -h)")
+	}
+
+	run, err := sim.RunSingleVar(sc.cond, sc.u, sc.loss1, sc.loss2, rng)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "%s\nalgorithm: %s\n\n", sc.desc, *adName)
+	fmt.Fprintf(out, "U  (DM output):        %v\n", updates(run.U))
+	fmt.Fprintf(out, "U1 (delivered to CE1): %v\n", updates(run.U1))
+	fmt.Fprintf(out, "U2 (delivered to CE2): %v\n", updates(run.U2))
+	fmt.Fprintf(out, "A1 = T(U1):            %v\n", alerts(run.A1))
+	fmt.Fprintf(out, "A2 = T(U2):            %v\n", alerts(run.A2))
+	fmt.Fprintf(out, "N's output T(U1⊔U2):   %v\n\n", alerts(run.NOutput))
+
+	vars := sc.cond.Vars()
+	newFilter := func() ad.Filter {
+		f, err := ad.NewByName(*adName, vars...)
+		if err != nil {
+			panic(err) // validated below before first use
+		}
+		return f
+	}
+	if _, err := ad.NewByName(*adName, vars...); err != nil {
+		return err
+	}
+
+	// Show one concrete arrival order (alternating merge) and its output.
+	merged := sim.RandomArrival(run.A1, run.A2, rand.New(rand.NewSource(0)))
+	output := ad.Run(newFilter(), merged)
+	fmt.Fprintf(out, "one arrival order:     %v\n", alerts(merged))
+	fmt.Fprintf(out, "displayed A:           %v\n\n", alerts(output))
+
+	v, exs, err := props.CheckSingleVarRun(run, props.FilterFactory(newFilter))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "properties over all arrival orders: %v\n", v)
+	for _, ex := range exs {
+		fmt.Fprintf(out, "  %s violated by arrival %v → output %v\n",
+			ex.Property, alerts(ex.Arrival), alerts(ex.Output))
+	}
+	return nil
+}
+
+// runMultiVarScenario replays the paper's two-variable counter-examples.
+func runMultiVarScenario(name, adName string, out io.Writer) error {
+	var (
+		c      cond.Condition
+		run    *sim.MultiVarRun
+		err    error
+		header string
+	)
+	switch name {
+	case "theorem10":
+		header = "Theorem 10: cm = |x−y| > 100, lossless, CE1 sees all of x first, CE2 all of y first"
+		c = cond.NewTempDiff("x", "y")
+		run, err = sim.RunMultiVar(c,
+			map[event.VarName][]event.Update{
+				"x": {event.U("x", 1, 1000), event.U("x", 2, 1200)},
+				"y": {event.U("y", 1, 1050), event.U("y", 2, 1150)},
+			},
+			[2]map[event.VarName]link.Model{},
+			[2]sim.Interleaver{sim.Sequential, sim.SequentialReverse}, nil)
+	case "lemma6":
+		header = "Lemma 6: condition satisfied only by (8x,2y), (8x,3y), (8x,4y)"
+		c = cond.NewLemma6Condition("x", "y")
+		ce1 := func(map[event.VarName][]event.Update, *rand.Rand) []event.Update {
+			return []event.Update{
+				event.U("x", 8, 0), event.U("y", 2, 0), event.U("x", 9, 0),
+				event.U("y", 3, 0), event.U("y", 4, 0),
+			}
+		}
+		ce2 := func(map[event.VarName][]event.Update, *rand.Rand) []event.Update {
+			return []event.Update{
+				event.U("y", 2, 0), event.U("y", 3, 0), event.U("x", 7, 0),
+				event.U("y", 4, 0), event.U("x", 8, 0),
+			}
+		}
+		run, err = sim.RunMultiVar(c,
+			map[event.VarName][]event.Update{
+				"x": {event.U("x", 7, 0), event.U("x", 8, 0), event.U("x", 9, 0)},
+				"y": {event.U("y", 2, 0), event.U("y", 3, 0), event.U("y", 4, 0)},
+			},
+			[2]map[event.VarName]link.Model{
+				{"x": link.NewDropSeqNos("x", 7)},
+				{"x": link.NewDropSeqNos("x", 9)},
+			},
+			[2]sim.Interleaver{ce1, ce2}, nil)
+	}
+	if err != nil {
+		return err
+	}
+	vars := c.Vars()
+	if _, err := ad.NewByName(adName, vars...); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s\nalgorithm: %s\n\n", header, adName)
+	fmt.Fprintf(out, "CE1 consumed: %v\n", updates(run.Inputs[0]))
+	fmt.Fprintf(out, "CE2 consumed: %v\n", updates(run.Inputs[1]))
+	fmt.Fprintf(out, "A1: %v\n", multiAlerts(run.A1))
+	fmt.Fprintf(out, "A2: %v\n\n", multiAlerts(run.A2))
+
+	v, exs, err := props.CheckMultiVarRun(run, func() ad.Filter {
+		f, ferr := ad.NewByName(adName, vars...)
+		if ferr != nil {
+			panic(ferr) // validated above
+		}
+		return f
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "properties over all arrival orders: %v\n", v)
+	for _, ex := range exs {
+		fmt.Fprintf(out, "  %s violated by arrival %v → output %v\n",
+			ex.Property, multiAlerts(ex.Arrival), multiAlerts(ex.Output))
+	}
+	return nil
+}
+
+func multiAlerts(as []event.Alert) string {
+	if len(as) == 0 {
+		return "⟨⟩"
+	}
+	s := "⟨"
+	for i, a := range as {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + "⟩"
+}
+
+func updates(us []event.Update) string {
+	if len(us) == 0 {
+		return "⟨⟩"
+	}
+	s := "⟨"
+	for i, u := range us {
+		if i > 0 {
+			s += ", "
+		}
+		s += u.String()
+	}
+	return s + "⟩"
+}
+
+func alerts(as []event.Alert) string {
+	if len(as) == 0 {
+		return "⟨⟩"
+	}
+	s := "⟨"
+	for i, a := range as {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String() + "·H" + a.Histories["x"].String()
+	}
+	return s + "⟩"
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunListsScenarios(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "list"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"example1", "example2", "example3", "theorem3", "theorem4"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("scenario list missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunExample1(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "example1"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"U1 (delivered to CE1)", "A1 = T(U1)", "ord=✗ comp=✓ cons=✓"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunTheorem4UnderAD4(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "theorem4", "-ad", "AD-4"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "ord=✓") {
+		t.Errorf("AD-4 should restore orderedness:\n%s", out.String())
+	}
+}
+
+func TestRunCustomTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.txt")
+	trace := "x,1,3100\nx,2,3200\nx,3,2900\n"
+	if err := os.WriteFile(path, []byte(trace), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-cond", "x[0] > 3000", "-trace", path, "-loss", "0.5", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "custom run") {
+		t.Errorf("output missing custom header:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "nosuch"}, &out); err == nil {
+		t.Error("unknown scenario should fail")
+	}
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing arguments should fail")
+	}
+	if err := run([]string{"-scenario", "example1", "-ad", "AD-9"}, &out); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+	if err := run([]string{"-cond", "abs(x[0]-y[0]) > 1", "-trace", "nofile"}, &out); err == nil {
+		t.Error("multi-variable custom condition should fail")
+	}
+}
+
+func TestRunMultiVariableScenarios(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "theorem10"}, &out); err != nil {
+		t.Fatalf("run theorem10: %v", err)
+	}
+	if !strings.Contains(out.String(), "ord=✗ comp=✗ cons=✗") {
+		t.Errorf("theorem10 verdict wrong:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-scenario", "lemma6", "-ad", "AD-5"}, &out); err != nil {
+		t.Fatalf("run lemma6: %v", err)
+	}
+	if !strings.Contains(out.String(), "comp=✗") {
+		t.Errorf("lemma6 must be incomplete:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-scenario", "theorem10", "-ad", "AD-9"}, &out); err == nil {
+		t.Error("unknown algorithm should fail for multi-var scenarios")
+	}
+}

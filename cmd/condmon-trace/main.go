@@ -1,0 +1,119 @@
+// Command condmon-trace generates, inspects, and thins workload traces for
+// the other tools.
+//
+// Usage:
+//
+//	condmon-trace gen  -var x -source reactor -n 100 -seed 1 -out trace.txt
+//	condmon-trace info -in trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"condmon/internal/event"
+	"condmon/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "condmon-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: condmon-trace gen|info [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:], out)
+	case "info":
+		return runInfo(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen or info)", args[0])
+	}
+}
+
+func runGen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("condmon-trace gen", flag.ContinueOnError)
+	var (
+		varName = fs.String("var", "x", "variable name")
+		source  = fs.String("source", "reactor", "source: reactor, stock, or sine")
+		n       = fs.Int("n", 100, "number of updates")
+		seed    = fs.Int64("seed", 1, "source seed")
+		outPath = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("n must be ≥ 1")
+	}
+	var src workload.Source
+	switch *source {
+	case "reactor":
+		src = workload.NewReactorTemp(*seed)
+	case "stock":
+		src = workload.NewStockQuotes(*seed)
+	case "sine":
+		src = &workload.Sine{Base: 3000, Amplitude: 200, Period: 12}
+	default:
+		return fmt.Errorf("unknown source %q (want reactor, stock, or sine)", *source)
+	}
+	updates := workload.Generate(event.VarName(*varName), src, *n)
+
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	return workload.WriteTrace(w, updates)
+}
+
+func runInfo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("condmon-trace info", flag.ContinueOnError)
+	inPath := fs.String("in", "", "trace file (default stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		r = f
+	}
+	updates, err := workload.ReadTrace(r)
+	if err != nil {
+		return err
+	}
+	perVar := make(map[event.VarName]int)
+	min := make(map[event.VarName]float64)
+	max := make(map[event.VarName]float64)
+	for _, u := range updates {
+		if perVar[u.Var] == 0 || u.Value < min[u.Var] {
+			min[u.Var] = u.Value
+		}
+		if perVar[u.Var] == 0 || u.Value > max[u.Var] {
+			max[u.Var] = u.Value
+		}
+		perVar[u.Var]++
+	}
+	fmt.Fprintf(out, "%d updates, %d variable(s)\n", len(updates), len(perVar))
+	for _, v := range event.Vars(updates) {
+		ordered := event.SeqNos(updates, v).IsOrdered()
+		fmt.Fprintf(out, "  %-10s n=%-6d value range [%g, %g] ordered=%v\n",
+			v, perVar[v], min[v], max[v], ordered)
+	}
+	return nil
+}

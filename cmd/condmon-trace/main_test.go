@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenAndInfoRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	var out strings.Builder
+	if err := run([]string{"gen", "-var", "x", "-source", "reactor", "-n", "25", "-seed", "4", "-out", path}, &out); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"info", "-in", path}, &out); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "25 updates") || !strings.Contains(got, "ordered=true") {
+		t.Errorf("info output:\n%s", got)
+	}
+}
+
+func TestGenToStdout(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"gen", "-source", "sine", "-n", "5"}, &out); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if !strings.Contains(out.String(), "x,1,") {
+		t.Errorf("trace output:\n%s", out.String())
+	}
+}
+
+func TestGenSources(t *testing.T) {
+	for _, src := range []string{"reactor", "stock", "sine"} {
+		var out strings.Builder
+		if err := run([]string{"gen", "-source", src, "-n", "3"}, &out); err != nil {
+			t.Errorf("gen %s: %v", src, err)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no subcommand should fail")
+	}
+	if err := run([]string{"frobnicate"}, &out); err == nil {
+		t.Error("unknown subcommand should fail")
+	}
+	if err := run([]string{"gen", "-source", "nosuch"}, &out); err == nil {
+		t.Error("unknown source should fail")
+	}
+	if err := run([]string{"gen", "-n", "0"}, &out); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if err := run([]string{"info", "-in", "/nonexistent"}, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("x,NaNseq,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"info", "-in", bad}, &out); err == nil {
+		t.Error("malformed trace should fail")
+	}
+}

@@ -1,0 +1,309 @@
+// Package condmon is a replicated condition monitoring library: an
+// implementation of "Replicated condition monitoring" (Huang &
+// Garcia-Molina, PODC 2001).
+//
+// A condition monitoring system watches real-world variables and alerts a
+// user when a predefined condition becomes true — a reactor overheating, a
+// stock price collapsing. Replicating the Condition Evaluator makes the
+// system robust to evaluator crashes and lossy sensor links, but naive
+// replication shows the user duplicated, out-of-order, or outright
+// contradictory alerts. This library provides the paper's remedy: the
+// filtering algorithms AD-1 through AD-6, which restore well-defined
+// guarantees — orderedness, consistency, and (when attainable)
+// completeness — at a quantifiable cost in suppressed alerts.
+//
+// # Quick start
+//
+//	c, err := condmon.ParseCondition("overheat", "x[0] > 3000")
+//	// handle err
+//	m, err := condmon.NewMonitor(c,
+//		condmon.WithReplicas(2),
+//		condmon.WithAlgorithm(condmon.AD4),
+//	)
+//	// handle err
+//	m.Emit("x", 3100) // sensor reading; alerts flow to the displayer
+//	alerts := m.Close()
+//
+// The facade wraps the full-strength internal packages; power users can
+// reach the analysis machinery (pure T evaluation, property checkers,
+// table regeneration) through Evaluate, CheckSingleVariable and the
+// cmd/condmon-bench tool.
+package condmon
+
+import (
+	"fmt"
+
+	"condmon/internal/ad"
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/props"
+	"condmon/internal/runtime"
+	"condmon/internal/sim"
+)
+
+// Core data types, re-exported for API stability.
+type (
+	// VarName identifies a monitored real-world variable.
+	VarName = event.VarName
+	// Update is a sensor reading u(varname, seqno, value).
+	Update = event.Update
+	// Alert is a triggered notification a(condname, histories).
+	Alert = event.Alert
+	// Condition is a boolean expression over update histories.
+	Condition = cond.Condition
+	// Filter is an Alert Displayer filtering algorithm.
+	Filter = ad.Filter
+	// Properties records which guarantees held on an output sequence.
+	Properties = props.Verdict
+)
+
+// Alert Displayer algorithm names, as in the paper's Appendix A.
+const (
+	// AD0 displays every alert (no filtering).
+	AD0 = ad.NameAD0
+	// AD1 removes exact duplicates.
+	AD1 = ad.NameAD1
+	// AD2 enforces orderedness (single variable).
+	AD2 = ad.NameAD2
+	// AD3 enforces consistency (single variable, multi-variable inside AD6).
+	AD3 = ad.NameAD3
+	// AD4 enforces orderedness and consistency (single variable).
+	AD4 = ad.NameAD4
+	// AD5 enforces orderedness (multi-variable).
+	AD5 = ad.NameAD5
+	// AD6 enforces orderedness and consistency (multi-variable).
+	AD6 = ad.NameAD6
+)
+
+// ParseCondition compiles a condition from the expression DSL, deriving its
+// variable set, per-variable history degrees, and conservative/aggressive
+// classification. Examples:
+//
+//	ParseCondition("c1", "x[0] > 3000")
+//	ParseCondition("c3", "x[0] - x[-1] > 200 && consecutive(x)")
+//	ParseCondition("cm", "abs(x[0] - y[0]) > 100")
+func ParseCondition(name, expr string) (Condition, error) {
+	return cond.Parse(name, expr)
+}
+
+// NewFilter constructs a fresh filter by algorithm name for the given
+// variable set (AD-2/AD-4 take exactly one variable; AD-3/AD-5/AD-6 take
+// one or more).
+func NewFilter(algorithm string, vars ...VarName) (Filter, error) {
+	return ad.NewByName(algorithm, vars...)
+}
+
+// Evaluate is the paper's mapping T: the alert sequence a single fresh
+// Condition Evaluator emits when fed the update sequence in order.
+func Evaluate(c Condition, updates []Update) ([]Alert, error) {
+	return ce.T(c, updates)
+}
+
+// Monitor is a live replicated monitoring system: data monitors, condition
+// evaluator replicas, links, and an alert displayer, each running in its
+// own goroutine.
+type Monitor struct {
+	sys *runtime.System
+}
+
+// Option configures NewMonitor.
+type Option interface {
+	apply(*monitorOptions) error
+}
+
+type monitorOptions struct {
+	replicas  int
+	algorithm string
+	filter    Filter
+	lossP     float64
+	seed      int64
+}
+
+type optionFunc func(*monitorOptions) error
+
+func (f optionFunc) apply(o *monitorOptions) error { return f(o) }
+
+// WithReplicas sets the number of Condition Evaluator replicas (default 2;
+// 1 yields the non-replicated system of the paper's Figure 1(a)).
+func WithReplicas(n int) Option {
+	return optionFunc(func(o *monitorOptions) error {
+		if n < 1 {
+			return fmt.Errorf("condmon: replicas must be ≥ 1, got %d", n)
+		}
+		o.replicas = n
+		return nil
+	})
+}
+
+// WithAlgorithm selects the Alert Displayer algorithm by name (default
+// AD1). The filter is instantiated over the condition's variable set.
+func WithAlgorithm(name string) Option {
+	return optionFunc(func(o *monitorOptions) error {
+		o.algorithm = name
+		return nil
+	})
+}
+
+// WithFilter installs a caller-constructed filter instance, overriding
+// WithAlgorithm.
+func WithFilter(f Filter) Option {
+	return optionFunc(func(o *monitorOptions) error {
+		if f == nil {
+			return fmt.Errorf("condmon: nil filter")
+		}
+		o.filter = f
+		return nil
+	})
+}
+
+// WithFrontLinkLoss makes every front link drop updates independently with
+// probability p — the paper's lossy-link regime, useful for demos and
+// fault-injection tests. Default 0 (lossless).
+func WithFrontLinkLoss(p float64) Option {
+	return optionFunc(func(o *monitorOptions) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("condmon: loss probability %g outside [0,1]", p)
+		}
+		o.lossP = p
+		return nil
+	})
+}
+
+// WithSeed fixes the randomness seed for reproducible loss patterns.
+func WithSeed(seed int64) Option {
+	return optionFunc(func(o *monitorOptions) error {
+		o.seed = seed
+		return nil
+	})
+}
+
+// NewMonitor builds and starts a live replicated monitoring system for the
+// condition.
+func NewMonitor(c Condition, opts ...Option) (*Monitor, error) {
+	o := monitorOptions{replicas: 2, algorithm: AD1}
+	for _, opt := range opts {
+		if err := opt.apply(&o); err != nil {
+			return nil, err
+		}
+	}
+	filter := o.filter
+	if filter == nil {
+		var err error
+		filter, err = ad.NewByName(o.algorithm, c.Vars()...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var loss func(int, VarName) link.Model
+	if o.lossP > 0 {
+		p := o.lossP
+		loss = func(int, VarName) link.Model { return link.Bernoulli{P: p} }
+	}
+	sys, err := runtime.New(c, filter, runtime.Options{
+		Replicas: o.replicas,
+		Loss:     loss,
+		Seed:     o.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{sys: sys}, nil
+}
+
+// Emit publishes a new sensor reading for variable v; the Data Monitor
+// assigns the sequence number and broadcasts to every replica. It returns
+// the assigned sequence number.
+func (m *Monitor) Emit(v VarName, value float64) (int64, error) {
+	return m.sys.Emit(v, value)
+}
+
+// Alerts returns a snapshot of the alert sequence displayed to the user so
+// far.
+func (m *Monitor) Alerts() []Alert {
+	return m.sys.Displayer().Displayed()
+}
+
+// Suppressed returns how many alerts the displayer's filter discarded.
+func (m *Monitor) Suppressed() int {
+	return m.sys.Displayer().Suppressed()
+}
+
+// SetDisplayConnected connects or disconnects the display device (the
+// user's PDA). While disconnected, arriving alerts are buffered and run
+// through the filter upon reconnection.
+func (m *Monitor) SetDisplayConnected(connected bool) {
+	m.sys.Displayer().SetConnected(connected)
+}
+
+// PendingAlerts returns how many alerts are buffered awaiting
+// reconnection.
+func (m *Monitor) PendingAlerts() int {
+	return m.sys.Displayer().PendingCount()
+}
+
+// Close drains the pipeline, stops every goroutine, and returns the final
+// displayed alert sequence.
+func (m *Monitor) Close() []Alert {
+	return m.sys.Close()
+}
+
+// CheckSingleVariable analyzes a single-variable replicated scenario
+// offline: given the two delivered update streams and the chosen
+// algorithm, it reports which properties (orderedness, completeness,
+// consistency) hold over every possible alert arrival order. newFilter
+// must return a fresh filter per call.
+func CheckSingleVariable(c Condition, u1, u2 []Update, newFilter func() Filter) (Properties, error) {
+	if len(c.Vars()) != 1 {
+		return Properties{}, fmt.Errorf("condmon: CheckSingleVariable needs a single-variable condition")
+	}
+	a1, err := ce.T(c, u1)
+	if err != nil {
+		return Properties{}, err
+	}
+	a2, err := ce.T(c, u2)
+	if err != nil {
+		return Properties{}, err
+	}
+	union, err := sim.OrderedUnionUpdates(u1, u2)
+	if err != nil {
+		return Properties{}, err
+	}
+	nOut, err := ce.T(c, union)
+	if err != nil {
+		return Properties{}, err
+	}
+	run := &sim.SingleVarRun{Cond: c, U: union, U1: u1, U2: u2, A1: a1, A2: a2, NInput: union, NOutput: nOut}
+	v, _, err := props.CheckSingleVarRun(run, props.FilterFactory(newFilter))
+	return v, err
+}
+
+// SnapshotFilter serializes the monitor's Alert Displayer filter state so
+// a restarted displayer does not forget which alerts it already showed.
+// Supported by the built-in algorithms AD-1 through AD-6.
+func (m *Monitor) SnapshotFilter() ([]byte, error) {
+	return m.sys.Displayer().Snapshot()
+}
+
+// RestoreFilter replaces the displayer's filter state from a snapshot
+// taken on a monitor with the same algorithm and condition.
+func (m *Monitor) RestoreFilter(data []byte) error {
+	return m.sys.Displayer().RestoreFilter(data)
+}
+
+// SetReplicaDown fails (true) or revives (false) Condition Evaluator
+// replica i (0-based). While down the replica misses every update — the
+// failure mode replication exists to mask. The control takes effect after
+// every previously emitted update, so fault-injection tests are
+// deterministic.
+func (m *Monitor) SetReplicaDown(i int, down bool) error {
+	return m.sys.SetReplicaDown(i, down)
+}
+
+// CrashReplica simulates a fail-stop restart of replica i without stable
+// storage: it loses its update histories and cannot fire again until its
+// windows refill.
+func (m *Monitor) CrashReplica(i int) error {
+	return m.sys.CrashReplica(i)
+}

@@ -1,0 +1,220 @@
+package condmon
+
+import (
+	"testing"
+
+	"condmon/internal/event"
+	"condmon/internal/seq"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	c, err := ParseCondition("overheat", "x[0] > 3000")
+	if err != nil {
+		t.Fatalf("ParseCondition: %v", err)
+	}
+	m, err := NewMonitor(c, WithReplicas(2), WithAlgorithm(AD1))
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	for _, v := range []float64{2900, 3100, 3200} {
+		if _, err := m.Emit("x", v); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	alerts := m.Close()
+	if got := event.AlertSeqNos(alerts, "x"); !got.Equal(seq.Seq{2, 3}) {
+		t.Errorf("alerts = %v, want ⟨2,3⟩", got)
+	}
+	if m.Suppressed() != 2 {
+		t.Errorf("suppressed = %d, want 2 replica duplicates", m.Suppressed())
+	}
+}
+
+func TestNewMonitorOptionValidation(t *testing.T) {
+	c, err := ParseCondition("c", "x[0] > 0")
+	if err != nil {
+		t.Fatalf("ParseCondition: %v", err)
+	}
+	if _, err := NewMonitor(c, WithReplicas(0)); err == nil {
+		t.Error("replicas 0 should fail")
+	}
+	if _, err := NewMonitor(c, WithFrontLinkLoss(1.5)); err == nil {
+		t.Error("loss > 1 should fail")
+	}
+	if _, err := NewMonitor(c, WithFilter(nil)); err == nil {
+		t.Error("nil filter should fail")
+	}
+	if _, err := NewMonitor(c, WithAlgorithm("AD-9")); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+	// AD-2 on a multi-variable condition must fail at construction.
+	cm, err := ParseCondition("cm", "abs(x[0]-y[0]) > 100")
+	if err != nil {
+		t.Fatalf("ParseCondition: %v", err)
+	}
+	if _, err := NewMonitor(cm, WithAlgorithm(AD2)); err == nil {
+		t.Error("AD-2 over two variables should fail")
+	}
+}
+
+func TestMonitorWithCustomFilterAndLoss(t *testing.T) {
+	c, err := ParseCondition("rise", "x[0] - x[-1] > 200")
+	if err != nil {
+		t.Fatalf("ParseCondition: %v", err)
+	}
+	f, err := NewFilter(AD4, "x")
+	if err != nil {
+		t.Fatalf("NewFilter: %v", err)
+	}
+	m, err := NewMonitor(c, WithFilter(f), WithFrontLinkLoss(0.3), WithSeed(9))
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	val := 0.0
+	for i := 0; i < 30; i++ {
+		val += float64((i%2)*500 - 100)
+		if _, err := m.Emit("x", val); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	alerts := m.Close()
+	if !event.AlertSeqNos(alerts, "x").IsOrdered() {
+		t.Errorf("AD-4 output must be ordered: %v", alerts)
+	}
+}
+
+func TestDisplayDisconnectReconnect(t *testing.T) {
+	c, err := ParseCondition("c", "x[0] > 0")
+	if err != nil {
+		t.Fatalf("ParseCondition: %v", err)
+	}
+	m, err := NewMonitor(c, WithReplicas(1), WithAlgorithm(AD0))
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	m.SetDisplayConnected(false)
+	if _, err := m.Emit("x", 5); err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	m.Close()
+	if m.PendingAlerts() != 1 || len(m.Alerts()) != 0 {
+		t.Fatalf("pending=%d displayed=%d, want 1 and 0", m.PendingAlerts(), len(m.Alerts()))
+	}
+	m.SetDisplayConnected(true)
+	if m.PendingAlerts() != 0 || len(m.Alerts()) != 1 {
+		t.Errorf("after reconnect: pending=%d displayed=%d, want 0 and 1", m.PendingAlerts(), len(m.Alerts()))
+	}
+}
+
+func TestEvaluateIsT(t *testing.T) {
+	c, err := ParseCondition("c1", "x[0] > 3000")
+	if err != nil {
+		t.Fatalf("ParseCondition: %v", err)
+	}
+	alerts, err := Evaluate(c, []Update{
+		{Var: "x", SeqNo: 1, Value: 2900},
+		{Var: "x", SeqNo: 2, Value: 3100},
+	})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if len(alerts) != 1 || alerts[0].Histories["x"].Latest().SeqNo != 2 {
+		t.Errorf("alerts = %v, want one at 2x", alerts)
+	}
+}
+
+func TestCheckSingleVariableFacade(t *testing.T) {
+	// Theorem 2's scenario through the public API.
+	c, err := ParseCondition("c1", "x[0] > 3000")
+	if err != nil {
+		t.Fatalf("ParseCondition: %v", err)
+	}
+	u1 := []Update{{Var: "x", SeqNo: 1, Value: 3100}, {Var: "x", SeqNo: 2, Value: 3500}}
+	u2 := []Update{{Var: "x", SeqNo: 2, Value: 3500}}
+	newFilter := func() Filter {
+		f, err := NewFilter(AD1)
+		if err != nil {
+			t.Fatalf("NewFilter: %v", err)
+		}
+		return f
+	}
+	v, err := CheckSingleVariable(c, u1, u2, newFilter)
+	if err != nil {
+		t.Fatalf("CheckSingleVariable: %v", err)
+	}
+	if v.Ordered || !v.Complete || !v.Consistent {
+		t.Errorf("verdict = %v, want unordered/complete/consistent", v)
+	}
+
+	cm, err := ParseCondition("cm", "abs(x[0]-y[0]) > 1")
+	if err != nil {
+		t.Fatalf("ParseCondition: %v", err)
+	}
+	if _, err := CheckSingleVariable(cm, nil, nil, newFilter); err == nil {
+		t.Error("multi-variable condition should be rejected")
+	}
+}
+
+func TestMonitorFilterSnapshotRoundTrip(t *testing.T) {
+	c, err := ParseCondition("overheat", "x[0] > 3000")
+	if err != nil {
+		t.Fatalf("ParseCondition: %v", err)
+	}
+	m1, err := NewMonitor(c)
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	if _, err := m1.Emit("x", 3100); err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	m1.Close()
+	blob, err := m1.SnapshotFilter()
+	if err != nil {
+		t.Fatalf("SnapshotFilter: %v", err)
+	}
+
+	m2, err := NewMonitor(c)
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	if err := m2.RestoreFilter(blob); err != nil {
+		t.Fatalf("RestoreFilter: %v", err)
+	}
+	if _, err := m2.Emit("x", 3100); err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	if got := len(m2.Close()); got != 0 {
+		t.Errorf("restored monitor re-displayed %d alerts, want 0", got)
+	}
+}
+
+func TestMonitorFaultInjection(t *testing.T) {
+	c, err := ParseCondition("overheat", "x[0] > 3000")
+	if err != nil {
+		t.Fatalf("ParseCondition: %v", err)
+	}
+	m, err := NewMonitor(c, WithReplicas(2))
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	if err := m.SetReplicaDown(0, true); err != nil {
+		t.Fatalf("SetReplicaDown: %v", err)
+	}
+	if _, err := m.Emit("x", 3100); err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	if err := m.SetReplicaDown(0, false); err != nil {
+		t.Fatalf("SetReplicaDown: %v", err)
+	}
+	if err := m.CrashReplica(1); err != nil {
+		t.Fatalf("CrashReplica: %v", err)
+	}
+	alerts := m.Close()
+	// Replica 1 alerted before its crash; replica 0 missed the update.
+	if len(alerts) != 1 {
+		t.Errorf("displayed %d alerts, want 1 (replication masked the outage)", len(alerts))
+	}
+	if err := m.SetReplicaDown(0, true); err == nil {
+		t.Error("control after Close should fail")
+	}
+}

@@ -1,0 +1,129 @@
+package condmon_test
+
+import (
+	"fmt"
+	"log"
+
+	"condmon"
+)
+
+// ExampleParseCondition shows how condition classification is derived from
+// the expression itself.
+func ExampleParseCondition() {
+	c2, err := condmon.ParseCondition("c2", "x[0] - x[-1] > 200")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c3, err := condmon.ParseCondition("c3", "x[0] - x[-1] > 200 && consecutive(x)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("c2 degree:", c2.Degree("x"), "conservative:", c2.Conservative())
+	fmt.Println("c3 degree:", c3.Degree("x"), "conservative:", c3.Conservative())
+	// Output:
+	// c2 degree: 2 conservative: false
+	// c3 degree: 2 conservative: true
+}
+
+// ExampleEvaluate runs the paper's Example 1 through the pure mapping T.
+func ExampleEvaluate() {
+	c1, err := condmon.ParseCondition("c1", "x[0] > 3000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	alerts, err := condmon.Evaluate(c1, []condmon.Update{
+		{Var: "x", SeqNo: 1, Value: 2900},
+		{Var: "x", SeqNo: 2, Value: 3100},
+		{Var: "x", SeqNo: 3, Value: 3200},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range alerts {
+		fmt.Println(a)
+	}
+	// Output:
+	// a(2x)
+	// a(3x)
+}
+
+// ExampleNewMonitor runs a replicated live monitor end to end.
+func ExampleNewMonitor() {
+	overheat, err := condmon.ParseCondition("overheat", "x[0] > 3000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := condmon.NewMonitor(overheat,
+		condmon.WithReplicas(2),
+		condmon.WithAlgorithm(condmon.AD1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, temp := range []float64{2900, 3100, 3200} {
+		if _, err := m.Emit("x", temp); err != nil {
+			log.Fatal(err)
+		}
+	}
+	alerts := m.Close()
+	fmt.Println("alerts:", len(alerts), "suppressed duplicates:", m.Suppressed())
+	// Output:
+	// alerts: 2 suppressed duplicates: 2
+}
+
+// ExampleCheckSingleVariable analyzes Theorem 2's scenario offline: with a
+// lossy link and a non-historical condition, AD-1 keeps the system
+// complete and consistent but not ordered.
+func ExampleCheckSingleVariable() {
+	c1, err := condmon.ParseCondition("c1", "x[0] > 3000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	u1 := []condmon.Update{{Var: "x", SeqNo: 1, Value: 3100}, {Var: "x", SeqNo: 2, Value: 3500}}
+	u2 := []condmon.Update{{Var: "x", SeqNo: 2, Value: 3500}} // CE2 missed update 1
+	verdict, err := condmon.CheckSingleVariable(c1, u1, u2, func() condmon.Filter {
+		f, err := condmon.NewFilter(condmon.AD1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(verdict)
+	// Output:
+	// ord=✗ comp=✓ cons=✓
+}
+
+// ExampleNewFilter demonstrates direct filter use on an alert stream.
+func ExampleNewFilter() {
+	c1, err := condmon.ParseCondition("c1", "x[0] > 3000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	alerts, err := condmon.Evaluate(c1, []condmon.Update{
+		{Var: "x", SeqNo: 1, Value: 3100},
+		{Var: "x", SeqNo: 2, Value: 3200},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := condmon.NewFilter(condmon.AD2, "x")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Offer the second alert first: AD-2 then rejects the stale first one.
+	for _, i := range []int{1, 0} {
+		a := alerts[i]
+		if f.Test(a) {
+			f.Accept(a)
+			fmt.Println("displayed", a)
+		} else {
+			fmt.Println("suppressed", a)
+		}
+	}
+	// Output:
+	// displayed a(2x)
+	// suppressed a(1x)
+}

@@ -1,0 +1,153 @@
+// Battlefield: multi-variable and multi-condition monitoring. Two sensor
+// feeds track hostile activity in sectors x and y. Part 1 monitors the
+// two-variable imbalance condition with replicated CEs and shows why AD-1
+// breaks down (Theorem 10) while AD-5/AD-6 restore orderedness. Part 2 is
+// Appendix D's Example 4: two interdependent conditions on separate CEs
+// produce contradictory alerts with no replication at all, and the
+// co-located reduction C = A ∨ B avoids it.
+//
+// Run with:
+//
+//	go run ./examples/battlefield
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"condmon/internal/ad"
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/multicond"
+	"condmon/internal/runtime"
+	"condmon/internal/sim"
+)
+
+func main() {
+	part1MultiVariable()
+	fmt.Println()
+	part2MultiCondition()
+	fmt.Println()
+	part3LiveMultiCondition()
+}
+
+// part1MultiVariable reproduces Theorem 10's scenario with battlefield
+// framing: alert when sector activity levels diverge by more than 100.
+func part1MultiVariable() {
+	fmt.Println("— Part 1: one condition over two sectors (Theorem 10) —")
+	imbalance := cond.AbsDiff{CondName: "imbalance", X: "x", Y: "y", Limit: 100}
+	streams := map[event.VarName][]event.Update{
+		"x": {event.U("x", 1, 1000), event.U("x", 2, 1200)},
+		"y": {event.U("y", 1, 1050), event.U("y", 2, 1150)},
+	}
+	// Network delays make CE1 see all of x first, CE2 all of y first.
+	run, err := sim.RunMultiVar(imbalance, streams,
+		[2]map[event.VarName]link.Model{},
+		[2]sim.Interleaver{sim.Sequential, sim.SequentialReverse}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CE1 alerts: %v   CE2 alerts: %v\n", run.A1, run.A2)
+
+	arrival := append(append([]event.Alert(nil), run.A1...), run.A2...)
+	fmt.Printf("under AD-1 the user sees %d alerts: %v — unordered AND inconsistent:\n",
+		len(ad.Run(ad.NewAD1(), arrival)), arrival)
+	fmt.Println("  a(2x,1y) before a(1x,2y) means sector-x report 2 arrived before report 1;")
+	fmt.Println("  no single monitoring station could ever have produced this pair.")
+
+	underAD5 := ad.Run(ad.NewAD5("x", "y"), arrival)
+	fmt.Printf("under AD-5 the user sees %d alert: %v — the impossible companion is suppressed\n",
+		len(underAD5), underAD5)
+}
+
+// part2MultiCondition reproduces Example 4.
+func part2MultiCondition() {
+	fmt.Println("— Part 2: two interdependent conditions (Appendix D, Example 4) —")
+	condA := cond.GreaterThan{CondName: "A", X: "x", Y: "y"} // "x hotter than y"
+	condB := cond.GreaterThan{CondName: "B", X: "y", Y: "x"} // "y hotter than x"
+
+	// Both sectors go 2000 → 2100, but A's CE sees the x change first
+	// while B's CE sees the y change first.
+	seenByA := []event.Update{
+		event.U("x", 1, 2000), event.U("y", 1, 2000),
+		event.U("x", 2, 2100), event.U("y", 2, 2100),
+	}
+	seenByB := []event.Update{
+		event.U("x", 1, 2000), event.U("y", 1, 2000),
+		event.U("y", 2, 2100), event.U("x", 2, 2100),
+	}
+	alertsA, err := ce.T(condA, seenByA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alertsB, err := ce.T(condB, seenByB)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	demux, err := multicond.NewDemux(func(c cond.Condition) ad.Filter {
+		return ad.NewAD5(c.Vars()...)
+	}, condA, condB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range append(alertsA, alertsB...) {
+		if _, err := demux.Offer(a); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("separate CEs: user receives %d alerts — \"x is hotter\" AND \"y is hotter\".\n",
+		len(demux.Displayed()))
+	fmt.Println("  Each condition triggered sensibly in isolation; together they contradict.")
+
+	// Co-located CEs: reduce to C = A ∨ B over one interleaving.
+	combined, err := multicond.Reduce(condA, condB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alertsC, err := ce.T(combined, seenByA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("co-located CEs (C = A∨B over one interleaving): %d alert — no contradiction possible.\n",
+		len(alertsC))
+}
+
+// part3LiveMultiCondition runs the Figure D-7(c) architecture as a live
+// concurrent system: both conditions share the sector Data Monitors, each
+// condition has two CE replicas, and the Alert Displayer demultiplexes with
+// an AD-5 instance per condition.
+func part3LiveMultiCondition() {
+	fmt.Println("— Part 3: live multi-condition system (Figure D-7(c)) —")
+	condA := cond.GreaterThan{CondName: "A", X: "x", Y: "y"}
+	condHot := cond.Threshold{CondName: "hot", Var: "x", Limit: 2050, Above: true}
+	sys, err := runtime.NewMulti([]cond.Condition{condA, condHot}, func(c cond.Condition) ad.Filter {
+		return ad.NewAD5(c.Vars()...)
+	}, runtime.MultiOptions{Replicas: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	readings := []struct {
+		v event.VarName
+		t float64
+	}{
+		{"y", 2000}, {"x", 2000}, {"x", 2100}, {"y", 2050}, {"x", 2030},
+	}
+	for _, r := range readings {
+		if _, err := sys.Emit(r.v, r.t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	displayed, err := sys.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	perCond := make(map[string]int)
+	for _, a := range displayed {
+		perCond[a.Cond]++
+	}
+	fmt.Printf("displayed %d alerts (A: %d, hot: %d), %d replica duplicates suppressed\n",
+		len(displayed), perCond["A"], perCond["hot"], sys.Demux().Suppressed())
+}

@@ -1,0 +1,45 @@
+// Quickstart: monitor a reactor's temperature with two replicated
+// Condition Evaluators and duplicate suppression at the Alert Displayer.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"condmon"
+)
+
+func main() {
+	// c1 from the paper: "reactor temperature is over 3000 degrees".
+	overheat, err := condmon.ParseCondition("overheat", "x[0] > 3000")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two CE replicas, exact-duplicate removal (Algorithm AD-1) at the AD.
+	monitor, err := condmon.NewMonitor(overheat,
+		condmon.WithReplicas(2),
+		condmon.WithAlgorithm(condmon.AD1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Feed sensor readings; each reading is broadcast to both replicas.
+	for _, temp := range []float64{2900, 2950, 3100, 3200, 2800, 3350} {
+		if _, err := monitor.Emit("x", temp); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	alerts := monitor.Close()
+	fmt.Printf("displayed %d alerts (suppressed %d replica duplicates):\n",
+		len(alerts), monitor.Suppressed())
+	for _, a := range alerts {
+		fmt.Printf("  %v — reading %g exceeded 3000\n", a, a.Histories["x"].Latest().Value)
+	}
+}

@@ -1,0 +1,74 @@
+// Stockwatch: the introduction's "sharp price drop" scenario, reproduced
+// exactly. Quotes 100 and 50 are sent; CE1 sees both and alerts on the
+// drop. CE2 misses the 50 quote, then sees the next quote of 52 — an
+// aggressive drop condition compares 100 → 52 and raises a *different*
+// alert for the same crash. Duplicate suppression (AD-1) cannot help, and
+// the user "may mistakenly think that there have been two drops in price
+// instead of one." Algorithm AD-3 detects the conflict and suppresses the
+// second alert; a conservative condition avoids it at the source.
+//
+// Run with:
+//
+//	go run ./examples/stockwatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"condmon"
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/sim"
+)
+
+func main() {
+	// The introduction's condition: a greater than twenty percent drop
+	// between two quotes, aggressively triggered.
+	aggressive := cond.NewSharpDrop("s")
+	// Its conservative variant only compares consecutive quotes.
+	conservative := cond.Drop{CondName: "sharp-drop-cons", Var: "s", Frac: 0.20, Consecutive: true}
+
+	// The exact quote stream from Section 1: 100, 50, then 52.
+	quotes := []condmon.Update{
+		event.U("s", 1, 100),
+		event.U("s", 2, 50),
+		event.U("s", 3, 52),
+	}
+
+	fmt.Println("quotes:", quotes)
+	fmt.Println()
+
+	// CE1 receives everything; CE2 misses quote 2 (the 50).
+	run, err := sim.RunSingleVar(aggressive, quotes, link.None{}, link.NewDropSeqNos("s", 2), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aggressive condition:\n  CE1 alerts: %v\n  CE2 alerts: %v\n", run.A1, run.A2)
+
+	// AD-1 passes both: they are not duplicates (different histories).
+	arrival := append(append([]condmon.Alert(nil), run.A1...), run.A2...)
+	underAD1 := ad.Run(ad.NewAD1(), arrival)
+	fmt.Printf("  under AD-1 the user sees %d alerts — ", len(underAD1))
+	if len(underAD1) > 1 {
+		fmt.Println("and may think the price dropped twice!")
+	} else {
+		fmt.Println("fine.")
+	}
+
+	// AD-3 records that CE1's alert asserts quote 2 was received; CE2's
+	// alert asserts it was missed. Conflict → suppressed.
+	underAD3 := ad.Run(ad.NewAD3("s"), arrival)
+	fmt.Printf("  under AD-3 the user sees %d alert(s): the conflicting report is suppressed\n\n", len(underAD3))
+
+	// The conservative variant never raises CE2's misleading alert in the
+	// first place — at the price of missing real drops across lost quotes.
+	runCons, err := sim.RunSingleVar(conservative, quotes, link.None{}, link.NewDropSeqNos("s", 2), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conservative condition:\n  CE1 alerts: %v\n  CE2 alerts: %v\n", runCons.A1, runCons.A2)
+	fmt.Println("  CE2 stays silent across the gap (conservative triggering), so no conflict can arise")
+}

@@ -1,0 +1,3 @@
+module condmon
+
+go 1.22

@@ -1,0 +1,407 @@
+// Package ad implements the Alert Displayer's filtering algorithms — the
+// paper's core contribution. Algorithms AD-1 through AD-6 are transcribed
+// from Appendix A:
+//
+//	AD-0  pass-through (no filtering; the corresponding non-replicated
+//	      system N of Figure 2(b) uses it)
+//	AD-1  exact duplicate removal (Figure A-1)
+//	AD-2  single-variable orderedness (Figure A-2, maximally ordered by
+//	      Theorem 5)
+//	AD-3  single-variable consistency via Received/Missed sets
+//	      (Figure A-3, maximally consistent by Theorem 7)
+//	AD-4  AD-2 ∧ AD-3 (Figure A-4, maximally "ordered and consistent" by
+//	      Theorem 9)
+//	AD-5  multi-variable orderedness (Figure A-5)
+//	AD-6  AD-5 ∧ multi-variable AD-3 (Figure A-6)
+//
+// Filters expose a two-phase Test/Accept API so that combinators like AD-4
+// can ask "would every constituent pass this alert?" before committing any
+// state. Offer performs the common test-then-accept sequence.
+package ad
+
+import (
+	"fmt"
+
+	"condmon/internal/event"
+	"condmon/internal/seq"
+)
+
+// Filter is an AD filtering algorithm. Implementations are deterministic
+// state machines over the stream of alerts offered to them. They are not
+// safe for concurrent use; the runtime serializes access.
+type Filter interface {
+	// Name identifies the algorithm ("AD-1", …).
+	Name() string
+	// Test reports whether the alert would be passed through to the user,
+	// without changing any state.
+	Test(a event.Alert) bool
+	// Accept records that the alert was displayed, updating state. Callers
+	// must only Accept alerts for which Test returned true.
+	Accept(a event.Alert)
+}
+
+// Offer runs the test-then-accept sequence and reports whether the alert
+// was passed through to the output.
+func Offer(f Filter, a event.Alert) bool {
+	if !f.Test(a) {
+		return false
+	}
+	f.Accept(a)
+	return true
+}
+
+// Run filters an already-interleaved alert stream and returns the output
+// sequence A. It is the function M_{AD-i} of Appendix B for a fixed
+// interleaving.
+func Run(f Filter, alerts []event.Alert) []event.Alert {
+	var out []event.Alert
+	for _, a := range alerts {
+		if Offer(f, a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Passthrough is AD-0: every alert is displayed. A non-replicated system's
+// AD performs no filtering, and Passthrough also serves as the identity
+// element for comparisons between algorithms.
+type Passthrough struct{}
+
+var _ Filter = Passthrough{}
+
+// NewPassthrough returns the AD-0 filter.
+func NewPassthrough() Passthrough { return Passthrough{} }
+
+// Name implements Filter.
+func (Passthrough) Name() string { return "AD-0" }
+
+// Test implements Filter.
+func (Passthrough) Test(event.Alert) bool { return true }
+
+// Accept implements Filter.
+func (Passthrough) Accept(event.Alert) {}
+
+// AD1 is Algorithm AD-1 (Exact Duplicate Removal, Figure A-1): an alert is
+// discarded iff an identical alert — same condition, same history set — was
+// already displayed.
+type AD1 struct {
+	seen map[string]struct{}
+}
+
+var _ Filter = (*AD1)(nil)
+
+// NewAD1 returns a fresh AD-1 filter.
+func NewAD1() *AD1 {
+	return &AD1{seen: make(map[string]struct{})}
+}
+
+// Name implements Filter.
+func (f *AD1) Name() string { return "AD-1" }
+
+// Test implements Filter.
+func (f *AD1) Test(a event.Alert) bool {
+	_, dup := f.seen[a.Key()]
+	return !dup
+}
+
+// Accept implements Filter.
+func (f *AD1) Accept(a event.Alert) { f.seen[a.Key()] = struct{}{} }
+
+// AD2 is Algorithm AD-2 (Figure A-2): discard any alert whose sequence
+// number (with respect to the single monitored variable) does not exceed
+// that of the last displayed alert. The output is trivially ordered, and by
+// Theorem 5 no ordered algorithm passes strictly more alerts.
+type AD2 struct {
+	varName event.VarName
+	last    int64
+}
+
+var _ Filter = (*AD2)(nil)
+
+// NewAD2 returns a fresh AD-2 filter for the single variable v.
+func NewAD2(v event.VarName) *AD2 {
+	return &AD2{varName: v, last: -1}
+}
+
+// Name implements Filter.
+func (f *AD2) Name() string { return "AD-2" }
+
+// Test implements Filter.
+func (f *AD2) Test(a event.Alert) bool {
+	n, ok := a.SeqNo(f.varName)
+	if !ok {
+		return false
+	}
+	return n > f.last
+}
+
+// Accept implements Filter.
+func (f *AD2) Accept(a event.Alert) { f.last = a.MustSeqNo(f.varName) }
+
+// AD3 is Algorithm AD-3 (Figure A-3): the AD records, per displayed alert,
+// which updates its history asserts were received and which it asserts were
+// missed (the gaps in its spanning set). A new alert is discarded iff it
+// conflicts — it asserts an update received that an earlier alert asserted
+// missed, or vice versa. By Theorem 7 the resulting system is consistent
+// and no consistent algorithm passes strictly more alerts.
+//
+// The multi-variable extension (used inside AD-6) keeps one Received/Missed
+// pair per variable, as described in Section 5.2.
+//
+// AD-3 also removes exact duplicates. The Figure A-3 pseudo-code omits this
+// step, but the paper requires it: the proof of Theorem 8 states that "AD-3
+// filters out at least all the alerts filtered by AD-1", and Section 4.3's
+// claim that AD-3's property table matches Table 1 outside the aggressive
+// row needs duplicate removal for the orderedness of the lossless row
+// (without it, a late-arriving duplicate re-displays an old sequence
+// number).
+type AD3 struct {
+	vars     []event.VarName
+	received map[event.VarName]seq.Set
+	missed   map[event.VarName]seq.Set
+	seen     map[string]struct{}
+}
+
+var _ Filter = (*AD3)(nil)
+
+// NewAD3 returns a fresh AD-3 filter for the given variables (one for the
+// single-variable algorithm of Figure A-3, several for the multi-variable
+// extension).
+func NewAD3(vars ...event.VarName) *AD3 {
+	f := &AD3{
+		vars:     vars,
+		received: make(map[event.VarName]seq.Set, len(vars)),
+		missed:   make(map[event.VarName]seq.Set, len(vars)),
+		seen:     make(map[string]struct{}),
+	}
+	for _, v := range vars {
+		f.received[v] = make(seq.Set)
+		f.missed[v] = make(seq.Set)
+	}
+	return f
+}
+
+// Name implements Filter.
+func (f *AD3) Name() string { return "AD-3" }
+
+// Test implements Filter: exact-duplicate removal plus the Conflicts(H)
+// predicate of Figure A-3.
+func (f *AD3) Test(a event.Alert) bool {
+	if _, dup := f.seen[a.Key()]; dup {
+		return false
+	}
+	for _, v := range f.vars {
+		h, ok := a.Histories[v]
+		if !ok {
+			return false
+		}
+		win := h.SeqNosAscending().Set()
+		// "foreach sequence number s in Hx: if (s in Missed) return True".
+		for s := range win {
+			if f.missed[v].Contains(s) {
+				return false
+			}
+		}
+		// "foreach s in SpanningSet(Hx): if (s not in Hx AND s in Received)
+		// return True".
+		for s := range seq.SpanningSet(win) {
+			if !win.Contains(s) && f.received[v].Contains(s) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Accept implements Filter: the UpdateState(H) procedure of Figure A-3.
+func (f *AD3) Accept(a event.Alert) {
+	f.seen[a.Key()] = struct{}{}
+	for _, v := range f.vars {
+		win := a.Histories[v].SeqNosAscending().Set()
+		for s := range win {
+			f.received[v].Add(s)
+		}
+		for s := range seq.SpanningSet(win) {
+			if !win.Contains(s) {
+				f.missed[v].Add(s)
+			}
+		}
+	}
+}
+
+// Received returns a copy of the Received set for v — the witness U′ used
+// in the proof of Theorem 7 and by the consistency checker.
+func (f *AD3) Received(v event.VarName) seq.Set {
+	out := make(seq.Set, len(f.received[v]))
+	for s := range f.received[v] {
+		out.Add(s)
+	}
+	return out
+}
+
+// Missed returns a copy of the Missed set for v.
+func (f *AD3) Missed(v event.VarName) seq.Set {
+	out := make(seq.Set, len(f.missed[v]))
+	for s := range f.missed[v] {
+		out.Add(s)
+	}
+	return out
+}
+
+// AD5 is Algorithm AD-5 (Figure A-5): the multi-variable orderedness
+// filter. It records the per-variable sequence numbers of the last
+// displayed alert; a new alert conflicts if it inverts order on any
+// variable, and is a duplicate if it equals the last alert on every
+// variable. The pseudo-code in the paper is written for two variables; as
+// the paper notes, it extends directly to any number, which this
+// implementation does.
+type AD5 struct {
+	vars []event.VarName
+	last map[event.VarName]int64
+}
+
+var _ Filter = (*AD5)(nil)
+
+// NewAD5 returns a fresh AD-5 filter over the given variables.
+func NewAD5(vars ...event.VarName) *AD5 {
+	f := &AD5{vars: vars, last: make(map[event.VarName]int64, len(vars))}
+	for _, v := range vars {
+		f.last[v] = -1
+	}
+	return f
+}
+
+// Name implements Filter.
+func (f *AD5) Name() string { return "AD-5" }
+
+// Test implements Filter: the Conflicts(a) predicate of Figure A-5.
+func (f *AD5) Test(a event.Alert) bool {
+	allEqual := true
+	for _, v := range f.vars {
+		n, ok := a.SeqNo(v)
+		if !ok {
+			return false
+		}
+		if n < f.last[v] {
+			return false // conflicting: order inversion on v
+		}
+		if n != f.last[v] {
+			allEqual = false
+		}
+	}
+	return !allEqual // all-equal means duplicate of the last alert
+}
+
+// Accept implements Filter: the UpdateState(a) procedure of Figure A-5.
+func (f *AD5) Accept(a event.Alert) {
+	for _, v := range f.vars {
+		f.last[v] = a.MustSeqNo(v)
+	}
+}
+
+// Combine is the conjunction combinator used by AD-4 and AD-6: an alert
+// passes iff it passes every constituent, and constituent state advances
+// only when the alert is displayed ("removes any alert that would be
+// removed by either", Figure A-4).
+type Combine struct {
+	name    string
+	filters []Filter
+}
+
+var _ Filter = (*Combine)(nil)
+
+// NewCombine builds a conjunction filter with the given display name.
+func NewCombine(name string, filters ...Filter) *Combine {
+	return &Combine{name: name, filters: filters}
+}
+
+// Name implements Filter.
+func (f *Combine) Name() string { return f.name }
+
+// Test implements Filter.
+func (f *Combine) Test(a event.Alert) bool {
+	for _, g := range f.filters {
+		if !g.Test(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Accept implements Filter.
+func (f *Combine) Accept(a event.Alert) {
+	for _, g := range f.filters {
+		g.Accept(a)
+	}
+}
+
+// NewAD4 returns Algorithm AD-4 (Figure A-4) for single variable v:
+// guarantees both orderedness and consistency by discarding any alert that
+// AD-2 or AD-3 would discard.
+func NewAD4(v event.VarName) *Combine {
+	return NewCombine("AD-4", NewAD2(v), NewAD3(v))
+}
+
+// NewAD6 returns Algorithm AD-6 (Figure A-6) for the given variables:
+// AD-5 combined with the multi-variable version of AD-3.
+func NewAD6(vars ...event.VarName) *Combine {
+	return NewCombine("AD-6", NewAD5(vars...), NewAD3(vars...))
+}
+
+// Algorithm names accepted by NewByName, in the order they appear in the
+// paper.
+const (
+	NameAD0 = "AD-0"
+	NameAD1 = "AD-1"
+	NameAD2 = "AD-2"
+	NameAD3 = "AD-3"
+	NameAD4 = "AD-4"
+	NameAD5 = "AD-5"
+	NameAD6 = "AD-6"
+)
+
+// NewByName constructs a fresh filter by algorithm name for the given
+// variable set. AD-2/AD-3/AD-4 require exactly one variable; AD-5/AD-6
+// accept any number. It powers the CLI tools' --ad flag.
+func NewByName(name string, vars ...event.VarName) (Filter, error) {
+	needSingle := func() error {
+		if len(vars) != 1 {
+			return fmt.Errorf("ad: %s is a single-variable algorithm, got %d variables", name, len(vars))
+		}
+		return nil
+	}
+	switch name {
+	case NameAD0:
+		return NewPassthrough(), nil
+	case NameAD1:
+		return NewAD1(), nil
+	case NameAD2:
+		if err := needSingle(); err != nil {
+			return nil, err
+		}
+		return NewAD2(vars[0]), nil
+	case NameAD3:
+		if len(vars) == 0 {
+			return nil, fmt.Errorf("ad: AD-3 needs at least one variable")
+		}
+		return NewAD3(vars...), nil
+	case NameAD4:
+		if err := needSingle(); err != nil {
+			return nil, err
+		}
+		return NewAD4(vars[0]), nil
+	case NameAD5:
+		if len(vars) == 0 {
+			return nil, fmt.Errorf("ad: AD-5 needs at least one variable")
+		}
+		return NewAD5(vars...), nil
+	case NameAD6:
+		if len(vars) == 0 {
+			return nil, fmt.Errorf("ad: AD-6 needs at least one variable")
+		}
+		return NewAD6(vars...), nil
+	default:
+		return nil, fmt.Errorf("ad: unknown algorithm %q (known: AD-0 … AD-6)", name)
+	}
+}

@@ -1,0 +1,337 @@
+package ad
+
+import (
+	"testing"
+
+	"condmon/internal/event"
+)
+
+// alert builds a single-variable alert whose history window covers the
+// given seqnos, most recent first.
+func alert(v event.VarName, seqNos ...int64) event.Alert {
+	h := event.History{Var: v}
+	for _, n := range seqNos {
+		h.Recent = append(h.Recent, event.U(v, n, float64(n)))
+	}
+	return event.Alert{Cond: "c", Histories: event.HistorySet{v: h}}
+}
+
+// alert2 builds a two-variable alert a(ix, jy) of degree 1 per variable.
+func alert2(x, y int64) event.Alert {
+	return event.Alert{Cond: "cm", Histories: event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", x, 0)}},
+		"y": {Var: "y", Recent: []event.Update{event.U("y", y, 0)}},
+	}}
+}
+
+func keys(alerts []event.Alert) []string { return event.AlertKeys(alerts) }
+
+func TestPassthrough(t *testing.T) {
+	f := NewPassthrough()
+	if f.Name() != "AD-0" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	in := []event.Alert{alert("x", 1), alert("x", 1), alert("x", 3)}
+	out := Run(f, in)
+	if len(out) != 3 {
+		t.Errorf("AD-0 passed %d alerts, want all 3", len(out))
+	}
+}
+
+func TestAD1RemovesExactDuplicates(t *testing.T) {
+	f := NewAD1()
+	a := alert("x", 3)
+	if !Offer(f, a) {
+		t.Error("first copy should pass")
+	}
+	if Offer(f, a) {
+		t.Error("identical alert should be discarded")
+	}
+}
+
+func TestAD1KeepsDifferentHistories(t *testing.T) {
+	// Section 3's example: a1 triggered on 2x,3x; a2 on 1x,3x. Both fired
+	// at 3x but AD-1 must not treat them as duplicates.
+	f := NewAD1()
+	a1 := alert("x", 3, 2)
+	a2 := alert("x", 3, 1)
+	if !Offer(f, a1) || !Offer(f, a2) {
+		t.Error("AD-1 must pass both alerts: their history sets differ")
+	}
+}
+
+func TestAD1PaperExample1(t *testing.T) {
+	// Example 1: A1 = ⟨a1(2x), a2(3x)⟩, A2 = ⟨a3(3x)⟩, arrival a1,a3,a2 →
+	// A = ⟨a1, a3⟩ (a2 filtered as duplicate of a3).
+	f := NewAD1()
+	a1, a2, a3 := alert("x", 2), alert("x", 3), alert("x", 3)
+	out := Run(f, []event.Alert{a1, a3, a2})
+	if len(out) != 2 {
+		t.Fatalf("A has %d alerts, want 2", len(out))
+	}
+	if out[0].MustSeqNo("x") != 2 || out[1].MustSeqNo("x") != 3 {
+		t.Errorf("A = %v, want ⟨a(2x), a(3x)⟩", keys(out))
+	}
+}
+
+func TestAD2EnforcesOrder(t *testing.T) {
+	f := NewAD2("x")
+	if !Offer(f, alert("x", 2)) {
+		t.Error("2x should pass a fresh AD-2")
+	}
+	if Offer(f, alert("x", 1)) {
+		t.Error("1x after 2x arrives out of order and must be discarded")
+	}
+	if Offer(f, alert("x", 2, 1)) {
+		t.Error("duplicate seqno must be discarded (a.seqno.x <= last)")
+	}
+	if !Offer(f, alert("x", 3)) {
+		t.Error("3x should pass")
+	}
+}
+
+func TestAD2PaperExample2(t *testing.T) {
+	// Example 2: U1 = ⟨1x(3100)⟩, U2 = ⟨2x(3200)⟩ under c1; a2 arrives
+	// before a1, so AD-2 outputs only ⟨a2⟩ — the system is incomplete.
+	f := NewAD2("x")
+	a1, a2 := alert("x", 1), alert("x", 2)
+	out := Run(f, []event.Alert{a2, a1})
+	if len(out) != 1 || out[0].MustSeqNo("x") != 2 {
+		t.Errorf("A = %v, want only a2", keys(out))
+	}
+}
+
+func TestAD2RejectsAlertWithoutVariable(t *testing.T) {
+	f := NewAD2("x")
+	if f.Test(alert("y", 1)) {
+		t.Error("alert without the filter's variable must not pass")
+	}
+}
+
+func TestAD3PaperExample3(t *testing.T) {
+	// Example 3: a1 with H = ⟨3x,1x⟩ passes and records Received={1,3},
+	// Missed={2}. Then a2 with H = ⟨3x,2x⟩ must be filtered: 2 ∈ Missed.
+	f := NewAD3("x")
+	a1 := alert("x", 3, 1)
+	if !Offer(f, a1) {
+		t.Fatal("a1 should pass a fresh AD-3")
+	}
+	if got := f.Received("x"); !got.Contains(1) || !got.Contains(3) || len(got) != 2 {
+		t.Errorf("Received = %v, want {1,3}", got)
+	}
+	if got := f.Missed("x"); !got.Contains(2) || len(got) != 1 {
+		t.Errorf("Missed = %v, want {2}", got)
+	}
+	a2 := alert("x", 3, 2)
+	if Offer(f, a2) {
+		t.Error("a2 requires update 2 received, which conflicts with a1's gap")
+	}
+}
+
+func TestAD3ReverseConflict(t *testing.T) {
+	// Symmetric case: first display an alert asserting 2 received, then an
+	// alert whose spanning gap covers 2 must be filtered.
+	f := NewAD3("x")
+	if !Offer(f, alert("x", 2, 1)) {
+		t.Fatal("first alert should pass")
+	}
+	if Offer(f, alert("x", 3, 1)) {
+		t.Error("alert asserting 2 missed must conflict with earlier Received")
+	}
+}
+
+func TestAD3AllowsCompatibleAlerts(t *testing.T) {
+	f := NewAD3("x")
+	if !Offer(f, alert("x", 2, 1)) {
+		t.Fatal("a(2,1) should pass")
+	}
+	if !Offer(f, alert("x", 3, 2)) {
+		t.Error("a(3,2) is compatible — no conflicting assertions")
+	}
+	if !Offer(f, alert("x", 6, 5)) {
+		t.Error("a(6,5) is compatible — updates 4 is not asserted either way")
+	}
+}
+
+func TestAD3RemovesExactDuplicates(t *testing.T) {
+	// AD-3 subsumes AD-1's duplicate removal: the proof of Theorem 8
+	// ("AD-3 filters out at least all the alerts filtered by AD-1")
+	// requires it, even though Figure A-3's pseudo-code shows only the
+	// conflict test.
+	f := NewAD3("x")
+	a := alert("x", 3, 1)
+	if !Offer(f, a) {
+		t.Fatal("first copy should pass")
+	}
+	if Offer(f, a) {
+		t.Error("identical alert must be discarded by AD-3")
+	}
+}
+
+func TestAD3RejectsAlertWithoutVariable(t *testing.T) {
+	f := NewAD3("x")
+	if f.Test(alert("y", 1)) {
+		t.Error("alert without the filter's variable must not pass")
+	}
+}
+
+func TestAD4CombinesBoth(t *testing.T) {
+	f := NewAD4("x")
+	if f.Name() != "AD-4" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	if !Offer(f, alert("x", 3, 1)) {
+		t.Fatal("a(3,1) should pass a fresh AD-4")
+	}
+	// Out of order → dropped by the AD-2 half.
+	if Offer(f, alert("x", 2, 1)) {
+		t.Error("out-of-order alert must be dropped by AD-4")
+	}
+	// In order but conflicting (asserts 2 received) → dropped by AD-3 half.
+	if Offer(f, alert("x", 4, 2)) {
+		t.Error("conflicting alert must be dropped by AD-4")
+	}
+	// In order and consistent → passes.
+	if !Offer(f, alert("x", 4, 3)) {
+		t.Error("ordered consistent alert should pass AD-4")
+	}
+}
+
+func TestAD4StateOnlyAdvancesOnDisplay(t *testing.T) {
+	// An alert rejected by the AD-3 half must not advance the AD-2 half's
+	// last-seqno state (and vice versa).
+	f := NewAD4("x")
+	if !Offer(f, alert("x", 3, 1)) {
+		t.Fatal("seed alert should pass")
+	}
+	if Offer(f, alert("x", 5, 2)) { // 2 ∈ Missed → rejected by AD-3
+		t.Fatal("conflicting alert should be rejected")
+	}
+	// If AD-2's last had advanced to 5, this would be wrongly rejected.
+	if !Offer(f, alert("x", 4, 3)) {
+		t.Error("rejected alert leaked state into the AD-2 half")
+	}
+}
+
+func TestAD5TheoremTen(t *testing.T) {
+	// Theorem 10's two alerts a(2x,1y) and a(1x,2y): whichever arrives
+	// first, the other inverts order on one variable and must be dropped.
+	f := NewAD5("x", "y")
+	if !Offer(f, alert2(2, 1)) {
+		t.Fatal("first alert should pass")
+	}
+	if Offer(f, alert2(1, 2)) {
+		t.Error("a(1x,2y) inverts x-order after a(2x,1y) and must be dropped")
+	}
+
+	g := NewAD5("x", "y")
+	if !Offer(g, alert2(1, 2)) {
+		t.Fatal("first alert should pass")
+	}
+	if Offer(g, alert2(2, 1)) {
+		t.Error("a(2x,1y) inverts y-order after a(1x,2y) and must be dropped")
+	}
+}
+
+func TestAD5DuplicateAndProgress(t *testing.T) {
+	f := NewAD5("x", "y")
+	if !Offer(f, alert2(1, 1)) {
+		t.Fatal("first alert should pass")
+	}
+	if Offer(f, alert2(1, 1)) {
+		t.Error("identical seqnos on every variable is a duplicate")
+	}
+	// Equal on x, ahead on y: passes (only all-equal is a duplicate).
+	if !Offer(f, alert2(1, 2)) {
+		t.Error("alert advancing one variable should pass")
+	}
+	if !Offer(f, alert2(3, 2)) {
+		t.Error("alert advancing the other variable should pass")
+	}
+}
+
+func TestAD6CombinesAD5AndMultiVarAD3(t *testing.T) {
+	f := NewAD6("x", "y")
+	if f.Name() != "AD-6" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	mk := func(xs []int64, ys []int64) event.Alert {
+		hx := event.History{Var: "x"}
+		for _, n := range xs {
+			hx.Recent = append(hx.Recent, event.U("x", n, 0))
+		}
+		hy := event.History{Var: "y"}
+		for _, n := range ys {
+			hy.Recent = append(hy.Recent, event.U("y", n, 0))
+		}
+		return event.Alert{Cond: "c", Histories: event.HistorySet{"x": hx, "y": hy}}
+	}
+	// Degree-2 alert in x asserting gap at 2x.
+	if !Offer(f, mk([]int64{3, 1}, []int64{1})) {
+		t.Fatal("first alert should pass AD-6")
+	}
+	// Ordered, but asserts 2x received → conflict via the AD-3 half.
+	if Offer(f, mk([]int64{4, 2}, []int64{2})) {
+		t.Error("alert asserting 2x received must be dropped by AD-6")
+	}
+	// Order inversion on y → dropped via the AD-5 half.
+	if !Offer(f, mk([]int64{4, 3}, []int64{2})) {
+		t.Fatal("compatible alert should pass")
+	}
+	if Offer(f, mk([]int64{5, 4}, []int64{1})) {
+		t.Error("y-order inversion must be dropped by AD-6")
+	}
+}
+
+func TestRunFiltersStream(t *testing.T) {
+	out := Run(NewAD2("x"), []event.Alert{
+		alert("x", 1), alert("x", 3), alert("x", 2), alert("x", 4),
+	})
+	if len(out) != 3 {
+		t.Fatalf("Run passed %d alerts, want 3", len(out))
+	}
+	want := []int64{1, 3, 4}
+	for i, a := range out {
+		if a.MustSeqNo("x") != want[i] {
+			t.Errorf("A[%d] = %v, want seqno %d", i, a, want[i])
+		}
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	tests := []struct {
+		name    string
+		vars    []event.VarName
+		wantErr bool
+	}{
+		{name: "AD-0"},
+		{name: "AD-1"},
+		{name: "AD-2", vars: []event.VarName{"x"}},
+		{name: "AD-2", vars: []event.VarName{"x", "y"}, wantErr: true},
+		{name: "AD-3", vars: []event.VarName{"x"}},
+		{name: "AD-3", wantErr: true},
+		{name: "AD-4", vars: []event.VarName{"x"}},
+		{name: "AD-4", wantErr: true},
+		{name: "AD-5", vars: []event.VarName{"x", "y"}},
+		{name: "AD-5", wantErr: true},
+		{name: "AD-6", vars: []event.VarName{"x", "y"}},
+		{name: "AD-6", wantErr: true},
+		{name: "AD-9", wantErr: true},
+	}
+	for _, tt := range tests {
+		f, err := NewByName(tt.name, tt.vars...)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("NewByName(%s, %v) should fail", tt.name, tt.vars)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("NewByName(%s, %v): %v", tt.name, tt.vars, err)
+			continue
+		}
+		if f.Name() != tt.name {
+			t.Errorf("NewByName(%s).Name() = %q", tt.name, f.Name())
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package ad
+
+import (
+	"fmt"
+	"sort"
+
+	"condmon/internal/event"
+)
+
+// DelayedDisplay implements the "delayed displaying" alternative the paper
+// discusses (and deliberately leaves out) in Section 4.2: instead of
+// discarding out-of-order alerts like AD-2, the AD holds each alert for up
+// to a timeout, displaying buffered alerts in sequence-number order. The
+// paper's analysis applies verbatim:
+//
+//   - If the inter-stream delivery skew is bounded by the timeout, the
+//     displayed sequence is ordered and nothing but exact duplicates is
+//     suppressed — strictly more alerts than AD-2 displays.
+//   - If an alert's logical predecessor arrives more than `timeout` ticks
+//     later, orderedness is lost (the expired alert was already shown).
+//
+// Time is logical: the caller advances it with Tick (e.g. once per arrival
+// round or timer event), keeping the component deterministic and testable.
+// DelayedDisplay is not a Filter — its output is time-shifted rather than
+// a per-offer accept/reject decision.
+type DelayedDisplay struct {
+	varName event.VarName
+	timeout int
+
+	now  int
+	last int64
+	seen map[string]struct{}
+	held []heldAlert
+}
+
+// heldAlert is a buffered alert with its forced-display deadline.
+type heldAlert struct {
+	alert    event.Alert
+	deadline int
+}
+
+// NewDelayedDisplay creates the reordering displayer for single variable v
+// with the given hold timeout in logical ticks (≥ 0; zero degenerates to
+// an unordered duplicate-removing pass-through).
+func NewDelayedDisplay(v event.VarName, timeout int) (*DelayedDisplay, error) {
+	if timeout < 0 {
+		return nil, fmt.Errorf("ad: delayed display timeout must be ≥ 0, got %d", timeout)
+	}
+	return &DelayedDisplay{
+		varName: v,
+		timeout: timeout,
+		last:    -1,
+		seen:    make(map[string]struct{}),
+	}, nil
+}
+
+// Offer buffers an incoming alert (dropping exact duplicates) and returns
+// any alerts whose hold expired at the current tick, in display order.
+func (d *DelayedDisplay) Offer(a event.Alert) []event.Alert {
+	if _, ok := a.SeqNo(d.varName); !ok {
+		return d.release(false)
+	}
+	key := a.Key()
+	if _, dup := d.seen[key]; dup {
+		return d.release(false)
+	}
+	d.seen[key] = struct{}{}
+	d.held = append(d.held, heldAlert{alert: a, deadline: d.now + d.timeout})
+	return d.release(false)
+}
+
+// Tick advances logical time by one and returns the alerts released by the
+// advance.
+func (d *DelayedDisplay) Tick() []event.Alert {
+	d.now++
+	return d.release(false)
+}
+
+// Flush releases every held alert immediately (end of stream or shutdown).
+func (d *DelayedDisplay) Flush() []event.Alert {
+	return d.release(true)
+}
+
+// Held reports how many alerts are currently buffered.
+func (d *DelayedDisplay) Held() int { return len(d.held) }
+
+// release displays every held alert whose deadline has passed (or all of
+// them when flushing). Alerts released together are displayed in ascending
+// sequence-number order; additionally, any held alert whose sequence
+// number is not greater than an alert being displayed is released with it
+// (holding it longer cannot improve the order).
+func (d *DelayedDisplay) release(all bool) []event.Alert {
+	if len(d.held) == 0 {
+		return nil
+	}
+	// Sort buffer by seqno so both the expiry scan and the companion rule
+	// see ascending order.
+	sort.SliceStable(d.held, func(i, j int) bool {
+		ni := d.held[i].alert.MustSeqNo(d.varName)
+		nj := d.held[j].alert.MustSeqNo(d.varName)
+		return ni < nj
+	})
+	var (
+		out  []event.Alert
+		keep []heldAlert
+	)
+	// Find the largest seqno among expired alerts: everything up to it is
+	// released (an unexpired alert below an expired one would otherwise be
+	// displayed out of order later).
+	maxExpired := int64(-1)
+	for _, h := range d.held {
+		if all || h.deadline <= d.now {
+			if n := h.alert.MustSeqNo(d.varName); n > maxExpired {
+				maxExpired = n
+			}
+		}
+	}
+	if maxExpired < 0 {
+		return nil
+	}
+	for _, h := range d.held {
+		n := h.alert.MustSeqNo(d.varName)
+		if all || n <= maxExpired {
+			out = append(out, h.alert)
+			if n > d.last {
+				d.last = n
+			}
+			continue
+		}
+		keep = append(keep, h)
+	}
+	d.held = keep
+	return out
+}

@@ -1,0 +1,50 @@
+package ad
+
+import (
+	"condmon/internal/event"
+	"condmon/internal/wire"
+)
+
+// AD1Digest is AD-1 implemented over history checksums instead of full
+// histories — the optimization Section 2 describes: "Still others only use
+// these sequence numbers in a simple equality test, in which case it may
+// be sufficient to send just a checksum of the histories." Functionally it
+// matches AD-1 up to checksum collision (64-bit FNV-1a), while letting the
+// back links carry compact wire.Digest frames instead of full alerts.
+type AD1Digest struct {
+	seen map[string]struct{}
+}
+
+var _ Filter = (*AD1Digest)(nil)
+
+// NewAD1Digest returns a fresh digest-based duplicate remover.
+func NewAD1Digest() *AD1Digest {
+	return &AD1Digest{seen: make(map[string]struct{})}
+}
+
+// Name implements Filter.
+func (f *AD1Digest) Name() string { return "AD-1d" }
+
+// Test implements Filter.
+func (f *AD1Digest) Test(a event.Alert) bool {
+	_, dup := f.seen[wire.DigestOf(a).Key()]
+	return !dup
+}
+
+// Accept implements Filter.
+func (f *AD1Digest) Accept(a event.Alert) {
+	f.seen[wire.DigestOf(a).Key()] = struct{}{}
+}
+
+// TestDigest reports whether a pre-computed digest would pass — the entry
+// point for ADs that receive wire.Digest frames and never reconstruct full
+// alerts.
+func (f *AD1Digest) TestDigest(d wire.Digest) bool {
+	_, dup := f.seen[d.Key()]
+	return !dup
+}
+
+// AcceptDigest records a displayed digest.
+func (f *AD1Digest) AcceptDigest(d wire.Digest) {
+	f.seen[d.Key()] = struct{}{}
+}

@@ -1,0 +1,330 @@
+package ad
+
+import (
+	"math/rand"
+	"testing"
+
+	"condmon/internal/event"
+	"condmon/internal/seq"
+	"condmon/internal/wire"
+)
+
+// --- DelayedDisplay (Section 4.2's "delayed displaying" alternative) ---
+
+func collectSeqNos(alerts []event.Alert) seq.Seq {
+	return event.AlertSeqNos(alerts, "x")
+}
+
+func TestDelayedDisplayReordersWithinWindow(t *testing.T) {
+	// a(2) arrives one tick before a(1); with timeout 2 the buffer reorders
+	// them — AD-2 would have dropped a(1).
+	d, err := NewDelayedDisplay("x", 2)
+	if err != nil {
+		t.Fatalf("NewDelayedDisplay: %v", err)
+	}
+	var out []event.Alert
+	out = append(out, d.Offer(alert("x", 2))...)
+	out = append(out, d.Tick()...)
+	out = append(out, d.Offer(alert("x", 1))...)
+	out = append(out, d.Tick()...)
+	out = append(out, d.Tick()...)
+	out = append(out, d.Flush()...)
+	if got := collectSeqNos(out); !got.Equal(seq.Seq{1, 2}) {
+		t.Errorf("displayed %v, want reordered ⟨1,2⟩", got)
+	}
+}
+
+func TestDelayedDisplayTimeoutBreaksOrder(t *testing.T) {
+	// The predecessor arrives after the timeout: the paper's caveat —
+	// orderedness is no longer guaranteed.
+	d, err := NewDelayedDisplay("x", 1)
+	if err != nil {
+		t.Fatalf("NewDelayedDisplay: %v", err)
+	}
+	var out []event.Alert
+	out = append(out, d.Offer(alert("x", 2))...)
+	out = append(out, d.Tick()...) // a(2) expires and is displayed
+	out = append(out, d.Tick()...)
+	out = append(out, d.Offer(alert("x", 1))...) // too late
+	out = append(out, d.Flush()...)
+	if got := collectSeqNos(out); !got.Equal(seq.Seq{2, 1}) {
+		t.Errorf("displayed %v, want the out-of-order ⟨2,1⟩ documented by §4.2", got)
+	}
+}
+
+func TestDelayedDisplayDisplaysEverythingNonDuplicate(t *testing.T) {
+	// Unlike AD-2, nothing but duplicates is ever suppressed.
+	d, err := NewDelayedDisplay("x", 3)
+	if err != nil {
+		t.Fatalf("NewDelayedDisplay: %v", err)
+	}
+	var out []event.Alert
+	in := []int64{3, 1, 2, 1, 5, 4} // one duplicate (1)
+	for _, n := range in {
+		out = append(out, d.Offer(alert("x", n))...)
+	}
+	out = append(out, d.Flush()...)
+	if len(out) != 5 {
+		t.Fatalf("displayed %d alerts, want 5 (one duplicate dropped)", len(out))
+	}
+	if got := collectSeqNos(out); !got.IsOrdered() {
+		t.Errorf("all arrivals within the window must display ordered, got %v", got)
+	}
+}
+
+func TestDelayedDisplayCompanionRelease(t *testing.T) {
+	// When a(3) expires, the younger a(1) (smaller seqno) must be released
+	// with it: holding it longer could only produce an inversion.
+	d, err := NewDelayedDisplay("x", 2)
+	if err != nil {
+		t.Fatalf("NewDelayedDisplay: %v", err)
+	}
+	var out []event.Alert
+	out = append(out, d.Offer(alert("x", 3))...)
+	out = append(out, d.Tick()...)
+	out = append(out, d.Offer(alert("x", 1))...) // deadline 2 ticks away
+	out = append(out, d.Tick()...)               // a(3) expires now
+	if got := collectSeqNos(out); !got.Equal(seq.Seq{1, 3}) {
+		t.Errorf("displayed %v, want companion release ⟨1,3⟩", got)
+	}
+	if d.Held() != 0 {
+		t.Errorf("buffer should be empty, holds %d", d.Held())
+	}
+}
+
+func TestDelayedDisplayZeroTimeout(t *testing.T) {
+	d, err := NewDelayedDisplay("x", 0)
+	if err != nil {
+		t.Fatalf("NewDelayedDisplay: %v", err)
+	}
+	out := d.Offer(alert("x", 2))
+	if len(out) != 1 {
+		t.Errorf("zero timeout should display immediately, got %d", len(out))
+	}
+	if _, err := NewDelayedDisplay("x", -1); err == nil {
+		t.Error("negative timeout should be rejected")
+	}
+}
+
+func TestDelayedDisplayIgnoresForeignVariable(t *testing.T) {
+	d, err := NewDelayedDisplay("x", 1)
+	if err != nil {
+		t.Fatalf("NewDelayedDisplay: %v", err)
+	}
+	if out := d.Offer(alert("y", 1)); len(out) != 0 || d.Held() != 0 {
+		t.Error("alert without the display variable must be ignored")
+	}
+}
+
+func TestDelayedDisplayOrderedWhenSkewBounded(t *testing.T) {
+	// Property: if every alert is offered within `timeout` ticks of any
+	// alert it should precede, the output is ordered. Randomized check
+	// with skew 1 and timeout 3.
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		d, err := NewDelayedDisplay("x", 3)
+		if err != nil {
+			t.Fatalf("NewDelayedDisplay: %v", err)
+		}
+		var out []event.Alert
+		next := int64(1)
+		pendingPrev := false
+		var prev int64
+		for i := 0; i < 10; i++ {
+			// Either deliver in order, or swap a neighboring pair (skew 1).
+			if pendingPrev {
+				out = append(out, d.Offer(alert("x", prev))...)
+				pendingPrev = false
+			} else if r.Intn(2) == 0 {
+				// swap: deliver next+1 now, next on the next tick
+				out = append(out, d.Offer(alert("x", next+1))...)
+				prev = next
+				pendingPrev = true
+				next += 2
+			} else {
+				out = append(out, d.Offer(alert("x", next))...)
+				next++
+			}
+			out = append(out, d.Tick()...)
+		}
+		if pendingPrev {
+			out = append(out, d.Offer(alert("x", prev))...)
+		}
+		out = append(out, d.Flush()...)
+		if got := collectSeqNos(out); !got.IsOrdered() {
+			t.Fatalf("trial %d: skew-1 arrivals must display ordered, got %v", trial, got)
+		}
+	}
+}
+
+// --- AD1Digest (Section 2 checksum optimization) ---
+
+func TestAD1DigestMatchesAD1(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 200; trial++ {
+		full := NewAD1()
+		dig := NewAD1Digest()
+		for i := 0; i < 20; i++ {
+			n := int64(r.Intn(6))
+			prev := n - int64(1+r.Intn(2))
+			a := alert("x", n, prev)
+			if Offer(full, a) != Offer(dig, a) {
+				t.Fatalf("trial %d: AD-1 and AD-1d disagree on %v", trial, a)
+			}
+		}
+	}
+}
+
+func TestAD1DigestNativeDigestPath(t *testing.T) {
+	f := NewAD1Digest()
+	a := alert("x", 3, 2)
+	if !f.Test(a) {
+		t.Fatal("fresh filter should pass the alert")
+	}
+	f.Accept(a)
+	// The digest-only entry points must agree with the alert-based ones.
+	d := wire.DigestOf(a)
+	if f.TestDigest(d) {
+		t.Error("digest of an accepted alert must be recognized as duplicate")
+	}
+	b := alert("x", 4, 3)
+	db := wire.DigestOf(b)
+	if !f.TestDigest(db) {
+		t.Error("new digest should pass")
+	}
+	f.AcceptDigest(db)
+	if f.Test(b) {
+		t.Error("alert accepted via digest path must be recognized as duplicate")
+	}
+}
+
+// --- Snapshot / Restore ---
+
+func TestSnapshotRoundTripEquivalence(t *testing.T) {
+	// Restored filters must behave exactly like uninterrupted ones on the
+	// remainder of the stream, for every snapshottable algorithm.
+	r := rand.New(rand.NewSource(33))
+	factories := []struct {
+		name string
+		mk   func() Snapshotter
+	}{
+		{"AD-1", func() Snapshotter { return NewAD1() }},
+		{"AD-1d", func() Snapshotter { return NewAD1Digest() }},
+		{"AD-2", func() Snapshotter { return NewAD2("x") }},
+		{"AD-3", func() Snapshotter { return NewAD3("x") }},
+		{"AD-4", func() Snapshotter { return NewAD4("x") }},
+	}
+	for _, tc := range factories {
+		t.Run(tc.name, func(t *testing.T) {
+			for trial := 0; trial < 50; trial++ {
+				// Random alert stream with duplicates, gaps, inversions.
+				var stream []event.Alert
+				for i := 0; i < 16; i++ {
+					n := int64(1 + r.Intn(8))
+					stream = append(stream, alert("x", n, n-int64(1+r.Intn(2))))
+				}
+				uninterrupted := tc.mk()
+				snapshotted := tc.mk()
+				cut := len(stream) / 2
+				for i, a := range stream {
+					want := Offer(uninterrupted, a)
+					if i == cut {
+						// Simulate an AD restart: snapshot, build a fresh
+						// filter, restore.
+						blob, err := snapshotted.Snapshot()
+						if err != nil {
+							t.Fatalf("Snapshot: %v", err)
+						}
+						fresh := tc.mk()
+						if err := fresh.Restore(blob); err != nil {
+							t.Fatalf("Restore: %v", err)
+						}
+						snapshotted = fresh
+					}
+					if got := Offer(snapshotted, a); got != want {
+						t.Fatalf("trial %d alert %d: restored filter decided %v, uninterrupted %v", trial, i, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRestoreRejectsMismatchedConfiguration(t *testing.T) {
+	f := NewAD2("x")
+	blob, err := f.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	other := NewAD2("y")
+	if err := other.Restore(blob); err == nil {
+		t.Error("restoring an x-snapshot into a y-filter should fail")
+	}
+
+	a3 := NewAD3("x")
+	blob3, err := a3.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := NewAD3("x", "y").Restore(blob3); err == nil {
+		t.Error("restoring a 1-variable AD-3 snapshot into a 2-variable filter should fail")
+	}
+	a5 := NewAD5("x", "y")
+	blob5, err := a5.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := NewAD5("y", "x").Restore(blob5); err == nil {
+		t.Error("restoring with reordered variables should fail")
+	}
+	if err := NewAD2("x").Restore([]byte("garbage")); err == nil {
+		t.Error("restoring garbage should fail")
+	}
+}
+
+func TestAD5SnapshotRoundTrip(t *testing.T) {
+	f := NewAD5("x", "y")
+	if !Offer(f, alert2(2, 1)) {
+		t.Fatal("seed alert should pass")
+	}
+	blob, err := f.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	g := NewAD5("x", "y")
+	if err := g.Restore(blob); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if Offer(g, alert2(1, 2)) {
+		t.Error("restored AD-5 must remember the last displayed seqnos")
+	}
+	if !Offer(g, alert2(3, 2)) {
+		t.Error("restored AD-5 should pass a progressing alert")
+	}
+}
+
+func TestCombineSnapshotRoundTrip(t *testing.T) {
+	f := NewAD4("x")
+	if !Offer(f, alert("x", 3, 1)) {
+		t.Fatal("seed alert should pass")
+	}
+	blob, err := f.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	g := NewAD4("x")
+	if err := g.Restore(blob); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	// Both the AD-2 half (last=3) and the AD-3 half (2 ∈ Missed) must have
+	// been restored.
+	if Offer(g, alert("x", 2, 1)) {
+		t.Error("restored AD-4 must reject out-of-order alerts")
+	}
+	if Offer(g, alert("x", 4, 2)) {
+		t.Error("restored AD-4 must reject conflicting alerts")
+	}
+	if !Offer(g, alert("x", 4, 3)) {
+		t.Error("restored AD-4 should pass a compatible alert")
+	}
+}

@@ -1,0 +1,131 @@
+package ad_test
+
+// Maximality property tests for Theorems 5, 7 and 9: on randomized runs,
+// every alert AD-2 / AD-3 / AD-4 drops is one that no algorithm with the
+// same guarantee could have displayed, given the already-displayed prefix.
+// These tests live in an external test package because they exercise the
+// filters through the full CE pipeline.
+
+import (
+	"math/rand"
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/props"
+	"condmon/internal/sim"
+)
+
+// randomMergedStream builds a randomized two-CE alert arrival stream under
+// the aggressive condition c2 (the class where filters differ most).
+func randomMergedStream(t *testing.T, r *rand.Rand) []event.Alert {
+	t.Helper()
+	u := make([]event.Update, 6)
+	val := 300.0
+	for i := range u {
+		val += float64(r.Intn(600) - 200)
+		u[i] = event.U("x", int64(i+1), val)
+	}
+	run, err := sim.RunSingleVar(cond.NewRiseAggressive("x"), u,
+		link.Bernoulli{P: 0.35}, link.Bernoulli{P: 0.35}, r)
+	if err != nil {
+		t.Fatalf("RunSingleVar: %v", err)
+	}
+	return sim.RandomArrival(run.A1, run.A2, r)
+}
+
+func TestAD2MaximalityTheorem5(t *testing.T) {
+	// Theorem 5: AD-2 is maximally ordered. Witnessed here as: every
+	// dropped alert either strictly inverts order against the displayed
+	// prefix (no ordered algorithm could display it after that prefix) or
+	// repeats the last displayed sequence number (the boundary case the
+	// paper's "a.seqno.x <= last" folds into duplicate suppression).
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		f := ad.NewAD2("x")
+		var last int64 = -1
+		for _, a := range randomMergedStream(t, r) {
+			n := a.MustSeqNo("x")
+			if ad.Offer(f, a) {
+				if n <= last && last >= 0 && n < last {
+					t.Fatalf("AD-2 displayed an order-inverting alert %v after %d", a, last)
+				}
+				last = n
+				continue
+			}
+			if n > last {
+				t.Fatalf("AD-2 dropped %v although displaying it would keep output ordered (last=%d)", a, last)
+			}
+		}
+	}
+}
+
+func TestAD3MaximalityTheorem7(t *testing.T) {
+	// Theorem 7: AD-3 is maximally consistent. Witnessed here as: whenever
+	// AD-3 drops a non-duplicate alert, appending that alert to the
+	// already-displayed sequence yields an inconsistent output (checked by
+	// the exact consistency checker); and the displayed sequence itself
+	// stays consistent throughout.
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 300; trial++ {
+		f := ad.NewAD3("x")
+		var displayed []event.Alert
+		seen := make(map[string]bool)
+		for _, a := range randomMergedStream(t, r) {
+			if ad.Offer(f, a) {
+				displayed = append(displayed, a)
+				seen[a.Key()] = true
+				if !props.ConsistentSingle(displayed) {
+					t.Fatalf("AD-3 displayed an inconsistent sequence: %v", displayed)
+				}
+				continue
+			}
+			if seen[a.Key()] {
+				continue // exact duplicate: dropping loses nothing
+			}
+			hypothetical := append(append([]event.Alert(nil), displayed...), a)
+			if props.ConsistentSingle(hypothetical) {
+				t.Fatalf("AD-3 dropped %v although displaying it would stay consistent after %v", a, displayed)
+			}
+		}
+	}
+}
+
+func TestAD4MaximalityTheorem9(t *testing.T) {
+	// Theorem 9: AD-4 is maximally "ordered and consistent": every dropped
+	// non-duplicate alert would violate orderedness or consistency of the
+	// displayed prefix.
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		f := ad.NewAD4("x")
+		var (
+			displayed []event.Alert
+			last      int64 = -1
+		)
+		seen := make(map[string]bool)
+		for _, a := range randomMergedStream(t, r) {
+			n := a.MustSeqNo("x")
+			if ad.Offer(f, a) {
+				displayed = append(displayed, a)
+				seen[a.Key()] = true
+				last = n
+				if !props.ConsistentSingle(displayed) {
+					t.Fatalf("AD-4 displayed an inconsistent sequence: %v", displayed)
+				}
+				if !props.Ordered(displayed, []event.VarName{"x"}) {
+					t.Fatalf("AD-4 displayed an unordered sequence: %v", displayed)
+				}
+				continue
+			}
+			if seen[a.Key()] || n <= last {
+				continue // duplicate or order violation: justified drop
+			}
+			hypothetical := append(append([]event.Alert(nil), displayed...), a)
+			if props.ConsistentSingle(hypothetical) {
+				t.Fatalf("AD-4 dropped %v although displaying it would stay ordered and consistent", a)
+			}
+		}
+	}
+}

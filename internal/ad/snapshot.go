@@ -1,0 +1,251 @@
+package ad
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"condmon/internal/event"
+	"condmon/internal/seq"
+)
+
+// Snapshotter is implemented by filters whose state can be serialized and
+// restored — what a production Alert Displayer needs to survive a device
+// restart without forgetting which alerts it already showed (losing AD-1
+// state re-displays duplicates; losing AD-3 state forgets recorded
+// Received/Missed evidence and can re-admit conflicting alerts).
+//
+// A restored filter behaves identically to one that processed the same
+// alert stream uninterrupted; see TestSnapshotRoundTripEquivalence.
+type Snapshotter interface {
+	Filter
+	// Snapshot serializes the filter's current state.
+	Snapshot() ([]byte, error)
+	// Restore replaces the filter's state with a prior snapshot. The
+	// snapshot must come from the same algorithm and configuration.
+	Restore(data []byte) error
+}
+
+// Interface conformance.
+var (
+	_ Snapshotter = (*AD1)(nil)
+	_ Snapshotter = (*AD2)(nil)
+	_ Snapshotter = (*AD3)(nil)
+	_ Snapshotter = (*AD5)(nil)
+	_ Snapshotter = (*Combine)(nil)
+	_ Snapshotter = (*AD1Digest)(nil)
+)
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("ad: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("ad: restore: %w", err)
+	}
+	return nil
+}
+
+// setKeys converts a string set to a sorted-independent slice for gob.
+func setKeys(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func keySet(keys []string) map[string]struct{} {
+	out := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// ad1State is AD-1's serialized form.
+type ad1State struct {
+	Seen []string
+}
+
+// Snapshot implements Snapshotter.
+func (f *AD1) Snapshot() ([]byte, error) {
+	return gobEncode(ad1State{Seen: setKeys(f.seen)})
+}
+
+// Restore implements Snapshotter.
+func (f *AD1) Restore(data []byte) error {
+	var st ad1State
+	if err := gobDecode(data, &st); err != nil {
+		return err
+	}
+	f.seen = keySet(st.Seen)
+	return nil
+}
+
+// ad2State is AD-2's serialized form.
+type ad2State struct {
+	Var  event.VarName
+	Last int64
+}
+
+// Snapshot implements Snapshotter.
+func (f *AD2) Snapshot() ([]byte, error) {
+	return gobEncode(ad2State{Var: f.varName, Last: f.last})
+}
+
+// Restore implements Snapshotter.
+func (f *AD2) Restore(data []byte) error {
+	var st ad2State
+	if err := gobDecode(data, &st); err != nil {
+		return err
+	}
+	if st.Var != f.varName {
+		return fmt.Errorf("ad: restore: snapshot is for variable %q, filter watches %q", st.Var, f.varName)
+	}
+	f.last = st.Last
+	return nil
+}
+
+// ad3State is AD-3's serialized form.
+type ad3State struct {
+	Vars     []event.VarName
+	Received map[event.VarName][]int64
+	Missed   map[event.VarName][]int64
+	Seen     []string
+}
+
+// Snapshot implements Snapshotter.
+func (f *AD3) Snapshot() ([]byte, error) {
+	st := ad3State{
+		Vars:     f.vars,
+		Received: make(map[event.VarName][]int64, len(f.vars)),
+		Missed:   make(map[event.VarName][]int64, len(f.vars)),
+		Seen:     setKeys(f.seen),
+	}
+	for _, v := range f.vars {
+		st.Received[v] = f.received[v].Sorted()
+		st.Missed[v] = f.missed[v].Sorted()
+	}
+	return gobEncode(st)
+}
+
+// Restore implements Snapshotter.
+func (f *AD3) Restore(data []byte) error {
+	var st ad3State
+	if err := gobDecode(data, &st); err != nil {
+		return err
+	}
+	if len(st.Vars) != len(f.vars) {
+		return fmt.Errorf("ad: restore: snapshot covers %d variables, filter has %d", len(st.Vars), len(f.vars))
+	}
+	for i, v := range f.vars {
+		if st.Vars[i] != v {
+			return fmt.Errorf("ad: restore: snapshot variable %q does not match filter variable %q", st.Vars[i], v)
+		}
+	}
+	for _, v := range f.vars {
+		f.received[v] = seq.NewSet(st.Received[v]...)
+		f.missed[v] = seq.NewSet(st.Missed[v]...)
+	}
+	f.seen = keySet(st.Seen)
+	return nil
+}
+
+// ad5State is AD-5's serialized form.
+type ad5State struct {
+	Vars []event.VarName
+	Last map[event.VarName]int64
+}
+
+// Snapshot implements Snapshotter.
+func (f *AD5) Snapshot() ([]byte, error) {
+	return gobEncode(ad5State{Vars: f.vars, Last: f.last})
+}
+
+// Restore implements Snapshotter.
+func (f *AD5) Restore(data []byte) error {
+	var st ad5State
+	if err := gobDecode(data, &st); err != nil {
+		return err
+	}
+	if len(st.Vars) != len(f.vars) {
+		return fmt.Errorf("ad: restore: snapshot covers %d variables, filter has %d", len(st.Vars), len(f.vars))
+	}
+	for i, v := range f.vars {
+		if st.Vars[i] != v {
+			return fmt.Errorf("ad: restore: snapshot variable %q does not match filter variable %q", st.Vars[i], v)
+		}
+	}
+	f.last = st.Last
+	return nil
+}
+
+// combineState is a Combine's serialized form: one blob per constituent.
+type combineState struct {
+	Parts [][]byte
+}
+
+// Snapshot implements Snapshotter; every constituent must itself be a
+// Snapshotter.
+func (f *Combine) Snapshot() ([]byte, error) {
+	st := combineState{Parts: make([][]byte, len(f.filters))}
+	for i, g := range f.filters {
+		s, ok := g.(Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("ad: snapshot: constituent %s does not support snapshots", g.Name())
+		}
+		blob, err := s.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		st.Parts[i] = blob
+	}
+	return gobEncode(st)
+}
+
+// Restore implements Snapshotter.
+func (f *Combine) Restore(data []byte) error {
+	var st combineState
+	if err := gobDecode(data, &st); err != nil {
+		return err
+	}
+	if len(st.Parts) != len(f.filters) {
+		return fmt.Errorf("ad: restore: snapshot has %d constituents, filter has %d", len(st.Parts), len(f.filters))
+	}
+	for i, g := range f.filters {
+		s, ok := g.(Snapshotter)
+		if !ok {
+			return fmt.Errorf("ad: restore: constituent %s does not support snapshots", g.Name())
+		}
+		if err := s.Restore(st.Parts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ad1DigestState is AD1Digest's serialized form.
+type ad1DigestState struct {
+	Seen []string
+}
+
+// Snapshot implements Snapshotter.
+func (f *AD1Digest) Snapshot() ([]byte, error) {
+	return gobEncode(ad1DigestState{Seen: setKeys(f.seen)})
+}
+
+// Restore implements Snapshotter.
+func (f *AD1Digest) Restore(data []byte) error {
+	var st ad1DigestState
+	if err := gobDecode(data, &st); err != nil {
+		return err
+	}
+	f.seen = keySet(st.Seen)
+	return nil
+}

@@ -1,0 +1,161 @@
+// Package ce implements the Condition Evaluator: the component that
+// receives data updates, maintains per-variable update histories, evaluates
+// a condition, and emits alerts (Section 2 of the paper).
+//
+// The package exposes both a stateful Evaluator — the building block of
+// live systems — and the pure mapping T (Section 3, Figure 2) that sends an
+// update sequence to the alert sequence a CE would generate from it. The
+// two are the same code path: T runs a fresh Evaluator over the sequence.
+package ce
+
+import (
+	"fmt"
+
+	"condmon/internal/cond"
+	"condmon/internal/event"
+)
+
+// Evaluator is one Condition Evaluator replica monitoring a single
+// condition. It is not safe for concurrent use; the runtime package wraps
+// it in a single goroutine.
+type Evaluator struct {
+	id      string
+	cond    cond.Condition
+	windows map[event.VarName]*event.Window
+	down    bool
+
+	// stats
+	fed        int64
+	discarded  int64
+	missedDown int64
+}
+
+// New creates an evaluator with the given identity ("CE1", "CE2", …)
+// monitoring condition c. One evaluator monitors exactly one condition,
+// matching the paper's model.
+func New(id string, c cond.Condition) (*Evaluator, error) {
+	if id == "" {
+		return nil, fmt.Errorf("ce: evaluator id must be non-empty")
+	}
+	vars := c.Vars()
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("ce: condition %q has an empty variable set", c.Name())
+	}
+	windows := make(map[event.VarName]*event.Window, len(vars))
+	for _, v := range vars {
+		w, err := event.NewWindow(v, c.Degree(v))
+		if err != nil {
+			return nil, fmt.Errorf("ce: condition %q, variable %q: %w", c.Name(), v, err)
+		}
+		windows[v] = w
+	}
+	return &Evaluator{id: id, cond: c, windows: windows}, nil
+}
+
+// ID returns the evaluator's identity; emitted alerts carry it as Source.
+func (e *Evaluator) ID() string { return e.id }
+
+// Condition returns the monitored condition.
+func (e *Evaluator) Condition() cond.Condition { return e.cond }
+
+// Down reports whether the evaluator is currently failed.
+func (e *Evaluator) Down() bool { return e.down }
+
+// SetDown fails or revives the evaluator. While down it silently misses
+// every update — the failure mode replication exists to mask. Reviving
+// keeps the histories accumulated before the failure (the process
+// descheduled but did not lose memory); see Crash for the harsher variant.
+func (e *Evaluator) SetDown(down bool) { e.down = down }
+
+// Crash simulates a fail-stop restart without stable storage: the evaluator
+// loses all history state and must refill its windows before it can fire
+// again.
+func (e *Evaluator) Crash() {
+	for _, w := range e.windows {
+		w.Reset()
+	}
+}
+
+// Stats reports how many updates were fed, discarded as out-of-order or
+// irrelevant, and missed while down.
+func (e *Evaluator) Stats() (fed, discarded, missedDown int64) {
+	return e.fed, e.discarded, e.missedDown
+}
+
+// Feed delivers one update to the evaluator. It returns the alert and true
+// if the condition fired. Updates are handled per Section 2:
+//
+//   - While the evaluator is down, the update is missed entirely.
+//   - Updates for variables outside the condition's variable set are
+//     discarded (a CE only subscribes to V, but a broadcast medium may
+//     deliver more).
+//   - Updates that arrive out of order for their variable are discarded,
+//     implementing the receiver side of the paper's in-order link
+//     mechanism ("letting the receiver discard messages that arrive out of
+//     order", Section 2.1).
+//   - Otherwise the update becomes Hv[0] and the condition is re-evaluated;
+//     it can only be evaluated once every window in V is full.
+func (e *Evaluator) Feed(u event.Update) (event.Alert, bool, error) {
+	if e.down {
+		e.missedDown++
+		return event.Alert{}, false, nil
+	}
+	w, ok := e.windows[u.Var]
+	if !ok {
+		e.discarded++
+		return event.Alert{}, false, nil
+	}
+	if err := w.Push(u); err != nil {
+		// Out-of-order or duplicate delivery: discard, per Section 2.1.
+		e.discarded++
+		return event.Alert{}, false, nil
+	}
+	e.fed++
+	for _, win := range e.windows {
+		if !win.Full() {
+			return event.Alert{}, false, nil
+		}
+	}
+	h := e.historySnapshot()
+	fired, err := e.cond.Eval(h)
+	if err != nil {
+		return event.Alert{}, false, fmt.Errorf("ce: %s: evaluate %q: %w", e.id, e.cond.Name(), err)
+	}
+	if !fired {
+		return event.Alert{}, false, nil
+	}
+	return event.Alert{Cond: e.cond.Name(), Histories: h, Source: e.id}, true, nil
+}
+
+// historySnapshot builds the immutable H handed to the condition and
+// embedded in alerts.
+func (e *Evaluator) historySnapshot() event.HistorySet {
+	h := make(event.HistorySet, len(e.windows))
+	for v, w := range e.windows {
+		h[v] = w.History()
+	}
+	return h
+}
+
+// T is the paper's mapping T: it returns the alert sequence a single fresh
+// CE generates when fed the update sequence in order (Figure 2). The
+// updates may interleave multiple variables; per-variable subsequences must
+// be in increasing seqno order (out-of-order entries are discarded exactly
+// as Feed does).
+func T(c cond.Condition, updates []event.Update) ([]event.Alert, error) {
+	e, err := New("T", c)
+	if err != nil {
+		return nil, err
+	}
+	var alerts []event.Alert
+	for _, u := range updates {
+		a, fired, err := e.Feed(u)
+		if err != nil {
+			return nil, err
+		}
+		if fired {
+			alerts = append(alerts, a)
+		}
+	}
+	return alerts, nil
+}

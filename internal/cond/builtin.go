@@ -1,0 +1,456 @@
+package cond
+
+import (
+	"fmt"
+
+	"condmon/internal/event"
+)
+
+// Threshold is the paper's condition c1 generalized: "value of Var exceeds
+// Limit" (or falls below it, with Above=false). It is non-historical
+// (degree 1) and trivially conservative — a degree-1 window has no gaps to
+// detect, so the conservative/aggressive distinction is vacuous; we follow
+// the paper and treat non-historical conditions as conservative.
+type Threshold struct {
+	CondName string
+	Var      event.VarName
+	Limit    float64
+	// Above selects "value > Limit" when true and "value < Limit" when
+	// false (e.g. a stock-price floor alarm).
+	Above bool
+}
+
+var _ Condition = Threshold{}
+
+// NewOverheat returns c1 from the paper: "reactor temperature is over 3000
+// degrees" for variable v.
+func NewOverheat(v event.VarName) Threshold {
+	return Threshold{CondName: "c1", Var: v, Limit: 3000, Above: true}
+}
+
+// Name implements Condition.
+func (c Threshold) Name() string { return c.CondName }
+
+// Vars implements Condition.
+func (c Threshold) Vars() []event.VarName { return []event.VarName{c.Var} }
+
+// Degree implements Condition.
+func (c Threshold) Degree(v event.VarName) int {
+	if v == c.Var {
+		return 1
+	}
+	return 0
+}
+
+// Conservative implements Condition.
+func (c Threshold) Conservative() bool { return true }
+
+// Eval implements Condition: c1(H) = (Hx[0].value > Limit).
+func (c Threshold) Eval(h event.HistorySet) (bool, error) {
+	if err := Validate(c, h); err != nil {
+		return false, err
+	}
+	v := h[c.Var].Latest().Value
+	if c.Above {
+		return v > c.Limit, nil
+	}
+	return v < c.Limit, nil
+}
+
+// Rise is the paper's c2/c3 family: "value of Var has risen by more than
+// Delta since the last reading". With Consecutive=false it is c2
+// (aggressive: compares against the last reading *received*); with
+// Consecutive=true it is c3 (conservative: additionally requires
+// Hx[0].seqno = Hx[-1].seqno + 1, i.e. the last reading *taken at the DM*).
+// Degree 2, historical.
+type Rise struct {
+	CondName    string
+	Var         event.VarName
+	Delta       float64
+	Consecutive bool
+}
+
+var _ Condition = Rise{}
+
+// NewRiseAggressive returns c2: "temperature has risen more than 200
+// degrees since last reading received".
+func NewRiseAggressive(v event.VarName) Rise {
+	return Rise{CondName: "c2", Var: v, Delta: 200}
+}
+
+// NewRiseConservative returns c3: "temperature has risen more than 200
+// degrees since last reading taken at the DM".
+func NewRiseConservative(v event.VarName) Rise {
+	return Rise{CondName: "c3", Var: v, Delta: 200, Consecutive: true}
+}
+
+// Name implements Condition.
+func (c Rise) Name() string { return c.CondName }
+
+// Vars implements Condition.
+func (c Rise) Vars() []event.VarName { return []event.VarName{c.Var} }
+
+// Degree implements Condition.
+func (c Rise) Degree(v event.VarName) int {
+	if v == c.Var {
+		return 2
+	}
+	return 0
+}
+
+// Conservative implements Condition.
+func (c Rise) Conservative() bool { return c.Consecutive }
+
+// Eval implements Condition:
+//
+//	c2(H) = Hx[0].value − Hx[−1].value > Delta
+//	c3(H) = c2(H) AND Hx[0].seqno = Hx[−1].seqno + 1
+func (c Rise) Eval(h event.HistorySet) (bool, error) {
+	if err := Validate(c, h); err != nil {
+		return false, err
+	}
+	hx := h[c.Var]
+	cur := hx.Latest()
+	prev, _ := hx.At(-1)
+	if c.Consecutive && cur.SeqNo != prev.SeqNo+1 {
+		return false, nil
+	}
+	return cur.Value-prev.Value > c.Delta, nil
+}
+
+// Drop mirrors Rise in the other direction: the introduction's "sharp
+// price drop" condition, "price dropped more than Frac (e.g. 0.20) between
+// two quotes". Aggressive by default (between two *received* quotes, the
+// exact scenario of the Section 1 confusion example); set Consecutive for
+// the conservative variant.
+type Drop struct {
+	CondName    string
+	Var         event.VarName
+	Frac        float64
+	Consecutive bool
+}
+
+var _ Condition = Drop{}
+
+// NewSharpDrop returns the introduction's condition: a greater than twenty
+// percent drop between two consecutive quotes of v, aggressively triggered
+// (which is what makes the a1/a2 confusion of Section 1 possible).
+func NewSharpDrop(v event.VarName) Drop {
+	return Drop{CondName: "sharp-drop", Var: v, Frac: 0.20}
+}
+
+// Name implements Condition.
+func (c Drop) Name() string { return c.CondName }
+
+// Vars implements Condition.
+func (c Drop) Vars() []event.VarName { return []event.VarName{c.Var} }
+
+// Degree implements Condition.
+func (c Drop) Degree(v event.VarName) int {
+	if v == c.Var {
+		return 2
+	}
+	return 0
+}
+
+// Conservative implements Condition.
+func (c Drop) Conservative() bool { return c.Consecutive }
+
+// Eval implements Condition: (prev − cur) / prev > Frac.
+func (c Drop) Eval(h event.HistorySet) (bool, error) {
+	if err := Validate(c, h); err != nil {
+		return false, err
+	}
+	hx := h[c.Var]
+	cur := hx.Latest()
+	prev, _ := hx.At(-1)
+	if c.Consecutive && cur.SeqNo != prev.SeqNo+1 {
+		return false, nil
+	}
+	if prev.Value == 0 {
+		return false, nil
+	}
+	return (prev.Value-cur.Value)/prev.Value > c.Frac, nil
+}
+
+// AbsDiff is the paper's cm (Section 5, proof of Theorem 10): "the absolute
+// difference between the latest values of X and Y exceeds Limit", e.g. two
+// reactors' temperatures diverging. Degree 1 in each variable.
+type AbsDiff struct {
+	CondName string
+	X, Y     event.VarName
+	Limit    float64
+}
+
+var _ Condition = AbsDiff{}
+
+// NewTempDiff returns cm: |Hx[0].value − Hy[0].value| > 100.
+func NewTempDiff(x, y event.VarName) AbsDiff {
+	return AbsDiff{CondName: "cm", X: x, Y: y, Limit: 100}
+}
+
+// Name implements Condition.
+func (c AbsDiff) Name() string { return c.CondName }
+
+// Vars implements Condition.
+func (c AbsDiff) Vars() []event.VarName {
+	return sortedVars([]event.VarName{c.X, c.Y})
+}
+
+// Degree implements Condition.
+func (c AbsDiff) Degree(v event.VarName) int {
+	if v == c.X || v == c.Y {
+		return 1
+	}
+	return 0
+}
+
+// Conservative implements Condition.
+func (c AbsDiff) Conservative() bool { return true }
+
+// Eval implements Condition.
+func (c AbsDiff) Eval(h event.HistorySet) (bool, error) {
+	if err := Validate(c, h); err != nil {
+		return false, err
+	}
+	d := h[c.X].Latest().Value - h[c.Y].Latest().Value
+	if d < 0 {
+		d = -d
+	}
+	return d > c.Limit, nil
+}
+
+// GreaterThan is Appendix D's condition A/B shape: "X has a higher latest
+// value than Y". Degree 1 in each variable. Two GreaterThan conditions with
+// swapped variables are the interdependent pair of Example 4.
+type GreaterThan struct {
+	CondName string
+	X, Y     event.VarName
+}
+
+var _ Condition = GreaterThan{}
+
+// Name implements Condition.
+func (c GreaterThan) Name() string { return c.CondName }
+
+// Vars implements Condition.
+func (c GreaterThan) Vars() []event.VarName {
+	return sortedVars([]event.VarName{c.X, c.Y})
+}
+
+// Degree implements Condition.
+func (c GreaterThan) Degree(v event.VarName) int {
+	if v == c.X || v == c.Y {
+		return 1
+	}
+	return 0
+}
+
+// Conservative implements Condition.
+func (c GreaterThan) Conservative() bool { return true }
+
+// Eval implements Condition.
+func (c GreaterThan) Eval(h event.HistorySet) (bool, error) {
+	if err := Validate(c, h); err != nil {
+		return false, err
+	}
+	return h[c.X].Latest().Value > h[c.Y].Latest().Value, nil
+}
+
+// PairSet is a scripted two-variable condition satisfied exactly by an
+// enumerated set of (x seqno, y seqno) pairs. It reproduces the proof of
+// Lemma 6, whose counter-example needs a condition "satisfied by only three
+// pairs of updates: (8x,2y), (8x,3y), (8x,4y)". Degree 1 in each variable.
+type PairSet struct {
+	CondName string
+	X, Y     event.VarName
+	// Pairs holds the satisfying (x seqno, y seqno) combinations.
+	Pairs map[[2]int64]bool
+}
+
+var _ Condition = PairSet{}
+
+// NewLemma6Condition returns the exact condition used in the proof of
+// Lemma 6.
+func NewLemma6Condition(x, y event.VarName) PairSet {
+	return PairSet{
+		CondName: "lemma6",
+		X:        x,
+		Y:        y,
+		Pairs: map[[2]int64]bool{
+			{8, 2}: true,
+			{8, 3}: true,
+			{8, 4}: true,
+		},
+	}
+}
+
+// Name implements Condition.
+func (c PairSet) Name() string { return c.CondName }
+
+// Vars implements Condition.
+func (c PairSet) Vars() []event.VarName {
+	return sortedVars([]event.VarName{c.X, c.Y})
+}
+
+// Degree implements Condition.
+func (c PairSet) Degree(v event.VarName) int {
+	if v == c.X || v == c.Y {
+		return 1
+	}
+	return 0
+}
+
+// Conservative implements Condition.
+func (c PairSet) Conservative() bool { return true }
+
+// Eval implements Condition.
+func (c PairSet) Eval(h event.HistorySet) (bool, error) {
+	if err := Validate(c, h); err != nil {
+		return false, err
+	}
+	key := [2]int64{h[c.X].Latest().SeqNo, h[c.Y].Latest().SeqNo}
+	return c.Pairs[key], nil
+}
+
+// Or is the disjunction C = A ∨ B of Appendix D, used to reduce a system
+// with two co-located conditions to a single-condition system
+// (Figure D-8). Its variable set is the union, its degree per variable the
+// maximum, and it is conservative only if both operands are (if either
+// operand is aggressive, the disjunction can fire across a gap).
+type Or struct {
+	CondName string
+	A, B     Condition
+}
+
+var _ Condition = Or{}
+
+// NewOr builds the combined condition with a derived name when none given.
+func NewOr(a, b Condition) Or {
+	return Or{CondName: a.Name() + "∨" + b.Name(), A: a, B: b}
+}
+
+// Name implements Condition.
+func (c Or) Name() string { return c.CondName }
+
+// Vars implements Condition.
+func (c Or) Vars() []event.VarName {
+	set := make(map[event.VarName]struct{})
+	for _, v := range c.A.Vars() {
+		set[v] = struct{}{}
+	}
+	for _, v := range c.B.Vars() {
+		set[v] = struct{}{}
+	}
+	out := make([]event.VarName, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	return sortedVars(out)
+}
+
+// Degree implements Condition.
+func (c Or) Degree(v event.VarName) int {
+	da, db := c.A.Degree(v), c.B.Degree(v)
+	if da > db {
+		return da
+	}
+	return db
+}
+
+// Conservative implements Condition.
+func (c Or) Conservative() bool {
+	return c.A.Conservative() && c.B.Conservative()
+}
+
+// Eval implements Condition. Both operands see the same history set; an
+// operand only inspects the variables and depths it declares.
+func (c Or) Eval(h event.HistorySet) (bool, error) {
+	if err := Validate(c, h); err != nil {
+		return false, err
+	}
+	a, err := c.A.Eval(h)
+	if err != nil {
+		return false, fmt.Errorf("cond: %s: left operand: %w", c.CondName, err)
+	}
+	if a {
+		return true, nil
+	}
+	b, err := c.B.Eval(h)
+	if err != nil {
+		return false, fmt.Errorf("cond: %s: right operand: %w", c.CondName, err)
+	}
+	return b, nil
+}
+
+// Func is an escape hatch for tests and experiments: a condition defined by
+// an arbitrary evaluation function with explicitly declared metadata. The
+// caller is responsible for the declared conservativeness actually holding
+// for Fn; the property checkers will expose a lie.
+type Func struct {
+	CondName       string
+	VarDegrees     map[event.VarName]int
+	IsConservative bool
+	Fn             func(event.HistorySet) bool
+}
+
+var _ Condition = Func{}
+
+// Name implements Condition.
+func (c Func) Name() string { return c.CondName }
+
+// Vars implements Condition.
+func (c Func) Vars() []event.VarName {
+	out := make([]event.VarName, 0, len(c.VarDegrees))
+	for v := range c.VarDegrees {
+		out = append(out, v)
+	}
+	return sortedVars(out)
+}
+
+// Degree implements Condition.
+func (c Func) Degree(v event.VarName) int { return c.VarDegrees[v] }
+
+// Conservative implements Condition.
+func (c Func) Conservative() bool { return c.IsConservative }
+
+// Eval implements Condition.
+func (c Func) Eval(h event.HistorySet) (bool, error) {
+	if err := Validate(c, h); err != nil {
+		return false, err
+	}
+	return c.Fn(h), nil
+}
+
+// Conservativize wraps any condition with the consecutiveness guard,
+// turning an aggressive condition into its conservative variant (the c2 →
+// c3 construction of Section 2 applied generically).
+type Conservativize struct {
+	Inner Condition
+}
+
+var _ Condition = Conservativize{}
+
+// Name implements Condition.
+func (c Conservativize) Name() string { return c.Inner.Name() + "-conservative" }
+
+// Vars implements Condition.
+func (c Conservativize) Vars() []event.VarName { return c.Inner.Vars() }
+
+// Degree implements Condition.
+func (c Conservativize) Degree(v event.VarName) int { return c.Inner.Degree(v) }
+
+// Conservative implements Condition.
+func (c Conservativize) Conservative() bool { return true }
+
+// Eval implements Condition: false whenever any inspected window has a gap,
+// otherwise the inner condition.
+func (c Conservativize) Eval(h event.HistorySet) (bool, error) {
+	if err := Validate(c, h); err != nil {
+		return false, err
+	}
+	if !windowsConsecutive(c, h) {
+		return false, nil
+	}
+	return c.Inner.Eval(h)
+}

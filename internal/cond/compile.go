@@ -1,0 +1,282 @@
+package cond
+
+import (
+	"fmt"
+	"math"
+
+	"condmon/internal/event"
+)
+
+// Expr is a condition compiled from a DSL expression by Parse. Its variable
+// set, per-variable degrees, and triggering classification are derived from
+// the expression itself.
+type Expr struct {
+	name    string
+	src     string
+	root    expr
+	degrees map[event.VarName]int
+	vars    []event.VarName
+	cons    bool
+}
+
+var _ Condition = (*Expr)(nil)
+
+// Parse compiles a DSL expression into a condition. Examples, with their
+// derived classification:
+//
+//	Parse("c1", "x[0] > 3000")                                  // degree 1, non-historical
+//	Parse("c2", "x[0] - x[-1] > 200")                           // degree 2, aggressive
+//	Parse("c3", "x[0] - x[-1] > 200 && consecutive(x)")         // degree 2, conservative
+//	Parse("cm", "abs(x[0] - y[0]) > 100")                       // two variables, degree 1 each
+//
+// A condition is classified conservative when, for every variable of degree
+// greater than one, the top-level conjunction contains a consecutive(v)
+// guard (this is a sound, syntactic under-approximation: such a condition
+// is always false when a window has a gap). Non-historical conditions are
+// trivially conservative.
+func Parse(name, src string) (*Expr, error) {
+	root, err := parseExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &Expr{name: name, src: src, root: root, degrees: make(map[event.VarName]int)}
+	collectDegrees(root, c.degrees)
+	if len(c.degrees) == 0 {
+		return nil, fmt.Errorf("cond: %s: expression references no variables", name)
+	}
+	for v := range c.degrees {
+		c.vars = append(c.vars, v)
+	}
+	c.vars = sortedVars(c.vars)
+	c.cons = analyzeConservative(root, c.degrees)
+	return c, nil
+}
+
+// MustParse is Parse for expressions known to be valid; it panics on error.
+// Intended for package-level condition tables in tests and examples.
+func MustParse(name, src string) *Expr {
+	c, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name implements Condition.
+func (c *Expr) Name() string { return c.name }
+
+// Source returns the DSL text the condition was compiled from.
+func (c *Expr) Source() string { return c.src }
+
+// Vars implements Condition.
+func (c *Expr) Vars() []event.VarName {
+	out := make([]event.VarName, len(c.vars))
+	copy(out, c.vars)
+	return out
+}
+
+// Degree implements Condition.
+func (c *Expr) Degree(v event.VarName) int { return c.degrees[v] }
+
+// Conservative implements Condition.
+func (c *Expr) Conservative() bool { return c.cons }
+
+// Eval implements Condition.
+func (c *Expr) Eval(h event.HistorySet) (bool, error) {
+	if err := Validate(c, h); err != nil {
+		return false, err
+	}
+	v, err := evalExpr(c, c.root, h)
+	if err != nil {
+		return false, err
+	}
+	return v != 0, nil
+}
+
+// collectDegrees records, per variable, 1 + the deepest history offset the
+// expression reaches. A reference v[-2] (or seqno(v,-2)) forces degree 3,
+// matching the paper's note that a condition using only Hx[0] and Hx[-2] is
+// of degree 3 in x.
+func collectDegrees(e expr, degrees map[event.VarName]int) {
+	bump := func(v event.VarName, offset int) {
+		if d := 1 - offset; d > degrees[v] {
+			degrees[v] = d
+		}
+	}
+	switch n := e.(type) {
+	case numLit:
+	case varRef:
+		bump(n.varName, n.offset)
+	case seqnoRef:
+		bump(n.varName, n.offset)
+	case consecutiveRef:
+		// The guard inspects the window at whatever degree the rest of the
+		// expression forces; on its own it needs at least the latest update.
+		bump(n.varName, 0)
+	case call:
+		for _, a := range n.args {
+			collectDegrees(a, degrees)
+		}
+	case binary:
+		collectDegrees(n.l, degrees)
+		collectDegrees(n.r, degrees)
+	case unary:
+		collectDegrees(n.x, degrees)
+	}
+}
+
+// analyzeConservative reports whether every historical variable is guarded
+// by a consecutive(v) conjunct at the top level of the expression.
+func analyzeConservative(root expr, degrees map[event.VarName]int) bool {
+	guarded := make(map[event.VarName]bool)
+	var walk func(e expr)
+	walk = func(e expr) {
+		switch n := e.(type) {
+		case binary:
+			if n.op == tokAnd {
+				walk(n.l)
+				walk(n.r)
+			}
+		case consecutiveRef:
+			guarded[n.varName] = true
+		}
+	}
+	walk(root)
+	for v, d := range degrees {
+		if d > 1 && !guarded[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// evalExpr interprets the expression; booleans are represented as 1 and 0.
+func evalExpr(c *Expr, e expr, h event.HistorySet) (float64, error) {
+	switch n := e.(type) {
+	case numLit:
+		return n.val, nil
+	case varRef:
+		u, err := histAt(c, h, n.varName, n.offset)
+		if err != nil {
+			return 0, err
+		}
+		return u.Value, nil
+	case seqnoRef:
+		u, err := histAt(c, h, n.varName, n.offset)
+		if err != nil {
+			return 0, err
+		}
+		return float64(u.SeqNo), nil
+	case consecutiveRef:
+		hv, ok := h[n.varName]
+		if !ok {
+			return 0, fmt.Errorf("cond: %s: history set missing variable %q", c.name, n.varName)
+		}
+		// The guard checks the window to the condition's degree in v, the
+		// amount of history the CE stores for it.
+		win := hv.Recent
+		if d := c.degrees[n.varName]; len(win) > d {
+			win = win[:d]
+		}
+		trimmed := event.History{Var: n.varName, Recent: win}
+		return boolToNum(trimmed.Consecutive()), nil
+	case call:
+		args := make([]float64, len(n.args))
+		for i, a := range n.args {
+			v, err := evalExpr(c, a, h)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		switch n.fn {
+		case "abs":
+			return math.Abs(args[0]), nil
+		case "min":
+			return math.Min(args[0], args[1]), nil
+		case "max":
+			return math.Max(args[0], args[1]), nil
+		default:
+			return 0, fmt.Errorf("cond: %s: unknown function %q", c.name, n.fn)
+		}
+	case binary:
+		l, err := evalExpr(c, n.l, h)
+		if err != nil {
+			return 0, err
+		}
+		// Short-circuit the boolean operators.
+		switch n.op {
+		case tokAnd:
+			if l == 0 {
+				return 0, nil
+			}
+			return evalExpr(c, n.r, h)
+		case tokOr:
+			if l != 0 {
+				return 1, nil
+			}
+			return evalExpr(c, n.r, h)
+		}
+		r, err := evalExpr(c, n.r, h)
+		if err != nil {
+			return 0, err
+		}
+		switch n.op {
+		case tokPlus:
+			return l + r, nil
+		case tokMinus:
+			return l - r, nil
+		case tokStar:
+			return l * r, nil
+		case tokSlash:
+			if r == 0 {
+				return 0, fmt.Errorf("cond: %s: division by zero", c.name)
+			}
+			return l / r, nil
+		case tokLT:
+			return boolToNum(l < r), nil
+		case tokGT:
+			return boolToNum(l > r), nil
+		case tokLE:
+			return boolToNum(l <= r), nil
+		case tokGE:
+			return boolToNum(l >= r), nil
+		case tokEQ:
+			return boolToNum(l == r), nil
+		case tokNE:
+			return boolToNum(l != r), nil
+		default:
+			return 0, fmt.Errorf("cond: %s: unknown binary operator %v", c.name, n.op)
+		}
+	case unary:
+		x, err := evalExpr(c, n.x, h)
+		if err != nil {
+			return 0, err
+		}
+		if n.op == tokMinus {
+			return -x, nil
+		}
+		return boolToNum(x == 0), nil
+	default:
+		return 0, fmt.Errorf("cond: %s: unknown expression node %T", c.name, e)
+	}
+}
+
+func histAt(c *Expr, h event.HistorySet, v event.VarName, offset int) (event.Update, error) {
+	hv, ok := h[v]
+	if !ok {
+		return event.Update{}, fmt.Errorf("cond: %s: history set missing variable %q", c.name, v)
+	}
+	u, ok := hv.At(offset)
+	if !ok {
+		return event.Update{}, fmt.Errorf("cond: %s: history for %q does not reach offset %d", c.name, v, offset)
+	}
+	return u, nil
+}
+
+func boolToNum(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,153 @@
+// Package cond implements the condition model of Section 2 of the paper.
+//
+// A condition is a boolean expression over the update histories H of its
+// variable set V. Each condition has a degree per variable (how far back
+// into Hx it looks), is historical if any degree exceeds one, and is either
+// conservatively or aggressively triggered: a conservative condition
+// evaluates to false whenever the sequence numbers in a relevant history
+// window are not consecutive (i.e. it detects that an update was lost),
+// while an aggressive condition silently substitutes older received values.
+//
+// The package provides the built-in conditions used throughout the paper
+// (c1, c2, c3, cm and friends) plus a small text DSL — see Parse — that
+// compiles expressions such as
+//
+//	x[0] - x[-1] > 200 && consecutive(x)
+//
+// into Condition values with automatically derived variable sets, degrees,
+// and triggering classification.
+package cond
+
+import (
+	"fmt"
+	"sort"
+
+	"condmon/internal/event"
+)
+
+// Condition is a monitorable condition c. Implementations must be pure:
+// Eval may not retain or mutate the history set, and must depend only on
+// it. This is what makes the paper's analysis (and our property checkers)
+// possible; conditions needing extra state, infinite degree, or real time
+// are out of scope exactly as in Section 2.
+type Condition interface {
+	// Name identifies the condition; it becomes Alert.Cond.
+	Name() string
+	// Vars returns the variable set V, sorted by name.
+	Vars() []event.VarName
+	// Degree returns the condition's degree with respect to v: the minimum
+	// history length needed to evaluate it. Degree of a variable outside V
+	// is 0.
+	Degree(v event.VarName) int
+	// Conservative reports whether the condition is conservatively
+	// triggered: guaranteed false whenever any history window it inspects
+	// has non-consecutive sequence numbers.
+	Conservative() bool
+	// Eval evaluates the condition on a history set. Every variable in V
+	// must be present with a full window of at least Degree(v) updates;
+	// Eval returns an error otherwise.
+	Eval(h event.HistorySet) (bool, error)
+}
+
+// Historical reports whether c is a historical condition: of degree > 1
+// with respect to at least one of its variables (Section 2).
+func Historical(c Condition) bool {
+	for _, v := range c.Vars() {
+		if c.Degree(v) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxDegree returns the largest per-variable degree of c.
+func MaxDegree(c Condition) int {
+	max := 0
+	for _, v := range c.Vars() {
+		if d := c.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Validate checks that a history set is sufficient to evaluate c and
+// returns a descriptive error if not. Eval implementations use it as their
+// first step.
+func Validate(c Condition, h event.HistorySet) error {
+	for _, v := range c.Vars() {
+		hv, ok := h[v]
+		if !ok {
+			return fmt.Errorf("cond: %s: history set missing variable %q", c.Name(), v)
+		}
+		if hv.Degree() < c.Degree(v) {
+			return fmt.Errorf("cond: %s: history for %q has %d updates, need %d",
+				c.Name(), v, hv.Degree(), c.Degree(v))
+		}
+	}
+	return nil
+}
+
+// Scenario classifies a (links, condition) combination into the rows of
+// Tables 1–3.
+type Scenario int
+
+const (
+	// ScenarioLossless: front links deliver every update (any condition).
+	ScenarioLossless Scenario = iota + 1
+	// ScenarioNonHistorical: lossy front links, non-historical condition.
+	ScenarioNonHistorical
+	// ScenarioConservative: lossy front links, historical conservative.
+	ScenarioConservative
+	// ScenarioAggressive: lossy front links, historical aggressive.
+	ScenarioAggressive
+)
+
+// String names the scenario as in the tables' row labels.
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioLossless:
+		return "Lossless"
+	case ScenarioNonHistorical:
+		return "Lossy Non-historical"
+	case ScenarioConservative:
+		return "Lossy Historical Conservative"
+	case ScenarioAggressive:
+		return "Lossy Historical Aggressive"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// ClassifyScenario returns the table row for a condition under the given
+// link assumption.
+func ClassifyScenario(c Condition, lossless bool) Scenario {
+	switch {
+	case lossless:
+		return ScenarioLossless
+	case !Historical(c):
+		return ScenarioNonHistorical
+	case c.Conservative():
+		return ScenarioConservative
+	default:
+		return ScenarioAggressive
+	}
+}
+
+// sortedVars sorts a variable slice in place and returns it.
+func sortedVars(vs []event.VarName) []event.VarName {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// windowsConsecutive reports whether, for every variable in vars with
+// degree > 1, the history window is consecutive. It is the shared guard of
+// all conservative built-ins.
+func windowsConsecutive(c Condition, h event.HistorySet) bool {
+	for _, v := range c.Vars() {
+		if c.Degree(v) > 1 && !h[v].Consecutive() {
+			return false
+		}
+	}
+	return true
+}

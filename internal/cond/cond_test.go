@@ -1,0 +1,302 @@
+package cond
+
+import (
+	"testing"
+
+	"condmon/internal/event"
+)
+
+// histOf builds a history with the given seqno/value pairs, most recent
+// first.
+func histOf(v event.VarName, pairs ...[2]float64) event.History {
+	h := event.History{Var: v}
+	for _, p := range pairs {
+		h.Recent = append(h.Recent, event.U(v, int64(p[0]), p[1]))
+	}
+	return h
+}
+
+func hs(hists ...event.History) event.HistorySet {
+	out := make(event.HistorySet, len(hists))
+	for _, h := range hists {
+		out[h.Var] = h
+	}
+	return out
+}
+
+func mustEval(t *testing.T, c Condition, h event.HistorySet) bool {
+	t.Helper()
+	got, err := c.Eval(h)
+	if err != nil {
+		t.Fatalf("%s.Eval: %v", c.Name(), err)
+	}
+	return got
+}
+
+func TestThresholdC1(t *testing.T) {
+	c1 := NewOverheat("x")
+	if c1.Name() != "c1" || Historical(c1) || !c1.Conservative() {
+		t.Errorf("c1 metadata wrong: name=%s historical=%v conservative=%v",
+			c1.Name(), Historical(c1), c1.Conservative())
+	}
+	if d := c1.Degree("x"); d != 1 {
+		t.Errorf("c1 degree(x) = %d, want 1", d)
+	}
+	if d := c1.Degree("y"); d != 0 {
+		t.Errorf("c1 degree(y) = %d, want 0", d)
+	}
+
+	tests := []struct {
+		value float64
+		want  bool
+	}{
+		{2900, false},
+		{3000, false},
+		{3100, true},
+	}
+	for _, tt := range tests {
+		got := mustEval(t, c1, hs(histOf("x", [2]float64{1, tt.value})))
+		if got != tt.want {
+			t.Errorf("c1(%g) = %v, want %v", tt.value, got, tt.want)
+		}
+	}
+}
+
+func TestThresholdBelow(t *testing.T) {
+	floor := Threshold{CondName: "floor", Var: "s", Limit: 50}
+	if mustEval(t, floor, hs(histOf("s", [2]float64{1, 60}))) {
+		t.Error("floor should not trigger above the limit")
+	}
+	if !mustEval(t, floor, hs(histOf("s", [2]float64{1, 40}))) {
+		t.Error("floor should trigger below the limit")
+	}
+}
+
+func TestRiseC2Aggressive(t *testing.T) {
+	c2 := NewRiseAggressive("x")
+	if c2.Name() != "c2" || !Historical(c2) || c2.Conservative() {
+		t.Errorf("c2 metadata wrong: historical=%v conservative=%v", Historical(c2), c2.Conservative())
+	}
+	// Consecutive window 6,7 with a 300-degree rise: triggers.
+	if !mustEval(t, c2, hs(histOf("x", [2]float64{7, 700}, [2]float64{6, 400}))) {
+		t.Error("c2 should trigger on a 300-degree rise")
+	}
+	// Gap in the window (5 then 7): c2 does not care, still triggers.
+	if !mustEval(t, c2, hs(histOf("x", [2]float64{7, 700}, [2]float64{5, 400}))) {
+		t.Error("c2 is aggressive and should trigger across a gap")
+	}
+	// Rise of exactly Delta does not trigger (strict inequality).
+	if mustEval(t, c2, hs(histOf("x", [2]float64{7, 600}, [2]float64{6, 400}))) {
+		t.Error("c2 should not trigger on a rise of exactly 200")
+	}
+}
+
+func TestRiseC3Conservative(t *testing.T) {
+	c3 := NewRiseConservative("x")
+	if !c3.Conservative() || !Historical(c3) {
+		t.Error("c3 should be historical and conservative")
+	}
+	// Same rise, consecutive: triggers.
+	if !mustEval(t, c3, hs(histOf("x", [2]float64{7, 700}, [2]float64{6, 400}))) {
+		t.Error("c3 should trigger on a consecutive 300-degree rise")
+	}
+	// Same rise across a gap: conservative, must be false.
+	if mustEval(t, c3, hs(histOf("x", [2]float64{7, 700}, [2]float64{5, 400}))) {
+		t.Error("c3 must be false when an update was missed")
+	}
+}
+
+func TestSharpDrop(t *testing.T) {
+	// The Section 1 stock scenario: quotes 100, 50 → >20% drop triggers;
+	// quotes 100, 52 (update 2 lost) also triggers aggressively.
+	d := NewSharpDrop("s")
+	if !mustEval(t, d, hs(histOf("s", [2]float64{2, 50}, [2]float64{1, 100}))) {
+		t.Error("drop 100→50 should trigger")
+	}
+	if !mustEval(t, d, hs(histOf("s", [2]float64{3, 52}, [2]float64{1, 100}))) {
+		t.Error("aggressive drop 100→52 across a gap should trigger")
+	}
+	if mustEval(t, d, hs(histOf("s", [2]float64{2, 90}, [2]float64{1, 100}))) {
+		t.Error("10%% drop should not trigger")
+	}
+	cons := Drop{CondName: "drop-cons", Var: "s", Frac: 0.20, Consecutive: true}
+	if mustEval(t, cons, hs(histOf("s", [2]float64{3, 52}, [2]float64{1, 100}))) {
+		t.Error("conservative drop must not trigger across a gap")
+	}
+	// Division-by-zero guard.
+	if mustEval(t, d, hs(histOf("s", [2]float64{2, 50}, [2]float64{1, 0}))) {
+		t.Error("drop from zero should not trigger")
+	}
+}
+
+func TestAbsDiffCm(t *testing.T) {
+	cm := NewTempDiff("x", "y")
+	if got := cm.Vars(); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("cm.Vars() = %v, want [x y]", got)
+	}
+	if Historical(cm) {
+		t.Error("cm is degree 1 per variable and must be non-historical")
+	}
+	h := hs(histOf("x", [2]float64{2, 1200}), histOf("y", [2]float64{1, 1050}))
+	if !mustEval(t, cm, h) {
+		t.Error("cm(|1200−1050| > 100) should trigger")
+	}
+	h = hs(histOf("x", [2]float64{1, 1000}), histOf("y", [2]float64{1, 1050}))
+	if mustEval(t, cm, h) {
+		t.Error("cm(|1000−1050| > 100) should not trigger")
+	}
+	// Symmetric.
+	h = hs(histOf("x", [2]float64{1, 1000}), histOf("y", [2]float64{2, 1150}))
+	if !mustEval(t, cm, h) {
+		t.Error("cm should be symmetric in its variables")
+	}
+}
+
+func TestGreaterThan(t *testing.T) {
+	a := GreaterThan{CondName: "A", X: "x", Y: "y"}
+	h := hs(histOf("x", [2]float64{2, 2100}), histOf("y", [2]float64{1, 2000}))
+	if !mustEval(t, a, h) {
+		t.Error("A(x=2100, y=2000) should trigger")
+	}
+	h = hs(histOf("x", [2]float64{1, 2000}), histOf("y", [2]float64{1, 2000}))
+	if mustEval(t, a, h) {
+		t.Error("A(equal temperatures) should not trigger")
+	}
+}
+
+func TestPairSetLemma6(t *testing.T) {
+	c := NewLemma6Condition("x", "y")
+	tests := []struct {
+		x, y int64
+		want bool
+	}{
+		{8, 2, true},
+		{8, 3, true},
+		{8, 4, true},
+		{8, 5, false},
+		{7, 2, false},
+		{9, 3, false},
+	}
+	for _, tt := range tests {
+		h := hs(histOf("x", [2]float64{float64(tt.x), 0}), histOf("y", [2]float64{float64(tt.y), 0}))
+		if got := mustEval(t, c, h); got != tt.want {
+			t.Errorf("lemma6(%dx,%dy) = %v, want %v", tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestOrCombination(t *testing.T) {
+	a := GreaterThan{CondName: "A", X: "x", Y: "y"}
+	b := GreaterThan{CondName: "B", X: "y", Y: "x"}
+	c := NewOr(a, b)
+	if got := c.Name(); got != "A∨B" {
+		t.Errorf("Or name = %q, want A∨B", got)
+	}
+	if got := c.Vars(); len(got) != 2 {
+		t.Errorf("Or vars = %v, want two", got)
+	}
+	if !c.Conservative() {
+		t.Error("Or of two conservative conditions should be conservative")
+	}
+	h := hs(histOf("x", [2]float64{1, 2100}), histOf("y", [2]float64{1, 2000}))
+	if !mustEval(t, c, h) {
+		t.Error("A∨B should trigger when A does")
+	}
+	h = hs(histOf("x", [2]float64{1, 2000}), histOf("y", [2]float64{1, 2100}))
+	if !mustEval(t, c, h) {
+		t.Error("A∨B should trigger when B does")
+	}
+	h = hs(histOf("x", [2]float64{1, 2000}), histOf("y", [2]float64{1, 2000}))
+	if mustEval(t, c, h) {
+		t.Error("A∨B should not trigger when neither does")
+	}
+}
+
+func TestOrAggressiveInfects(t *testing.T) {
+	c := NewOr(NewOverheat("x"), NewRiseAggressive("x"))
+	if c.Conservative() {
+		t.Error("Or with an aggressive operand must be aggressive")
+	}
+	if got := c.Degree("x"); got != 2 {
+		t.Errorf("Or degree = %d, want max of operands (2)", got)
+	}
+}
+
+func TestConservativizeWrapper(t *testing.T) {
+	c := Conservativize{Inner: NewRiseAggressive("x")}
+	if !c.Conservative() {
+		t.Error("Conservativize must report conservative")
+	}
+	// Behaves like c3: false across gaps, same as c2 otherwise.
+	if mustEval(t, c, hs(histOf("x", [2]float64{7, 700}, [2]float64{5, 400}))) {
+		t.Error("conservativized c2 must be false across a gap")
+	}
+	if !mustEval(t, c, hs(histOf("x", [2]float64{7, 700}, [2]float64{6, 400}))) {
+		t.Error("conservativized c2 should trigger on consecutive rise")
+	}
+}
+
+func TestFuncCondition(t *testing.T) {
+	c := Func{
+		CondName:       "even",
+		VarDegrees:     map[event.VarName]int{"x": 1},
+		IsConservative: true,
+		Fn: func(h event.HistorySet) bool {
+			return h["x"].Latest().SeqNo%2 == 0
+		},
+	}
+	if !mustEval(t, c, hs(histOf("x", [2]float64{4, 0}))) {
+		t.Error("even(4) should trigger")
+	}
+	if mustEval(t, c, hs(histOf("x", [2]float64{3, 0}))) {
+		t.Error("even(3) should not trigger")
+	}
+}
+
+func TestEvalValidation(t *testing.T) {
+	c2 := NewRiseAggressive("x")
+	if _, err := c2.Eval(hs()); err == nil {
+		t.Error("Eval with missing variable should fail")
+	}
+	if _, err := c2.Eval(hs(histOf("x", [2]float64{1, 0}))); err == nil {
+		t.Error("Eval with an under-filled window should fail")
+	}
+}
+
+func TestClassifyScenario(t *testing.T) {
+	tests := []struct {
+		name     string
+		cond     Condition
+		lossless bool
+		want     Scenario
+	}{
+		{name: "lossless any", cond: NewRiseAggressive("x"), lossless: true, want: ScenarioLossless},
+		{name: "lossy non-historical", cond: NewOverheat("x"), want: ScenarioNonHistorical},
+		{name: "lossy conservative", cond: NewRiseConservative("x"), want: ScenarioConservative},
+		{name: "lossy aggressive", cond: NewRiseAggressive("x"), want: ScenarioAggressive},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ClassifyScenario(tt.cond, tt.lossless); got != tt.want {
+				t.Errorf("ClassifyScenario = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	for _, s := range []Scenario{ScenarioLossless, ScenarioNonHistorical, ScenarioConservative, ScenarioAggressive} {
+		if s.String() == "" {
+			t.Errorf("Scenario(%d) has empty name", s)
+		}
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	if got := MaxDegree(NewTempDiff("x", "y")); got != 1 {
+		t.Errorf("MaxDegree(cm) = %d, want 1", got)
+	}
+	if got := MaxDegree(NewRiseAggressive("x")); got != 2 {
+		t.Errorf("MaxDegree(c2) = %d, want 2", got)
+	}
+}

@@ -1,0 +1,284 @@
+package cond
+
+import (
+	"strings"
+	"testing"
+
+	"condmon/internal/event"
+)
+
+func TestParseC1Equivalent(t *testing.T) {
+	c, err := Parse("c1", "x[0] > 3000")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := c.Vars(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("Vars = %v, want [x]", got)
+	}
+	if got := c.Degree("x"); got != 1 {
+		t.Errorf("Degree(x) = %d, want 1", got)
+	}
+	if Historical(c) {
+		t.Error("x[0] > 3000 must be non-historical")
+	}
+	if !c.Conservative() {
+		t.Error("non-historical DSL conditions must classify conservative")
+	}
+	// Agrees with the built-in on a sweep of values.
+	builtin := NewOverheat("x")
+	for _, v := range []float64{2900, 3000, 3000.5, 3200} {
+		h := hs(histOf("x", [2]float64{1, v}))
+		if mustEval(t, c, h) != mustEval(t, builtin, h) {
+			t.Errorf("DSL c1 disagrees with built-in at value %g", v)
+		}
+	}
+}
+
+func TestParseC2C3Equivalents(t *testing.T) {
+	c2, err := Parse("c2", "x[0] - x[-1] > 200")
+	if err != nil {
+		t.Fatalf("Parse c2: %v", err)
+	}
+	if c2.Conservative() || !Historical(c2) || c2.Degree("x") != 2 {
+		t.Errorf("c2 classification wrong: cons=%v hist=%v deg=%d",
+			c2.Conservative(), Historical(c2), c2.Degree("x"))
+	}
+
+	c3, err := Parse("c3", "x[0] - x[-1] > 200 && consecutive(x)")
+	if err != nil {
+		t.Fatalf("Parse c3: %v", err)
+	}
+	if !c3.Conservative() {
+		t.Error("c3 with consecutive(x) guard must classify conservative")
+	}
+
+	// Both agree with the built-ins on a grid of windows.
+	windows := []event.HistorySet{
+		hs(histOf("x", [2]float64{7, 700}, [2]float64{6, 400})),
+		hs(histOf("x", [2]float64{7, 700}, [2]float64{5, 400})),
+		hs(histOf("x", [2]float64{7, 500}, [2]float64{6, 400})),
+		hs(histOf("x", [2]float64{3, 720}, [2]float64{1, 400})),
+	}
+	bc2, bc3 := NewRiseAggressive("x"), NewRiseConservative("x")
+	for i, h := range windows {
+		if mustEval(t, c2, h) != mustEval(t, bc2, h) {
+			t.Errorf("window %d: DSL c2 disagrees with built-in", i)
+		}
+		if mustEval(t, c3, h) != mustEval(t, bc3, h) {
+			t.Errorf("window %d: DSL c3 disagrees with built-in", i)
+		}
+	}
+}
+
+func TestParseMultiVariable(t *testing.T) {
+	cm, err := Parse("cm", "abs(x[0] - y[0]) > 100")
+	if err != nil {
+		t.Fatalf("Parse cm: %v", err)
+	}
+	if got := cm.Vars(); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("Vars = %v, want [x y]", got)
+	}
+	builtin := NewTempDiff("x", "y")
+	cases := [][2]float64{{1200, 1050}, {1000, 1050}, {1000, 1150}, {900, 1050}}
+	for _, c := range cases {
+		h := hs(histOf("x", [2]float64{1, c[0]}), histOf("y", [2]float64{1, c[1]}))
+		if mustEval(t, cm, h) != mustEval(t, builtin, h) {
+			t.Errorf("DSL cm disagrees with built-in at %v", c)
+		}
+	}
+}
+
+func TestParseDegreeThreeSkippingOffsets(t *testing.T) {
+	// "a condition that uses only Hx[0] and Hx[−2] is of degree 3 to x".
+	c, err := Parse("deg3", "x[0] - x[-2] > 10")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := c.Degree("x"); got != 3 {
+		t.Errorf("Degree(x) = %d, want 3", got)
+	}
+}
+
+func TestParseSeqnoFunction(t *testing.T) {
+	c, err := Parse("manual-consecutive", "x[0] - x[-1] > 200 && seqno(x, 0) == seqno(x, -1) + 1")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// Semantically conservative, but the syntactic analysis only recognizes
+	// the consecutive() guard — documents the sound under-approximation.
+	if c.Conservative() {
+		t.Error("seqno-based guard is not recognized by the syntactic analysis")
+	}
+	// Behaves exactly like c3 nonetheless.
+	bc3 := NewRiseConservative("x")
+	windows := []event.HistorySet{
+		hs(histOf("x", [2]float64{7, 700}, [2]float64{6, 400})),
+		hs(histOf("x", [2]float64{7, 700}, [2]float64{5, 400})),
+	}
+	for i, h := range windows {
+		if mustEval(t, c, h) != mustEval(t, bc3, h) {
+			t.Errorf("window %d: seqno guard disagrees with c3", i)
+		}
+	}
+}
+
+func TestParseOperatorsAndPrecedence(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		h    event.HistorySet
+		want bool
+	}{
+		{
+			name: "mul before add",
+			src:  "x[0] + 2 * 3 == 10",
+			h:    hs(histOf("x", [2]float64{1, 4})),
+			want: true,
+		},
+		{
+			name: "parens",
+			src:  "(x[0] + 2) * 3 == 18",
+			h:    hs(histOf("x", [2]float64{1, 4})),
+			want: true,
+		},
+		{
+			name: "unary minus",
+			src:  "-x[0] < 0",
+			h:    hs(histOf("x", [2]float64{1, 4})),
+			want: true,
+		},
+		{
+			name: "not",
+			src:  "!(x[0] > 5)",
+			h:    hs(histOf("x", [2]float64{1, 4})),
+			want: true,
+		},
+		{
+			name: "and or precedence",
+			src:  "x[0] > 5 && x[0] > 6 || x[0] > 3",
+			h:    hs(histOf("x", [2]float64{1, 4})),
+			want: true,
+		},
+		{
+			name: "division",
+			src:  "x[0] / 2 >= 2",
+			h:    hs(histOf("x", [2]float64{1, 4})),
+			want: true,
+		},
+		{
+			name: "min max",
+			src:  "min(x[0], 10) == 4 && max(x[0], 10) == 10",
+			h:    hs(histOf("x", [2]float64{1, 4})),
+			want: true,
+		},
+		{
+			name: "ne le ge",
+			src:  "x[0] != 5 && x[0] <= 4 && x[0] >= 4",
+			h:    hs(histOf("x", [2]float64{1, 4})),
+			want: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c, err := Parse(tt.name, tt.src)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.src, err)
+			}
+			if got := mustEval(t, c, tt.h); got != tt.want {
+				t.Errorf("eval(%q) = %v, want %v", tt.src, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		src     string
+		wantSub string
+	}{
+		{name: "empty", src: "", wantSub: "expected"},
+		{name: "numeric result", src: "x[0] + 1", wantSub: "boolean"},
+		{name: "bare identifier", src: "x > 3", wantSub: "bare identifier"},
+		{name: "positive offset", src: "x[1] > 3", wantSub: "history index"},
+		{name: "fractional offset", src: "x[0.5] > 3", wantSub: "integer"},
+		{name: "single equals", src: "x[0] = 3", wantSub: "'=='"},
+		{name: "single amp", src: "x[0] > 1 & x[0] > 2", wantSub: "'&&'"},
+		{name: "single pipe", src: "x[0] > 1 | x[0] > 2", wantSub: "'||'"},
+		{name: "unknown function", src: "sqrt(x[0]) > 2", wantSub: "unknown function"},
+		{name: "abs arity", src: "abs(x[0], x[0]) > 2", wantSub: "argument"},
+		{name: "min arity", src: "min(x[0]) > 2", wantSub: "argument"},
+		{name: "unclosed paren", src: "(x[0] > 2", wantSub: "expected ')'"},
+		{name: "trailing garbage", src: "x[0] > 2 )", wantSub: "unexpected"},
+		{name: "and type error", src: "x[0] && x[0] > 1", wantSub: "boolean"},
+		{name: "comparison type error", src: "(x[0] > 1) > 2", wantSub: "numeric"},
+		{name: "double dot", src: "x[0] > 3.4.5", wantSub: "decimal"},
+		{name: "bad character", src: "x[0] > #3", wantSub: "unexpected character"},
+		{name: "no variables", src: "1 > 0", wantSub: "no variables"},
+		{name: "not on bare number", src: "!3", wantSub: "boolean"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.name, tt.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tt.src, tt.wantSub)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("Parse(%q) error = %q, want it to contain %q", tt.src, err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseDivisionByZeroAtEval(t *testing.T) {
+	c, err := Parse("div", "x[0] / x[-1] > 2")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	h := hs(histOf("x", [2]float64{2, 10}, [2]float64{1, 0}))
+	if _, err := c.Eval(h); err == nil {
+		t.Error("division by zero should surface as an evaluation error")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse of an invalid expression should panic")
+		}
+	}()
+	MustParse("bad", "x[0] +")
+}
+
+func TestExprSourceAccessor(t *testing.T) {
+	src := "x[0] > 3000"
+	c := MustParse("c1", src)
+	if c.Source() != src {
+		t.Errorf("Source() = %q, want %q", c.Source(), src)
+	}
+}
+
+func TestConsecutiveGuardUsesConditionDegree(t *testing.T) {
+	// The guard must check the window only to the condition's degree: if
+	// the CE hands a deeper history than needed, extra old entries must not
+	// affect the verdict.
+	c := MustParse("g", "x[0] - x[-1] > 0 && consecutive(x)")
+	h := hs(event.History{Var: "x", Recent: []event.Update{
+		event.U("x", 7, 10),
+		event.U("x", 6, 5),
+		event.U("x", 3, 1), // gap below the condition's degree-2 window
+	}})
+	if !mustEval(t, c, h) {
+		t.Error("gap below the condition's window must not trip the guard")
+	}
+}
+
+func TestParseWhitespaceAndIdentifiers(t *testing.T) {
+	c, err := Parse("w", "\t temp_1[0]\n > 3000 ")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := c.Vars(); len(got) != 1 || got[0] != "temp_1" {
+		t.Errorf("Vars = %v, want [temp_1]", got)
+	}
+}

@@ -1,0 +1,61 @@
+package cond_test
+
+import (
+	"fmt"
+
+	"condmon/internal/cond"
+	"condmon/internal/event"
+)
+
+// ExampleParse shows how classification is derived from the expression.
+func ExampleParse() {
+	c3, err := cond.Parse("c3", "x[0] - x[-1] > 200 && consecutive(x)")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("vars:", c3.Vars())
+	fmt.Println("degree in x:", c3.Degree("x"))
+	fmt.Println("historical:", cond.Historical(c3))
+	fmt.Println("conservative:", c3.Conservative())
+	// Output:
+	// vars: [x]
+	// degree in x: 2
+	// historical: true
+	// conservative: true
+}
+
+// ExampleExpr_Format shows canonical re-rendering of a parsed condition.
+func ExampleExpr_Format() {
+	c, err := cond.Parse("c", "(x[0]+2)*3==18||consecutive(x)")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(c.Format())
+	// Output:
+	// (x[0] + 2) * 3 == 18 || consecutive(x)
+}
+
+// ExampleExpr_Eval evaluates a compiled condition on a history window.
+func ExampleExpr_Eval() {
+	c2, err := cond.Parse("c2", "x[0] - x[-1] > 200")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	h := event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{
+			event.U("x", 7, 700), // Hx[0]
+			event.U("x", 6, 400), // Hx[-1]
+		}},
+	}
+	fired, err := c2.Eval(h)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("fired:", fired)
+	// Output:
+	// fired: true
+}

@@ -1,0 +1,113 @@
+package cond
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders the compiled expression back to canonical DSL source:
+// minimal parentheses, single spaces around binary operators. The output
+// re-parses to an expression with identical evaluation behavior, variable
+// set, degrees, and classification (see TestFormatRoundTrip). Tools use it
+// to display normalized conditions in alerts and reports.
+func (c *Expr) Format() string {
+	return formatExpr(c.root, precLowest)
+}
+
+// Operator precedence levels, loosest to tightest, mirroring the parser.
+const (
+	precLowest = iota
+	precOr
+	precAnd
+	precNot
+	precCmp
+	precSum
+	precProd
+	precNeg
+)
+
+func opPrecedence(op tokenKind) int {
+	switch op {
+	case tokOr:
+		return precOr
+	case tokAnd:
+		return precAnd
+	case tokLT, tokGT, tokLE, tokGE, tokEQ, tokNE:
+		return precCmp
+	case tokPlus, tokMinus:
+		return precSum
+	case tokStar, tokSlash:
+		return precProd
+	default:
+		return precLowest
+	}
+}
+
+func opToken(op tokenKind) string {
+	switch op {
+	case tokOr:
+		return "||"
+	case tokAnd:
+		return "&&"
+	case tokLT:
+		return "<"
+	case tokGT:
+		return ">"
+	case tokLE:
+		return "<="
+	case tokGE:
+		return ">="
+	case tokEQ:
+		return "=="
+	case tokNE:
+		return "!="
+	case tokPlus:
+		return "+"
+	case tokMinus:
+		return "-"
+	case tokStar:
+		return "*"
+	case tokSlash:
+		return "/"
+	default:
+		return "?"
+	}
+}
+
+// formatExpr renders e, parenthesizing when its precedence is below the
+// context's.
+func formatExpr(e expr, ctx int) string {
+	switch n := e.(type) {
+	case numLit:
+		return strconv.FormatFloat(n.val, 'g', -1, 64)
+	case varRef:
+		return fmt.Sprintf("%s[%d]", n.varName, n.offset)
+	case seqnoRef:
+		return fmt.Sprintf("seqno(%s, %d)", n.varName, n.offset)
+	case consecutiveRef:
+		return fmt.Sprintf("consecutive(%s)", n.varName)
+	case call:
+		args := make([]string, len(n.args))
+		for i, a := range n.args {
+			args[i] = formatExpr(a, precLowest)
+		}
+		return fmt.Sprintf("%s(%s)", n.fn, strings.Join(args, ", "))
+	case binary:
+		p := opPrecedence(n.op)
+		// Binary operators associate left: the right operand needs parens
+		// at equal precedence (a - (b - c)), the left does not.
+		s := formatExpr(n.l, p) + " " + opToken(n.op) + " " + formatExpr(n.r, p+1)
+		if p < ctx {
+			return "(" + s + ")"
+		}
+		return s
+	case unary:
+		if n.op == tokMinus {
+			return "-" + formatExpr(n.x, precNeg)
+		}
+		return "!" + formatExpr(n.x, precNot)
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}

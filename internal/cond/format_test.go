@@ -1,0 +1,98 @@
+package cond
+
+import (
+	"math/rand"
+	"testing"
+
+	"condmon/internal/event"
+)
+
+func TestFormatCanonicalOutput(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"x[0]>3000", "x[0] > 3000"},
+		{"x[0] - x[-1] > 200 && consecutive(x)", "x[0] - x[-1] > 200 && consecutive(x)"},
+		{"abs(x[0] - y[0]) > 100", "abs(x[0] - y[0]) > 100"},
+		{"(x[0] + 2) * 3 == 18", "(x[0] + 2) * 3 == 18"},
+		{"x[0] + 2 * 3 == 10", "x[0] + 2 * 3 == 10"},
+		{"!(x[0] > 5)", "!x[0] > 5"}, // '!' binds looser than comparison in this DSL
+		{"!(x[0] > 1 && x[-1] > 2)", "!(x[0] > 1 && x[-1] > 2)"},
+		{"seqno(x, 0) == seqno(x, -1) + 1", "seqno(x, 0) == seqno(x, -1) + 1"},
+		{"min(x[0], max(y[0], 1)) >= 0", "min(x[0], max(y[0], 1)) >= 0"},
+		{"-x[0] < 0", "-x[0] < 0"},
+		{"x[0] - (x[-1] - x[-2]) > 0", "x[0] - (x[-1] - x[-2]) > 0"},
+		{"x[0] > 1 && x[0] > 2 || x[0] > 3", "x[0] > 1 && x[0] > 2 || x[0] > 3"},
+		{"x[0] > 1 && (x[0] > 2 || x[0] > 3)", "x[0] > 1 && (x[0] > 2 || x[0] > 3)"},
+	}
+	for _, tt := range tests {
+		c, err := Parse("fmt", tt.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.src, err)
+			continue
+		}
+		if got := c.Format(); got != tt.want {
+			t.Errorf("Format(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	// Formatting then re-parsing must preserve evaluation behavior,
+	// metadata, and be idempotent.
+	sources := []string{
+		"x[0] > 3000",
+		"x[0] - x[-1] > 200 && consecutive(x)",
+		"x[0] - x[-2] > 200",
+		"abs(x[0] - y[0]) > 100 || y[0] / 2 >= x[0]",
+		"!(x[0] > 1 && x[-1] > 2) || seqno(x, 0) != 5",
+		"min(x[0], y[0]) == max(x[0], -y[0])",
+		"(x[0] - 1) * (x[0] + 1) > x[0] * x[0] - 2",
+	}
+	r := rand.New(rand.NewSource(61))
+	for _, src := range sources {
+		orig, err := Parse("orig", src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		formatted := orig.Format()
+		re, err := Parse("re", formatted)
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", formatted, err)
+		}
+		if re.Format() != formatted {
+			t.Errorf("Format not idempotent: %q → %q", formatted, re.Format())
+		}
+		if re.Conservative() != orig.Conservative() || Historical(re) != Historical(orig) {
+			t.Errorf("%q: classification changed after round trip", src)
+		}
+		for _, v := range orig.Vars() {
+			if re.Degree(v) != orig.Degree(v) {
+				t.Errorf("%q: degree of %s changed after round trip", src, v)
+			}
+		}
+		// Behavioral equivalence on random histories.
+		for trial := 0; trial < 50; trial++ {
+			h := make(event.HistorySet)
+			for _, v := range orig.Vars() {
+				d := orig.Degree(v)
+				hist := event.History{Var: v}
+				seqNo := int64(10)
+				for i := 0; i < d; i++ {
+					hist.Recent = append(hist.Recent, event.U(v, seqNo, float64(r.Intn(21)-10)))
+					seqNo -= int64(1 + r.Intn(2))
+				}
+				h[v] = hist
+			}
+			got, gotErr := re.Eval(h)
+			want, wantErr := orig.Eval(h)
+			if (gotErr != nil) != (wantErr != nil) {
+				t.Fatalf("%q: eval error mismatch: %v vs %v", src, gotErr, wantErr)
+			}
+			if gotErr == nil && got != want {
+				t.Fatalf("%q: behavior changed after round trip on %v", src, h)
+			}
+		}
+	}
+}

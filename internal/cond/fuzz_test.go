@@ -1,0 +1,64 @@
+package cond
+
+import (
+	"testing"
+
+	"condmon/internal/event"
+)
+
+// FuzzParse ensures the DSL front end never panics and that every
+// expression it accepts can actually be evaluated on a sufficient history
+// set without internal errors (other than the documented runtime division
+// by zero).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"x[0] > 3000",
+		"x[0] - x[-1] > 200 && consecutive(x)",
+		"abs(x[0] - y[0]) > 100",
+		"seqno(x, 0) == seqno(x, -1) + 1",
+		"min(x[0], y[0]) >= max(x[-1], 0) || !(x[0] == 0)",
+		"x[0] / x[-1] > 2",
+		"((x[0]))>((0))",
+		"x[0] >",
+		"x[0] > 3..0",
+		"x > 3",
+		"🎉[0] > 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		// Build a history set deep enough for every variable and evaluate;
+		// the only acceptable evaluation error is division by zero (values
+		// here are all non-zero, so even that should not occur... except
+		// through subtraction producing zero denominators).
+		h := make(event.HistorySet, len(c.Vars()))
+		for _, v := range c.Vars() {
+			d := c.Degree(v)
+			hist := event.History{Var: v}
+			for i := 0; i < d; i++ {
+				hist.Recent = append(hist.Recent, event.U(v, int64(d-i+1), float64(3+i)))
+			}
+			h[v] = hist
+		}
+		if _, err := c.Eval(h); err != nil {
+			if _, ok := err.(*SyntaxError); ok {
+				t.Fatalf("syntax error surfaced at eval time: %v", err)
+			}
+			// Runtime errors (division by zero) are allowed.
+		}
+		// Metadata must be coherent.
+		for _, v := range c.Vars() {
+			if c.Degree(v) < 1 {
+				t.Fatalf("variable %q has degree %d", v, c.Degree(v))
+			}
+		}
+		if !Historical(c) && !c.Conservative() {
+			t.Fatal("non-historical conditions must classify conservative")
+		}
+	})
+}

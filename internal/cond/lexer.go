@@ -1,0 +1,224 @@
+package cond
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokenKind enumerates DSL token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokLT
+	tokGT
+	tokLE
+	tokGE
+	tokEQ
+	tokNE
+	tokAnd
+	tokOr
+	tokNot
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokLT:
+		return "'<'"
+	case tokGT:
+		return "'>'"
+	case tokLE:
+		return "'<='"
+	case tokGE:
+		return "'>='"
+	case tokEQ:
+		return "'=='"
+	case tokNE:
+		return "'!='"
+	case tokAnd:
+		return "'&&'"
+	case tokOr:
+		return "'||'"
+	case tokNot:
+		return "'!'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexical unit of a DSL expression.
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+// SyntaxError reports a lexical or grammatical problem in a DSL expression,
+// with the byte offset at which it was detected.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("cond: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// lex tokenizes a DSL expression.
+func lex(src string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			out = append(out, token{kind: tokLParen, pos: i})
+			i++
+		case c == ')':
+			out = append(out, token{kind: tokRParen, pos: i})
+			i++
+		case c == '[':
+			out = append(out, token{kind: tokLBracket, pos: i})
+			i++
+		case c == ']':
+			out = append(out, token{kind: tokRBracket, pos: i})
+			i++
+		case c == ',':
+			out = append(out, token{kind: tokComma, pos: i})
+			i++
+		case c == '+':
+			out = append(out, token{kind: tokPlus, pos: i})
+			i++
+		case c == '-':
+			out = append(out, token{kind: tokMinus, pos: i})
+			i++
+		case c == '*':
+			out = append(out, token{kind: tokStar, pos: i})
+			i++
+		case c == '/':
+			out = append(out, token{kind: tokSlash, pos: i})
+			i++
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, token{kind: tokLE, pos: i})
+				i += 2
+			} else {
+				out = append(out, token{kind: tokLT, pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, token{kind: tokGE, pos: i})
+				i += 2
+			} else {
+				out = append(out, token{kind: tokGT, pos: i})
+				i++
+			}
+		case c == '=':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, token{kind: tokEQ, pos: i})
+				i += 2
+			} else {
+				return nil, &SyntaxError{Pos: i, Msg: "expected '==' (single '=' is not an operator)"}
+			}
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, token{kind: tokNE, pos: i})
+				i += 2
+			} else {
+				out = append(out, token{kind: tokNot, pos: i})
+				i++
+			}
+		case c == '&':
+			if i+1 < len(src) && src[i+1] == '&' {
+				out = append(out, token{kind: tokAnd, pos: i})
+				i += 2
+			} else {
+				return nil, &SyntaxError{Pos: i, Msg: "expected '&&'"}
+			}
+		case c == '|':
+			if i+1 < len(src) && src[i+1] == '|' {
+				out = append(out, token{kind: tokOr, pos: i})
+				i += 2
+			} else {
+				return nil, &SyntaxError{Pos: i, Msg: "expected '||'"}
+			}
+		case c >= '0' && c <= '9' || c == '.':
+			start := i
+			seenDot := false
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				if src[i] == '.' {
+					if seenDot {
+						return nil, &SyntaxError{Pos: i, Msg: "number with two decimal points"}
+					}
+					seenDot = true
+				}
+				i++
+			}
+			text := src[start:i]
+			n, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, &SyntaxError{Pos: start, Msg: fmt.Sprintf("bad number %q", text)}
+			}
+			out = append(out, token{kind: tokNumber, text: text, num: n, pos: start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < len(src) && isIdentPart(rune(src[i])) {
+				i++
+			}
+			out = append(out, token{kind: tokIdent, text: src[start:i], pos: start})
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: len(src)})
+	return out, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,419 @@
+package cond
+
+import (
+	"fmt"
+
+	"condmon/internal/event"
+)
+
+// The DSL grammar, lowest to highest precedence:
+//
+//	expr    := or
+//	or      := and   ('||' and)*
+//	and     := unary ('&&' unary)*
+//	unary   := '!' unary | cmp
+//	cmp     := sum (('<'|'>'|'<='|'>='|'=='|'!=') sum)?
+//	sum     := prod (('+'|'-') prod)*
+//	prod    := neg  (('*'|'/') neg)*
+//	neg     := '-' neg | primary
+//	primary := number | varref | call | '(' expr ')'
+//	varref  := ident '[' ['-'] integer ']'          // x[0], x[-1]: value of var at offset
+//	call    := ident '(' expr (',' expr)* ')'       // abs, min, max
+//	        |  'seqno' '(' ident ',' offset ')'     // sequence number at offset
+//	        |  'consecutive' '(' ident ')'          // window of var has no gap
+//
+// Variable references use the value snapshot; conditions over sequence
+// numbers use seqno(v, off). consecutive(v) is the conservative-triggering
+// guard: true iff v's history window (to the condition's degree in v) has
+// consecutive sequence numbers.
+
+// exprType is the DSL's two-valued type system.
+type exprType int
+
+const (
+	typeNum exprType = iota + 1
+	typeBool
+)
+
+func (t exprType) String() string {
+	if t == typeNum {
+		return "number"
+	}
+	return "boolean"
+}
+
+// expr is a typed DSL syntax tree node.
+type expr interface {
+	typ() exprType
+}
+
+type (
+	numLit struct{ val float64 }
+
+	// varRef is v[offset].value with offset ≤ 0.
+	varRef struct {
+		varName event.VarName
+		offset  int
+	}
+
+	// seqnoRef is seqno(v, offset).
+	seqnoRef struct {
+		varName event.VarName
+		offset  int
+	}
+
+	// consecutiveRef is consecutive(v).
+	consecutiveRef struct {
+		varName event.VarName
+	}
+
+	// call is abs/min/max over numeric arguments.
+	call struct {
+		fn   string
+		args []expr
+	}
+
+	// binary covers arithmetic (+ - * /), comparison, and boolean (&& ||).
+	binary struct {
+		op   tokenKind
+		l, r expr
+	}
+
+	// unary covers numeric negation and boolean not.
+	unary struct {
+		op tokenKind
+		x  expr
+	}
+)
+
+func (numLit) typ() exprType         { return typeNum }
+func (varRef) typ() exprType         { return typeNum }
+func (seqnoRef) typ() exprType       { return typeNum }
+func (consecutiveRef) typ() exprType { return typeBool }
+func (call) typ() exprType           { return typeNum }
+
+func (b binary) typ() exprType {
+	switch b.op {
+	case tokPlus, tokMinus, tokStar, tokSlash:
+		return typeNum
+	default:
+		return typeBool
+	}
+}
+
+func (u unary) typ() exprType {
+	if u.op == tokMinus {
+		return typeNum
+	}
+	return typeBool
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return token{}, &SyntaxError{Pos: t.pos, Msg: fmt.Sprintf("expected %v, found %v", k, t.kind)}
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return &SyntaxError{Pos: t.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func parseExpr(src string) (expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errf(t, "unexpected %v after expression", t.kind)
+	}
+	if e.typ() != typeBool {
+		return nil, &SyntaxError{Pos: 0, Msg: "condition must be a boolean expression, found a numeric one"}
+	}
+	return e, nil
+}
+
+func (p *parser) parseOr() (expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOr {
+		op := p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		if l.typ() != typeBool || r.typ() != typeBool {
+			return nil, p.errf(op, "'||' requires boolean operands")
+		}
+		l = binary{op: tokOr, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	l, err := p.parseUnaryBool()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAnd {
+		op := p.next()
+		r, err := p.parseUnaryBool()
+		if err != nil {
+			return nil, err
+		}
+		if l.typ() != typeBool || r.typ() != typeBool {
+			return nil, p.errf(op, "'&&' requires boolean operands")
+		}
+		l = binary{op: tokAnd, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnaryBool() (expr, error) {
+	if p.peek().kind == tokNot {
+		op := p.next()
+		x, err := p.parseUnaryBool()
+		if err != nil {
+			return nil, err
+		}
+		if x.typ() != typeBool {
+			return nil, p.errf(op, "'!' requires a boolean operand")
+		}
+		return unary{op: tokNot, x: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (expr, error) {
+	l, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	switch k := p.peek().kind; k {
+	case tokLT, tokGT, tokLE, tokGE, tokEQ, tokNE:
+		op := p.next()
+		r, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		if l.typ() != typeNum || r.typ() != typeNum {
+			return nil, p.errf(op, "comparison requires numeric operands")
+		}
+		return binary{op: k, l: l, r: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseSum() (expr, error) {
+	l, err := p.parseProd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().kind
+		if k != tokPlus && k != tokMinus {
+			return l, nil
+		}
+		op := p.next()
+		r, err := p.parseProd()
+		if err != nil {
+			return nil, err
+		}
+		if l.typ() != typeNum || r.typ() != typeNum {
+			return nil, p.errf(op, "%v requires numeric operands", op.kind)
+		}
+		l = binary{op: k, l: l, r: r}
+	}
+}
+
+func (p *parser) parseProd() (expr, error) {
+	l, err := p.parseNeg()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().kind
+		if k != tokStar && k != tokSlash {
+			return l, nil
+		}
+		op := p.next()
+		r, err := p.parseNeg()
+		if err != nil {
+			return nil, err
+		}
+		if l.typ() != typeNum || r.typ() != typeNum {
+			return nil, p.errf(op, "%v requires numeric operands", op.kind)
+		}
+		l = binary{op: k, l: l, r: r}
+	}
+}
+
+func (p *parser) parseNeg() (expr, error) {
+	if p.peek().kind == tokMinus {
+		op := p.next()
+		x, err := p.parseNeg()
+		if err != nil {
+			return nil, err
+		}
+		if x.typ() != typeNum {
+			return nil, p.errf(op, "unary '-' requires a numeric operand")
+		}
+		return unary{op: tokMinus, x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return numLit{val: t.num}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		return p.parseIdent()
+	default:
+		return nil, p.errf(t, "expected a number, variable reference, function call or '(', found %v", t.kind)
+	}
+}
+
+func (p *parser) parseIdent() (expr, error) {
+	name := p.next()
+	switch p.peek().kind {
+	case tokLBracket:
+		p.next()
+		off, err := p.parseOffset()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		return varRef{varName: event.VarName(name.text), offset: off}, nil
+	case tokLParen:
+		return p.parseCall(name)
+	default:
+		return nil, p.errf(name, "bare identifier %q: variables are referenced as %s[0], %s[-1], …",
+			name.text, name.text, name.text)
+	}
+}
+
+// parseOffset parses the history index inside brackets or a seqno() call:
+// zero or a negative integer.
+func (p *parser) parseOffset() (int, error) {
+	neg := false
+	if p.peek().kind == tokMinus {
+		p.next()
+		neg = true
+	}
+	t, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	n := int(t.num)
+	if float64(n) != t.num {
+		return 0, p.errf(t, "history index must be an integer, found %s", t.text)
+	}
+	if neg {
+		n = -n
+	}
+	if n > 0 {
+		return 0, p.errf(t, "history index must be ≤ 0 (0 is the most recent update)")
+	}
+	return n, nil
+}
+
+func (p *parser) parseCall(name token) (expr, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	switch name.text {
+	case "consecutive":
+		v, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return consecutiveRef{varName: event.VarName(v.text)}, nil
+	case "seqno":
+		v, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		off, err := p.parseOffset()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return seqnoRef{varName: event.VarName(v.text), offset: off}, nil
+	case "abs", "min", "max":
+		var args []expr
+		for {
+			a, err := p.parseSum()
+			if err != nil {
+				return nil, err
+			}
+			if a.typ() != typeNum {
+				return nil, p.errf(name, "%s() requires numeric arguments", name.text)
+			}
+			args = append(args, a)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		want := 2
+		if name.text == "abs" {
+			want = 1
+		}
+		if len(args) != want {
+			return nil, p.errf(name, "%s() takes %d argument(s), found %d", name.text, want, len(args))
+		}
+		return call{fn: name.text, args: args}, nil
+	default:
+		return nil, p.errf(name, "unknown function %q (known: abs, min, max, seqno, consecutive)", name.text)
+	}
+}

@@ -1,0 +1,355 @@
+// Package event defines the data model of Section 2 of the paper: data
+// updates u(varname, seqno, value), per-variable update histories Hx, and
+// alerts a(condname, histories). Everything that flows between Data
+// Monitors, Condition Evaluators and Alert Displayers is built from these
+// types.
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"condmon/internal/seq"
+)
+
+// VarName identifies a monitored real-world variable, e.g. "x" for a
+// reactor's temperature sensor. Each Data Monitor tracks exactly one
+// variable.
+type VarName string
+
+// Update is the tuple u(varname, seqno, value). SeqNo uniquely identifies
+// this update within the variable's stream and consecutive updates from the
+// same DM carry consecutive sequence numbers. Value is a full snapshot of
+// the variable (never a delta), so an update remains useful even when its
+// predecessor was lost.
+type Update struct {
+	Var   VarName
+	SeqNo int64
+	Value float64
+}
+
+// String renders an update in the paper's 7x(3000) notation.
+func (u Update) String() string {
+	return fmt.Sprintf("%d%s(%g)", u.SeqNo, u.Var, u.Value)
+}
+
+// U builds an update; it exists to keep scenario tables in tests compact.
+func U(v VarName, seqNo int64, value float64) Update {
+	return Update{Var: v, SeqNo: seqNo, Value: value}
+}
+
+// SeqNos returns Π_v(updates): the sequence numbers of v-updates in the
+// given stream, in stream order. Passing the empty VarName projects every
+// update (useful for single-variable systems, mirroring the paper's
+// convention of omitting the variable when it is implied).
+func SeqNos(updates []Update, v VarName) seq.Seq {
+	var out seq.Seq
+	for _, u := range updates {
+		if v == "" || u.Var == v {
+			out = append(out, u.SeqNo)
+		}
+	}
+	return out
+}
+
+// Vars returns the distinct variable names appearing in the stream, sorted.
+func Vars(updates []Update) []VarName {
+	set := make(map[VarName]struct{})
+	for _, u := range updates {
+		set[u.Var] = struct{}{}
+	}
+	out := make([]VarName, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// History is Hx: the N most recently received updates of one variable,
+// most recent first. Recent[0] is Hx[0], Recent[1] is Hx[-1], and so on.
+type History struct {
+	Var VarName
+	// Recent holds the window most-recent-first.
+	Recent []Update
+}
+
+// Degree returns the number of updates in the window (the paper's N).
+func (h History) Degree() int { return len(h.Recent) }
+
+// At returns Hx[i] for i ≤ 0; At(0) is the most recent update. It returns
+// false when the window does not reach back that far.
+func (h History) At(i int) (Update, bool) {
+	idx := -i
+	if i > 0 || idx >= len(h.Recent) {
+		return Update{}, false
+	}
+	return h.Recent[idx], true
+}
+
+// Latest returns Hx[0]. It panics on an empty history, which never occurs
+// for histories embedded in alerts (a CE only fires once its windows are
+// full).
+func (h History) Latest() Update {
+	if len(h.Recent) == 0 {
+		panic("event: Latest on empty history")
+	}
+	return h.Recent[0]
+}
+
+// SeqNosAscending returns the window's sequence numbers in increasing
+// order, i.e. oldest first: ⟨Hx[-(N-1)].seqno, …, Hx[0].seqno⟩.
+func (h History) SeqNosAscending() seq.Seq {
+	out := make(seq.Seq, len(h.Recent))
+	for i, u := range h.Recent {
+		out[len(h.Recent)-1-i] = u.SeqNo
+	}
+	return out
+}
+
+// Consecutive reports whether the window's sequence numbers are
+// consecutive. Conservative conditions evaluate to false whenever this
+// fails (Section 2).
+func (h History) Consecutive() bool {
+	return h.SeqNosAscending().IsConsecutive()
+}
+
+// Clone deep-copies the history.
+func (h History) Clone() History {
+	out := History{Var: h.Var}
+	if h.Recent != nil {
+		out.Recent = make([]Update, len(h.Recent))
+		copy(out.Recent, h.Recent)
+	}
+	return out
+}
+
+// String renders the history as ⟨3x,1x⟩ (most recent first), matching the
+// paper's alert notation a.H = ⟨3x, 1x⟩.
+func (h History) String() string {
+	parts := make([]string, len(h.Recent))
+	for i, u := range h.Recent {
+		parts[i] = fmt.Sprintf("%d%s", u.SeqNo, u.Var)
+	}
+	return "⟨" + strings.Join(parts, ",") + "⟩"
+}
+
+// HistorySet is H: one update history per variable in the condition's
+// variable set V.
+type HistorySet map[VarName]History
+
+// Clone deep-copies the history set.
+func (hs HistorySet) Clone() HistorySet {
+	out := make(HistorySet, len(hs))
+	for v, h := range hs {
+		out[v] = h.Clone()
+	}
+	return out
+}
+
+// Vars returns the variables of the set in sorted order.
+func (hs HistorySet) Vars() []VarName {
+	out := make([]VarName, 0, len(hs))
+	for v := range hs {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Equal reports whether two history sets cover the same variables with the
+// same update windows (sequence numbers and values).
+func (hs HistorySet) Equal(other HistorySet) bool {
+	if len(hs) != len(other) {
+		return false
+	}
+	for v, h := range hs {
+		oh, ok := other[v]
+		if !ok || len(h.Recent) != len(oh.Recent) {
+			return false
+		}
+		for i := range h.Recent {
+			if h.Recent[i] != oh.Recent[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Alert is a(condname, histories): the notification a CE sends when its
+// condition evaluates to true, carrying the update histories used in the
+// evaluation so the AD can identify duplicates and conflicts.
+type Alert struct {
+	Cond      string
+	Histories HistorySet
+	// Source identifies the emitting CE ("CE1", "CE2", …). It is metadata
+	// for diagnostics only and takes no part in alert identity.
+	Source string
+}
+
+// SeqNo returns a.seqno.v = Hv[0].seqno, the sequence number of the last
+// v-update received when the alert was triggered. The second result is
+// false if the alert has no history for v.
+func (a Alert) SeqNo(v VarName) (int64, bool) {
+	h, ok := a.Histories[v]
+	if !ok || len(h.Recent) == 0 {
+		return 0, false
+	}
+	return h.Latest().SeqNo, true
+}
+
+// MustSeqNo is SeqNo for variables known to be in the alert's variable set.
+func (a Alert) MustSeqNo(v VarName) int64 {
+	n, ok := a.SeqNo(v)
+	if !ok {
+		panic(fmt.Sprintf("event: alert %s has no history for variable %q", a.Key(), v))
+	}
+	return n
+}
+
+// Key returns the canonical identity of the alert: its condition name plus
+// the per-variable history sequence numbers. Two alerts are "identical" in
+// the sense of Algorithm AD-1 exactly when their keys are equal (given a
+// fixed DM stream, sequence numbers determine values). Keys are also what
+// Φ ranges over in the completeness and consistency definitions.
+func (a Alert) Key() string {
+	var b strings.Builder
+	b.WriteString(a.Cond)
+	for _, v := range a.Histories.Vars() {
+		fmt.Fprintf(&b, "|%s=%v", v, a.Histories[v].SeqNosAscending())
+	}
+	return b.String()
+}
+
+// Clone deep-copies the alert.
+func (a Alert) Clone() Alert {
+	return Alert{Cond: a.Cond, Histories: a.Histories.Clone(), Source: a.Source}
+}
+
+// String renders the alert as a(2x,1y) in the paper's style, listing the
+// latest sequence number per variable.
+func (a Alert) String() string {
+	vars := a.Histories.Vars()
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = fmt.Sprintf("%d%s", a.Histories[v].Latest().SeqNo, v)
+	}
+	return "a(" + strings.Join(parts, ",") + ")"
+}
+
+// AlertSeqNos returns Π_v(alerts): the sequence ⟨a.seqno.v | a ∈ alerts⟩.
+// Alerts lacking a history for v are skipped.
+func AlertSeqNos(alerts []Alert, v VarName) seq.Seq {
+	var out seq.Seq
+	for _, a := range alerts {
+		if n, ok := a.SeqNo(v); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// AlertKeys returns the canonical keys of the alerts in order.
+func AlertKeys(alerts []Alert) []string {
+	out := make([]string, len(alerts))
+	for i, a := range alerts {
+		out[i] = a.Key()
+	}
+	return out
+}
+
+// KeySet returns Φ(alerts): the set of canonical alert keys.
+func KeySet(alerts []Alert) map[string]struct{} {
+	out := make(map[string]struct{}, len(alerts))
+	for _, a := range alerts {
+		out[a.Key()] = struct{}{}
+	}
+	return out
+}
+
+// KeySetEqual reports ΦA = ΦB on alert key sets.
+func KeySetEqual(a, b []Alert) bool {
+	ka, kb := KeySet(a), KeySet(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for k := range ka {
+		if _, ok := kb[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// KeySetSubset reports ΦA ⊆ ΦB on alert key sets.
+func KeySetSubset(a, b []Alert) bool {
+	kb := KeySet(b)
+	for _, al := range a {
+		if _, ok := kb[al.Key()]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Window accumulates the update history of one variable at a CE: a ring of
+// the `degree` most recently received updates. It is the stateful
+// realization of Hx.
+type Window struct {
+	varName VarName
+	degree  int
+	// recent holds up to degree updates, most recent first.
+	recent []Update
+}
+
+// NewWindow creates a window of the given degree (N ≥ 1) for variable v.
+func NewWindow(v VarName, degree int) (*Window, error) {
+	if degree < 1 {
+		return nil, fmt.Errorf("event: window degree must be ≥ 1, got %d", degree)
+	}
+	return &Window{varName: v, degree: degree, recent: make([]Update, 0, degree)}, nil
+}
+
+// Var returns the variable the window tracks.
+func (w *Window) Var() VarName { return w.varName }
+
+// Push incorporates a newly received update as Hx[0], shifting older
+// entries back and discarding the one that falls off the end. It rejects
+// updates for the wrong variable and non-increasing sequence numbers (the
+// front links deliver in order, so a well-formed CE never sees them).
+func (w *Window) Push(u Update) error {
+	if u.Var != w.varName {
+		return fmt.Errorf("event: window for %q received update for %q", w.varName, u.Var)
+	}
+	if len(w.recent) > 0 && u.SeqNo <= w.recent[0].SeqNo {
+		return fmt.Errorf("event: window for %q received out-of-order seqno %d after %d",
+			w.varName, u.SeqNo, w.recent[0].SeqNo)
+	}
+	if len(w.recent) < w.degree {
+		w.recent = append(w.recent, Update{})
+	}
+	copy(w.recent[1:], w.recent)
+	w.recent[0] = u
+	return nil
+}
+
+// Full reports whether the window holds `degree` updates. H is undefined —
+// and the condition cannot be evaluated — until the window is full
+// (Section 2: "when the system is just starting up…Hx is undefined").
+func (w *Window) Full() bool { return len(w.recent) == w.degree }
+
+// Len returns the number of updates currently held.
+func (w *Window) Len() int { return len(w.recent) }
+
+// History snapshots the window as an immutable History value.
+func (w *Window) History() History {
+	h := History{Var: w.varName, Recent: make([]Update, len(w.recent))}
+	copy(h.Recent, w.recent)
+	return h
+}
+
+// Reset discards all state, as when a CE crashes and restarts without
+// stable storage.
+func (w *Window) Reset() { w.recent = w.recent[:0] }

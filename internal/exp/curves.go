@@ -1,0 +1,343 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/props"
+	"condmon/internal/sim"
+	"condmon/internal/stats"
+
+	"math/rand"
+)
+
+// DominationPair measures one claimed domination relation G1 ≥ G2 from
+// Section 4.1 over randomized runs: on every run and arrival order, G2's
+// output must be a subsequence of G1's; strictness (Theorems 6 and 8)
+// requires at least one run where it is strictly shorter.
+type DominationPair struct {
+	Better, Worse string
+	// HoldsOnAll is true when the subsequence relation held on every trial.
+	HoldsOnAll bool
+	// StrictTrials counts trials where the dominant algorithm passed
+	// strictly more alerts.
+	StrictTrials int
+	Trials       int
+	// PassedBetter/PassedWorse total the alerts each algorithm displayed.
+	PassedBetter, PassedWorse int
+}
+
+// DominationResult aggregates all measured pairs.
+type DominationResult struct {
+	Pairs []DominationPair
+}
+
+// Matches reports whether every claimed domination held and was witnessed
+// strictly.
+func (d *DominationResult) Matches() bool {
+	for _, p := range d.Pairs {
+		if !p.HoldsOnAll || p.StrictTrials == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the domination table.
+func (d *DominationResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Domination (Theorems 6 and 8): G1 > G2 means G2's output ⊑ G1's on every run, strictly on some\n")
+	fmt.Fprintf(&b, "%-14s %-10s %-12s %-14s %-14s\n", "pair", "holds", "strict runs", "alerts (G1)", "alerts (G2)")
+	for _, p := range d.Pairs {
+		fmt.Fprintf(&b, "%-4s > %-7s %-10v %4d/%-7d %-14d %-14d\n",
+			p.Better, p.Worse, p.HoldsOnAll, p.StrictTrials, p.Trials, p.PassedBetter, p.PassedWorse)
+	}
+	return b.String()
+}
+
+// RunDomination measures the domination relations among AD-1…AD-4 on
+// randomized aggressive-condition runs (the condition class where the
+// algorithms differ most).
+func RunDomination(cfg Config) (*DominationResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	type pairSpec struct {
+		better, worse string
+		newBetter     func() ad.Filter
+		newWorse      func() ad.Filter
+	}
+	// Theorem 6 (AD-1 > AD-2) and Theorem 8 (AD-1 > AD-3), plus the derived
+	// AD-1 > AD-4 (AD-4 passes a subset of first-occurrence alerts, which
+	// is exactly AD-1's output). Note the paper does NOT claim AD-2 ≥ AD-4
+	// or AD-3 ≥ AD-4, and those relations are in fact false: an alert
+	// rejected by one half of AD-4 leaves the other half's state behind,
+	// which can let AD-4 display an alert the standalone filter would have
+	// rejected.
+	specs := []pairSpec{
+		{"AD-1", "AD-2", func() ad.Filter { return ad.NewAD1() }, func() ad.Filter { return ad.NewAD2("x") }},
+		{"AD-1", "AD-3", func() ad.Filter { return ad.NewAD1() }, func() ad.Filter { return ad.NewAD3("x") }},
+		{"AD-1", "AD-4", func() ad.Filter { return ad.NewAD1() }, func() ad.Filter { return ad.NewAD4("x") }},
+	}
+	pairs := make([]DominationPair, len(specs))
+	for i, s := range specs {
+		pairs[i] = DominationPair{Better: s.better, Worse: s.worse, HoldsOnAll: true}
+	}
+	c := cond.NewRiseAggressive("x")
+	for trial := 0; trial < cfg.Trials; trial++ {
+		run, err := sim.RunSingleVar(c, volatileStream(r, cfg.StreamLen),
+			link.Bernoulli{P: cfg.LossP}, link.Bernoulli{P: cfg.LossP}, r)
+		if err != nil {
+			return nil, err
+		}
+		merged := sim.RandomArrival(run.A1, run.A2, r)
+		for i, s := range specs {
+			outBetter := ad.Run(s.newBetter(), merged)
+			outWorse := ad.Run(s.newWorse(), merged)
+			pairs[i].Trials++
+			pairs[i].PassedBetter += len(outBetter)
+			pairs[i].PassedWorse += len(outWorse)
+			if !props.AlertsSubsequence(outWorse, outBetter) {
+				pairs[i].HoldsOnAll = false
+			}
+			if len(outBetter) > len(outWorse) {
+				pairs[i].StrictTrials++
+			}
+		}
+	}
+	return &DominationResult{Pairs: pairs}, nil
+}
+
+// BenefitPoint is one sweep point of the replication-benefit experiment:
+// the fraction of the alerts that a perfectly informed CE (fed the full DM
+// stream U) would raise that actually reach the user.
+type BenefitPoint struct {
+	LossP float64
+	// RecallOneCE is the delivered fraction with a single CE.
+	RecallOneCE float64
+	// RecallTwoCE is the delivered fraction with two CEs and AD-1.
+	RecallTwoCE float64
+	// OneCI and TwoCI are 95% Wilson intervals for the two recalls.
+	OneCI, TwoCI stats.Proportion
+}
+
+// BenefitResult quantifies Section 1's motivation: "the redundancy in the
+// system reduces the probability that a critical alert will not be
+// delivered".
+type BenefitResult struct {
+	Points []BenefitPoint
+	Trials int
+}
+
+// Matches reports the expected shape: replication never hurts recall and
+// strictly helps somewhere in the lossy region.
+func (b *BenefitResult) Matches() bool {
+	helped := false
+	for _, p := range b.Points {
+		if p.RecallTwoCE < p.RecallOneCE-1e-9 {
+			return false
+		}
+		if p.RecallTwoCE > p.RecallOneCE+1e-9 {
+			helped = true
+		}
+	}
+	return helped
+}
+
+// Format renders the benefit curve with 95% confidence intervals.
+func (b *BenefitResult) Format() string {
+	var s strings.Builder
+	s.WriteString("Replication benefit (condition c1, AD-1, alert recall vs. loss rate, 95% CI)\n")
+	fmt.Fprintf(&s, "%-8s %-24s %-24s\n", "loss p", "1 CE", "2 CEs")
+	for _, p := range b.Points {
+		fmt.Fprintf(&s, "%-8.2f %-24s %-24s\n", p.LossP, p.OneCI, p.TwoCI)
+	}
+	return s.String()
+}
+
+// RunBenefit sweeps the front-link loss rate and measures alert recall with
+// one versus two CEs (non-historical condition, AD-1 at the AD).
+func RunBenefit(cfg Config) (*BenefitResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	c := cond.NewOverheat("x")
+	res := &BenefitResult{Trials: cfg.Trials}
+	for _, p := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		var ideal, one, two int
+		for trial := 0; trial < cfg.Trials; trial++ {
+			u := volatileStream(r, cfg.StreamLen)
+			run, err := sim.RunSingleVar(c, u, link.Bernoulli{P: p}, link.Bernoulli{P: p}, r)
+			if err != nil {
+				return nil, err
+			}
+			want, err := idealAlerts(c, u)
+			if err != nil {
+				return nil, err
+			}
+			ideal += len(want)
+			one += countRecall(want, event.KeySet(run.A1))
+			merged := sim.RandomArrival(run.A1, run.A2, r)
+			out := ad.Run(ad.NewAD1(), merged)
+			two += countRecall(want, event.KeySet(out))
+		}
+		pt := BenefitPoint{LossP: p}
+		if ideal > 0 {
+			pt.RecallOneCE = float64(one) / float64(ideal)
+			pt.RecallTwoCE = float64(two) / float64(ideal)
+			var err error
+			if pt.OneCI, err = stats.NewProportion(one, ideal); err != nil {
+				return nil, err
+			}
+			if pt.TwoCI, err = stats.NewProportion(two, ideal); err != nil {
+				return nil, err
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// idealAlerts returns T(U): what a loss-free CE would raise.
+func idealAlerts(c cond.Condition, u []event.Update) ([]event.Alert, error) {
+	run, err := sim.RunSingleVar(c, u, link.None{}, link.None{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return run.NOutput, nil
+}
+
+func countRecall(want []event.Alert, got map[string]struct{}) int {
+	n := 0
+	for _, a := range want {
+		if _, ok := got[a.Key()]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// TradeoffPoint is one sweep point of the filter-strength tradeoff: the
+// mean fraction of offered alerts each AD algorithm displays.
+type TradeoffPoint struct {
+	LossP     float64
+	Displayed map[string]float64
+}
+
+// TradeoffResult captures the Section 4 narrative: each property gained
+// costs displayed alerts (AD-1 ≥ AD-2/AD-3 ≥ AD-4).
+type TradeoffResult struct {
+	Algorithms []string
+	Points     []TradeoffPoint
+	Trials     int
+}
+
+// Matches reports the monotonicity the theorems imply: AD-1 displays at
+// least as much as each stronger filter at every sweep point. (AD-2 vs
+// AD-4 and AD-3 vs AD-4 are not ordered by the paper and can cross — see
+// RunDomination.)
+func (t *TradeoffResult) Matches() bool {
+	for _, p := range t.Points {
+		d := p.Displayed
+		if d["AD-1"] < d["AD-2"]-1e-9 || d["AD-1"] < d["AD-3"]-1e-9 || d["AD-1"] < d["AD-4"]-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the tradeoff curves.
+func (t *TradeoffResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Filter-strength tradeoff (condition c2, fraction of offered alerts displayed)\n")
+	fmt.Fprintf(&b, "%-8s", "loss p")
+	for _, a := range t.Algorithms {
+		fmt.Fprintf(&b, " %-8s", a)
+	}
+	b.WriteString("\n")
+	for _, p := range t.Points {
+		fmt.Fprintf(&b, "%-8.2f", p.LossP)
+		for _, a := range t.Algorithms {
+			fmt.Fprintf(&b, " %-8.3f", p.Displayed[a])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RunTradeoff sweeps loss and measures, per AD algorithm, the fraction of
+// alerts offered to the AD that reach the user.
+func RunTradeoff(cfg Config) (*TradeoffResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	algorithms := []string{"AD-1", "AD-2", "AD-3", "AD-4"}
+	factories := map[string]func() ad.Filter{
+		"AD-1": func() ad.Filter { return ad.NewAD1() },
+		"AD-2": func() ad.Filter { return ad.NewAD2("x") },
+		"AD-3": func() ad.Filter { return ad.NewAD3("x") },
+		"AD-4": func() ad.Filter { return ad.NewAD4("x") },
+	}
+	c := cond.NewRiseAggressive("x")
+	res := &TradeoffResult{Algorithms: algorithms, Trials: cfg.Trials}
+	for _, p := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		offered := 0
+		displayed := make(map[string]int, len(algorithms))
+		for trial := 0; trial < cfg.Trials; trial++ {
+			run, err := sim.RunSingleVar(c, volatileStream(r, cfg.StreamLen),
+				link.Bernoulli{P: p}, link.Bernoulli{P: p}, r)
+			if err != nil {
+				return nil, err
+			}
+			merged := sim.RandomArrival(run.A1, run.A2, r)
+			offered += len(merged)
+			for _, a := range algorithms {
+				displayed[a] += len(ad.Run(factories[a](), merged))
+			}
+		}
+		pt := TradeoffPoint{LossP: p, Displayed: make(map[string]float64, len(algorithms))}
+		for _, a := range algorithms {
+			if offered > 0 {
+				pt.Displayed[a] = float64(displayed[a]) / float64(offered)
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// CSV renders the benefit curve as comma-separated values for plotting.
+func (b *BenefitResult) CSV() string {
+	var s strings.Builder
+	s.WriteString("loss_p,recall_1ce,recall_1ce_lo,recall_1ce_hi,recall_2ce,recall_2ce_lo,recall_2ce_hi\n")
+	for _, p := range b.Points {
+		fmt.Fprintf(&s, "%.2f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			p.LossP, p.RecallOneCE, p.OneCI.Lo, p.OneCI.Hi, p.RecallTwoCE, p.TwoCI.Lo, p.TwoCI.Hi)
+	}
+	return s.String()
+}
+
+// CSV renders the tradeoff curves as comma-separated values.
+func (t *TradeoffResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("loss_p")
+	for _, a := range t.Algorithms {
+		fmt.Fprintf(&b, ",%s", strings.ToLower(strings.ReplaceAll(a, "-", "")))
+	}
+	b.WriteString("\n")
+	for _, p := range t.Points {
+		fmt.Fprintf(&b, "%.2f", p.LossP)
+		for _, a := range t.Algorithms {
+			fmt.Fprintf(&b, ",%.4f", p.Displayed[a])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

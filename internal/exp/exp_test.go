@@ -1,0 +1,281 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"condmon/internal/cond"
+	"condmon/internal/props"
+)
+
+// testConfig keeps unit-test runtime modest; the full defaults run in the
+// benchmark harness.
+func testConfig() Config {
+	return Config{Seed: 1, Trials: 60, StreamLen: 6, LossP: 0.3}
+}
+
+func requireTable(t *testing.T, gen func(Config) (*Table, error), cfg Config) *Table {
+	t.Helper()
+	tbl, err := gen(cfg)
+	if err != nil {
+		t.Fatalf("table generation failed: %v", err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("%s has %d rows, want 4", tbl.Name, len(tbl.Rows))
+	}
+	return tbl
+}
+
+func assertMatchesPaper(t *testing.T, tbl *Table) {
+	t.Helper()
+	for _, row := range tbl.Rows {
+		if !row.Matches() {
+			t.Errorf("%s / %s: measured %v, paper says %v",
+				tbl.Name, row.Scenario, row.Verdict, row.Paper)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tbl := requireTable(t, RunTable1, testConfig())
+	assertMatchesPaper(t, tbl)
+	if !tbl.Matches() {
+		t.Error("Table 1 does not match the paper")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tbl := requireTable(t, RunTable2, testConfig())
+	assertMatchesPaper(t, tbl)
+}
+
+func TestTableAD3(t *testing.T) {
+	tbl := requireTable(t, RunTableAD3, testConfig())
+	assertMatchesPaper(t, tbl)
+}
+
+func TestTableAD4(t *testing.T) {
+	tbl := requireTable(t, RunTableAD4, testConfig())
+	assertMatchesPaper(t, tbl)
+}
+
+func TestTable3(t *testing.T) {
+	tbl := requireTable(t, RunTable3, testConfig())
+	assertMatchesPaper(t, tbl)
+}
+
+func TestTableAD6(t *testing.T) {
+	tbl := requireTable(t, RunTableAD6, testConfig())
+	assertMatchesPaper(t, tbl)
+}
+
+func TestRefutedCellsHaveCounterexamples(t *testing.T) {
+	tbl := requireTable(t, RunTable1, testConfig())
+	for _, row := range tbl.Rows {
+		refuted := 0
+		if !row.Verdict.Ordered {
+			refuted++
+		}
+		if !row.Verdict.Complete {
+			refuted++
+		}
+		if !row.Verdict.Consistent {
+			refuted++
+		}
+		if refuted > 0 && len(row.Counterexamples) == 0 {
+			t.Errorf("%s: %d refuted cells but no counterexample recorded", row.Scenario, refuted)
+		}
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := requireTable(t, RunTable1, testConfig())
+	s := tbl.Format()
+	for _, want := range []string{"Table 1", "AD-1", "Lossless", "Aggressive", "match"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format() missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "MISMATCH") {
+		t.Errorf("Format() reports a mismatch:\n%s", s)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Trials: 0, StreamLen: 6, LossP: 0.3},
+		{Trials: 10, StreamLen: 1, LossP: 0.3},
+		{Trials: 10, StreamLen: 40, LossP: 0.3},
+		{Trials: 10, StreamLen: 6, LossP: -0.1},
+		{Trials: 10, StreamLen: 6, LossP: 1.5},
+	}
+	for _, cfg := range bad {
+		if _, err := RunTable1(cfg); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+}
+
+func TestDomination(t *testing.T) {
+	res, err := RunDomination(testConfig())
+	if err != nil {
+		t.Fatalf("RunDomination: %v", err)
+	}
+	if len(res.Pairs) != 3 {
+		t.Fatalf("measured %d pairs, want 3", len(res.Pairs))
+	}
+	for _, p := range res.Pairs {
+		if !p.HoldsOnAll {
+			t.Errorf("%s > %s: subsequence relation violated", p.Better, p.Worse)
+		}
+		if p.StrictTrials == 0 {
+			t.Errorf("%s > %s: no strict witness in %d trials", p.Better, p.Worse, p.Trials)
+		}
+		if p.PassedBetter < p.PassedWorse {
+			t.Errorf("%s passed fewer alerts (%d) than %s (%d)",
+				p.Better, p.PassedBetter, p.Worse, p.PassedWorse)
+		}
+	}
+	if !res.Matches() {
+		t.Error("domination result does not match the theorems")
+	}
+	if !strings.Contains(res.Format(), "AD-1") {
+		t.Error("Format() should mention the algorithms")
+	}
+}
+
+func TestBenefit(t *testing.T) {
+	res, err := RunBenefit(testConfig())
+	if err != nil {
+		t.Fatalf("RunBenefit: %v", err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("measured %d points, want 6", len(res.Points))
+	}
+	if p := res.Points[0]; p.LossP != 0 || p.RecallOneCE < 0.999 || p.RecallTwoCE < 0.999 {
+		t.Errorf("lossless recall should be 1.0, got %+v", p)
+	}
+	if !res.Matches() {
+		t.Errorf("replication should never hurt and should help somewhere:\n%s", res.Format())
+	}
+	// Monotone-ish: recall at p=0.5 below recall at p=0 for one CE.
+	if res.Points[5].RecallOneCE >= res.Points[0].RecallOneCE {
+		t.Error("single-CE recall should degrade with loss")
+	}
+}
+
+func TestTradeoff(t *testing.T) {
+	res, err := RunTradeoff(testConfig())
+	if err != nil {
+		t.Fatalf("RunTradeoff: %v", err)
+	}
+	if !res.Matches() {
+		t.Errorf("tradeoff monotonicity violated:\n%s", res.Format())
+	}
+	if !strings.Contains(res.Format(), "loss p") {
+		t.Error("Format() should render the header")
+	}
+}
+
+func TestAllTables(t *testing.T) {
+	cfg := testConfig()
+	cfg.Trials = 25
+	tables, err := AllTables(cfg)
+	if err != nil {
+		t.Fatalf("AllTables: %v", err)
+	}
+	if len(tables) != 6 {
+		t.Fatalf("AllTables returned %d tables, want 6", len(tables))
+	}
+	for _, tbl := range tables {
+		assertMatchesPaper(t, tbl)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	cfg := testConfig()
+	cfg.Trials = 20
+	a, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatalf("RunTable1: %v", err)
+	}
+	b, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatalf("RunTable1: %v", err)
+	}
+	if a.Format() != b.Format() {
+		t.Error("same seed must reproduce the identical table")
+	}
+}
+
+func TestScenarioConditionsClassifyCorrectly(t *testing.T) {
+	// The conditions used per row must land in that row's scenario class.
+	rows := []struct {
+		s        cond.Scenario
+		lossless bool
+	}{
+		{cond.ScenarioNonHistorical, false},
+		{cond.ScenarioConservative, false},
+		{cond.ScenarioAggressive, false},
+	}
+	for _, row := range rows {
+		c := singleVarConditionFor(row.s)
+		if got := cond.ClassifyScenario(c, row.lossless); got != row.s {
+			t.Errorf("single-var condition for %v classifies as %v", row.s, got)
+		}
+		mc := multiVarConditionFor(row.s)
+		if got := cond.ClassifyScenario(mc, row.lossless); got != row.s {
+			t.Errorf("multi-var condition for %v classifies as %v", row.s, got)
+		}
+	}
+}
+
+func TestPaperVerdictTablesInternallyConsistent(t *testing.T) {
+	// Completeness implies consistency in every paper-stated cell
+	// ("Trivially, completeness implies consistency").
+	all := []map[cond.Scenario]props.Verdict{
+		paperTable1(), paperTable2(), paperTableAD3(), paperTableAD4(), paperTable3(), paperTableAD6(),
+	}
+	for i, tbl := range all {
+		for s, v := range tbl {
+			if v.Complete && !v.Consistent {
+				t.Errorf("paper table %d, %v: complete but inconsistent is impossible", i, s)
+			}
+		}
+	}
+}
+
+func TestCurveCSVOutputs(t *testing.T) {
+	cfg := testConfig()
+	cfg.Trials = 20
+	benefit, err := RunBenefit(cfg)
+	if err != nil {
+		t.Fatalf("RunBenefit: %v", err)
+	}
+	csv := benefit.CSV()
+	if !strings.HasPrefix(csv, "loss_p,recall_1ce") || strings.Count(csv, "\n") != 7 {
+		t.Errorf("benefit CSV malformed:\n%s", csv)
+	}
+	tradeoff, err := RunTradeoff(cfg)
+	if err != nil {
+		t.Fatalf("RunTradeoff: %v", err)
+	}
+	csv = tradeoff.CSV()
+	if !strings.Contains(csv, "ad1") || strings.Count(csv, "\n") != 7 {
+		t.Errorf("tradeoff CSV malformed:\n%s", csv)
+	}
+	replicas, err := RunReplicaBenefit(cfg)
+	if err != nil {
+		t.Fatalf("RunReplicaBenefit: %v", err)
+	}
+	if got := strings.Count(replicas.CSV(), "\n"); got != 6 {
+		t.Errorf("replica CSV has %d lines", got)
+	}
+	downtime, err := RunDowntime(cfg)
+	if err != nil {
+		t.Fatalf("RunDowntime: %v", err)
+	}
+	if got := strings.Count(downtime.CSV(), "\n"); got != 5 {
+		t.Errorf("downtime CSV has %d lines", got)
+	}
+}

@@ -1,0 +1,308 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/props"
+	"condmon/internal/sim"
+
+	"math/rand"
+)
+
+// This file extends the paper's two-CE evaluation to N replicas — the
+// generalization Section 2.1 asserts is straightforward — and adds the CE
+// downtime experiment implied by the Section 1 motivation ("the CE can go
+// down, causing it to miss updates").
+
+// RunTableReplicas regenerates Table 1's property matrix for a system with
+// `replicas` CEs under AD-1. The paper's theorems are stated independently
+// of the replica count, so the expected matrix is exactly Table 1's; this
+// experiment validates the "easily extended" claim. Canonical 2-CE
+// counterexamples are embedded by adding replicas whose front links lost
+// everything (a partitioned replica contributes no alerts and no combined
+// input, so each witness carries over verbatim).
+func RunTableReplicas(cfg Config, replicas int) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if replicas < 2 {
+		return nil, fmt.Errorf("exp: replica table needs ≥ 2 replicas, got %d", replicas)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	paper := paperTable1()
+	table := &Table{Name: fmt.Sprintf("Table 1 with %d replicas", replicas), Algorithm: "AD-1"}
+	factory := func() ad.Filter { return ad.NewAD1() }
+	for _, s := range scenarioOrder {
+		row := Row{Scenario: s, Verdict: props.AllVerdict(), Paper: paper[s]}
+
+		canonical, err := canonicalSingleVarRuns(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, two := range canonical {
+			nrun, err := widenRun(two, replicas)
+			if err != nil {
+				return nil, err
+			}
+			if err := accumulateNReplica(&row, nrun, factory); err != nil {
+				return nil, err
+			}
+		}
+
+		c := singleVarConditionFor(s)
+		// N-way arrival enumeration is multinomial in the per-CE alert
+		// counts; keep streams short enough that even the worst case — a
+		// non-historical condition firing on every delivered update at
+		// every replica — stays under sim.MaxArrivals. For 3 replicas a
+		// length of 4 bounds the count at 12!/(4!)³ = 34650.
+		streamLen := cfg.StreamLen
+		if maxLen := 12 / replicas; streamLen > maxLen {
+			streamLen = maxLen
+		}
+		trials := cfg.Trials/4 + 1
+		for trial := 0; trial < trials; trial++ {
+			losses := make([]link.Model, replicas)
+			for i := range losses {
+				if s == cond.ScenarioLossless {
+					losses[i] = link.None{}
+				} else {
+					losses[i] = link.Bernoulli{P: cfg.LossP}
+				}
+			}
+			run, err := sim.RunSingleVarN(c, volatileStream(r, streamLen), losses, r)
+			if err != nil {
+				return nil, err
+			}
+			if err := accumulateNReplica(&row, run, factory); err != nil {
+				return nil, err
+			}
+			row.Trials++
+		}
+		table.Rows = append(table.Rows, row)
+	}
+	return table, nil
+}
+
+// widenRun lifts a canonical two-CE run to N replicas by appending
+// replicas that received nothing.
+func widenRun(two *sim.SingleVarRun, replicas int) (*sim.NReplicaRun, error) {
+	run := &sim.NReplicaRun{
+		Cond:    two.Cond,
+		U:       two.U,
+		Us:      [][]event.Update{two.U1, two.U2},
+		As:      [][]event.Alert{two.A1, two.A2},
+		NInput:  two.NInput,
+		NOutput: two.NOutput,
+	}
+	for i := 2; i < replicas; i++ {
+		run.Us = append(run.Us, nil)
+		run.As = append(run.As, nil)
+	}
+	return run, nil
+}
+
+func accumulateNReplica(row *Row, run *sim.NReplicaRun, factory func() ad.Filter) error {
+	v, exs, err := props.CheckNReplicaRun(run, props.FilterFactory(factory))
+	if err != nil {
+		return err
+	}
+	before := row.Verdict
+	row.Verdict = row.Verdict.And(v)
+	if before != row.Verdict {
+		row.Counterexamples = append(row.Counterexamples, exs...)
+	}
+	return nil
+}
+
+// ReplicaBenefitPoint is one point of the replica-count sweep.
+type ReplicaBenefitPoint struct {
+	Replicas int
+	// Recall is the fraction of T(U)'s alerts that reached the user.
+	Recall float64
+}
+
+// ReplicaBenefitResult quantifies diminishing returns of replication at a
+// fixed loss rate.
+type ReplicaBenefitResult struct {
+	LossP  float64
+	Points []ReplicaBenefitPoint
+	Trials int
+}
+
+// Matches reports the expected shape: recall is non-decreasing in the
+// replica count and strictly improves from one to two replicas.
+func (b *ReplicaBenefitResult) Matches() bool {
+	for i := 1; i < len(b.Points); i++ {
+		if b.Points[i].Recall < b.Points[i-1].Recall-1e-9 {
+			return false
+		}
+	}
+	return len(b.Points) >= 2 && b.Points[1].Recall > b.Points[0].Recall+1e-9
+}
+
+// Format renders the sweep.
+func (b *ReplicaBenefitResult) Format() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "Replica-count benefit (condition c1, AD-1, loss p=%.2f, alert recall)\n", b.LossP)
+	fmt.Fprintf(&s, "%-10s %-10s\n", "replicas", "recall")
+	for _, p := range b.Points {
+		fmt.Fprintf(&s, "%-10d %-10.3f\n", p.Replicas, p.Recall)
+	}
+	return s.String()
+}
+
+// RunReplicaBenefit sweeps the number of CE replicas (1..5) at the
+// configured loss rate and measures alert recall under AD-1.
+func RunReplicaBenefit(cfg Config) (*ReplicaBenefitResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	c := cond.NewOverheat("x")
+	res := &ReplicaBenefitResult{LossP: cfg.LossP, Trials: cfg.Trials}
+	for replicas := 1; replicas <= 5; replicas++ {
+		var ideal, got int
+		for trial := 0; trial < cfg.Trials; trial++ {
+			u := volatileStream(r, cfg.StreamLen)
+			losses := make([]link.Model, replicas)
+			for i := range losses {
+				losses[i] = link.Bernoulli{P: cfg.LossP}
+			}
+			run, err := sim.RunSingleVarN(c, u, losses, r)
+			if err != nil {
+				return nil, err
+			}
+			want, err := idealAlerts(c, u)
+			if err != nil {
+				return nil, err
+			}
+			ideal += len(want)
+			merged := sim.RandomArrivalN(run.As, r)
+			out := ad.Run(ad.NewAD1(), merged)
+			got += countRecall(want, event.KeySet(out))
+		}
+		p := ReplicaBenefitPoint{Replicas: replicas}
+		if ideal > 0 {
+			p.Recall = float64(got) / float64(ideal)
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// DowntimePoint is one point of the CE-downtime sweep.
+type DowntimePoint struct {
+	// DownFrac is the fraction of the stream each CE independently missed
+	// during its outage window.
+	DownFrac float64
+	// RecallOneCE / RecallTwoCE as in BenefitPoint.
+	RecallOneCE, RecallTwoCE float64
+}
+
+// DowntimeResult quantifies the other failure mode of Section 1: the CE
+// itself going down and missing updates, independent of link loss.
+type DowntimeResult struct {
+	Points []DowntimePoint
+	Trials int
+}
+
+// Matches reports the expected shape: two CEs never do worse and strictly
+// better somewhere.
+func (d *DowntimeResult) Matches() bool {
+	helped := false
+	for _, p := range d.Points {
+		if p.RecallTwoCE < p.RecallOneCE-1e-9 {
+			return false
+		}
+		if p.RecallTwoCE > p.RecallOneCE+1e-9 {
+			helped = true
+		}
+	}
+	return helped
+}
+
+// Format renders the sweep.
+func (d *DowntimeResult) Format() string {
+	var s strings.Builder
+	s.WriteString("CE downtime benefit (condition c1, AD-1, alert recall vs. outage length)\n")
+	fmt.Fprintf(&s, "%-10s %-10s %-10s\n", "down frac", "1 CE", "2 CEs")
+	for _, p := range d.Points {
+		fmt.Fprintf(&s, "%-10.2f %-10.3f %-10.3f\n", p.DownFrac, p.RecallOneCE, p.RecallTwoCE)
+	}
+	return s.String()
+}
+
+// RunDowntime sweeps the length of a contiguous CE outage (each CE gets an
+// independently placed outage window during which it misses every update)
+// and measures alert recall with one vs. two CEs, lossless links.
+func RunDowntime(cfg Config) (*DowntimeResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	c := cond.NewOverheat("x")
+	res := &DowntimeResult{Trials: cfg.Trials}
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75} {
+		var ideal, one, two int
+		for trial := 0; trial < cfg.Trials; trial++ {
+			u := volatileStream(r, cfg.StreamLen)
+			outage := func() link.Model {
+				n := int(float64(len(u)) * frac)
+				if n == 0 {
+					return link.None{}
+				}
+				start := r.Intn(len(u) - n + 1)
+				var seqNos []int64
+				for i := start; i < start+n; i++ {
+					seqNos = append(seqNos, u[i].SeqNo)
+				}
+				return link.NewDropSeqNos("x", seqNos...)
+			}
+			run, err := sim.RunSingleVarN(c, u, []link.Model{outage(), outage()}, r)
+			if err != nil {
+				return nil, err
+			}
+			want, err := idealAlerts(c, u)
+			if err != nil {
+				return nil, err
+			}
+			ideal += len(want)
+			one += countRecall(want, event.KeySet(run.As[0]))
+			merged := sim.RandomArrivalN(run.As, r)
+			out := ad.Run(ad.NewAD1(), merged)
+			two += countRecall(want, event.KeySet(out))
+		}
+		p := DowntimePoint{DownFrac: frac}
+		if ideal > 0 {
+			p.RecallOneCE = float64(one) / float64(ideal)
+			p.RecallTwoCE = float64(two) / float64(ideal)
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// CSV renders the replica-count sweep as comma-separated values.
+func (b *ReplicaBenefitResult) CSV() string {
+	var s strings.Builder
+	s.WriteString("replicas,recall\n")
+	for _, p := range b.Points {
+		fmt.Fprintf(&s, "%d,%.4f\n", p.Replicas, p.Recall)
+	}
+	return s.String()
+}
+
+// CSV renders the downtime sweep as comma-separated values.
+func (d *DowntimeResult) CSV() string {
+	var s strings.Builder
+	s.WriteString("down_frac,recall_1ce,recall_2ce\n")
+	for _, p := range d.Points {
+		fmt.Fprintf(&s, "%.2f,%.4f,%.4f\n", p.DownFrac, p.RecallOneCE, p.RecallTwoCE)
+	}
+	return s.String()
+}

@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableReplicas3MatchesTable1(t *testing.T) {
+	cfg := testConfig()
+	cfg.Trials = 40
+	tbl, err := RunTableReplicas(cfg, 3)
+	if err != nil {
+		t.Fatalf("RunTableReplicas: %v", err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tbl.Rows))
+	}
+	assertMatchesPaper(t, tbl)
+	if !strings.Contains(tbl.Name, "3 replicas") {
+		t.Errorf("table name = %q", tbl.Name)
+	}
+}
+
+func TestTableReplicasValidation(t *testing.T) {
+	if _, err := RunTableReplicas(testConfig(), 1); err == nil {
+		t.Error("1 replica should be rejected")
+	}
+	bad := testConfig()
+	bad.Trials = 0
+	if _, err := RunTableReplicas(bad, 3); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+}
+
+func TestReplicaBenefit(t *testing.T) {
+	res, err := RunReplicaBenefit(testConfig())
+	if err != nil {
+		t.Fatalf("RunReplicaBenefit: %v", err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("%d points, want 5 (replicas 1..5)", len(res.Points))
+	}
+	if !res.Matches() {
+		t.Errorf("replica benefit shape violated:\n%s", res.Format())
+	}
+	// Diminishing returns: the 1→2 gain should exceed the 4→5 gain.
+	gain12 := res.Points[1].Recall - res.Points[0].Recall
+	gain45 := res.Points[4].Recall - res.Points[3].Recall
+	if gain12 <= gain45 {
+		t.Errorf("expected diminishing returns: 1→2 gain %.3f vs 4→5 gain %.3f", gain12, gain45)
+	}
+	if !strings.Contains(res.Format(), "replicas") {
+		t.Error("Format should render a header")
+	}
+}
+
+func TestDowntime(t *testing.T) {
+	res, err := RunDowntime(testConfig())
+	if err != nil {
+		t.Fatalf("RunDowntime: %v", err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("%d points, want 4", len(res.Points))
+	}
+	if !res.Matches() {
+		t.Errorf("downtime benefit shape violated:\n%s", res.Format())
+	}
+	if p := res.Points[0]; p.RecallOneCE < 0.999 || p.RecallTwoCE < 0.999 {
+		t.Errorf("zero downtime should give full recall: %+v", p)
+	}
+	// Recall must degrade with outage length for the single CE.
+	if res.Points[3].RecallOneCE >= res.Points[0].RecallOneCE {
+		t.Error("single-CE recall should degrade with downtime")
+	}
+	if !strings.Contains(res.Format(), "down frac") {
+		t.Error("Format should render a header")
+	}
+}
+
+func TestDowntimeDeterministicBySeed(t *testing.T) {
+	a, err := RunDowntime(testConfig())
+	if err != nil {
+		t.Fatalf("RunDowntime: %v", err)
+	}
+	b, err := RunDowntime(testConfig())
+	if err != nil {
+		t.Fatalf("RunDowntime: %v", err)
+	}
+	if a.Format() != b.Format() {
+		t.Error("same seed must reproduce identical downtime results")
+	}
+}
+
+func TestMaximality(t *testing.T) {
+	res, err := RunMaximality(testConfig())
+	if err != nil {
+		t.Fatalf("RunMaximality: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Unjustified != 0 {
+			t.Errorf("%s: %d unjustified drops — maximality theorem refuted?!", r.Algorithm, r.Unjustified)
+		}
+		if r.Displayed == 0 || r.Dropped == 0 {
+			t.Errorf("%s: degenerate audit (displayed=%d dropped=%d)", r.Algorithm, r.Displayed, r.Dropped)
+		}
+		if r.Duplicates+r.Forced != r.Dropped {
+			t.Errorf("%s: drop classification does not add up", r.Algorithm)
+		}
+	}
+	if !res.Matches() {
+		t.Errorf("maximality violated:\n%s", res.Format())
+	}
+	if !strings.Contains(res.Format(), "AD-4") {
+		t.Error("Format should list every algorithm")
+	}
+}

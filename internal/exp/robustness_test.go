@@ -1,0 +1,56 @@
+package exp
+
+// Robustness checks: the property matrices are theorems, so they must hold
+// for every seed, not just the default. Skipped under -short.
+
+import (
+	"testing"
+)
+
+func TestTable1StableAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short mode")
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := Config{Seed: seed, Trials: 60, StreamLen: 6, LossP: 0.3}
+		tbl, err := RunTable1(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !tbl.Matches() {
+			t.Errorf("seed %d: Table 1 deviates from the paper:\n%s", seed, tbl.Format())
+		}
+	}
+}
+
+func TestTable2StableAcrossLossRates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loss sweep skipped in -short mode")
+	}
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.7} {
+		cfg := Config{Seed: 2, Trials: 60, StreamLen: 6, LossP: p}
+		tbl, err := RunTable2(cfg)
+		if err != nil {
+			t.Fatalf("loss %g: %v", p, err)
+		}
+		if !tbl.Matches() {
+			t.Errorf("loss %g: Table 2 deviates from the paper:\n%s", p, tbl.Format())
+		}
+	}
+}
+
+func TestDominationStableAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short mode")
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := Config{Seed: seed, Trials: 100, StreamLen: 6, LossP: 0.3}
+		res, err := RunDomination(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Matches() {
+			t.Errorf("seed %d: domination violated:\n%s", seed, res.Format())
+		}
+	}
+}

@@ -1,0 +1,543 @@
+// Package exp is the experiment harness: it regenerates every table in the
+// paper (Tables 1–3 plus the AD-3/AD-4/AD-6 variants the text describes),
+// measures the domination tradeoffs of Theorems 6 and 8, and quantifies the
+// replication benefit that motivates the paper. Verdicts are produced by
+// simulation — canonical scenarios lifted from the paper's proofs guarantee
+// that every ✗ cell is refuted by a concrete counterexample, and randomized
+// runs (all arrival orders checked exhaustively) probe every ✓ cell.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/props"
+	"condmon/internal/sim"
+
+	"math/rand"
+)
+
+// Config parameterizes table regeneration.
+type Config struct {
+	// Seed drives all randomness; equal seeds reproduce identical tables.
+	Seed int64
+	// Trials is the number of randomized runs per scenario row.
+	Trials int
+	// StreamLen is the number of updates per DM per randomized run. Kept
+	// small so arrival orders can be enumerated exhaustively.
+	StreamLen int
+	// LossP is the per-update front-link drop probability in lossy rows.
+	LossP float64
+}
+
+// DefaultConfig returns the configuration used for EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Trials: 400, StreamLen: 6, LossP: 0.3}
+}
+
+func (c Config) validate() error {
+	if c.Trials < 1 {
+		return fmt.Errorf("exp: trials must be ≥ 1, got %d", c.Trials)
+	}
+	if c.StreamLen < 2 || c.StreamLen > 10 {
+		return fmt.Errorf("exp: stream length %d outside [2,10] (arrival enumeration bound)", c.StreamLen)
+	}
+	if c.LossP < 0 || c.LossP > 1 {
+		return fmt.Errorf("exp: loss probability %g outside [0,1]", c.LossP)
+	}
+	return nil
+}
+
+// Row is one scenario row of a property table.
+type Row struct {
+	Scenario cond.Scenario
+	Verdict  props.Verdict
+	// Paper is the verdict the paper states for this cell.
+	Paper props.Verdict
+	// Trials counts the randomized runs behind the verdict.
+	Trials int
+	// Counterexamples holds one witness per refuted property.
+	Counterexamples []props.Counterexample
+}
+
+// Matches reports whether the measured verdict equals the paper's.
+func (r Row) Matches() bool { return r.Verdict == r.Paper }
+
+// Table is a regenerated property table.
+type Table struct {
+	Name      string
+	Algorithm string
+	Rows      []Row
+}
+
+// Matches reports whether every cell equals the paper's.
+func (t *Table) Matches() bool {
+	for _, r := range t.Rows {
+		if !r.Matches() {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the table in the paper's layout.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: systems under Algorithm %s\n", t.Name, t.Algorithm)
+	fmt.Fprintf(&b, "%-32s %-6s %-6s %-6s %-8s\n", "Scenario", "Ord.", "Comp.", "Cons.", "paper?")
+	mark := func(v bool) string {
+		if v {
+			return "✓"
+		}
+		return "✗"
+	}
+	for _, r := range t.Rows {
+		agree := "match"
+		if !r.Matches() {
+			agree = "MISMATCH"
+		}
+		fmt.Fprintf(&b, "%-32s %-6s %-6s %-6s %-8s\n",
+			r.Scenario, mark(r.Verdict.Ordered), mark(r.Verdict.Complete), mark(r.Verdict.Consistent), agree)
+	}
+	return b.String()
+}
+
+// Paper-stated verdicts. Table 1 (single variable, AD-1).
+func paperTable1() map[cond.Scenario]props.Verdict {
+	return map[cond.Scenario]props.Verdict{
+		cond.ScenarioLossless:      {Ordered: true, Complete: true, Consistent: true},
+		cond.ScenarioNonHistorical: {Ordered: false, Complete: true, Consistent: true},
+		cond.ScenarioConservative:  {Ordered: false, Complete: false, Consistent: true},
+		cond.ScenarioAggressive:    {Ordered: false, Complete: false, Consistent: false},
+	}
+}
+
+// Table 2 (single variable, AD-2).
+func paperTable2() map[cond.Scenario]props.Verdict {
+	return map[cond.Scenario]props.Verdict{
+		cond.ScenarioLossless:      {Ordered: true, Complete: true, Consistent: true},
+		cond.ScenarioNonHistorical: {Ordered: true, Complete: false, Consistent: true},
+		cond.ScenarioConservative:  {Ordered: true, Complete: false, Consistent: true},
+		cond.ScenarioAggressive:    {Ordered: true, Complete: false, Consistent: false},
+	}
+}
+
+// Section 4.3: AD-3 is "very similar to Table 1 except that the last row
+// (Aggressive Triggering) is also consistent".
+func paperTableAD3() map[cond.Scenario]props.Verdict {
+	m := paperTable1()
+	m[cond.ScenarioAggressive] = props.Verdict{Ordered: false, Complete: false, Consistent: true}
+	return m
+}
+
+// Section 4.4: AD-4 is Table 2 with Aggressive also consistent.
+func paperTableAD4() map[cond.Scenario]props.Verdict {
+	m := paperTable2()
+	m[cond.ScenarioAggressive] = props.Verdict{Ordered: true, Complete: false, Consistent: true}
+	return m
+}
+
+// Table 3 (multi-variable, AD-5).
+func paperTable3() map[cond.Scenario]props.Verdict {
+	return map[cond.Scenario]props.Verdict{
+		cond.ScenarioLossless:      {Ordered: true, Complete: false, Consistent: true},
+		cond.ScenarioNonHistorical: {Ordered: true, Complete: false, Consistent: true},
+		cond.ScenarioConservative:  {Ordered: true, Complete: false, Consistent: true},
+		cond.ScenarioAggressive:    {Ordered: true, Complete: false, Consistent: false},
+	}
+}
+
+// Section 5.2: AD-6 is Table 3 with Aggressive also consistent.
+func paperTableAD6() map[cond.Scenario]props.Verdict {
+	m := paperTable3()
+	m[cond.ScenarioAggressive] = props.Verdict{Ordered: true, Complete: false, Consistent: true}
+	return m
+}
+
+// scenarios in table order.
+var scenarioOrder = []cond.Scenario{
+	cond.ScenarioLossless,
+	cond.ScenarioNonHistorical,
+	cond.ScenarioConservative,
+	cond.ScenarioAggressive,
+}
+
+// singleVarConditionFor returns the representative condition for a
+// single-variable scenario row: the paper's own c1/c2/c3.
+func singleVarConditionFor(s cond.Scenario) cond.Condition {
+	switch s {
+	case cond.ScenarioNonHistorical:
+		return cond.NewOverheat("x")
+	case cond.ScenarioConservative:
+		return cond.NewRiseConservative("x")
+	default: // Lossless row exercises the hardest condition; Aggressive row.
+		return cond.NewRiseAggressive("x")
+	}
+}
+
+// canonicalSingleVarRuns returns the proof scenarios of the paper for a
+// row, guaranteeing that every ✗ cell has a deterministic witness.
+func canonicalSingleVarRuns(s cond.Scenario) ([]*sim.SingleVarRun, error) {
+	switch s {
+	case cond.ScenarioLossless:
+		// No loss: nothing to witness; randomized runs confirm the ✓s.
+		return nil, nil
+	case cond.ScenarioNonHistorical:
+		// Theorem 2's proof: U = ⟨1(3100), 2(3500)⟩, CE2 misses 1.
+		u := []event.Update{event.U("x", 1, 3100), event.U("x", 2, 3500)}
+		run, err := sim.RunSingleVar(cond.NewOverheat("x"), u, link.None{}, link.NewDropSeqNos("x", 1), nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*sim.SingleVarRun{run}, nil
+	case cond.ScenarioConservative:
+		// Theorem 3's proof: U1 = ⟨1(1000),2(1500)⟩, U2 = ⟨3(2000),4(2500)⟩.
+		u := []event.Update{
+			event.U("x", 1, 1000), event.U("x", 2, 1500),
+			event.U("x", 3, 2000), event.U("x", 4, 2500),
+		}
+		run, err := sim.RunSingleVar(cond.NewRiseConservative("x"), u,
+			link.NewDropSeqNos("x", 3, 4), link.NewDropSeqNos("x", 1, 2), nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*sim.SingleVarRun{run}, nil
+	case cond.ScenarioAggressive:
+		// Theorem 4's proof: U = ⟨1(400),2(700),3(720)⟩, CE2 misses 2 —
+		// plus Theorem 3's shape for un-orderedness/incompleteness.
+		u := []event.Update{event.U("x", 1, 400), event.U("x", 2, 700), event.U("x", 3, 720)}
+		run1, err := sim.RunSingleVar(cond.NewRiseAggressive("x"), u, link.None{}, link.NewDropSeqNos("x", 2), nil)
+		if err != nil {
+			return nil, err
+		}
+		u2 := []event.Update{
+			event.U("x", 1, 1000), event.U("x", 2, 1500),
+			event.U("x", 3, 2000), event.U("x", 4, 2500),
+		}
+		run2, err := sim.RunSingleVar(cond.NewRiseAggressive("x"), u2,
+			link.NewDropSeqNos("x", 3, 4), link.NewDropSeqNos("x", 1, 2), nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*sim.SingleVarRun{run1, run2}, nil
+	default:
+		return nil, fmt.Errorf("exp: unknown scenario %v", s)
+	}
+}
+
+// volatileStream generates a stream whose values swing widely so that c1,
+// c2 and c3 all trigger frequently.
+func volatileStream(r *rand.Rand, n int) []event.Update {
+	out := make([]event.Update, n)
+	val := 2900.0
+	for i := range out {
+		val += float64(r.Intn(700) - 250)
+		out[i] = event.U("x", int64(i+1), val)
+	}
+	return out
+}
+
+// runSingleVarTable regenerates one of the single-variable tables for the
+// given filter factory (fresh filter per arrival order).
+func runSingleVarTable(name, algo string, cfg Config, factory func() ad.Filter, paper map[cond.Scenario]props.Verdict) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	table := &Table{Name: name, Algorithm: algo}
+	for _, s := range scenarioOrder {
+		row := Row{Scenario: s, Verdict: props.AllVerdict(), Paper: paper[s]}
+
+		// Canonical proof scenarios first: they pin down the ✗ cells.
+		canonical, err := canonicalSingleVarRuns(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, run := range canonical {
+			if err := accumulateSingleVar(&row, run, factory); err != nil {
+				return nil, err
+			}
+		}
+
+		// Randomized trials probe all cells.
+		c := singleVarConditionFor(s)
+		for trial := 0; trial < cfg.Trials; trial++ {
+			loss1, loss2 := link.Model(link.None{}), link.Model(link.None{})
+			if s != cond.ScenarioLossless {
+				loss1, loss2 = link.Bernoulli{P: cfg.LossP}, link.Bernoulli{P: cfg.LossP}
+			}
+			run, err := sim.RunSingleVar(c, volatileStream(r, cfg.StreamLen), loss1, loss2, r)
+			if err != nil {
+				return nil, err
+			}
+			if err := accumulateSingleVar(&row, run, factory); err != nil {
+				return nil, err
+			}
+			row.Trials++
+		}
+		table.Rows = append(table.Rows, row)
+	}
+	return table, nil
+}
+
+func accumulateSingleVar(row *Row, run *sim.SingleVarRun, factory func() ad.Filter) error {
+	v, exs, err := props.CheckSingleVarRun(run, props.FilterFactory(factory))
+	if err != nil {
+		return err
+	}
+	before := row.Verdict
+	row.Verdict = row.Verdict.And(v)
+	if before != row.Verdict {
+		row.Counterexamples = append(row.Counterexamples, exs...)
+	}
+	return nil
+}
+
+// RunTable1 regenerates Table 1: single-variable systems under AD-1.
+func RunTable1(cfg Config) (*Table, error) {
+	return runSingleVarTable("Table 1", "AD-1", cfg, func() ad.Filter { return ad.NewAD1() }, paperTable1())
+}
+
+// RunTable2 regenerates Table 2: single-variable systems under AD-2.
+func RunTable2(cfg Config) (*Table, error) {
+	return runSingleVarTable("Table 2", "AD-2", cfg, func() ad.Filter { return ad.NewAD2("x") }, paperTable2())
+}
+
+// RunTableAD3 regenerates the Section 4.3 variant: Table 1 under AD-3.
+func RunTableAD3(cfg Config) (*Table, error) {
+	return runSingleVarTable("Table 1' (Section 4.3)", "AD-3", cfg, func() ad.Filter { return ad.NewAD3("x") }, paperTableAD3())
+}
+
+// RunTableAD4 regenerates the Section 4.4 variant: Table 2 under AD-4.
+func RunTableAD4(cfg Config) (*Table, error) {
+	return runSingleVarTable("Table 2' (Section 4.4)", "AD-4", cfg, func() ad.Filter { return ad.NewAD4("x") }, paperTableAD4())
+}
+
+// Multi-variable conditions per scenario row. The non-historical rows use
+// the paper's cm; the historical rows extend it with a degree-2 term in x,
+// conservatively guarded or not.
+func multiVarConditionFor(s cond.Scenario) cond.Condition {
+	switch s {
+	case cond.ScenarioConservative:
+		return cond.MustParse("cm-cons", "x[0] - x[-1] > 200 && y[0] > 0 && consecutive(x)")
+	case cond.ScenarioAggressive:
+		return cond.MustParse("cm-aggr", "x[0] - x[-1] > 200 && y[0] > 0")
+	default:
+		return cond.NewTempDiff("x", "y")
+	}
+}
+
+// canonicalMultiVarRuns returns deterministic witnesses for the ✗ cells of
+// Table 3 rows.
+func canonicalMultiVarRuns(s cond.Scenario) ([]*sim.MultiVarRun, error) {
+	switch s {
+	case cond.ScenarioLossless, cond.ScenarioNonHistorical:
+		// Theorem 10's scenario (lossless, cm, opposite interleavings) plus
+		// the Lemma 6 incompleteness scenario.
+		t10, err := sim.RunMultiVar(cond.NewTempDiff("x", "y"),
+			map[event.VarName][]event.Update{
+				"x": {event.U("x", 1, 1000), event.U("x", 2, 1200)},
+				"y": {event.U("y", 1, 1050), event.U("y", 2, 1150)},
+			},
+			[2]map[event.VarName]link.Model{},
+			[2]sim.Interleaver{sim.Sequential, sim.SequentialReverse}, nil)
+		if err != nil {
+			return nil, err
+		}
+		l6, err := lemma6Run()
+		if err != nil {
+			return nil, err
+		}
+		return []*sim.MultiVarRun{t10, l6}, nil
+	case cond.ScenarioConservative:
+		run, err := sim.RunMultiVar(multiVarConditionFor(s),
+			map[event.VarName][]event.Update{
+				"x": {event.U("x", 1, 1000), event.U("x", 2, 1500), event.U("x", 3, 2000), event.U("x", 4, 2500)},
+				"y": {event.U("y", 1, 1)},
+			},
+			[2]map[event.VarName]link.Model{
+				{"x": link.NewDropSeqNos("x", 3, 4)},
+				{"x": link.NewDropSeqNos("x", 1, 2)},
+			},
+			[2]sim.Interleaver{sim.Sequential, sim.Sequential}, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*sim.MultiVarRun{run}, nil
+	case cond.ScenarioAggressive:
+		// Theorem 4's inconsistency scenario lifted to two variables.
+		run, err := sim.RunMultiVar(multiVarConditionFor(s),
+			map[event.VarName][]event.Update{
+				"x": {event.U("x", 1, 400), event.U("x", 2, 700), event.U("x", 3, 720)},
+				"y": {event.U("y", 1, 1)},
+			},
+			[2]map[event.VarName]link.Model{
+				nil,
+				{"x": link.NewDropSeqNos("x", 2)},
+			},
+			[2]sim.Interleaver{yFirst, yFirst}, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*sim.MultiVarRun{run}, nil
+	default:
+		return nil, fmt.Errorf("exp: unknown scenario %v", s)
+	}
+}
+
+// yFirst delivers the whole y stream before the x stream so degree-2
+// x-conditions with a y term can fire.
+func yFirst(streams map[event.VarName][]event.Update, _ *rand.Rand) []event.Update {
+	var out []event.Update
+	out = append(out, streams["y"]...)
+	out = append(out, streams["x"]...)
+	return out
+}
+
+// lemma6Run reproduces the Lemma 6 counter-example as a MultiVarRun.
+func lemma6Run() (*sim.MultiVarRun, error) {
+	c := cond.NewLemma6Condition("x", "y")
+	streams := map[event.VarName][]event.Update{
+		"x": {event.U("x", 7, 0), event.U("x", 8, 0), event.U("x", 9, 0)},
+		"y": {event.U("y", 2, 0), event.U("y", 3, 0), event.U("y", 4, 0)},
+	}
+	ce1 := func(map[event.VarName][]event.Update, *rand.Rand) []event.Update {
+		return []event.Update{
+			event.U("x", 8, 0), event.U("y", 2, 0), event.U("x", 9, 0),
+			event.U("y", 3, 0), event.U("y", 4, 0),
+		}
+	}
+	ce2 := func(map[event.VarName][]event.Update, *rand.Rand) []event.Update {
+		return []event.Update{
+			event.U("y", 2, 0), event.U("y", 3, 0), event.U("x", 7, 0),
+			event.U("y", 4, 0), event.U("x", 8, 0),
+		}
+	}
+	// CE1 misses 7x; CE2 misses 9x — matching the interleavings above.
+	return sim.RunMultiVar(c, streams,
+		[2]map[event.VarName]link.Model{
+			{"x": link.NewDropSeqNos("x", 7)},
+			{"x": link.NewDropSeqNos("x", 9)},
+		},
+		[2]sim.Interleaver{ce1, ce2}, nil)
+}
+
+// multiVolatileStreams generates two short per-variable streams with values
+// that exercise the multi-variable conditions.
+func multiVolatileStreams(r *rand.Rand, n int) map[event.VarName][]event.Update {
+	xs := make([]event.Update, n)
+	val := 1000.0
+	for i := range xs {
+		val += float64(r.Intn(700) - 250)
+		xs[i] = event.U("x", int64(i+1), val)
+	}
+	ys := make([]event.Update, n)
+	val = 1050.0
+	for i := range ys {
+		val += float64(r.Intn(200) - 100)
+		ys[i] = event.U("y", int64(i+1), val)
+	}
+	return map[event.VarName][]event.Update{"x": xs, "y": ys}
+}
+
+// runMultiVarTable regenerates a multi-variable table for a filter factory.
+func runMultiVarTable(name, algo string, cfg Config, factory func() ad.Filter, paper map[cond.Scenario]props.Verdict) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	interleavers := []sim.Interleaver{sim.RandomInterleave, sim.RoundRobin, sim.Sequential, sim.SequentialReverse}
+	table := &Table{Name: name, Algorithm: algo}
+	for _, s := range scenarioOrder {
+		row := Row{Scenario: s, Verdict: props.AllVerdict(), Paper: paper[s]}
+
+		canonical, err := canonicalMultiVarRuns(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, run := range canonical {
+			if err := accumulateMultiVar(&row, run, factory); err != nil {
+				return nil, err
+			}
+		}
+
+		c := multiVarConditionFor(s)
+		// Multi-variable streams stay very short and trials are scaled
+		// down: the completeness checker enumerates update interleavings
+		// inside an enumeration of alert arrival orders.
+		n := cfg.StreamLen / 2
+		if n < 2 {
+			n = 2
+		}
+		if n > 3 {
+			n = 3
+		}
+		mvTrials := cfg.Trials/10 + 1
+		for trial := 0; trial < mvTrials; trial++ {
+			var loss [2]map[event.VarName]link.Model
+			if s != cond.ScenarioLossless {
+				loss = [2]map[event.VarName]link.Model{
+					{"x": link.Bernoulli{P: cfg.LossP}, "y": link.Bernoulli{P: cfg.LossP}},
+					{"x": link.Bernoulli{P: cfg.LossP}, "y": link.Bernoulli{P: cfg.LossP}},
+				}
+			}
+			inter := [2]sim.Interleaver{
+				interleavers[r.Intn(len(interleavers))],
+				interleavers[r.Intn(len(interleavers))],
+			}
+			run, err := sim.RunMultiVar(c, multiVolatileStreams(r, n), loss, inter, r)
+			if err != nil {
+				return nil, err
+			}
+			if err := accumulateMultiVar(&row, run, factory); err != nil {
+				return nil, err
+			}
+			row.Trials++
+		}
+		table.Rows = append(table.Rows, row)
+	}
+	return table, nil
+}
+
+func accumulateMultiVar(row *Row, run *sim.MultiVarRun, factory func() ad.Filter) error {
+	v, exs, err := props.CheckMultiVarRun(run, props.FilterFactory(factory))
+	if err != nil {
+		return err
+	}
+	before := row.Verdict
+	row.Verdict = row.Verdict.And(v)
+	if before != row.Verdict {
+		row.Counterexamples = append(row.Counterexamples, exs...)
+	}
+	return nil
+}
+
+// RunTable3 regenerates Table 3: multi-variable systems under AD-5.
+func RunTable3(cfg Config) (*Table, error) {
+	return runMultiVarTable("Table 3", "AD-5", cfg, func() ad.Filter { return ad.NewAD5("x", "y") }, paperTable3())
+}
+
+// RunTableAD6 regenerates the Section 5.2 variant: Table 3 under AD-6.
+func RunTableAD6(cfg Config) (*Table, error) {
+	return runMultiVarTable("Table 3' (Section 5.2)", "AD-6", cfg, func() ad.Filter { return ad.NewAD6("x", "y") }, paperTableAD6())
+}
+
+// AllTables regenerates every property table in paper order.
+func AllTables(cfg Config) ([]*Table, error) {
+	runs := []func(Config) (*Table, error){
+		RunTable1, RunTable2, RunTableAD3, RunTableAD4, RunTable3, RunTableAD6,
+	}
+	out := make([]*Table, 0, len(runs))
+	for _, run := range runs {
+		t, err := run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+// Package link models the communication links of Section 2.1: front links
+// (DM → CE) deliver updates in order but may lose them; back links
+// (CE → AD) are lossless and ordered. Loss is expressed as a Model that
+// decides, per update, whether the link delivers it. Because delivery
+// preserves order, a lossy front link maps an update stream U to a
+// subsequence of U — exactly the U1, U2 ⊑ U of Figure 2(a).
+//
+// All randomness is injected through *rand.Rand so every run is
+// reproducible from a seed. The channel-level plumbing for live systems
+// lives in the runtime package; this package is pure.
+package link
+
+import (
+	"fmt"
+
+	"condmon/internal/event"
+	"condmon/internal/seq"
+
+	"math/rand"
+)
+
+// Model decides the fate of each update carried by a front link.
+// Implementations may be stateful (e.g. bursty loss); use a fresh Model per
+// link.
+type Model interface {
+	// Deliver reports whether the link delivers u. It may consume
+	// randomness from r and update internal state.
+	Deliver(u event.Update, r *rand.Rand) bool
+}
+
+// None is a lossless link: the Table 1 "Lossless" scenario and every back
+// link.
+type None struct{}
+
+var _ Model = None{}
+
+// Deliver implements Model.
+func (None) Deliver(event.Update, *rand.Rand) bool { return true }
+
+// Bernoulli drops each update independently with probability P.
+type Bernoulli struct {
+	// P is the per-update drop probability in [0, 1].
+	P float64
+}
+
+var _ Model = Bernoulli{}
+
+// NewBernoulli validates p and returns the model.
+func NewBernoulli(p float64) (Bernoulli, error) {
+	if p < 0 || p > 1 {
+		return Bernoulli{}, fmt.Errorf("link: drop probability %g outside [0,1]", p)
+	}
+	return Bernoulli{P: p}, nil
+}
+
+// Deliver implements Model.
+func (m Bernoulli) Deliver(_ event.Update, r *rand.Rand) bool {
+	return r.Float64() >= m.P
+}
+
+// Burst is a two-state Gilbert–Elliott loss model: the link alternates
+// between a good state (lossless) and a bad state (drops with probability
+// PDropBad), capturing correlated loss such as a router outage or a fading
+// radio channel.
+type Burst struct {
+	// PGoodToBad is the per-update probability of entering the bad state.
+	PGoodToBad float64
+	// PBadToGood is the per-update probability of recovering.
+	PBadToGood float64
+	// PDropBad is the drop probability while in the bad state.
+	PDropBad float64
+
+	bad bool
+}
+
+var _ Model = (*Burst)(nil)
+
+// NewBurst validates the parameters and returns a fresh model starting in
+// the good state.
+func NewBurst(pGoodToBad, pBadToGood, pDropBad float64) (*Burst, error) {
+	for _, p := range []float64{pGoodToBad, pBadToGood, pDropBad} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("link: burst probability %g outside [0,1]", p)
+		}
+	}
+	return &Burst{PGoodToBad: pGoodToBad, PBadToGood: pBadToGood, PDropBad: pDropBad}, nil
+}
+
+// Deliver implements Model.
+func (m *Burst) Deliver(_ event.Update, r *rand.Rand) bool {
+	if m.bad {
+		if r.Float64() < m.PBadToGood {
+			m.bad = false
+		}
+	} else if r.Float64() < m.PGoodToBad {
+		m.bad = true
+	}
+	if !m.bad {
+		return true
+	}
+	return r.Float64() >= m.PDropBad
+}
+
+// DropSeqNos drops an explicit per-variable set of sequence numbers and
+// delivers everything else. It is how tests and the experiment harness
+// script the exact loss patterns of the paper's examples (e.g. "2x is lost
+// at CE2").
+type DropSeqNos struct {
+	// Drops maps each variable to the sequence numbers the link loses.
+	Drops map[event.VarName]seq.Set
+}
+
+var _ Model = DropSeqNos{}
+
+// NewDropSeqNos builds a scripted model dropping the given seqnos of one
+// variable.
+func NewDropSeqNos(v event.VarName, seqNos ...int64) DropSeqNos {
+	return DropSeqNos{Drops: map[event.VarName]seq.Set{v: seq.NewSet(seqNos...)}}
+}
+
+// Deliver implements Model.
+func (m DropSeqNos) Deliver(u event.Update, _ *rand.Rand) bool {
+	drops, ok := m.Drops[u.Var]
+	return !ok || !drops.Contains(u.SeqNo)
+}
+
+// Apply runs a stream through a front link, returning the delivered
+// subsequence. The result preserves order: U' ⊑ U.
+func Apply(updates []event.Update, m Model, r *rand.Rand) []event.Update {
+	var out []event.Update
+	for _, u := range updates {
+		if m.Deliver(u, r) {
+			out = append(out, u)
+		}
+	}
+	return out
+}

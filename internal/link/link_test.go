@@ -1,0 +1,127 @@
+package link
+
+import (
+	"math/rand"
+	"testing"
+
+	"condmon/internal/event"
+	"condmon/internal/seq"
+)
+
+func stream(n int) []event.Update {
+	out := make([]event.Update, n)
+	for i := range out {
+		out[i] = event.U("x", int64(i+1), float64(i))
+	}
+	return out
+}
+
+func TestNoneDeliversEverything(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	got := Apply(stream(10), None{}, r)
+	if len(got) != 10 {
+		t.Errorf("None delivered %d of 10", len(got))
+	}
+}
+
+func TestBernoulliValidation(t *testing.T) {
+	if _, err := NewBernoulli(-0.1); err == nil {
+		t.Error("negative probability should be rejected")
+	}
+	if _, err := NewBernoulli(1.1); err == nil {
+		t.Error("probability > 1 should be rejected")
+	}
+	if _, err := NewBernoulli(0.5); err != nil {
+		t.Errorf("valid probability rejected: %v", err)
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	if got := Apply(stream(50), Bernoulli{P: 0}, r); len(got) != 50 {
+		t.Errorf("P=0 delivered %d of 50", len(got))
+	}
+	if got := Apply(stream(50), Bernoulli{P: 1}, r); len(got) != 0 {
+		t.Errorf("P=1 delivered %d of 50, want 0", len(got))
+	}
+}
+
+func TestBernoulliRateAndOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	in := stream(10000)
+	got := Apply(in, Bernoulli{P: 0.3}, r)
+	rate := 1 - float64(len(got))/float64(len(in))
+	if rate < 0.25 || rate > 0.35 {
+		t.Errorf("observed drop rate %.3f, want ≈0.30", rate)
+	}
+	if !event.SeqNos(got, "x").IsOrdered() {
+		t.Error("delivered subsequence must preserve order")
+	}
+	if !event.SeqNos(got, "x").SubsequenceOf(event.SeqNos(in, "x")) {
+		t.Error("delivered stream must be a subsequence of the input")
+	}
+}
+
+func TestBernoulliDeterministicPerSeed(t *testing.T) {
+	a := Apply(stream(100), Bernoulli{P: 0.5}, rand.New(rand.NewSource(7)))
+	b := Apply(stream(100), Bernoulli{P: 0.5}, rand.New(rand.NewSource(7)))
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced different lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at index %d", i)
+		}
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	if _, err := NewBurst(2, 0.5, 0.5); err == nil {
+		t.Error("invalid transition probability should be rejected")
+	}
+	if _, err := NewBurst(0.1, 0.5, 0.9); err != nil {
+		t.Errorf("valid parameters rejected: %v", err)
+	}
+}
+
+func TestBurstProducesCorrelatedLoss(t *testing.T) {
+	// With certain transitions the model is deterministic: first update
+	// flips to bad (always drops), second flips back to good.
+	m := &Burst{PGoodToBad: 1, PBadToGood: 1, PDropBad: 1}
+	r := rand.New(rand.NewSource(4))
+	got := Apply(stream(6), m, r)
+	// Pattern: drop, keep, drop, keep, …
+	if !event.SeqNos(got, "x").Equal(seq.Seq{2, 4, 6}) {
+		t.Errorf("deterministic burst pattern = %v, want ⟨2,4,6⟩", event.SeqNos(got, "x"))
+	}
+}
+
+func TestBurstLongRunLossy(t *testing.T) {
+	m, err := NewBurst(0.05, 0.2, 1.0)
+	if err != nil {
+		t.Fatalf("NewBurst: %v", err)
+	}
+	r := rand.New(rand.NewSource(5))
+	got := Apply(stream(10000), m, r)
+	if len(got) == 10000 || len(got) == 0 {
+		t.Errorf("burst model delivered %d of 10000, want partial loss", len(got))
+	}
+}
+
+func TestDropSeqNosScripted(t *testing.T) {
+	// The Example 1 loss pattern: 2x lost.
+	m := NewDropSeqNos("x", 2)
+	got := Apply(stream(3), m, nil)
+	if !event.SeqNos(got, "x").Equal(seq.Seq{1, 3}) {
+		t.Errorf("delivered %v, want ⟨1,3⟩", event.SeqNos(got, "x"))
+	}
+}
+
+func TestDropSeqNosOtherVariableUnaffected(t *testing.T) {
+	m := NewDropSeqNos("x", 1)
+	in := []event.Update{event.U("y", 1, 0), event.U("x", 1, 0)}
+	got := Apply(in, m, nil)
+	if len(got) != 1 || got[0].Var != "y" {
+		t.Errorf("delivered %v, want only 1y", got)
+	}
+}

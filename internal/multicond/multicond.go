@@ -1,0 +1,118 @@
+// Package multicond implements the multi-condition systems of Appendix D.
+//
+// Two architectures are covered:
+//
+//   - Separate CEs (Figures D-7(a)/(c)): each condition has its own
+//     (replicated) evaluators, and the single AD demultiplexes the merged
+//     alert stream by condition name, running an independent instance of
+//     the chosen filtering algorithm per condition — reducing each stream
+//     to the single-condition analysis of the paper's body.
+//
+//   - Co-located CEs (Figures D-7(b)/(d) and D-8): all conditions are
+//     evaluated by one CE over one update interleaving. This is modeled by
+//     reducing the condition set to the single disjunction C = A ∨ B ∨ …,
+//     after which the system is an ordinary single-condition system.
+//
+// As Example 4 shows, interdependent conditions with separate CEs can
+// present conflicting alerts even without replication; the Demux simply
+// inherits whatever guarantees its per-condition filters provide — the
+// cross-condition anomaly is fundamental to the separate-CE architecture.
+package multicond
+
+import (
+	"fmt"
+	"sync"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+)
+
+// Demux is the multi-condition Alert Displayer for the separate-CE
+// architecture: one filter instance per condition, displayed alerts merged
+// in arrival order.
+type Demux struct {
+	mu        sync.Mutex
+	filters   map[string]ad.Filter
+	displayed []event.Alert
+	suppress  int
+}
+
+// NewDemux builds a demultiplexing AD. newFilter is invoked once per
+// condition to create that stream's filter instance (e.g. a fresh AD-4 per
+// condition).
+func NewDemux(newFilter func(c cond.Condition) ad.Filter, conds ...cond.Condition) (*Demux, error) {
+	if len(conds) == 0 {
+		return nil, fmt.Errorf("multicond: demux needs at least one condition")
+	}
+	d := &Demux{filters: make(map[string]ad.Filter, len(conds))}
+	for _, c := range conds {
+		if _, dup := d.filters[c.Name()]; dup {
+			return nil, fmt.Errorf("multicond: duplicate condition name %q", c.Name())
+		}
+		d.filters[c.Name()] = newFilter(c)
+	}
+	return d, nil
+}
+
+// Offer routes the alert to its condition's filter instance and reports
+// whether it was displayed. Alerts for unknown conditions are an error:
+// they indicate mis-wiring, not a filtering decision.
+func (d *Demux) Offer(a event.Alert) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.filters[a.Cond]
+	if !ok {
+		return false, fmt.Errorf("multicond: alert for unknown condition %q", a.Cond)
+	}
+	if ad.Offer(f, a) {
+		d.displayed = append(d.displayed, a)
+		return true, nil
+	}
+	d.suppress++
+	return false, nil
+}
+
+// Displayed returns a copy of the merged displayed sequence.
+func (d *Demux) Displayed() []event.Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]event.Alert, len(d.displayed))
+	copy(out, d.displayed)
+	return out
+}
+
+// DisplayedFor returns the displayed subsequence of one condition.
+func (d *Demux) DisplayedFor(name string) []event.Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []event.Alert
+	for _, a := range d.displayed {
+		if a.Cond == name {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Suppressed returns the number of filtered alerts across all conditions.
+func (d *Demux) Suppressed() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.suppress
+}
+
+// Reduce folds a co-located condition set into the single disjunction
+// C = c1 ∨ c2 ∨ … of Figure D-8. The result is an ordinary Condition: its
+// variable set is the union, per-variable degree the maximum, and it is
+// conservative only if every operand is.
+func Reduce(conds ...cond.Condition) (cond.Condition, error) {
+	if len(conds) == 0 {
+		return nil, fmt.Errorf("multicond: reduce needs at least one condition")
+	}
+	out := conds[0]
+	for _, c := range conds[1:] {
+		out = cond.NewOr(out, c)
+	}
+	return out, nil
+}

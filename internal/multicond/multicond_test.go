@@ -1,0 +1,170 @@
+package multicond
+
+import (
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+)
+
+func conditionA() cond.Condition { return cond.GreaterThan{CondName: "A", X: "x", Y: "y"} }
+func conditionB() cond.Condition { return cond.GreaterThan{CondName: "B", X: "y", Y: "x"} }
+
+func perCondAD2(c cond.Condition) ad.Filter {
+	// Single-variable AD-2 keyed on the condition's first variable is
+	// enough for routing tests; real systems would pick AD-5/AD-6.
+	return ad.NewAD5(c.Vars()...)
+}
+
+func TestNewDemuxValidation(t *testing.T) {
+	if _, err := NewDemux(perCondAD2); err == nil {
+		t.Error("empty condition set should fail")
+	}
+	if _, err := NewDemux(perCondAD2, conditionA(), conditionA()); err == nil {
+		t.Error("duplicate condition names should fail")
+	}
+}
+
+func TestDemuxRoutesPerCondition(t *testing.T) {
+	d, err := NewDemux(perCondAD2, conditionA(), conditionB())
+	if err != nil {
+		t.Fatalf("NewDemux: %v", err)
+	}
+	mk := func(name string, x, y int64) event.Alert {
+		return event.Alert{Cond: name, Histories: event.HistorySet{
+			"x": {Var: "x", Recent: []event.Update{event.U("x", x, 0)}},
+			"y": {Var: "y", Recent: []event.Update{event.U("y", y, 0)}},
+		}}
+	}
+	// A's stream goes out of order — its own AD-5 instance drops the
+	// second alert — while B's stream is unaffected by A's state.
+	if ok, err := d.Offer(mk("A", 2, 2)); err != nil || !ok {
+		t.Fatalf("A(2,2): ok=%v err=%v", ok, err)
+	}
+	if ok, err := d.Offer(mk("A", 1, 3)); err != nil || ok {
+		t.Fatalf("A(1,3) inverts x-order and must be dropped: ok=%v err=%v", ok, err)
+	}
+	if ok, err := d.Offer(mk("B", 1, 1)); err != nil || !ok {
+		t.Fatalf("B(1,1) must pass through B's own filter: ok=%v err=%v", ok, err)
+	}
+	if got := len(d.DisplayedFor("A")); got != 1 {
+		t.Errorf("A displayed %d alerts, want 1", got)
+	}
+	if got := len(d.DisplayedFor("B")); got != 1 {
+		t.Errorf("B displayed %d alerts, want 1", got)
+	}
+	if d.Suppressed() != 1 {
+		t.Errorf("suppressed = %d, want 1", d.Suppressed())
+	}
+	if got := len(d.Displayed()); got != 2 {
+		t.Errorf("total displayed = %d, want 2", got)
+	}
+}
+
+func TestDemuxRejectsUnknownCondition(t *testing.T) {
+	d, err := NewDemux(perCondAD2, conditionA())
+	if err != nil {
+		t.Fatalf("NewDemux: %v", err)
+	}
+	a := event.Alert{Cond: "nosuch", Histories: event.HistorySet{}}
+	if _, err := d.Offer(a); err == nil {
+		t.Error("alert for unknown condition should error")
+	}
+}
+
+func TestPaperExample4ConflictingAlerts(t *testing.T) {
+	// Example 4: conditions A ("x hotter than y") and B ("y hotter than
+	// x") on separate CEs. Both reactors go 2000 → 2100, but A's CE sees
+	// the x change first while B's CE sees the y change first. Each
+	// triggers sensibly in isolation; together the user receives
+	// contradictory alerts — with no replication anywhere.
+	updatesA := []event.Update{
+		event.U("x", 1, 2000), event.U("y", 1, 2000),
+		event.U("x", 2, 2100), // A evaluates: x=2100 > y=2000 → trigger
+		event.U("y", 2, 2100),
+	}
+	updatesB := []event.Update{
+		event.U("x", 1, 2000), event.U("y", 1, 2000),
+		event.U("y", 2, 2100), // B evaluates: y=2100 > x=2000 → trigger
+		event.U("x", 2, 2100),
+	}
+	alertsA, err := ce.T(conditionA(), updatesA)
+	if err != nil {
+		t.Fatalf("T(A): %v", err)
+	}
+	alertsB, err := ce.T(conditionB(), updatesB)
+	if err != nil {
+		t.Fatalf("T(B): %v", err)
+	}
+	if len(alertsA) != 1 || len(alertsB) != 1 {
+		t.Fatalf("want one alert per condition, got %d and %d", len(alertsA), len(alertsB))
+	}
+
+	// The demux AD faithfully displays both: the conflict is architectural
+	// (Appendix D motivates, but does not solve, the multi-condition
+	// consistency problem).
+	d, err := NewDemux(perCondAD2, conditionA(), conditionB())
+	if err != nil {
+		t.Fatalf("NewDemux: %v", err)
+	}
+	for _, a := range []event.Alert{alertsA[0], alertsB[0]} {
+		if ok, err := d.Offer(a); err != nil || !ok {
+			t.Fatalf("Offer(%v): ok=%v err=%v", a, ok, err)
+		}
+	}
+	if got := len(d.Displayed()); got != 2 {
+		t.Errorf("displayed %d alerts, want the conflicting pair", got)
+	}
+}
+
+func TestReduceDisjunction(t *testing.T) {
+	c, err := Reduce(conditionA(), conditionB())
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	if got := c.Name(); got != "A∨B" {
+		t.Errorf("name = %q, want A∨B", got)
+	}
+	// With co-located evaluation (one interleaving), the combined
+	// condition sees x change first and fires as A; when y catches up the
+	// values tie and nothing fires — no contradiction is possible.
+	alerts, err := ce.T(c, []event.Update{
+		event.U("x", 1, 2000), event.U("y", 1, 2000),
+		event.U("x", 2, 2100), event.U("y", 2, 2100),
+	})
+	if err != nil {
+		t.Fatalf("T: %v", err)
+	}
+	if len(alerts) != 1 {
+		t.Fatalf("co-located C=A∨B should fire once, got %v", alerts)
+	}
+	if alerts[0].Cond != "A∨B" {
+		t.Errorf("alert condition = %q", alerts[0].Cond)
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	if _, err := Reduce(); err == nil {
+		t.Error("empty reduce should fail")
+	}
+	c, err := Reduce(conditionA())
+	if err != nil || c.Name() != "A" {
+		t.Errorf("single-condition reduce should be identity, got %v/%v", c, err)
+	}
+}
+
+func TestReduceThreeConditions(t *testing.T) {
+	c3 := cond.Threshold{CondName: "hot", Var: "x", Limit: 2050, Above: true}
+	c, err := Reduce(conditionA(), conditionB(), c3)
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	if got := c.Name(); got != "A∨B∨hot" {
+		t.Errorf("name = %q", got)
+	}
+	if got := len(c.Vars()); got != 2 {
+		t.Errorf("vars = %d, want 2 (x, y)", got)
+	}
+}

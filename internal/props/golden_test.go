@@ -1,0 +1,201 @@
+package props
+
+// Golden scenario corpus: hand-constructed loss patterns with exact
+// expected per-CE alert streams and property verdicts under each AD
+// algorithm. These pin the end-to-end behavior of the CE + AD + checker
+// pipeline against regressions, covering corners the randomized suites
+// reach only probabilistically: losses at stream boundaries, identical
+// losses at both CEs, overlapping gaps, and degree-3 conditions (the
+// paper's "uses only Hx[0] and Hx[−2]" case).
+
+import (
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/seq"
+	"condmon/internal/sim"
+)
+
+// deg3 fires when the value rose by more than 200 since two readings
+// before the current one (inspects Hx[0] and Hx[-2]: degree 3, aggressive).
+func deg3() cond.Condition {
+	return cond.MustParse("deg3", "x[0] - x[-2] > 200")
+}
+
+// deg3cons is the conservative variant.
+func deg3cons() cond.Condition {
+	return cond.MustParse("deg3-cons", "x[0] - x[-2] > 200 && consecutive(x)")
+}
+
+func TestGoldenScenarios(t *testing.T) {
+	ramp := []event.Update{
+		event.U("x", 1, 100), event.U("x", 2, 250), event.U("x", 3, 400),
+		event.U("x", 4, 550), event.U("x", 5, 700),
+	}
+	tests := []struct {
+		name   string
+		cond   cond.Condition
+		u      []event.Update
+		drop1  []int64
+		drop2  []int64
+		wantA1 seq.Seq // trigger seqnos per CE
+		wantA2 seq.Seq
+		// property verdicts under AD-1 and AD-4 (single variable)
+		wantAD1 Verdict
+		wantAD4 Verdict
+	}{
+		{
+			name:    "no loss ramp c2",
+			cond:    cond.NewRiseAggressive("x"),
+			u:       []event.Update{event.U("x", 1, 0), event.U("x", 2, 300), event.U("x", 3, 350)},
+			wantA1:  seq.Seq{2},
+			wantA2:  seq.Seq{2},
+			wantAD1: Verdict{Ordered: true, Complete: true, Consistent: true},
+			wantAD4: Verdict{Ordered: true, Complete: true, Consistent: true},
+		},
+		{
+			name:    "first update lost at CE2",
+			cond:    cond.NewOverheat("x"),
+			u:       []event.Update{event.U("x", 1, 3100), event.U("x", 2, 3200)},
+			drop2:   []int64{1},
+			wantA1:  seq.Seq{1, 2},
+			wantA2:  seq.Seq{2},
+			wantAD1: Verdict{Ordered: false, Complete: true, Consistent: true},
+			wantAD4: Verdict{Ordered: true, Complete: false, Consistent: true},
+		},
+		{
+			name:    "last update lost at CE1",
+			cond:    cond.NewOverheat("x"),
+			u:       []event.Update{event.U("x", 1, 3100), event.U("x", 2, 3200)},
+			drop1:   []int64{2},
+			wantA1:  seq.Seq{1},
+			wantA2:  seq.Seq{1, 2},
+			wantAD1: Verdict{Ordered: true, Complete: true, Consistent: true},
+			wantAD4: Verdict{Ordered: true, Complete: true, Consistent: true},
+		},
+		{
+			name:    "same update lost at both CEs",
+			cond:    cond.NewRiseAggressive("x"),
+			u:       []event.Update{event.U("x", 1, 0), event.U("x", 2, 300), event.U("x", 3, 350)},
+			drop1:   []int64{2},
+			drop2:   []int64{2},
+			wantA1:  seq.Seq{3}, // 350 − 0 > 200 across the shared gap
+			wantA2:  seq.Seq{3},
+			wantAD1: Verdict{Ordered: true, Complete: true, Consistent: true},
+			wantAD4: Verdict{Ordered: true, Complete: true, Consistent: true},
+		},
+		{
+			name:    "overlapping different gaps aggressive",
+			cond:    cond.NewRiseAggressive("x"),
+			u:       []event.Update{event.U("x", 1, 400), event.U("x", 2, 700), event.U("x", 3, 720)},
+			drop2:   []int64{2},
+			wantA1:  seq.Seq{2},
+			wantA2:  seq.Seq{3},
+			wantAD1: Verdict{Ordered: false, Complete: false, Consistent: false},
+			wantAD4: Verdict{Ordered: true, Complete: false, Consistent: true},
+		},
+		{
+			name:    "degree-3 aggressive lossless",
+			cond:    deg3(),
+			u:       ramp,
+			wantA1:  seq.Seq{3, 4, 5}, // each rose 300 over two steps
+			wantA2:  seq.Seq{3, 4, 5},
+			wantAD1: Verdict{Ordered: true, Complete: true, Consistent: true},
+			wantAD4: Verdict{Ordered: true, Complete: true, Consistent: true},
+		},
+		{
+			name:  "degree-3 aggressive with disjoint gaps",
+			cond:  deg3(),
+			u:     ramp,
+			drop1: []int64{2},
+			drop2: []int64{4},
+			// CE1 windows after warmup: (1,3,4) fires at 4 (550−100>200),
+			// (3,4,5) fires at 5. CE2: (1,2,3) fires at 3, (2,3,5) fires at
+			// 5 (700−250>200).
+			wantA1:  seq.Seq{4, 5},
+			wantA2:  seq.Seq{3, 5},
+			wantAD1: Verdict{Ordered: false, Complete: false, Consistent: false},
+			wantAD4: Verdict{Ordered: true, Complete: false, Consistent: true},
+		},
+		{
+			name:    "degree-3 conservative with gap stays silent",
+			cond:    deg3cons(),
+			u:       ramp[:4],
+			drop1:   []int64{2},
+			drop2:   []int64{1},
+			wantA1:  nil,        // windows (1,3,4) not consecutive
+			wantA2:  seq.Seq{4}, // (2,3,4) consecutive, 550−250>200
+			wantAD1: Verdict{Ordered: true, Complete: false, Consistent: true},
+			wantAD4: Verdict{Ordered: true, Complete: false, Consistent: true},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			run, err := sim.RunSingleVar(tt.cond, tt.u,
+				link.NewDropSeqNos("x", tt.drop1...), link.NewDropSeqNos("x", tt.drop2...), nil)
+			if err != nil {
+				t.Fatalf("RunSingleVar: %v", err)
+			}
+			if got := event.AlertSeqNos(run.A1, "x"); !got.Equal(tt.wantA1) {
+				t.Errorf("A1 triggers = %v, want %v", got, tt.wantA1)
+			}
+			if got := event.AlertSeqNos(run.A2, "x"); !got.Equal(tt.wantA2) {
+				t.Errorf("A2 triggers = %v, want %v", got, tt.wantA2)
+			}
+			v1, _, err := CheckSingleVarRun(run, func() ad.Filter { return ad.NewAD1() })
+			if err != nil {
+				t.Fatalf("CheckSingleVarRun(AD-1): %v", err)
+			}
+			if v1 != tt.wantAD1 {
+				t.Errorf("AD-1 verdict = %v, want %v", v1, tt.wantAD1)
+			}
+			v4, _, err := CheckSingleVarRun(run, func() ad.Filter { return ad.NewAD4("x") })
+			if err != nil {
+				t.Fatalf("CheckSingleVarRun(AD-4): %v", err)
+			}
+			if v4 != tt.wantAD4 {
+				t.Errorf("AD-4 verdict = %v, want %v", v4, tt.wantAD4)
+			}
+		})
+	}
+}
+
+func TestDegree3ConsistencyConstraints(t *testing.T) {
+	// A degree-3 alert with window (1,3,5) asserts 1,3,5 received and 2,4
+	// missed. A later alert asserting 4 received must conflict.
+	mk := func(seqNos ...int64) event.Alert {
+		h := event.History{Var: "x"}
+		for i := len(seqNos) - 1; i >= 0; i-- {
+			h.Recent = append(h.Recent, event.U("x", seqNos[i], 0))
+		}
+		return event.Alert{Cond: "deg3", Histories: event.HistorySet{"x": h}}
+	}
+	gappy := mk(1, 3, 5)
+	conflicting := mk(3, 4, 6)
+	compatible := mk(5, 6, 7)
+
+	if !ConsistentSingle([]event.Alert{gappy}) {
+		t.Error("single degree-3 alert is consistent")
+	}
+	if ConsistentSingle([]event.Alert{gappy, conflicting}) {
+		t.Error("window (3,4,6) asserts 4 received; (1,3,5) asserts it missed — inconsistent")
+	}
+	if !ConsistentSingle([]event.Alert{gappy, compatible}) {
+		t.Error("windows (1,3,5) and (5,6,7) are compatible")
+	}
+
+	// AD-3 must make exactly the same calls.
+	f := ad.NewAD3("x")
+	if !ad.Offer(f, gappy) {
+		t.Fatal("gappy alert should pass a fresh AD-3")
+	}
+	if ad.Offer(f, conflicting) {
+		t.Error("AD-3 must reject the conflicting degree-3 alert")
+	}
+	if !ad.Offer(f, compatible) {
+		t.Error("AD-3 should pass the compatible degree-3 alert")
+	}
+}

@@ -1,0 +1,78 @@
+package props
+
+// Guard-rail tests: the exhaustive cross-checkers and search-based
+// deciders must refuse inputs beyond their enumeration bounds rather than
+// silently burning CPU or returning wrong answers.
+
+import (
+	"testing"
+
+	"condmon/internal/cond"
+	"condmon/internal/event"
+)
+
+func bigUpdateStream(v event.VarName, n int) []event.Update {
+	out := make([]event.Update, n)
+	for i := range out {
+		out[i] = event.U(v, int64(i+1), 3100)
+	}
+	return out
+}
+
+func TestConsistentSingleExhaustiveBound(t *testing.T) {
+	c := cond.NewOverheat("x")
+	u := bigUpdateStream("x", 17) // union of 17 > the 16-update bound
+	if _, err := ConsistentSingleExhaustive(nil, c, u, nil); err == nil {
+		t.Error("exhaustive single-variable check must reject >16 combined updates")
+	}
+}
+
+func TestConsistentMultiExhaustiveBound(t *testing.T) {
+	c := cond.NewTempDiff("x", "y")
+	combined := map[event.VarName][]event.Update{
+		"x": bigUpdateStream("x", 7),
+		"y": bigUpdateStream("y", 7),
+	}
+	if _, err := ConsistentMultiExhaustive(nil, c, combined); err == nil {
+		t.Error("exhaustive multi-variable check must reject >12 combined updates")
+	}
+}
+
+func TestConsistentMultiOptionalBound(t *testing.T) {
+	// One degree-1 two-variable alert leaves every other combined update
+	// optional; 17 optional updates exceed the search bound.
+	c := cond.NewTempDiff("x", "y")
+	a := event.Alert{Cond: "cm", Histories: event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 100, 0)}},
+		"y": {Var: "y", Recent: []event.Update{event.U("y", 100, 0)}},
+	}}
+	combined := map[event.VarName][]event.Update{
+		"x": bigUpdateStream("x", 9),
+		"y": bigUpdateStream("y", 9),
+	}
+	if _, err := ConsistentMulti([]event.Alert{a}, c, combined); err == nil {
+		t.Error("consistency search must reject >16 optional updates")
+	}
+}
+
+func TestConsistentMultiEmptyOutput(t *testing.T) {
+	c := cond.NewTempDiff("x", "y")
+	ok, err := ConsistentMulti(nil, c, nil)
+	if err != nil || !ok {
+		t.Errorf("empty output is trivially consistent (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestJointlyConsistentOptionalBound(t *testing.T) {
+	a := event.Alert{Cond: "p", Histories: event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 100, 0)}},
+		"y": {Var: "y", Recent: []event.Update{event.U("y", 100, 0)}},
+	}}
+	combined := map[event.VarName][]event.Update{
+		"x": bigUpdateStream("x", 9),
+		"y": bigUpdateStream("y", 9),
+	}
+	if _, err := JointlyConsistent(map[string][]event.Alert{"p": {a}}, combined); err == nil {
+		t.Error("joint consistency search must reject >16 optional updates")
+	}
+}

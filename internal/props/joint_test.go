@@ -1,0 +1,125 @@
+package props
+
+import (
+	"testing"
+
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+)
+
+func example4Outputs(t *testing.T) (map[string][]event.Alert, map[event.VarName][]event.Update) {
+	t.Helper()
+	condA := cond.GreaterThan{CondName: "A", X: "x", Y: "y"}
+	condB := cond.GreaterThan{CondName: "B", X: "y", Y: "x"}
+	seenByA := []event.Update{
+		event.U("x", 1, 2000), event.U("y", 1, 2000),
+		event.U("x", 2, 2100), event.U("y", 2, 2100),
+	}
+	seenByB := []event.Update{
+		event.U("x", 1, 2000), event.U("y", 1, 2000),
+		event.U("y", 2, 2100), event.U("x", 2, 2100),
+	}
+	alertsA, err := ce.T(condA, seenByA)
+	if err != nil {
+		t.Fatalf("T(A): %v", err)
+	}
+	alertsB, err := ce.T(condB, seenByB)
+	if err != nil {
+		t.Fatalf("T(B): %v", err)
+	}
+	if len(alertsA) != 1 || len(alertsB) != 1 {
+		t.Fatalf("want one alert per condition, got %d and %d", len(alertsA), len(alertsB))
+	}
+	combined := map[event.VarName][]event.Update{
+		"x": {event.U("x", 1, 2000), event.U("x", 2, 2100)},
+		"y": {event.U("y", 1, 2000), event.U("y", 2, 2100)},
+	}
+	return map[string][]event.Alert{"A": alertsA, "B": alertsB}, combined
+}
+
+func TestExample4IsJointlyInconsistent(t *testing.T) {
+	// The Appendix D anomaly, formalized: A's alert requires the x change
+	// to precede the y change; B's alert requires the reverse. No single
+	// co-located evaluator could have produced both.
+	outputs, combined := example4Outputs(t)
+	ok, err := JointlyConsistent(outputs, combined)
+	if err != nil {
+		t.Fatalf("JointlyConsistent: %v", err)
+	}
+	if ok {
+		t.Error("Example 4's conflicting alerts must be jointly inconsistent")
+	}
+	// Each output alone IS consistent — the anomaly is strictly
+	// cross-condition.
+	for name, alerts := range outputs {
+		single := map[string][]event.Alert{name: alerts}
+		ok, err := JointlyConsistent(single, combined)
+		if err != nil {
+			t.Fatalf("JointlyConsistent(%s): %v", name, err)
+		}
+		if !ok {
+			t.Errorf("%s's output alone should be consistent", name)
+		}
+	}
+}
+
+func TestCoLocatedReductionIsJointlyConsistent(t *testing.T) {
+	// Figure D-8: the co-located evaluator sees one interleaving; its
+	// C = A ∨ B alerts are jointly consistent by construction.
+	condA := cond.GreaterThan{CondName: "A", X: "x", Y: "y"}
+	condB := cond.GreaterThan{CondName: "B", X: "y", Y: "x"}
+	combinedCond := cond.NewOr(condA, condB)
+	alerts, err := ce.T(combinedCond, []event.Update{
+		event.U("x", 1, 2000), event.U("y", 1, 2000),
+		event.U("x", 2, 2100), event.U("y", 2, 2100),
+	})
+	if err != nil {
+		t.Fatalf("T(C): %v", err)
+	}
+	combined := map[event.VarName][]event.Update{
+		"x": {event.U("x", 1, 2000), event.U("x", 2, 2100)},
+		"y": {event.U("y", 1, 2000), event.U("y", 2, 2100)},
+	}
+	ok, err := JointlyConsistent(map[string][]event.Alert{combinedCond.Name(): alerts}, combined)
+	if err != nil {
+		t.Fatalf("JointlyConsistent: %v", err)
+	}
+	if !ok {
+		t.Error("co-located C = A ∨ B output must be jointly consistent")
+	}
+}
+
+func TestJointlyConsistentTrivialCases(t *testing.T) {
+	ok, err := JointlyConsistent(nil, nil)
+	if err != nil || !ok {
+		t.Errorf("empty output set should be jointly consistent (ok=%v err=%v)", ok, err)
+	}
+	// Single variable: reduces to received/missed disjointness.
+	a1 := alertWin("x", 2, 1)
+	a2 := alertWin("x", 3, 1) // asserts 2 missed: conflicts with a1
+	ok, err = JointlyConsistent(map[string][]event.Alert{"p": {a1}, "q": {a2}}, nil)
+	if err != nil {
+		t.Fatalf("JointlyConsistent: %v", err)
+	}
+	if ok {
+		t.Error("window conflict across conditions must be jointly inconsistent")
+	}
+}
+
+func TestJointlyConsistentDisjointVariableSets(t *testing.T) {
+	// Conditions over disjoint variables impose no cross constraints.
+	p := alertWin("x", 2, 1)
+	q := alertWin("y", 5, 4)
+	combined := map[event.VarName][]event.Update{
+		"x": {event.U("x", 1, 0), event.U("x", 2, 0)},
+		"y": {event.U("y", 4, 0), event.U("y", 5, 0)},
+	}
+	ok, err := JointlyConsistent(map[string][]event.Alert{"p": {p}, "q": {q}}, combined)
+	if err != nil {
+		t.Fatalf("JointlyConsistent: %v", err)
+	}
+	if !ok {
+		t.Error("disjoint-variable outputs are trivially jointly consistent")
+	}
+}

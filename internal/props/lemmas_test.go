@@ -1,0 +1,188 @@
+package props
+
+// Machine checks for the paper's supporting lemmas (Appendix B). Lemma 2
+// (U ⊔ U = U) is covered in internal/seq; this file verifies the lemmas
+// that involve T and the AD-1 merge M.
+
+import (
+	"math/rand"
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/sim"
+)
+
+// randomDelivered returns a random delivered subsequence pair (U1, U2) of
+// a random c1-style stream.
+func randomDelivered(t *testing.T, r *rand.Rand) (cond.Condition, *sim.SingleVarRun) {
+	t.Helper()
+	c := cond.NewOverheat("x")
+	u := make([]event.Update, 5)
+	for i := range u {
+		u[i] = event.U("x", int64(i+1), 2800+float64(r.Intn(500)))
+	}
+	run, err := sim.RunSingleVar(c, u, link.Bernoulli{P: 0.35}, link.Bernoulli{P: 0.35}, r)
+	if err != nil {
+		t.Fatalf("RunSingleVar: %v", err)
+	}
+	return c, run
+}
+
+func TestLemma1Phi(t *testing.T) {
+	// Lemma 1: ΦM(A1, A2) = ΦA1 ∪ ΦA2 for AD-1, for every interleaving.
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		_, run := randomDelivered(t, r)
+		want := event.KeySet(append(append([]event.Alert(nil), run.A1...), run.A2...))
+		err := sim.ForEachArrival(run.A1, run.A2, func(merged []event.Alert) bool {
+			got := event.KeySet(ad.Run(ad.NewAD1(), merged))
+			if len(got) != len(want) {
+				t.Errorf("trial %d: |ΦM| = %d, want %d", trial, len(got), len(want))
+				return false
+			}
+			for k := range got {
+				if _, ok := want[k]; !ok {
+					t.Errorf("trial %d: ΦM contains foreign alert %s", trial, k)
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatalf("ForEachArrival: %v", err)
+		}
+	}
+}
+
+func TestCorollary1MergeOfEqualStreams(t *testing.T) {
+	// Corollary 1: M(A, A) = A for ordered A — merging a stream with an
+	// identical copy under AD-1 reproduces the stream exactly, in every
+	// interleaving.
+	r := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 60; trial++ {
+		c := cond.NewOverheat("x")
+		u := make([]event.Update, 5)
+		for i := range u {
+			u[i] = event.U("x", int64(i+1), 2800+float64(r.Intn(500)))
+		}
+		a, err := ce.T(c, u)
+		if err != nil {
+			t.Fatalf("T: %v", err)
+		}
+		wantKeys := event.AlertKeys(a)
+		err = sim.ForEachArrival(a, a, func(merged []event.Alert) bool {
+			got := event.AlertKeys(ad.Run(ad.NewAD1(), merged))
+			if len(got) != len(wantKeys) {
+				t.Errorf("trial %d: M(A,A) has %d alerts, want %d", trial, len(got), len(wantKeys))
+				return false
+			}
+			for i := range got {
+				if got[i] != wantKeys[i] {
+					t.Errorf("trial %d: M(A,A)[%d] = %s, want %s", trial, i, got[i], wantKeys[i])
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatalf("ForEachArrival: %v", err)
+		}
+	}
+}
+
+func TestLemma3NonHistoricalTDistributesOverUnion(t *testing.T) {
+	// Lemma 3: for non-historical T, T(U1 ⊔ U2) = T(U1) ⊔ T(U2) — equal
+	// as ordered sequences of alert identities.
+	r := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 100; trial++ {
+		c, run := randomDelivered(t, r)
+		left, err := ce.T(c, run.NInput)
+		if err != nil {
+			t.Fatalf("T(U1⊔U2): %v", err)
+		}
+		// Ordered union of the alert streams: merge by trigger seqno,
+		// dropping duplicates — both streams are ordered and duplicate-free.
+		right := orderedAlertUnion(run.A1, run.A2)
+		if len(left) != len(right) {
+			t.Fatalf("trial %d: |T(U1⊔U2)| = %d, |T(U1) ⊔ T(U2)| = %d", trial, len(left), len(right))
+		}
+		for i := range left {
+			if left[i].Key() != right[i].Key() {
+				t.Fatalf("trial %d: position %d differs: %s vs %s",
+					trial, i, left[i].Key(), right[i].Key())
+			}
+		}
+	}
+}
+
+func TestCorollary2PhiUnion(t *testing.T) {
+	// Corollary 2: ΦT(U1 ⊔ U2) = ΦT(U1) ∪ ΦT(U2) for non-historical T.
+	r := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 100; trial++ {
+		_, run := randomDelivered(t, r)
+		got := event.KeySet(run.NOutput)
+		want := event.KeySet(append(append([]event.Alert(nil), run.A1...), run.A2...))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: |ΦT(U1⊔U2)| = %d, |ΦT(U1) ∪ ΦT(U2)| = %d", trial, len(got), len(want))
+		}
+		for k := range got {
+			if _, ok := want[k]; !ok {
+				t.Fatalf("trial %d: key %s missing from the union", trial, k)
+			}
+		}
+	}
+}
+
+func TestLemma3FailsForHistoricalT(t *testing.T) {
+	// The lemma's non-historical hypothesis is necessary: the Theorem 4
+	// scenario gives a historical T where ΦT(U1⊔U2) ≠ ΦT(U1) ∪ ΦT(U2).
+	c := cond.NewRiseAggressive("x")
+	u := []event.Update{event.U("x", 1, 400), event.U("x", 2, 700), event.U("x", 3, 720)}
+	run, err := sim.RunSingleVar(c, u, link.None{}, link.NewDropSeqNos("x", 2), nil)
+	if err != nil {
+		t.Fatalf("RunSingleVar: %v", err)
+	}
+	got := event.KeySet(run.NOutput)
+	union := event.KeySet(append(append([]event.Alert(nil), run.A1...), run.A2...))
+	if len(got) == len(union) {
+		t.Error("historical T should break the Lemma 3 equality in this scenario")
+	}
+}
+
+// orderedAlertUnion merges two ordered duplicate-free alert streams by
+// trigger sequence number, removing duplicates — the alert-level ⊔.
+func orderedAlertUnion(a1, a2 []event.Alert) []event.Alert {
+	var out []event.Alert
+	i, j := 0, 0
+	push := func(a event.Alert) {
+		if len(out) == 0 || out[len(out)-1].Key() != a.Key() {
+			out = append(out, a)
+		}
+	}
+	for i < len(a1) && j < len(a2) {
+		ni, nj := a1[i].MustSeqNo("x"), a2[j].MustSeqNo("x")
+		switch {
+		case ni < nj:
+			push(a1[i])
+			i++
+		case ni > nj:
+			push(a2[j])
+			j++
+		default:
+			push(a1[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(a1); i++ {
+		push(a1[i])
+	}
+	for ; j < len(a2); j++ {
+		push(a2[j])
+	}
+	return out
+}

@@ -1,0 +1,393 @@
+// Package props machine-checks the three properties of Section 3.1 — and
+// their multi-variable extensions from Appendix C — on concrete system
+// outputs:
+//
+//	Orderedness:  A is ordered (Π_v A non-decreasing for every variable v).
+//	Completeness: ΦA = ΦT(U1 ⊔ U2) (single variable); ∃ interleaving UV of
+//	              the combined per-variable streams with ΦA = ΦT(UV)
+//	              (multi-variable).
+//	Consistency:  ∃U′ ⊑ U1 ⊔ U2 with ΦA ⊆ ΦT(U′) (single variable);
+//	              ∃U′ whose projections are subsequences of the combined
+//	              streams with ΦA ⊆ ΦT(U′) (multi-variable).
+//
+// The single-variable consistency checker is exact and linear: an alert a
+// with history window w is in T(U′) iff w ⊆ U′ and no gap of w's spanning
+// set is in U′, so A is consistent iff the union of asserted-received and
+// asserted-missed update sets are disjoint — precisely the Received/Missed
+// construction in the proof of Theorem 7.
+//
+// The multi-variable checkers additionally quantify over cross-variable
+// interleavings: consistency reduces to acyclicity of the precedence graph
+// from the proof of Lemma 5 (searched over the small set of optional
+// updates), and completeness enumerates interleavings exhaustively. Both
+// are exact on the paper-scale scenarios used by the experiment harness.
+package props
+
+import (
+	"fmt"
+
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/seq"
+	"condmon/internal/sim"
+)
+
+// Ordered reports whether the alert sequence is ordered with respect to
+// every one of the given variables (Section 2.2: Π_v A non-decreasing).
+func Ordered(alerts []event.Alert, vars []event.VarName) bool {
+	for _, v := range vars {
+		if !event.AlertSeqNos(alerts, v).IsOrdered() {
+			return false
+		}
+	}
+	return true
+}
+
+// AlertsSubsequence reports whether sub ⊑ super as sequences of alert
+// identities: sub can be obtained from super by deleting alerts. It is the
+// order the domination relation of Section 4.1 compares filter outputs by.
+func AlertsSubsequence(sub, super []event.Alert) bool {
+	i := 0
+	for _, a := range super {
+		if i < len(sub) && sub[i].Key() == a.Key() {
+			i++
+		}
+	}
+	return i == len(sub)
+}
+
+// CompleteSingle reports ΦA = ΦT(U1 ⊔ U2) for a single-variable system.
+func CompleteSingle(alerts []event.Alert, c cond.Condition, u1, u2 []event.Update) (bool, error) {
+	union, err := sim.OrderedUnionUpdates(u1, u2)
+	if err != nil {
+		return false, err
+	}
+	want, err := ce.T(c, union)
+	if err != nil {
+		return false, err
+	}
+	return event.KeySetEqual(alerts, want), nil
+}
+
+// assertions collects, per variable, the update sets that a displayed alert
+// sequence asserts were received (history windows) and missed (gaps in the
+// windows' spanning sets).
+type assertions struct {
+	received map[event.VarName]seq.Set
+	missed   map[event.VarName]seq.Set
+}
+
+func collectAssertions(alerts []event.Alert) assertions {
+	as := assertions{
+		received: make(map[event.VarName]seq.Set),
+		missed:   make(map[event.VarName]seq.Set),
+	}
+	for _, a := range alerts {
+		for v, h := range a.Histories {
+			if as.received[v] == nil {
+				as.received[v] = make(seq.Set)
+				as.missed[v] = make(seq.Set)
+			}
+			win := h.SeqNosAscending()
+			as.received[v].AddSeq(win)
+			for s := range seq.Gaps(win) {
+				as.missed[v].Add(s)
+			}
+		}
+	}
+	return as
+}
+
+// conflictFree reports whether no update is asserted both received and
+// missed.
+func (as assertions) conflictFree() bool {
+	for v, rec := range as.received {
+		if len(rec.Intersect(as.missed[v])) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ConsistentSingle reports consistency of a single-variable output: the
+// constraint-satisfiability criterion. The witness U′, when one exists, is
+// the union of all asserted-received updates.
+//
+// Exactness: alert a (window w) ∈ T(U′) ⇔ w ⊆ U′ ∧ gaps(w) ∩ U′ = ∅, so a
+// satisfying U′ exists iff ⋃windows and ⋃gaps are disjoint. Every window
+// element was genuinely delivered to some CE, so U′ ⊑ U1 ⊔ U2 holds by
+// construction.
+func ConsistentSingle(alerts []event.Alert) bool {
+	return collectAssertions(alerts).conflictFree()
+}
+
+// ConsistentSingleExhaustive is a brute-force cross-check of
+// ConsistentSingle for tests: it enumerates every subsequence U′ of
+// U1 ⊔ U2 and looks for one with ΦA ⊆ ΦT(U′). Exponential; inputs must be
+// short.
+func ConsistentSingleExhaustive(alerts []event.Alert, c cond.Condition, u1, u2 []event.Update) (bool, error) {
+	union, err := sim.OrderedUnionUpdates(u1, u2)
+	if err != nil {
+		return false, err
+	}
+	if len(union) > 16 {
+		return false, fmt.Errorf("props: exhaustive consistency check over %d updates is too large", len(union))
+	}
+	for mask := 0; mask < 1<<len(union); mask++ {
+		var sub []event.Update
+		for i, u := range union {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, u)
+			}
+		}
+		out, err := ce.T(c, sub)
+		if err != nil {
+			return false, err
+		}
+		if event.KeySetSubset(alerts, out) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// CompleteMulti reports multi-variable completeness (Appendix C): some
+// interleaving UV of the combined per-variable streams satisfies
+// ΦA = ΦT(UV). For a single variable it degenerates to CompleteSingle.
+func CompleteMulti(alerts []event.Alert, c cond.Condition, combined map[event.VarName][]event.Update) (bool, error) {
+	found := false
+	err := sim.ForEachInterleaving(combined, func(uv []event.Update) bool {
+		out, terr := ce.T(c, uv)
+		if terr != nil {
+			return true // skip; T never errors on well-formed streams
+		}
+		if event.KeySetEqual(alerts, out) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	return found, nil
+}
+
+// ConsistentMulti reports multi-variable consistency (Appendix C): does
+// some update sequence U′ — any interleaving of any per-variable
+// subsequences of the combined streams — satisfy ΦA ⊆ ΦT(U′)?
+//
+// Per variable, the window/gap constraints fix which updates must be in U′
+// (asserted received) and must not be (asserted missed); updates asserted
+// neither way are optional. For each assignment of the optional updates the
+// cross-variable arrival constraints of Lemma 5 form a precedence graph
+// (per-variable chains plus, per alert, "the alert's latest v-update
+// precedes the next chosen w-update after the alert's latest w-update");
+// U′ exists for that assignment iff the graph is acyclic. The search is
+// exponential only in the number of optional updates that appear in some
+// alert's variable set, which the paper-scale scenarios keep tiny.
+func ConsistentMulti(alerts []event.Alert, c cond.Condition, combined map[event.VarName][]event.Update) (bool, error) {
+	if len(alerts) == 0 {
+		return true, nil
+	}
+	as := collectAssertions(alerts)
+	if !as.conflictFree() {
+		return false, nil
+	}
+	vars := c.Vars()
+	if len(vars) == 1 {
+		return true, nil // single variable: disjointness is sufficient
+	}
+
+	// Optional updates: in the combined streams, not asserted either way.
+	type optional struct {
+		v event.VarName
+		n int64
+	}
+	var opts []optional
+	for _, v := range vars {
+		rec, miss := as.received[v], as.missed[v]
+		for _, u := range combined[v] {
+			if (rec == nil || !rec.Contains(u.SeqNo)) && (miss == nil || !miss.Contains(u.SeqNo)) {
+				opts = append(opts, optional{v: v, n: u.SeqNo})
+			}
+		}
+	}
+	const maxOptional = 16
+	if len(opts) > maxOptional {
+		return false, fmt.Errorf("props: consistency search over %d optional updates is too large", len(opts))
+	}
+
+	for mask := 0; mask < 1<<len(opts); mask++ {
+		chosen := make(map[event.VarName]seq.Set, len(vars))
+		for _, v := range vars {
+			chosen[v] = make(seq.Set)
+			if rec := as.received[v]; rec != nil {
+				for s := range rec {
+					chosen[v].Add(s)
+				}
+			}
+		}
+		for i, o := range opts {
+			if mask&(1<<i) != 0 {
+				chosen[o.v].Add(o.n)
+			}
+		}
+		if precedenceFeasible(alerts, vars, chosen) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// nodeID identifies an update node in the precedence graph.
+type nodeID struct {
+	v event.VarName
+	n int64
+}
+
+// precedenceFeasible builds the Lemma 5 precedence graph for the chosen
+// update sets and reports acyclicity.
+func precedenceFeasible(alerts []event.Alert, vars []event.VarName, chosen map[event.VarName]seq.Set) bool {
+	adj := make(map[nodeID][]nodeID)
+
+	// Per-variable chains.
+	sorted := make(map[event.VarName]seq.Seq, len(vars))
+	for _, v := range vars {
+		s := chosen[v].Sorted()
+		sorted[v] = s
+		for i := 1; i < len(s); i++ {
+			from := nodeID{v: v, n: s[i-1]}
+			adj[from] = append(adj[from], nodeID{v: v, n: s[i]})
+		}
+	}
+
+	// succ(v, n): the smallest chosen v-update strictly greater than n.
+	succ := func(v event.VarName, n int64) (int64, bool) {
+		for _, s := range sorted[v] {
+			if s > n {
+				return s, true
+			}
+		}
+		return 0, false
+	}
+
+	// Per-alert cross-variable constraints: for the alert to be live at
+	// some instant, each variable's latest must arrive before any other
+	// variable advances past the alert's snapshot.
+	for _, a := range alerts {
+		for _, v := range vars {
+			hv, ok := a.Histories[v]
+			if !ok {
+				continue
+			}
+			lv := hv.Latest().SeqNo
+			if !chosen[v].Contains(lv) {
+				return false // required update excluded (cannot happen after collectAssertions)
+			}
+			for _, w := range vars {
+				if w == v {
+					continue
+				}
+				hw, ok := a.Histories[w]
+				if !ok {
+					continue
+				}
+				if next, ok := succ(w, hw.Latest().SeqNo); ok {
+					from := nodeID{v: v, n: lv}
+					adj[from] = append(adj[from], nodeID{v: w, n: next})
+				}
+			}
+		}
+	}
+
+	return acyclic(adj)
+}
+
+// acyclic reports whether the directed graph has no cycle (iterative
+// three-color DFS).
+func acyclic(adj map[nodeID][]nodeID) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[nodeID]int, len(adj))
+	type frame struct {
+		node nodeID
+		next int
+	}
+	for start := range adj {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.node]) {
+				child := adj[f.node][f.next]
+				f.next++
+				switch color[child] {
+				case gray:
+					return false
+				case white:
+					color[child] = gray
+					stack = append(stack, frame{node: child})
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return true
+}
+
+// ConsistentMultiExhaustive is the brute-force cross-check of
+// ConsistentMulti: enumerate per-variable subsequences of the combined
+// streams, then all interleavings of each choice, and test
+// ΦA ⊆ ΦT(U′) directly. Strictly for tests on tiny inputs.
+func ConsistentMultiExhaustive(alerts []event.Alert, c cond.Condition, combined map[event.VarName][]event.Update) (bool, error) {
+	vars := c.Vars()
+	total := 0
+	for _, us := range combined {
+		total += len(us)
+	}
+	if total > 12 {
+		return false, fmt.Errorf("props: exhaustive multi-variable consistency over %d updates is too large", total)
+	}
+	// Enumerate per-variable subsets via one global bitmask.
+	flat := make([]event.Update, 0, total)
+	for _, v := range vars {
+		flat = append(flat, combined[v]...)
+	}
+	for mask := 0; mask < 1<<len(flat); mask++ {
+		streams := make(map[event.VarName][]event.Update, len(vars))
+		for i, u := range flat {
+			if mask&(1<<i) != 0 {
+				streams[u.Var] = append(streams[u.Var], u)
+			}
+		}
+		found := false
+		err := sim.ForEachInterleaving(streams, func(uv []event.Update) bool {
+			out, terr := ce.T(c, uv)
+			if terr != nil {
+				return true
+			}
+			if event.KeySetSubset(alerts, out) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return false, err
+		}
+		if found {
+			return true, nil
+		}
+	}
+	return false, nil
+}

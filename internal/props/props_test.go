@@ -1,0 +1,425 @@
+package props
+
+import (
+	"math/rand"
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/sim"
+)
+
+func alert1(v event.VarName, n int64) event.Alert {
+	return event.Alert{Cond: "c", Histories: event.HistorySet{
+		v: {Var: v, Recent: []event.Update{event.U(v, n, 0)}},
+	}}
+}
+
+func alertWin(v event.VarName, seqNos ...int64) event.Alert {
+	h := event.History{Var: v}
+	for _, n := range seqNos {
+		h.Recent = append(h.Recent, event.U(v, n, float64(n)))
+	}
+	return event.Alert{Cond: "c", Histories: event.HistorySet{v: h}}
+}
+
+func alert2(x, y int64) event.Alert {
+	return event.Alert{Cond: "cm", Histories: event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", x, 0)}},
+		"y": {Var: "y", Recent: []event.Update{event.U("y", y, 0)}},
+	}}
+}
+
+func TestOrdered(t *testing.T) {
+	vars := []event.VarName{"x"}
+	if !Ordered([]event.Alert{alert1("x", 1), alert1("x", 1), alert1("x", 3)}, vars) {
+		t.Error("non-decreasing sequence should be ordered")
+	}
+	if Ordered([]event.Alert{alert1("x", 2), alert1("x", 1)}, vars) {
+		t.Error("⟨2,1⟩ should be unordered")
+	}
+	if !Ordered(nil, vars) {
+		t.Error("empty output is trivially ordered")
+	}
+	// Multi-variable: ordered must hold per variable.
+	mv := []event.VarName{"x", "y"}
+	if Ordered([]event.Alert{alert2(2, 1), alert2(1, 2)}, mv) {
+		t.Error("x-inversion should be unordered")
+	}
+	if !Ordered([]event.Alert{alert2(1, 1), alert2(2, 1), alert2(2, 2)}, mv) {
+		t.Error("per-variable non-decreasing should be ordered")
+	}
+}
+
+func TestAlertsSubsequence(t *testing.T) {
+	a, b, c := alert1("x", 1), alert1("x", 2), alert1("x", 3)
+	all := []event.Alert{a, b, c}
+	if !AlertsSubsequence([]event.Alert{a, c}, all) {
+		t.Error("⟨a,c⟩ ⊑ ⟨a,b,c⟩")
+	}
+	if AlertsSubsequence([]event.Alert{c, a}, all) {
+		t.Error("⟨c,a⟩ must not be a subsequence (order matters)")
+	}
+	if !AlertsSubsequence(nil, all) {
+		t.Error("empty is a subsequence of anything")
+	}
+	if AlertsSubsequence(all, []event.Alert{a}) {
+		t.Error("longer sequence cannot be a subsequence")
+	}
+}
+
+func TestConsistentSingleOnPaperTheorem4(t *testing.T) {
+	// Theorem 4 counter-example: A = {alert(2 on window 1,2), alert(3 on
+	// window 1,3)} — update 2 is asserted received by the first and missed
+	// by the second. Inconsistent.
+	a2 := alertWin("x", 2, 1)
+	a3 := alertWin("x", 3, 1)
+	if ConsistentSingle([]event.Alert{a2, a3}) {
+		t.Error("Theorem 4's A must be inconsistent")
+	}
+	// Each alone is consistent.
+	if !ConsistentSingle([]event.Alert{a2}) || !ConsistentSingle([]event.Alert{a3}) {
+		t.Error("each alert alone is consistent")
+	}
+}
+
+func TestConsistentSingleMatchesExhaustive(t *testing.T) {
+	// Randomized cross-check of the linear checker against brute force on
+	// c2 (aggressive, degree 2) scenarios.
+	c := cond.NewRiseAggressive("x")
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 150; trial++ {
+		u := randomStream(r, 5)
+		run, err := sim.RunSingleVar(c, u, link.Bernoulli{P: 0.4}, link.Bernoulli{P: 0.4}, r)
+		if err != nil {
+			t.Fatalf("RunSingleVar: %v", err)
+		}
+		merged := sim.RandomArrival(run.A1, run.A2, r)
+		out := ad.Run(ad.NewAD1(), merged)
+
+		got := ConsistentSingle(out)
+		want, err := ConsistentSingleExhaustive(out, c, run.U1, run.U2)
+		if err != nil {
+			t.Fatalf("exhaustive: %v", err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: linear checker says %v, exhaustive says %v\nU1=%v\nU2=%v\nA=%v",
+				trial, got, want, run.U1, run.U2, out)
+		}
+	}
+}
+
+func TestCompleteSingle(t *testing.T) {
+	c := cond.NewOverheat("x")
+	u := []event.Update{event.U("x", 1, 2900), event.U("x", 2, 3100), event.U("x", 3, 3200)}
+	run, err := sim.RunSingleVar(c, u, link.None{}, link.NewDropSeqNos("x", 2), nil)
+	if err != nil {
+		t.Fatalf("RunSingleVar: %v", err)
+	}
+	// AD-1 passes a1(2x), a3(3x), filtering duplicate a2: complete.
+	complete, err := CompleteSingle([]event.Alert{run.A1[0], run.A2[0]}, c, run.U1, run.U2)
+	if err != nil {
+		t.Fatalf("CompleteSingle: %v", err)
+	}
+	if !complete {
+		t.Error("{a(2x), a(3x)} should be complete for Example 1")
+	}
+	// Dropping a(2x) makes it incomplete.
+	complete, err = CompleteSingle([]event.Alert{run.A2[0]}, c, run.U1, run.U2)
+	if err != nil {
+		t.Fatalf("CompleteSingle: %v", err)
+	}
+	if complete {
+		t.Error("{a(3x)} alone must be incomplete")
+	}
+}
+
+func TestCheckSingleVarRunLossless(t *testing.T) {
+	// Theorem 1: lossless links, any condition, AD-1 → ordered and
+	// complete.
+	c := cond.NewRiseAggressive("x")
+	u := rampStream(6, 250) // every step rises 250 → alerts at 2..6
+	run, err := sim.RunSingleVar(c, u, link.None{}, link.None{}, nil)
+	if err != nil {
+		t.Fatalf("RunSingleVar: %v", err)
+	}
+	v, _, err := CheckSingleVarRun(run, func() ad.Filter { return ad.NewAD1() })
+	if err != nil {
+		t.Fatalf("CheckSingleVarRun: %v", err)
+	}
+	if !v.Ordered || !v.Complete || !v.Consistent {
+		t.Errorf("lossless AD-1 verdict = %v, want all ✓", v)
+	}
+}
+
+func TestCheckSingleVarRunTheorem2(t *testing.T) {
+	// Theorem 2's proof example: c1, U = ⟨1(3100), 2(3500)⟩, CE2 misses 1.
+	// Complete but unordered under AD-1.
+	c := cond.NewOverheat("x")
+	u := []event.Update{event.U("x", 1, 3100), event.U("x", 2, 3500)}
+	run, err := sim.RunSingleVar(c, u, link.None{}, link.NewDropSeqNos("x", 1), nil)
+	if err != nil {
+		t.Fatalf("RunSingleVar: %v", err)
+	}
+	v, exs, err := CheckSingleVarRun(run, func() ad.Filter { return ad.NewAD1() })
+	if err != nil {
+		t.Fatalf("CheckSingleVarRun: %v", err)
+	}
+	if v.Ordered {
+		t.Error("Theorem 2: system must be unordered")
+	}
+	if !v.Complete || !v.Consistent {
+		t.Errorf("Theorem 2: system must be complete and consistent, got %v", v)
+	}
+	if len(exs) == 0 {
+		t.Error("expected an orderedness counterexample")
+	}
+}
+
+func TestCheckSingleVarRunTheorem3(t *testing.T) {
+	// Theorem 3's proof example: c3, U1 = ⟨1(1000), 2(1500)⟩,
+	// U2 = ⟨3(2000), 4(2500)⟩ → consistent, not ordered, not complete.
+	c := cond.NewRiseConservative("x")
+	u := []event.Update{
+		event.U("x", 1, 1000), event.U("x", 2, 1500),
+		event.U("x", 3, 2000), event.U("x", 4, 2500),
+	}
+	run, err := sim.RunSingleVar(c, u,
+		link.NewDropSeqNos("x", 3, 4), link.NewDropSeqNos("x", 1, 2), nil)
+	if err != nil {
+		t.Fatalf("RunSingleVar: %v", err)
+	}
+	v, _, err := CheckSingleVarRun(run, func() ad.Filter { return ad.NewAD1() })
+	if err != nil {
+		t.Fatalf("CheckSingleVarRun: %v", err)
+	}
+	if v.Ordered || v.Complete || !v.Consistent {
+		t.Errorf("Theorem 3 verdict = %v, want ✗✗✓", v)
+	}
+}
+
+func TestCheckSingleVarRunTheorem4(t *testing.T) {
+	// Theorem 4's proof example: c2, U = ⟨1(400),2(700),3(720)⟩, CE2
+	// misses 2 → inconsistent under AD-1.
+	c := cond.NewRiseAggressive("x")
+	u := []event.Update{event.U("x", 1, 400), event.U("x", 2, 700), event.U("x", 3, 720)}
+	run, err := sim.RunSingleVar(c, u, link.None{}, link.NewDropSeqNos("x", 2), nil)
+	if err != nil {
+		t.Fatalf("RunSingleVar: %v", err)
+	}
+	v, _, err := CheckSingleVarRun(run, func() ad.Filter { return ad.NewAD1() })
+	if err != nil {
+		t.Fatalf("CheckSingleVarRun: %v", err)
+	}
+	if v.Ordered || v.Consistent {
+		t.Errorf("Theorem 4 verdict = %v, want unordered and inconsistent", v)
+	}
+}
+
+func TestCheckSingleVarRunAD2RestoresOrder(t *testing.T) {
+	// Same Theorem 4 scenario under AD-4: ordered and consistent.
+	c := cond.NewRiseAggressive("x")
+	u := []event.Update{event.U("x", 1, 400), event.U("x", 2, 700), event.U("x", 3, 720)}
+	run, err := sim.RunSingleVar(c, u, link.None{}, link.NewDropSeqNos("x", 2), nil)
+	if err != nil {
+		t.Fatalf("RunSingleVar: %v", err)
+	}
+	v, _, err := CheckSingleVarRun(run, func() ad.Filter { return ad.NewAD4("x") })
+	if err != nil {
+		t.Fatalf("CheckSingleVarRun: %v", err)
+	}
+	if !v.Ordered || !v.Consistent {
+		t.Errorf("AD-4 verdict = %v, want ordered and consistent", v)
+	}
+}
+
+func TestTheorem10CounterExample(t *testing.T) {
+	// Theorem 10: two-variable AD-1 system is neither ordered nor
+	// consistent. Exact scenario from the proof.
+	streams := map[event.VarName][]event.Update{
+		"x": {event.U("x", 1, 1000), event.U("x", 2, 1200)},
+		"y": {event.U("y", 1, 1050), event.U("y", 2, 1150)},
+	}
+	run, err := sim.RunMultiVar(cond.NewTempDiff("x", "y"), streams,
+		[2]map[event.VarName]link.Model{},
+		[2]sim.Interleaver{sim.Sequential, sim.SequentialReverse}, nil)
+	if err != nil {
+		t.Fatalf("RunMultiVar: %v", err)
+	}
+	v, _, err := CheckMultiVarRun(run, func() ad.Filter { return ad.NewAD1() })
+	if err != nil {
+		t.Fatalf("CheckMultiVarRun: %v", err)
+	}
+	if v.Ordered {
+		t.Error("Theorem 10: system must be unordered")
+	}
+	if v.Consistent {
+		t.Error("Theorem 10: system must be inconsistent")
+	}
+	if v.Complete {
+		t.Error("Theorem 10: system must be incomplete")
+	}
+}
+
+func TestTheorem10UnderAD5(t *testing.T) {
+	// The same scenario under AD-5 is ordered and consistent (Table 3,
+	// lossless row) but incomplete (Lemma 6 in general; here the second
+	// alert is dropped).
+	streams := map[event.VarName][]event.Update{
+		"x": {event.U("x", 1, 1000), event.U("x", 2, 1200)},
+		"y": {event.U("y", 1, 1050), event.U("y", 2, 1150)},
+	}
+	run, err := sim.RunMultiVar(cond.NewTempDiff("x", "y"), streams,
+		[2]map[event.VarName]link.Model{},
+		[2]sim.Interleaver{sim.Sequential, sim.SequentialReverse}, nil)
+	if err != nil {
+		t.Fatalf("RunMultiVar: %v", err)
+	}
+	v, _, err := CheckMultiVarRun(run, func() ad.Filter { return ad.NewAD5("x", "y") })
+	if err != nil {
+		t.Fatalf("CheckMultiVarRun: %v", err)
+	}
+	if !v.Ordered || !v.Consistent {
+		t.Errorf("AD-5 verdict = %v, want ordered and consistent", v)
+	}
+}
+
+func TestLemma6CounterExample(t *testing.T) {
+	// Lemma 6: condition satisfied only by (8x,2y), (8x,3y), (8x,4y).
+	// CE1 sees ⟨8x,2y,9x,3y,4y⟩ → a(8x,2y); CE2 sees ⟨2y,3y,7x,4y,8x⟩ →
+	// a(8x,4y). No interleaving UV yields exactly these two alerts, so the
+	// output {a(8x,2y), a(8x,4y)} is incomplete.
+	c := cond.NewLemma6Condition("x", "y")
+	a1, err := ce.T(c, []event.Update{
+		event.U("x", 8, 0), event.U("y", 2, 0), event.U("x", 9, 0),
+		event.U("y", 3, 0), event.U("y", 4, 0),
+	})
+	if err != nil {
+		t.Fatalf("T(CE1): %v", err)
+	}
+	a2, err := ce.T(c, []event.Update{
+		event.U("y", 2, 0), event.U("y", 3, 0), event.U("x", 7, 0),
+		event.U("y", 4, 0), event.U("x", 8, 0),
+	})
+	if err != nil {
+		t.Fatalf("T(CE2): %v", err)
+	}
+	if len(a1) != 1 || a1[0].MustSeqNo("x") != 8 || a1[0].MustSeqNo("y") != 2 {
+		t.Fatalf("A1 = %v, want ⟨a(8x,2y)⟩", a1)
+	}
+	if len(a2) != 1 || a2[0].MustSeqNo("x") != 8 || a2[0].MustSeqNo("y") != 4 {
+		t.Fatalf("A2 = %v, want ⟨a(8x,4y)⟩", a2)
+	}
+
+	combined := map[event.VarName][]event.Update{
+		"x": {event.U("x", 7, 0), event.U("x", 8, 0), event.U("x", 9, 0)},
+		"y": {event.U("y", 2, 0), event.U("y", 3, 0), event.U("y", 4, 0)},
+	}
+	got, err := CompleteMulti([]event.Alert{a1[0], a2[0]}, c, combined)
+	if err != nil {
+		t.Fatalf("CompleteMulti: %v", err)
+	}
+	if got {
+		t.Error("Lemma 6: {a(8x,2y), a(8x,4y)} must be incomplete")
+	}
+	// But including the middle alert a(8x,3y) IS achievable.
+	a3 := event.Alert{Cond: c.Name(), Histories: event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 8, 0)}},
+		"y": {Var: "y", Recent: []event.Update{event.U("y", 3, 0)}},
+	}}
+	got, err = CompleteMulti([]event.Alert{a1[0], a3, a2[0]}, c, combined)
+	if err != nil {
+		t.Fatalf("CompleteMulti: %v", err)
+	}
+	if !got {
+		t.Error("with a(8x,3y) included the set should be achievable")
+	}
+}
+
+func TestConsistentMultiMatchesExhaustive(t *testing.T) {
+	// Randomized cross-check on the two-variable degree-1 condition cm.
+	c := cond.NewTempDiff("x", "y")
+	r := rand.New(rand.NewSource(12))
+	interleavers := []sim.Interleaver{sim.Sequential, sim.SequentialReverse, sim.RoundRobin, sim.RandomInterleave}
+	for trial := 0; trial < 60; trial++ {
+		streams := map[event.VarName][]event.Update{
+			"x": randomValuedStream(r, "x", 3),
+			"y": randomValuedStream(r, "y", 3),
+		}
+		loss := [2]map[event.VarName]link.Model{
+			{"x": link.Bernoulli{P: 0.3}, "y": link.Bernoulli{P: 0.3}},
+			{"x": link.Bernoulli{P: 0.3}, "y": link.Bernoulli{P: 0.3}},
+		}
+		run, err := sim.RunMultiVar(c, streams, loss,
+			[2]sim.Interleaver{interleavers[trial%4], interleavers[(trial+1)%4]}, r)
+		if err != nil {
+			t.Fatalf("RunMultiVar: %v", err)
+		}
+		merged := sim.RandomArrival(run.A1, run.A2, r)
+		out := ad.Run(ad.NewAD1(), merged)
+		combined, err := run.CombinedStreams()
+		if err != nil {
+			t.Fatalf("CombinedStreams: %v", err)
+		}
+		got, err := ConsistentMulti(out, c, combined)
+		if err != nil {
+			t.Fatalf("ConsistentMulti: %v", err)
+		}
+		want, err := ConsistentMultiExhaustive(out, c, combined)
+		if err != nil {
+			t.Fatalf("ConsistentMultiExhaustive: %v", err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: graph checker says %v, exhaustive says %v\nA=%v\ncombined=%v",
+				trial, got, want, out, combined)
+		}
+	}
+}
+
+func TestVerdictHelpers(t *testing.T) {
+	v := AllVerdict()
+	if !v.Ordered || !v.Complete || !v.Consistent {
+		t.Error("AllVerdict should be all true")
+	}
+	w := v.And(Verdict{Ordered: true})
+	if w.Ordered != true || w.Complete || w.Consistent {
+		t.Errorf("And = %+v", w)
+	}
+	if v.String() == "" || w.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+// randomStream builds a short reactor-style stream with consecutive seqnos
+// and random temperatures around the c2/c3 trigger threshold.
+func randomStream(r *rand.Rand, n int) []event.Update {
+	out := make([]event.Update, n)
+	val := 300.0
+	for i := range out {
+		val += float64(r.Intn(500) - 150)
+		out[i] = event.U("x", int64(i+1), val)
+	}
+	return out
+}
+
+// rampStream builds a stream rising by step each update.
+func rampStream(n int, step float64) []event.Update {
+	out := make([]event.Update, n)
+	for i := range out {
+		out[i] = event.U("x", int64(i+1), float64(i)*step)
+	}
+	return out
+}
+
+// randomValuedStream builds a stream for variable v with values that make
+// cm trigger roughly half the time.
+func randomValuedStream(r *rand.Rand, v event.VarName, n int) []event.Update {
+	out := make([]event.Update, n)
+	for i := range out {
+		out[i] = event.U(v, int64(i+1), 1000+float64(r.Intn(300)))
+	}
+	return out
+}

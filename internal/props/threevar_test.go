@@ -1,0 +1,169 @@
+package props
+
+// The paper's multi-variable pseudo-code is written for two variables and
+// notes it "can be easily extended for conditions with more than two
+// variables". These tests exercise three-variable conditions through the
+// full pipeline: AD-5/AD-6 generalization, the precedence-graph
+// consistency checker, and interleaving-based completeness.
+
+import (
+	"math/rand"
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/sim"
+)
+
+// spread3 triggers when the max-min spread of the three variables' latest
+// values exceeds the limit: degree 1 in each of x, y, z.
+func spread3() cond.Condition {
+	return cond.MustParse("spread3", "max(x[0], max(y[0], z[0])) - min(x[0], min(y[0], z[0])) > 100")
+}
+
+func stream3(v event.VarName, vals ...float64) []event.Update {
+	out := make([]event.Update, len(vals))
+	for i, val := range vals {
+		out[i] = event.U(v, int64(i+1), val)
+	}
+	return out
+}
+
+func TestThreeVariableConditionMetadata(t *testing.T) {
+	c := spread3()
+	if got := len(c.Vars()); got != 3 {
+		t.Fatalf("vars = %d, want 3", got)
+	}
+	for _, v := range c.Vars() {
+		if c.Degree(v) != 1 {
+			t.Errorf("degree(%s) = %d, want 1", v, c.Degree(v))
+		}
+	}
+}
+
+func TestAD5ThreeVariables(t *testing.T) {
+	c := spread3()
+	mk := func(x, y, z int64) event.Alert {
+		return event.Alert{Cond: c.Name(), Histories: event.HistorySet{
+			"x": {Var: "x", Recent: []event.Update{event.U("x", x, 0)}},
+			"y": {Var: "y", Recent: []event.Update{event.U("y", y, 0)}},
+			"z": {Var: "z", Recent: []event.Update{event.U("z", z, 0)}},
+		}}
+	}
+	f := ad.NewAD5("x", "y", "z")
+	if !ad.Offer(f, mk(2, 1, 1)) {
+		t.Fatal("first alert should pass")
+	}
+	// Inversion on z only.
+	if ad.Offer(f, mk(3, 2, 0)) {
+		t.Error("z-order inversion must be dropped")
+	}
+	// Progress on all three.
+	if !ad.Offer(f, mk(3, 2, 1)) {
+		t.Error("monotone alert should pass")
+	}
+	// All-equal duplicate.
+	if ad.Offer(f, mk(3, 2, 1)) {
+		t.Error("all-equal alert is a duplicate")
+	}
+}
+
+func TestThreeVariableEndToEnd(t *testing.T) {
+	// Lossless three-variable run with opposite interleavings at the two
+	// CEs, checked under AD-1 (expected unordered/inconsistent, the
+	// Theorem 10 phenomenon generalized) and AD-5 (ordered, consistent).
+	c := spread3()
+	streams := map[event.VarName][]event.Update{
+		"x": stream3("x", 1000, 1200),
+		"y": stream3("y", 1050, 1080),
+		"z": stream3("z", 1060, 190),
+	}
+	run, err := sim.RunMultiVar(c, streams,
+		[2]map[event.VarName]link.Model{},
+		[2]sim.Interleaver{sim.Sequential, sim.SequentialReverse}, nil)
+	if err != nil {
+		t.Fatalf("RunMultiVar: %v", err)
+	}
+	if len(run.A1) == 0 || len(run.A2) == 0 {
+		t.Fatalf("both CEs should alert: %d, %d", len(run.A1), len(run.A2))
+	}
+	v5, _, err := CheckMultiVarRun(run, func() ad.Filter { return ad.NewAD5("x", "y", "z") })
+	if err != nil {
+		t.Fatalf("CheckMultiVarRun(AD-5): %v", err)
+	}
+	if !v5.Ordered {
+		t.Error("AD-5 must keep the three-variable output ordered")
+	}
+	if !v5.Consistent {
+		t.Error("AD-5 must keep the lossless three-variable output consistent (Lemma 5 generalized)")
+	}
+	v1, _, err := CheckMultiVarRun(run, func() ad.Filter { return ad.NewAD1() })
+	if err != nil {
+		t.Fatalf("CheckMultiVarRun(AD-1): %v", err)
+	}
+	if v1.Ordered {
+		t.Error("AD-1 should be unordered with opposite interleavings (Theorem 10 generalized)")
+	}
+}
+
+func TestConsistentMultiThreeVariablesMatchesExhaustive(t *testing.T) {
+	c := spread3()
+	r := rand.New(rand.NewSource(41))
+	interleavers := []sim.Interleaver{sim.Sequential, sim.SequentialReverse, sim.RoundRobin, sim.RandomInterleave}
+	for trial := 0; trial < 25; trial++ {
+		streams := map[event.VarName][]event.Update{
+			"x": stream3("x", 1000+float64(r.Intn(300)), 1000+float64(r.Intn(300))),
+			"y": stream3("y", 1000+float64(r.Intn(300))),
+			"z": stream3("z", 1000+float64(r.Intn(300))),
+		}
+		run, err := sim.RunMultiVar(c, streams,
+			[2]map[event.VarName]link.Model{
+				{"x": link.Bernoulli{P: 0.3}},
+				{"x": link.Bernoulli{P: 0.3}},
+			},
+			[2]sim.Interleaver{interleavers[trial%4], interleavers[(trial+3)%4]}, r)
+		if err != nil {
+			t.Fatalf("RunMultiVar: %v", err)
+		}
+		merged := sim.RandomArrival(run.A1, run.A2, r)
+		out := ad.Run(ad.NewAD1(), merged)
+		combined, err := run.CombinedStreams()
+		if err != nil {
+			t.Fatalf("CombinedStreams: %v", err)
+		}
+		got, err := ConsistentMulti(out, c, combined)
+		if err != nil {
+			t.Fatalf("ConsistentMulti: %v", err)
+		}
+		want, err := ConsistentMultiExhaustive(out, c, combined)
+		if err != nil {
+			t.Fatalf("ConsistentMultiExhaustive: %v", err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: graph checker %v, exhaustive %v\nA=%v", trial, got, want, out)
+		}
+	}
+}
+
+func TestThreeVariableTEvaluation(t *testing.T) {
+	c := spread3()
+	alerts, err := ce.T(c, []event.Update{
+		event.U("x", 1, 1000),
+		event.U("y", 1, 1050),
+		event.U("z", 1, 1150), // spread 150 > 100 → fires on warmup completion
+		event.U("x", 2, 1100), // spread 100, not > 100 → silent
+		event.U("y", 2, 900),  // spread 250 → fires
+	})
+	if err != nil {
+		t.Fatalf("T: %v", err)
+	}
+	if len(alerts) != 2 {
+		t.Fatalf("T raised %d alerts, want 2: %v", len(alerts), alerts)
+	}
+	if alerts[0].MustSeqNo("z") != 1 || alerts[1].MustSeqNo("y") != 2 {
+		t.Errorf("alerts = %v", alerts)
+	}
+}

@@ -1,0 +1,161 @@
+package props
+
+import (
+	"fmt"
+
+	"condmon/internal/ad"
+	"condmon/internal/event"
+	"condmon/internal/sim"
+)
+
+// Verdict records which of the three properties held for every alert
+// sequence a system configuration produced. A property "holds" for a system
+// only if it holds on all runs and all arrival orders; a single
+// counterexample refutes it (Section 3.1: "R is said to have each of the
+// following properties if every alert sequence A it produces satisfies the
+// corresponding criterion").
+type Verdict struct {
+	Ordered    bool
+	Complete   bool
+	Consistent bool
+}
+
+// String renders the verdict as the paper's ✓/✗ triple (Ord, Comp, Cons).
+func (v Verdict) String() string {
+	mark := func(b bool) string {
+		if b {
+			return "✓"
+		}
+		return "✗"
+	}
+	return fmt.Sprintf("ord=%s comp=%s cons=%s", mark(v.Ordered), mark(v.Complete), mark(v.Consistent))
+}
+
+// And intersects two verdicts (property holds only if it held in both).
+func (v Verdict) And(o Verdict) Verdict {
+	return Verdict{
+		Ordered:    v.Ordered && o.Ordered,
+		Complete:   v.Complete && o.Complete,
+		Consistent: v.Consistent && o.Consistent,
+	}
+}
+
+// AllVerdict is the identity for And.
+func AllVerdict() Verdict { return Verdict{Ordered: true, Complete: true, Consistent: true} }
+
+// Counterexample captures an output that violated a property, for
+// diagnostics and for EXPERIMENTS.md.
+type Counterexample struct {
+	Property string
+	// Arrival is the merged alert stream the AD observed.
+	Arrival []event.Alert
+	// Output is the filtered sequence A that violates the property.
+	Output []event.Alert
+}
+
+// FilterFactory produces a fresh filter instance; verdict checks need one
+// per arrival order since filters are stateful.
+type FilterFactory func() ad.Filter
+
+// CheckSingleVarRun evaluates the three properties of a single-variable
+// run under the given AD algorithm, quantifying over every arrival order of
+// the two alert streams. It returns the verdict plus one counterexample per
+// violated property.
+func CheckSingleVarRun(run *sim.SingleVarRun, newFilter FilterFactory) (Verdict, []Counterexample, error) {
+	var (
+		v       = AllVerdict()
+		exs     []Counterexample
+		vars    = run.Cond.Vars()
+		wantSet = event.KeySet(run.NOutput)
+	)
+	err := sim.ForEachArrival(run.A1, run.A2, func(merged []event.Alert) bool {
+		out := ad.Run(newFilter(), merged)
+		if v.Ordered && !Ordered(out, vars) {
+			v.Ordered = false
+			exs = append(exs, Counterexample{Property: "orderedness", Arrival: merged, Output: out})
+		}
+		if v.Complete {
+			if !keySetEqualTo(out, wantSet) {
+				v.Complete = false
+				exs = append(exs, Counterexample{Property: "completeness", Arrival: merged, Output: out})
+			}
+		}
+		if v.Consistent && !ConsistentSingle(out) {
+			v.Consistent = false
+			exs = append(exs, Counterexample{Property: "consistency", Arrival: merged, Output: out})
+		}
+		return v.Ordered || v.Complete || v.Consistent
+	})
+	if err != nil {
+		return Verdict{}, nil, err
+	}
+	return v, exs, nil
+}
+
+// CheckMultiVarRun evaluates the three properties of a multi-variable run
+// under the given AD algorithm, quantifying over arrival orders. The
+// completeness and consistency criteria are the Appendix C definitions over
+// the combined per-variable streams.
+func CheckMultiVarRun(run *sim.MultiVarRun, newFilter FilterFactory) (Verdict, []Counterexample, error) {
+	combined, err := run.CombinedStreams()
+	if err != nil {
+		return Verdict{}, nil, err
+	}
+	var (
+		v    = AllVerdict()
+		exs  []Counterexample
+		vars = run.Cond.Vars()
+	)
+	var checkErr error
+	err = sim.ForEachArrival(run.A1, run.A2, func(merged []event.Alert) bool {
+		out := ad.Run(newFilter(), merged)
+		if v.Ordered && !Ordered(out, vars) {
+			v.Ordered = false
+			exs = append(exs, Counterexample{Property: "orderedness", Arrival: merged, Output: out})
+		}
+		if v.Complete {
+			complete, cerr := CompleteMulti(out, run.Cond, combined)
+			if cerr != nil {
+				checkErr = cerr
+				return false
+			}
+			if !complete {
+				v.Complete = false
+				exs = append(exs, Counterexample{Property: "completeness", Arrival: merged, Output: out})
+			}
+		}
+		if v.Consistent {
+			consistent, cerr := ConsistentMulti(out, run.Cond, combined)
+			if cerr != nil {
+				checkErr = cerr
+				return false
+			}
+			if !consistent {
+				v.Consistent = false
+				exs = append(exs, Counterexample{Property: "consistency", Arrival: merged, Output: out})
+			}
+		}
+		return v.Ordered || v.Complete || v.Consistent
+	})
+	if err != nil {
+		return Verdict{}, nil, err
+	}
+	if checkErr != nil {
+		return Verdict{}, nil, checkErr
+	}
+	return v, exs, nil
+}
+
+// keySetEqualTo compares Φ(alerts) against a precomputed key set.
+func keySetEqualTo(alerts []event.Alert, want map[string]struct{}) bool {
+	got := event.KeySet(alerts)
+	if len(got) != len(want) {
+		return false
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,116 @@
+package runtime
+
+import (
+	"fmt"
+
+	"condmon/internal/ce"
+	"condmon/internal/event"
+)
+
+// Fault injection for live systems: the failure modes of Section 1 — a CE
+// going down and missing updates, or crashing and losing its history state
+// — exposed as runtime controls. Control requests are serialized onto each
+// CE's own goroutine through its update channel, so no locking is added to
+// the evaluator hot path.
+
+// ctlKind enumerates replica control operations.
+type ctlKind int
+
+const (
+	ctlSetDown ctlKind = iota + 1
+	ctlSetUp
+	ctlCrash
+)
+
+// ctlMsg is a control request carried in-band through the update pipeline.
+// One copy travels down every variable's channel; the target replica
+// applies the operation when the last copy arrives, which totally orders
+// the control after every previously emitted update. The remaining counter
+// is owned by the target replica's goroutine.
+type ctlMsg struct {
+	kind      ctlKind
+	remaining int
+	done      chan struct{}
+}
+
+// SetReplicaDown fails (down=true) or revives (down=false) replica i
+// (0-based). While down the replica misses every update, exactly the
+// Section 1 failure replication exists to mask. The call blocks until the
+// replica has applied the change, so updates emitted afterwards are
+// guaranteed to be missed (or seen).
+func (s *System) SetReplicaDown(i int, down bool) error {
+	kind := ctlSetUp
+	if down {
+		kind = ctlSetDown
+	}
+	return s.control(i, kind)
+}
+
+// CrashReplica simulates a fail-stop restart of replica i without stable
+// storage: its history windows are cleared and must refill before it can
+// fire again.
+func (s *System) CrashReplica(i int) error {
+	return s.control(i, ctlCrash)
+}
+
+func (s *System) control(i int, kind ctlKind) error {
+	if i < 0 || i >= s.replicas {
+		return fmt.Errorf("runtime: replica index %d outside [0,%d)", i, s.replicas)
+	}
+	msg := &ctlMsg{kind: kind, remaining: len(s.vars), done: make(chan struct{})}
+	for _, v := range s.vars {
+		dm := s.dms[v]
+		dm.mu.Lock()
+		if dm.closed {
+			dm.mu.Unlock()
+			return fmt.Errorf("runtime: control on closed system")
+		}
+		dm.in <- frame{ctl: msg, target: i}
+		dm.mu.Unlock()
+	}
+	select {
+	case <-msg.done:
+		return nil
+	case <-s.shutdown:
+		return fmt.Errorf("runtime: control interrupted by shutdown")
+	}
+}
+
+// applyCtl executes a control request on the evaluator; runs on the target
+// replica's goroutine once the frame's last copy arrives.
+func applyCtl(eval *ce.Evaluator, msg *ctlMsg) {
+	msg.remaining--
+	if msg.remaining > 0 {
+		return
+	}
+	switch msg.kind {
+	case ctlSetDown:
+		eval.SetDown(true)
+	case ctlSetUp:
+		eval.SetDown(false)
+	case ctlCrash:
+		eval.Crash()
+	}
+	close(msg.done)
+}
+
+// ceLoop is the replica server loop: updates and in-band control frames
+// are serialized on one goroutine.
+func ceLoop(index int, eval *ce.Evaluator, in chan frame, back chan event.Alert) {
+	defer close(back)
+	for f := range in {
+		if f.ctl != nil {
+			if f.target == index {
+				applyCtl(eval, f.ctl)
+			}
+			continue
+		}
+		a, fired, err := eval.Feed(f.u)
+		if err != nil {
+			panic(fmt.Sprintf("runtime: %s: %v", eval.ID(), err))
+		}
+		if fired {
+			back <- a
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package runtime
+
+import (
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/seq"
+)
+
+func TestReplicaDownIsMaskedByReplication(t *testing.T) {
+	// The Section 1 story, live: replica 0 goes down, the user keeps
+	// receiving alerts thanks to replica 1; after revival replica 0
+	// resumes contributing (duplicates suppressed by AD-1).
+	sys, err := New(cond.NewOverheat("x"), ad.NewAD1(), Options{Replicas: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := sys.SetReplicaDown(0, true); err != nil {
+		t.Fatalf("SetReplicaDown: %v", err)
+	}
+	if _, err := sys.Emit("x", 3100); err != nil { // only replica 1 sees this
+		t.Fatalf("Emit: %v", err)
+	}
+	if err := sys.SetReplicaDown(0, false); err != nil {
+		t.Fatalf("SetReplicaDown: %v", err)
+	}
+	if _, err := sys.Emit("x", 3200); err != nil { // both replicas see this
+		t.Fatalf("Emit: %v", err)
+	}
+	displayed := sys.Close()
+	if got := event.AlertSeqNos(displayed, "x"); !got.Set().Equal(seq.NewSet(1, 2)) {
+		t.Errorf("displayed = %v, want alerts at 1 and 2 despite the outage", got)
+	}
+	// Replica 1 alerted twice, replica 0 once (update 2 only): 3 alerts
+	// total, 1 duplicate suppressed.
+	if got := sys.Displayer().Suppressed(); got != 1 {
+		t.Errorf("suppressed = %d, want 1", got)
+	}
+}
+
+func TestNonReplicatedSystemMissesAlertsDuringOutage(t *testing.T) {
+	// The contrast case: with one CE, the outage loses the alert for good.
+	sys, err := New(cond.NewOverheat("x"), ad.NewAD1(), Options{Replicas: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := sys.SetReplicaDown(0, true); err != nil {
+		t.Fatalf("SetReplicaDown: %v", err)
+	}
+	if _, err := sys.Emit("x", 3100); err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	if err := sys.SetReplicaDown(0, false); err != nil {
+		t.Fatalf("SetReplicaDown: %v", err)
+	}
+	displayed := sys.Close()
+	if len(displayed) != 0 {
+		t.Errorf("non-replicated system displayed %d alerts during outage, want 0", len(displayed))
+	}
+}
+
+func TestCrashReplicaLosesHistory(t *testing.T) {
+	// A crashed replica must refill its degree-2 window before firing.
+	sys, err := New(cond.NewRiseAggressive("x"), ad.NewPassthrough(), Options{Replicas: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := sys.Emit("x", 0); err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	if _, err := sys.Emit("x", 100); err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	if err := sys.CrashReplica(0); err != nil {
+		t.Fatalf("CrashReplica: %v", err)
+	}
+	// A big jump right after the crash cannot fire (window empty)…
+	if _, err := sys.Emit("x", 1000); err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	// …but once the window refills it can.
+	if _, err := sys.Emit("x", 2000); err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	displayed := sys.Close()
+	if got := event.AlertSeqNos(displayed, "x"); !got.Equal(seq.Seq{4}) {
+		t.Errorf("displayed = %v, want only the post-refill alert at 4", got)
+	}
+}
+
+func TestControlValidation(t *testing.T) {
+	sys, err := New(cond.NewOverheat("x"), ad.NewAD1(), Options{Replicas: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := sys.SetReplicaDown(5, true); err == nil {
+		t.Error("out-of-range replica index should fail")
+	}
+	if err := sys.CrashReplica(-1); err == nil {
+		t.Error("negative replica index should fail")
+	}
+	sys.Close()
+	if err := sys.SetReplicaDown(0, true); err == nil {
+		t.Error("control after Close should fail")
+	}
+}

@@ -1,0 +1,214 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"condmon/internal/ad"
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/multicond"
+
+	"math/rand"
+)
+
+// MultiSystem is the live realization of Figure D-7(c): several conditions
+// monitored simultaneously, each by its own set of replicated Condition
+// Evaluators, all fed by the same Data Monitors, with one Alert Displayer
+// that demultiplexes the merged alert stream and runs an independent
+// filter instance per condition (Appendix D's reduction of the
+// multi-condition problem to per-stream single-condition filtering).
+type MultiSystem struct {
+	dms   map[event.VarName]*dataMonitor
+	demux *multicond.Demux
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	// errMu guards evaluation errors surfaced from CE goroutines.
+	errMu sync.Mutex
+	err   error
+}
+
+// MultiOptions configure NewMulti.
+type MultiOptions struct {
+	// Replicas per condition (default 2).
+	Replicas int
+	// Loss returns the loss model for the front link carrying variable v
+	// to replica i of condition c. Nil means lossless.
+	Loss func(condName string, replica int, v event.VarName) link.Model
+	// Seed drives link randomness.
+	Seed int64
+}
+
+// NewMulti builds and starts a multi-condition system. newFilter is called
+// once per condition to create that alert stream's filter instance.
+func NewMulti(conds []cond.Condition, newFilter func(c cond.Condition) ad.Filter, opts MultiOptions) (*MultiSystem, error) {
+	if len(conds) == 0 {
+		return nil, fmt.Errorf("runtime: multi-system needs at least one condition")
+	}
+	if opts.Replicas == 0 {
+		opts.Replicas = 2
+	}
+	if opts.Replicas < 1 {
+		return nil, fmt.Errorf("runtime: replicas must be ≥ 1, got %d", opts.Replicas)
+	}
+	demux, err := multicond.NewDemux(newFilter, conds...)
+	if err != nil {
+		return nil, err
+	}
+	sys := &MultiSystem{
+		dms:   make(map[event.VarName]*dataMonitor),
+		demux: demux,
+	}
+
+	// One DM per variable in the union of all condition variable sets.
+	varSet := make(map[event.VarName]struct{})
+	for _, c := range conds {
+		for _, v := range c.Vars() {
+			varSet[v] = struct{}{}
+		}
+	}
+
+	// Subscribers: per variable, the list of front-link input channels.
+	subscribers := make(map[event.VarName][]chan event.Update)
+
+	// Per condition, per replica: front links for the condition's
+	// variables, a fan-in merger, a CE, and a direct feed into the demux
+	// (back links are reliable; the goroutine hand-off preserves each
+	// replica's order while the demux sees a nondeterministic merge).
+	for _, c := range conds {
+		for i := 0; i < opts.Replicas; i++ {
+			ceIn := make(chan event.Update)
+			var fanIn sync.WaitGroup
+			for _, v := range c.Vars() {
+				in := make(chan event.Update)
+				subscribers[v] = append(subscribers[v], in)
+				model := link.Model(link.None{})
+				if opts.Loss != nil {
+					if m := opts.Loss(c.Name(), i, v); m != nil {
+						model = m
+					}
+				}
+				rng := rand.New(rand.NewSource(opts.Seed ^ int64(i+1)<<20 ^ hashVar(v) ^ hashVar(event.VarName(c.Name()))))
+				fanIn.Add(1)
+				sys.wg.Add(1)
+				go func(in chan event.Update, m link.Model, rng *rand.Rand) {
+					defer sys.wg.Done()
+					defer fanIn.Done()
+					for u := range in {
+						if m.Deliver(u, rng) {
+							ceIn <- u
+						}
+					}
+				}(in, model, rng)
+			}
+			sys.wg.Add(1)
+			go func() {
+				defer sys.wg.Done()
+				fanIn.Wait()
+				close(ceIn)
+			}()
+
+			eval, err := ce.New(fmt.Sprintf("%s/CE%d", c.Name(), i+1), c)
+			if err != nil {
+				return nil, err
+			}
+			sys.wg.Add(1)
+			go func(eval *ce.Evaluator, in chan event.Update) {
+				defer sys.wg.Done()
+				for u := range in {
+					a, fired, err := eval.Feed(u)
+					if err != nil {
+						sys.recordErr(fmt.Errorf("runtime: %s: %w", eval.ID(), err))
+						continue
+					}
+					if !fired {
+						continue
+					}
+					if _, err := sys.demux.Offer(a); err != nil {
+						sys.recordErr(err)
+					}
+				}
+			}(eval, ceIn)
+		}
+	}
+
+	// DM broadcast pumps.
+	for v := range varSet {
+		in := make(chan frame)
+		sys.dms[v] = &dataMonitor{in: in}
+		outs := subscribers[v]
+		sys.wg.Add(1)
+		go func(in chan frame, outs []chan event.Update) {
+			defer sys.wg.Done()
+			defer func() {
+				for _, out := range outs {
+					close(out)
+				}
+			}()
+			for f := range in {
+				for _, out := range outs {
+					out <- f.u
+				}
+			}
+		}(in, outs)
+	}
+	return sys, nil
+}
+
+func (s *MultiSystem) recordErr(err error) {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Emit publishes a new reading of variable v to every condition's
+// replicas.
+func (s *MultiSystem) Emit(v event.VarName, value float64) (int64, error) {
+	dm, ok := s.dms[v]
+	if !ok {
+		return 0, fmt.Errorf("runtime: no data monitor for variable %q", v)
+	}
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	if dm.closed {
+		return 0, fmt.Errorf("runtime: Emit on closed system")
+	}
+	dm.seq++
+	dm.in <- frame{u: event.U(v, dm.seq, value)}
+	return dm.seq, nil
+}
+
+// Demux exposes the Alert Displayer for inspection.
+func (s *MultiSystem) Demux() *multicond.Demux { return s.demux }
+
+// Close drains the pipeline and returns the merged displayed sequence,
+// plus the first evaluation error encountered (if any).
+func (s *MultiSystem) Close() ([]event.Alert, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.errMu.Lock()
+		defer s.errMu.Unlock()
+		return s.demux.Displayed(), s.err
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	for _, dm := range s.dms {
+		dm.mu.Lock()
+		dm.closed = true
+		close(dm.in)
+		dm.mu.Unlock()
+	}
+	s.wg.Wait()
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.demux.Displayed(), s.err
+}

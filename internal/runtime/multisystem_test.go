@@ -1,0 +1,140 @@
+package runtime
+
+import (
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+)
+
+func newTestMulti(t *testing.T, opts MultiOptions) (*MultiSystem, cond.Condition, cond.Condition) {
+	t.Helper()
+	condA := cond.GreaterThan{CondName: "A", X: "x", Y: "y"}
+	condB := cond.Threshold{CondName: "hot", Var: "x", Limit: 2050, Above: true}
+	sys, err := NewMulti([]cond.Condition{condA, condB}, func(c cond.Condition) ad.Filter {
+		return ad.NewAD5(c.Vars()...)
+	}, opts)
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	return sys, condA, condB
+}
+
+func TestMultiSystemRoutesConditions(t *testing.T) {
+	sys, _, _ := newTestMulti(t, MultiOptions{Replicas: 1})
+	// x=2100 > y=2000 triggers A once warm; x=2100 > 2050 triggers "hot".
+	if _, err := sys.Emit("y", 2000); err != nil {
+		t.Fatalf("Emit y: %v", err)
+	}
+	if _, err := sys.Emit("x", 2100); err != nil {
+		t.Fatalf("Emit x: %v", err)
+	}
+	displayed, err := sys.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	perCond := make(map[string]int)
+	for _, a := range displayed {
+		perCond[a.Cond]++
+	}
+	if perCond["A"] != 1 {
+		t.Errorf("A displayed %d alerts, want 1", perCond["A"])
+	}
+	if perCond["hot"] != 1 {
+		t.Errorf("hot displayed %d alerts, want 1", perCond["hot"])
+	}
+}
+
+func TestMultiSystemReplicatedDuplicates(t *testing.T) {
+	condHot := cond.Threshold{CondName: "hot", Var: "x", Limit: 0, Above: true}
+	sys, err := NewMulti([]cond.Condition{condHot}, func(c cond.Condition) ad.Filter {
+		return ad.NewAD1()
+	}, MultiOptions{Replicas: 3})
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := sys.Emit("x", float64(i+1)); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	displayed, err := sys.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// 5 updates × 3 replicas = 15 raised, AD-1 displays the 5 distinct.
+	if len(displayed) != 5 {
+		t.Errorf("displayed %d alerts, want 5", len(displayed))
+	}
+	if got := sys.Demux().Suppressed(); got != 10 {
+		t.Errorf("suppressed %d, want 10 replica duplicates", got)
+	}
+}
+
+func TestMultiSystemPerConditionLoss(t *testing.T) {
+	condHot := cond.Threshold{CondName: "hot", Var: "x", Limit: 0, Above: true}
+	condCold := cond.Threshold{CondName: "cold", Var: "x", Limit: 1e9, Above: false}
+	sys, err := NewMulti([]cond.Condition{condHot, condCold}, func(c cond.Condition) ad.Filter {
+		return ad.NewPassthrough()
+	}, MultiOptions{
+		Replicas: 1,
+		Loss: func(condName string, replica int, v event.VarName) link.Model {
+			if condName == "hot" {
+				return link.NewDropSeqNos("x", 1, 2, 3)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Emit("x", 5); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	displayed, err := sys.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	perCond := make(map[string]int)
+	for _, a := range displayed {
+		perCond[a.Cond]++
+	}
+	if perCond["hot"] != 0 {
+		t.Errorf("hot should have lost every update, displayed %d", perCond["hot"])
+	}
+	if perCond["cold"] != 3 {
+		t.Errorf("cold should display 3, displayed %d", perCond["cold"])
+	}
+}
+
+func TestMultiSystemValidation(t *testing.T) {
+	if _, err := NewMulti(nil, nil, MultiOptions{}); err == nil {
+		t.Error("empty condition set should fail")
+	}
+	condHot := cond.Threshold{CondName: "hot", Var: "x", Limit: 0, Above: true}
+	if _, err := NewMulti([]cond.Condition{condHot}, func(cond.Condition) ad.Filter {
+		return ad.NewAD1()
+	}, MultiOptions{Replicas: -1}); err == nil {
+		t.Error("negative replicas should fail")
+	}
+}
+
+func TestMultiSystemEmitAndCloseSemantics(t *testing.T) {
+	sys, _, _ := newTestMulti(t, MultiOptions{Replicas: 1})
+	if _, err := sys.Emit("nosuch", 1); err == nil {
+		t.Error("unknown variable should fail")
+	}
+	if _, err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := sys.Emit("x", 1); err == nil {
+		t.Error("Emit after Close should fail")
+	}
+	if _, err := sys.Close(); err != nil {
+		t.Errorf("second Close should be clean: %v", err)
+	}
+}

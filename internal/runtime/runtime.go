@@ -1,0 +1,390 @@
+// Package runtime assembles live, concurrent condition monitoring systems:
+// the replicated architecture of Figure 1(b) (and its multi-variable
+// Figure 3 variant) realized as goroutines connected by channels. A System
+// owns one DataMonitor per variable, N Condition Evaluator replicas each
+// fed through its own lossy in-order front links, and one Alert Displayer
+// that merges the replicas' back links and applies an AD filtering
+// algorithm.
+//
+// Delivery semantics mirror Section 2.1 exactly: front links preserve order
+// and may drop (loss models from internal/link, seeded per link); back
+// links are lossless and ordered (unbounded in-memory queues, standing in
+// for TCP). The Alert Displayer can disconnect — a powered-off PDA — in
+// which case arriving alerts are buffered and run through the filter upon
+// reconnection.
+//
+// Every goroutine is owned by the System: Close stops the sources, drains
+// the pipeline, and waits for everything to exit.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"condmon/internal/ad"
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+
+	"math/rand"
+)
+
+// backlinkBuffer sizes the per-CE alert queue standing in for a TCP back
+// link. It only bounds memory, not semantics: senders block rather than
+// drop when it fills, preserving losslessness.
+const backlinkBuffer = 1024
+
+// Options configure a System.
+type Options struct {
+	// Replicas is the number of CE replicas (default 2, the paper's
+	// running configuration; 1 gives the non-replicated system of
+	// Figure 1(a)).
+	Replicas int
+	// Loss returns the loss model for the front link carrying variable v
+	// to replica i (fresh model per link). Nil means lossless links.
+	Loss func(replica int, v event.VarName) link.Model
+	// Seed drives all link randomness.
+	Seed int64
+}
+
+func (o *Options) applyDefaults() {
+	if o.Replicas == 0 {
+		o.Replicas = 2
+	}
+}
+
+// System is a running replicated monitoring system.
+type System struct {
+	cond     cond.Condition
+	vars     []event.VarName
+	dms      map[event.VarName]*dataMonitor
+	adSrv    *Displayer
+	replicas int
+	shutdown chan struct{}
+	wg       sync.WaitGroup
+
+	mu     sync.Mutex // guards closed
+	closed bool
+}
+
+// frame is the unit carried by the internal pipeline: either a data update
+// or an in-band control request. Control frames ride the same per-variable
+// channels as updates — and are immune to link loss — so a control request
+// is totally ordered after every update emitted before it.
+type frame struct {
+	u event.Update
+	// ctl, when non-nil, marks a control frame addressed to replica
+	// target.
+	ctl    *ctlMsg
+	target int
+}
+
+// dataMonitor is the DM for one variable: it owns the sequence counter and
+// serializes emissions so sequence numbers leave in order.
+type dataMonitor struct {
+	mu     sync.Mutex
+	seq    int64
+	in     chan frame
+	closed bool
+}
+
+// New builds and starts a replicated system monitoring condition c with the
+// given AD filter. The returned System is live: Emit feeds sensor readings,
+// Close shuts everything down and waits.
+func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
+	opts.applyDefaults()
+	if opts.Replicas < 1 {
+		return nil, fmt.Errorf("runtime: replicas must be ≥ 1, got %d", opts.Replicas)
+	}
+	vars := c.Vars()
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("runtime: condition %q has no variables", c.Name())
+	}
+
+	sys := &System{
+		cond:     c,
+		vars:     vars,
+		dms:      make(map[event.VarName]*dataMonitor, len(vars)),
+		replicas: opts.Replicas,
+		shutdown: make(chan struct{}),
+	}
+	sys.adSrv = newDisplayer(filter)
+
+	// Per-variable broadcast channels from the DMs.
+	type tap struct {
+		v  event.VarName
+		ch chan frame
+	}
+	taps := make([][]tap, opts.Replicas) // taps[i] = per-variable inputs of replica i
+
+	for _, v := range vars {
+		in := make(chan frame)
+		sys.dms[v] = &dataMonitor{in: in}
+
+		// Fan out the DM's stream to one front link per replica.
+		outs := make([]chan frame, opts.Replicas)
+		for i := range outs {
+			outs[i] = make(chan frame)
+			taps[i] = append(taps[i], tap{v: v, ch: outs[i]})
+		}
+		sys.wg.Add(1)
+		go func(in chan frame, outs []chan frame) {
+			defer sys.wg.Done()
+			defer func() {
+				for _, out := range outs {
+					close(out)
+				}
+			}()
+			for f := range in {
+				for _, out := range outs {
+					out <- f
+				}
+			}
+		}(in, outs)
+	}
+
+	// One front link per (replica, variable), then a fan-in merger feeding
+	// each CE server, then the CE's back link into the AD.
+	for i := 0; i < opts.Replicas; i++ {
+		ceIn := make(chan frame)
+		var fanIn sync.WaitGroup
+		for _, t := range taps[i] {
+			model := link.Model(link.None{})
+			if opts.Loss != nil {
+				if m := opts.Loss(i, t.v); m != nil {
+					model = m
+				}
+			}
+			rng := rand.New(rand.NewSource(opts.Seed ^ int64(i+1)<<16 ^ int64(len(string(t.v)))<<8 ^ hashVar(t.v)))
+			fanIn.Add(1)
+			sys.wg.Add(1)
+			go func(in chan frame, m link.Model, rng *rand.Rand) {
+				defer sys.wg.Done()
+				defer fanIn.Done()
+				for f := range in {
+					// Control frames are never lost: they model operator
+					// actions, not sensor datagrams.
+					if f.ctl != nil || m.Deliver(f.u, rng) {
+						ceIn <- f
+					}
+				}
+			}(t.ch, model, rng)
+		}
+		sys.wg.Add(1)
+		go func() {
+			defer sys.wg.Done()
+			fanIn.Wait()
+			close(ceIn)
+		}()
+
+		eval, err := ce.New(fmt.Sprintf("CE%d", i+1), c)
+		if err != nil {
+			return nil, err
+		}
+		back := make(chan event.Alert, backlinkBuffer)
+		sys.adSrv.attach(back)
+		sys.wg.Add(1)
+		go func(i int, eval *ce.Evaluator, in chan frame, back chan event.Alert) {
+			defer sys.wg.Done()
+			ceLoop(i, eval, in, back)
+		}(i, eval, ceIn, back)
+	}
+
+	sys.adSrv.start(&sys.wg)
+	return sys, nil
+}
+
+// hashVar derives a stable per-variable seed component.
+func hashVar(v event.VarName) int64 {
+	var h int64 = 1469598103934665603
+	for _, b := range []byte(v) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Emit publishes a new reading of variable v: the DM assigns the next
+// sequence number and broadcasts the update to every replica's front link.
+// It returns the assigned sequence number.
+func (s *System) Emit(v event.VarName, value float64) (int64, error) {
+	dm, ok := s.dms[v]
+	if !ok {
+		return 0, fmt.Errorf("runtime: no data monitor for variable %q", v)
+	}
+	// Serialize per variable so sequence numbers enter the link in order;
+	// the closed check under the same lock makes Emit/Close race-free.
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	if dm.closed {
+		return 0, fmt.Errorf("runtime: Emit on closed system")
+	}
+	dm.seq++
+	dm.in <- frame{u: event.U(v, dm.seq, value)}
+	return dm.seq, nil
+}
+
+// Displayer returns the system's Alert Displayer for inspection and
+// connect/disconnect control.
+func (s *System) Displayer() *Displayer { return s.adSrv }
+
+// Close stops the data monitors, drains every link and replica, waits for
+// the Alert Displayer to process all in-flight alerts, and returns the
+// final displayed sequence. Safe to call once.
+func (s *System) Close() []event.Alert {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.adSrv.Displayed()
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	for _, dm := range s.dms {
+		dm.mu.Lock()
+		dm.closed = true
+		close(dm.in)
+		dm.mu.Unlock()
+	}
+	// Release any controller blocked in SetReplicaDown/CrashReplica before
+	// waiting for the replica goroutines to drain and exit.
+	close(s.shutdown)
+	s.wg.Wait()
+	return s.adSrv.Displayed()
+}
+
+// Displayer is the Alert Displayer component: it merges the replicas' back
+// links, buffers while disconnected, filters, and records the displayed
+// sequence A.
+type Displayer struct {
+	filter ad.Filter
+
+	mu        sync.Mutex
+	connected bool
+	pending   []event.Alert
+	displayed []event.Alert
+	suppress  int
+	links     []chan event.Alert
+	started   bool
+}
+
+func newDisplayer(filter ad.Filter) *Displayer {
+	return &Displayer{filter: filter, connected: true}
+}
+
+// attach registers a back link; must precede start.
+func (d *Displayer) attach(ch chan event.Alert) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.started {
+		panic("runtime: attach after start")
+	}
+	d.links = append(d.links, ch)
+}
+
+// start spawns one receiver per back link. Arrival order across links is
+// whatever the scheduler produces — exactly the nondeterministic merge M of
+// the analysis model.
+func (d *Displayer) start(wg *sync.WaitGroup) {
+	d.mu.Lock()
+	d.started = true
+	links := d.links
+	d.mu.Unlock()
+	for _, back := range links {
+		wg.Add(1)
+		go func(back chan event.Alert) {
+			defer wg.Done()
+			for a := range back {
+				d.offer(a)
+			}
+		}(back)
+	}
+}
+
+func (d *Displayer) offer(a event.Alert) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.connected {
+		d.pending = append(d.pending, a)
+		return
+	}
+	d.offerLocked(a)
+}
+
+func (d *Displayer) offerLocked(a event.Alert) {
+	if ad.Offer(d.filter, a) {
+		d.displayed = append(d.displayed, a)
+	} else {
+		d.suppress++
+	}
+}
+
+// SetConnected connects or disconnects the display device. On
+// reconnection, buffered alerts are run through the filter in arrival
+// order (the CE-side buffering of Section 2.1, hosted here for simplicity:
+// back links are lossless either way).
+func (d *Displayer) SetConnected(connected bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.connected == connected {
+		return
+	}
+	d.connected = connected
+	if connected {
+		for _, a := range d.pending {
+			d.offerLocked(a)
+		}
+		d.pending = nil
+	}
+}
+
+// Displayed returns a copy of the alert sequence shown to the user so far.
+func (d *Displayer) Displayed() []event.Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]event.Alert, len(d.displayed))
+	copy(out, d.displayed)
+	return out
+}
+
+// Suppressed returns how many alerts the filter discarded.
+func (d *Displayer) Suppressed() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.suppress
+}
+
+// PendingCount returns how many alerts are buffered awaiting reconnection.
+func (d *Displayer) PendingCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pending)
+}
+
+// Snapshot serializes the displayer's filter state (see ad.Snapshotter) so
+// a restarted Alert Displayer device does not forget which alerts it
+// already showed. Alerts buffered while disconnected are not part of the
+// snapshot — they live on the reliable back links' semantics and would be
+// redelivered by the CEs in a real deployment.
+func (d *Displayer) Snapshot() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.filter.(ad.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("runtime: filter %s does not support snapshots", d.filter.Name())
+	}
+	return s.Snapshot()
+}
+
+// RestoreFilter replaces the displayer's filter state from a snapshot taken
+// on a filter of the same algorithm and configuration.
+func (d *Displayer) RestoreFilter(data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.filter.(ad.Snapshotter)
+	if !ok {
+		return fmt.Errorf("runtime: filter %s does not support snapshots", d.filter.Name())
+	}
+	return s.Restore(data)
+}

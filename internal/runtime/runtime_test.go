@@ -1,0 +1,285 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/props"
+	"condmon/internal/seq"
+)
+
+func TestLosslessReplicatedSystemEndToEnd(t *testing.T) {
+	// Figure 1(b) live: two replicas, lossless links, c1, AD-1. Exactly
+	// the distinct alerts of T(U) must be displayed, in order (Theorem 1).
+	sys, err := New(cond.NewOverheat("x"), ad.NewAD1(), Options{Replicas: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	values := []float64{2900, 3100, 3200, 2800, 3050}
+	for _, v := range values {
+		if _, err := sys.Emit("x", v); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	displayed := sys.Close()
+	if got := event.AlertSeqNos(displayed, "x"); !got.Equal(seq.Seq{2, 3, 5}) {
+		t.Errorf("displayed = %v, want alerts at ⟨2,3,5⟩", got)
+	}
+	if !props.Ordered(displayed, []event.VarName{"x"}) {
+		t.Errorf("lossless AD-1 output must be ordered, got %v", displayed)
+	}
+	if sys.Displayer().Suppressed() != 3 {
+		t.Errorf("suppressed = %d, want 3 duplicates", sys.Displayer().Suppressed())
+	}
+}
+
+func TestNonReplicatedSystem(t *testing.T) {
+	// Replicas=1 is the non-replicated system of Figure 1(a): no
+	// duplicates arise at all.
+	sys, err := New(cond.NewOverheat("x"), ad.NewPassthrough(), Options{Replicas: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, v := range []float64{3100, 2900, 3300} {
+		if _, err := sys.Emit("x", v); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	displayed := sys.Close()
+	if got := event.AlertSeqNos(displayed, "x"); !got.Equal(seq.Seq{1, 3}) {
+		t.Errorf("displayed = %v, want ⟨1,3⟩", got)
+	}
+}
+
+func TestLossyLinksProduceSubsequenceAndAD4Consistency(t *testing.T) {
+	// With lossy front links and the aggressive c2, AD-4 must keep the
+	// displayed sequence ordered and consistent in every schedule.
+	sys, err := New(cond.NewRiseAggressive("x"), ad.NewAD4("x"), Options{
+		Replicas: 2,
+		Seed:     42,
+		Loss: func(replica int, v event.VarName) link.Model {
+			return link.Bernoulli{P: 0.4}
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	val := 100.0
+	for i := 0; i < 40; i++ {
+		val += float64((i%3)*260 - 200)
+		if _, err := sys.Emit("x", val); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	displayed := sys.Close()
+	if !props.Ordered(displayed, []event.VarName{"x"}) {
+		t.Errorf("AD-4 output must be ordered: %v", displayed)
+	}
+	if !props.ConsistentSingle(displayed) {
+		t.Errorf("AD-4 output must be consistent: %v", displayed)
+	}
+}
+
+func TestMultiVariableLiveSystem(t *testing.T) {
+	// Figure 3 live: two variables under cm with AD-6; the displayed
+	// sequence must be ordered per variable.
+	sys, err := New(cond.NewTempDiff("x", "y"), ad.NewAD6("x", "y"), Options{Replicas: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := sys.Emit("x", 1000+float64(i*40)); err != nil {
+			t.Fatalf("Emit x: %v", err)
+		}
+		if _, err := sys.Emit("y", 1050); err != nil {
+			t.Fatalf("Emit y: %v", err)
+		}
+	}
+	displayed := sys.Close()
+	if !props.Ordered(displayed, []event.VarName{"x", "y"}) {
+		t.Errorf("AD-6 output must be ordered per variable: %v", displayed)
+	}
+}
+
+func TestEmitValidation(t *testing.T) {
+	sys, err := New(cond.NewOverheat("x"), ad.NewAD1(), Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := sys.Emit("nosuch", 1); err == nil {
+		t.Error("Emit of unknown variable should fail")
+	}
+	sys.Close()
+	if _, err := sys.Emit("x", 1); err == nil {
+		t.Error("Emit after Close should fail")
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	sys, err := New(cond.NewOverheat("x"), ad.NewAD1(), Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := sys.Emit("x", 3100); err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	a := sys.Close()
+	b := sys.Close()
+	if len(a) != len(b) {
+		t.Errorf("second Close returned %d alerts, first %d", len(b), len(a))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(cond.NewOverheat("x"), ad.NewAD1(), Options{Replicas: -1}); err == nil {
+		t.Error("negative replica count should fail")
+	}
+	bad := cond.Func{CondName: "novars", VarDegrees: map[event.VarName]int{}}
+	if _, err := New(bad, ad.NewAD1(), Options{}); err == nil {
+		t.Error("empty variable set should fail")
+	}
+}
+
+func TestDisconnectedDisplayerBuffers(t *testing.T) {
+	sys, err := New(cond.NewOverheat("x"), ad.NewAD1(), Options{Replicas: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	d := sys.Displayer()
+	d.SetConnected(false)
+	for _, v := range []float64{3100, 3200} {
+		if _, err := sys.Emit("x", v); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	// Close drains the pipeline; alerts end up buffered, not displayed.
+	sys.Close()
+	if got := len(sys.Displayer().Displayed()); got != 0 {
+		t.Fatalf("disconnected AD displayed %d alerts, want 0", got)
+	}
+	if d.PendingCount() != 4 { // 2 alerts × 2 replicas
+		t.Fatalf("pending = %d, want 4", d.PendingCount())
+	}
+	// Reconnect: buffered alerts flow through the filter.
+	d.SetConnected(true)
+	displayed := d.Displayed()
+	if got := event.AlertSeqNos(displayed, "x"); !got.Set().Equal(seq.NewSet(1, 2)) {
+		t.Errorf("after reconnect displayed = %v, want alerts 1 and 2", got)
+	}
+	if d.PendingCount() != 0 {
+		t.Errorf("pending = %d after reconnect, want 0", d.PendingCount())
+	}
+	if d.Suppressed() != 2 {
+		t.Errorf("suppressed = %d, want 2 duplicates", d.Suppressed())
+	}
+}
+
+func TestSetConnectedIdempotent(t *testing.T) {
+	sys, err := New(cond.NewOverheat("x"), ad.NewAD1(), Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer sys.Close()
+	d := sys.Displayer()
+	d.SetConnected(true) // already connected: no-op
+	d.SetConnected(false)
+	d.SetConnected(false) // no-op
+	d.SetConnected(true)
+}
+
+func TestConcurrentEmitters(t *testing.T) {
+	// Concurrent Emit calls on both variables must neither race nor
+	// produce out-of-order per-variable streams (which the CEs would
+	// discard); every update must reach both replicas.
+	sys, err := New(cond.NewTempDiff("x", "y"), ad.NewPassthrough(), Options{Replicas: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const perVar = 50
+	var wg sync.WaitGroup
+	for _, v := range []event.VarName{"x", "y"} {
+		wg.Add(1)
+		go func(v event.VarName) {
+			defer wg.Done()
+			base := 1000.0
+			if v == "y" {
+				base = 2000.0 // keep |x−y| > 100 so every update fires
+			}
+			for i := 0; i < perVar; i++ {
+				if _, err := sys.Emit(v, base); err != nil {
+					t.Errorf("Emit(%s): %v", v, err)
+					return
+				}
+			}
+		}(v)
+	}
+	wg.Wait()
+	displayed := sys.Close()
+	// Each replica fires on every update once both its windows are full.
+	// Depending on how the two variables interleave at a replica, between
+	// perVar (all of one variable first) and 2·perVar−1 (immediate
+	// alternation) alerts fire, so the passthrough total lies in
+	// [2·perVar, 2·(2·perVar−1)].
+	lo, hi := 2*perVar, 2*(2*perVar-1)
+	if len(displayed) < lo || len(displayed) > hi {
+		t.Errorf("displayed %d alerts, want between %d and %d", len(displayed), lo, hi)
+	}
+}
+
+func TestDisplayerSnapshotAcrossRestart(t *testing.T) {
+	// First system session: display some alerts, snapshot the filter.
+	sys1, err := New(cond.NewOverheat("x"), ad.NewAD1(), Options{Replicas: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, v := range []float64{3100, 3200} {
+		if _, err := sys1.Emit("x", v); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	sys1.Close()
+	blob, err := sys1.Displayer().Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	// Restarted session with restored state: the same alerts re-sent by
+	// the CEs (same seqnos) must be recognized as duplicates.
+	sys2, err := New(cond.NewOverheat("x"), ad.NewAD1(), Options{Replicas: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := sys2.Displayer().RestoreFilter(blob); err != nil {
+		t.Fatalf("RestoreFilter: %v", err)
+	}
+	for _, v := range []float64{3100, 3200} {
+		if _, err := sys2.Emit("x", v); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	displayed := sys2.Close()
+	if len(displayed) != 0 {
+		t.Errorf("restored AD re-displayed %d alerts, want 0", len(displayed))
+	}
+	if got := sys2.Displayer().Suppressed(); got != 4 {
+		t.Errorf("suppressed = %d, want 4", got)
+	}
+}
+
+func TestDisplayerSnapshotUnsupportedFilter(t *testing.T) {
+	sys, err := New(cond.NewOverheat("x"), ad.NewPassthrough(), Options{Replicas: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer sys.Close()
+	if _, err := sys.Displayer().Snapshot(); err == nil {
+		t.Error("snapshot of a non-snapshottable filter should fail")
+	}
+	if err := sys.Displayer().RestoreFilter(nil); err == nil {
+		t.Error("restore into a non-snapshottable filter should fail")
+	}
+}

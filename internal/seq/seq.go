@@ -1,0 +1,372 @@
+// Package seq implements the sequence algebra of Section 2.2 of the paper:
+// ordered sequences of natural numbers, the subsequence relation ⊑, the
+// element set Φ, the ordered union ⊔, and spanning sets. All property
+// definitions (orderedness, completeness, consistency) and the AD filtering
+// algorithms are stated in terms of these operators, so this package is the
+// foundation of both the implementation and the machine checkers.
+package seq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Seq is a sequence of sequence numbers. The paper ranges over natural
+// numbers; we use int64 and treat negative values as invalid.
+type Seq []int64
+
+// IsOrdered reports whether s's elements appear in non-decreasing order.
+// The paper calls such a sequence "ordered"; ⟨3,8,100⟩ and ⟨2,2⟩ are
+// ordered, ⟨2,1,6⟩ is not.
+func (s Seq) IsOrdered() bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsStrictlyOrdered reports whether s's elements appear in strictly
+// increasing order (ordered with no duplicates).
+func (s Seq) IsStrictlyOrdered() bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConsecutive reports whether s is a run of consecutive integers
+// (s[i+1] == s[i]+1 for all i). Conservative conditions require their
+// history windows to be consecutive.
+func (s Seq) IsConsecutive() bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1]+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Set returns Φ(s): the unordered set of s's elements.
+func (s Seq) Set() Set {
+	set := make(Set, len(s))
+	for _, v := range s {
+		set[v] = struct{}{}
+	}
+	return set
+}
+
+// Clone returns a copy of s. A nil receiver yields a nil result.
+func (s Seq) Clone() Seq {
+	if s == nil {
+		return nil
+	}
+	out := make(Seq, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports element-wise equality of two sequences (same length, same
+// elements in the same positions). Note this is stronger than the paper's
+// "=" on ordered sequences, which it coincides with for duplicate-free
+// ordered sequences.
+func (s Seq) Equal(t Seq) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsequenceOf reports s ⊑ t: s can be obtained from t by removing zero or
+// more of t's elements.
+func (s Seq) SubsequenceOf(t Seq) bool {
+	i := 0
+	for _, v := range t {
+		if i < len(s) && s[i] == v {
+			i++
+		}
+	}
+	return i == len(s)
+}
+
+// String renders the sequence in the paper's angle-bracket notation.
+func (s Seq) String() string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "⟨" + strings.Join(parts, ",") + "⟩"
+}
+
+// OrderedUnion returns s ⊔ t: the ordered, duplicate-free sequence whose
+// element set is Φs ∪ Φt. It returns an error if either input is unordered,
+// since ⊔ is defined only on ordered sequences.
+func OrderedUnion(s, t Seq) (Seq, error) {
+	if !s.IsOrdered() {
+		return nil, fmt.Errorf("seq: ordered union: left operand %v is not ordered", s)
+	}
+	if !t.IsOrdered() {
+		return nil, fmt.Errorf("seq: ordered union: right operand %v is not ordered", t)
+	}
+	return mergeOrdered(s, t), nil
+}
+
+// MustOrderedUnion is OrderedUnion for inputs known to be ordered; it panics
+// on unordered input. Intended for tests and internal call sites that have
+// already validated their operands.
+func MustOrderedUnion(s, t Seq) Seq {
+	u, err := OrderedUnion(s, t)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+func mergeOrdered(s, t Seq) Seq {
+	out := make(Seq, 0, len(s)+len(t))
+	i, j := 0, 0
+	push := func(v int64) {
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			push(s[i])
+			i++
+		case s[i] > t[j]:
+			push(t[j])
+			j++
+		default:
+			push(s[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(s); i++ {
+		push(s[i])
+	}
+	for ; j < len(t); j++ {
+		push(t[j])
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Merge returns every interleaving of s and t that preserves the internal
+// order of each input, i.e. all sequences m with s ⊑ m, t ⊑ m and
+// len(m) == len(s)+len(t). The AD receives the two CE alert streams in an
+// arbitrary such interleaving, so property checkers quantify over Merge.
+// The number of results is C(len(s)+len(t), len(s)); callers must keep
+// inputs short.
+func Merge(s, t Seq) []Seq {
+	var (
+		out []Seq
+		cur = make(Seq, 0, len(s)+len(t))
+	)
+	var rec func(i, j int)
+	rec = func(i, j int) {
+		if i == len(s) && j == len(t) {
+			if len(cur) == 0 {
+				out = append(out, nil)
+			} else {
+				out = append(out, cur.Clone())
+			}
+			return
+		}
+		if i < len(s) {
+			cur = append(cur, s[i])
+			rec(i+1, j)
+			cur = cur[:len(cur)-1]
+		}
+		if j < len(t) {
+			cur = append(cur, t[j])
+			rec(i, j+1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// Subsequences returns all 2^len(s) subsequences of s, including the empty
+// sequence (returned as nil). Used by exhaustive cross-checks of the
+// consistency checker on small inputs.
+func Subsequences(s Seq) []Seq {
+	if len(s) > 20 {
+		panic(fmt.Sprintf("seq: Subsequences of length %d would allocate 2^%d sequences", len(s), len(s)))
+	}
+	n := 1 << len(s)
+	out := make([]Seq, 0, n)
+	for mask := 0; mask < n; mask++ {
+		var sub Seq
+		for i, v := range s {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, v)
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}
+
+// Set is Φ: an unordered set of sequence numbers.
+type Set map[int64]struct{}
+
+// NewSet builds a set from the given elements.
+func NewSet(vs ...int64) Set {
+	s := make(Set, len(vs))
+	for _, v := range vs {
+		s[v] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports whether v ∈ s.
+func (s Set) Contains(v int64) bool {
+	_, ok := s[v]
+	return ok
+}
+
+// Add inserts v into s.
+func (s Set) Add(v int64) { s[v] = struct{}{} }
+
+// AddSeq inserts every element of q into s.
+func (s Set) AddSeq(q Seq) {
+	for _, v := range q {
+		s.Add(v)
+	}
+}
+
+// Union returns s ∪ t as a new set.
+func (s Set) Union(t Set) Set {
+	out := make(Set, len(s)+len(t))
+	for v := range s {
+		out[v] = struct{}{}
+	}
+	for v := range t {
+		out[v] = struct{}{}
+	}
+	return out
+}
+
+// Intersect returns s ∩ t as a new set.
+func (s Set) Intersect(t Set) Set {
+	out := make(Set)
+	for v := range s {
+		if t.Contains(v) {
+			out[v] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Diff returns s \ t as a new set.
+func (s Set) Diff(t Set) Set {
+	out := make(Set)
+	for v := range s {
+		if !t.Contains(v) {
+			out[v] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for v := range s {
+		if !t.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports s ⊆ t.
+func (s Set) SubsetOf(t Set) bool {
+	for v := range s {
+		if !t.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the elements of s as an ordered sequence.
+func (s Set) Sorted() Seq {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make(Seq, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the set in sorted order.
+func (s Set) String() string {
+	q := s.Sorted()
+	parts := make([]string, len(q))
+	for i, v := range q {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// SpanningSet returns the set of consecutive integers between the smallest
+// and largest elements of s, inclusive; e.g. SpanningSet({1,2,5}) =
+// {1,2,3,4,5}. It is used by Algorithm AD-3 (Appendix A). The spanning set
+// of an empty set is empty.
+func SpanningSet(s Set) Set {
+	if len(s) == 0 {
+		return make(Set)
+	}
+	var (
+		first = true
+		lo    int64
+		hi    int64
+	)
+	for v := range s {
+		if first {
+			lo, hi = v, v
+			first = false
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make(Set, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out[v] = struct{}{}
+	}
+	return out
+}
+
+// Gaps returns SpanningSet(Φs) \ Φs for a sequence: the sequence numbers
+// that fall strictly inside s's span but are missing from it. For a history
+// window this is exactly the set of updates the CE must have missed.
+func Gaps(s Seq) Set {
+	set := s.Set()
+	return SpanningSet(set).Diff(set)
+}

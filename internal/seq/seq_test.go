@@ -1,0 +1,356 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsOrdered(t *testing.T) {
+	tests := []struct {
+		name string
+		give Seq
+		want bool
+	}{
+		{name: "empty", give: nil, want: true},
+		{name: "single", give: Seq{7}, want: true},
+		{name: "paper ordered", give: Seq{3, 8, 100}, want: true},
+		{name: "paper duplicate", give: Seq{2, 2}, want: true},
+		{name: "paper unordered", give: Seq{2, 1, 6}, want: false},
+		{name: "descending", give: Seq{9, 3}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.give.IsOrdered(); got != tt.want {
+				t.Errorf("IsOrdered(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIsStrictlyOrdered(t *testing.T) {
+	tests := []struct {
+		give Seq
+		want bool
+	}{
+		{nil, true},
+		{Seq{1}, true},
+		{Seq{1, 2, 9}, true},
+		{Seq{1, 1}, false},
+		{Seq{2, 1}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.give.IsStrictlyOrdered(); got != tt.want {
+			t.Errorf("IsStrictlyOrdered(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestIsConsecutive(t *testing.T) {
+	tests := []struct {
+		give Seq
+		want bool
+	}{
+		{nil, true},
+		{Seq{4}, true},
+		{Seq{4, 5, 6}, true},
+		{Seq{4, 6}, false},
+		{Seq{4, 4}, false},
+		{Seq{5, 4}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.give.IsConsecutive(); got != tt.want {
+			t.Errorf("IsConsecutive(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestSetFromSeq(t *testing.T) {
+	// Φ(⟨2,1,2,6⟩) = {1,2,6} from Section 2.2.
+	got := Seq{2, 1, 2, 6}.Set()
+	want := NewSet(1, 2, 6)
+	if !got.Equal(want) {
+		t.Errorf("Φ⟨2,1,2,6⟩ = %v, want %v", got, want)
+	}
+}
+
+func TestSubsequenceOf(t *testing.T) {
+	tests := []struct {
+		name string
+		s, t Seq
+		want bool
+	}{
+		{name: "empty in empty", s: nil, t: nil, want: true},
+		{name: "empty in any", s: nil, t: Seq{1, 2}, want: true},
+		{name: "identity", s: Seq{1, 2, 3}, t: Seq{1, 2, 3}, want: true},
+		{name: "gaps allowed", s: Seq{1, 3}, t: Seq{1, 2, 3}, want: true},
+		{name: "order matters", s: Seq{3, 1}, t: Seq{1, 2, 3}, want: false},
+		{name: "multiplicity", s: Seq{2, 2}, t: Seq{2}, want: false},
+		{name: "longer not sub", s: Seq{1, 2}, t: Seq{1}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.s.SubsequenceOf(tt.t); got != tt.want {
+				t.Errorf("%v ⊑ %v = %v, want %v", tt.s, tt.t, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestOrderedUnion(t *testing.T) {
+	// S1 = ⟨1,4,8⟩, S2 = ⟨2,4,5⟩ → ⟨1,2,4,5,8⟩ from Section 2.2.
+	got, err := OrderedUnion(Seq{1, 4, 8}, Seq{2, 4, 5})
+	if err != nil {
+		t.Fatalf("OrderedUnion returned error: %v", err)
+	}
+	if want := (Seq{1, 2, 4, 5, 8}); !got.Equal(want) {
+		t.Errorf("⟨1,4,8⟩ ⊔ ⟨2,4,5⟩ = %v, want %v", got, want)
+	}
+}
+
+func TestOrderedUnionRemovesDuplicates(t *testing.T) {
+	got := MustOrderedUnion(Seq{1, 1, 2}, Seq{2, 2, 3})
+	if want := (Seq{1, 2, 3}); !got.Equal(want) {
+		t.Errorf("⊔ with duplicates = %v, want %v", got, want)
+	}
+}
+
+func TestOrderedUnionRejectsUnordered(t *testing.T) {
+	if _, err := OrderedUnion(Seq{2, 1}, nil); err == nil {
+		t.Error("OrderedUnion(⟨2,1⟩, ∅) should fail on unordered left operand")
+	}
+	if _, err := OrderedUnion(nil, Seq{2, 1}); err == nil {
+		t.Error("OrderedUnion(∅, ⟨2,1⟩) should fail on unordered right operand")
+	}
+}
+
+func TestOrderedUnionEmpty(t *testing.T) {
+	if got := MustOrderedUnion(nil, nil); got != nil {
+		t.Errorf("∅ ⊔ ∅ = %v, want nil", got)
+	}
+	if got := MustOrderedUnion(Seq{3}, nil); !got.Equal(Seq{3}) {
+		t.Errorf("⟨3⟩ ⊔ ∅ = %v, want ⟨3⟩", got)
+	}
+}
+
+func TestMergeCountsAndValidity(t *testing.T) {
+	s, u := Seq{1, 3}, Seq{2, 4, 6}
+	merges := Merge(s, u)
+	// C(5,2) = 10 interleavings.
+	if len(merges) != 10 {
+		t.Fatalf("Merge produced %d interleavings, want 10", len(merges))
+	}
+	seen := make(map[string]bool)
+	for _, m := range merges {
+		if len(m) != len(s)+len(u) {
+			t.Errorf("interleaving %v has wrong length", m)
+		}
+		if !s.SubsequenceOf(m) || !u.SubsequenceOf(m) {
+			t.Errorf("interleaving %v does not preserve input order", m)
+		}
+		if seen[m.String()] {
+			t.Errorf("duplicate interleaving %v", m)
+		}
+		seen[m.String()] = true
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	merges := Merge(nil, Seq{1})
+	if len(merges) != 1 || !merges[0].Equal(Seq{1}) {
+		t.Errorf("Merge(∅,⟨1⟩) = %v, want [⟨1⟩]", merges)
+	}
+	merges = Merge(nil, nil)
+	if len(merges) != 1 || merges[0] != nil {
+		t.Errorf("Merge(∅,∅) = %v, want [∅]", merges)
+	}
+}
+
+func TestSubsequencesEnumeration(t *testing.T) {
+	subs := Subsequences(Seq{1, 2, 3})
+	if len(subs) != 8 {
+		t.Fatalf("Subsequences(⟨1,2,3⟩) returned %d results, want 8", len(subs))
+	}
+	for _, sub := range subs {
+		if !sub.SubsequenceOf(Seq{1, 2, 3}) {
+			t.Errorf("%v is not a subsequence of ⟨1,2,3⟩", sub)
+		}
+	}
+}
+
+func TestSpanningSet(t *testing.T) {
+	// SpanningSet({1,2,5}) = {1,2,3,4,5} from Appendix A.
+	got := SpanningSet(NewSet(1, 2, 5))
+	want := NewSet(1, 2, 3, 4, 5)
+	if !got.Equal(want) {
+		t.Errorf("SpanningSet({1,2,5}) = %v, want %v", got, want)
+	}
+	if got := SpanningSet(make(Set)); len(got) != 0 {
+		t.Errorf("SpanningSet(∅) = %v, want ∅", got)
+	}
+	if got := SpanningSet(NewSet(7)); !got.Equal(NewSet(7)) {
+		t.Errorf("SpanningSet({7}) = %v, want {7}", got)
+	}
+}
+
+func TestGaps(t *testing.T) {
+	got := Gaps(Seq{1, 3, 6})
+	want := NewSet(2, 4, 5)
+	if !got.Equal(want) {
+		t.Errorf("Gaps(⟨1,3,6⟩) = %v, want %v", got, want)
+	}
+	if got := Gaps(Seq{4, 5}); len(got) != 0 {
+		t.Errorf("Gaps(⟨4,5⟩) = %v, want ∅", got)
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a, b := NewSet(1, 2, 3), NewSet(3, 4)
+	if got := a.Union(b); !got.Equal(NewSet(1, 2, 3, 4)) {
+		t.Errorf("union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewSet(3)) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := a.Diff(b); !got.Equal(NewSet(1, 2)) {
+		t.Errorf("diff = %v", got)
+	}
+	if !NewSet(1, 2).SubsetOf(a) {
+		t.Error("{1,2} should be a subset of {1,2,3}")
+	}
+	if NewSet(1, 9).SubsetOf(a) {
+		t.Error("{1,9} should not be a subset of {1,2,3}")
+	}
+}
+
+func TestSortedRoundTrip(t *testing.T) {
+	s := NewSet(5, 1, 3)
+	if got := s.Sorted(); !got.Equal(Seq{1, 3, 5}) {
+		t.Errorf("Sorted() = %v, want ⟨1,3,5⟩", got)
+	}
+	if got := (Set{}).Sorted(); got != nil {
+		t.Errorf("Sorted(∅) = %v, want nil", got)
+	}
+}
+
+// randomOrdered draws a short ordered duplicate-free sequence, the shape of
+// every real update stream in the system.
+func randomOrdered(r *rand.Rand, maxLen int) Seq {
+	n := r.Intn(maxLen + 1)
+	var (
+		out Seq
+		v   int64
+	)
+	for i := 0; i < n; i++ {
+		v += int64(1 + r.Intn(3))
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestQuickOrderedUnionLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cfg := &quick.Config{MaxCount: 500, Rand: r}
+
+	commutative := func(aSeed, bSeed int64) bool {
+		ra := rand.New(rand.NewSource(aSeed))
+		rb := rand.New(rand.NewSource(bSeed))
+		a, b := randomOrdered(ra, 8), randomOrdered(rb, 8)
+		return MustOrderedUnion(a, b).Equal(MustOrderedUnion(b, a))
+	}
+	if err := quick.Check(commutative, cfg); err != nil {
+		t.Errorf("⊔ not commutative: %v", err)
+	}
+
+	idempotent := func(seed int64) bool {
+		a := randomOrdered(rand.New(rand.NewSource(seed)), 8)
+		// Lemma 2: U ⊔ U = U for ordered duplicate-free U.
+		u := MustOrderedUnion(a, a)
+		if a == nil {
+			return u == nil
+		}
+		return u.Equal(a)
+	}
+	if err := quick.Check(idempotent, cfg); err != nil {
+		t.Errorf("Lemma 2 (U ⊔ U = U) violated: %v", err)
+	}
+
+	associative := func(sa, sb, sc int64) bool {
+		a := randomOrdered(rand.New(rand.NewSource(sa)), 6)
+		b := randomOrdered(rand.New(rand.NewSource(sb)), 6)
+		c := randomOrdered(rand.New(rand.NewSource(sc)), 6)
+		l := MustOrderedUnion(MustOrderedUnion(a, b), c)
+		r := MustOrderedUnion(a, MustOrderedUnion(b, c))
+		return l.Equal(r)
+	}
+	if err := quick.Check(associative, cfg); err != nil {
+		t.Errorf("⊔ not associative: %v", err)
+	}
+
+	containsBoth := func(sa, sb int64) bool {
+		a := randomOrdered(rand.New(rand.NewSource(sa)), 8)
+		b := randomOrdered(rand.New(rand.NewSource(sb)), 8)
+		u := MustOrderedUnion(a, b)
+		return u.IsOrdered() &&
+			u.Set().Equal(a.Set().Union(b.Set())) &&
+			a.SubsequenceOf(u) == a.IsStrictlyOrdered()
+	}
+	if err := quick.Check(containsBoth, cfg); err != nil {
+		t.Errorf("⊔ element/order law violated: %v", err)
+	}
+}
+
+func TestQuickSubsequencePartialOrder(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}
+
+	reflexive := func(seed int64) bool {
+		a := randomOrdered(rand.New(rand.NewSource(seed)), 10)
+		return a.SubsequenceOf(a)
+	}
+	if err := quick.Check(reflexive, cfg); err != nil {
+		t.Errorf("⊑ not reflexive: %v", err)
+	}
+
+	transitiveViaMerge := func(sa, sb int64) bool {
+		a := randomOrdered(rand.New(rand.NewSource(sa)), 4)
+		b := randomOrdered(rand.New(rand.NewSource(sb)), 4)
+		// Every interleaving m of a and b satisfies a ⊑ m and b ⊑ m.
+		for _, m := range Merge(a, b) {
+			if !a.SubsequenceOf(m) || !b.SubsequenceOf(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(transitiveViaMerge, cfg); err != nil {
+		t.Errorf("Merge/⊑ law violated: %v", err)
+	}
+}
+
+func TestQuickGapsDisjointFromElements(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}
+	prop := func(seed int64) bool {
+		a := randomOrdered(rand.New(rand.NewSource(seed)), 10)
+		gaps := Gaps(a)
+		for _, v := range a {
+			if gaps.Contains(v) {
+				return false
+			}
+		}
+		// Elements ∪ gaps must equal the spanning set.
+		return a.Set().Union(gaps).Equal(SpanningSet(a.Set()))
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Errorf("Gaps law violated: %v", err)
+	}
+}
+
+func TestSubsequencesGuardsAgainstExplosion(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Subsequences of a 21-element sequence should panic")
+		}
+	}()
+	big := make(Seq, 21)
+	Subsequences(big)
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"fmt"
+
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+
+	"math/rand"
+)
+
+// The paper analyzes two CEs "for simplicity" and notes the analysis
+// extends to more. This file provides the N-replica generalization: runs
+// with any number of CEs and exhaustive enumeration of N-way alert arrival
+// interleavings.
+
+// NReplicaRun captures one simulated run of an N-CE single-variable
+// system.
+type NReplicaRun struct {
+	Cond cond.Condition
+	// U is the DM's output stream.
+	U []event.Update
+	// Us[i] is the subsequence delivered to CE i.
+	Us [][]event.Update
+	// As[i] is T(Us[i]).
+	As [][]event.Alert
+	// NInput is the ordered union of every delivered stream; NOutput is
+	// T(NInput) — the corresponding non-replicated system's output given
+	// the combined inputs.
+	NInput  []event.Update
+	NOutput []event.Alert
+}
+
+// RunSingleVarN simulates an N-replica single-variable system, one loss
+// model per front link.
+func RunSingleVarN(c cond.Condition, u []event.Update, losses []link.Model, r *rand.Rand) (*NReplicaRun, error) {
+	if got := len(c.Vars()); got != 1 {
+		return nil, fmt.Errorf("sim: RunSingleVarN needs a single-variable condition, %q has %d", c.Name(), got)
+	}
+	if len(losses) == 0 {
+		return nil, fmt.Errorf("sim: RunSingleVarN needs at least one replica")
+	}
+	run := &NReplicaRun{Cond: c, U: u}
+	for i, m := range losses {
+		delivered := link.Apply(u, m, r)
+		alerts, err := ce.T(c, delivered)
+		if err != nil {
+			return nil, fmt.Errorf("sim: CE%d: %w", i+1, err)
+		}
+		run.Us = append(run.Us, delivered)
+		run.As = append(run.As, alerts)
+	}
+	var err error
+	run.NInput = run.Us[0]
+	for _, us := range run.Us[1:] {
+		if run.NInput, err = OrderedUnionUpdates(run.NInput, us); err != nil {
+			return nil, err
+		}
+	}
+	if run.NOutput, err = ce.T(c, run.NInput); err != nil {
+		return nil, fmt.Errorf("sim: corresponding non-replicated CE: %w", err)
+	}
+	return run, nil
+}
+
+// ForEachArrivalN invokes fn once per interleaving of the N alert streams
+// that preserves each stream's internal order. The number of interleavings
+// is the multinomial coefficient of the stream lengths; enumeration is
+// bounded by MaxArrivals. Iteration stops early when fn returns false.
+func ForEachArrivalN(streams [][]event.Alert, fn func(merged []event.Alert) bool) error {
+	total := 0
+	count := 1
+	for _, s := range streams {
+		total += len(s)
+		count = count * binom(total, len(s))
+		if count > MaxArrivals {
+			return fmt.Errorf("sim: %d-way arrival orders exceed the enumeration bound %d", len(streams), MaxArrivals)
+		}
+	}
+	idx := make([]int, len(streams))
+	buf := make([]event.Alert, 0, total)
+	var rec func() bool
+	rec = func() bool {
+		if len(buf) == total {
+			out := make([]event.Alert, total)
+			copy(out, buf)
+			return fn(out)
+		}
+		for i, s := range streams {
+			if idx[i] < len(s) {
+				buf = append(buf, s[idx[i]])
+				idx[i]++
+				cont := rec()
+				idx[i]--
+				buf = buf[:len(buf)-1]
+				if !cont {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec()
+	return nil
+}
+
+// RandomArrivalN draws one uniformly random interleaving of the N streams.
+func RandomArrivalN(streams [][]event.Alert, r *rand.Rand) []event.Alert {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	idx := make([]int, len(streams))
+	out := make([]event.Alert, 0, total)
+	for len(out) < total {
+		remaining := 0
+		for i, s := range streams {
+			remaining += len(s) - idx[i]
+		}
+		n := r.Intn(remaining)
+		for i, s := range streams {
+			left := len(s) - idx[i]
+			if n < left {
+				out = append(out, s[idx[i]])
+				idx[i]++
+				break
+			}
+			n -= left
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/seq"
+)
+
+func TestRunSingleVarNMatchesTwoReplicaRun(t *testing.T) {
+	c := cond.NewOverheat("x")
+	u := []event.Update{event.U("x", 1, 2900), event.U("x", 2, 3100), event.U("x", 3, 3200)}
+	two, err := RunSingleVar(c, u, link.None{}, link.NewDropSeqNos("x", 2), nil)
+	if err != nil {
+		t.Fatalf("RunSingleVar: %v", err)
+	}
+	n, err := RunSingleVarN(c, u, []link.Model{link.None{}, link.NewDropSeqNos("x", 2)}, nil)
+	if err != nil {
+		t.Fatalf("RunSingleVarN: %v", err)
+	}
+	if !event.SeqNos(n.Us[0], "x").Equal(event.SeqNos(two.U1, "x")) ||
+		!event.SeqNos(n.Us[1], "x").Equal(event.SeqNos(two.U2, "x")) {
+		t.Error("delivered streams differ between the two-replica APIs")
+	}
+	if !event.KeySetEqual(n.NOutput, two.NOutput) {
+		t.Error("corresponding non-replicated outputs differ")
+	}
+}
+
+func TestRunSingleVarNThreeReplicas(t *testing.T) {
+	c := cond.NewOverheat("x")
+	u := []event.Update{event.U("x", 1, 3100), event.U("x", 2, 3200), event.U("x", 3, 3300)}
+	run, err := RunSingleVarN(c, u, []link.Model{
+		link.NewDropSeqNos("x", 1),
+		link.NewDropSeqNos("x", 2),
+		link.NewDropSeqNos("x", 3),
+	}, nil)
+	if err != nil {
+		t.Fatalf("RunSingleVarN: %v", err)
+	}
+	// Each replica misses a different update; together they cover U.
+	if got := event.SeqNos(run.NInput, "x"); !got.Equal(seq.Seq{1, 2, 3}) {
+		t.Errorf("NInput = %v, want full ⟨1,2,3⟩", got)
+	}
+	if len(run.NOutput) != 3 {
+		t.Errorf("NOutput has %d alerts, want 3", len(run.NOutput))
+	}
+	for i, alerts := range run.As {
+		if len(alerts) != 2 {
+			t.Errorf("CE%d raised %d alerts, want 2", i+1, len(alerts))
+		}
+	}
+}
+
+func TestRunSingleVarNValidation(t *testing.T) {
+	if _, err := RunSingleVarN(cond.NewTempDiff("x", "y"), nil, []link.Model{link.None{}}, nil); err == nil {
+		t.Error("multi-variable condition should be rejected")
+	}
+	if _, err := RunSingleVarN(cond.NewOverheat("x"), nil, nil, nil); err == nil {
+		t.Error("zero replicas should be rejected")
+	}
+}
+
+func TestForEachArrivalNCountsMultinomial(t *testing.T) {
+	streams := [][]event.Alert{
+		{alert1("x", 1), alert1("x", 2)},
+		{alert1("x", 10)},
+		{alert1("x", 20)},
+	}
+	count := 0
+	err := ForEachArrivalN(streams, func(m []event.Alert) bool {
+		count++
+		if len(m) != 4 {
+			t.Errorf("merged length %d", len(m))
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("ForEachArrivalN: %v", err)
+	}
+	// 4!/(2!·1!·1!) = 12 interleavings.
+	if count != 12 {
+		t.Errorf("enumerated %d interleavings, want 12", count)
+	}
+}
+
+func TestForEachArrivalNPreservesOrderAndStops(t *testing.T) {
+	streams := [][]event.Alert{
+		{alert1("x", 1), alert1("x", 2)},
+		{alert1("x", 10), alert1("x", 20)},
+	}
+	calls := 0
+	err := ForEachArrivalN(streams, func(m []event.Alert) bool {
+		calls++
+		var s1, s2 seq.Seq
+		for _, a := range m {
+			n := a.MustSeqNo("x")
+			if n < 10 {
+				s1 = append(s1, n)
+			} else {
+				s2 = append(s2, n)
+			}
+		}
+		if !s1.Equal(seq.Seq{1, 2}) || !s2.Equal(seq.Seq{10, 20}) {
+			t.Errorf("interleaving %v broke stream order", m)
+		}
+		return calls < 3
+	})
+	if err != nil {
+		t.Fatalf("ForEachArrivalN: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("early stop failed: %d calls", calls)
+	}
+}
+
+func TestForEachArrivalNBound(t *testing.T) {
+	big := make([]event.Alert, 14)
+	for i := range big {
+		big[i] = alert1("x", int64(i))
+	}
+	if err := ForEachArrivalN([][]event.Alert{big, big, big}, func([]event.Alert) bool { return true }); err == nil {
+		t.Error("42-alert three-way enumeration must exceed the bound")
+	}
+}
+
+func TestRandomArrivalNUniformCoverage(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	streams := [][]event.Alert{
+		{alert1("x", 1)},
+		{alert1("x", 10)},
+		{alert1("x", 20)},
+	}
+	seen := make(map[string]int)
+	for i := 0; i < 1200; i++ {
+		m := RandomArrivalN(streams, r)
+		key := ""
+		for _, a := range m {
+			key += a.Key() + "|"
+		}
+		seen[key]++
+	}
+	if len(seen) != 6 { // 3! orderings
+		t.Fatalf("saw %d distinct orderings, want 6", len(seen))
+	}
+	for key, n := range seen {
+		if n < 120 { // uniform would be 200; allow wide slack
+			t.Errorf("ordering %s seen only %d times; distribution skewed", key, n)
+		}
+	}
+}

@@ -1,0 +1,416 @@
+// Package sim is the deterministic scenario engine behind the analysis
+// model of Figure 2: a DM emits an update stream U; lossy in-order front
+// links deliver subsequences U1, U2 to the replicated CEs; each CE maps its
+// input through T to an alert stream; the AD merges the streams in some
+// arrival order and filters them with an AD algorithm, producing the final
+// sequence A. The corresponding non-replicated system N feeds U1 ⊔ U2
+// through a single CE with no filtering.
+//
+// Everything is pure and reproducible: loss comes from seeded link.Model
+// values, and both update interleavings (multi-variable systems) and alert
+// arrival orders can be enumerated exhaustively, which is how the property
+// checkers quantify over "every alert sequence A the system produces".
+package sim
+
+import (
+	"fmt"
+
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+
+	"math/rand"
+)
+
+// OrderedUnionUpdates returns U1 ⊔ U2 for two single-variable update
+// streams delivered from the same DM: the ordered, duplicate-free merge by
+// sequence number. It rejects unordered inputs and inputs that disagree on
+// an update's payload (impossible for subsequences of one DM stream, so a
+// disagreement indicates a scenario bug).
+func OrderedUnionUpdates(u1, u2 []event.Update) ([]event.Update, error) {
+	if !event.SeqNos(u1, "").IsOrdered() {
+		return nil, fmt.Errorf("sim: ordered union: left stream is not ordered")
+	}
+	if !event.SeqNos(u2, "").IsOrdered() {
+		return nil, fmt.Errorf("sim: ordered union: right stream is not ordered")
+	}
+	var out []event.Update
+	i, j := 0, 0
+	push := func(u event.Update) {
+		if len(out) == 0 || out[len(out)-1].SeqNo != u.SeqNo {
+			out = append(out, u)
+		}
+	}
+	for i < len(u1) && j < len(u2) {
+		a, b := u1[i], u2[j]
+		switch {
+		case a.SeqNo < b.SeqNo:
+			push(a)
+			i++
+		case a.SeqNo > b.SeqNo:
+			push(b)
+			j++
+		default:
+			if a.Value != b.Value || a.Var != b.Var {
+				return nil, fmt.Errorf("sim: ordered union: streams disagree on update %d (%v vs %v)", a.SeqNo, a, b)
+			}
+			push(a)
+			i++
+			j++
+		}
+	}
+	for ; i < len(u1); i++ {
+		push(u1[i])
+	}
+	for ; j < len(u2); j++ {
+		push(u2[j])
+	}
+	return out, nil
+}
+
+// SingleVarRun captures one simulated run of a two-CE single-variable
+// replicated system, before AD filtering (arrival order at the AD is a
+// separate degree of freedom — see ForEachArrival).
+type SingleVarRun struct {
+	Cond cond.Condition
+	// U is the full stream the DM sent.
+	U []event.Update
+	// U1, U2 are the subsequences delivered to CE1 and CE2.
+	U1, U2 []event.Update
+	// A1, A2 are the alert streams T(U1), T(U2).
+	A1, A2 []event.Alert
+	// NInput is U1 ⊔ U2 and NOutput is T(NInput): what the corresponding
+	// non-replicated system N would produce given the combined inputs.
+	NInput  []event.Update
+	NOutput []event.Alert
+}
+
+// RunSingleVar simulates the replicated system of Figure 2(a): stream u
+// through two lossy front links, then each delivered stream through T. The
+// rng drives the loss models; pass nil when both models are deterministic.
+func RunSingleVar(c cond.Condition, u []event.Update, loss1, loss2 link.Model, r *rand.Rand) (*SingleVarRun, error) {
+	if got := len(c.Vars()); got != 1 {
+		return nil, fmt.Errorf("sim: RunSingleVar needs a single-variable condition, %q has %d", c.Name(), got)
+	}
+	run := &SingleVarRun{
+		Cond: c,
+		U:    u,
+		U1:   link.Apply(u, loss1, r),
+		U2:   link.Apply(u, loss2, r),
+	}
+	var err error
+	if run.A1, err = ce.T(c, run.U1); err != nil {
+		return nil, fmt.Errorf("sim: CE1: %w", err)
+	}
+	if run.A2, err = ce.T(c, run.U2); err != nil {
+		return nil, fmt.Errorf("sim: CE2: %w", err)
+	}
+	if run.NInput, err = OrderedUnionUpdates(run.U1, run.U2); err != nil {
+		return nil, err
+	}
+	if run.NOutput, err = ce.T(c, run.NInput); err != nil {
+		return nil, fmt.Errorf("sim: corresponding non-replicated CE: %w", err)
+	}
+	return run, nil
+}
+
+// MaxArrivals bounds exhaustive arrival-order enumeration; C(m+n, m) grows
+// fast and the checkers are meant for short paper-scale scenarios.
+const MaxArrivals = 200000
+
+// ForEachArrival invokes fn once per interleaving of the two alert streams
+// that preserves each stream's internal order — every arrival order the AD
+// can observe, since back links are ordered and lossless. Iteration stops
+// early when fn returns false. It returns an error when the number of
+// interleavings would exceed MaxArrivals.
+func ForEachArrival(a1, a2 []event.Alert, fn func(merged []event.Alert) bool) error {
+	if c := binom(len(a1)+len(a2), len(a1)); c > MaxArrivals {
+		return fmt.Errorf("sim: %d arrival orders exceed the enumeration bound %d", c, MaxArrivals)
+	}
+	buf := make([]event.Alert, 0, len(a1)+len(a2))
+	var rec func(i, j int) bool
+	rec = func(i, j int) bool {
+		if i == len(a1) && j == len(a2) {
+			out := make([]event.Alert, len(buf))
+			copy(out, buf)
+			return fn(out)
+		}
+		if i < len(a1) {
+			buf = append(buf, a1[i])
+			cont := rec(i+1, j)
+			buf = buf[:len(buf)-1]
+			if !cont {
+				return false
+			}
+		}
+		if j < len(a2) {
+			buf = append(buf, a2[j])
+			cont := rec(i, j+1)
+			buf = buf[:len(buf)-1]
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 0)
+	return nil
+}
+
+// Arrivals materializes every arrival order (subject to MaxArrivals).
+func Arrivals(a1, a2 []event.Alert) ([][]event.Alert, error) {
+	var out [][]event.Alert
+	err := ForEachArrival(a1, a2, func(m []event.Alert) bool {
+		out = append(out, m)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RandomArrival draws one arrival order uniformly at random (each prefix
+// choice weighted by the number of completions, yielding the uniform
+// distribution over interleavings).
+func RandomArrival(a1, a2 []event.Alert, r *rand.Rand) []event.Alert {
+	out := make([]event.Alert, 0, len(a1)+len(a2))
+	i, j := 0, 0
+	for i < len(a1) || j < len(a2) {
+		remaining1 := len(a1) - i
+		remaining2 := len(a2) - j
+		// Choose stream 1 with probability (ways starting with 1)/(total
+		// ways) = remaining1/(remaining1+remaining2).
+		if r.Intn(remaining1+remaining2) < remaining1 {
+			out = append(out, a1[i])
+			i++
+		} else {
+			out = append(out, a2[j])
+			j++
+		}
+	}
+	return out
+}
+
+// binom computes C(n, k), saturating at MaxArrivals+1 to avoid overflow.
+func binom(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 1; i <= k; i++ {
+		c = c * (n - k + i) / i
+		if c > MaxArrivals {
+			return MaxArrivals + 1
+		}
+	}
+	return c
+}
+
+// MultiVarRun captures one simulated run of a two-CE multi-variable system
+// (Figure 3): independent per-variable DM streams, per-CE per-variable
+// lossy delivery, and a per-CE interleaving of the delivered streams.
+type MultiVarRun struct {
+	Cond cond.Condition
+	// Streams holds the full per-variable DM outputs.
+	Streams map[event.VarName][]event.Update
+	// Delivered[i][v] is the subsequence of Streams[v] delivered to CE i.
+	Delivered [2]map[event.VarName][]event.Update
+	// Inputs[i] is the interleaved update sequence CE i actually consumed.
+	Inputs [2][]event.Update
+	// A1, A2 are the CE outputs.
+	A1, A2 []event.Alert
+}
+
+// Interleaver merges per-variable delivered streams into the single update
+// sequence a CE consumes. Implementations must preserve each variable's
+// internal order.
+type Interleaver func(streams map[event.VarName][]event.Update, r *rand.Rand) []event.Update
+
+// RoundRobin interleaves variables one update at a time in sorted variable
+// order: x1 y1 x2 y2 …. Deterministic.
+func RoundRobin(streams map[event.VarName][]event.Update, _ *rand.Rand) []event.Update {
+	vars := sortedKeys(streams)
+	idx := make(map[event.VarName]int, len(vars))
+	total := 0
+	for _, us := range streams {
+		total += len(us)
+	}
+	out := make([]event.Update, 0, total)
+	for len(out) < total {
+		for _, v := range vars {
+			if idx[v] < len(streams[v]) {
+				out = append(out, streams[v][idx[v]])
+				idx[v]++
+			}
+		}
+	}
+	return out
+}
+
+// Sequential concatenates complete per-variable streams in sorted variable
+// order: all of x, then all of y. It is the interleaving used by the
+// Theorem 10 counter-example (U1 = ⟨1x,2x,1y,2y⟩). SequentialReverse is its
+// mirror.
+func Sequential(streams map[event.VarName][]event.Update, _ *rand.Rand) []event.Update {
+	var out []event.Update
+	for _, v := range sortedKeys(streams) {
+		out = append(out, streams[v]...)
+	}
+	return out
+}
+
+// SequentialReverse concatenates per-variable streams in reverse sorted
+// order: all of y, then all of x (U2 = ⟨1y,2y,1x,2x⟩ in Theorem 10).
+func SequentialReverse(streams map[event.VarName][]event.Update, _ *rand.Rand) []event.Update {
+	vars := sortedKeys(streams)
+	var out []event.Update
+	for i := len(vars) - 1; i >= 0; i-- {
+		out = append(out, streams[vars[i]]...)
+	}
+	return out
+}
+
+// RandomInterleave draws a uniformly random interleaving of the streams.
+func RandomInterleave(streams map[event.VarName][]event.Update, r *rand.Rand) []event.Update {
+	var (
+		vars  = sortedKeys(streams)
+		total int
+	)
+	for _, us := range streams {
+		total += len(us)
+	}
+	idx := make(map[event.VarName]int, len(vars))
+	out := make([]event.Update, 0, total)
+	for len(out) < total {
+		// Weight each variable by its remaining length for uniformity.
+		remaining := 0
+		for _, v := range vars {
+			remaining += len(streams[v]) - idx[v]
+		}
+		n := r.Intn(remaining)
+		for _, v := range vars {
+			left := len(streams[v]) - idx[v]
+			if n < left {
+				out = append(out, streams[v][idx[v]])
+				idx[v]++
+				break
+			}
+			n -= left
+		}
+	}
+	return out
+}
+
+// RunMultiVar simulates a two-CE multi-variable system: per-CE, per-variable
+// loss models and per-CE interleavers.
+func RunMultiVar(
+	c cond.Condition,
+	streams map[event.VarName][]event.Update,
+	loss [2]map[event.VarName]link.Model,
+	inter [2]Interleaver,
+	r *rand.Rand,
+) (*MultiVarRun, error) {
+	run := &MultiVarRun{Cond: c, Streams: streams}
+	for i := 0; i < 2; i++ {
+		delivered := make(map[event.VarName][]event.Update, len(streams))
+		for v, us := range streams {
+			m := link.Model(link.None{})
+			if loss[i] != nil {
+				if lm, ok := loss[i][v]; ok {
+					m = lm
+				}
+			}
+			delivered[v] = link.Apply(us, m, r)
+		}
+		run.Delivered[i] = delivered
+		run.Inputs[i] = inter[i](delivered, r)
+	}
+	var err error
+	if run.A1, err = ce.T(c, run.Inputs[0]); err != nil {
+		return nil, fmt.Errorf("sim: CE1: %w", err)
+	}
+	if run.A2, err = ce.T(c, run.Inputs[1]); err != nil {
+		return nil, fmt.Errorf("sim: CE2: %w", err)
+	}
+	return run, nil
+}
+
+// CombinedStreams returns, per variable, the ordered union of what the two
+// CEs received — the per-variable inputs of the corresponding
+// non-replicated system in the multi-variable completeness/consistency
+// definitions (Appendix C).
+func (run *MultiVarRun) CombinedStreams() (map[event.VarName][]event.Update, error) {
+	out := make(map[event.VarName][]event.Update, len(run.Streams))
+	for v := range run.Streams {
+		u, err := OrderedUnionUpdates(run.Delivered[0][v], run.Delivered[1][v])
+		if err != nil {
+			return nil, fmt.Errorf("sim: variable %q: %w", v, err)
+		}
+		out[v] = u
+	}
+	return out, nil
+}
+
+// MaxInterleavings bounds exhaustive update-interleaving enumeration.
+const MaxInterleavings = 200000
+
+// ForEachInterleaving invokes fn once per interleaving of the per-variable
+// streams (preserving each stream's order). Used by the Appendix C
+// completeness/consistency definitions, which quantify over interleavings
+// UV. Stops early when fn returns false.
+func ForEachInterleaving(streams map[event.VarName][]event.Update, fn func(uv []event.Update) bool) error {
+	vars := sortedKeys(streams)
+	total := 0
+	count := 1
+	for _, v := range vars {
+		n := len(streams[v])
+		total += n
+		count = count * binom(total, n)
+		if count > MaxInterleavings {
+			return fmt.Errorf("sim: interleaving count exceeds the enumeration bound %d", MaxInterleavings)
+		}
+	}
+	idx := make([]int, len(vars))
+	buf := make([]event.Update, 0, total)
+	var rec func() bool
+	rec = func() bool {
+		if len(buf) == total {
+			out := make([]event.Update, total)
+			copy(out, buf)
+			return fn(out)
+		}
+		for vi, v := range vars {
+			if idx[vi] < len(streams[v]) {
+				buf = append(buf, streams[v][idx[vi]])
+				idx[vi]++
+				cont := rec()
+				idx[vi]--
+				buf = buf[:len(buf)-1]
+				if !cont {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec()
+	return nil
+}
+
+func sortedKeys(m map[event.VarName][]event.Update) []event.VarName {
+	out := make([]event.VarName, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/seq"
+)
+
+func TestOrderedUnionUpdates(t *testing.T) {
+	u1 := []event.Update{event.U("x", 1, 10), event.U("x", 3, 30)}
+	u2 := []event.Update{event.U("x", 2, 20), event.U("x", 3, 30)}
+	got, err := OrderedUnionUpdates(u1, u2)
+	if err != nil {
+		t.Fatalf("OrderedUnionUpdates: %v", err)
+	}
+	if !event.SeqNos(got, "x").Equal(seq.Seq{1, 2, 3}) {
+		t.Errorf("union = %v, want seqnos ⟨1,2,3⟩", got)
+	}
+}
+
+func TestOrderedUnionUpdatesRejectsDisagreement(t *testing.T) {
+	u1 := []event.Update{event.U("x", 1, 10)}
+	u2 := []event.Update{event.U("x", 1, 99)}
+	if _, err := OrderedUnionUpdates(u1, u2); err == nil {
+		t.Error("value disagreement on the same seqno should fail")
+	}
+}
+
+func TestOrderedUnionUpdatesRejectsUnordered(t *testing.T) {
+	bad := []event.Update{event.U("x", 2, 0), event.U("x", 1, 0)}
+	if _, err := OrderedUnionUpdates(bad, nil); err == nil {
+		t.Error("unordered left stream should fail")
+	}
+	if _, err := OrderedUnionUpdates(nil, bad); err == nil {
+		t.Error("unordered right stream should fail")
+	}
+}
+
+func TestRunSingleVarPaperExample1(t *testing.T) {
+	// Example 1 end to end: U = ⟨1x(2900),2x(3100),3x(3200)⟩, c1, CE2
+	// misses 2x.
+	u := []event.Update{event.U("x", 1, 2900), event.U("x", 2, 3100), event.U("x", 3, 3200)}
+	run, err := RunSingleVar(cond.NewOverheat("x"), u, link.None{}, link.NewDropSeqNos("x", 2), nil)
+	if err != nil {
+		t.Fatalf("RunSingleVar: %v", err)
+	}
+	if got := event.AlertSeqNos(run.A1, "x"); !got.Equal(seq.Seq{2, 3}) {
+		t.Errorf("A1 = %v, want alerts at ⟨2,3⟩", got)
+	}
+	if got := event.AlertSeqNos(run.A2, "x"); !got.Equal(seq.Seq{3}) {
+		t.Errorf("A2 = %v, want alerts at ⟨3⟩", got)
+	}
+	// N receives U1 ⊔ U2 = U and produces both alerts.
+	if got := event.SeqNos(run.NInput, "x"); !got.Equal(seq.Seq{1, 2, 3}) {
+		t.Errorf("NInput = %v, want ⟨1,2,3⟩", got)
+	}
+	if got := event.AlertSeqNos(run.NOutput, "x"); !got.Equal(seq.Seq{2, 3}) {
+		t.Errorf("NOutput = %v, want ⟨2,3⟩", got)
+	}
+}
+
+func TestRunSingleVarRejectsMultiVarCondition(t *testing.T) {
+	if _, err := RunSingleVar(cond.NewTempDiff("x", "y"), nil, link.None{}, link.None{}, nil); err == nil {
+		t.Error("RunSingleVar must reject multi-variable conditions")
+	}
+}
+
+func TestForEachArrivalEnumerates(t *testing.T) {
+	a1 := []event.Alert{alert1("x", 1), alert1("x", 2)}
+	a2 := []event.Alert{alert1("x", 3)}
+	var got [][]event.Alert
+	err := ForEachArrival(a1, a2, func(m []event.Alert) bool {
+		got = append(got, m)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("ForEachArrival: %v", err)
+	}
+	// C(3,2) = 3 interleavings.
+	if len(got) != 3 {
+		t.Fatalf("enumerated %d arrival orders, want 3", len(got))
+	}
+	for _, m := range got {
+		if len(m) != 3 {
+			t.Errorf("interleaving %v has wrong length", m)
+		}
+		if !event.AlertSeqNos([]event.Alert{m[0], m[1], m[2]}, "x").
+			Set().Equal(seq.NewSet(1, 2, 3)) {
+			t.Errorf("interleaving %v lost alerts", m)
+		}
+	}
+}
+
+func TestForEachArrivalEarlyStop(t *testing.T) {
+	a1 := []event.Alert{alert1("x", 1), alert1("x", 2)}
+	a2 := []event.Alert{alert1("x", 3), alert1("x", 4)}
+	calls := 0
+	err := ForEachArrival(a1, a2, func([]event.Alert) bool {
+		calls++
+		return false
+	})
+	if err != nil {
+		t.Fatalf("ForEachArrival: %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("fn called %d times after returning false, want 1", calls)
+	}
+}
+
+func TestForEachArrivalBound(t *testing.T) {
+	big := make([]event.Alert, 20)
+	for i := range big {
+		big[i] = alert1("x", int64(i))
+	}
+	if err := ForEachArrival(big, big, func([]event.Alert) bool { return true }); err == nil {
+		t.Error("C(40,20) interleavings must exceed the bound and error out")
+	}
+}
+
+func TestRandomArrivalPreservesStreamOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	a1 := []event.Alert{alert1("x", 1), alert1("x", 2), alert1("x", 3)}
+	a2 := []event.Alert{alert1("x", 10), alert1("x", 20)}
+	for i := 0; i < 100; i++ {
+		m := RandomArrival(a1, a2, r)
+		if len(m) != 5 {
+			t.Fatalf("merged length %d, want 5", len(m))
+		}
+		var s1, s2 seq.Seq
+		for _, a := range m {
+			n := a.MustSeqNo("x")
+			if n < 10 {
+				s1 = append(s1, n)
+			} else {
+				s2 = append(s2, n)
+			}
+		}
+		if !s1.Equal(seq.Seq{1, 2, 3}) || !s2.Equal(seq.Seq{10, 20}) {
+			t.Fatalf("arrival %v broke per-stream order", m)
+		}
+	}
+}
+
+func TestInterleavers(t *testing.T) {
+	streams := map[event.VarName][]event.Update{
+		"x": {event.U("x", 1, 0), event.U("x", 2, 0)},
+		"y": {event.U("y", 1, 0), event.U("y", 2, 0)},
+	}
+	if got := Sequential(streams, nil); !event.SeqNos(got, "").Equal(seq.Seq{1, 2, 1, 2}) ||
+		got[0].Var != "x" || got[2].Var != "y" {
+		t.Errorf("Sequential = %v, want ⟨1x,2x,1y,2y⟩", got)
+	}
+	if got := SequentialReverse(streams, nil); got[0].Var != "y" || got[2].Var != "x" {
+		t.Errorf("SequentialReverse = %v, want ⟨1y,2y,1x,2x⟩", got)
+	}
+	if got := RoundRobin(streams, nil); got[0].Var != "x" || got[1].Var != "y" ||
+		got[2].Var != "x" || got[3].Var != "y" {
+		t.Errorf("RoundRobin = %v, want ⟨1x,1y,2x,2y⟩", got)
+	}
+	r := rand.New(rand.NewSource(7))
+	got := RandomInterleave(streams, r)
+	if len(got) != 4 {
+		t.Fatalf("RandomInterleave length %d, want 4", len(got))
+	}
+	if !event.SeqNos(got, "x").IsOrdered() || !event.SeqNos(got, "y").IsOrdered() {
+		t.Errorf("RandomInterleave %v broke per-variable order", got)
+	}
+}
+
+func TestRunMultiVarTheoremTenSetup(t *testing.T) {
+	// Theorem 10: lossless links, opposite interleavings at the two CEs.
+	streams := map[event.VarName][]event.Update{
+		"x": {event.U("x", 1, 1000), event.U("x", 2, 1200)},
+		"y": {event.U("y", 1, 1050), event.U("y", 2, 1150)},
+	}
+	run, err := RunMultiVar(
+		cond.NewTempDiff("x", "y"),
+		streams,
+		[2]map[event.VarName]link.Model{},
+		[2]Interleaver{Sequential, SequentialReverse},
+		nil,
+	)
+	if err != nil {
+		t.Fatalf("RunMultiVar: %v", err)
+	}
+	if len(run.A1) != 1 || run.A1[0].MustSeqNo("x") != 2 || run.A1[0].MustSeqNo("y") != 1 {
+		t.Errorf("A1 = %v, want ⟨a(2x,1y)⟩", run.A1)
+	}
+	if len(run.A2) != 1 || run.A2[0].MustSeqNo("x") != 1 || run.A2[0].MustSeqNo("y") != 2 {
+		t.Errorf("A2 = %v, want ⟨a(1x,2y)⟩", run.A2)
+	}
+	combined, err := run.CombinedStreams()
+	if err != nil {
+		t.Fatalf("CombinedStreams: %v", err)
+	}
+	if !event.SeqNos(combined["x"], "x").Equal(seq.Seq{1, 2}) ||
+		!event.SeqNos(combined["y"], "y").Equal(seq.Seq{1, 2}) {
+		t.Errorf("combined streams wrong: %v", combined)
+	}
+}
+
+func TestRunMultiVarWithLoss(t *testing.T) {
+	streams := map[event.VarName][]event.Update{
+		"x": {event.U("x", 1, 1000), event.U("x", 2, 1200)},
+		"y": {event.U("y", 1, 1050)},
+	}
+	loss := [2]map[event.VarName]link.Model{
+		{"x": link.NewDropSeqNos("x", 2)},
+		{},
+	}
+	run, err := RunMultiVar(cond.NewTempDiff("x", "y"), streams, loss,
+		[2]Interleaver{RoundRobin, RoundRobin}, nil)
+	if err != nil {
+		t.Fatalf("RunMultiVar: %v", err)
+	}
+	if got := event.SeqNos(run.Delivered[0]["x"], "x"); !got.Equal(seq.Seq{1}) {
+		t.Errorf("CE1 delivered x = %v, want ⟨1⟩", got)
+	}
+	if got := event.SeqNos(run.Delivered[1]["x"], "x"); !got.Equal(seq.Seq{1, 2}) {
+		t.Errorf("CE2 delivered x = %v, want ⟨1,2⟩", got)
+	}
+}
+
+func TestForEachInterleavingCountsAndOrder(t *testing.T) {
+	streams := map[event.VarName][]event.Update{
+		"x": {event.U("x", 1, 0), event.U("x", 2, 0)},
+		"y": {event.U("y", 1, 0)},
+	}
+	count := 0
+	err := ForEachInterleaving(streams, func(uv []event.Update) bool {
+		count++
+		if !event.SeqNos(uv, "x").IsOrdered() || !event.SeqNos(uv, "y").IsOrdered() {
+			t.Errorf("interleaving %v broke per-variable order", uv)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("ForEachInterleaving: %v", err)
+	}
+	if count != 3 { // C(3,1) = 3
+		t.Errorf("enumerated %d interleavings, want 3", count)
+	}
+}
+
+func TestForEachInterleavingBound(t *testing.T) {
+	big := make([]event.Update, 15)
+	for i := range big {
+		big[i] = event.U("x", int64(i+1), 0)
+	}
+	big2 := make([]event.Update, 15)
+	for i := range big2 {
+		big2[i] = event.U("y", int64(i+1), 0)
+	}
+	streams := map[event.VarName][]event.Update{"x": big, "y": big2}
+	if err := ForEachInterleaving(streams, func([]event.Update) bool { return true }); err == nil {
+		t.Error("C(30,15) interleavings must exceed the bound and error out")
+	}
+}
+
+// alert1 builds a degree-1 single-variable alert for testing.
+func alert1(v event.VarName, n int64) event.Alert {
+	return event.Alert{Cond: "c", Histories: event.HistorySet{
+		v: {Var: v, Recent: []event.Update{event.U(v, n, 0)}},
+	}}
+}

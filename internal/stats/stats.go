@@ -1,0 +1,88 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to report its measured curves honestly: sample moments and
+// binomial (Wilson) confidence intervals for the recall and display-rate
+// proportions.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)-1))
+}
+
+// z95 is the two-sided 95% normal quantile.
+const z95 = 1.959963984540054
+
+// Proportion is an estimated binomial proportion with its 95% Wilson score
+// interval — the appropriate interval for success rates near 0 or 1, where
+// the naive normal interval misbehaves.
+type Proportion struct {
+	// Successes of Trials observed.
+	Successes, Trials int
+	// P is the point estimate successes/trials.
+	P float64
+	// Lo and Hi bound the 95% confidence interval.
+	Lo, Hi float64
+}
+
+// NewProportion computes the Wilson interval for k successes in n trials.
+// n must be positive.
+func NewProportion(k, n int) (Proportion, error) {
+	if n <= 0 {
+		return Proportion{}, fmt.Errorf("stats: proportion needs positive trials, got %d", n)
+	}
+	if k < 0 || k > n {
+		return Proportion{}, fmt.Errorf("stats: successes %d outside [0,%d]", k, n)
+	}
+	p := float64(k) / float64(n)
+	z2 := z95 * z95
+	nf := float64(n)
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z95 * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf)) / denom
+	lo, hi := center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Proportion{Successes: k, Trials: n, P: p, Lo: lo, Hi: hi}, nil
+}
+
+// String renders "0.897 [0.885, 0.908]".
+func (p Proportion) String() string {
+	return fmt.Sprintf("%.3f [%.3f, %.3f]", p.P, p.Lo, p.Hi)
+}
+
+// Overlaps reports whether two proportions' intervals intersect — the
+// harness's quick test for "statistically indistinguishable".
+func (p Proportion) Overlaps(q Proportion) bool {
+	return p.Lo <= q.Hi && q.Lo <= p.Hi
+}

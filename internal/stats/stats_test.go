@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanAndStdDev(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g, want 2", got)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev of one sample = %g", got)
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138089935) > 1e-6 {
+		t.Errorf("StdDev = %g, want ≈2.138", got)
+	}
+}
+
+func TestProportionValidation(t *testing.T) {
+	if _, err := NewProportion(1, 0); err == nil {
+		t.Error("zero trials should fail")
+	}
+	if _, err := NewProportion(-1, 10); err == nil {
+		t.Error("negative successes should fail")
+	}
+	if _, err := NewProportion(11, 10); err == nil {
+		t.Error("successes > trials should fail")
+	}
+}
+
+func TestProportionWilsonProperties(t *testing.T) {
+	p, err := NewProportion(90, 100)
+	if err != nil {
+		t.Fatalf("NewProportion: %v", err)
+	}
+	if p.P != 0.9 {
+		t.Errorf("P = %g", p.P)
+	}
+	if p.Lo >= p.P || p.Hi <= p.P {
+		t.Errorf("interval [%g, %g] must bracket the estimate", p.Lo, p.Hi)
+	}
+	// Known Wilson values for 90/100: approximately [0.825, 0.944].
+	if math.Abs(p.Lo-0.8251) > 0.005 || math.Abs(p.Hi-0.9437) > 0.005 {
+		t.Errorf("Wilson interval = [%g, %g], want ≈[0.825, 0.944]", p.Lo, p.Hi)
+	}
+}
+
+func TestProportionExtremes(t *testing.T) {
+	zero, err := NewProportion(0, 50)
+	if err != nil {
+		t.Fatalf("NewProportion: %v", err)
+	}
+	if zero.Lo != 0 || zero.Hi <= 0 {
+		t.Errorf("zero-success interval = [%g, %g]", zero.Lo, zero.Hi)
+	}
+	all, err := NewProportion(50, 50)
+	if err != nil {
+		t.Fatalf("NewProportion: %v", err)
+	}
+	if all.Hi != 1 || all.Lo >= 1 {
+		t.Errorf("all-success interval = [%g, %g]", all.Lo, all.Hi)
+	}
+}
+
+func TestProportionIntervalNarrowsWithN(t *testing.T) {
+	small, err := NewProportion(9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewProportion(900, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (big.Hi - big.Lo) >= (small.Hi - small.Lo) {
+		t.Error("interval must narrow as trials grow")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a, _ := NewProportion(50, 100)
+	b, _ := NewProportion(55, 100)
+	c, _ := NewProportion(95, 100)
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("close proportions should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("distant proportions should not overlap")
+	}
+}
+
+func TestProportionString(t *testing.T) {
+	p, _ := NewProportion(897, 1000)
+	if got := p.String(); got == "" || got[0] != '0' {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,41 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"condmon/internal/wire"
+)
+
+// This file completes the Section 2 checksum optimization end to end: CEs
+// whose AD runs an equality-only filter (AD-1) can ship compact digests on
+// the back links instead of full alerts. Frames are self-describing — the
+// wire tag byte distinguishes alerts from digests — so one ADListener can
+// serve a mixed fleet of CEs.
+
+// SendDigest transmits an alert digest as a length-prefixed frame.
+func (s *TCPSender) SendDigest(d wire.Digest) error {
+	body, err := wire.AppendDigest(nil, d)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("transport: digest frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: send digest header: %w", err)
+	}
+	if _, err := s.conn.Write(body); err != nil {
+		return fmt.Errorf("transport: send digest body: %w", err)
+	}
+	return nil
+}
+
+// Digests returns the stream of digest frames received from CEs using the
+// compact encoding. Full alerts keep arriving on Alerts. The channel
+// closes with the listener.
+func (l *ADListener) Digests() <-chan wire.Digest { return l.digests }

@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"condmon/internal/ad"
+	"condmon/internal/event"
+	"condmon/internal/wire"
+)
+
+func TestDigestBackLinkRoundTrip(t *testing.T) {
+	adl, err := ListenAD("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenAD: %v", err)
+	}
+	defer adl.Close()
+
+	snd, err := DialAD(adl.Addr())
+	if err != nil {
+		t.Fatalf("DialAD: %v", err)
+	}
+	defer func() { _ = snd.Close() }()
+
+	a := event.Alert{Cond: "c1", Source: "CE1", Histories: event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 3, 3200)}},
+	}}
+	want := wire.DigestOf(a)
+	if err := snd.SendDigest(want); err != nil {
+		t.Fatalf("SendDigest: %v", err)
+	}
+	select {
+	case got := <-adl.Digests():
+		if got.Key() != want.Key() || got.Latest["x"] != 3 || got.Source != "CE1" {
+			t.Errorf("received %+v, want %+v", got, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("digest did not arrive")
+	}
+}
+
+func TestMixedAlertAndDigestFrames(t *testing.T) {
+	// One CE sends full alerts, another sends digests; both arrive on the
+	// right channel of the same listener, and an AD-1d filter deduplicates
+	// across the two encodings.
+	adl, err := ListenAD("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenAD: %v", err)
+	}
+	defer adl.Close()
+
+	full, err := DialAD(adl.Addr())
+	if err != nil {
+		t.Fatalf("DialAD full: %v", err)
+	}
+	defer func() { _ = full.Close() }()
+	compact, err := DialAD(adl.Addr())
+	if err != nil {
+		t.Fatalf("DialAD compact: %v", err)
+	}
+	defer func() { _ = compact.Close() }()
+
+	a := event.Alert{Cond: "c1", Source: "CE1", Histories: event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 3, 3200)}},
+	}}
+	dup := a.Clone()
+	dup.Source = "CE2"
+	if err := full.Send(a); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := compact.SendDigest(wire.DigestOf(dup)); err != nil {
+		t.Fatalf("SendDigest: %v", err)
+	}
+
+	filter := ad.NewAD1Digest()
+	displayed := 0
+	received := 0
+	deadline := time.After(5 * time.Second)
+	for received < 2 {
+		select {
+		case got := <-adl.Alerts():
+			received++
+			if filter.Test(got) {
+				filter.Accept(got)
+				displayed++
+			}
+		case d := <-adl.Digests():
+			received++
+			if filter.TestDigest(d) {
+				filter.AcceptDigest(d)
+				displayed++
+			}
+		case <-deadline:
+			t.Fatalf("timed out after %d frames", received)
+		}
+	}
+	if displayed != 1 {
+		t.Errorf("displayed %d, want 1 (digest recognized as duplicate of the full alert)", displayed)
+	}
+}

@@ -1,0 +1,338 @@
+// Package transport carries updates and alerts over real sockets,
+// realizing the link assumptions of Section 2.1 with the protocols the
+// paper itself suggests:
+//
+//   - Front links (DM → CE) use UDP datagrams: cheap for a low-capability
+//     sensor, naturally lossy, one update per packet. The receiver enforces
+//     in-order delivery by discarding any update whose sequence number does
+//     not exceed the last accepted one for its variable — the
+//     sequence-number mechanism the paper describes. An optional forced
+//     loss model injects deterministic drops for testing and demos, since
+//     loopback UDP rarely loses packets on its own.
+//
+//   - Back links (CE → AD) use TCP with length-prefixed frames: reliable
+//     and ordered, matching the paper's argument that alert traffic is low
+//     and too valuable to lose.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/wire"
+
+	"math/rand"
+)
+
+// maxFrame bounds a TCP alert frame; anything larger indicates corruption.
+const maxFrame = 1 << 20
+
+// updateBuffer sizes receiver channels; UDP senders never block on the
+// receiver, so a full buffer simply looks like link loss — faithful to the
+// medium.
+const updateBuffer = 1024
+
+// UDPPublisher is the DM side of a front link: it multicasts each update to
+// a fixed set of CE endpoints as independent datagrams (one lossy link per
+// recipient, as in Figure 1(b)).
+type UDPPublisher struct {
+	conns []*net.UDPConn
+}
+
+// NewUDPPublisher connects to the given CE addresses.
+func NewUDPPublisher(addrs ...string) (*UDPPublisher, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("transport: publisher needs at least one address")
+	}
+	p := &UDPPublisher{conns: make([]*net.UDPConn, 0, len(addrs))}
+	for _, a := range addrs {
+		dst, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("transport: resolve %q: %w", a, err)
+		}
+		conn, err := net.DialUDP("udp", nil, dst)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("transport: dial %q: %w", a, err)
+		}
+		p.conns = append(p.conns, conn)
+	}
+	return p, nil
+}
+
+// Publish sends the update to every CE endpoint. Send errors on individual
+// endpoints are ignored — a front link is allowed to lose updates, and a
+// dead receiver is indistinguishable from a lossy link.
+func (p *UDPPublisher) Publish(u event.Update) error {
+	b, err := wire.EncodeUpdate(u)
+	if err != nil {
+		return err
+	}
+	for _, c := range p.conns {
+		_, _ = c.Write(b) // best-effort: loss is part of the model
+	}
+	return nil
+}
+
+// Close releases the sockets.
+func (p *UDPPublisher) Close() {
+	for _, c := range p.conns {
+		_ = c.Close()
+	}
+}
+
+// UDPReceiverOptions configure a CE-side front link endpoint.
+type UDPReceiverOptions struct {
+	// ForcedLoss, if non-nil, drops delivered updates per the model — a
+	// deterministic stand-in for real network loss. Seed drives it.
+	ForcedLoss link.Model
+	Seed       int64
+}
+
+// UDPReceiver is the CE side of a front link: it decodes datagrams,
+// enforces per-variable in-order delivery, optionally injects loss, and
+// hands accepted updates to a channel.
+type UDPReceiver struct {
+	conn *net.UDPConn
+	out  chan event.Update
+	done chan struct{}
+
+	mu        sync.Mutex
+	lastSeq   map[event.VarName]int64
+	discarded int64
+	forced    int64
+}
+
+// ListenUDP starts a receiver on addr (use "127.0.0.1:0" for an ephemeral
+// test port).
+func ListenUDP(addr string, opts UDPReceiverOptions) (*UDPReceiver, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+	}
+	r := &UDPReceiver{
+		conn:    conn,
+		out:     make(chan event.Update, updateBuffer),
+		done:    make(chan struct{}),
+		lastSeq: make(map[event.VarName]int64),
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	go r.loop(opts.ForcedLoss, rng)
+	return r, nil
+}
+
+// Addr returns the bound address (useful with ephemeral ports).
+func (r *UDPReceiver) Addr() string { return r.conn.LocalAddr().String() }
+
+// Updates returns the stream of accepted updates. The channel closes when
+// the receiver is closed.
+func (r *UDPReceiver) Updates() <-chan event.Update { return r.out }
+
+// Stats reports discarded out-of-order datagrams and force-dropped updates.
+func (r *UDPReceiver) Stats() (discarded, forced int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.discarded, r.forced
+}
+
+// Close stops the receiver; Updates is closed after the read loop exits.
+func (r *UDPReceiver) Close() {
+	_ = r.conn.Close()
+	<-r.done
+}
+
+func (r *UDPReceiver) loop(forced link.Model, rng *rand.Rand) {
+	defer close(r.done)
+	defer close(r.out)
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		u, rest, err := wire.DecodeUpdate(buf[:n])
+		if err != nil || len(rest) != 0 {
+			continue // corrupt datagram: drop, like any lossy link
+		}
+		r.mu.Lock()
+		if last, ok := r.lastSeq[u.Var]; ok && u.SeqNo <= last {
+			r.discarded++
+			r.mu.Unlock()
+			continue // out-of-order or duplicate: discard (Section 2.1)
+		}
+		if forced != nil && !forced.Deliver(u, rng) {
+			// Forced loss still advances the order horizon: the link
+			// "lost" this update and later arrivals remain in order.
+			r.lastSeq[u.Var] = u.SeqNo
+			r.forced++
+			r.mu.Unlock()
+			continue
+		}
+		r.lastSeq[u.Var] = u.SeqNo
+		r.mu.Unlock()
+
+		select {
+		case r.out <- u:
+		default:
+			// Receiver overrun: drop, indistinguishable from link loss.
+		}
+	}
+}
+
+// TCPSender is the CE side of a back link: a reliable, ordered alert
+// stream to the AD.
+type TCPSender struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// DialAD connects to an ADListener.
+func DialAD(addr string) (*TCPSender, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial AD %q: %w", addr, err)
+	}
+	return &TCPSender{conn: conn}, nil
+}
+
+// Send transmits one alert as a length-prefixed frame. Unlike the front
+// links, errors are returned: back links must not lose alerts silently.
+func (s *TCPSender) Send(a event.Alert) error {
+	body, err := wire.EncodeAlert(a)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("transport: alert frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: send alert header: %w", err)
+	}
+	if _, err := s.conn.Write(body); err != nil {
+		return fmt.Errorf("transport: send alert body: %w", err)
+	}
+	return nil
+}
+
+// Close closes the connection.
+func (s *TCPSender) Close() error { return s.conn.Close() }
+
+// ADListener is the AD side of the back links: it accepts any number of CE
+// connections and merges their alert streams into one channel — the
+// nondeterministic arrival interleaving M of the analysis model.
+type ADListener struct {
+	ln      net.Listener
+	out     chan event.Alert
+	digests chan wire.Digest
+	wg      sync.WaitGroup
+	done    chan struct{}
+}
+
+// ListenAD starts an AD endpoint on addr.
+func ListenAD(addr string) (*ADListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen AD %q: %w", addr, err)
+	}
+	l := &ADListener{
+		ln:      ln,
+		out:     make(chan event.Alert, updateBuffer),
+		digests: make(chan wire.Digest, updateBuffer),
+		done:    make(chan struct{}),
+	}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the bound address.
+func (l *ADListener) Addr() string { return l.ln.Addr().String() }
+
+// Alerts returns the merged alert stream. It closes after Close once all
+// connection handlers exit.
+func (l *ADListener) Alerts() <-chan event.Alert { return l.out }
+
+// Close shuts the listener and all connections down and closes Alerts.
+func (l *ADListener) Close() {
+	close(l.done)
+	_ = l.ln.Close()
+	l.wg.Wait()
+	close(l.out)
+	close(l.digests)
+}
+
+func (l *ADListener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		l.wg.Add(1)
+		go l.handle(conn)
+	}
+}
+
+func (l *ADListener) handle(conn net.Conn) {
+	defer l.wg.Done()
+	defer func() { _ = conn.Close() }()
+	go func() {
+		// Unblock reads when Close is called.
+		<-l.done
+		_ = conn.Close()
+	}()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > maxFrame {
+			return // corrupt stream: a real TCP link would reset here
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		// Frames are self-describing: dispatch on the wire tag byte.
+		switch body[0] {
+		case 'A':
+			a, rest, err := wire.DecodeAlert(body)
+			if err != nil || len(rest) != 0 {
+				return
+			}
+			select {
+			case l.out <- a:
+			case <-l.done:
+				return
+			}
+		case 'D':
+			d, rest, err := wire.DecodeDigest(body)
+			if err != nil || len(rest) != 0 {
+				return
+			}
+			select {
+			case l.digests <- d:
+			case <-l.done:
+				return
+			}
+		default:
+			return // unknown frame type: treat as a corrupt stream
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"condmon/internal/ad"
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/props"
+	"condmon/internal/seq"
+)
+
+// collect drains updates from a receiver until the expected count arrives
+// or a timeout expires.
+func collect(t *testing.T, r *UDPReceiver, want int, timeout time.Duration) []event.Update {
+	t.Helper()
+	var out []event.Update
+	deadline := time.After(timeout)
+	for len(out) < want {
+		select {
+		case u, ok := <-r.Updates():
+			if !ok {
+				return out
+			}
+			out = append(out, u)
+		case <-deadline:
+			return out
+		}
+	}
+	return out
+}
+
+func TestUDPFrontLinkDeliversInOrder(t *testing.T) {
+	recv, err := ListenUDP("127.0.0.1:0", UDPReceiverOptions{})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer recv.Close()
+
+	pub, err := NewUDPPublisher(recv.Addr())
+	if err != nil {
+		t.Fatalf("NewUDPPublisher: %v", err)
+	}
+	defer pub.Close()
+
+	for i := int64(1); i <= 5; i++ {
+		if err := pub.Publish(event.U("x", i, float64(i*100))); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	got := collect(t, recv, 5, 5*time.Second)
+	if !event.SeqNos(got, "x").Equal(seq.Seq{1, 2, 3, 4, 5}) {
+		t.Errorf("received %v, want ⟨1..5⟩", event.SeqNos(got, "x"))
+	}
+}
+
+func TestUDPReceiverDiscardsStaleSeqNos(t *testing.T) {
+	recv, err := ListenUDP("127.0.0.1:0", UDPReceiverOptions{})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer recv.Close()
+	pub, err := NewUDPPublisher(recv.Addr())
+	if err != nil {
+		t.Fatalf("NewUDPPublisher: %v", err)
+	}
+	defer pub.Close()
+
+	// Send 2, then the stale 1, then 3: receiver must pass 2, 3 only.
+	for _, n := range []int64{2, 1, 3} {
+		if err := pub.Publish(event.U("x", n, 0)); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	got := collect(t, recv, 2, 5*time.Second)
+	if !event.SeqNos(got, "x").Equal(seq.Seq{2, 3}) {
+		t.Errorf("received %v, want ⟨2,3⟩", event.SeqNos(got, "x"))
+	}
+	// Allow the stale datagram to be counted before asserting.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if d, _ := recv.Stats(); d == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			d, _ := recv.Stats()
+			t.Fatalf("discarded = %d, want 1", d)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestUDPForcedLoss(t *testing.T) {
+	recv, err := ListenUDP("127.0.0.1:0", UDPReceiverOptions{
+		ForcedLoss: link.NewDropSeqNos("x", 2),
+	})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer recv.Close()
+	pub, err := NewUDPPublisher(recv.Addr())
+	if err != nil {
+		t.Fatalf("NewUDPPublisher: %v", err)
+	}
+	defer pub.Close()
+
+	for i := int64(1); i <= 3; i++ {
+		if err := pub.Publish(event.U("x", i, 0)); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	got := collect(t, recv, 2, 5*time.Second)
+	if !event.SeqNos(got, "x").Equal(seq.Seq{1, 3}) {
+		t.Errorf("received %v, want ⟨1,3⟩ with 2 force-dropped", event.SeqNos(got, "x"))
+	}
+}
+
+func TestTCPBackLinkRoundTrip(t *testing.T) {
+	adl, err := ListenAD("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenAD: %v", err)
+	}
+	defer adl.Close()
+
+	snd, err := DialAD(adl.Addr())
+	if err != nil {
+		t.Fatalf("DialAD: %v", err)
+	}
+	defer func() { _ = snd.Close() }()
+
+	a := event.Alert{Cond: "c1", Source: "CE1", Histories: event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 3, 3200)}},
+	}}
+	if err := snd.Send(a); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case got := <-adl.Alerts():
+		if got.Key() != a.Key() || got.Source != "CE1" {
+			t.Errorf("received %v, want %v", got, a)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("alert did not arrive")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := NewUDPPublisher(); err == nil {
+		t.Error("publisher with no addresses should fail")
+	}
+	if _, err := NewUDPPublisher("not-an-address:::"); err == nil {
+		t.Error("bad address should fail")
+	}
+	if _, err := ListenUDP("bad:::addr", UDPReceiverOptions{}); err == nil {
+		t.Error("bad listen address should fail")
+	}
+	if _, err := DialAD("127.0.0.1:1"); err == nil {
+		t.Error("dialing a closed port should fail")
+	}
+	if _, err := ListenAD("bad:::addr"); err == nil {
+		t.Error("bad AD address should fail")
+	}
+}
+
+func TestEndToEndNetworkedReplicatedSystem(t *testing.T) {
+	// The full Figure 1(b) pipeline over real sockets: one DM publishing
+	// over UDP to two CE processes, each evaluating c1 and forwarding
+	// alerts over TCP to one AD running AD-1. CE2's front link
+	// deterministically loses update 2 (Example 1's loss pattern).
+	adl, err := ListenAD("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenAD: %v", err)
+	}
+	defer adl.Close()
+
+	recv1, err := ListenUDP("127.0.0.1:0", UDPReceiverOptions{})
+	if err != nil {
+		t.Fatalf("ListenUDP CE1: %v", err)
+	}
+	defer recv1.Close()
+	recv2, err := ListenUDP("127.0.0.1:0", UDPReceiverOptions{
+		ForcedLoss: link.NewDropSeqNos("x", 2),
+	})
+	if err != nil {
+		t.Fatalf("ListenUDP CE2: %v", err)
+	}
+	defer recv2.Close()
+
+	// CE processes: consume updates, evaluate, send alerts.
+	startCE := func(id string, recv *UDPReceiver) {
+		snd, err := DialAD(adl.Addr())
+		if err != nil {
+			t.Errorf("DialAD(%s): %v", id, err)
+			return
+		}
+		eval, err := ce.New(id, cond.NewOverheat("x"))
+		if err != nil {
+			t.Errorf("ce.New(%s): %v", id, err)
+			return
+		}
+		go func() {
+			defer func() { _ = snd.Close() }()
+			for u := range recv.Updates() {
+				a, fired, err := eval.Feed(u)
+				if err != nil {
+					t.Errorf("%s Feed: %v", id, err)
+					return
+				}
+				if fired {
+					if err := snd.Send(a); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+	startCE("CE1", recv1)
+	startCE("CE2", recv2)
+
+	pub, err := NewUDPPublisher(recv1.Addr(), recv2.Addr())
+	if err != nil {
+		t.Fatalf("NewUDPPublisher: %v", err)
+	}
+	defer pub.Close()
+
+	for _, u := range []event.Update{
+		event.U("x", 1, 2900), event.U("x", 2, 3100), event.U("x", 3, 3200),
+	} {
+		if err := pub.Publish(u); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		// Pace the datagrams so loopback does not coalesce-drop them.
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Expect three alerts at the AD (a1(2x), a2(3x) from CE1 and a3(3x)
+	// from CE2), of which AD-1 displays two.
+	filter := ad.NewAD1()
+	var displayed []event.Alert
+	deadline := time.After(10 * time.Second)
+	for received := 0; received < 3; {
+		select {
+		case a := <-adl.Alerts():
+			received++
+			if ad.Offer(filter, a) {
+				displayed = append(displayed, a)
+			}
+		case <-deadline:
+			t.Fatalf("timed out after %d alerts", received)
+		}
+	}
+	if len(displayed) != 2 {
+		t.Fatalf("displayed %d alerts, want 2 (duplicate suppressed): %v", len(displayed), displayed)
+	}
+	if !props.Ordered(displayed, []event.VarName{"x"}) {
+		// Arrival order across TCP connections is nondeterministic, but
+		// with CE1 publishing first the duplicate is the late one in
+		// practice; orderedness is not guaranteed here (Theorem 2), so
+		// only check the alert set.
+		t.Logf("note: unordered arrival (allowed by Theorem 2): %v", displayed)
+	}
+	keys := event.KeySet(displayed)
+	if len(keys) != 2 {
+		t.Errorf("displayed duplicate alerts: %v", displayed)
+	}
+}

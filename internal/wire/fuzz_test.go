@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"condmon/internal/event"
+)
+
+// FuzzDecodeUpdate ensures the update decoder never panics and that every
+// successful decode re-encodes to the same bytes it consumed.
+func FuzzDecodeUpdate(f *testing.F) {
+	seed, err := EncodeUpdate(event.U("x", 7, 3000))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{'U'})
+	f.Add([]byte{'U', 0, 1, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, rest, err := DecodeUpdate(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeUpdate(u)
+		if err != nil {
+			t.Fatalf("decoded update %v does not re-encode: %v", u, err)
+		}
+		if !bytes.Equal(re, data[:len(data)-len(rest)]) {
+			t.Fatalf("re-encode mismatch for %v", u)
+		}
+	})
+}
+
+// FuzzDecodeAlert ensures the alert decoder never panics and round-trips.
+func FuzzDecodeAlert(f *testing.F) {
+	a := event.Alert{Cond: "c2", Source: "CE1", Histories: event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 7, 700), event.U("x", 5, 400)}},
+	}}
+	seed, err := EncodeAlert(a)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{'A'})
+	f.Add([]byte{'A', 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, rest, err := DecodeAlert(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeAlert(got)
+		if err != nil {
+			t.Fatalf("decoded alert %v does not re-encode: %v", got, err)
+		}
+		if !bytes.Equal(re, data[:len(data)-len(rest)]) {
+			t.Fatalf("re-encode mismatch for %v", got)
+		}
+	})
+}
+
+// FuzzDecodeDigest ensures the digest decoder never panics.
+func FuzzDecodeDigest(f *testing.F) {
+	d := DigestOf(event.Alert{Cond: "c", Histories: event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 1, 0)}},
+	}})
+	seed, err := AppendDigest(nil, d)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{'D'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, rest, err := DecodeDigest(data)
+		if err != nil {
+			return
+		}
+		re, err := AppendDigest(nil, got)
+		if err != nil {
+			t.Fatalf("decoded digest %+v does not re-encode: %v", got, err)
+		}
+		if !bytes.Equal(re, data[:len(data)-len(rest)]) {
+			t.Fatalf("re-encode mismatch for %+v", got)
+		}
+	})
+}

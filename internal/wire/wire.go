@@ -1,0 +1,293 @@
+// Package wire encodes updates and alerts for transmission over real
+// links (internal/transport) and trace files (internal/workload). The
+// format is a compact, explicit big-endian binary layout with no reflection
+// and no versioned schema — a deliberate match for the paper's
+// low-capability Data Monitor devices.
+//
+// The package also implements the optimization noted in Section 2: filters
+// that only compare histories for equality (duplicate detection) do not
+// need full histories on the wire — a Digest carrying the per-variable
+// latest sequence numbers plus a checksum of the full histories suffices.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"condmon/internal/event"
+)
+
+// Message type tags.
+const (
+	tagUpdate byte = 'U'
+	tagAlert  byte = 'A'
+	tagDigest byte = 'D'
+)
+
+// maxStringLen bounds encoded names; longer inputs are rejected rather
+// than truncated.
+const maxStringLen = math.MaxUint16
+
+// DecodeError reports malformed wire data.
+type DecodeError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string { return "wire: " + e.Msg }
+
+func errf(format string, args ...any) error {
+	return &DecodeError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// AppendUpdate appends the encoding of u to dst and returns the extended
+// slice.
+func AppendUpdate(dst []byte, u event.Update) ([]byte, error) {
+	if len(u.Var) > maxStringLen {
+		return nil, fmt.Errorf("wire: variable name of %d bytes exceeds limit", len(u.Var))
+	}
+	dst = append(dst, tagUpdate)
+	dst = appendString(dst, string(u.Var))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(u.SeqNo))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(u.Value))
+	return dst, nil
+}
+
+// EncodeUpdate encodes a single update.
+func EncodeUpdate(u event.Update) ([]byte, error) {
+	return AppendUpdate(nil, u)
+}
+
+// DecodeUpdate decodes an update, returning any trailing bytes.
+func DecodeUpdate(b []byte) (event.Update, []byte, error) {
+	if len(b) == 0 || b[0] != tagUpdate {
+		return event.Update{}, nil, errf("not an update message")
+	}
+	b = b[1:]
+	name, b, err := readString(b)
+	if err != nil {
+		return event.Update{}, nil, err
+	}
+	if len(b) < 16 {
+		return event.Update{}, nil, errf("truncated update body")
+	}
+	u := event.Update{
+		Var:   event.VarName(name),
+		SeqNo: int64(binary.BigEndian.Uint64(b)),
+		Value: math.Float64frombits(binary.BigEndian.Uint64(b[8:])),
+	}
+	if u.SeqNo < 0 {
+		return event.Update{}, nil, errf("negative sequence number %d", u.SeqNo)
+	}
+	return u, b[16:], nil
+}
+
+// AppendAlert appends the encoding of a full alert — condition, source and
+// complete histories — to dst.
+func AppendAlert(dst []byte, a event.Alert) ([]byte, error) {
+	if len(a.Cond) > maxStringLen || len(a.Source) > maxStringLen {
+		return nil, fmt.Errorf("wire: alert name fields exceed length limit")
+	}
+	vars := a.Histories.Vars()
+	if len(vars) > maxStringLen {
+		return nil, fmt.Errorf("wire: %d history variables exceed limit", len(vars))
+	}
+	dst = append(dst, tagAlert)
+	dst = appendString(dst, a.Cond)
+	dst = appendString(dst, a.Source)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(vars)))
+	for _, v := range vars {
+		h := a.Histories[v]
+		if len(h.Recent) > maxStringLen {
+			return nil, fmt.Errorf("wire: history for %q exceeds window limit", v)
+		}
+		dst = appendString(dst, string(v))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(h.Recent)))
+		for _, u := range h.Recent {
+			dst = binary.BigEndian.AppendUint64(dst, uint64(u.SeqNo))
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(u.Value))
+		}
+	}
+	return dst, nil
+}
+
+// EncodeAlert encodes a full alert.
+func EncodeAlert(a event.Alert) ([]byte, error) {
+	return AppendAlert(nil, a)
+}
+
+// DecodeAlert decodes a full alert, returning trailing bytes.
+func DecodeAlert(b []byte) (event.Alert, []byte, error) {
+	if len(b) == 0 || b[0] != tagAlert {
+		return event.Alert{}, nil, errf("not an alert message")
+	}
+	b = b[1:]
+	condName, b, err := readString(b)
+	if err != nil {
+		return event.Alert{}, nil, err
+	}
+	source, b, err := readString(b)
+	if err != nil {
+		return event.Alert{}, nil, err
+	}
+	if len(b) < 2 {
+		return event.Alert{}, nil, errf("truncated alert variable count")
+	}
+	nvars := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	a := event.Alert{Cond: condName, Source: source, Histories: make(event.HistorySet, nvars)}
+	for i := 0; i < nvars; i++ {
+		name, rest, err := readString(b)
+		if err != nil {
+			return event.Alert{}, nil, err
+		}
+		b = rest
+		if len(b) < 2 {
+			return event.Alert{}, nil, errf("truncated history length for %q", name)
+		}
+		n := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < 16*n {
+			return event.Alert{}, nil, errf("truncated history body for %q", name)
+		}
+		h := event.History{Var: event.VarName(name), Recent: make([]event.Update, n)}
+		for j := 0; j < n; j++ {
+			h.Recent[j] = event.Update{
+				Var:   event.VarName(name),
+				SeqNo: int64(binary.BigEndian.Uint64(b)),
+				Value: math.Float64frombits(binary.BigEndian.Uint64(b[8:])),
+			}
+			b = b[16:]
+		}
+		if _, dup := a.Histories[h.Var]; dup {
+			return event.Alert{}, nil, errf("duplicate history for variable %q", name)
+		}
+		a.Histories[h.Var] = h
+	}
+	return a, b, nil
+}
+
+// Digest is the compact alert representation of Section 2: the fields an
+// equality-only filter needs (per-variable latest sequence numbers drive
+// AD-2/AD-5; the checksum stands in for full-history equality in
+// AD-1-style duplicate removal).
+type Digest struct {
+	Cond   string
+	Source string
+	// Latest maps each variable to a.seqno.v.
+	Latest map[event.VarName]int64
+	// Sum is an FNV-1a checksum over the condition name and the full
+	// history sequence numbers.
+	Sum uint64
+}
+
+// DigestOf summarizes an alert.
+func DigestOf(a event.Alert) Digest {
+	d := Digest{
+		Cond:   a.Cond,
+		Source: a.Source,
+		Latest: make(map[event.VarName]int64, len(a.Histories)),
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(a.Cond))
+	for _, v := range a.Histories.Vars() {
+		hist := a.Histories[v]
+		d.Latest[v] = hist.Latest().SeqNo
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(v))
+		var buf [8]byte
+		for _, u := range hist.Recent {
+			binary.BigEndian.PutUint64(buf[:], uint64(u.SeqNo))
+			_, _ = h.Write(buf[:])
+		}
+	}
+	d.Sum = h.Sum64()
+	return d
+}
+
+// Key returns a duplicate-detection key: equal for alerts with equal
+// condition and histories (up to checksum collision).
+func (d Digest) Key() string {
+	return fmt.Sprintf("%s#%016x", d.Cond, d.Sum)
+}
+
+// AppendDigest appends the encoding of d to dst.
+func AppendDigest(dst []byte, d Digest) ([]byte, error) {
+	if len(d.Cond) > maxStringLen || len(d.Source) > maxStringLen || len(d.Latest) > maxStringLen {
+		return nil, fmt.Errorf("wire: digest fields exceed length limit")
+	}
+	dst = append(dst, tagDigest)
+	dst = appendString(dst, d.Cond)
+	dst = appendString(dst, d.Source)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(d.Latest)))
+	vars := make([]event.VarName, 0, len(d.Latest))
+	for v := range d.Latest {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	for _, v := range vars {
+		dst = appendString(dst, string(v))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(d.Latest[v]))
+	}
+	dst = binary.BigEndian.AppendUint64(dst, d.Sum)
+	return dst, nil
+}
+
+// DecodeDigest decodes a digest, returning trailing bytes.
+func DecodeDigest(b []byte) (Digest, []byte, error) {
+	if len(b) == 0 || b[0] != tagDigest {
+		return Digest{}, nil, errf("not a digest message")
+	}
+	b = b[1:]
+	condName, b, err := readString(b)
+	if err != nil {
+		return Digest{}, nil, err
+	}
+	source, b, err := readString(b)
+	if err != nil {
+		return Digest{}, nil, err
+	}
+	if len(b) < 2 {
+		return Digest{}, nil, errf("truncated digest variable count")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	d := Digest{Cond: condName, Source: source, Latest: make(map[event.VarName]int64, n)}
+	for i := 0; i < n; i++ {
+		name, rest, err := readString(b)
+		if err != nil {
+			return Digest{}, nil, err
+		}
+		b = rest
+		if len(b) < 8 {
+			return Digest{}, nil, errf("truncated digest entry for %q", name)
+		}
+		d.Latest[event.VarName(name)] = int64(binary.BigEndian.Uint64(b))
+		b = b[8:]
+	}
+	if len(b) < 8 {
+		return Digest{}, nil, errf("truncated digest checksum")
+	}
+	d.Sum = binary.BigEndian.Uint64(b)
+	return d, b[8:], nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, errf("truncated string length")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, errf("truncated string body (want %d bytes, have %d)", n, len(b))
+	}
+	return string(b[:n]), b[n:], nil
+}

@@ -1,0 +1,224 @@
+// Package workload generates the synthetic sensor streams the experiments
+// and examples run on — reactor temperatures, stock quotes, battlefield
+// telemetry — and records/replays them as trace files. The paper's analysis
+// depends only on sequence numbers and loss patterns, never on where the
+// values come from, so seeded synthetic sources preserve every behaviour
+// of interest while keeping runs reproducible.
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"condmon/internal/event"
+
+	"math/rand"
+)
+
+// Source produces a stream of readings for one real-world variable.
+type Source interface {
+	// Next returns the next reading; ok is false when the source is
+	// exhausted.
+	Next() (value float64, ok bool)
+}
+
+// ReactorTemp models a reactor core temperature: a mean-reverting random
+// walk around Base with occasional excursion events that push readings
+// past typical alarm thresholds (the paper's 3000-degree c1 limit).
+type ReactorTemp struct {
+	rng *rand.Rand
+	// Base is the nominal operating temperature.
+	Base float64
+	// Noise is the per-step random perturbation amplitude.
+	Noise float64
+	// ExcursionP is the per-step probability of an excursion starting.
+	ExcursionP float64
+	// ExcursionMag is how far an excursion overshoots Base.
+	ExcursionMag float64
+
+	cur       float64
+	excursion int
+}
+
+// NewReactorTemp returns a reactor source with the defaults used by the
+// examples (base 2800, noise 60, 8% excursions of +400).
+func NewReactorTemp(seed int64) *ReactorTemp {
+	return &ReactorTemp{
+		rng:          rand.New(rand.NewSource(seed)),
+		Base:         2800,
+		Noise:        60,
+		ExcursionP:   0.08,
+		ExcursionMag: 400,
+		cur:          2800,
+	}
+}
+
+// Next implements Source; reactor sources never exhaust.
+func (s *ReactorTemp) Next() (float64, bool) {
+	if s.excursion > 0 {
+		s.excursion--
+	} else if s.rng.Float64() < s.ExcursionP {
+		s.excursion = 2 + s.rng.Intn(3)
+	}
+	target := s.Base
+	if s.excursion > 0 {
+		target = s.Base + s.ExcursionMag
+	}
+	// Mean-revert toward the target with noise.
+	s.cur += 0.5*(target-s.cur) + (s.rng.Float64()*2-1)*s.Noise
+	return s.cur, true
+}
+
+// StockQuotes models a stock price: a geometric random walk with occasional
+// sharp crashes — the Section 1 "sharp price drop" scenario generator.
+type StockQuotes struct {
+	rng *rand.Rand
+	// Drift is the per-step multiplicative drift (e.g. 0.001).
+	Drift float64
+	// Vol is the per-step volatility (e.g. 0.02).
+	Vol float64
+	// CrashP is the per-step probability of a crash.
+	CrashP float64
+	// CrashFrac is the fraction of value lost in a crash (e.g. 0.3).
+	CrashFrac float64
+
+	cur float64
+}
+
+// NewStockQuotes returns a stock source starting at price 100.
+func NewStockQuotes(seed int64) *StockQuotes {
+	return &StockQuotes{
+		rng:       rand.New(rand.NewSource(seed)),
+		Drift:     0.001,
+		Vol:       0.02,
+		CrashP:    0.05,
+		CrashFrac: 0.3,
+		cur:       100,
+	}
+}
+
+// Next implements Source; stock sources never exhaust.
+func (s *StockQuotes) Next() (float64, bool) {
+	if s.rng.Float64() < s.CrashP {
+		s.cur *= 1 - s.CrashFrac
+	} else {
+		s.cur *= 1 + s.Drift + (s.rng.Float64()*2-1)*s.Vol
+	}
+	// Quotes are rounded to cents.
+	s.cur = math.Round(s.cur*100) / 100
+	if s.cur < 0.01 {
+		s.cur = 0.01
+	}
+	return s.cur, true
+}
+
+// Sine is a deterministic sinusoidal source: useful for examples that need
+// predictable threshold crossings.
+type Sine struct {
+	// Base, Amplitude and Period define the waveform.
+	Base, Amplitude float64
+	Period          int
+
+	step int
+}
+
+// Next implements Source; sine sources never exhaust.
+func (s *Sine) Next() (float64, bool) {
+	if s.Period <= 0 {
+		s.Period = 20
+	}
+	v := s.Base + s.Amplitude*math.Sin(2*math.Pi*float64(s.step)/float64(s.Period))
+	s.step++
+	return v, true
+}
+
+// Script replays a fixed list of values, then exhausts.
+type Script struct {
+	Values []float64
+	next   int
+}
+
+// Next implements Source.
+func (s *Script) Next() (float64, bool) {
+	if s.next >= len(s.Values) {
+		return 0, false
+	}
+	v := s.Values[s.next]
+	s.next++
+	return v, true
+}
+
+// Generate draws up to max readings from the source and numbers them as
+// updates 1..n of variable v — the DM's output stream U.
+func Generate(v event.VarName, src Source, max int) []event.Update {
+	var out []event.Update
+	for i := 0; i < max; i++ {
+		val, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, event.U(v, int64(i+1), val))
+	}
+	return out
+}
+
+// WriteTrace writes updates as a line-oriented text trace:
+// "var,seqno,value" per line with a header. Text keeps traces diffable and
+// hand-editable; the wire package handles binary transport.
+func WriteTrace(w io.Writer, updates []event.Update) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# condmon trace v1: var,seqno,value"); err != nil {
+		return fmt.Errorf("workload: write header: %w", err)
+	}
+	for _, u := range updates {
+		if strings.ContainsAny(string(u.Var), ",\n") {
+			return fmt.Errorf("workload: variable name %q contains a delimiter", u.Var)
+		}
+		if _, err := fmt.Fprintf(bw, "%s,%d,%s\n", u.Var, u.SeqNo,
+			strconv.FormatFloat(u.Value, 'g', -1, 64)); err != nil {
+			return fmt.Errorf("workload: write update: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("workload: flush trace: %w", err)
+	}
+	return nil
+}
+
+// ReadTrace parses a trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]event.Update, error) {
+	var out []event.Update
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("workload: trace line %d: want var,seqno,value", lineNo)
+		}
+		seqNo, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad seqno: %w", lineNo, err)
+		}
+		if seqNo < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: negative seqno %d", lineNo, seqNo)
+		}
+		val, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad value: %w", lineNo, err)
+		}
+		out = append(out, event.U(event.VarName(parts[0]), seqNo, val))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"condmon/internal/event"
+)
+
+func TestReactorTempShape(t *testing.T) {
+	src := NewReactorTemp(1)
+	var crossed bool
+	prev := 0.0
+	for i := 0; i < 500; i++ {
+		v, ok := src.Next()
+		if !ok {
+			t.Fatal("reactor source exhausted")
+		}
+		if v > 3000 {
+			crossed = true
+		}
+		if i > 0 && v == prev {
+			// extremely unlikely with continuous noise
+			t.Logf("flat step at %d", i)
+		}
+		prev = v
+	}
+	if !crossed {
+		t.Error("reactor temperature never exceeded 3000 in 500 steps; excursions broken")
+	}
+}
+
+func TestReactorTempDeterministicBySeed(t *testing.T) {
+	a, b := NewReactorTemp(7), NewReactorTemp(7)
+	for i := 0; i < 50; i++ {
+		va, _ := a.Next()
+		vb, _ := b.Next()
+		if va != vb {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestStockQuotesShape(t *testing.T) {
+	src := NewStockQuotes(2)
+	var sharpDrop bool
+	prev := 100.0
+	for i := 0; i < 500; i++ {
+		v, ok := src.Next()
+		if !ok {
+			t.Fatal("stock source exhausted")
+		}
+		if v <= 0 {
+			t.Fatalf("price went non-positive: %g", v)
+		}
+		if (prev-v)/prev > 0.2 {
+			sharpDrop = true
+		}
+		prev = v
+	}
+	if !sharpDrop {
+		t.Error("no sharp (>20%) drop in 500 steps; crash model broken")
+	}
+}
+
+func TestSineCrossesThreshold(t *testing.T) {
+	src := &Sine{Base: 3000, Amplitude: 200, Period: 10}
+	above, below := false, false
+	for i := 0; i < 20; i++ {
+		v, _ := src.Next()
+		if v > 3000 {
+			above = true
+		}
+		if v < 3000 {
+			below = true
+		}
+	}
+	if !above || !below {
+		t.Error("sine should cross its base both ways within two periods")
+	}
+}
+
+func TestScriptExhausts(t *testing.T) {
+	src := &Script{Values: []float64{1, 2}}
+	if v, ok := src.Next(); !ok || v != 1 {
+		t.Errorf("first = %g/%v", v, ok)
+	}
+	if v, ok := src.Next(); !ok || v != 2 {
+		t.Errorf("second = %g/%v", v, ok)
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("script should exhaust after its values")
+	}
+}
+
+func TestGenerateNumbering(t *testing.T) {
+	got := Generate("x", &Script{Values: []float64{10, 20, 30}}, 5)
+	if len(got) != 3 {
+		t.Fatalf("generated %d updates, want 3", len(got))
+	}
+	for i, u := range got {
+		if u.Var != "x" || u.SeqNo != int64(i+1) {
+			t.Errorf("update %d = %v", i, u)
+		}
+	}
+	if got := Generate("x", NewReactorTemp(1), 4); len(got) != 4 {
+		t.Errorf("max should cap an unlimited source, got %d", len(got))
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	in := []event.Update{
+		event.U("x", 1, 2900.5),
+		event.U("x", 2, 3100),
+		event.U("y", 1, -0.125),
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, in); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("read %d updates, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Errorf("update %d = %v, want %v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestTraceSkipsCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\nx,1,100\n# mid comment\nx,2,200\n"
+	got, err := ReadTrace(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(got) != 2 {
+		t.Errorf("read %d updates, want 2", len(got))
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	bad := []string{
+		"x,1",            // missing field
+		"x,one,100",      // bad seqno
+		"x,-1,100",       // negative seqno
+		"x,1,not-number", // bad value
+	}
+	for _, line := range bad {
+		if _, err := ReadTrace(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("ReadTrace(%q) should fail", line)
+		}
+	}
+	if err := WriteTrace(&bytes.Buffer{}, []event.Update{event.U("a,b", 1, 0)}); err == nil {
+		t.Error("variable name with delimiter should be rejected")
+	}
+}
