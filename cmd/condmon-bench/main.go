@@ -37,9 +37,13 @@ func run(args []string, out io.Writer) error {
 		length = fs.Int("len", 6, "updates per data monitor per run (2-10)")
 		lossP  = fs.Float64("loss", 0.3, "per-update front-link drop probability in lossy rows")
 		asCSV  = fs.Bool("csv", false, "emit curve experiments (benefit, tradeoff, replicas, downtime) as CSV")
+		perf   = fs.Bool("perf", false, "measure hot-path micro-benchmarks and emit JSON (see BENCH_PR1.json); skips the paper experiments")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *perf {
+		return runPerf(out)
 	}
 	cfg := exp.Config{Seed: *seed, Trials: *trials, StreamLen: *length, LossP: *lossP}
 

@@ -1,0 +1,124 @@
+package main
+
+// Hot-path performance measurement: -perf reruns the component
+// micro-benchmarks of bench_test.go (CE feed, compiled DSL evaluation, the
+// AD filter Offer paths) through testing.Benchmark and emits machine-
+// readable JSON. BENCH_PR1.json at the repository root records the
+// before/after numbers for the zero-allocation hot-path work; regenerate
+// its "after" block with:
+//
+//	go run ./cmd/condmon-bench -perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/sim"
+	"condmon/internal/workload"
+)
+
+// perfResult is one benchmark's measurement, mirroring go test -benchmem.
+type perfResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type perfReport struct {
+	Go         string                `json:"go"`
+	GOOS       string                `json:"goos"`
+	GOARCH     string                `json:"goarch"`
+	Benchmarks map[string]perfResult `json:"benchmarks"`
+}
+
+func measure(f func(b *testing.B)) perfResult {
+	r := testing.Benchmark(f)
+	return perfResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// feedBench measures Evaluator.Feed for condition c, the CEFeed/DSLEval
+// scenarios of bench_test.go.
+func feedBench(c cond.Condition) func(b *testing.B) {
+	return func(b *testing.B) {
+		eval, err := ce.New("CE1", c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eval.Feed(event.U("x", int64(i+1), float64(i%500))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// filterStream reproduces BenchmarkFilters' precomputed lossy two-CE alert
+// stream.
+func filterStream() ([]event.Alert, error) {
+	r := rand.New(rand.NewSource(1))
+	trace := workload.Generate("x", workload.NewReactorTemp(3), 64)
+	run, err := sim.RunSingleVar(cond.NewRiseAggressive("x"), trace,
+		link.Bernoulli{P: 0.3}, link.Bernoulli{P: 0.3}, r)
+	if err != nil {
+		return nil, err
+	}
+	merged := sim.RandomArrival(run.A1, run.A2, r)
+	if len(merged) == 0 {
+		return nil, fmt.Errorf("empty alert stream; adjust workload")
+	}
+	return merged, nil
+}
+
+func runPerf(out io.Writer) error {
+	merged, err := filterStream()
+	if err != nil {
+		return err
+	}
+	report := perfReport{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: map[string]perfResult{},
+	}
+	report.Benchmarks["CEFeed"] = measure(feedBench(cond.NewRiseAggressive("x")))
+	report.Benchmarks["DSLEval"] = measure(feedBench(
+		cond.MustParse("c3", "x[0] - x[-1] > 200 && consecutive(x)")))
+	filters := []struct {
+		name string
+		mk   func() ad.Filter
+	}{
+		{"Filters/AD-1", func() ad.Filter { return ad.NewAD1() }},
+		{"Filters/AD-2", func() ad.Filter { return ad.NewAD2("x") }},
+		{"Filters/AD-3", func() ad.Filter { return ad.NewAD3("x") }},
+		{"Filters/AD-4", func() ad.Filter { return ad.NewAD4("x") }},
+	}
+	for _, f := range filters {
+		mk := f.mk
+		report.Benchmarks[f.name] = measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ad.Run(mk(), merged)
+			}
+		})
+	}
+
+	// encoding/json sorts map keys, so the output is diff-friendly.
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

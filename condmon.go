@@ -219,6 +219,14 @@ func (m *Monitor) Emit(v VarName, value float64) (int64, error) {
 	return m.sys.Emit(v, value)
 }
 
+// EmitBatch publishes a run of consecutive readings for variable v as one
+// batch frame per front link, amortizing the channel hop across the batch.
+// Observationally it is identical to calling Emit for each value in order;
+// it returns the sequence number assigned to the last reading.
+func (m *Monitor) EmitBatch(v VarName, values []float64) (int64, error) {
+	return m.sys.EmitBatch(v, values)
+}
+
 // Alerts returns a snapshot of the alert sequence displayed to the user so
 // far.
 func (m *Monitor) Alerts() []Alert {

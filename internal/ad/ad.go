@@ -40,9 +40,20 @@ type Filter interface {
 	Accept(a event.Alert)
 }
 
+// testAndSetter is implemented by filters whose test-then-accept sequence
+// can be fused into a single state probe. Offer prefers it; the two-phase
+// Test/Accept API remains the contract for combinators like AD-4, which
+// must be able to test without committing.
+type testAndSetter interface {
+	testAndSet(a event.Alert) bool
+}
+
 // Offer runs the test-then-accept sequence and reports whether the alert
 // was passed through to the output.
 func Offer(f Filter, a event.Alert) bool {
+	if ts, ok := f.(testAndSetter); ok {
+		return ts.testAndSet(a)
+	}
 	if !f.Test(a) {
 		return false
 	}
@@ -107,6 +118,16 @@ func (f *AD1) Test(a event.Alert) bool {
 
 // Accept implements Filter.
 func (f *AD1) Accept(a event.Alert) { f.seen[a.Key()] = struct{}{} }
+
+// testAndSet fuses Test and Accept into one hash probe: the unconditional
+// insert grows the map exactly when the alert is new. Combined with keys
+// cached at alert construction, a duplicate Offer is a single map lookup
+// with zero allocations.
+func (f *AD1) testAndSet(a event.Alert) bool {
+	before := len(f.seen)
+	f.seen[a.Key()] = struct{}{}
+	return len(f.seen) > before
+}
 
 // AD2 is Algorithm AD-2 (Figure A-2): discard any alert whose sequence
 // number (with respect to the single monitored variable) does not exceed

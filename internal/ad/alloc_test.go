@@ -1,0 +1,28 @@
+package ad
+
+import (
+	"testing"
+
+	"condmon/internal/event"
+)
+
+// The duplicate-discard path of AD-1 is the steady state of a replicated
+// system: r-1 of every r alert copies are dropped. With the alert's identity
+// key precomputed at construction and the fused single-probe testAndSet,
+// discarding a duplicate must not allocate.
+func TestAD1DuplicateOfferZeroAllocs(t *testing.T) {
+	f := NewAD1()
+	a := event.NewAlert("c", event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 7, 1), event.U("x", 6, 0)}},
+	}, "CE1")
+	if !Offer(f, a) {
+		t.Fatal("first copy should pass")
+	}
+	if allocs := testing.AllocsPerRun(500, func() {
+		if Offer(f, a) {
+			t.Fatal("duplicate alert passed the filter")
+		}
+	}); allocs != 0 {
+		t.Errorf("duplicate Offer: %v allocs/op, want 0", allocs)
+	}
+}

@@ -24,10 +24,33 @@ type Evaluator struct {
 	windows map[event.VarName]*event.Window
 	down    bool
 
+	// notFull counts windows still filling; the hot path tests it instead
+	// of rescanning every window per update.
+	notFull int
+
+	// Exactly one evaluation strategy is active, chosen at construction:
+	// prog for compiled DSL conditions, view for built-ins with a
+	// snapshot-free evaluator, neither for legacy conditions (which get a
+	// materialized HistorySet per evaluation, as before).
+	prog *cond.Program
+	view cond.ViewCondition
+
 	// stats
 	fed        int64
 	discarded  int64
 	missedDown int64
+}
+
+// HistoryOf implements event.HistoryView over the evaluator's live
+// windows: the read-only view conditions evaluate against on the hot path.
+// Returned histories alias window storage and are only valid until the next
+// Feed.
+func (e *Evaluator) HistoryOf(v event.VarName) (event.History, bool) {
+	w, ok := e.windows[v]
+	if !ok {
+		return event.History{}, false
+	}
+	return w.Live(), true
 }
 
 // New creates an evaluator with the given identity ("CE1", "CE2", …)
@@ -49,7 +72,17 @@ func New(id string, c cond.Condition) (*Evaluator, error) {
 		}
 		windows[v] = w
 	}
-	return &Evaluator{id: id, cond: c, windows: windows}, nil
+	e := &Evaluator{id: id, cond: c, windows: windows, notFull: len(windows)}
+	// Pick the fastest evaluation strategy the condition supports: a bound
+	// compiled program (DSL expressions), a snapshot-free view evaluator
+	// (built-ins), or the legacy materialized-HistorySet path.
+	switch c := c.(type) {
+	case cond.Binder:
+		e.prog = c.Bind()
+	case cond.ViewCondition:
+		e.view = c
+	}
+	return e, nil
 }
 
 // ID returns the evaluator's identity; emitted alerts carry it as Source.
@@ -71,8 +104,12 @@ func (e *Evaluator) SetDown(down bool) { e.down = down }
 // loses all history state and must refill its windows before it can fire
 // again.
 func (e *Evaluator) Crash() {
+	e.notFull = 0
 	for _, w := range e.windows {
 		w.Reset()
+		if !w.Full() {
+			e.notFull++
+		}
 	}
 }
 
@@ -105,26 +142,44 @@ func (e *Evaluator) Feed(u event.Update) (event.Alert, bool, error) {
 		e.discarded++
 		return event.Alert{}, false, nil
 	}
-	if err := w.Push(u); err != nil {
+	wasFull := w.Full()
+	if !w.TryPush(u) {
 		// Out-of-order or duplicate delivery: discard, per Section 2.1.
 		e.discarded++
 		return event.Alert{}, false, nil
 	}
 	e.fed++
-	for _, win := range e.windows {
-		if !win.Full() {
-			return event.Alert{}, false, nil
-		}
+	if !wasFull && w.Full() {
+		e.notFull--
 	}
-	h := e.historySnapshot()
-	fired, err := e.cond.Eval(h)
+	if e.notFull > 0 {
+		return event.Alert{}, false, nil
+	}
+	// Evaluate against the live windows; the non-firing steady state never
+	// copies a history or builds a HistorySet.
+	fired, err := e.evalLive()
 	if err != nil {
 		return event.Alert{}, false, fmt.Errorf("ce: %s: evaluate %q: %w", e.id, e.cond.Name(), err)
 	}
 	if !fired {
 		return event.Alert{}, false, nil
 	}
-	return event.Alert{Cond: e.cond.Name(), Histories: h, Source: e.id}, true, nil
+	// Only a firing condition pays for the immutable snapshot embedded in
+	// the alert (and for the alert's precomputed identity key).
+	return event.NewAlert(e.cond.Name(), e.historySnapshot(), e.id), true, nil
+}
+
+// evalLive evaluates the condition over the evaluator's live windows,
+// using the strategy selected at construction.
+func (e *Evaluator) evalLive() (bool, error) {
+	switch {
+	case e.prog != nil:
+		return e.prog.Eval(e)
+	case e.view != nil:
+		return e.view.EvalView(e)
+	default:
+		return e.cond.Eval(e.historySnapshot())
+	}
 }
 
 // historySnapshot builds the immutable H handed to the condition and

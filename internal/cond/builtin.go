@@ -46,11 +46,18 @@ func (c Threshold) Degree(v event.VarName) int {
 func (c Threshold) Conservative() bool { return true }
 
 // Eval implements Condition: c1(H) = (Hx[0].value > Limit).
-func (c Threshold) Eval(h event.HistorySet) (bool, error) {
-	if err := Validate(c, h); err != nil {
-		return false, err
+func (c Threshold) Eval(h event.HistorySet) (bool, error) { return c.EvalView(h) }
+
+// EvalView implements ViewCondition without touching a HistorySet.
+func (c Threshold) EvalView(h event.HistoryView) (bool, error) {
+	hv, ok := h.HistoryOf(c.Var)
+	if !ok {
+		return false, errMissingVar(c.CondName, c.Var)
 	}
-	v := h[c.Var].Latest().Value
+	if len(hv.Recent) < 1 {
+		return false, errShortHistory(c.CondName, c.Var, len(hv.Recent), 1)
+	}
+	v := hv.Recent[0].Value
 	if c.Above {
 		return v > c.Limit, nil
 	}
@@ -105,13 +112,18 @@ func (c Rise) Conservative() bool { return c.Consecutive }
 //
 //	c2(H) = Hx[0].value − Hx[−1].value > Delta
 //	c3(H) = c2(H) AND Hx[0].seqno = Hx[−1].seqno + 1
-func (c Rise) Eval(h event.HistorySet) (bool, error) {
-	if err := Validate(c, h); err != nil {
-		return false, err
+func (c Rise) Eval(h event.HistorySet) (bool, error) { return c.EvalView(h) }
+
+// EvalView implements ViewCondition without touching a HistorySet.
+func (c Rise) EvalView(h event.HistoryView) (bool, error) {
+	hv, ok := h.HistoryOf(c.Var)
+	if !ok {
+		return false, errMissingVar(c.CondName, c.Var)
 	}
-	hx := h[c.Var]
-	cur := hx.Latest()
-	prev, _ := hx.At(-1)
+	if len(hv.Recent) < 2 {
+		return false, errShortHistory(c.CondName, c.Var, len(hv.Recent), 2)
+	}
+	cur, prev := hv.Recent[0], hv.Recent[1]
 	if c.Consecutive && cur.SeqNo != prev.SeqNo+1 {
 		return false, nil
 	}
@@ -157,13 +169,18 @@ func (c Drop) Degree(v event.VarName) int {
 func (c Drop) Conservative() bool { return c.Consecutive }
 
 // Eval implements Condition: (prev − cur) / prev > Frac.
-func (c Drop) Eval(h event.HistorySet) (bool, error) {
-	if err := Validate(c, h); err != nil {
-		return false, err
+func (c Drop) Eval(h event.HistorySet) (bool, error) { return c.EvalView(h) }
+
+// EvalView implements ViewCondition without touching a HistorySet.
+func (c Drop) EvalView(h event.HistoryView) (bool, error) {
+	hv, ok := h.HistoryOf(c.Var)
+	if !ok {
+		return false, errMissingVar(c.CondName, c.Var)
 	}
-	hx := h[c.Var]
-	cur := hx.Latest()
-	prev, _ := hx.At(-1)
+	if len(hv.Recent) < 2 {
+		return false, errShortHistory(c.CondName, c.Var, len(hv.Recent), 2)
+	}
+	cur, prev := hv.Recent[0], hv.Recent[1]
 	if c.Consecutive && cur.SeqNo != prev.SeqNo+1 {
 		return false, nil
 	}
@@ -209,11 +226,15 @@ func (c AbsDiff) Degree(v event.VarName) int {
 func (c AbsDiff) Conservative() bool { return true }
 
 // Eval implements Condition.
-func (c AbsDiff) Eval(h event.HistorySet) (bool, error) {
-	if err := Validate(c, h); err != nil {
+func (c AbsDiff) Eval(h event.HistorySet) (bool, error) { return c.EvalView(h) }
+
+// EvalView implements ViewCondition without touching a HistorySet.
+func (c AbsDiff) EvalView(h event.HistoryView) (bool, error) {
+	x, y, err := latestPair(c.CondName, h, c.X, c.Y)
+	if err != nil {
 		return false, err
 	}
-	d := h[c.X].Latest().Value - h[c.Y].Latest().Value
+	d := x.Value - y.Value
 	if d < 0 {
 		d = -d
 	}
@@ -250,11 +271,35 @@ func (c GreaterThan) Degree(v event.VarName) int {
 func (c GreaterThan) Conservative() bool { return true }
 
 // Eval implements Condition.
-func (c GreaterThan) Eval(h event.HistorySet) (bool, error) {
-	if err := Validate(c, h); err != nil {
+func (c GreaterThan) Eval(h event.HistorySet) (bool, error) { return c.EvalView(h) }
+
+// EvalView implements ViewCondition without touching a HistorySet.
+func (c GreaterThan) EvalView(h event.HistoryView) (bool, error) {
+	x, y, err := latestPair(c.CondName, h, c.X, c.Y)
+	if err != nil {
 		return false, err
 	}
-	return h[c.X].Latest().Value > h[c.Y].Latest().Value, nil
+	return x.Value > y.Value, nil
+}
+
+// latestPair fetches the latest update of two degree-1 variables from a
+// view, sharing the two-variable built-ins' validation.
+func latestPair(name string, h event.HistoryView, x, y event.VarName) (event.Update, event.Update, error) {
+	hx, ok := h.HistoryOf(x)
+	if !ok {
+		return event.Update{}, event.Update{}, errMissingVar(name, x)
+	}
+	if len(hx.Recent) < 1 {
+		return event.Update{}, event.Update{}, errShortHistory(name, x, 0, 1)
+	}
+	hy, ok := h.HistoryOf(y)
+	if !ok {
+		return event.Update{}, event.Update{}, errMissingVar(name, y)
+	}
+	if len(hy.Recent) < 1 {
+		return event.Update{}, event.Update{}, errShortHistory(name, y, 0, 1)
+	}
+	return hx.Recent[0], hy.Recent[0], nil
 }
 
 // PairSet is a scripted two-variable condition satisfied exactly by an
@@ -305,12 +350,15 @@ func (c PairSet) Degree(v event.VarName) int {
 func (c PairSet) Conservative() bool { return true }
 
 // Eval implements Condition.
-func (c PairSet) Eval(h event.HistorySet) (bool, error) {
-	if err := Validate(c, h); err != nil {
+func (c PairSet) Eval(h event.HistorySet) (bool, error) { return c.EvalView(h) }
+
+// EvalView implements ViewCondition without touching a HistorySet.
+func (c PairSet) EvalView(h event.HistoryView) (bool, error) {
+	x, y, err := latestPair(c.CondName, h, c.X, c.Y)
+	if err != nil {
 		return false, err
 	}
-	key := [2]int64{h[c.X].Latest().SeqNo, h[c.Y].Latest().SeqNo}
-	return c.Pairs[key], nil
+	return c.Pairs[[2]int64{x.SeqNo, y.SeqNo}], nil
 }
 
 // Or is the disjunction C = A ∨ B of Appendix D, used to reduce a system
@@ -365,22 +413,45 @@ func (c Or) Conservative() bool {
 
 // Eval implements Condition. Both operands see the same history set; an
 // operand only inspects the variables and depths it declares.
-func (c Or) Eval(h event.HistorySet) (bool, error) {
-	if err := Validate(c, h); err != nil {
+func (c Or) Eval(h event.HistorySet) (bool, error) { return c.EvalView(h) }
+
+// EvalView implements ViewCondition. Operands that are themselves
+// ViewConditions evaluate directly against the view; others fall back to a
+// materialized per-operand HistorySet.
+func (c Or) EvalView(h event.HistoryView) (bool, error) {
+	if err := validateView(c.CondName, h, c.Vars(), c.Degree); err != nil {
 		return false, err
 	}
-	a, err := c.A.Eval(h)
+	a, err := evalOperand(c.A, h)
 	if err != nil {
 		return false, fmt.Errorf("cond: %s: left operand: %w", c.CondName, err)
 	}
 	if a {
 		return true, nil
 	}
-	b, err := c.B.Eval(h)
+	b, err := evalOperand(c.B, h)
 	if err != nil {
 		return false, fmt.Errorf("cond: %s: right operand: %w", c.CondName, err)
 	}
 	return b, nil
+}
+
+// evalOperand evaluates a wrapped condition against a view, materializing a
+// history set only for conditions lacking a view evaluator (e.g. Func).
+// Materialized histories alias the view's storage; the Condition contract
+// (no retention, no mutation) makes that safe.
+func evalOperand(op Condition, h event.HistoryView) (bool, error) {
+	if vc, ok := op.(ViewCondition); ok {
+		return vc.EvalView(h)
+	}
+	vars := op.Vars()
+	hs := make(event.HistorySet, len(vars))
+	for _, v := range vars {
+		if hv, ok := h.HistoryOf(v); ok {
+			hs[v] = hv
+		}
+	}
+	return op.Eval(hs)
 }
 
 // Func is an escape hatch for tests and experiments: a condition defined by
@@ -445,12 +516,32 @@ func (c Conservativize) Conservative() bool { return true }
 
 // Eval implements Condition: false whenever any inspected window has a gap,
 // otherwise the inner condition.
-func (c Conservativize) Eval(h event.HistorySet) (bool, error) {
-	if err := Validate(c, h); err != nil {
+func (c Conservativize) Eval(h event.HistorySet) (bool, error) { return c.EvalView(h) }
+
+// EvalView implements ViewCondition.
+func (c Conservativize) EvalView(h event.HistoryView) (bool, error) {
+	if err := validateView(c.Name(), h, c.Vars(), c.Degree); err != nil {
 		return false, err
 	}
-	if !windowsConsecutive(c, h) {
-		return false, nil
+	for _, v := range c.Vars() {
+		if c.Degree(v) > 1 {
+			if hv, ok := h.HistoryOf(v); !ok || !hv.Consecutive() {
+				return false, nil
+			}
+		}
 	}
-	return c.Inner.Eval(h)
+	return evalOperand(c.Inner, h)
 }
+
+// Every built-in except Func (whose Fn signature requires a HistorySet)
+// supports snapshot-free evaluation.
+var (
+	_ ViewCondition = Threshold{}
+	_ ViewCondition = Rise{}
+	_ ViewCondition = Drop{}
+	_ ViewCondition = AbsDiff{}
+	_ ViewCondition = GreaterThan{}
+	_ ViewCondition = PairSet{}
+	_ ViewCondition = Or{}
+	_ ViewCondition = Conservativize{}
+)

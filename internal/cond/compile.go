@@ -16,7 +16,9 @@ type Expr struct {
 	root    expr
 	degrees map[event.VarName]int
 	vars    []event.VarName
+	degs    []int // degrees aligned with vars (slot order)
 	cons    bool
+	code    evalFn // compiled program (see program.go)
 }
 
 var _ Condition = (*Expr)(nil)
@@ -49,6 +51,16 @@ func Parse(name, src string) (*Expr, error) {
 	}
 	c.vars = sortedVars(c.vars)
 	c.cons = analyzeConservative(root, c.degrees)
+
+	// Lower the AST into the compiled closure program (program.go): slot
+	// indices follow the sorted variable order, degrees are final here.
+	slot := make(map[event.VarName]int, len(c.vars))
+	c.degs = make([]int, len(c.vars))
+	for i, v := range c.vars {
+		slot[v] = i
+		c.degs[i] = c.degrees[v]
+	}
+	c.code = compileExpr(root, slot, c.degrees).eval()
 	return c, nil
 }
 
@@ -81,7 +93,9 @@ func (c *Expr) Degree(v event.VarName) int { return c.degrees[v] }
 // Conservative implements Condition.
 func (c *Expr) Conservative() bool { return c.cons }
 
-// Eval implements Condition.
+// Eval implements Condition by walking the tree. It is retained as the
+// differential-testing oracle for the compiled program (see program.go);
+// hot paths should Bind the expression and use Program.Eval instead.
 func (c *Expr) Eval(h event.HistorySet) (bool, error) {
 	if err := Validate(c, h); err != nil {
 		return false, err

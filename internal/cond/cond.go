@@ -78,11 +78,36 @@ func Validate(c Condition, h event.HistorySet) error {
 	for _, v := range c.Vars() {
 		hv, ok := h[v]
 		if !ok {
-			return fmt.Errorf("cond: %s: history set missing variable %q", c.Name(), v)
+			return errMissingVar(c.Name(), v)
 		}
 		if hv.Degree() < c.Degree(v) {
-			return fmt.Errorf("cond: %s: history for %q has %d updates, need %d",
-				c.Name(), v, hv.Degree(), c.Degree(v))
+			return errShortHistory(c.Name(), v, hv.Degree(), c.Degree(v))
+		}
+	}
+	return nil
+}
+
+// errMissingVar and errShortHistory are the canonical insufficient-history
+// errors, shared by Validate, the compiled Program, and the built-ins' view
+// evaluators so every evaluation path reports identically.
+func errMissingVar(name string, v event.VarName) error {
+	return fmt.Errorf("cond: %s: history set missing variable %q", name, v)
+}
+
+func errShortHistory(name string, v event.VarName, have, need int) error {
+	return fmt.Errorf("cond: %s: history for %q has %d updates, need %d", name, v, have, need)
+}
+
+// validateView is Validate against a read-only view, checking vs's aligned
+// degrees without copying the variable slice.
+func validateView(name string, h event.HistoryView, vars []event.VarName, degree func(event.VarName) int) error {
+	for _, v := range vars {
+		hv, ok := h.HistoryOf(v)
+		if !ok {
+			return errMissingVar(name, v)
+		}
+		if len(hv.Recent) < degree(v) {
+			return errShortHistory(name, v, len(hv.Recent), degree(v))
 		}
 	}
 	return nil
@@ -140,14 +165,3 @@ func sortedVars(vs []event.VarName) []event.VarName {
 	return vs
 }
 
-// windowsConsecutive reports whether, for every variable in vars with
-// degree > 1, the history window is consecutive. It is the shared guard of
-// all conservative built-ins.
-func windowsConsecutive(c Condition, h event.HistorySet) bool {
-	for _, v := range c.Vars() {
-		if c.Degree(v) > 1 && !h[v].Consecutive() {
-			return false
-		}
-	}
-	return true
-}

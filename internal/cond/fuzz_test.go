@@ -45,11 +45,35 @@ func FuzzParse(f *testing.F) {
 			}
 			h[v] = hist
 		}
-		if _, err := c.Eval(h); err != nil {
+		fired, err := c.Eval(h)
+		if err != nil {
 			if _, ok := err.(*SyntaxError); ok {
 				t.Fatalf("syntax error surfaced at eval time: %v", err)
 			}
 			// Runtime errors (division by zero) are allowed.
+		}
+		// The compiled program is a differential oracle pair with the
+		// tree-walking interpreter: both must agree on (fired, error).
+		cfired, cerr := c.Bind().Eval(h)
+		if cfired != fired || (cerr == nil) != (err == nil) {
+			t.Fatalf("compiled/interpreted divergence on %q:\n  interpreted (%v, %v)\n  compiled    (%v, %v)",
+				src, fired, err, cfired, cerr)
+		}
+		// Gapped seqnos exercise consecutive() and the degree-based
+		// validation differently; the evaluators must still agree.
+		gapped := make(event.HistorySet, len(h))
+		for v, hist := range h {
+			g := event.History{Var: v, Recent: make([]event.Update, len(hist.Recent))}
+			for i, u := range hist.Recent {
+				g.Recent[i] = event.U(v, u.SeqNo*2, u.Value)
+			}
+			gapped[v] = g
+		}
+		gfired, gerr := c.Eval(gapped)
+		cgfired, cgerr := c.Bind().Eval(gapped)
+		if cgfired != gfired || (cgerr == nil) != (gerr == nil) {
+			t.Fatalf("compiled/interpreted divergence on %q (gapped seqnos):\n  interpreted (%v, %v)\n  compiled    (%v, %v)",
+				src, gfired, gerr, cgfired, cgerr)
 		}
 		// Metadata must be coherent.
 		for _, v := range c.Vars() {

@@ -1,0 +1,435 @@
+package cond
+
+// Compiled evaluation: Parse lowers the typed AST once into a flat closure
+// program so the per-update hot path never walks the tree, never allocates,
+// and never re-derives metadata. The lowering
+//
+//   - resolves every variable reference to a fixed history slot, so
+//     evaluation indexes a slice instead of hashing a map per reference;
+//   - folds constant subexpressions (arithmetic, comparisons, abs/min/max,
+//     and short-circuit operands) at compile time;
+//   - specializes call nodes to their fixed arity, removing the per-call
+//     argument slice the interpreter allocates;
+//   - moves Validate to bind/eval setup: a single degree check per variable
+//     replaces the interpreter's per-Eval Vars() copy and map walks.
+//
+// The tree-walking interpreter in compile.go is retained verbatim as the
+// differential-testing oracle (Expr.Eval); fuzz and property tests assert
+// the two agree on (fired, error) for every expression.
+
+import (
+	"fmt"
+	"math"
+
+	"condmon/internal/event"
+)
+
+// ViewCondition is a Condition that can additionally evaluate against a
+// read-only event.HistoryView without requiring an immutable HistorySet.
+// The CE uses it to evaluate directly over its live windows and only
+// materialize a snapshot when the condition actually fires.
+type ViewCondition interface {
+	Condition
+	// EvalView is Eval over a read-only view. Implementations must not
+	// retain the view or any History obtained from it.
+	EvalView(h event.HistoryView) (bool, error)
+}
+
+// Binder is a Condition that can lower itself into a bound Program: a
+// reusable, allocation-free evaluator owned by a single goroutine.
+type Binder interface {
+	Condition
+	Bind() *Program
+}
+
+// env is the mutable evaluation state threaded through compiled closures.
+// Slots are indexed by the condition's sorted variable order. Errors are
+// sticky: the first failing node records err and every enclosing node
+// unwinds with a zero value.
+type env struct {
+	name  string
+	slots []event.History
+	err   error
+}
+
+// evalFn is one compiled node: booleans are 1 and 0, as in the interpreter.
+type evalFn func(*env) float64
+
+// Program is a compiled condition bound to a private environment. Eval is
+// allocation-free on the non-error path. A Program is NOT safe for
+// concurrent use — each CE replica binds its own (Bind is cheap).
+type Program struct {
+	name string
+	vars []event.VarName
+	degs []int
+	code evalFn
+	env  env
+}
+
+// Bind implements Binder: it attaches a fresh environment to the Expr's
+// compiled code. The program shares the immutable code with its Expr, so
+// binding per replica costs two small allocations, once.
+func (c *Expr) Bind() *Program {
+	p := &Program{name: c.name, vars: c.vars, degs: c.degs, code: c.code}
+	p.env.name = c.name
+	p.env.slots = make([]event.History, len(c.vars))
+	return p
+}
+
+var _ Binder = (*Expr)(nil)
+var _ ViewCondition = (*Expr)(nil)
+
+// EvalView implements ViewCondition. It binds a throwaway program per call;
+// long-lived evaluators should Bind once and reuse the Program.
+func (c *Expr) EvalView(h event.HistoryView) (bool, error) {
+	return c.Bind().Eval(h)
+}
+
+// Eval runs the compiled program against a history view. The per-variable
+// degree check subsumes Validate; it is the only per-call overhead beyond
+// the compiled expression itself.
+func (p *Program) Eval(h event.HistoryView) (bool, error) {
+	for i, v := range p.vars {
+		hv, ok := h.HistoryOf(v)
+		if !ok {
+			return false, errMissingVar(p.name, v)
+		}
+		if len(hv.Recent) < p.degs[i] {
+			return false, errShortHistory(p.name, v, len(hv.Recent), p.degs[i])
+		}
+		p.env.slots[i] = hv
+	}
+	p.env.err = nil
+	got := p.code(&p.env)
+	if p.env.err != nil {
+		return false, p.env.err
+	}
+	return got != 0, nil
+}
+
+// compiled is a lowering result: either a foldable constant or a closure.
+type compiled struct {
+	fn  evalFn
+	lit bool
+	val float64
+}
+
+func constC(v float64) compiled { return compiled{lit: true, val: v} }
+
+// eval materializes the node as a closure (constants become trivial loads).
+func (c compiled) eval() evalFn {
+	if c.lit {
+		v := c.val
+		return func(*env) float64 { return v }
+	}
+	return c.fn
+}
+
+// compileExpr lowers the AST into a closure program. slot maps each
+// variable to its index in the Expr's sorted vars; degrees is the final
+// per-variable degree map (lowering runs after collectDegrees).
+func compileExpr(e expr, slot map[event.VarName]int, degrees map[event.VarName]int) compiled {
+	switch n := e.(type) {
+	case numLit:
+		return constC(n.val)
+	case varRef:
+		idx, pos := slot[n.varName], -n.offset
+		v := n.varName
+		return compiled{fn: func(e *env) float64 {
+			recent := e.slots[idx].Recent
+			if pos >= len(recent) {
+				e.err = fmt.Errorf("cond: %s: history for %q does not reach offset %d", e.name, v, -pos)
+				return 0
+			}
+			return recent[pos].Value
+		}}
+	case seqnoRef:
+		idx, pos := slot[n.varName], -n.offset
+		v := n.varName
+		return compiled{fn: func(e *env) float64 {
+			recent := e.slots[idx].Recent
+			if pos >= len(recent) {
+				e.err = fmt.Errorf("cond: %s: history for %q does not reach offset %d", e.name, v, -pos)
+				return 0
+			}
+			return float64(recent[pos].SeqNo)
+		}}
+	case consecutiveRef:
+		idx, d := slot[n.varName], degrees[n.varName]
+		return compiled{fn: func(e *env) float64 {
+			win := e.slots[idx].Recent
+			if len(win) > d {
+				win = win[:d]
+			}
+			for i := 0; i+1 < len(win); i++ {
+				if win[i].SeqNo != win[i+1].SeqNo+1 {
+					return 0
+				}
+			}
+			return 1
+		}}
+	case call:
+		return compileCall(n, slot, degrees)
+	case binary:
+		return compileBinary(n, slot, degrees)
+	case unary:
+		x := compileExpr(n.x, slot, degrees)
+		if n.op == tokMinus {
+			if x.lit {
+				return constC(-x.val)
+			}
+			xf := x.fn
+			return compiled{fn: func(e *env) float64 { return -xf(e) }}
+		}
+		if x.lit {
+			return constC(boolToNum(x.val == 0))
+		}
+		xf := x.fn
+		return compiled{fn: func(e *env) float64 { return boolToNum(xf(e) == 0) }}
+	default:
+		// Unreachable for parser-produced trees; mirror the interpreter's
+		// defensive error.
+		return compiled{fn: func(e *env) float64 {
+			e.err = fmt.Errorf("cond: %s: unknown expression node %T", e.name, e)
+			return 0
+		}}
+	}
+}
+
+// compileCall specializes abs/min/max to their fixed arity — no argument
+// slice — and folds constant arguments.
+func compileCall(n call, slot map[event.VarName]int, degrees map[event.VarName]int) compiled {
+	switch n.fn {
+	case "abs":
+		x := compileExpr(n.args[0], slot, degrees)
+		if x.lit {
+			return constC(math.Abs(x.val))
+		}
+		xf := x.fn
+		return compiled{fn: func(e *env) float64 { return math.Abs(xf(e)) }}
+	case "min", "max":
+		a := compileExpr(n.args[0], slot, degrees)
+		b := compileExpr(n.args[1], slot, degrees)
+		pick := math.Min
+		if n.fn == "max" {
+			pick = math.Max
+		}
+		if a.lit && b.lit {
+			return constC(pick(a.val, b.val))
+		}
+		af, bf := a.eval(), b.eval()
+		return compiled{fn: func(e *env) float64 {
+			x := af(e)
+			if e.err != nil {
+				return 0
+			}
+			return pick(x, bf(e))
+		}}
+	default:
+		name := n.fn
+		return compiled{fn: func(e *env) float64 {
+			e.err = fmt.Errorf("cond: %s: unknown function %q", e.name, name)
+			return 0
+		}}
+	}
+}
+
+// compileBinary lowers one binary node, folding constant operands and
+// preserving the interpreter's short-circuit and error-ordering semantics
+// exactly (left operand first; a constant-false && never evaluates its
+// right side, matching the interpreter's short circuit).
+func compileBinary(n binary, slot map[event.VarName]int, degrees map[event.VarName]int) compiled {
+	l := compileExpr(n.l, slot, degrees)
+
+	// Short-circuit operators fold on their left operand only: the
+	// interpreter never evaluates the right side when the left decides.
+	switch n.op {
+	case tokAnd:
+		if l.lit {
+			if l.val == 0 {
+				return constC(0)
+			}
+			r := compileExpr(n.r, slot, degrees)
+			if r.lit {
+				return constC(boolToNum(r.val != 0))
+			}
+			return r
+		}
+		lf := l.fn
+		rf := compileExpr(n.r, slot, degrees).eval()
+		return compiled{fn: func(e *env) float64 {
+			v := lf(e)
+			if e.err != nil || v == 0 {
+				return 0
+			}
+			return rf(e)
+		}}
+	case tokOr:
+		if l.lit {
+			if l.val != 0 {
+				return constC(1)
+			}
+			r := compileExpr(n.r, slot, degrees)
+			if r.lit {
+				return constC(boolToNum(r.val != 0))
+			}
+			return r
+		}
+		lf := l.fn
+		rf := compileExpr(n.r, slot, degrees).eval()
+		return compiled{fn: func(e *env) float64 {
+			v := lf(e)
+			if e.err != nil {
+				return 0
+			}
+			if v != 0 {
+				return 1
+			}
+			return rf(e)
+		}}
+	}
+
+	r := compileExpr(n.r, slot, degrees)
+
+	// Division folds only when the divisor is a non-zero constant; a
+	// constant zero divisor must stay a runtime error to match the
+	// interpreter (Parse still succeeds, Eval errors).
+	if n.op == tokSlash {
+		if r.lit && r.val != 0 {
+			if l.lit {
+				return constC(l.val / r.val)
+			}
+			lf, rv := l.fn, r.val
+			return compiled{fn: func(e *env) float64 { return lf(e) / rv }}
+		}
+		lf, rf := l.eval(), r.eval()
+		return compiled{fn: func(e *env) float64 {
+			lv := lf(e)
+			if e.err != nil {
+				return 0
+			}
+			rv := rf(e)
+			if e.err != nil {
+				return 0
+			}
+			if rv == 0 {
+				e.err = fmt.Errorf("cond: %s: division by zero", e.name)
+				return 0
+			}
+			return lv / rv
+		}}
+	}
+
+	if l.lit && r.lit {
+		if v, ok := foldArith(n.op, l.val, r.val); ok {
+			return constC(v)
+		}
+	}
+	lf, rf := l.eval(), r.eval()
+	switch n.op {
+	case tokPlus:
+		return compiled{fn: func(e *env) float64 {
+			v := lf(e)
+			if e.err != nil {
+				return 0
+			}
+			return v + rf(e)
+		}}
+	case tokMinus:
+		return compiled{fn: func(e *env) float64 {
+			v := lf(e)
+			if e.err != nil {
+				return 0
+			}
+			return v - rf(e)
+		}}
+	case tokStar:
+		return compiled{fn: func(e *env) float64 {
+			v := lf(e)
+			if e.err != nil {
+				return 0
+			}
+			return v * rf(e)
+		}}
+	case tokLT:
+		return compiled{fn: func(e *env) float64 {
+			v := lf(e)
+			if e.err != nil {
+				return 0
+			}
+			return boolToNum(v < rf(e))
+		}}
+	case tokGT:
+		return compiled{fn: func(e *env) float64 {
+			v := lf(e)
+			if e.err != nil {
+				return 0
+			}
+			return boolToNum(v > rf(e))
+		}}
+	case tokLE:
+		return compiled{fn: func(e *env) float64 {
+			v := lf(e)
+			if e.err != nil {
+				return 0
+			}
+			return boolToNum(v <= rf(e))
+		}}
+	case tokGE:
+		return compiled{fn: func(e *env) float64 {
+			v := lf(e)
+			if e.err != nil {
+				return 0
+			}
+			return boolToNum(v >= rf(e))
+		}}
+	case tokEQ:
+		return compiled{fn: func(e *env) float64 {
+			v := lf(e)
+			if e.err != nil {
+				return 0
+			}
+			return boolToNum(v == rf(e))
+		}}
+	case tokNE:
+		return compiled{fn: func(e *env) float64 {
+			v := lf(e)
+			if e.err != nil {
+				return 0
+			}
+			return boolToNum(v != rf(e))
+		}}
+	default:
+		op := n.op
+		return compiled{fn: func(e *env) float64 {
+			e.err = fmt.Errorf("cond: %s: unknown binary operator %v", e.name, op)
+			return 0
+		}}
+	}
+}
+
+// foldArith evaluates a constant binary node at compile time. Division is
+// handled separately (zero divisors stay runtime errors).
+func foldArith(op tokenKind, l, r float64) (float64, bool) {
+	switch op {
+	case tokPlus:
+		return l + r, true
+	case tokMinus:
+		return l - r, true
+	case tokStar:
+		return l * r, true
+	case tokLT:
+		return boolToNum(l < r), true
+	case tokGT:
+		return boolToNum(l > r), true
+	case tokLE:
+		return boolToNum(l <= r), true
+	case tokGE:
+		return boolToNum(l >= r), true
+	case tokEQ:
+		return boolToNum(l == r), true
+	case tokNE:
+		return boolToNum(l != r), true
+	}
+	return 0, false
+}

@@ -1,0 +1,251 @@
+package cond
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"condmon/internal/event"
+)
+
+// Differential tests: the compiled program (program.go) against the
+// tree-walking interpreter (compile.go), which is retained as the oracle.
+// The two must agree on (fired, error) for every expression and history.
+
+// hist builds a history with the given values, most recent first, with
+// consecutive seqnos descending from len(values).
+func hist(v event.VarName, values ...float64) event.History {
+	h := event.History{Var: v}
+	for i, val := range values {
+		h.Recent = append(h.Recent, event.U(v, int64(len(values)-i), val))
+	}
+	return h
+}
+
+// gappedHist is hist with a seqno gap between Recent[0] and Recent[1].
+func gappedHist(v event.VarName, values ...float64) event.History {
+	h := hist(v, values...)
+	if len(h.Recent) > 0 {
+		h.Recent[0].SeqNo += 5
+	}
+	return h
+}
+
+func TestCompiledMatchesInterpreter(t *testing.T) {
+	cases := []struct {
+		src string
+		h   event.HistorySet
+	}{
+		// Plain firing / non-firing.
+		{"x[0] > 3000", event.HistorySet{"x": hist("x", 3500)}},
+		{"x[0] > 3000", event.HistorySet{"x": hist("x", 100)}},
+		{"x[0] - x[-1] > 200", event.HistorySet{"x": hist("x", 400, 100)}},
+		{"x[0] - x[-1] > 200 && consecutive(x)", event.HistorySet{"x": hist("x", 400, 100)}},
+		{"x[0] - x[-1] > 200 && consecutive(x)", event.HistorySet{"x": gappedHist("x", 400, 100)}},
+		// Multi-variable, calls, unary.
+		{"abs(x[0] - y[0]) > 100", event.HistorySet{"x": hist("x", 50), "y": hist("y", 300)}},
+		{"min(x[0], y[0]) >= max(x[-1], 0)", event.HistorySet{"x": hist("x", 5, 3), "y": hist("y", 4)}},
+		{"!(x[0] == 0) || x[-1] < -2", event.HistorySet{"x": hist("x", 0, -7)}},
+		{"seqno(x, 0) == seqno(x, -1) + 1", event.HistorySet{"x": hist("x", 1, 2)}},
+		{"seqno(x, 0) == seqno(x, -1) + 1", event.HistorySet{"x": gappedHist("x", 1, 2)}},
+		// Constant subexpressions (exercise folding).
+		{"1 + 2 * 3 > 6 && x[0] > 0", event.HistorySet{"x": hist("x", 1)}},
+		{"1 > 2 && x[0] / 0 > 1", event.HistorySet{"x": hist("x", 1)}},
+		{"0 > 1 || x[0] > 2", event.HistorySet{"x": hist("x", 3)}},
+		{"-(3 - 5) == 2 && x[0] >= 0", event.HistorySet{"x": hist("x", 0)}},
+		{"x[0] / 4 > 1", event.HistorySet{"x": hist("x", 8)}},
+		// Runtime errors: both sides must error.
+		{"x[0] / x[-1] > 2", event.HistorySet{"x": hist("x", 8, 0)}},
+		{"x[0] / (x[0] - x[0]) > 2", event.HistorySet{"x": hist("x", 8)}},
+		// Validation errors: missing variable, short history.
+		{"x[0] > 0 && y[0] > 0", event.HistorySet{"x": hist("x", 1)}},
+		{"x[0] - x[-1] > 200", event.HistorySet{"x": hist("x", 400)}},
+	}
+	for _, tc := range cases {
+		c, err := Parse("diff", tc.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.src, err)
+		}
+		fired, ierr := c.Eval(tc.h)
+		p := c.Bind()
+		cfired, cerr := p.Eval(tc.h)
+		if cfired != fired || (cerr == nil) != (ierr == nil) {
+			t.Errorf("%q: interpreted (%v, %v), compiled (%v, %v)", tc.src, fired, ierr, cfired, cerr)
+		}
+		// A bound program is reusable: a second Eval on the same histories
+		// must not be affected by sticky state from the first.
+		cfired2, cerr2 := p.Eval(tc.h)
+		if cfired2 != cfired || (cerr2 == nil) != (cerr == nil) {
+			t.Errorf("%q: program not reusable: first (%v, %v), second (%v, %v)",
+				tc.src, cfired, cerr, cfired2, cerr2)
+		}
+	}
+}
+
+// TestConstantFolding is a white-box check that lowering actually folds:
+// constant subtrees must compile to literals, not closures.
+func TestConstantFolding(t *testing.T) {
+	folded := []struct {
+		src  string
+		want float64
+	}{
+		{"1 + 2 * 3 > 6", 1},
+		{"1 + 2 * 3 > 7", 0},
+		{"abs(3 - 5) == 2", 1},
+		{"min(2, 3) + max(2, 3) == 5", 1},
+		{"1 > 2 && 1 / 0 > 0", 0}, // short-circuit folds away the bad right side
+		{"2 > 1 || 1 / 0 > 0", 1},
+		{"-(3 - 5) == 2", 1},
+		{"!(1 > 2)", 1},
+		{"8 / 4 == 2", 1},
+	}
+	for _, tc := range folded {
+		root, err := parseExpr(tc.src)
+		if err != nil {
+			t.Fatalf("parseExpr(%q): %v", tc.src, err)
+		}
+		got := compileExpr(root, nil, nil)
+		if !got.lit {
+			t.Errorf("%q: compiled to a closure, want folded constant", tc.src)
+			continue
+		}
+		if got.val != tc.want {
+			t.Errorf("%q: folded to %v, want %v", tc.src, got.val, tc.want)
+		}
+	}
+
+	// Division by a constant zero must NOT fold: it stays a runtime error,
+	// exactly as the interpreter treats it.
+	root, err := parseExpr("1 / 0 > 0")
+	if err != nil {
+		t.Fatalf("parseExpr: %v", err)
+	}
+	if c := compileExpr(root, nil, nil); c.lit {
+		t.Error("1 / 0 > 0 folded to a constant; must stay a runtime error")
+	}
+	c := MustParse("dz", "x[0] > 0 && 1 / 0 > 0")
+	if _, err := c.Eval(event.HistorySet{"x": hist("x", 1)}); err == nil {
+		t.Error("interpreter: constant division by zero should error at eval time")
+	}
+	if _, err := c.Bind().Eval(event.HistorySet{"x": hist("x", 1)}); err == nil {
+		t.Error("compiled: constant division by zero should error at eval time")
+	}
+}
+
+// genNum emits a random numeric DSL expression over variables x and y with
+// history offsets in [-2, 0]. depth bounds recursion. The generator mirrors
+// the parser's type discipline: genNum produces numeric expressions, genBool
+// boolean ones.
+func genNum(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", rng.Intn(21)-10)
+		case 1:
+			return fmt.Sprintf("x[%d]", -rng.Intn(3))
+		case 2:
+			return fmt.Sprintf("y[%d]", -rng.Intn(2))
+		default:
+			return fmt.Sprintf("seqno(x, %d)", -rng.Intn(3))
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		ops := []string{"+", "-", "*", "/"}
+		return fmt.Sprintf("(%s %s %s)",
+			genNum(rng, depth-1), ops[rng.Intn(len(ops))], genNum(rng, depth-1))
+	case 1:
+		return fmt.Sprintf("abs(%s)", genNum(rng, depth-1))
+	case 2:
+		fn := "min"
+		if rng.Intn(2) == 0 {
+			fn = "max"
+		}
+		return fmt.Sprintf("%s(%s, %s)", fn, genNum(rng, depth-1), genNum(rng, depth-1))
+	default:
+		return "-" + genNum(rng, depth-1)
+	}
+}
+
+func genBool(rng *rand.Rand, depth int) string {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			ops := []string{"<", ">", "<=", ">=", "==", "!="}
+			return fmt.Sprintf("(%s %s %s)",
+				genNum(rng, depth), ops[rng.Intn(len(ops))], genNum(rng, depth))
+		case 1:
+			return "consecutive(x)"
+		case 2:
+			return "consecutive(y)"
+		default:
+			ops := []string{"==", "!="}
+			return fmt.Sprintf("(seqno(x, %d) %s seqno(x, %d) + 1)",
+				-rng.Intn(3), ops[rng.Intn(2)], -rng.Intn(3))
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("(%s && %s)", genBool(rng, depth-1), genBool(rng, depth-1))
+	case 1:
+		return fmt.Sprintf("(%s || %s)", genBool(rng, depth-1), genBool(rng, depth-1))
+	default:
+		return "!" + genBool(rng, depth-1)
+	}
+}
+
+// genHistory builds a random history for v: n updates, values in [-10, 10]
+// (small integers so constant comparisons hit equality sometimes), seqnos
+// descending with occasional gaps.
+func genHistory(rng *rand.Rand, v event.VarName, n int) event.History {
+	h := event.History{Var: v}
+	seq := int64(100)
+	for i := 0; i < n; i++ {
+		h.Recent = append(h.Recent, event.U(v, seq, float64(rng.Intn(21)-10)))
+		seq -= 1 + int64(rng.Intn(2)) // gap with probability 1/2
+	}
+	return h
+}
+
+// TestCompiledMatchesInterpreterRandom is the property test: on thousands of
+// seeded random (expression, history) pairs, compiled and interpreted
+// evaluation agree on (fired, error).
+func TestCompiledMatchesInterpreterRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		src := genBool(rng, 1+rng.Intn(4))
+		c, err := Parse("prop", src)
+		if err != nil {
+			// Expressions with no variable reference are rejected; skip.
+			if strings.Contains(err.Error(), "references no variables") {
+				continue
+			}
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		h := make(event.HistorySet, len(c.Vars()))
+		for _, v := range c.Vars() {
+			d := c.Degree(v)
+			// Sometimes under-fill or omit the variable to exercise the
+			// validation-error paths; usually satisfy the degree.
+			switch rng.Intn(10) {
+			case 0:
+				continue // missing variable
+			case 1:
+				if d > 1 {
+					h[v] = genHistory(rng, v, d-1) // short history
+					continue
+				}
+				fallthrough
+			default:
+				h[v] = genHistory(rng, v, d+rng.Intn(2))
+			}
+		}
+		fired, ierr := c.Eval(h)
+		cfired, cerr := c.Bind().Eval(h)
+		if cfired != fired || (cerr == nil) != (ierr == nil) {
+			t.Fatalf("divergence on %q (iteration %d):\n  histories   %v\n  interpreted (%v, %v)\n  compiled    (%v, %v)",
+				src, i, h, fired, ierr, cfired, cerr)
+		}
+	}
+}

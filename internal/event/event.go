@@ -8,6 +8,7 @@ package event
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"condmon/internal/seq"
@@ -110,9 +111,16 @@ func (h History) SeqNosAscending() seq.Seq {
 
 // Consecutive reports whether the window's sequence numbers are
 // consecutive. Conservative conditions evaluate to false whenever this
-// fails (Section 2).
+// fails (Section 2). The check runs directly over the window (Recent is
+// most-recent-first) so the evaluation hot path never materializes a
+// sequence.
 func (h History) Consecutive() bool {
-	return h.SeqNosAscending().IsConsecutive()
+	for i := 0; i+1 < len(h.Recent); i++ {
+		if h.Recent[i].SeqNo != h.Recent[i+1].SeqNo+1 {
+			return false
+		}
+	}
+	return true
 }
 
 // Clone deep-copies the history.
@@ -135,9 +143,27 @@ func (h History) String() string {
 	return "⟨" + strings.Join(parts, ",") + "⟩"
 }
 
+// HistoryView is read-only access to per-variable update histories: the
+// interface conditions evaluate against on the hot path. A live view (such
+// as a CE's window set) may return histories that alias mutable storage;
+// callers must not retain the returned History beyond the current
+// evaluation. The immutable HistorySet implements HistoryView, so every
+// view-based evaluator also works on materialized sets.
+type HistoryView interface {
+	// HistoryOf returns the history of v, or false when the view does not
+	// track v.
+	HistoryOf(v VarName) (History, bool)
+}
+
 // HistorySet is H: one update history per variable in the condition's
 // variable set V.
 type HistorySet map[VarName]History
+
+// HistoryOf implements HistoryView.
+func (hs HistorySet) HistoryOf(v VarName) (History, bool) {
+	h, ok := hs[v]
+	return h, ok
+}
 
 // Clone deep-copies the history set.
 func (hs HistorySet) Clone() HistorySet {
@@ -187,6 +213,20 @@ type Alert struct {
 	// Source identifies the emitting CE ("CE1", "CE2", …). It is metadata
 	// for diagnostics only and takes no part in alert identity.
 	Source string
+	// key caches the canonical identity (see Key). Alerts built through
+	// NewAlert carry it precomputed so the AD filters never re-serialize
+	// histories; zero-valued alerts compute it lazily on first use.
+	key string
+}
+
+// NewAlert builds an alert with its canonical Key precomputed. The CE emits
+// alerts through this constructor so that every downstream identity check
+// (AD-1's duplicate map, AD-3's seen set) is a plain string hash instead of
+// a history serialization.
+func NewAlert(cond string, histories HistorySet, source string) Alert {
+	a := Alert{Cond: cond, Histories: histories, Source: source}
+	a.key = a.computeKey()
+	return a
 }
 
 // SeqNo returns a.seqno.v = Hv[0].seqno, the sequence number of the last
@@ -214,18 +254,42 @@ func (a Alert) MustSeqNo(v VarName) int64 {
 // the sense of Algorithm AD-1 exactly when their keys are equal (given a
 // fixed DM stream, sequence numbers determine values). Keys are also what
 // Φ ranges over in the completeness and consistency definitions.
+//
+// Alerts constructed with NewAlert return a precomputed key; hand-built
+// alerts (tests, decoders) serialize on each call.
 func (a Alert) Key() string {
-	var b strings.Builder
-	b.WriteString(a.Cond)
-	for _, v := range a.Histories.Vars() {
-		fmt.Fprintf(&b, "|%s=%v", v, a.Histories[v].SeqNosAscending())
+	if a.key != "" {
+		return a.key
 	}
-	return b.String()
+	return a.computeKey()
 }
 
-// Clone deep-copies the alert.
+// computeKey serializes the canonical identity, e.g. "c2|x=⟨6,7⟩" (the
+// window's sequence numbers ascending, matching seq.Seq's rendering).
+func (a Alert) computeKey() string {
+	b := make([]byte, 0, 64)
+	b = append(b, a.Cond...)
+	for _, v := range a.Histories.Vars() {
+		b = append(b, '|')
+		b = append(b, v...)
+		b = append(b, '=')
+		b = append(b, "⟨"...)
+		recent := a.Histories[v].Recent
+		for i := len(recent) - 1; i >= 0; i-- {
+			b = strconv.AppendInt(b, recent[i].SeqNo, 10)
+			if i > 0 {
+				b = append(b, ',')
+			}
+		}
+		b = append(b, "⟩"...)
+	}
+	return string(b)
+}
+
+// Clone deep-copies the alert. The cached key carries over: identity is
+// derived from the histories, which the deep copy preserves.
 func (a Alert) Clone() Alert {
-	return Alert{Cond: a.Cond, Histories: a.Histories.Clone(), Source: a.Source}
+	return Alert{Cond: a.Cond, Histories: a.Histories.Clone(), Source: a.Source, key: a.key}
 }
 
 // String renders the alert as a(2x,1y) in the paper's style, listing the
@@ -320,19 +384,32 @@ func (w *Window) Var() VarName { return w.varName }
 // updates for the wrong variable and non-increasing sequence numbers (the
 // front links deliver in order, so a well-formed CE never sees them).
 func (w *Window) Push(u Update) error {
+	if w.TryPush(u) {
+		return nil
+	}
 	if u.Var != w.varName {
 		return fmt.Errorf("event: window for %q received update for %q", w.varName, u.Var)
 	}
+	return fmt.Errorf("event: window for %q received out-of-order seqno %d after %d",
+		w.varName, u.SeqNo, w.recent[0].SeqNo)
+}
+
+// TryPush is Push without the descriptive error: it reports whether the
+// update was incorporated. The CE's hot path uses it so that discarding an
+// out-of-order delivery stays allocation-free.
+func (w *Window) TryPush(u Update) bool {
+	if u.Var != w.varName {
+		return false
+	}
 	if len(w.recent) > 0 && u.SeqNo <= w.recent[0].SeqNo {
-		return fmt.Errorf("event: window for %q received out-of-order seqno %d after %d",
-			w.varName, u.SeqNo, w.recent[0].SeqNo)
+		return false
 	}
 	if len(w.recent) < w.degree {
 		w.recent = append(w.recent, Update{})
 	}
 	copy(w.recent[1:], w.recent)
 	w.recent[0] = u
-	return nil
+	return true
 }
 
 // Full reports whether the window holds `degree` updates. H is undefined —
@@ -348,6 +425,15 @@ func (w *Window) History() History {
 	h := History{Var: w.varName, Recent: make([]Update, len(w.recent))}
 	copy(h.Recent, w.recent)
 	return h
+}
+
+// Live returns a zero-copy view of the window as a History. The returned
+// History aliases the window's storage: it is valid only until the next
+// Push or Reset, and callers must not retain or mutate it. The CE's
+// snapshot-free evaluation path reads through Live; alerts still embed
+// immutable History snapshots.
+func (w *Window) Live() History {
+	return History{Var: w.varName, Recent: w.recent}
 }
 
 // Reset discards all state, as when a CE crashes and restarts without

@@ -98,19 +98,27 @@ func applyCtl(eval *ce.Evaluator, msg *ctlMsg) {
 // are serialized on one goroutine.
 func ceLoop(index int, eval *ce.Evaluator, in chan frame, back chan event.Alert) {
 	defer close(back)
-	for f := range in {
-		if f.ctl != nil {
-			if f.target == index {
-				applyCtl(eval, f.ctl)
-			}
-			continue
-		}
-		a, fired, err := eval.Feed(f.u)
+	feed := func(u event.Update) {
+		a, fired, err := eval.Feed(u)
 		if err != nil {
 			panic(fmt.Sprintf("runtime: %s: %v", eval.ID(), err))
 		}
 		if fired {
 			back <- a
+		}
+	}
+	for f := range in {
+		switch {
+		case f.ctl != nil:
+			if f.target == index {
+				applyCtl(eval, f.ctl)
+			}
+		case f.us != nil:
+			for _, u := range f.us {
+				feed(u)
+			}
+		default:
+			feed(f.u)
 		}
 	}
 }

@@ -82,10 +82,10 @@ func NewMulti(conds []cond.Condition, newFilter func(c cond.Condition) ad.Filter
 	// replica's order while the demux sees a nondeterministic merge).
 	for _, c := range conds {
 		for i := 0; i < opts.Replicas; i++ {
-			ceIn := make(chan event.Update)
+			ceIn := make(chan event.Update, frontBuffer)
 			var fanIn sync.WaitGroup
 			for _, v := range c.Vars() {
-				in := make(chan event.Update)
+				in := make(chan event.Update, frontBuffer)
 				subscribers[v] = append(subscribers[v], in)
 				model := link.Model(link.None{})
 				if opts.Loss != nil {
@@ -139,7 +139,7 @@ func NewMulti(conds []cond.Condition, newFilter func(c cond.Condition) ad.Filter
 
 	// DM broadcast pumps.
 	for v := range varSet {
-		in := make(chan frame)
+		in := make(chan frame, frontBuffer)
 		sys.dms[v] = &dataMonitor{in: in}
 		outs := subscribers[v]
 		sys.wg.Add(1)

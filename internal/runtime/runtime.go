@@ -35,6 +35,13 @@ import (
 // drop when it fills, preserving losslessness.
 const backlinkBuffer = 1024
 
+// frontBuffer sizes the per-variable DM broadcast and front-link channels.
+// Buffering decouples high-rate DMs from replica scheduling: an Emit
+// returns as soon as the update is enqueued instead of handing off
+// synchronously through three goroutines. Per-channel FIFO order — the
+// delivery semantics of Section 2.1 — is unaffected.
+const frontBuffer = 256
+
 // Options configure a System.
 type Options struct {
 	// Replicas is the number of CE replicas (default 2, the paper's
@@ -68,12 +75,17 @@ type System struct {
 	closed bool
 }
 
-// frame is the unit carried by the internal pipeline: either a data update
-// or an in-band control request. Control frames ride the same per-variable
-// channels as updates — and are immune to link loss — so a control request
-// is totally ordered after every update emitted before it.
+// frame is the unit carried by the internal pipeline: a single data
+// update, a batch of updates from EmitBatch, or an in-band control
+// request. Control frames ride the same per-variable channels as updates —
+// and are immune to link loss — so a control request is totally ordered
+// after every update emitted before it.
 type frame struct {
 	u event.Update
+	// us, when non-nil, is a batch of in-order updates for one variable:
+	// the whole batch crosses each channel as one hop. Batches are
+	// immutable once emitted (front links filter into fresh slices).
+	us []event.Update
 	// ctl, when non-nil, marks a control frame addressed to replica
 	// target.
 	ctl    *ctlMsg
@@ -119,13 +131,13 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 	taps := make([][]tap, opts.Replicas) // taps[i] = per-variable inputs of replica i
 
 	for _, v := range vars {
-		in := make(chan frame)
+		in := make(chan frame, frontBuffer)
 		sys.dms[v] = &dataMonitor{in: in}
 
 		// Fan out the DM's stream to one front link per replica.
 		outs := make([]chan frame, opts.Replicas)
 		for i := range outs {
-			outs[i] = make(chan frame)
+			outs[i] = make(chan frame, frontBuffer)
 			taps[i] = append(taps[i], tap{v: v, ch: outs[i]})
 		}
 		sys.wg.Add(1)
@@ -147,7 +159,7 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 	// One front link per (replica, variable), then a fan-in merger feeding
 	// each CE server, then the CE's back link into the AD.
 	for i := 0; i < opts.Replicas; i++ {
-		ceIn := make(chan frame)
+		ceIn := make(chan frame, frontBuffer)
 		var fanIn sync.WaitGroup
 		for _, t := range taps[i] {
 			model := link.Model(link.None{})
@@ -156,6 +168,7 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 					model = m
 				}
 			}
+			_, lossless := model.(link.None)
 			rng := rand.New(rand.NewSource(opts.Seed ^ int64(i+1)<<16 ^ int64(len(string(t.v)))<<8 ^ hashVar(t.v)))
 			fanIn.Add(1)
 			sys.wg.Add(1)
@@ -163,9 +176,30 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 				defer sys.wg.Done()
 				defer fanIn.Done()
 				for f := range in {
-					// Control frames are never lost: they model operator
-					// actions, not sensor datagrams.
-					if f.ctl != nil || m.Deliver(f.u, rng) {
+					switch {
+					case f.ctl != nil:
+						// Control frames are never lost: they model
+						// operator actions, not sensor datagrams.
+						ceIn <- f
+					case f.us != nil:
+						// Batches stay batched across the link: a lossless
+						// link forwards the shared slice untouched, a lossy
+						// one filters into a fresh slice (the original is
+						// shared with the other replicas' links).
+						if lossless {
+							ceIn <- f
+							break
+						}
+						var kept []event.Update
+						for _, u := range f.us {
+							if m.Deliver(u, rng) {
+								kept = append(kept, u)
+							}
+						}
+						if len(kept) > 0 {
+							ceIn <- frame{us: kept}
+						}
+					case m.Deliver(f.u, rng):
 						ceIn <- f
 					}
 				}
@@ -222,6 +256,35 @@ func (s *System) Emit(v event.VarName, value float64) (int64, error) {
 	}
 	dm.seq++
 	dm.in <- frame{u: event.U(v, dm.seq, value)}
+	return dm.seq, nil
+}
+
+// EmitBatch publishes a run of readings of variable v as one batch: the DM
+// assigns consecutive sequence numbers and the whole batch crosses every
+// pipeline channel as a single frame, amortizing the per-update channel
+// hops for high-rate monitors. Semantically it is identical to calling
+// Emit once per value with no interleaved emitters. It returns the
+// sequence number assigned to the last reading (zero-length batches return
+// the current sequence counter).
+func (s *System) EmitBatch(v event.VarName, values []float64) (int64, error) {
+	dm, ok := s.dms[v]
+	if !ok {
+		return 0, fmt.Errorf("runtime: no data monitor for variable %q", v)
+	}
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	if dm.closed {
+		return 0, fmt.Errorf("runtime: EmitBatch on closed system")
+	}
+	if len(values) == 0 {
+		return dm.seq, nil
+	}
+	us := make([]event.Update, len(values))
+	for i, value := range values {
+		dm.seq++
+		us[i] = event.U(v, dm.seq, value)
+	}
+	dm.in <- frame{us: us}
 	return dm.seq, nil
 }
 

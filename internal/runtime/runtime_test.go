@@ -283,3 +283,112 @@ func TestDisplayerSnapshotUnsupportedFilter(t *testing.T) {
 		t.Error("restore into a non-snapshottable filter should fail")
 	}
 }
+
+func TestEmitBatchMatchesSingleEmits(t *testing.T) {
+	// A batch frame must be observationally identical to the same readings
+	// emitted one at a time: same seqnos, same displayed alerts.
+	run := func(batch bool) ([]event.Alert, int64) {
+		sys, err := New(cond.NewOverheat("x"), ad.NewAD1(), Options{Replicas: 2})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		values := []float64{2900, 3100, 3200, 2800, 3050}
+		var last int64
+		if batch {
+			if last, err = sys.EmitBatch("x", values); err != nil {
+				t.Fatalf("EmitBatch: %v", err)
+			}
+		} else {
+			for _, v := range values {
+				if last, err = sys.Emit("x", v); err != nil {
+					t.Fatalf("Emit: %v", err)
+				}
+			}
+		}
+		return sys.Close(), last
+	}
+	single, sLast := run(false)
+	batched, bLast := run(true)
+	if sLast != bLast {
+		t.Errorf("last seqno: single %d, batched %d", sLast, bLast)
+	}
+	sk, bk := event.AlertKeys(single), event.AlertKeys(batched)
+	if len(sk) != len(bk) {
+		t.Fatalf("single displayed %d alerts %v, batched %d %v", len(sk), sk, len(bk), bk)
+	}
+	for i := range sk {
+		if sk[i] != bk[i] {
+			t.Errorf("alert %d: single %q, batched %q", i, sk[i], bk[i])
+		}
+	}
+}
+
+func TestEmitBatchLossDeterminism(t *testing.T) {
+	// Lossy links draw from the same seeded stream whether updates arrive
+	// singly or batched, so the two runs see identical loss schedules and
+	// must display identical alerts.
+	run := func(batch bool) []string {
+		sys, err := New(cond.NewRiseAggressive("x"), ad.NewAD4("x"), Options{
+			Replicas: 2,
+			Seed:     42,
+			Loss: func(replica int, v event.VarName) link.Model {
+				return link.Bernoulli{P: 0.4}
+			},
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		values := make([]float64, 40)
+		val := 100.0
+		for i := range values {
+			val += float64((i%3)*260 - 200)
+			values[i] = val
+		}
+		if batch {
+			if _, err := sys.EmitBatch("x", values); err != nil {
+				t.Fatalf("EmitBatch: %v", err)
+			}
+		} else {
+			for _, v := range values {
+				if _, err := sys.Emit("x", v); err != nil {
+					t.Fatalf("Emit: %v", err)
+				}
+			}
+		}
+		return event.AlertKeys(sys.Close())
+	}
+	single := run(false)
+	batched := run(true)
+	if len(single) != len(batched) {
+		t.Fatalf("single displayed %d alerts %v, batched %d %v",
+			len(single), single, len(batched), batched)
+	}
+	for i := range single {
+		if single[i] != batched[i] {
+			t.Errorf("alert %d: single %q, batched %q", i, single[i], batched[i])
+		}
+	}
+}
+
+func TestEmitBatchEmpty(t *testing.T) {
+	sys, err := New(cond.NewOverheat("x"), ad.NewAD1(), Options{Replicas: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := sys.Emit("x", 3100); err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	n, err := sys.EmitBatch("x", nil)
+	if err != nil {
+		t.Fatalf("EmitBatch(nil): %v", err)
+	}
+	if n != 1 {
+		t.Errorf("empty batch returned seqno %d, want current seqno 1", n)
+	}
+	if _, err := sys.EmitBatch("z", []float64{1}); err == nil {
+		t.Error("EmitBatch on unknown variable should fail")
+	}
+	if got := len(sys.Close()); got != 1 {
+		t.Errorf("displayed %d alerts, want 1", got)
+	}
+}
