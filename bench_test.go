@@ -11,6 +11,7 @@ package condmon
 // benchmark. Reported metric: rows_matched (out of 4 scenario rows).
 
 import (
+	"fmt"
 	"testing"
 
 	"condmon/internal/ad"
@@ -388,4 +389,60 @@ func BenchmarkMaximality(b *testing.B) {
 			b.Fatalf("maximality violated:\n%s", res.Format())
 		}
 	}
+}
+
+// BenchmarkMultiSystemThroughput drives a scaled-down version of the
+// BENCH_PR2 scenario — threshold conditions sharded onto the worker pool,
+// two replicas each, updates arriving via EmitBatch — through a complete
+// build/emit/Close cycle per iteration. The reported updates/sec tracks
+// the batched pipeline end to end; CI runs it as a smoke test.
+func BenchmarkMultiSystemThroughput(b *testing.B) {
+	const (
+		nConds = 100
+		nVars  = 4
+		total  = 2000
+		batch  = 128
+	)
+	vars := make([]event.VarName, nVars)
+	for i := range vars {
+		vars[i] = event.VarName(fmt.Sprintf("x%d", i))
+	}
+	conds := make([]cond.Condition, nConds)
+	for i := range conds {
+		conds[i] = cond.Threshold{
+			CondName: fmt.Sprintf("c%03d", i),
+			Var:      vars[i%nVars],
+			Limit:    990,
+			Above:    true,
+		}
+	}
+	perVar := total / nVars
+	values := make([]float64, perVar)
+	for i := range values {
+		values[i] = float64(i % 1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := runtime.NewMulti(conds, func(c cond.Condition) ad.Filter {
+			return ad.NewAD1()
+		}, runtime.MultiOptions{Replicas: 2, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range vars {
+			for k := 0; k < len(values); k += batch {
+				j := k + batch
+				if j > len(values) {
+					j = len(values)
+				}
+				if _, err := sys.EmitBatch(v, values[k:j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if _, err := sys.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*total)/b.Elapsed().Seconds(), "updates/sec")
 }

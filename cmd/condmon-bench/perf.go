@@ -16,12 +16,14 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"condmon/internal/ad"
 	"condmon/internal/ce"
 	"condmon/internal/cond"
 	"condmon/internal/event"
 	"condmon/internal/link"
+	crt "condmon/internal/runtime"
 	"condmon/internal/sim"
 	"condmon/internal/workload"
 )
@@ -34,10 +36,24 @@ type perfResult struct {
 }
 
 type perfReport struct {
-	Go         string                `json:"go"`
-	GOOS       string                `json:"goos"`
-	GOARCH     string                `json:"goarch"`
-	Benchmarks map[string]perfResult `json:"benchmarks"`
+	Go          string                      `json:"go"`
+	GOOS        string                      `json:"goos"`
+	GOARCH      string                      `json:"goarch"`
+	Benchmarks  map[string]perfResult       `json:"benchmarks"`
+	MultiSystem map[string]throughputResult `json:"multi_system"`
+}
+
+// throughputResult is one MultiSystemThroughput run: a thousand-condition
+// two-replica deployment driven to completion, per-update or batched.
+type throughputResult struct {
+	Conditions    int     `json:"conditions"`
+	Replicas      int     `json:"replicas"`
+	Workers       int     `json:"workers"`
+	Goroutines    int     `json:"goroutines"`
+	BatchSize     int     `json:"batch_size"`
+	Updates       int     `json:"updates"`
+	Displayed     int     `json:"displayed"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
 }
 
 func measure(f func(b *testing.B)) perfResult {
@@ -84,6 +100,78 @@ func filterStream() ([]event.Alert, error) {
 	return merged, nil
 }
 
+// multiThroughput builds the MultiSystemThroughput scenario — 1000
+// threshold conditions over 8 variables, 2 CE replicas each — and drives
+// total updates through it, singly (batchSize ≤ 1) or via EmitBatch. The
+// reported rate includes Close, so every update is fully evaluated and
+// filtered before the clock stops. Goroutines is sampled while the system
+// is live: with the sharded worker pool it stays O(workers) rather than
+// the O(conditions × replicas × variables) of a goroutine-per-link wiring.
+func multiThroughput(batchSize, conditions, total int) (throughputResult, error) {
+	const nVars = 8
+	vars := make([]event.VarName, nVars)
+	for i := range vars {
+		vars[i] = event.VarName(fmt.Sprintf("x%d", i))
+	}
+	conds := make([]cond.Condition, conditions)
+	for i := range conds {
+		conds[i] = cond.Threshold{
+			CondName: fmt.Sprintf("c%04d", i),
+			Var:      vars[i%nVars],
+			Limit:    990,
+			Above:    true,
+		}
+	}
+	sys, err := crt.NewMulti(conds, func(c cond.Condition) ad.Filter {
+		return ad.NewAD1()
+	}, crt.MultiOptions{Replicas: 2, Seed: 1})
+	if err != nil {
+		return throughputResult{}, err
+	}
+	res := throughputResult{
+		Conditions: conditions,
+		Replicas:   2,
+		Workers:    sys.Workers(),
+		Goroutines: runtime.NumGoroutine(),
+		BatchSize:  batchSize,
+		Updates:    total,
+	}
+	perVar := total / nVars
+	start := time.Now()
+	if batchSize <= 1 {
+		for i := 0; i < perVar; i++ {
+			for _, v := range vars {
+				if _, err := sys.Emit(v, float64(i%1000)); err != nil {
+					return res, err
+				}
+			}
+		}
+	} else {
+		values := make([]float64, perVar)
+		for i := range values {
+			values[i] = float64(i % 1000)
+		}
+		for _, v := range vars {
+			for i := 0; i < len(values); i += batchSize {
+				j := i + batchSize
+				if j > len(values) {
+					j = len(values)
+				}
+				if _, err := sys.EmitBatch(v, values[i:j]); err != nil {
+					return res, err
+				}
+			}
+		}
+	}
+	displayed, err := sys.Close()
+	if err != nil {
+		return res, err
+	}
+	res.UpdatesPerSec = float64(perVar*nVars) / time.Since(start).Seconds()
+	res.Displayed = len(displayed)
+	return res, nil
+}
+
 func runPerf(out io.Writer) error {
 	merged, err := filterStream()
 	if err != nil {
@@ -115,6 +203,21 @@ func runPerf(out io.Writer) error {
 				ad.Run(mk(), merged)
 			}
 		})
+	}
+
+	report.MultiSystem = map[string]throughputResult{}
+	for _, m := range []struct {
+		key   string
+		batch int
+	}{
+		{"MultiSystemThroughput/per_update", 1},
+		{"MultiSystemThroughput/batched", 256},
+	} {
+		res, err := multiThroughput(m.batch, 1000, 20000)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.key, err)
+		}
+		report.MultiSystem[m.key] = res
 	}
 
 	// encoding/json sorts map keys, so the output is diff-friendly.

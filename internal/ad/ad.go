@@ -217,6 +217,14 @@ func (f *AD3) Test(a event.Alert) bool {
 		if !ok {
 			return false
 		}
+		if conflict, fast := f.conflictsInOrder(v, h); fast {
+			if conflict {
+				return false
+			}
+			continue
+		}
+		// General path for histories that are not strictly in order (never
+		// produced by a CE window, but the Filter contract allows them).
 		win := h.SeqNosAscending().Set()
 		// "foreach sequence number s in Hx: if (s in Missed) return True".
 		for s := range win {
@@ -235,10 +243,45 @@ func (f *AD3) Test(a event.Alert) bool {
 	return true
 }
 
+// conflictsInOrder is the Conflicts(H) predicate specialized for histories
+// whose seqnos strictly ascend oldest→newest — the invariant of every
+// window-built alert. It walks Recent once, probing Missed for window
+// members and Received for the gaps between them, with no intermediate
+// sets: the steady-state Offer allocates nothing. fast is false when the
+// history violates the ordering invariant and the caller must take the
+// general set-based path.
+func (f *AD3) conflictsInOrder(v event.VarName, h event.History) (conflict, fast bool) {
+	rec := h.Recent // newest first
+	missed, received := f.missed[v], f.received[v]
+	var prev int64
+	for i := len(rec) - 1; i >= 0; i-- {
+		s := rec[i].SeqNo
+		if i < len(rec)-1 {
+			if s <= prev {
+				return false, false
+			}
+			// The gaps (prev, s) are exactly SpanningSet(Hx) ∖ Hx.
+			for g := prev + 1; g < s; g++ {
+				if received.Contains(g) {
+					return true, true
+				}
+			}
+		}
+		if missed.Contains(s) {
+			return true, true
+		}
+		prev = s
+	}
+	return false, true
+}
+
 // Accept implements Filter: the UpdateState(H) procedure of Figure A-3.
 func (f *AD3) Accept(a event.Alert) {
 	f.seen[a.Key()] = struct{}{}
 	for _, v := range f.vars {
+		if f.updateInOrder(v, a.Histories[v]) {
+			continue
+		}
 		win := a.Histories[v].SeqNosAscending().Set()
 		for s := range win {
 			f.received[v].Add(s)
@@ -249,6 +292,31 @@ func (f *AD3) Accept(a event.Alert) {
 			}
 		}
 	}
+}
+
+// updateInOrder is UpdateState(H) specialized like conflictsInOrder; it
+// reports false (having changed nothing) when the history is not strictly
+// in order.
+func (f *AD3) updateInOrder(v event.VarName, h event.History) bool {
+	rec := h.Recent
+	for i := len(rec) - 1; i > 0; i-- {
+		if rec[i].SeqNo >= rec[i-1].SeqNo {
+			return false
+		}
+	}
+	missed, received := f.missed[v], f.received[v]
+	var prev int64
+	for i := len(rec) - 1; i >= 0; i-- {
+		s := rec[i].SeqNo
+		if i < len(rec)-1 {
+			for g := prev + 1; g < s; g++ {
+				missed.Add(g)
+			}
+		}
+		received.Add(s)
+		prev = s
+	}
+	return true
 }
 
 // Received returns a copy of the Received set for v — the witness U′ used

@@ -26,3 +26,54 @@ func TestAD1DuplicateOfferZeroAllocs(t *testing.T) {
 		t.Errorf("duplicate Offer: %v allocs/op, want 0", allocs)
 	}
 }
+
+// AD-3's steady state — duplicate and conflicting alerts being suppressed —
+// must not allocate: the in-order fast path probes Received/Missed directly
+// off the history window instead of materializing per-Offer sets.
+func TestAD3SuppressedOfferZeroAllocs(t *testing.T) {
+	f := NewAD3("x")
+	first := event.NewAlert("c", event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 7, 1), event.U("x", 6, 0)}},
+	}, "CE1")
+	if !Offer(f, first) {
+		t.Fatal("first alert should pass")
+	}
+	dup := event.NewAlert("c", event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 7, 1), event.U("x", 6, 0)}},
+	}, "CE1")
+	// Asserts 7 missed (gap between 6 and 8) though it was received.
+	conflicting := event.NewAlert("c", event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 8, 2), event.U("x", 6, 0)}},
+	}, "CE2")
+	if allocs := testing.AllocsPerRun(500, func() {
+		if Offer(f, dup) {
+			t.Fatal("duplicate alert passed AD-3")
+		}
+		if Offer(f, conflicting) {
+			t.Fatal("conflicting alert passed AD-3")
+		}
+	}); allocs != 0 {
+		t.Errorf("suppressed AD-3 Offer: %v allocs/op, want 0", allocs)
+	}
+}
+
+// The same holds for AD-4, whose Test runs AD-2 and AD-3 in sequence.
+func TestAD4SuppressedOfferZeroAllocs(t *testing.T) {
+	f := NewAD4("x")
+	first := event.NewAlert("c", event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 7, 1), event.U("x", 6, 0)}},
+	}, "CE1")
+	if !Offer(f, first) {
+		t.Fatal("first alert should pass")
+	}
+	stale := event.NewAlert("c", event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 5, 1), event.U("x", 4, 0)}},
+	}, "CE2")
+	if allocs := testing.AllocsPerRun(500, func() {
+		if Offer(f, stale) {
+			t.Fatal("stale alert passed AD-4")
+		}
+	}); allocs != 0 {
+		t.Errorf("suppressed AD-4 Offer: %v allocs/op, want 0", allocs)
+	}
+}

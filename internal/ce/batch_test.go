@@ -1,0 +1,220 @@
+package ce
+
+import (
+	"testing"
+
+	"condmon/internal/cond"
+	"condmon/internal/event"
+
+	"math/rand"
+)
+
+// FeedBatch must be observationally identical to the per-update Feed loop:
+// same alerts (keys, sources, order), same stats, same error behavior. Feed
+// is the differential oracle for every strategy the evaluator can run —
+// compiled DSL programs, view built-ins, and legacy snapshot conditions.
+
+// feedOracle runs the per-update loop and collects fired alerts plus the
+// first evaluation error, mirroring FeedBatch's contract.
+func feedOracle(e *Evaluator, us []event.Update) ([]event.Alert, error) {
+	var (
+		out      []event.Alert
+		firstErr error
+	)
+	for _, u := range us {
+		a, fired, err := e.Feed(u)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if fired {
+			out = append(out, a)
+		}
+	}
+	return out, firstErr
+}
+
+// randomStream builds an update stream with in-order, gappy per-variable
+// subsequences plus injected duplicates, stale deliveries, and updates for
+// variables outside the condition's set.
+func randomStream(r *rand.Rand, vars []event.VarName, n int) []event.Update {
+	seqs := make(map[event.VarName]int64, len(vars))
+	var out []event.Update
+	for i := 0; i < n; i++ {
+		v := vars[r.Intn(len(vars))]
+		switch k := r.Intn(10); {
+		case k == 0 && seqs[v] > 0:
+			// Stale or duplicate delivery: seqno at or below the horizon.
+			out = append(out, event.U(v, seqs[v]-r.Int63n(seqs[v]+1), r.Float64()*1000))
+		case k == 1:
+			out = append(out, event.U("unknown", int64(i+1), 1))
+		default:
+			seqs[v] += 1 + r.Int63n(3) // occasional gaps, like a lossy link
+			out = append(out, event.U(v, seqs[v], r.Float64()*1000))
+		}
+	}
+	return out
+}
+
+func diffConditions(t *testing.T) []cond.Condition {
+	t.Helper()
+	return []cond.Condition{
+		cond.NewRiseAggressive("x"),                                    // view built-in, degree 2
+		cond.NewTempDiff("x", "y"),                                     // view built-in, two variables
+		cond.MustParse("dsl", "x[0] - x[-1] > 200 && consecutive(x)"),  // compiled program
+		cond.MustParse("dslerr", "1000 / (x[0] - y[0]) > 2 || y[0]>1"), // compiled, can divide by zero
+		cond.Func{ // legacy snapshot path: neither Binder nor ViewCondition
+			CondName:   "legacy",
+			VarDegrees: map[event.VarName]int{"x": 2, "y": 1},
+			Fn: func(h event.HistorySet) bool {
+				return h["x"].Latest().Value > h["y"].Latest().Value
+			},
+		},
+	}
+}
+
+func TestFeedBatchMatchesFeedOracle(t *testing.T) {
+	for _, c := range diffConditions(t) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 50; trial++ {
+				stream := randomStream(r, c.Vars(), 40)
+				oracleEval, err := New("CE1", c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				batchEval, err := New("CE1", c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, wantErr := feedOracle(oracleEval, stream)
+				// Split the stream into random-size batches so coverage
+				// includes size-1, mid-stream, and whole-stream batches.
+				var got []event.Alert
+				var gotErr error
+				for i := 0; i < len(stream); {
+					j := i + 1 + r.Intn(8)
+					if j > len(stream) {
+						j = len(stream)
+					}
+					var err error
+					got, err = batchEval.FeedBatch(stream[i:j], got)
+					if err != nil && gotErr == nil {
+						gotErr = err
+					}
+					i = j
+				}
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("trial %d: error mismatch: oracle %v, batch %v", trial, wantErr, gotErr)
+				}
+				if len(want) != len(got) {
+					t.Fatalf("trial %d: oracle fired %d, batch fired %d", trial, len(want), len(got))
+				}
+				for i := range want {
+					if want[i].Key() != got[i].Key() || want[i].Source != got[i].Source {
+						t.Fatalf("trial %d alert %d: oracle %v, batch %v", trial, i, want[i], got[i])
+					}
+					if !want[i].Histories.Equal(got[i].Histories) {
+						t.Fatalf("trial %d alert %d: history mismatch", trial, i)
+					}
+				}
+				of, od, om := oracleEval.Stats()
+				bf, bd, bm := batchEval.Stats()
+				if of != bf || od != bd || om != bm {
+					t.Fatalf("trial %d: stats mismatch: oracle (%d,%d,%d), batch (%d,%d,%d)",
+						trial, of, od, om, bf, bd, bm)
+				}
+			}
+		})
+	}
+}
+
+func TestFeedBatchWhileDown(t *testing.T) {
+	e, err := New("CE1", cond.NewRiseAggressive("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetDown(true)
+	out, err := e.FeedBatch([]event.Update{event.U("x", 1, 0), event.U("x", 2, 1000)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("down evaluator fired %d alerts", len(out))
+	}
+	if _, _, missed := e.Stats(); missed != 2 {
+		t.Errorf("missedDown = %d, want 2", missed)
+	}
+	e.SetDown(false)
+	out, err = e.FeedBatch([]event.Update{event.U("x", 3, 0), event.U("x", 4, 1000)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Errorf("revived evaluator fired %d alerts, want 1", len(out))
+	}
+}
+
+func TestFeedBatchAppendsToDst(t *testing.T) {
+	e, err := New("CE1", cond.Threshold{CondName: "hot", Var: "x", Limit: 0, Above: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]event.Alert, 0, 8)
+	out, err := e.FeedBatch([]event.Update{event.U("x", 1, 5), event.U("x", 2, 6)}, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("fired %d, want 2", len(out))
+	}
+	// The returned slice extends dst: reusing the same backing array across
+	// calls is the runtime's scratch-buffer pattern.
+	if cap(scratch) >= 2 && &out[0] != &scratch[:1][0] {
+		t.Error("FeedBatch did not append into the provided scratch buffer")
+	}
+}
+
+// BenchmarkFeedBatch measures the amortization: one compiled condition fed
+// the same stream per-update vs in one batch call.
+func BenchmarkFeedBatch(b *testing.B) {
+	c := cond.MustParse("c3", "x[0] - x[-1] > 200 && consecutive(x)")
+	const n = 256
+	for _, mode := range []string{"single", "batch"} {
+		b.Run(mode, func(b *testing.B) {
+			e, err := New("CE1", c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			us := make([]event.Update, n)
+			var scratch []event.Alert
+			seq := int64(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := range us {
+					seq++
+					us[k] = event.U("x", seq, float64(k%500))
+				}
+				if mode == "single" {
+					for _, u := range us {
+						if _, _, err := e.Feed(u); err != nil {
+							b.Fatal(err)
+						}
+					}
+					continue
+				}
+				scratch = scratch[:0]
+				scratch, err = e.FeedBatch(us, scratch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(scratch) > 0 {
+					b.Fatal("unexpected firing")
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/update")
+		})
+	}
+}
+

@@ -22,7 +22,13 @@ type Evaluator struct {
 	id      string
 	cond    cond.Condition
 	windows map[event.VarName]*event.Window
-	down    bool
+	// slots indexes the same windows for linear-scan lookup: with the
+	// paper's one-to-few-variable conditions, a short string-compare scan
+	// beats hashing the variable name on every HistoryOf/Feed (the hot
+	// path's dominant map cost). Nil when the variable set is large enough
+	// that the map wins.
+	slots []winSlot
+	down  bool
 
 	// notFull counts windows still filling; the hot path tests it instead
 	// of rescanning every window per update.
@@ -41,13 +47,37 @@ type Evaluator struct {
 	missedDown int64
 }
 
+// winSlot pairs a variable with its window for slice-backed lookup.
+type winSlot struct {
+	v event.VarName
+	w *event.Window
+}
+
+// slotScanMax bounds the variable-set size for which the linear-scan index
+// is used instead of the map.
+const slotScanMax = 8
+
+// window resolves the variable's update window, or nil if the evaluator
+// does not subscribe to it.
+func (e *Evaluator) window(v event.VarName) *event.Window {
+	if e.slots != nil {
+		for i := range e.slots {
+			if e.slots[i].v == v {
+				return e.slots[i].w
+			}
+		}
+		return nil
+	}
+	return e.windows[v]
+}
+
 // HistoryOf implements event.HistoryView over the evaluator's live
 // windows: the read-only view conditions evaluate against on the hot path.
 // Returned histories alias window storage and are only valid until the next
 // Feed.
 func (e *Evaluator) HistoryOf(v event.VarName) (event.History, bool) {
-	w, ok := e.windows[v]
-	if !ok {
+	w := e.window(v)
+	if w == nil {
 		return event.History{}, false
 	}
 	return w.Live(), true
@@ -73,6 +103,12 @@ func New(id string, c cond.Condition) (*Evaluator, error) {
 		windows[v] = w
 	}
 	e := &Evaluator{id: id, cond: c, windows: windows, notFull: len(windows)}
+	if len(vars) <= slotScanMax {
+		e.slots = make([]winSlot, 0, len(vars))
+		for _, v := range vars {
+			e.slots = append(e.slots, winSlot{v: v, w: windows[v]})
+		}
+	}
 	// Pick the fastest evaluation strategy the condition supports: a bound
 	// compiled program (DSL expressions), a snapshot-free view evaluator
 	// (built-ins), or the legacy materialized-HistorySet path.
@@ -137,8 +173,8 @@ func (e *Evaluator) Feed(u event.Update) (event.Alert, bool, error) {
 		e.missedDown++
 		return event.Alert{}, false, nil
 	}
-	w, ok := e.windows[u.Var]
-	if !ok {
+	w := e.window(u.Var)
+	if w == nil {
 		e.discarded++
 		return event.Alert{}, false, nil
 	}
@@ -167,6 +203,86 @@ func (e *Evaluator) Feed(u event.Update) (event.Alert, bool, error) {
 	// Only a firing condition pays for the immutable snapshot embedded in
 	// the alert (and for the alert's precomputed identity key).
 	return event.NewAlert(e.cond.Name(), e.historySnapshot(), e.id), true, nil
+}
+
+// FeedBatch delivers a run of updates in order, appending the alert of
+// every firing evaluation to dst and returning the extended slice. It is
+// observationally identical to calling Feed once per update — same
+// discards, same firings, same alerts in the same order — but amortizes
+// the per-update overhead across the run: the window map lookup is cached
+// for same-variable runs (the shape EmitBatch produces), and for compiled
+// conditions the per-variable slot binding and degree checks run once per
+// batch (Program.Prepare) instead of once per update. The per-update Feed
+// loop is the differential oracle; equivalence tests gate this path.
+//
+// Evaluation errors (e.g. a DSL division by zero) do not stop the batch,
+// mirroring how the runtime's replica loop continues past a failed Feed;
+// the first error is returned after the whole run is processed.
+func (e *Evaluator) FeedBatch(us []event.Update, dst []event.Alert) ([]event.Alert, error) {
+	if e.down {
+		e.missedDown += int64(len(us))
+		return dst, nil
+	}
+	var (
+		firstErr error
+		lastVar  event.VarName
+		lastWin  *event.Window
+		prepared bool
+	)
+	for _, u := range us {
+		w := lastWin
+		if w == nil || u.Var != lastVar {
+			w = e.window(u.Var)
+			if w == nil {
+				e.discarded++
+				lastVar, lastWin = u.Var, nil
+				continue
+			}
+			lastVar, lastWin = u.Var, w
+		}
+		wasFull := w.Full()
+		if !w.TryPush(u) {
+			e.discarded++
+			continue
+		}
+		e.fed++
+		if !wasFull && w.Full() {
+			e.notFull--
+		}
+		if e.notFull > 0 {
+			continue
+		}
+		var (
+			fired bool
+			err   error
+		)
+		if e.prog != nil {
+			// Bind slots on the batch's first evaluation; every window is
+			// full from here on, so the live slice headers the slots alias
+			// stay valid for the rest of the run (window shifts mutate in
+			// place once full).
+			if !prepared {
+				if err = e.prog.Prepare(e); err == nil {
+					prepared = true
+				}
+			}
+			if prepared {
+				fired, err = e.prog.EvalPrepared()
+			}
+		} else {
+			fired, err = e.evalLive()
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("ce: %s: evaluate %q: %w", e.id, e.cond.Name(), err)
+			}
+			continue
+		}
+		if fired {
+			dst = append(dst, event.NewAlert(e.cond.Name(), e.historySnapshot(), e.id))
+		}
+	}
+	return dst, firstErr
 }
 
 // evalLive evaluates the condition over the evaluator's live windows,

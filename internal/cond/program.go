@@ -89,16 +89,40 @@ func (c *Expr) EvalView(h event.HistoryView) (bool, error) {
 // degree check subsumes Validate; it is the only per-call overhead beyond
 // the compiled expression itself.
 func (p *Program) Eval(h event.HistoryView) (bool, error) {
+	if err := p.Prepare(h); err != nil {
+		return false, err
+	}
+	return p.EvalPrepared()
+}
+
+// Prepare binds every variable's history from the view and validates
+// degrees, priming the program for EvalPrepared. It is the vectorization
+// hook: a caller evaluating the program over a run of updates binds once,
+// then calls EvalPrepared per update, paying the per-variable lookups and
+// degree checks a single time for the whole run.
+//
+// The bound histories alias the view's storage. Reuse across EvalPrepared
+// calls is sound only while each history's slice header is unchanged —
+// which holds for ce's live windows once full, since an in-place window
+// shift mutates contents but not the header. Any caller whose storage
+// moves must re-Prepare.
+func (p *Program) Prepare(h event.HistoryView) error {
 	for i, v := range p.vars {
 		hv, ok := h.HistoryOf(v)
 		if !ok {
-			return false, errMissingVar(p.name, v)
+			return errMissingVar(p.name, v)
 		}
 		if len(hv.Recent) < p.degs[i] {
-			return false, errShortHistory(p.name, v, len(hv.Recent), p.degs[i])
+			return errShortHistory(p.name, v, len(hv.Recent), p.degs[i])
 		}
 		p.env.slots[i] = hv
 	}
+	return nil
+}
+
+// EvalPrepared runs the compiled code over the histories bound by the last
+// Prepare, skipping the per-variable rebinding entirely.
+func (p *Program) EvalPrepared() (bool, error) {
 	p.env.err = nil
 	got := p.code(&p.env)
 	if p.env.err != nil {

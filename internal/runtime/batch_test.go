@@ -1,0 +1,231 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	gort "runtime"
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+)
+
+// equivConds is a small mixed fleet for end-to-end equivalence runs: every
+// evaluation strategy, one- and two-variable conditions, and names spread
+// across shards.
+func equivConds() []cond.Condition {
+	return []cond.Condition{
+		cond.Threshold{CondName: "hot", Var: "x", Limit: 700, Above: true},
+		cond.NewRiseAggressive("x"),
+		cond.NewTempDiff("x", "y"),
+		cond.MustParse("jump", "x[0] - x[-1] > 300 && consecutive(x)"),
+		cond.GreaterThan{CondName: "A", X: "x", Y: "y"},
+	}
+}
+
+// runMulti drives one MultiSystem over a fixed deterministic stream, either
+// per-update or in batches of the given size, and returns the per-condition
+// displayed sequences.
+func runMulti(t *testing.T, loss func(string, int, event.VarName) link.Model, batch int) map[string][]event.Alert {
+	t.Helper()
+	conds := equivConds()
+	sys, err := NewMulti(conds, func(c cond.Condition) ad.Filter {
+		return ad.NewAD1()
+	}, MultiOptions{Replicas: 2, Seed: 42, Loss: loss})
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	const n = 400
+	vals := func(v event.VarName) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			// A deterministic sawtooth with different phase per variable so
+			// every condition fires sometimes but not always.
+			phase := int(hashVar(v) % 37)
+			out[i] = float64(((i + phase) * 13) % 1000)
+		}
+		return out
+	}
+	for _, v := range []event.VarName{"x", "y"} {
+		values := vals(v)
+		if batch <= 1 {
+			for _, val := range values {
+				if _, err := sys.Emit(v, val); err != nil {
+					t.Fatalf("Emit: %v", err)
+				}
+			}
+			continue
+		}
+		for i := 0; i < len(values); i += batch {
+			j := i + batch
+			if j > len(values) {
+				j = len(values)
+			}
+			if _, err := sys.EmitBatch(v, values[i:j]); err != nil {
+				t.Fatalf("EmitBatch: %v", err)
+			}
+		}
+	}
+	if _, err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	out := make(map[string][]event.Alert, len(conds))
+	for _, c := range conds {
+		out[c.Name()] = sys.Demux().DisplayedFor(c.Name())
+	}
+	return out
+}
+
+// TestMultiSystemBatchEquivalence is the acceptance gate for the batched
+// pipeline: for every loss schedule, the per-condition displayed alert
+// sequences (values, seqnos, order) must be byte-identical between the
+// per-update path and the batched path, across several batch sizes. The
+// loss models consume per-link randomness one draw per update in both
+// paths, so a fixed seed forces identical loss schedules.
+func TestMultiSystemBatchEquivalence(t *testing.T) {
+	bern := func(p float64) link.Model {
+		m, err := link.NewBernoulli(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	burst := func() link.Model {
+		m, err := link.NewBurst(0.1, 0.5, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	schedules := map[string]func(string, int, event.VarName) link.Model{
+		"lossless": nil,
+		"bernoulli": func(condName string, replica int, v event.VarName) link.Model {
+			return bern(0.2)
+		},
+		"burst": func(condName string, replica int, v event.VarName) link.Model {
+			return burst()
+		},
+		"mixed": func(condName string, replica int, v event.VarName) link.Model {
+			if replica == 0 {
+				return bern(0.3)
+			}
+			return nil
+		},
+	}
+	for name, loss := range schedules {
+		t.Run(name, func(t *testing.T) {
+			want := runMulti(t, loss, 1)
+			for _, batch := range []int{2, 7, 64, 400} {
+				got := runMulti(t, loss, batch)
+				for condName, wantAlerts := range want {
+					gotAlerts := got[condName]
+					if len(gotAlerts) != len(wantAlerts) {
+						t.Fatalf("batch=%d cond=%q: displayed %d alerts, want %d",
+							batch, condName, len(gotAlerts), len(wantAlerts))
+					}
+					for i := range wantAlerts {
+						w, g := wantAlerts[i], gotAlerts[i]
+						if w.Key() != g.Key() || !w.Histories.Equal(g.Histories) {
+							t.Fatalf("batch=%d cond=%q alert %d: got %v, want %v",
+								batch, condName, i, g, w)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMultiSystemGoroutineBound verifies the tentpole claim: the system's
+// goroutine count is O(workers), not O(conditions × replicas × variables).
+func TestMultiSystemGoroutineBound(t *testing.T) {
+	before := gort.NumGoroutine()
+	conds := make([]cond.Condition, 200)
+	for i := range conds {
+		conds[i] = cond.Threshold{
+			CondName: fmt.Sprintf("c%03d", i),
+			Var:      "x",
+			Limit:    500,
+			Above:    true,
+		}
+	}
+	sys, err := NewMulti(conds, func(c cond.Condition) ad.Filter {
+		return ad.NewAD1()
+	}, MultiOptions{Replicas: 2, Workers: 4})
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	if sys.Workers() != 4 {
+		t.Errorf("Workers() = %d, want 4", sys.Workers())
+	}
+	during := gort.NumGoroutine()
+	if extra := during - before; extra > 4+2 { // pool + slack for runtime helpers
+		t.Errorf("system spawned %d goroutines for 200 conditions, want ≤ workers(4)+2", extra)
+	}
+	if _, err := sys.EmitBatch("x", []float64{600, 601, 602}); err != nil {
+		t.Fatalf("EmitBatch: %v", err)
+	}
+	displayed, err := sys.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Every condition fires on each of the 3 above-limit updates; AD-1
+	// displays each distinct (cond, histories) once.
+	if want := 200 * 3; len(displayed) != want {
+		t.Errorf("displayed %d alerts, want %d", len(displayed), want)
+	}
+}
+
+// TestMultiSystemClosedSentinel pins the Emit/EmitBatch-after-Close
+// contract: a wrapped ErrClosed, detectable with errors.Is.
+func TestMultiSystemClosedSentinel(t *testing.T) {
+	sys, _, _ := newTestMulti(t, MultiOptions{Replicas: 1})
+	if _, err := sys.EmitBatch("x", []float64{1, 2}); err != nil {
+		t.Fatalf("EmitBatch before Close: %v", err)
+	}
+	if _, err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := sys.Emit("x", 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Emit after Close = %v, want ErrClosed", err)
+	}
+	if _, err := sys.EmitBatch("x", []float64{1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("EmitBatch after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestSystemClosedSentinel does the same for the single-condition System.
+func TestSystemClosedSentinel(t *testing.T) {
+	sys, err := New(cond.Threshold{CondName: "hot", Var: "x", Limit: 0, Above: true},
+		ad.NewAD1(), Options{Replicas: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sys.Close()
+	if _, err := sys.Emit("x", 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Emit after Close = %v, want ErrClosed", err)
+	}
+	if _, err := sys.EmitBatch("x", []float64{1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("EmitBatch after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestMultiSystemEmitBatchEmpty pins the zero-length contract: a no-op that
+// returns the current sequence counter.
+func TestMultiSystemEmitBatchEmpty(t *testing.T) {
+	sys, _, _ := newTestMulti(t, MultiOptions{Replicas: 1})
+	if seq, err := sys.EmitBatch("x", nil); err != nil || seq != 0 {
+		t.Errorf("empty EmitBatch = (%d, %v), want (0, nil)", seq, err)
+	}
+	if _, err := sys.Emit("x", 5); err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	if seq, err := sys.EmitBatch("x", nil); err != nil || seq != 1 {
+		t.Errorf("empty EmitBatch after one Emit = (%d, %v), want (1, nil)", seq, err)
+	}
+	if _, err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

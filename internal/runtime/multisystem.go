@@ -12,6 +12,7 @@ import (
 	"condmon/internal/multicond"
 
 	"math/rand"
+	gort "runtime"
 )
 
 // MultiSystem is the live realization of Figure D-7(c): several conditions
@@ -20,23 +21,85 @@ import (
 // that demultiplexes the merged alert stream and runs an independent
 // filter instance per condition (Appendix D's reduction of the
 // multi-condition problem to per-stream single-condition filtering).
+//
+// Fan-out is sharded: instead of one goroutine per (variable, condition,
+// replica) front link — three goroutines per link in the obvious wiring,
+// six thousand for a thousand-condition two-replica deployment — the
+// conditions are hashed onto a fixed pool of shard workers. Each worker
+// owns every station (one CE replica plus its per-variable front-link loss
+// state) of the conditions assigned to it and runs them inline: an update
+// frame crosses one channel per shard, then each subscribed station
+// applies its own link's loss model and feeds its evaluator. Per-link
+// delivery order, per-link loss schedules, and per-condition alert order
+// are exactly those of the goroutine-per-link wiring; only the schedule
+// across conditions (which was already nondeterministic) changes. All
+// replicas of a condition live on the same shard, so each condition's
+// alert stream — the unit the demux filters — is deterministic for a fixed
+// seed, which is what lets the batch-equivalence tests demand
+// byte-identical output.
 type MultiSystem struct {
-	dms   map[event.VarName]*dataMonitor
-	demux *multicond.Demux
-	wg    sync.WaitGroup
+	dms     map[event.VarName]*multiDM
+	shards  []*shard
+	demux   *multicond.Demux
+	wg      sync.WaitGroup
+	byShard map[string]int // condition name → shard index (diagnostics)
 
 	mu     sync.Mutex
 	closed bool
 
-	// errMu guards evaluation errors surfaced from CE goroutines.
+	// errMu guards evaluation errors surfaced from shard workers.
 	errMu sync.Mutex
 	err   error
+}
+
+// multiDM is the Data Monitor for one variable: it owns the sequence
+// counter and the list of shards with at least one station subscribed to
+// the variable.
+type multiDM struct {
+	mu     sync.Mutex
+	seq    int64
+	closed bool
+	shards []*shard
+}
+
+// shard is one worker of the fan-out pool: a frame channel plus the
+// stations it drives, indexed by the variable they subscribe to.
+type shard struct {
+	in    chan frame
+	byVar map[event.VarName][]*station
+	// active is merge scratch for deliverBatchAll: the stations of the
+	// current frame that fired at least once.
+	active []*station
+}
+
+// station is one (condition, replica) pair: an evaluator plus the
+// per-variable front links feeding it. The owning shard worker is the only
+// goroutine that touches it.
+type station struct {
+	eval    *ce.Evaluator
+	links   map[event.VarName]*frontLink
+	scratch []event.Alert // reused FeedBatch output buffer
+	cursor  int           // merge position in scratch during deliverBatchAll
+	head    int64         // triggering seqno of scratch[cursor], cached for the merge
+}
+
+// frontLink is the loss state of one DM→CE link.
+type frontLink struct {
+	model    link.Model
+	lossless bool
+	rng      *rand.Rand
+	kept     []event.Update // reused lossy-batch filter buffer
 }
 
 // MultiOptions configure NewMulti.
 type MultiOptions struct {
 	// Replicas per condition (default 2).
 	Replicas int
+	// Workers is the size of the shard worker pool (default GOMAXPROCS).
+	// It bounds the system's goroutine count regardless of how many
+	// conditions are monitored; shards beyond the condition count are not
+	// spawned.
+	Workers int
 	// Loss returns the loss model for the front link carrying variable v
 	// to replica i of condition c. Nil means lossless.
 	Loss func(condName string, replica int, v event.VarName) link.Model
@@ -56,108 +119,186 @@ func NewMulti(conds []cond.Condition, newFilter func(c cond.Condition) ad.Filter
 	if opts.Replicas < 1 {
 		return nil, fmt.Errorf("runtime: replicas must be ≥ 1, got %d", opts.Replicas)
 	}
+	if opts.Workers == 0 {
+		opts.Workers = gort.GOMAXPROCS(0)
+	}
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("runtime: workers must be ≥ 1, got %d", opts.Workers)
+	}
+	if opts.Workers > len(conds) {
+		opts.Workers = len(conds)
+	}
 	demux, err := multicond.NewDemux(newFilter, conds...)
 	if err != nil {
 		return nil, err
 	}
 	sys := &MultiSystem{
-		dms:   make(map[event.VarName]*dataMonitor),
-		demux: demux,
+		dms:     make(map[event.VarName]*multiDM),
+		shards:  make([]*shard, opts.Workers),
+		demux:   demux,
+		byShard: make(map[string]int, len(conds)),
 	}
-
-	// One DM per variable in the union of all condition variable sets.
-	varSet := make(map[event.VarName]struct{})
-	for _, c := range conds {
-		for _, v := range c.Vars() {
-			varSet[v] = struct{}{}
+	for i := range sys.shards {
+		sys.shards[i] = &shard{
+			in:    make(chan frame, frontBuffer),
+			byVar: make(map[event.VarName][]*station),
 		}
 	}
 
-	// Subscribers: per variable, the list of front-link input channels.
-	subscribers := make(map[event.VarName][]chan event.Update)
-
-	// Per condition, per replica: front links for the condition's
-	// variables, a fan-in merger, a CE, and a direct feed into the demux
-	// (back links are reliable; the goroutine hand-off preserves each
-	// replica's order while the demux sees a nondeterministic merge).
+	// Build every condition's stations on its shard. Iterating conds in
+	// caller order and replicas in index order fixes each shard's station
+	// order, making per-condition processing deterministic.
 	for _, c := range conds {
+		si := int(uint64(hashVar(event.VarName(c.Name()))) % uint64(opts.Workers))
+		sys.byShard[c.Name()] = si
+		sh := sys.shards[si]
 		for i := 0; i < opts.Replicas; i++ {
-			ceIn := make(chan event.Update, frontBuffer)
-			var fanIn sync.WaitGroup
+			eval, err := ce.New(fmt.Sprintf("%s/CE%d", c.Name(), i+1), c)
+			if err != nil {
+				return nil, err
+			}
+			st := &station{eval: eval, links: make(map[event.VarName]*frontLink, len(c.Vars()))}
 			for _, v := range c.Vars() {
-				in := make(chan event.Update, frontBuffer)
-				subscribers[v] = append(subscribers[v], in)
 				model := link.Model(link.None{})
 				if opts.Loss != nil {
 					if m := opts.Loss(c.Name(), i, v); m != nil {
 						model = m
 					}
 				}
-				rng := rand.New(rand.NewSource(opts.Seed ^ int64(i+1)<<20 ^ hashVar(v) ^ hashVar(event.VarName(c.Name()))))
-				fanIn.Add(1)
-				sys.wg.Add(1)
-				go func(in chan event.Update, m link.Model, rng *rand.Rand) {
-					defer sys.wg.Done()
-					defer fanIn.Done()
-					for u := range in {
-						if m.Deliver(u, rng) {
-							ceIn <- u
-						}
-					}
-				}(in, model, rng)
-			}
-			sys.wg.Add(1)
-			go func() {
-				defer sys.wg.Done()
-				fanIn.Wait()
-				close(ceIn)
-			}()
-
-			eval, err := ce.New(fmt.Sprintf("%s/CE%d", c.Name(), i+1), c)
-			if err != nil {
-				return nil, err
-			}
-			sys.wg.Add(1)
-			go func(eval *ce.Evaluator, in chan event.Update) {
-				defer sys.wg.Done()
-				for u := range in {
-					a, fired, err := eval.Feed(u)
-					if err != nil {
-						sys.recordErr(fmt.Errorf("runtime: %s: %w", eval.ID(), err))
-						continue
-					}
-					if !fired {
-						continue
-					}
-					if _, err := sys.demux.Offer(a); err != nil {
-						sys.recordErr(err)
-					}
+				_, lossless := model.(link.None)
+				st.links[v] = &frontLink{
+					model:    model,
+					lossless: lossless,
+					rng:      rand.New(rand.NewSource(opts.Seed ^ int64(i+1)<<20 ^ hashVar(v) ^ hashVar(event.VarName(c.Name())))),
 				}
-			}(eval, ceIn)
+				sh.byVar[v] = append(sh.byVar[v], st)
+			}
 		}
 	}
 
-	// DM broadcast pumps.
-	for v := range varSet {
-		in := make(chan frame, frontBuffer)
-		sys.dms[v] = &dataMonitor{in: in}
-		outs := subscribers[v]
-		sys.wg.Add(1)
-		go func(in chan frame, outs []chan event.Update) {
-			defer sys.wg.Done()
-			defer func() {
-				for _, out := range outs {
-					close(out)
-				}
-			}()
-			for f := range in {
-				for _, out := range outs {
-					out <- f.u
-				}
+	// One DM per variable in the union of all condition variable sets; each
+	// knows which shards care about it.
+	for _, sh := range sys.shards {
+		for v := range sh.byVar {
+			dm, ok := sys.dms[v]
+			if !ok {
+				dm = &multiDM{}
+				sys.dms[v] = dm
 			}
-		}(in, outs)
+			dm.shards = append(dm.shards, sh)
+		}
+	}
+
+	for _, sh := range sys.shards {
+		sh := sh
+		sys.wg.Add(1)
+		go func() {
+			defer sys.wg.Done()
+			sys.shardLoop(sh)
+		}()
 	}
 	return sys, nil
+}
+
+// shardLoop drains one shard's frame channel, driving every subscribed
+// station inline.
+func (s *MultiSystem) shardLoop(sh *shard) {
+	for f := range sh.in {
+		if f.us != nil {
+			s.deliverBatchAll(sh, sh.byVar[f.us[0].Var], f.us)
+			continue
+		}
+		for _, st := range sh.byVar[f.u.Var] {
+			s.deliver(st, f.u)
+		}
+	}
+}
+
+// deliver runs one update through a station's front link and evaluator —
+// the body of the former per-link and per-CE goroutines, fused.
+func (s *MultiSystem) deliver(st *station, u event.Update) {
+	l := st.links[u.Var]
+	if !l.lossless && !l.model.Deliver(u, l.rng) {
+		return
+	}
+	a, fired, err := st.eval.Feed(u)
+	if err != nil {
+		s.recordErr(fmt.Errorf("runtime: %s: %w", st.eval.ID(), err))
+		return
+	}
+	if !fired {
+		return
+	}
+	if _, err := s.demux.Offer(a); err != nil {
+		s.recordErr(err)
+	}
+}
+
+// deliverBatchAll is deliver for a whole batch across every station
+// subscribed to the batch's variable. Each station's link filters the run
+// per update (consuming randomness exactly as the per-update path does)
+// and its evaluator consumes the survivors in one FeedBatch call; the
+// resulting per-station alert runs are then merged by triggering sequence
+// number — station order breaking ties — which is precisely the order the
+// per-update loop interleaves them in. Under loss, replicas of one
+// condition diverge, so this merge is what keeps the displayed sequence
+// identical between the two paths.
+func (s *MultiSystem) deliverBatchAll(sh *shard, sts []*station, us []event.Update) {
+	v := us[0].Var
+	// Every alert in a batch of variable v was triggered by the v update it
+	// just pushed, so Histories[v].Latest().SeqNo identifies the triggering
+	// update; per-station runs are already ascending in it. Only stations
+	// that fired join the merge — the common all-quiet frame skips it
+	// entirely — and each caches its head's triggering seqno so the merge
+	// never re-reads a history.
+	active := sh.active[:0]
+	for _, st := range sts {
+		l := st.links[v]
+		kept := us
+		if !l.lossless {
+			k := l.kept[:0]
+			for _, u := range us {
+				if l.model.Deliver(u, l.rng) {
+					k = append(k, u)
+				}
+			}
+			l.kept = k
+			kept = k
+		}
+		alerts, err := st.eval.FeedBatch(kept, st.scratch[:0])
+		st.scratch = alerts
+		if err != nil {
+			s.recordErr(fmt.Errorf("runtime: %s: %w", st.eval.ID(), err))
+		}
+		if len(alerts) > 0 {
+			st.cursor = 0
+			st.head = alerts[0].Histories[v].Latest().SeqNo
+			active = append(active, st)
+		}
+	}
+	sh.active = active
+	for len(active) > 0 {
+		best := 0
+		for i := 1; i < len(active); i++ {
+			// Strict < keeps ties on the earliest station in subscription
+			// order — the order the per-update loop visits them in.
+			if active[i].head < active[best].head {
+				best = i
+			}
+		}
+		st := active[best]
+		if _, err := s.demux.Offer(st.scratch[st.cursor]); err != nil {
+			s.recordErr(err)
+		}
+		st.cursor++
+		if st.cursor < len(st.scratch) {
+			st.head = st.scratch[st.cursor].Histories[v].Latest().SeqNo
+			continue
+		}
+		// Drop the drained station, preserving order for the tie-break.
+		copy(active[best:], active[best+1:])
+		active = active[:len(active)-1]
+	}
 }
 
 func (s *MultiSystem) recordErr(err error) {
@@ -168,8 +309,13 @@ func (s *MultiSystem) recordErr(err error) {
 	}
 }
 
+// Workers returns the size of the shard worker pool — the system's
+// goroutine count, independent of how many conditions it monitors.
+func (s *MultiSystem) Workers() int { return len(s.shards) }
+
 // Emit publishes a new reading of variable v to every condition's
-// replicas.
+// replicas: the DM assigns the next sequence number and hands the update
+// to each shard with a subscribed station.
 func (s *MultiSystem) Emit(v event.VarName, value float64) (int64, error) {
 	dm, ok := s.dms[v]
 	if !ok {
@@ -178,10 +324,46 @@ func (s *MultiSystem) Emit(v event.VarName, value float64) (int64, error) {
 	dm.mu.Lock()
 	defer dm.mu.Unlock()
 	if dm.closed {
-		return 0, fmt.Errorf("runtime: Emit on closed system")
+		return 0, fmt.Errorf("runtime: Emit: %w", ErrClosed)
 	}
 	dm.seq++
-	dm.in <- frame{u: event.U(v, dm.seq, value)}
+	f := frame{u: event.U(v, dm.seq, value)}
+	for _, sh := range dm.shards {
+		sh.in <- f
+	}
+	return dm.seq, nil
+}
+
+// EmitBatch publishes a run of readings of variable v as one batch: the DM
+// assigns consecutive sequence numbers and the whole run crosses each
+// shard channel as a single frame, amortizing the per-update hand-offs.
+// Semantically identical to calling Emit once per value with no
+// interleaved emitters; the batch slice is shared across shards and never
+// mutated (lossy links filter into private buffers). It returns the
+// sequence number assigned to the last reading (zero-length batches return
+// the current counter).
+func (s *MultiSystem) EmitBatch(v event.VarName, values []float64) (int64, error) {
+	dm, ok := s.dms[v]
+	if !ok {
+		return 0, fmt.Errorf("runtime: no data monitor for variable %q", v)
+	}
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	if dm.closed {
+		return 0, fmt.Errorf("runtime: EmitBatch: %w", ErrClosed)
+	}
+	if len(values) == 0 {
+		return dm.seq, nil
+	}
+	us := make([]event.Update, len(values))
+	for i, value := range values {
+		dm.seq++
+		us[i] = event.U(v, dm.seq, value)
+	}
+	f := frame{us: us}
+	for _, sh := range dm.shards {
+		sh.in <- f
+	}
 	return dm.seq, nil
 }
 
@@ -201,11 +383,15 @@ func (s *MultiSystem) Close() ([]event.Alert, error) {
 	s.closed = true
 	s.mu.Unlock()
 
+	// Stop every DM first: once each dm.mu has been held with closed set,
+	// no Emit can be mid-send, so the shard channels are safe to close.
 	for _, dm := range s.dms {
 		dm.mu.Lock()
 		dm.closed = true
-		close(dm.in)
 		dm.mu.Unlock()
+	}
+	for _, sh := range s.shards {
+		close(sh.in)
 	}
 	s.wg.Wait()
 	s.errMu.Lock()

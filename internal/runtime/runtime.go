@@ -18,6 +18,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -29,6 +30,11 @@ import (
 
 	"math/rand"
 )
+
+// ErrClosed is the sentinel returned (wrapped) by Emit/EmitBatch on a
+// system whose Close has begun: the data monitors have stopped accepting
+// readings and the pipeline is draining. Test with errors.Is.
+var ErrClosed = errors.New("runtime: system closed")
 
 // backlinkBuffer sizes the per-CE alert queue standing in for a TCP back
 // link. It only bounds memory, not semantics: senders block rather than
@@ -252,7 +258,7 @@ func (s *System) Emit(v event.VarName, value float64) (int64, error) {
 	dm.mu.Lock()
 	defer dm.mu.Unlock()
 	if dm.closed {
-		return 0, fmt.Errorf("runtime: Emit on closed system")
+		return 0, fmt.Errorf("runtime: Emit: %w", ErrClosed)
 	}
 	dm.seq++
 	dm.in <- frame{u: event.U(v, dm.seq, value)}
@@ -274,7 +280,7 @@ func (s *System) EmitBatch(v event.VarName, values []float64) (int64, error) {
 	dm.mu.Lock()
 	defer dm.mu.Unlock()
 	if dm.closed {
-		return 0, fmt.Errorf("runtime: EmitBatch on closed system")
+		return 0, fmt.Errorf("runtime: EmitBatch: %w", ErrClosed)
 	}
 	if len(values) == 0 {
 		return dm.seq, nil

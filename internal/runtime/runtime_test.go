@@ -326,10 +326,15 @@ func TestEmitBatchMatchesSingleEmits(t *testing.T) {
 func TestEmitBatchLossDeterminism(t *testing.T) {
 	// Lossy links draw from the same seeded stream whether updates arrive
 	// singly or batched, so the two runs see identical loss schedules and
-	// must display identical alerts.
+	// must display identical alerts. One replica keeps the run fully
+	// deterministic: with several replicas under independent loss the AD's
+	// cross-replica merge order is scheduler-dependent, so an order-exact
+	// comparison would be flaky (the MultiSystem batch-equivalence tests
+	// cover the replicated case, whose shard layer merges replicas
+	// deterministically).
 	run := func(batch bool) []string {
 		sys, err := New(cond.NewRiseAggressive("x"), ad.NewAD4("x"), Options{
-			Replicas: 2,
+			Replicas: 1,
 			Seed:     42,
 			Loss: func(replica int, v event.VarName) link.Model {
 				return link.Bernoulli{P: 0.4}

@@ -33,6 +33,10 @@ import (
 // maxFrame bounds a TCP alert frame; anything larger indicates corruption.
 const maxFrame = 1 << 20
 
+// maxDatagram is the receiver's read-buffer size; PublishBatch splits runs
+// so no batch datagram exceeds it.
+const maxDatagram = 64 * 1024
+
 // updateBuffer sizes receiver channels; UDP senders never block on the
 // receiver, so a full buffer simply looks like link loss — faithful to the
 // medium.
@@ -77,6 +81,36 @@ func (p *UDPPublisher) Publish(u event.Update) error {
 	}
 	for _, c := range p.conns {
 		_, _ = c.Write(b) // best-effort: loss is part of the model
+	}
+	return nil
+}
+
+// PublishBatch sends a run of in-order updates of one variable as batch
+// datagrams, one syscall per endpoint per chunk instead of one per update.
+// Runs too large for a single datagram are split so every chunk fits the
+// receiver's buffer. Like Publish, per-endpoint send errors are ignored:
+// losing a whole batch datagram is just a burstier draw from the same lossy
+// link the paper assumes, and the receiver's per-update sequence check
+// keeps later arrivals in order.
+func (p *UDPPublisher) PublishBatch(v event.VarName, us []event.Update) error {
+	// Fixed 16-byte records after the header make the chunk capacity exact.
+	perChunk := (maxDatagram - (1 + 2 + len(string(v)) + 2)) / 16
+	if perChunk < 1 {
+		return fmt.Errorf("transport: variable name %q leaves no room for updates", v)
+	}
+	for len(us) > 0 {
+		n := len(us)
+		if n > perChunk {
+			n = perChunk
+		}
+		b, err := wire.EncodeBatch(v, us[:n])
+		if err != nil {
+			return err
+		}
+		for _, c := range p.conns {
+			_, _ = c.Write(b) // best-effort: loss is part of the model
+		}
+		us = us[n:]
 	}
 	return nil
 }
@@ -155,38 +189,59 @@ func (r *UDPReceiver) Close() {
 func (r *UDPReceiver) loop(forced link.Model, rng *rand.Rand) {
 	defer close(r.done)
 	defer close(r.out)
-	buf := make([]byte, 64*1024)
+	buf := make([]byte, maxDatagram)
 	for {
 		n, _, err := r.conn.ReadFromUDP(buf)
 		if err != nil {
 			return // closed
 		}
+		if n > 0 && buf[0] == 'B' {
+			// A batch datagram: every decodable update runs through the same
+			// per-update acceptance as single datagrams. Corrupt items are
+			// dropped individually (the decoder keeps framing), just another
+			// form of link loss.
+			batch, _, rest, err := wire.DecodeBatch(buf[:n])
+			if err != nil || len(rest) != 0 {
+				continue // corrupt datagram: drop, like any lossy link
+			}
+			for _, u := range batch.Updates {
+				r.deliver(u, forced, rng)
+			}
+			continue
+		}
 		u, rest, err := wire.DecodeUpdate(buf[:n])
 		if err != nil || len(rest) != 0 {
 			continue // corrupt datagram: drop, like any lossy link
 		}
-		r.mu.Lock()
-		if last, ok := r.lastSeq[u.Var]; ok && u.SeqNo <= last {
-			r.discarded++
-			r.mu.Unlock()
-			continue // out-of-order or duplicate: discard (Section 2.1)
-		}
-		if forced != nil && !forced.Deliver(u, rng) {
-			// Forced loss still advances the order horizon: the link
-			// "lost" this update and later arrivals remain in order.
-			r.lastSeq[u.Var] = u.SeqNo
-			r.forced++
-			r.mu.Unlock()
-			continue
-		}
-		r.lastSeq[u.Var] = u.SeqNo
-		r.mu.Unlock()
+		r.deliver(u, forced, rng)
+	}
+}
 
-		select {
-		case r.out <- u:
-		default:
-			// Receiver overrun: drop, indistinguishable from link loss.
-		}
+// deliver applies the in-order rule and forced loss to one received update
+// and hands survivors to the output channel — identical acceptance whether
+// the update arrived alone or inside a batch datagram.
+func (r *UDPReceiver) deliver(u event.Update, forced link.Model, rng *rand.Rand) {
+	r.mu.Lock()
+	if last, ok := r.lastSeq[u.Var]; ok && u.SeqNo <= last {
+		r.discarded++
+		r.mu.Unlock()
+		return // out-of-order or duplicate: discard (Section 2.1)
+	}
+	if forced != nil && !forced.Deliver(u, rng) {
+		// Forced loss still advances the order horizon: the link "lost"
+		// this update and later arrivals remain in order.
+		r.lastSeq[u.Var] = u.SeqNo
+		r.forced++
+		r.mu.Unlock()
+		return
+	}
+	r.lastSeq[u.Var] = u.SeqNo
+	r.mu.Unlock()
+
+	select {
+	case r.out <- u:
+	default:
+		// Receiver overrun: drop, indistinguishable from link loss.
 	}
 }
 

@@ -267,3 +267,110 @@ func TestEndToEndNetworkedReplicatedSystem(t *testing.T) {
 		t.Errorf("displayed duplicate alerts: %v", displayed)
 	}
 }
+
+func TestUDPBatchFrontLink(t *testing.T) {
+	recv, err := ListenUDP("127.0.0.1:0", UDPReceiverOptions{})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer recv.Close()
+
+	pub, err := NewUDPPublisher(recv.Addr())
+	if err != nil {
+		t.Fatalf("NewUDPPublisher: %v", err)
+	}
+	defer pub.Close()
+
+	us := make([]event.Update, 100)
+	for i := range us {
+		us[i] = event.U("x", int64(i+1), float64(i)*1.5)
+	}
+	if err := pub.PublishBatch("x", us); err != nil {
+		t.Fatalf("PublishBatch: %v", err)
+	}
+	got := collect(t, recv, 100, 5*time.Second)
+	if len(got) != 100 {
+		t.Fatalf("received %d updates, want 100", len(got))
+	}
+	for i, u := range got {
+		if u != us[i] {
+			t.Fatalf("update %d: got %v, want %v", i, u, us[i])
+		}
+	}
+}
+
+func TestUDPBatchSplitsOversizedRuns(t *testing.T) {
+	recv, err := ListenUDP("127.0.0.1:0", UDPReceiverOptions{})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer recv.Close()
+
+	pub, err := NewUDPPublisher(recv.Addr())
+	if err != nil {
+		t.Fatalf("NewUDPPublisher: %v", err)
+	}
+	defer pub.Close()
+
+	// More than one datagram's worth of 16-byte records (64KB / 16 ≈ 4095
+	// per chunk after the header): the publisher must split, and loopback
+	// rarely drops, so most should land. Require in-order, gap-free prefix
+	// semantics rather than exact counts — this is still UDP.
+	const n = 5000
+	us := make([]event.Update, n)
+	for i := range us {
+		us[i] = event.U("x", int64(i+1), float64(i))
+	}
+	if err := pub.PublishBatch("x", us); err != nil {
+		t.Fatalf("PublishBatch: %v", err)
+	}
+	// Receiver-overrun drops mean fewer than n may arrive; a short timeout
+	// bounds the wait without weakening the ordering assertion below.
+	got := collect(t, recv, n, time.Second)
+	if len(got) == 0 {
+		t.Fatal("no updates received")
+	}
+	last := int64(0)
+	for _, u := range got {
+		if u.SeqNo <= last {
+			t.Fatalf("out-of-order delivery: %d after %d", u.SeqNo, last)
+		}
+		last = u.SeqNo
+	}
+}
+
+func TestUDPBatchInOrderAcrossBatchAndSingle(t *testing.T) {
+	recv, err := ListenUDP("127.0.0.1:0", UDPReceiverOptions{})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer recv.Close()
+
+	pub, err := NewUDPPublisher(recv.Addr())
+	if err != nil {
+		t.Fatalf("NewUDPPublisher: %v", err)
+	}
+	defer pub.Close()
+
+	// A batch, then a stale single, then a fresh single: the receiver's
+	// sequence check must span datagram kinds.
+	if err := pub.PublishBatch("x", []event.Update{
+		event.U("x", 1, 10), event.U("x", 2, 20), event.U("x", 3, 30),
+	}); err != nil {
+		t.Fatalf("PublishBatch: %v", err)
+	}
+	if err := pub.Publish(event.U("x", 2, 99)); err != nil { // stale
+		t.Fatalf("Publish: %v", err)
+	}
+	if err := pub.Publish(event.U("x", 4, 40)); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	got := collect(t, recv, 4, 5*time.Second)
+	if !event.SeqNos(got, "x").Equal(seq.Seq{1, 2, 3, 4}) {
+		t.Errorf("received %v, want ⟨1,2,3,4⟩", event.SeqNos(got, "x"))
+	}
+	discarded, _ := recv.Stats()
+	if discarded != 1 {
+		t.Errorf("discarded = %d, want 1 (the stale single)", discarded)
+	}
+}

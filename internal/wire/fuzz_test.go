@@ -60,6 +60,77 @@ func FuzzDecodeAlert(f *testing.F) {
 	})
 }
 
+// FuzzBatchRoundTrip asserts decode(encode(x)) == x for every batch the
+// encoder accepts: the contract-checked encoder and the item-tolerant
+// decoder must agree exactly on clean frames.
+func FuzzBatchRoundTrip(f *testing.F) {
+	f.Add([]byte("x"), int64(1), 10.0, int64(2), 20.0, int64(9), -1.5)
+	f.Add([]byte(""), int64(0), 0.0, int64(0), 0.0, int64(0), 0.0)
+	f.Add([]byte("reactor"), int64(5), 3000.0, int64(4), 2000.0, int64(-3), 1.0)
+	f.Fuzz(func(t *testing.T, name []byte, s1 int64, v1 float64, s2 int64, v2 float64, s3 int64, v3 float64) {
+		v := event.VarName(name)
+		us := []event.Update{
+			{Var: v, SeqNo: s1, Value: v1},
+			{Var: v, SeqNo: s2, Value: v2},
+			{Var: v, SeqNo: s3, Value: v3},
+		}
+		b, err := AppendBatch(nil, v, us)
+		if err != nil {
+			return // encoder rejected a contract violation: nothing to check
+		}
+		got, itemErrs, rest, err := DecodeBatch(b)
+		if err != nil {
+			t.Fatalf("clean frame failed to decode: %v", err)
+		}
+		if len(itemErrs) != 0 {
+			t.Fatalf("clean frame produced item errors: %v", itemErrs)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("clean frame left %d trailing bytes", len(rest))
+		}
+		if got.Var != v || len(got.Updates) != len(us) {
+			t.Fatalf("round trip = %+v, want %d updates of %q", got, len(us), v)
+		}
+		for i := range us {
+			g, w := got.Updates[i], us[i]
+			if g.Var != w.Var || g.SeqNo != w.SeqNo {
+				t.Fatalf("update %d = %v, want %v", i, g, w)
+			}
+			if g.Value != w.Value && (g.Value == g.Value || w.Value == w.Value) {
+				t.Fatalf("update %d value = %v, want %v", i, g.Value, w.Value)
+			}
+		}
+	})
+}
+
+// FuzzDecodeBatch ensures the batch decoder never panics on arbitrary
+// bytes, and that whatever it accepts re-encodes to the bytes it consumed
+// (modulo items it rejected, which a clean re-encode cannot reproduce).
+func FuzzDecodeBatch(f *testing.F) {
+	seed, err := EncodeBatch("x", []event.Update{event.U("x", 1, 10), event.U("x", 3, 30)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{'B'})
+	f.Add([]byte{'B', 0, 1, 'x'})
+	f.Add([]byte{'B', 0, 1, 'x', 0, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, itemErrs, rest, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		re, err := AppendBatch(nil, got.Var, got.Updates)
+		if err != nil {
+			t.Fatalf("decoded batch %+v does not re-encode: %v", got, err)
+		}
+		if len(itemErrs) == 0 && !bytes.Equal(re, data[:len(data)-len(rest)]) {
+			t.Fatalf("re-encode mismatch for %+v", got)
+		}
+	})
+}
+
 // FuzzDecodeDigest ensures the digest decoder never panics.
 func FuzzDecodeDigest(f *testing.F) {
 	d := DigestOf(event.Alert{Cond: "c", Histories: event.HistorySet{

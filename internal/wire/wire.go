@@ -25,6 +25,7 @@ const (
 	tagUpdate byte = 'U'
 	tagAlert  byte = 'A'
 	tagDigest byte = 'D'
+	tagBatch  byte = 'B'
 )
 
 // maxStringLen bounds encoded names; longer inputs are rejected rather
@@ -83,6 +84,113 @@ func DecodeUpdate(b []byte) (event.Update, []byte, error) {
 		return event.Update{}, nil, errf("negative sequence number %d", u.SeqNo)
 	}
 	return u, b[16:], nil
+}
+
+// Batch is a batched update frame: a run of in-order updates for a single
+// variable sharing one header. It is the wire realization of the runtime's
+// EmitBatch — one tag and one variable name amortized over the whole run,
+// with each update contributing only its 16-byte (seqno, value) record.
+type Batch struct {
+	Var event.VarName
+	// Updates carry Var and strictly increasing sequence numbers, oldest
+	// first — the order a front link delivers them in.
+	Updates []event.Update
+}
+
+// ItemError reports one undecodable update inside an otherwise well-formed
+// batch frame. Because batch items are fixed-size records, a bad item never
+// desynchronizes the frame: DecodeBatch skips it and keeps decoding.
+type ItemError struct {
+	// Index is the item's position in the encoded frame.
+	Index int
+	Err   error
+}
+
+// Error implements error.
+func (e ItemError) Error() string { return fmt.Sprintf("wire: batch item %d: %v", e.Index, e.Err) }
+
+// AppendBatch appends the encoding of a batch frame for variable v to dst.
+// It enforces the frame contract — every update is for v with a
+// non-negative, strictly increasing sequence number — so that any frame it
+// produces decodes with no item errors.
+func AppendBatch(dst []byte, v event.VarName, updates []event.Update) ([]byte, error) {
+	if len(v) > maxStringLen {
+		return nil, fmt.Errorf("wire: variable name of %d bytes exceeds limit", len(v))
+	}
+	if len(updates) > maxStringLen {
+		return nil, fmt.Errorf("wire: batch of %d updates exceeds limit", len(updates))
+	}
+	last := int64(-1)
+	for i, u := range updates {
+		if u.Var != v {
+			return nil, fmt.Errorf("wire: batch for %q contains update %d for %q", v, i, u.Var)
+		}
+		if u.SeqNo < 0 {
+			return nil, fmt.Errorf("wire: batch update %d has negative sequence number %d", i, u.SeqNo)
+		}
+		if u.SeqNo <= last {
+			return nil, fmt.Errorf("wire: batch update %d seqno %d does not exceed predecessor %d", i, u.SeqNo, last)
+		}
+		last = u.SeqNo
+	}
+	dst = append(dst, tagBatch)
+	dst = appendString(dst, string(v))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(updates)))
+	for _, u := range updates {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(u.SeqNo))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(u.Value))
+	}
+	return dst, nil
+}
+
+// EncodeBatch encodes a batch frame.
+func EncodeBatch(v event.VarName, updates []event.Update) ([]byte, error) {
+	return AppendBatch(nil, v, updates)
+}
+
+// DecodeBatch decodes a batch frame, returning trailing bytes. Frame-level
+// corruption (bad tag, truncated header or body) fails the whole frame;
+// per-item violations of the batch contract — a negative or non-increasing
+// sequence number — are reported in itemErrs while the remaining items
+// still decode, so one corrupt record never costs the rest of the frame.
+func DecodeBatch(b []byte) (batch Batch, itemErrs []ItemError, rest []byte, err error) {
+	if len(b) == 0 || b[0] != tagBatch {
+		return Batch{}, nil, nil, errf("not a batch message")
+	}
+	b = b[1:]
+	name, b, err := readString(b)
+	if err != nil {
+		return Batch{}, nil, nil, err
+	}
+	if len(b) < 2 {
+		return Batch{}, nil, nil, errf("truncated batch count")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < 16*n {
+		return Batch{}, nil, nil, errf("truncated batch body (want %d items, have %d bytes)", n, len(b))
+	}
+	batch = Batch{Var: event.VarName(name)}
+	if n > 0 {
+		batch.Updates = make([]event.Update, 0, n)
+	}
+	last := int64(-1)
+	for i := 0; i < n; i++ {
+		seqNo := int64(binary.BigEndian.Uint64(b))
+		value := math.Float64frombits(binary.BigEndian.Uint64(b[8:]))
+		b = b[16:]
+		switch {
+		case seqNo < 0:
+			itemErrs = append(itemErrs, ItemError{Index: i, Err: errf("negative sequence number %d", seqNo)})
+			continue
+		case seqNo <= last:
+			itemErrs = append(itemErrs, ItemError{Index: i, Err: errf("sequence number %d does not exceed predecessor %d", seqNo, last)})
+			continue
+		}
+		last = seqNo
+		batch.Updates = append(batch.Updates, event.Update{Var: batch.Var, SeqNo: seqNo, Value: value})
+	}
+	return batch, itemErrs, b, nil
 }
 
 // AppendAlert appends the encoding of a full alert — condition, source and

@@ -145,6 +145,165 @@ func TestEncodeRejectsOversizedNames(t *testing.T) {
 	}
 }
 
+func sampleBatch() []event.Update {
+	return []event.Update{
+		event.U("x", 3, 2900), event.U("x", 4, 3000.5), event.U("x", 6, -12),
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	us := sampleBatch()
+	b, err := EncodeBatch("x", us)
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+	got, itemErrs, rest, err := DecodeBatch(b)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(itemErrs) != 0 {
+		t.Errorf("item errors on a clean frame: %v", itemErrs)
+	}
+	if len(rest) != 0 {
+		t.Errorf("trailing bytes: %d", len(rest))
+	}
+	if got.Var != "x" || len(got.Updates) != len(us) {
+		t.Fatalf("batch = %+v, want 3 x-updates", got)
+	}
+	for i, u := range got.Updates {
+		if u != us[i] {
+			t.Errorf("update %d = %v, want %v", i, u, us[i])
+		}
+	}
+}
+
+func TestBatchEmptyRoundTrip(t *testing.T) {
+	b, err := EncodeBatch("x", nil)
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+	got, itemErrs, rest, err := DecodeBatch(b)
+	if err != nil || len(itemErrs) != 0 || len(rest) != 0 {
+		t.Fatalf("DecodeBatch: %v %v rest=%d", err, itemErrs, len(rest))
+	}
+	if got.Var != "x" || len(got.Updates) != 0 {
+		t.Errorf("batch = %+v, want empty x batch", got)
+	}
+}
+
+func TestBatchHeaderAmortization(t *testing.T) {
+	// The point of the frame: n updates cost one header plus 16 bytes each,
+	// versus n full per-update encodings.
+	us := make([]event.Update, 64)
+	for i := range us {
+		us[i] = event.U("reactor_temp", int64(i+1), float64(i))
+	}
+	batched, err := EncodeBatch("reactor_temp", us)
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+	var single int
+	for _, u := range us {
+		b, err := EncodeUpdate(u)
+		if err != nil {
+			t.Fatalf("EncodeUpdate: %v", err)
+		}
+		single += len(b)
+	}
+	if want := 1 + 2 + len("reactor_temp") + 2 + 16*len(us); len(batched) != want {
+		t.Errorf("batched frame = %d bytes, want %d", len(batched), want)
+	}
+	if len(batched) >= single {
+		t.Errorf("batched frame (%d bytes) not smaller than %d per-update frames (%d bytes)", len(batched), len(us), single)
+	}
+}
+
+func TestBatchEncodeRejectsContractViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		us   []event.Update
+	}{
+		{"wrong variable", []event.Update{event.U("y", 1, 0)}},
+		{"negative seqno", []event.Update{{Var: "x", SeqNo: -1}}},
+		{"non-increasing", []event.Update{event.U("x", 2, 0), event.U("x", 2, 1)}},
+		{"decreasing", []event.Update{event.U("x", 5, 0), event.U("x", 3, 1)}},
+	}
+	for _, tc := range cases {
+		if _, err := EncodeBatch("x", tc.us); err == nil {
+			t.Errorf("%s: EncodeBatch should fail", tc.name)
+		}
+	}
+	long := strings.Repeat("v", 70000)
+	if _, err := EncodeBatch(event.VarName(long), nil); err == nil {
+		t.Error("oversized variable name should be rejected")
+	}
+}
+
+func TestBatchDecodeSkipsCorruptItemsKeepsRest(t *testing.T) {
+	us := sampleBatch()
+	b, err := EncodeBatch("x", us)
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+	// Corrupt the middle item's seqno in place: set the sign bit (negative)
+	// — item 1 must be reported bad, items 0 and 2 must survive.
+	itemStart := 1 + 2 + len("x") + 2 + 16*1
+	b[itemStart] |= 0x80
+	got, itemErrs, rest, err := DecodeBatch(b)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("trailing bytes: %d", len(rest))
+	}
+	if len(itemErrs) != 1 || itemErrs[0].Index != 1 {
+		t.Fatalf("itemErrs = %v, want exactly item 1", itemErrs)
+	}
+	if len(got.Updates) != 2 || got.Updates[0] != us[0] || got.Updates[1] != us[2] {
+		t.Errorf("kept updates = %v, want items 0 and 2 of %v", got.Updates, us)
+	}
+
+	// Rewind the seqno of the middle item instead (stale duplicate): same
+	// recovery, different item error.
+	b2, err := EncodeBatch("x", us)
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+	copy(b2[itemStart:], make([]byte, 8)) // seqno 0 ≤ predecessor 3
+	got2, itemErrs2, _, err := DecodeBatch(b2)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(itemErrs2) != 1 || itemErrs2[0].Index != 1 {
+		t.Fatalf("itemErrs = %v, want exactly item 1", itemErrs2)
+	}
+	if len(got2.Updates) != 2 {
+		t.Errorf("kept %d updates, want 2", len(got2.Updates))
+	}
+}
+
+func TestBatchTruncationErrors(t *testing.T) {
+	full, err := EncodeBatch("x", sampleBatch())
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, _, err := DecodeBatch(full[:cut]); err == nil {
+			t.Fatalf("DecodeBatch of %d/%d bytes should fail", cut, len(full))
+		}
+	}
+	if _, _, _, err := DecodeBatch(full); err != nil {
+		t.Fatalf("DecodeBatch of the full frame: %v", err)
+	}
+	u, err := EncodeUpdate(event.U("x", 1, 2))
+	if err != nil {
+		t.Fatalf("EncodeUpdate: %v", err)
+	}
+	if _, _, _, err := DecodeBatch(u); err == nil {
+		t.Error("DecodeBatch of an update frame should fail")
+	}
+}
+
 func TestDigestRoundTrip(t *testing.T) {
 	d := DigestOf(sampleAlert())
 	b, err := AppendDigest(nil, d)
