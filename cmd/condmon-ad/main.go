@@ -22,6 +22,7 @@ import (
 
 	"condmon/internal/ad"
 	"condmon/internal/event"
+	"condmon/internal/obs"
 	"condmon/internal/transport"
 )
 
@@ -39,6 +40,7 @@ func run(args []string, out io.Writer) error {
 		algo   = fs.String("ad-algo", "AD-1", "filtering algorithm: AD-0 … AD-6")
 		vars   = fs.String("vars", "x", "comma-separated condition variables")
 		n      = fs.Int("n", 0, "exit after this many received alerts (0 = run until interrupted)")
+		maddr  = fs.String("metrics", "", "serve /metrics and /debug/pprof/ on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +55,16 @@ func run(args []string, out io.Writer) error {
 	filter, err := ad.NewByName(*algo, varNames...)
 	if err != nil {
 		return err
+	}
+	if *maddr != "" {
+		reg := obs.NewRegistry()
+		filter = ad.RegisterInstrumented(reg, "ad", filter)
+		srv, err := obs.Serve(*maddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
 	}
 
 	l, err := transport.ListenAD(*listen)

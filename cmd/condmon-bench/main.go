@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"condmon/internal/exp"
 )
@@ -38,12 +39,17 @@ func run(args []string, out io.Writer) error {
 		lossP  = fs.Float64("loss", 0.3, "per-update front-link drop probability in lossy rows")
 		asCSV  = fs.Bool("csv", false, "emit curve experiments (benefit, tradeoff, replicas, downtime) as CSV")
 		perf   = fs.Bool("perf", false, "measure hot-path micro-benchmarks and emit JSON (see BENCH_PR1.json); skips the paper experiments")
+		maddr  = fs.String("metrics", "", "with -perf, attach pipeline counters to the MultiSystem runs and serve /metrics and /debug/pprof/ on this address afterwards")
+		hold   = fs.Duration("hold", 30*time.Second, "how long to keep the -metrics endpoint up after measuring")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *perf {
-		return runPerf(out)
+		return runPerf(out, *maddr, *hold)
+	}
+	if *maddr != "" {
+		return fmt.Errorf("-metrics requires -perf (the paper experiments are pure and carry no counters)")
 	}
 	cfg := exp.Config{Seed: *seed, Trials: *trials, StreamLen: *length, LossP: *lossP}
 

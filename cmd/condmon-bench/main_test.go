@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"condmon/internal/obs"
 )
 
 func TestRunSelectedTable(t *testing.T) {
@@ -51,6 +53,42 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-len", "99", "table1"}, &out); err == nil {
 		t.Error("len=99 should fail")
+	}
+}
+
+func TestRunMetricsRequiresPerf(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-metrics", "127.0.0.1:0", "table1"}, &out); err == nil {
+		t.Error("-metrics without -perf should fail")
+	}
+}
+
+// A metered throughput run must leave reconciled counters behind: what the
+// DMs emitted either crossed each front link or was dropped on it.
+func TestMultiThroughputWithMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := multiThroughput(16, 40, 800, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 800 {
+		t.Fatalf("res.Updates = %d, want 800", res.Updates)
+	}
+	get := func(name string) int64 {
+		p, ok := reg.Get(name)
+		if !ok {
+			t.Fatalf("metric %q not registered", name)
+		}
+		return p.Value
+	}
+	emitted := get("multi.emitted")
+	if emitted != 800 {
+		t.Errorf("multi.emitted = %d, want 800", emitted)
+	}
+	// 40 conditions over 8 vars → 5 conditions per var × 2 replicas = 10
+	// stations per variable's 100 updates.
+	if del, lost := get("multi.delivered"), get("multi.lost"); del+lost != 8000 {
+		t.Errorf("delivered(%d) + lost(%d) = %d, want 8000 traversals", del, lost, del+lost)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"condmon/internal/cond"
 	"condmon/internal/event"
 	"condmon/internal/link"
+	"condmon/internal/obs"
 	crt "condmon/internal/runtime"
 	"condmon/internal/sim"
 	"condmon/internal/workload"
@@ -107,7 +109,9 @@ func filterStream() ([]event.Alert, error) {
 // filtered before the clock stops. Goroutines is sampled while the system
 // is live: with the sharded worker pool it stays O(workers) rather than
 // the O(conditions × replicas × variables) of a goroutine-per-link wiring.
-func multiThroughput(batchSize, conditions, total int) (throughputResult, error) {
+// A non-nil reg attaches the full multi.* / ad.* counter set to the run;
+// the default nil registry measures the uninstrumented configuration.
+func multiThroughput(batchSize, conditions, total int, reg *obs.Registry) (throughputResult, error) {
 	const nVars = 8
 	vars := make([]event.VarName, nVars)
 	for i := range vars {
@@ -124,7 +128,7 @@ func multiThroughput(batchSize, conditions, total int) (throughputResult, error)
 	}
 	sys, err := crt.NewMulti(conds, func(c cond.Condition) ad.Filter {
 		return ad.NewAD1()
-	}, crt.MultiOptions{Replicas: 2, Seed: 1})
+	}, crt.MultiOptions{Replicas: 2, Seed: 1, Metrics: reg})
 	if err != nil {
 		return throughputResult{}, err
 	}
@@ -172,7 +176,15 @@ func multiThroughput(batchSize, conditions, total int) (throughputResult, error)
 	return res, nil
 }
 
-func runPerf(out io.Writer) error {
+// runPerf measures the hot paths and emits the JSON report on out. With a
+// non-empty metricsAddr the MultiSystem runs carry pipeline counters and
+// the registry is served over HTTP for the hold duration afterwards (the
+// serving notice goes to stderr so out stays valid JSON).
+func runPerf(out io.Writer, metricsAddr string, hold time.Duration) error {
+	var reg *obs.Registry
+	if metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
 	merged, err := filterStream()
 	if err != nil {
 		return err
@@ -213,7 +225,7 @@ func runPerf(out io.Writer) error {
 		{"MultiSystemThroughput/per_update", 1},
 		{"MultiSystemThroughput/batched", 256},
 	} {
-		res, err := multiThroughput(m.batch, 1000, 20000)
+		res, err := multiThroughput(m.batch, 1000, 20000, reg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", m.key, err)
 		}
@@ -223,5 +235,18 @@ func runPerf(out io.Writer) error {
 	// encoding/json sorts map keys, so the output is diff-friendly.
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(report)
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+
+	if reg != nil {
+		srv, err := obs.Serve(metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof at /debug/pprof/), holding %s\n", srv.Addr(), hold)
+		time.Sleep(hold)
+	}
+	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"condmon/internal/ce"
 	"condmon/internal/cond"
 	"condmon/internal/link"
+	"condmon/internal/obs"
 	"condmon/internal/transport"
 )
 
@@ -42,6 +43,7 @@ func run(args []string, out io.Writer) error {
 		dropP    = fs.Float64("drop", 0, "forced front-link drop probability (testing aid)")
 		seed     = fs.Int64("seed", 1, "seed for forced drops")
 		n        = fs.Int("n", 0, "exit after this many received updates (0 = run until interrupted)")
+		maddr    = fs.String("metrics", "", "serve /metrics and /debug/pprof/ on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +61,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	var reg *obs.Registry
+	if *maddr != "" {
+		reg = obs.NewRegistry()
+		eval.SetMetrics(ce.RegisterMetrics(reg, "ce."+*id))
+	}
+
 	var forced link.Model
 	if *dropP > 0 {
 		b, err := link.NewBernoulli(*dropP)
@@ -70,11 +78,20 @@ func run(args []string, out io.Writer) error {
 	recv, err := transport.ListenUDP(*listen, transport.UDPReceiverOptions{
 		ForcedLoss: forced,
 		Seed:       *seed,
+		Metrics:    reg,
 	})
 	if err != nil {
 		return err
 	}
 	defer recv.Close()
+	if reg != nil {
+		srv, err := obs.Serve(*maddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+	}
 	fmt.Fprintf(out, "%s listening on %s, forwarding to %s\n", *id, recv.Addr(), *adAddr)
 
 	snd, err := transport.DialAD(*adAddr)

@@ -12,6 +12,11 @@
 // update subsequence one replica received. Exit status is 0 when all three
 // properties hold, 1 on an analysis error, and 2 when some property is
 // violated (the violations are printed).
+//
+// The docs subcommand lints Go source trees for undocumented exported
+// identifiers (the CI documentation gate):
+//
+//	condmon-check docs ./internal
 package main
 
 import (
@@ -39,6 +44,9 @@ func main() {
 }
 
 func run(args []string, out io.Writer) (int, error) {
+	if len(args) > 0 && args[0] == "docs" {
+		return runDocs(args[1:], out)
+	}
 	fs := flag.NewFlagSet("condmon-check", flag.ContinueOnError)
 	var (
 		condExpr = fs.String("cond", "", "condition DSL expression (single variable)")

@@ -63,6 +63,100 @@ func TestCheckThreeReplicas(t *testing.T) {
 	}
 }
 
+// The docs linter must flag every class of undocumented exported
+// identifier while leaving unexported, documented, and test code alone.
+func TestDocsLinterFindsUndocumented(t *testing.T) {
+	dir := t.TempDir()
+	src := `package sample
+
+// Documented is fine.
+type Documented struct{}
+
+type Missing struct{}
+
+// DoDocumented is fine.
+func DoDocumented() {}
+
+func DoMissing() {}
+
+func unexported() {}
+
+func (Documented) MethodMissing() {}
+
+const MissingConst = 1
+
+// Grouped constants share one comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+var MissingVar int
+`
+	if err := os.WriteFile(filepath.Join(dir, "sample.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Test files are exempt even when undocumented.
+	testSrc := "package sample\n\nfunc HelperInTest() {}\n"
+	if err := os.WriteFile(filepath.Join(dir, "sample_test.go"), []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	code, err := run([]string{"docs", dir}, &out)
+	if err != nil {
+		t.Fatalf("docs: %v", err)
+	}
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"type Missing", "function DoMissing", "method Documented.MethodMissing",
+		"const MissingConst", "var MissingVar",
+		"5 exported identifier(s) lack doc comments",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("findings missing %q:\n%s", want, got)
+		}
+	}
+	for _, forbid := range []string{"Documented ", "DoDocumented", "unexported", "Grouped", "HelperInTest"} {
+		if strings.Contains(got, "exported "+forbid) {
+			t.Errorf("false positive on %q:\n%s", forbid, got)
+		}
+	}
+}
+
+// The repository's own internal tree must stay clean — this is the same
+// invocation CI runs.
+func TestDocsLinterInternalTreeIsClean(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"docs", "../../internal"}, &out)
+	if err != nil {
+		t.Fatalf("docs: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("internal tree has undocumented exported identifiers:\n%s", out.String())
+	}
+}
+
+func TestDocsLinterErrors(t *testing.T) {
+	var out strings.Builder
+	if _, err := run([]string{"docs"}, &out); err == nil {
+		t.Error("docs without directories should fail")
+	}
+	if _, err := run([]string{"docs", "/nonexistent-dir"}, &out); err == nil {
+		t.Error("missing directory should fail")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte("package {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run([]string{"docs", dir}, &out); err == nil {
+		t.Error("unparsable source should fail")
+	}
+}
+
 func TestCheckErrors(t *testing.T) {
 	var out strings.Builder
 	if _, err := run([]string{}, &out); err == nil {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"condmon/internal/event"
+	"condmon/internal/obs"
 	"condmon/internal/transport"
 	"condmon/internal/workload"
 )
@@ -39,6 +40,7 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Int64("seed", 1, "source seed")
 		interval  = fs.Duration("interval", 20*time.Millisecond, "delay between updates")
 		tracePath = fs.String("trace", "", "send updates from this trace instead of a generator")
+		maddr     = fs.String("metrics", "", "serve /metrics and /debug/pprof/ on this address while sending")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +88,17 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer pub.Close()
+
+	if *maddr != "" {
+		reg := obs.NewRegistry()
+		pub.SetMetrics(reg, "dm."+*varName)
+		srv, err := obs.Serve(*maddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+	}
 
 	for _, u := range updates {
 		if err := pub.Publish(u); err != nil {

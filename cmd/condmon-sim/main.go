@@ -8,6 +8,12 @@
 //	condmon-sim -scenario example1 [-ad AD-1]
 //	condmon-sim -scenario list
 //	condmon-sim -cond 'x[0] - x[-1] > 200' -trace trace.txt -loss 0.3 -seed 2 -ad AD-4
+//	condmon-sim -scenario example1 -metrics 127.0.0.1:8080 -hold 1m
+//
+// With -metrics the scenario is additionally replayed through a live
+// runtime.System with every pipeline counter attached, and the resulting
+// registry is served at /metrics (with pprof at /debug/pprof/) for the
+// -hold duration so an operator can scrape or profile it.
 package main
 
 import (
@@ -16,12 +22,15 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"condmon/internal/ad"
 	"condmon/internal/cond"
 	"condmon/internal/event"
 	"condmon/internal/link"
+	"condmon/internal/obs"
 	"condmon/internal/props"
+	"condmon/internal/runtime"
 	"condmon/internal/sim"
 	"condmon/internal/workload"
 
@@ -104,6 +113,8 @@ func run(args []string, out io.Writer) error {
 		tracePath    = fs.String("trace", "", "trace file with the DM's update stream (custom run)")
 		lossP        = fs.Float64("loss", 0.3, "front-link drop probability (custom run)")
 		seed         = fs.Int64("seed", 1, "randomness seed (custom run)")
+		metricsAddr  = fs.String("metrics", "", "replay the scenario through a live System and serve /metrics and /debug/pprof/ on this address (e.g. 127.0.0.1:8080)")
+		hold         = fs.Duration("hold", 30*time.Second, "how long to keep the -metrics endpoint up after the replay")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,6 +135,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *scenarioName == "theorem10" || *scenarioName == "lemma6" {
+		if *metricsAddr != "" {
+			return fmt.Errorf("-metrics supports the single-variable scenarios only")
+		}
 		return runMultiVarScenario(*scenarioName, *adName, out)
 	}
 
@@ -205,6 +219,53 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  %s violated by arrival %v → output %v\n",
 			ex.Property, alerts(ex.Arrival), alerts(ex.Output))
 	}
+
+	if *metricsAddr != "" {
+		return serveMetrics(*metricsAddr, *hold, sc, *adName, *seed, out)
+	}
+	return nil
+}
+
+// serveMetrics replays sc through a live runtime.System with a metrics
+// registry attached, then serves the registry over HTTP for the hold
+// duration. The replica links reuse the scenario's loss models, so the
+// counters tell the same story the trace above printed.
+func serveMetrics(addr string, hold time.Duration, sc scenario, adName string, seed int64, out io.Writer) error {
+	vars := sc.cond.Vars()
+	filter, err := ad.NewByName(adName, vars...)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	sys, err := runtime.New(sc.cond, filter, runtime.Options{
+		Replicas: 2,
+		Seed:     seed,
+		Loss: func(replica int, v event.VarName) link.Model {
+			if replica == 0 {
+				return sc.loss1
+			}
+			return sc.loss2
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	for _, u := range sc.u {
+		if _, err := sys.Emit(u.Var, u.Value); err != nil {
+			return err
+		}
+	}
+	displayed := sys.Close()
+
+	srv, err := obs.Serve(addr, reg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(out, "\nlive replay displayed %d alert(s)\n", len(displayed))
+	fmt.Fprintf(out, "metrics: http://%s/metrics (pprof at /debug/pprof/), holding %s\n", srv.Addr(), hold)
+	time.Sleep(hold)
 	return nil
 }
 

@@ -1,10 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestRunListsScenarios(t *testing.T) {
@@ -72,6 +78,108 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-cond", "abs(x[0]-y[0]) > 1", "-trace", "nofile"}, &out); err == nil {
 		t.Error("multi-variable custom condition should fail")
+	}
+}
+
+// lockedWriter lets the test read run's output while run is still holding
+// the metrics endpoint open in another goroutine.
+type lockedWriter struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.Write(p)
+}
+
+func (w *lockedWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.String()
+}
+
+// TestRunMetricsEndpoint is the PR's acceptance check: during a
+// `condmon-sim -metrics` run the endpoint must serve every documented
+// runtime metric.
+func TestRunMetricsEndpoint(t *testing.T) {
+	out := &lockedWriter{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-scenario", "example1", "-metrics", "127.0.0.1:0", "-hold", "3s"}, out)
+	}()
+
+	// Wait for the replay to print the bound address.
+	addrRe := regexp.MustCompile(`metrics: http://([^/]+)/metrics`)
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics endpoint never came up; output:\n%s", out.String())
+		}
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points map[string]json.RawMessage
+	if err := json.Unmarshal(body, &points); err != nil {
+		t.Fatalf("metrics response is not JSON: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"runtime.emitted", "runtime.emit_batches",
+		"runtime.link.CE1.x.delivered", "runtime.link.CE1.x.lost",
+		"runtime.link.CE2.x.delivered", "runtime.link.CE2.x.lost",
+		"runtime.ad.offered", "runtime.ad.displayed", "runtime.ad.suppressed",
+		"ce.CE1.fed", "ce.CE1.discarded", "ce.CE1.missed_down", "ce.CE1.fired",
+		"ce.CE1.feed_ns", "ce.CE1.feed_batch_ns",
+		"ce.CE2.fed", "ce.CE2.fired",
+	} {
+		if _, ok := points[want]; !ok {
+			t.Errorf("metrics endpoint missing %q", want)
+		}
+	}
+
+	// Example 1: CE2's link drops 2x, CE1's drops nothing.
+	var ce2lost int64
+	if err := json.Unmarshal(points["runtime.link.CE2.x.lost"], &ce2lost); err != nil {
+		t.Fatal(err)
+	}
+	if ce2lost != 1 {
+		t.Errorf("runtime.link.CE2.x.lost = %d, want 1 (example1 drops 2x at CE2)", ce2lost)
+	}
+
+	// pprof must be mounted on the same mux.
+	pp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/cmdline: %v", err)
+	}
+	_ = pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Errorf("pprof endpoint returned %d", pp.StatusCode)
+	}
+
+	if err := <-errc; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunMetricsRejectsMultiVar(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "theorem10", "-metrics", "127.0.0.1:0"}, &out); err == nil {
+		t.Error("-metrics with a multi-variable scenario should fail")
 	}
 }
 

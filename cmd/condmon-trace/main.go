@@ -1,10 +1,16 @@
 // Command condmon-trace generates, inspects, and thins workload traces for
-// the other tools.
+// the other tools, and traces the alert path of a replicated run.
 //
 // Usage:
 //
-//	condmon-trace gen  -var x -source reactor -n 100 -seed 1 -out trace.txt
-//	condmon-trace info -in trace.txt
+//	condmon-trace gen    -var x -source reactor -n 100 -seed 1 -out trace.txt
+//	condmon-trace info   -in trace.txt
+//	condmon-trace alerts -in trace.txt -cond 'x[0] > 3000' -ad AD-1 -loss 0.3 -seed 2
+//
+// The alerts mode replays the trace through a two-replica lossy run and
+// tags every alert reaching the displayer with its originating replica,
+// the update that triggered it, and — when it is suppressed — the filter
+// rule that rejected it.
 package main
 
 import (
@@ -13,8 +19,14 @@ import (
 	"io"
 	"os"
 
+	"condmon/internal/ad"
+	"condmon/internal/cond"
 	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/sim"
 	"condmon/internal/workload"
+
+	"math/rand"
 )
 
 func main() {
@@ -26,15 +38,17 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: condmon-trace gen|info [flags]")
+		return fmt.Errorf("usage: condmon-trace gen|info|alerts [flags]")
 	}
 	switch args[0] {
 	case "gen":
 		return runGen(args[1:], out)
 	case "info":
 		return runInfo(args[1:], out)
+	case "alerts":
+		return runAlerts(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want gen or info)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want gen, info, or alerts)", args[0])
 	}
 }
 
@@ -115,5 +129,90 @@ func runInfo(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  %-10s n=%-6d value range [%g, %g] ordered=%v\n",
 			v, perVar[v], min[v], max[v], ordered)
 	}
+	return nil
+}
+
+// runAlerts replays a trace through a seeded two-replica lossy run and
+// narrates the alert path: one line per alert arriving at the displayer,
+// tagged with its source replica, the triggering update, and the verdict —
+// DISPLAYED, or the name of the filter rule that suppressed it.
+func runAlerts(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("condmon-trace alerts", flag.ContinueOnError)
+	var (
+		condExpr = fs.String("cond", "x[0] > 3000", "condition DSL expression (single-variable)")
+		inPath   = fs.String("in", "", "trace file (default stdin)")
+		adName   = fs.String("ad", "AD-1", "filtering algorithm: AD-0 … AD-6")
+		lossP    = fs.Float64("loss", 0.3, "front-link drop probability")
+		seed     = fs.Int64("seed", 1, "randomness seed for loss and arrival order")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := cond.Parse("cond", *condExpr)
+	if err != nil {
+		return err
+	}
+	if got := len(c.Vars()); got != 1 {
+		return fmt.Errorf("alert tracing is single-variable; condition has %d variables", got)
+	}
+	v := c.Vars()[0]
+
+	var r io.Reader = os.Stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		r = f
+	}
+	updates, err := workload.ReadTrace(r)
+	if err != nil {
+		return err
+	}
+
+	b, err := link.NewBernoulli(*lossP)
+	if err != nil {
+		return err
+	}
+	filter, err := ad.NewByName(*adName, v)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	run, err := sim.RunSingleVar(c, updates, b, b, rng)
+	if err != nil {
+		return err
+	}
+	// The pure transformation T tags alerts with a generic source; stamp
+	// each stream with its replica identity so the trace names the
+	// originating CE.
+	tag := func(as []event.Alert, source string) []event.Alert {
+		tagged := make([]event.Alert, len(as))
+		for i, a := range as {
+			a.Source = source
+			tagged[i] = a
+		}
+		return tagged
+	}
+	merged := sim.RandomArrival(tag(run.A1, "CE1"), tag(run.A2, "CE2"), rng)
+
+	fmt.Fprintf(out, "%d update(s), %d alert(s) reach the displayer under %s\n",
+		len(updates), len(merged), filter.Name())
+	displayed, suppressed := 0, 0
+	for _, a := range merged {
+		trigger := a.Histories[v].Latest()
+		if ad.Offer(filter, a) {
+			displayed++
+			fmt.Fprintf(out, "DISPLAYED  %v from %s trigger=%v\n", a, a.Source, trigger)
+		} else {
+			// Offer rejected the alert without changing filter state, so
+			// Explain still sees the state that rejected it.
+			_, rule := ad.Explain(filter, a)
+			suppressed++
+			fmt.Fprintf(out, "suppressed %v from %s trigger=%v by %s\n", a, a.Source, trigger, rule)
+		}
+	}
+	fmt.Fprintf(out, "displayed=%d suppressed=%d\n", displayed, suppressed)
 	return nil
 }

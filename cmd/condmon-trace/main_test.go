@@ -42,6 +42,43 @@ func TestGenSources(t *testing.T) {
 	}
 }
 
+// The alert-path trace must tag every line with a replica, a triggering
+// update, and — on suppression — the rule that rejected the duplicate.
+func TestAlertsTracesAlertPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	// Lossless links and an always-rising trace: both replicas fire on
+	// every update, so AD-1 displays one copy and suppresses its duplicate.
+	trace := "x,1,3100\nx,2,3200\nx,3,3300\n"
+	if err := os.WriteFile(path, []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"alerts", "-in", path, "-cond", "x[0] > 3000", "-loss", "0", "-seed", "2"}, &out); err != nil {
+		t.Fatalf("alerts: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "6 alert(s) reach the displayer under AD-1") {
+		t.Errorf("header wrong:\n%s", got)
+	}
+	for _, want := range []string{
+		"DISPLAYED", "suppressed", "by AD-1",
+		"from CE1", "from CE2", "trigger=1x(3100)",
+		"displayed=3 suppressed=3",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("alert trace missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestAlertsRejectsMultiVarCondition(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"alerts", "-cond", "abs(x[0]-y[0]) > 1"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "single-variable") {
+		t.Errorf("err = %v, want single-variable rejection", err)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{}, &out); err == nil {

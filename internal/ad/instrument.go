@@ -1,0 +1,94 @@
+package ad
+
+// Observability for the filtering algorithms: Instrumented wraps any
+// Filter with offered/displayed/suppressed counters (how the per-condition
+// AD-1…AD-6 suppression behavior becomes visible on the metrics endpoint),
+// and Explain names the filter rule that rejects an alert (the alert-path
+// trace mode of condmon-trace).
+
+import (
+	"condmon/internal/event"
+	"condmon/internal/obs"
+)
+
+// Instrumented is a Filter that counts the offers made to an inner filter.
+// Offered counts every Offer, and exactly one of Displayed or Suppressed is
+// incremented per Offer, so offered = displayed + suppressed always
+// reconciles. Test and Accept delegate without counting — a combinator
+// probing a constituent is not a user-visible offer.
+type Instrumented struct {
+	inner                           Filter
+	offered, displayed, suppressed *obs.Counter
+}
+
+var _ Filter = (*Instrumented)(nil)
+
+// NewInstrumented wraps inner with the given counters (any may be nil;
+// obs counters no-op on nil receivers).
+func NewInstrumented(inner Filter, offered, displayed, suppressed *obs.Counter) *Instrumented {
+	return &Instrumented{inner: inner, offered: offered, displayed: displayed, suppressed: suppressed}
+}
+
+// RegisterInstrumented wraps inner with counters named <prefix>.offered,
+// <prefix>.displayed, and <prefix>.suppressed in reg. With a nil registry
+// it returns inner unchanged — the off state adds no wrapper to Offer's
+// dispatch.
+func RegisterInstrumented(reg *obs.Registry, prefix string, inner Filter) Filter {
+	if reg == nil {
+		return inner
+	}
+	return NewInstrumented(inner,
+		reg.Counter(prefix+".offered"),
+		reg.Counter(prefix+".displayed"),
+		reg.Counter(prefix+".suppressed"))
+}
+
+// Name implements Filter, reporting the inner algorithm's name.
+func (f *Instrumented) Name() string { return f.inner.Name() }
+
+// Test implements Filter by delegating to the inner filter, uncounted.
+func (f *Instrumented) Test(a event.Alert) bool { return f.inner.Test(a) }
+
+// Accept implements Filter by delegating to the inner filter, uncounted.
+func (f *Instrumented) Accept(a event.Alert) { f.inner.Accept(a) }
+
+// testAndSet routes Offer through the inner filter's own fused path (so an
+// instrumented AD-1 keeps its single-probe duplicate discard) and counts
+// the outcome.
+func (f *Instrumented) testAndSet(a event.Alert) bool {
+	f.offered.Inc()
+	if Offer(f.inner, a) {
+		f.displayed.Inc()
+		return true
+	}
+	f.suppressed.Inc()
+	return false
+}
+
+// Unwrap returns the inner filter.
+func (f *Instrumented) Unwrap() Filter { return f.inner }
+
+// Explain reports whether filter f would pass alert a (without changing
+// any state — it only calls Test) and, when it would not, the name of the
+// innermost constituent rule that rejects it: for a combinator like AD-4
+// that is the failing constituent ("AD-2" or "AD-3"), for a plain filter
+// its own name. It is the introspection behind condmon-trace's alert-path
+// mode, answering "which rule suppressed this alert?".
+func Explain(f Filter, a event.Alert) (pass bool, rule string) {
+	switch f := f.(type) {
+	case *Instrumented:
+		return Explain(f.inner, a)
+	case *Combine:
+		for _, g := range f.filters {
+			if pass, rule := Explain(g, a); !pass {
+				return false, rule
+			}
+		}
+		return true, ""
+	default:
+		if f.Test(a) {
+			return true, ""
+		}
+		return false, f.Name()
+	}
+}

@@ -10,10 +10,90 @@ package ce
 
 import (
 	"fmt"
+	"time"
 
 	"condmon/internal/cond"
 	"condmon/internal/event"
+	"condmon/internal/obs"
 )
+
+// Metrics is the evaluator's optional instrumentation. Every field may be
+// nil (obs metrics no-op on nil receivers), the whole struct may be nil
+// (the default — SetMetrics was never called), and one Metrics value may be
+// shared by many evaluators: the fields are atomic, and sharing is how
+// runtime.MultiSystem aggregates its thousands of evaluators into one set
+// of counters. With a nil Metrics the evaluator's hot path pays only a nil
+// check, preserving the zero-allocation invariant the alloc tests pin.
+type Metrics struct {
+	// Fed counts updates accepted into a window; Discarded counts
+	// out-of-order, duplicate, and irrelevant-variable deliveries;
+	// MissedDown counts updates missed while the evaluator was failed —
+	// the same classification as Stats, but observable live.
+	Fed, Discarded, MissedDown *obs.Counter
+	// Fired counts evaluations that raised an alert.
+	Fired *obs.Counter
+	// FeedNs and FeedBatchNs record per-call latency in nanoseconds (one
+	// FeedBatchNs observation covers a whole batch).
+	FeedNs, FeedBatchNs *obs.Histogram
+}
+
+// The nil-receiver helpers below let the hot path record unconditionally:
+// with metrics off (m == nil) each call is a single branch.
+
+func (m *Metrics) incFed() {
+	if m != nil {
+		m.Fed.Inc()
+	}
+}
+
+func (m *Metrics) incDiscarded() {
+	if m != nil {
+		m.Discarded.Inc()
+	}
+}
+
+func (m *Metrics) addMissedDown(n int64) {
+	if m != nil {
+		m.MissedDown.Add(n)
+	}
+}
+
+func (m *Metrics) incFired() {
+	if m != nil {
+		m.Fired.Inc()
+	}
+}
+
+func (m *Metrics) feedHist() *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.FeedNs
+}
+
+func (m *Metrics) feedBatchHist() *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.FeedBatchNs
+}
+
+// RegisterMetrics builds a Metrics wired to counters and histograms named
+// under prefix in reg: <prefix>.fed, .discarded, .missed_down, .fired,
+// .feed_ns, .feed_batch_ns. A nil registry returns nil — the off state.
+func RegisterMetrics(reg *obs.Registry, prefix string) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Fed:         reg.Counter(prefix + ".fed"),
+		Discarded:   reg.Counter(prefix + ".discarded"),
+		MissedDown:  reg.Counter(prefix + ".missed_down"),
+		Fired:       reg.Counter(prefix + ".fired"),
+		FeedNs:      reg.Histogram(prefix + ".feed_ns"),
+		FeedBatchNs: reg.Histogram(prefix + ".feed_batch_ns"),
+	}
+}
 
 // Evaluator is one Condition Evaluator replica monitoring a single
 // condition. It is not safe for concurrent use; the runtime package wraps
@@ -45,6 +125,10 @@ type Evaluator struct {
 	fed        int64
 	discarded  int64
 	missedDown int64
+
+	// m is the optional live instrumentation; nil (the default) means
+	// metrics are off and the hot path pays only nil checks.
+	m *Metrics
 }
 
 // winSlot pairs a variable with its window for slice-backed lookup.
@@ -155,6 +239,11 @@ func (e *Evaluator) Stats() (fed, discarded, missedDown int64) {
 	return e.fed, e.discarded, e.missedDown
 }
 
+// SetMetrics attaches (or, with nil, detaches) live instrumentation. The
+// same Metrics may be shared across evaluators; see Metrics. Call it before
+// feeding updates — it is not synchronized against a concurrent Feed.
+func (e *Evaluator) SetMetrics(m *Metrics) { e.m = m }
+
 // Feed delivers one update to the evaluator. It returns the alert and true
 // if the condition fired. Updates are handled per Section 2:
 //
@@ -169,22 +258,35 @@ func (e *Evaluator) Stats() (fed, discarded, missedDown int64) {
 //   - Otherwise the update becomes Hv[0] and the condition is re-evaluated;
 //     it can only be evaluated once every window in V is full.
 func (e *Evaluator) Feed(u event.Update) (event.Alert, bool, error) {
+	// The latency observation is a conditional defer so the metrics-off
+	// path — the default — pays one nil check and never reads the clock;
+	// an extra wrapper function here would cost a real call on the
+	// zero-allocation hot path.
+	if h := e.m.feedHist(); h != nil {
+		defer func(start time.Time) {
+			h.ObserveDuration(time.Since(start))
+		}(time.Now())
+	}
 	if e.down {
 		e.missedDown++
+		e.m.addMissedDown(1)
 		return event.Alert{}, false, nil
 	}
 	w := e.window(u.Var)
 	if w == nil {
 		e.discarded++
+		e.m.incDiscarded()
 		return event.Alert{}, false, nil
 	}
 	wasFull := w.Full()
 	if !w.TryPush(u) {
 		// Out-of-order or duplicate delivery: discard, per Section 2.1.
 		e.discarded++
+		e.m.incDiscarded()
 		return event.Alert{}, false, nil
 	}
 	e.fed++
+	e.m.incFed()
 	if !wasFull && w.Full() {
 		e.notFull--
 	}
@@ -202,6 +304,7 @@ func (e *Evaluator) Feed(u event.Update) (event.Alert, bool, error) {
 	}
 	// Only a firing condition pays for the immutable snapshot embedded in
 	// the alert (and for the alert's precomputed identity key).
+	e.m.incFired()
 	return event.NewAlert(e.cond.Name(), e.historySnapshot(), e.id), true, nil
 }
 
@@ -219,8 +322,21 @@ func (e *Evaluator) Feed(u event.Update) (event.Alert, bool, error) {
 // mirroring how the runtime's replica loop continues past a failed Feed;
 // the first error is returned after the whole run is processed.
 func (e *Evaluator) FeedBatch(us []event.Update, dst []event.Alert) ([]event.Alert, error) {
+	// Conditional defer, as in Feed: the metrics-off path pays one nil
+	// check and never reads the clock.
+	if h := e.m.feedBatchHist(); h != nil {
+		defer func(start time.Time) {
+			h.ObserveDuration(time.Since(start))
+		}(time.Now())
+	}
+	return e.feedBatch(us, dst)
+}
+
+// feedBatch is FeedBatch without the latency observation.
+func (e *Evaluator) feedBatch(us []event.Update, dst []event.Alert) ([]event.Alert, error) {
 	if e.down {
 		e.missedDown += int64(len(us))
+		e.m.addMissedDown(int64(len(us)))
 		return dst, nil
 	}
 	var (
@@ -235,6 +351,7 @@ func (e *Evaluator) FeedBatch(us []event.Update, dst []event.Alert) ([]event.Ale
 			w = e.window(u.Var)
 			if w == nil {
 				e.discarded++
+				e.m.incDiscarded()
 				lastVar, lastWin = u.Var, nil
 				continue
 			}
@@ -243,9 +360,11 @@ func (e *Evaluator) FeedBatch(us []event.Update, dst []event.Alert) ([]event.Ale
 		wasFull := w.Full()
 		if !w.TryPush(u) {
 			e.discarded++
+			e.m.incDiscarded()
 			continue
 		}
 		e.fed++
+		e.m.incFed()
 		if !wasFull && w.Full() {
 			e.notFull--
 		}
@@ -279,6 +398,7 @@ func (e *Evaluator) FeedBatch(us []event.Update, dst []event.Alert) ([]event.Ale
 			continue
 		}
 		if fired {
+			e.m.incFired()
 			dst = append(dst, event.NewAlert(e.cond.Name(), e.historySnapshot(), e.id))
 		}
 	}

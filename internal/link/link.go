@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"condmon/internal/event"
+	"condmon/internal/obs"
 	"condmon/internal/seq"
 
 	"math/rand"
@@ -122,6 +123,42 @@ func NewDropSeqNos(v event.VarName, seqNos ...int64) DropSeqNos {
 func (m DropSeqNos) Deliver(u event.Update, _ *rand.Rand) bool {
 	drops, ok := m.Drops[u.Var]
 	return !ok || !drops.Contains(u.SeqNo)
+}
+
+// Counted wraps a Model with per-link delivered/lost counters, making a
+// front link's loss observable without changing its schedule: the inner
+// model consumes exactly the randomness it would unwrapped. Either counter
+// may be nil (obs counters no-op on nil receivers), and Counted is the
+// package's unit of observability — the runtime and the CLI tools wrap
+// whichever links an operator asked to meter.
+type Counted struct {
+	// Model is the wrapped loss model deciding each update's fate.
+	Model Model
+	// Delivered and Lost count the updates the link delivered and dropped.
+	Delivered, Lost *obs.Counter
+}
+
+var _ Model = Counted{}
+
+// NewCounted wraps m with counters named <prefix>.delivered and
+// <prefix>.lost in reg. With a nil registry the counters are nil and the
+// wrapper only forwards.
+func NewCounted(reg *obs.Registry, prefix string, m Model) Counted {
+	return Counted{
+		Model:     m,
+		Delivered: reg.Counter(prefix + ".delivered"),
+		Lost:      reg.Counter(prefix + ".lost"),
+	}
+}
+
+// Deliver implements Model.
+func (m Counted) Deliver(u event.Update, r *rand.Rand) bool {
+	if m.Model.Deliver(u, r) {
+		m.Delivered.Inc()
+		return true
+	}
+	m.Lost.Inc()
+	return false
 }
 
 // Apply runs a stream through a front link, returning the delivered

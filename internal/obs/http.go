@@ -1,0 +1,86 @@
+package obs
+
+// The opt-in HTTP surface: an expvar-style JSON endpoint at /metrics (plain
+// text with ?format=text), plus the standard net/http/pprof handlers under
+// /debug/pprof/. Nothing here is imported unless a command passes -metrics,
+// so the default build path of the pipeline never starts a listener.
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler serves the registry at any path it is mounted on: JSON by
+// default (one key per metric, histograms as {count, sum, buckets}),
+// plain "name value" text with ?format=text.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = r.WriteText(w)
+			return
+		}
+		out := make(map[string]any)
+		for _, p := range r.Snapshot() {
+			switch p.Kind {
+			case KindHistogram:
+				buckets := make(map[string]int64, len(p.Buckets))
+				for _, b := range p.Buckets {
+					key := "+Inf"
+					if b.UpperBound != InfBound {
+						key = strconv.FormatInt(b.UpperBound, 10)
+					}
+					buckets[key] = b.Count
+				}
+				out[p.Name] = map[string]any{"count": p.Value, "sum": p.Sum, "buckets": buckets}
+			default:
+				out[p.Name] = p.Value
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out) // map keys are sorted by encoding/json: diff-friendly
+	})
+}
+
+// NewMux returns a mux with the full observability surface: /metrics (see
+// Handler) and the pprof profile handlers under /debug/pprof/.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoint on addr (use "127.0.0.1:0" for
+// an ephemeral port) and returns once the listener is bound, so Addr is
+// immediately valid. The server runs until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(r)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

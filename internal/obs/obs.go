@@ -1,0 +1,397 @@
+// Package obs is the observability core: a zero-dependency metrics library
+// (atomic counters, gauges, fixed-bucket histograms) and a registry that
+// snapshots them consistently for the HTTP endpoint and the plain-text
+// dump.
+//
+// The package is built around two contracts the rest of the pipeline
+// relies on:
+//
+//   - Nil safety. Every method on *Counter, *Gauge, and *Histogram is a
+//     no-op on a nil receiver, and a nil *Registry hands out nil metrics.
+//     Components therefore thread metric pointers unconditionally through
+//     their hot paths; with metrics disabled (the default) the only cost is
+//     a nil check, which is what preserves the zero-allocation and
+//     throughput numbers pinned by the alloc tests and BENCH_PR3.json.
+//
+//   - Lock-free hot paths. Updates are single atomic adds; the registry
+//     mutex is only taken at registration and snapshot time, never while a
+//     DM, shard worker, or evaluator records a value.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric: updates emitted, alerts
+// suppressed, datagrams lost. All methods are safe on a nil receiver and
+// for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta to the counter. Negative deltas are a programming error
+// but are not checked on the hot path.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count (zero on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value: queue depth, stations on a shard,
+// connected replicas. All methods are safe on a nil receiver and for
+// concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (zero on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultLatencyBounds are the fixed histogram bucket upper bounds used for
+// Feed/FeedBatch latency, in nanoseconds: 250ns up to 100ms, roughly
+// logarithmic. Observations above the last bound land in the implicit +Inf
+// bucket.
+var DefaultLatencyBounds = []int64{
+	250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+	250_000, 500_000, 1_000_000, 2_500_000, 10_000_000, 100_000_000,
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counts.
+// Bucket i counts observations v with bounds[i-1] < v ≤ bounds[i]; one
+// extra +Inf bucket catches everything above the last bound. All methods
+// are safe on a nil receiver and for concurrent use.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given strictly ascending bucket
+// upper bounds. With no bounds it uses DefaultLatencyBounds.
+func NewHistogram(bounds ...int64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBounds
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("obs: histogram bounds must strictly ascend, got %d after %d", bounds[i], bounds[i-1])
+		}
+	}
+	h := &Histogram{bounds: append([]int64(nil), bounds...)}
+	h.buckets = make([]atomic.Int64, len(bounds)+1)
+	return h, nil
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small and fixed, and the common
+	// latency observations land in the first few buckets.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations (zero on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (zero on a nil receiver).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Kind discriminates snapshot points.
+type Kind string
+
+// The snapshot point kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Bucket is one histogram bucket in a snapshot. UpperBound is
+// math.MaxInt64 for the +Inf bucket; Count is the number of observations
+// that landed in this bucket (not cumulative).
+type Bucket struct {
+	UpperBound int64
+	Count      int64
+}
+
+// InfBound is the UpperBound of a histogram's +Inf bucket in snapshots.
+const InfBound = math.MaxInt64
+
+// Point is one metric's value at snapshot time. For histograms, Value is
+// the observation count and Sum/Buckets carry the distribution.
+type Point struct {
+	Name    string
+	Kind    Kind
+	Value   int64
+	Sum     int64
+	Buckets []Bucket
+}
+
+// gaugeFunc adapts a sampling callback (e.g. a channel-depth probe) to the
+// registry.
+type gaugeFunc func() int64
+
+// Registry names and snapshots a set of metrics. The zero value is not
+// usable; call NewRegistry. A nil *Registry is the "metrics off" state:
+// every constructor returns a nil metric whose methods no-op.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string
+	metrics map[string]any // *Counter | *Gauge | *Histogram | gaugeFunc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+// register adds m under name; the caller holds r.mu.
+func (r *Registry) register(name string, m any) {
+	r.order = append(r.order, name)
+	r.metrics[name] = m
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Registering the same name as two different kinds panics: metric
+// names are a static, documented namespace and a clash is a wiring bug.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		c, ok := m.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+		}
+		return c
+	}
+	c := &Counter{}
+	r.register(name, c)
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		g, ok := m.(*Gauge)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+		}
+		return g
+	}
+	g := &Gauge{}
+	r.register(name, g)
+	return g
+}
+
+// GaugeFunc registers a sampled gauge: f is invoked at snapshot time, so
+// values like channel depth are read only when an operator asks. It must be
+// safe to call concurrently with the system running. No-op on a nil
+// registry; re-registering a name replaces the callback.
+func (r *Registry) GaugeFunc(name string, f func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if _, ok := m.(gaugeFunc); !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+		}
+		r.metrics[name] = gaugeFunc(f)
+		return
+	}
+	r.register(name, gaugeFunc(f))
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bounds on first use (DefaultLatencyBounds when none are given).
+// Invalid bounds panic: they are compile-time constants in practice.
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+		}
+		return h
+	}
+	h, err := NewHistogram(bounds...)
+	if err != nil {
+		panic(err)
+	}
+	r.register(name, h)
+	return h
+}
+
+// Snapshot returns every metric's current value in registration order.
+// Individual values are read atomically; the snapshot as a whole is not a
+// global atomic cut (counters keep moving while it is taken), but each
+// histogram's Value always equals the sum of its bucket counts as of some
+// moment between the call's start and return.
+func (r *Registry) Snapshot() []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	order := append([]string(nil), r.order...)
+	metrics := make(map[string]any, len(r.metrics))
+	for k, v := range r.metrics {
+		metrics[k] = v
+	}
+	r.mu.Unlock()
+
+	out := make([]Point, 0, len(order))
+	for _, name := range order {
+		switch m := metrics[name].(type) {
+		case *Counter:
+			out = append(out, Point{Name: name, Kind: KindCounter, Value: m.Value()})
+		case *Gauge:
+			out = append(out, Point{Name: name, Kind: KindGauge, Value: m.Value()})
+		case gaugeFunc:
+			out = append(out, Point{Name: name, Kind: KindGauge, Value: m()})
+		case *Histogram:
+			p := Point{Name: name, Kind: KindHistogram, Buckets: make([]Bucket, len(m.buckets))}
+			// Observe bumps the bucket before count, so reading count first
+			// guarantees the bucket total is never below Value even while
+			// observers are running (it may exceed it by in-flight
+			// observations).
+			p.Value = m.count.Load()
+			p.Sum = m.sum.Load()
+			for i := range m.buckets {
+				bound := int64(InfBound)
+				if i < len(m.bounds) {
+					bound = m.bounds[i]
+				}
+				p.Buckets[i] = Bucket{UpperBound: bound, Count: m.buckets[i].Load()}
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Get returns the snapshot point for one metric name.
+func (r *Registry) Get(name string) (Point, bool) {
+	for _, p := range r.Snapshot() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// WriteText dumps the registry as plain "name value" lines, sorted by
+// name — the format the RUNBOOK's command-line examples grep. Histograms
+// expand to .count, .sum, and per-bucket .le.<bound> lines (.le.+Inf for
+// the overflow bucket).
+func (r *Registry) WriteText(w io.Writer) error {
+	points := r.Snapshot()
+	sort.Slice(points, func(i, j int) bool { return points[i].Name < points[j].Name })
+	for _, p := range points {
+		switch p.Kind {
+		case KindHistogram:
+			if _, err := fmt.Fprintf(w, "%s.count %d\n%s.sum %d\n", p.Name, p.Value, p.Name, p.Sum); err != nil {
+				return err
+			}
+			for _, b := range p.Buckets {
+				bound := "+Inf"
+				if b.UpperBound != InfBound {
+					bound = fmt.Sprintf("%d", b.UpperBound)
+				}
+				if _, err := fmt.Fprintf(w, "%s.le.%s %d\n", p.Name, bound, b.Count); err != nil {
+					return err
+				}
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %d\n", p.Name, p.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

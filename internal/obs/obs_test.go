@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrentIncrements(t *testing.T) {
+	const goroutines, perG = 8, 10000
+	c := NewRegistry().Counter("c")
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("concurrent Inc lost updates: got %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewRegistry().Gauge("g")
+	g.Set(42)
+	g.Add(-2)
+	if got := g.Value(); got != 40 {
+		t.Errorf("gauge = %d, want 40", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h, err := NewHistogram(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket i holds bounds[i-1] < v ≤ bounds[i]: boundary values land in
+	// the bucket they bound.
+	for _, v := range []int64{-1, 5, 10, 11, 20, 21, 1000} {
+		h.Observe(v)
+	}
+	reg := NewRegistry()
+	got := reg.Histogram("h", 10, 20) // fresh; re-observe through registry
+	for _, v := range []int64{-1, 5, 10, 11, 20, 21, 1000} {
+		got.Observe(v)
+	}
+	p, ok := reg.Get("h")
+	if !ok {
+		t.Fatal("histogram not in snapshot")
+	}
+	want := []Bucket{{10, 3}, {20, 2}, {InfBound, 2}}
+	if len(p.Buckets) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(p.Buckets), len(want))
+	}
+	for i, b := range want {
+		if p.Buckets[i] != b {
+			t.Errorf("bucket %d = %+v, want %+v", i, p.Buckets[i], b)
+		}
+	}
+	if p.Value != 7 {
+		t.Errorf("count = %d, want 7", p.Value)
+	}
+	if p.Sum != -1+5+10+11+20+21+1000 {
+		t.Errorf("sum = %d, want %d", p.Sum, -1+5+10+11+20+21+1000)
+	}
+}
+
+func TestHistogramRejectsUnorderedBounds(t *testing.T) {
+	if _, err := NewHistogram(10, 10); err == nil {
+		t.Error("equal bounds accepted")
+	}
+	if _, err := NewHistogram(20, 10); err == nil {
+		t.Error("descending bounds accepted")
+	}
+}
+
+// Snapshots taken while observers hammer the metrics must be internally
+// consistent: counters monotonic across snapshots, and a histogram's bucket
+// total never below its observation count.
+func TestSnapshotConsistencyUnderConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	h := reg.Histogram("h", 1, 2, 4)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(int64(i % 6))
+				}
+			}
+		}(g)
+	}
+	var lastC int64
+	for i := 0; i < 200; i++ {
+		pc, _ := reg.Get("c")
+		if pc.Value < lastC {
+			t.Fatalf("counter went backwards: %d after %d", pc.Value, lastC)
+		}
+		lastC = pc.Value
+		ph, _ := reg.Get("h")
+		var total int64
+		for _, b := range ph.Buckets {
+			total += b.Count
+		}
+		if total < ph.Value {
+			t.Fatalf("histogram buckets (%d) below count (%d)", total, ph.Value)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Quiescent: the cut is exact.
+	ph, _ := reg.Get("h")
+	var total int64
+	for _, b := range ph.Buckets {
+		total += b.Count
+	}
+	if total != ph.Value {
+		t.Errorf("quiescent histogram buckets (%d) != count (%d)", total, ph.Value)
+	}
+	if h.Count() != ph.Value {
+		t.Errorf("Count() = %d, snapshot value = %d", h.Count(), ph.Value)
+	}
+}
+
+// The nil-safety contract: every method no-ops on nil metrics and a nil
+// registry, and costs no allocations — the "metrics off" hot path.
+func TestNilSafety(t *testing.T) {
+	var (
+		reg *Registry
+		c   = reg.Counter("c")
+		g   = reg.Gauge("g")
+		h   = reg.Histogram("h")
+	)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out non-nil metrics")
+	}
+	reg.GaugeFunc("f", func() int64 { return 1 })
+	if got := reg.Snapshot(); got != nil {
+		t.Errorf("nil registry snapshot = %v, want nil", got)
+	}
+	if got := reg.Names(); got != nil {
+		t.Errorf("nil registry names = %v, want nil", got)
+	}
+	if allocs := testing.AllocsPerRun(500, func() {
+		c.Inc()
+		c.Add(3)
+		_ = c.Value()
+		g.Set(1)
+		g.Add(1)
+		_ = g.Value()
+		h.Observe(5)
+		h.ObserveDuration(time.Microsecond)
+		_ = h.Count()
+		_ = h.Sum()
+	}); allocs != 0 {
+		t.Errorf("nil metric methods: %v allocs/op, want 0", allocs)
+	}
+}
+
+// Live counters must also stay allocation-free: they sit on the same hot
+// paths when metrics are enabled.
+func TestLiveUpdateZeroAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	h := reg.Histogram("h")
+	if allocs := testing.AllocsPerRun(500, func() {
+		c.Inc()
+		h.Observe(700)
+	}); allocs != 0 {
+		t.Errorf("live metric update: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestRegistryIdempotentAndOrdered(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("z.second")
+	b := reg.Counter("a.first")
+	if reg.Counter("z.second") != a {
+		t.Error("re-registering a counter returned a different instance")
+	}
+	a.Inc()
+	b.Add(2)
+	points := reg.Snapshot()
+	if len(points) != 2 || points[0].Name != "z.second" || points[1].Name != "a.first" {
+		t.Errorf("snapshot not in registration order: %+v", points)
+	}
+	names := reg.Names()
+	if len(names) != 2 || names[0] != "a.first" || names[1] != "z.second" {
+		t.Errorf("Names not sorted: %v", names)
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge over a counter did not panic")
+		}
+	}()
+	reg.Gauge("m")
+}
+
+func TestGaugeFuncSampledAtSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	depth := int64(0)
+	reg.GaugeFunc("queue", func() int64 { return depth })
+	depth = 7
+	p, ok := reg.Get("queue")
+	if !ok || p.Value != 7 || p.Kind != KindGauge {
+		t.Errorf("gauge func snapshot = %+v, want value 7", p)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runtime.emitted").Add(5)
+	reg.Histogram("ce.feed_ns", 100).Observe(50)
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"runtime.emitted 5\n",
+		"ce.feed_ns.count 1\n",
+		"ce.feed_ns.sum 50\n",
+		"ce.feed_ns.le.100 1\n",
+		"ce.feed_ns.le.+Inf 0\n",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("text dump missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runtime.emitted").Add(9)
+	reg.Histogram("ce.feed_ns", 100).Observe(42)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	get := func(path string) (*http.Response, error) {
+		return http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+	}
+	resp, err := get("/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := body["runtime.emitted"].(float64); !ok || v != 9 {
+		t.Errorf("JSON runtime.emitted = %v, want 9", body["runtime.emitted"])
+	}
+	hist, ok := body["ce.feed_ns"].(map[string]any)
+	if !ok || hist["count"].(float64) != 1 {
+		t.Errorf("JSON histogram = %v", body["ce.feed_ns"])
+	}
+
+	text, err := get("/metrics?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = text.Body.Close() }()
+	dump, err := io.ReadAll(text.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dump), "runtime.emitted 9") {
+		t.Errorf("text endpoint missing counter line:\n%s", dump)
+	}
+
+	pprofResp, err := get("/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pprofResp.Body.Close() }()
+	if pprofResp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline status = %d, want 200", pprofResp.StatusCode)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"condmon/internal/event"
 	"condmon/internal/link"
 	"condmon/internal/multicond"
+	"condmon/internal/obs"
 
 	"math/rand"
 	gort "runtime"
@@ -44,12 +45,71 @@ type MultiSystem struct {
 	wg      sync.WaitGroup
 	byShard map[string]int // condition name → shard index (diagnostics)
 
+	m *multiMetrics // nil when MultiOptions.Metrics was nil
+
 	mu     sync.Mutex
 	closed bool
 
 	// errMu guards evaluation errors surfaced from shard workers.
 	errMu sync.Mutex
 	err   error
+}
+
+// multiMetrics is the MultiSystem's aggregate instrumentation. Front-link
+// delivered/lost counts are aggregated across all stations (a
+// thousand-condition deployment has too many links to name individually);
+// per-condition visibility comes from the ad.<condition>.* filter counters
+// instead. All methods are safe on a nil receiver — the metrics-off state.
+type multiMetrics struct {
+	emitted     *obs.Counter
+	emitBatches *obs.Counter
+	delivered   *obs.Counter
+	lost        *obs.Counter
+	ce          *ce.Metrics // shared by every evaluator
+}
+
+func newMultiMetrics(reg *obs.Registry) *multiMetrics {
+	return &multiMetrics{
+		emitted:     reg.Counter("multi.emitted"),
+		emitBatches: reg.Counter("multi.emit_batches"),
+		delivered:   reg.Counter("multi.delivered"),
+		lost:        reg.Counter("multi.lost"),
+		// Counters only — deliberately not ce.RegisterMetrics. A latency
+		// histogram shared by every station would make each of the
+		// thousands of per-update Feed calls read the clock, which costs
+		// ~3x throughput on the per-update path; per-evaluator latency is
+		// a System (small-deployment) feature.
+		ce: &ce.Metrics{
+			Fed:        reg.Counter("multi.ce.fed"),
+			Discarded:  reg.Counter("multi.ce.discarded"),
+			MissedDown: reg.Counter("multi.ce.missed_down"),
+			Fired:      reg.Counter("multi.ce.fired"),
+		},
+	}
+}
+
+func (m *multiMetrics) addEmitted(n int64) {
+	if m != nil {
+		m.emitted.Add(n)
+	}
+}
+
+func (m *multiMetrics) incEmitBatches() {
+	if m != nil {
+		m.emitBatches.Inc()
+	}
+}
+
+func (m *multiMetrics) addDelivered(n int64) {
+	if m != nil {
+		m.delivered.Add(n)
+	}
+}
+
+func (m *multiMetrics) addLost(n int64) {
+	if m != nil {
+		m.lost.Add(n)
+	}
 }
 
 // multiDM is the Data Monitor for one variable: it owns the sequence
@@ -105,6 +165,16 @@ type MultiOptions struct {
 	Loss func(condName string, replica int, v event.VarName) link.Model
 	// Seed drives link randomness.
 	Seed int64
+	// Metrics, if non-nil, instruments the system in the given registry:
+	// multi.emitted / multi.emit_batches at the DMs, multi.delivered /
+	// multi.lost aggregated over every front link, multi.ce.* counters
+	// shared by all evaluators (fed / discarded / missed_down / fired —
+	// no latency histograms at fleet scale), ad.<condition>.offered /
+	// .displayed / .suppressed per condition, and per-shard
+	// multi.shard.<i>.queue (sampled channel depth) and
+	// multi.shard.<i>.stations (occupancy) gauges. Nil (the default)
+	// leaves the pipeline uninstrumented and allocation-free.
+	Metrics *obs.Registry
 }
 
 // NewMulti builds and starts a multi-condition system. newFilter is called
@@ -128,7 +198,16 @@ func NewMulti(conds []cond.Condition, newFilter func(c cond.Condition) ad.Filter
 	if opts.Workers > len(conds) {
 		opts.Workers = len(conds)
 	}
-	demux, err := multicond.NewDemux(newFilter, conds...)
+	mkFilter := newFilter
+	if opts.Metrics != nil {
+		// Per-condition filter counters: ad.<condition>.offered /
+		// .displayed / .suppressed, the observable suppression behavior of
+		// each condition's AD-1…AD-6 instance.
+		mkFilter = func(c cond.Condition) ad.Filter {
+			return ad.RegisterInstrumented(opts.Metrics, "ad."+c.Name(), newFilter(c))
+		}
+	}
+	demux, err := multicond.NewDemux(mkFilter, conds...)
 	if err != nil {
 		return nil, err
 	}
@@ -137,6 +216,9 @@ func NewMulti(conds []cond.Condition, newFilter func(c cond.Condition) ad.Filter
 		shards:  make([]*shard, opts.Workers),
 		demux:   demux,
 		byShard: make(map[string]int, len(conds)),
+	}
+	if opts.Metrics != nil {
+		sys.m = newMultiMetrics(opts.Metrics)
 	}
 	for i := range sys.shards {
 		sys.shards[i] = &shard{
@@ -156,6 +238,12 @@ func NewMulti(conds []cond.Condition, newFilter func(c cond.Condition) ad.Filter
 			eval, err := ce.New(fmt.Sprintf("%s/CE%d", c.Name(), i+1), c)
 			if err != nil {
 				return nil, err
+			}
+			if sys.m != nil {
+				// One shared Metrics for every evaluator: the fields are
+				// atomic, so thousands of stations aggregate into one set
+				// of multi.ce.* counters.
+				eval.SetMetrics(sys.m.ce)
 			}
 			st := &station{eval: eval, links: make(map[event.VarName]*frontLink, len(c.Vars()))}
 			for _, v := range c.Vars() {
@@ -189,6 +277,24 @@ func NewMulti(conds []cond.Condition, newFilter func(c cond.Condition) ad.Filter
 		}
 	}
 
+	if opts.Metrics != nil {
+		// Per-shard load gauges: queue depth is sampled at snapshot time
+		// (len on a channel is safe concurrently), stations is the static
+		// occupancy the condition hash produced — together they show
+		// whether a hot shard is overloaded by traffic or by assignment.
+		perShard := make([]int64, len(sys.shards))
+		for _, si := range sys.byShard {
+			perShard[si] += int64(opts.Replicas)
+		}
+		for i, sh := range sys.shards {
+			sh := sh
+			opts.Metrics.GaugeFunc(fmt.Sprintf("multi.shard.%d.queue", i), func() int64 {
+				return int64(len(sh.in))
+			})
+			opts.Metrics.Gauge(fmt.Sprintf("multi.shard.%d.stations", i)).Set(perShard[i])
+		}
+	}
+
 	for _, sh := range sys.shards {
 		sh := sh
 		sys.wg.Add(1)
@@ -219,8 +325,10 @@ func (s *MultiSystem) shardLoop(sh *shard) {
 func (s *MultiSystem) deliver(st *station, u event.Update) {
 	l := st.links[u.Var]
 	if !l.lossless && !l.model.Deliver(u, l.rng) {
+		s.m.addLost(1)
 		return
 	}
+	s.m.addDelivered(1)
 	a, fired, err := st.eval.Feed(u)
 	if err != nil {
 		s.recordErr(fmt.Errorf("runtime: %s: %w", st.eval.ID(), err))
@@ -264,7 +372,9 @@ func (s *MultiSystem) deliverBatchAll(sh *shard, sts []*station, us []event.Upda
 			}
 			l.kept = k
 			kept = k
+			s.m.addLost(int64(len(us) - len(kept)))
 		}
+		s.m.addDelivered(int64(len(kept)))
 		alerts, err := st.eval.FeedBatch(kept, st.scratch[:0])
 		st.scratch = alerts
 		if err != nil {
@@ -331,6 +441,7 @@ func (s *MultiSystem) Emit(v event.VarName, value float64) (int64, error) {
 	for _, sh := range dm.shards {
 		sh.in <- f
 	}
+	s.m.addEmitted(1)
 	return dm.seq, nil
 }
 
@@ -364,6 +475,8 @@ func (s *MultiSystem) EmitBatch(v event.VarName, values []float64) (int64, error
 	for _, sh := range dm.shards {
 		sh.in <- f
 	}
+	s.m.addEmitted(int64(len(values)))
+	s.m.incEmitBatches()
 	return dm.seq, nil
 }
 

@@ -1,0 +1,230 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/obs"
+)
+
+func counterValue(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	p, ok := reg.Get(name)
+	if !ok {
+		t.Fatalf("metric %q not registered", name)
+	}
+	return p.Value
+}
+
+// The pipeline's books must balance: every update a DM emits is either
+// delivered or lost on each front link, and every alert offered to the AD
+// is either displayed or suppressed. A seeded lossy run checks the
+// reconciliation end to end through the live System.
+func TestSystemMetricsReconcile(t *testing.T) {
+	const n = 400
+	reg := obs.NewRegistry()
+	sys, err := New(cond.NewRiseAggressive("x"), ad.NewAD1(), Options{
+		Replicas: 2,
+		Seed:     7,
+		Loss: func(replica int, v event.VarName) link.Model {
+			return link.Bernoulli{P: 0.3}
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mix the single-update and batched emit paths.
+	for i := 0; i < n/2; i++ {
+		if _, err := sys.Emit("x", float64((i*37)%500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := make([]float64, n/2)
+	for i := range batch {
+		batch[i] = float64((i * 53) % 500)
+	}
+	if _, err := sys.EmitBatch("x", batch); err != nil {
+		t.Fatal(err)
+	}
+	displayed := sys.Close()
+
+	if got := counterValue(t, reg, "runtime.emitted"); got != n {
+		t.Errorf("runtime.emitted = %d, want %d", got, n)
+	}
+	if got := counterValue(t, reg, "runtime.emit_batches"); got != 1 {
+		t.Errorf("runtime.emit_batches = %d, want 1", got)
+	}
+
+	var totalDelivered int64
+	for i := 1; i <= 2; i++ {
+		del := counterValue(t, reg, fmt.Sprintf("runtime.link.CE%d.x.delivered", i))
+		lost := counterValue(t, reg, fmt.Sprintf("runtime.link.CE%d.x.lost", i))
+		if del+lost != n {
+			t.Errorf("CE%d link: delivered(%d) + lost(%d) = %d, want emitted %d", i, del, lost, del+lost, n)
+		}
+		if lost == 0 {
+			t.Errorf("CE%d link: Bernoulli(0.3) over %d updates lost nothing; seed wiring broken?", i, n)
+		}
+		// Front links preserve order, so the evaluator discards nothing:
+		// everything delivered is fed.
+		if fed := counterValue(t, reg, fmt.Sprintf("ce.CE%d.fed", i)); fed != del {
+			t.Errorf("CE%d: fed(%d) != delivered(%d)", i, fed, del)
+		}
+		if disc := counterValue(t, reg, fmt.Sprintf("ce.CE%d.discarded", i)); disc != 0 {
+			t.Errorf("CE%d: discarded = %d, want 0", i, disc)
+		}
+		totalDelivered += del
+	}
+
+	fired := counterValue(t, reg, "ce.CE1.fired") + counterValue(t, reg, "ce.CE2.fired")
+	offered := counterValue(t, reg, "runtime.ad.offered")
+	disp := counterValue(t, reg, "runtime.ad.displayed")
+	supp := counterValue(t, reg, "runtime.ad.suppressed")
+	if offered != fired {
+		t.Errorf("ad.offered(%d) != total fired(%d): back links are lossless", offered, fired)
+	}
+	if disp+supp != offered {
+		t.Errorf("displayed(%d) + suppressed(%d) = %d, want offered %d", disp, supp, disp+supp, offered)
+	}
+	if int64(len(displayed)) != disp {
+		t.Errorf("displayed slice has %d alerts, counter says %d", len(displayed), disp)
+	}
+	if int64(sys.Displayer().Suppressed()) != supp {
+		t.Errorf("Suppressed() = %d, counter says %d", sys.Displayer().Suppressed(), supp)
+	}
+	// Latency histograms recorded one observation per fed update.
+	for i := 1; i <= 2; i++ {
+		p, ok := reg.Get(fmt.Sprintf("ce.CE%d.feed_ns", i))
+		if !ok || p.Value == 0 {
+			t.Errorf("ce.CE%d.feed_ns has no observations", i)
+		}
+	}
+	_ = totalDelivered
+}
+
+// The same reconciliation through the sharded MultiSystem: aggregate link
+// counters balance against emitted × subscribed stations, and the
+// per-condition filter counters balance against the shared fired count.
+func TestMultiSystemMetricsReconcile(t *testing.T) {
+	const (
+		nConds   = 6
+		replicas = 2
+		perVar   = 300
+	)
+	vars := []event.VarName{"x", "y"}
+	conds := make([]cond.Condition, nConds)
+	for i := range conds {
+		conds[i] = cond.Threshold{
+			CondName: fmt.Sprintf("c%d", i),
+			Var:      vars[i%len(vars)],
+			Limit:    250,
+			Above:    true,
+		}
+	}
+	reg := obs.NewRegistry()
+	sys, err := NewMulti(conds, func(c cond.Condition) ad.Filter { return ad.NewAD1() }, MultiOptions{
+		Replicas: replicas,
+		Workers:  3,
+		Seed:     11,
+		Loss: func(condName string, replica int, v event.VarName) link.Model {
+			return link.Bernoulli{P: 0.25}
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]float64, perVar/2)
+	for i := range batch {
+		batch[i] = float64((i * 29) % 500)
+	}
+	for _, v := range vars {
+		for i := 0; i < perVar/2; i++ {
+			if _, err := sys.Emit(v, float64((i*31)%500)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sys.EmitBatch(v, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	displayed, err := sys.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	emitted := counterValue(t, reg, "multi.emitted")
+	if emitted != int64(perVar*len(vars)) {
+		t.Errorf("multi.emitted = %d, want %d", emitted, perVar*len(vars))
+	}
+	// Each variable's updates cross one front link per subscribed station:
+	// nConds/len(vars) conditions per variable × replicas.
+	stationsPerVar := int64(nConds / len(vars) * replicas)
+	wantTraversals := int64(perVar) * stationsPerVar * int64(len(vars))
+	del := counterValue(t, reg, "multi.delivered")
+	lost := counterValue(t, reg, "multi.lost")
+	if del+lost != wantTraversals {
+		t.Errorf("delivered(%d) + lost(%d) = %d, want %d link traversals", del, lost, del+lost, wantTraversals)
+	}
+	if lost == 0 {
+		t.Error("Bernoulli(0.25) links lost nothing; seed wiring broken?")
+	}
+	if fed := counterValue(t, reg, "multi.ce.fed"); fed != del {
+		t.Errorf("multi.ce.fed(%d) != multi.delivered(%d)", fed, del)
+	}
+
+	fired := counterValue(t, reg, "multi.ce.fired")
+	var offered, disp, supp int64
+	for i := 0; i < nConds; i++ {
+		o := counterValue(t, reg, fmt.Sprintf("ad.c%d.offered", i))
+		d := counterValue(t, reg, fmt.Sprintf("ad.c%d.displayed", i))
+		s := counterValue(t, reg, fmt.Sprintf("ad.c%d.suppressed", i))
+		if d+s != o {
+			t.Errorf("c%d: displayed(%d) + suppressed(%d) != offered(%d)", i, d, s, o)
+		}
+		offered, disp, supp = offered+o, disp+d, supp+s
+	}
+	if offered != fired {
+		t.Errorf("sum of ad.*.offered (%d) != multi.ce.fired (%d)", offered, fired)
+	}
+	if int64(len(displayed)) != disp {
+		t.Errorf("displayed slice has %d alerts, counters say %d", len(displayed), disp)
+	}
+	if int64(sys.Demux().Suppressed()) != supp {
+		t.Errorf("Demux().Suppressed() = %d, counters say %d", sys.Demux().Suppressed(), supp)
+	}
+
+	// Shard gauges: occupancy sums to every station, queue gauges sample
+	// empty after Close.
+	var stations int64
+	for i := 0; i < sys.Workers(); i++ {
+		stations += counterValue(t, reg, fmt.Sprintf("multi.shard.%d.stations", i))
+		if q := counterValue(t, reg, fmt.Sprintf("multi.shard.%d.queue", i)); q != 0 {
+			t.Errorf("shard %d queue depth = %d after Close, want 0", i, q)
+		}
+	}
+	if stations != int64(nConds*replicas) {
+		t.Errorf("shard stations sum to %d, want %d", stations, nConds*replicas)
+	}
+}
+
+// With metrics off (the default), the system must register nothing and pay
+// nothing: this is the off-by-default contract DESIGN.md §8 documents.
+func TestSystemMetricsOffByDefault(t *testing.T) {
+	sys, err := New(cond.NewOverheat("x"), ad.NewAD1(), Options{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.m != nil {
+		t.Error("System carries metrics without Options.Metrics")
+	}
+	if _, err := sys.Emit("x", 3100); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+}

@@ -27,6 +27,7 @@ import (
 	"condmon/internal/cond"
 	"condmon/internal/event"
 	"condmon/internal/link"
+	"condmon/internal/obs"
 
 	"math/rand"
 )
@@ -59,6 +60,14 @@ type Options struct {
 	Loss func(replica int, v event.VarName) link.Model
 	// Seed drives all link randomness.
 	Seed int64
+	// Metrics, if non-nil, instruments the whole pipeline in the given
+	// registry: runtime.emitted / runtime.emit_batches at the DMs,
+	// runtime.link.CE<i>.<var>.delivered / .lost per front link,
+	// ce.CE<i>.* per evaluator (see ce.RegisterMetrics), and
+	// runtime.ad.offered / .displayed / .suppressed at the Alert
+	// Displayer. Nil (the default) leaves the pipeline uninstrumented and
+	// allocation-free.
+	Metrics *obs.Registry
 }
 
 func (o *Options) applyDefaults() {
@@ -77,8 +86,36 @@ type System struct {
 	shutdown chan struct{}
 	wg       sync.WaitGroup
 
+	m *sysMetrics // nil when Options.Metrics was nil
+
 	mu     sync.Mutex // guards closed
 	closed bool
+}
+
+// sysMetrics is the System's DM-side instrumentation. All methods are safe
+// on a nil receiver — the metrics-off state.
+type sysMetrics struct {
+	emitted     *obs.Counter
+	emitBatches *obs.Counter
+}
+
+func newSysMetrics(reg *obs.Registry) *sysMetrics {
+	return &sysMetrics{
+		emitted:     reg.Counter("runtime.emitted"),
+		emitBatches: reg.Counter("runtime.emit_batches"),
+	}
+}
+
+func (m *sysMetrics) addEmitted(n int64) {
+	if m != nil {
+		m.emitted.Add(n)
+	}
+}
+
+func (m *sysMetrics) incEmitBatches() {
+	if m != nil {
+		m.emitBatches.Inc()
+	}
 }
 
 // frame is the unit carried by the internal pipeline: a single data
@@ -127,7 +164,15 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 		replicas: opts.Replicas,
 		shutdown: make(chan struct{}),
 	}
+	if opts.Metrics != nil {
+		sys.m = newSysMetrics(opts.Metrics)
+	}
 	sys.adSrv = newDisplayer(filter)
+	if opts.Metrics != nil {
+		sys.adSrv.cOffered = opts.Metrics.Counter("runtime.ad.offered")
+		sys.adSrv.cDisplayed = opts.Metrics.Counter("runtime.ad.displayed")
+		sys.adSrv.cSuppressed = opts.Metrics.Counter("runtime.ad.suppressed")
+	}
 
 	// Per-variable broadcast channels from the DMs.
 	type tap struct {
@@ -176,6 +221,14 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 			}
 			_, lossless := model.(link.None)
 			rng := rand.New(rand.NewSource(opts.Seed ^ int64(i+1)<<16 ^ int64(len(string(t.v)))<<8 ^ hashVar(t.v)))
+			// Per-front-link delivered/lost counters (nil when metrics are
+			// off; obs counters no-op on nil receivers).
+			var delivered, lost *obs.Counter
+			if opts.Metrics != nil {
+				prefix := fmt.Sprintf("runtime.link.CE%d.%s", i+1, t.v)
+				delivered = opts.Metrics.Counter(prefix + ".delivered")
+				lost = opts.Metrics.Counter(prefix + ".lost")
+			}
 			fanIn.Add(1)
 			sys.wg.Add(1)
 			go func(in chan frame, m link.Model, rng *rand.Rand) {
@@ -193,6 +246,7 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 						// one filters into a fresh slice (the original is
 						// shared with the other replicas' links).
 						if lossless {
+							delivered.Add(int64(len(f.us)))
 							ceIn <- f
 							break
 						}
@@ -202,11 +256,16 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 								kept = append(kept, u)
 							}
 						}
+						delivered.Add(int64(len(kept)))
+						lost.Add(int64(len(f.us) - len(kept)))
 						if len(kept) > 0 {
 							ceIn <- frame{us: kept}
 						}
 					case m.Deliver(f.u, rng):
+						delivered.Inc()
 						ceIn <- f
+					default:
+						lost.Inc()
 					}
 				}
 			}(t.ch, model, rng)
@@ -221,6 +280,9 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 		eval, err := ce.New(fmt.Sprintf("CE%d", i+1), c)
 		if err != nil {
 			return nil, err
+		}
+		if opts.Metrics != nil {
+			eval.SetMetrics(ce.RegisterMetrics(opts.Metrics, fmt.Sprintf("ce.CE%d", i+1)))
 		}
 		back := make(chan event.Alert, backlinkBuffer)
 		sys.adSrv.attach(back)
@@ -262,6 +324,7 @@ func (s *System) Emit(v event.VarName, value float64) (int64, error) {
 	}
 	dm.seq++
 	dm.in <- frame{u: event.U(v, dm.seq, value)}
+	s.m.addEmitted(1)
 	return dm.seq, nil
 }
 
@@ -291,6 +354,8 @@ func (s *System) EmitBatch(v event.VarName, values []float64) (int64, error) {
 		us[i] = event.U(v, dm.seq, value)
 	}
 	dm.in <- frame{us: us}
+	s.m.addEmitted(int64(len(values)))
+	s.m.incEmitBatches()
 	return dm.seq, nil
 }
 
@@ -328,6 +393,13 @@ func (s *System) Close() []event.Alert {
 // sequence A.
 type Displayer struct {
 	filter ad.Filter
+
+	// Optional instrumentation; nil counters no-op. Offered counts every
+	// alert run through the filter, displayed/suppressed its two outcomes,
+	// so offered = displayed + suppressed reconciles at any quiescent
+	// point. Alerts buffered while disconnected are counted when they are
+	// finally filtered, not when they arrive.
+	cOffered, cDisplayed, cSuppressed *obs.Counter
 
 	mu        sync.Mutex
 	connected bool
@@ -382,10 +454,13 @@ func (d *Displayer) offer(a event.Alert) {
 }
 
 func (d *Displayer) offerLocked(a event.Alert) {
+	d.cOffered.Inc()
 	if ad.Offer(d.filter, a) {
 		d.displayed = append(d.displayed, a)
+		d.cDisplayed.Inc()
 	} else {
 		d.suppress++
+		d.cSuppressed.Inc()
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"condmon/internal/event"
 	"condmon/internal/link"
+	"condmon/internal/obs"
 	"condmon/internal/wire"
 
 	"math/rand"
@@ -47,6 +48,19 @@ const updateBuffer = 1024
 // recipient, as in Figure 1(b)).
 type UDPPublisher struct {
 	conns []*net.UDPConn
+
+	// Optional instrumentation; nil counters no-op.
+	cDatagrams *obs.Counter // datagrams written (one per endpoint per send)
+	cUpdates   *obs.Counter // updates published (before fan-out)
+}
+
+// SetMetrics registers publisher counters in reg under prefix:
+// <prefix>.datagrams (one per endpoint per send, so batching shows up as
+// datagrams ≪ updates × endpoints) and <prefix>.updates. Call before
+// publishing; a nil registry leaves metrics off.
+func (p *UDPPublisher) SetMetrics(reg *obs.Registry, prefix string) {
+	p.cDatagrams = reg.Counter(prefix + ".datagrams")
+	p.cUpdates = reg.Counter(prefix + ".updates")
 }
 
 // NewUDPPublisher connects to the given CE addresses.
@@ -82,6 +96,8 @@ func (p *UDPPublisher) Publish(u event.Update) error {
 	for _, c := range p.conns {
 		_, _ = c.Write(b) // best-effort: loss is part of the model
 	}
+	p.cUpdates.Inc()
+	p.cDatagrams.Add(int64(len(p.conns)))
 	return nil
 }
 
@@ -110,6 +126,8 @@ func (p *UDPPublisher) PublishBatch(v event.VarName, us []event.Update) error {
 		for _, c := range p.conns {
 			_, _ = c.Write(b) // best-effort: loss is part of the model
 		}
+		p.cUpdates.Add(int64(n))
+		p.cDatagrams.Add(int64(len(p.conns)))
 		us = us[n:]
 	}
 	return nil
@@ -128,6 +146,12 @@ type UDPReceiverOptions struct {
 	// deterministic stand-in for real network loss. Seed drives it.
 	ForcedLoss link.Model
 	Seed       int64
+	// Metrics, if non-nil, registers receiver counters: accepted updates,
+	// out-of-order discards, forced-loss drops, and overruns (updates
+	// dropped because the consumer fell behind). Names are prefixed with
+	// MetricsPrefix, default "transport.recv".
+	Metrics       *obs.Registry
+	MetricsPrefix string
 }
 
 // UDPReceiver is the CE side of a front link: it decodes datagrams,
@@ -142,6 +166,9 @@ type UDPReceiver struct {
 	lastSeq   map[event.VarName]int64
 	discarded int64
 	forced    int64
+
+	// Optional instrumentation; nil counters no-op.
+	cAccepted, cDiscarded, cForced, cOverrun *obs.Counter
 }
 
 // ListenUDP starts a receiver on addr (use "127.0.0.1:0" for an ephemeral
@@ -160,6 +187,16 @@ func ListenUDP(addr string, opts UDPReceiverOptions) (*UDPReceiver, error) {
 		out:     make(chan event.Update, updateBuffer),
 		done:    make(chan struct{}),
 		lastSeq: make(map[event.VarName]int64),
+	}
+	if opts.Metrics != nil {
+		prefix := opts.MetricsPrefix
+		if prefix == "" {
+			prefix = "transport.recv"
+		}
+		r.cAccepted = opts.Metrics.Counter(prefix + ".accepted")
+		r.cDiscarded = opts.Metrics.Counter(prefix + ".discarded")
+		r.cForced = opts.Metrics.Counter(prefix + ".forced_loss")
+		r.cOverrun = opts.Metrics.Counter(prefix + ".overrun")
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	go r.loop(opts.ForcedLoss, rng)
@@ -225,6 +262,7 @@ func (r *UDPReceiver) deliver(u event.Update, forced link.Model, rng *rand.Rand)
 	if last, ok := r.lastSeq[u.Var]; ok && u.SeqNo <= last {
 		r.discarded++
 		r.mu.Unlock()
+		r.cDiscarded.Inc()
 		return // out-of-order or duplicate: discard (Section 2.1)
 	}
 	if forced != nil && !forced.Deliver(u, rng) {
@@ -233,6 +271,7 @@ func (r *UDPReceiver) deliver(u event.Update, forced link.Model, rng *rand.Rand)
 		r.lastSeq[u.Var] = u.SeqNo
 		r.forced++
 		r.mu.Unlock()
+		r.cForced.Inc()
 		return
 	}
 	r.lastSeq[u.Var] = u.SeqNo
@@ -240,8 +279,10 @@ func (r *UDPReceiver) deliver(u event.Update, forced link.Model, rng *rand.Rand)
 
 	select {
 	case r.out <- u:
+		r.cAccepted.Inc()
 	default:
 		// Receiver overrun: drop, indistinguishable from link loss.
+		r.cOverrun.Inc()
 	}
 }
 
