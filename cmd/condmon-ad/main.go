@@ -41,6 +41,7 @@ func run(args []string, out io.Writer) error {
 		vars   = fs.String("vars", "x", "comma-separated condition variables")
 		n      = fs.Int("n", 0, "exit after this many received alerts (0 = run until interrupted)")
 		maddr  = fs.String("metrics", "", "serve /metrics and /debug/pprof/ on this address while running")
+		mux    = fs.Bool("mux", false, "accept the multiplexed back-link protocol (stream-tagged 'M' frames)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,8 +57,9 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var reg *obs.Registry
 	if *maddr != "" {
-		reg := obs.NewRegistry()
+		reg = obs.NewRegistry()
 		filter = ad.RegisterInstrumented(reg, "ad", filter)
 		srv, err := obs.Serve(*maddr, reg)
 		if err != nil {
@@ -67,12 +69,35 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
 	}
 
-	l, err := transport.ListenAD(*listen)
-	if err != nil {
-		return err
+	// Normalize both listener shapes to one stream-tagged channel: the
+	// legacy per-connection listener reports everything as stream 0.
+	var (
+		alerts <-chan transport.StreamAlert
+		addr   string
+	)
+	if *mux {
+		l, err := transport.ListenMux(*listen, transport.MuxListenerOptions{Metrics: reg})
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		alerts, addr = l.Alerts(), l.Addr()
+	} else {
+		l, err := transport.ListenAD(*listen)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		ch := make(chan transport.StreamAlert)
+		go func() {
+			defer close(ch)
+			for a := range l.Alerts() {
+				ch <- transport.StreamAlert{Alert: a}
+			}
+		}()
+		alerts, addr = ch, l.Addr()
 	}
-	defer l.Close()
-	fmt.Fprintf(out, "AD listening on %s with %s\n", l.Addr(), filter.Name())
+	fmt.Fprintf(out, "AD listening on %s with %s\n", addr, filter.Name())
 
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt)
@@ -84,17 +109,22 @@ func run(args []string, out io.Writer) error {
 		case <-interrupt:
 			fmt.Fprintf(out, "received=%d displayed=%d suppressed=%d\n", received, displayed, suppressed)
 			return nil
-		case a, ok := <-l.Alerts():
+		case sa, ok := <-alerts:
 			if !ok {
 				return nil
+			}
+			a := sa.Alert
+			tag := ""
+			if *mux {
+				tag = fmt.Sprintf(" [stream %d]", sa.Stream)
 			}
 			received++
 			if ad.Offer(filter, a) {
 				displayed++
-				fmt.Fprintf(out, "ALERT %v from %s\n", a, a.Source)
+				fmt.Fprintf(out, "ALERT %v from %s%s\n", a, a.Source, tag)
 			} else {
 				suppressed++
-				fmt.Fprintf(out, "  (suppressed %v from %s)\n", a, a.Source)
+				fmt.Fprintf(out, "  (suppressed %v from %s%s)\n", a, a.Source, tag)
 			}
 			if *n > 0 && received >= *n {
 				fmt.Fprintf(out, "received=%d displayed=%d suppressed=%d\n", received, displayed, suppressed)

@@ -1,0 +1,131 @@
+package main
+
+// Back-link fan-in measurement for the -perf report: the same alert volume
+// is pushed through N dedicated per-replica TCP connections (the PR 1
+// wiring) and through one shared multiplexed connection carrying N streams
+// of coalesced 'M' frames. Connections, goroutines, and open file
+// descriptors are sampled at steady state — sender and receiver live in
+// this one process, so the counts capture both sides of the link, which is
+// exactly the pairing the dedicated wiring duplicates per replica.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"condmon/internal/event"
+	"condmon/internal/transport"
+)
+
+// backlinkResult is one back-link fan-in run: alerts/sec plus the resource
+// footprint of carrying the given number of CE replica streams.
+type backlinkResult struct {
+	Streams      int     `json:"streams"`
+	PerStream    int     `json:"alerts_per_stream"`
+	Connections  int     `json:"connections"`
+	Goroutines   int     `json:"goroutines"`
+	OpenFDs      int     `json:"open_fds"`
+	AlertsPerSec float64 `json:"alerts_per_sec"`
+}
+
+// openFDs counts this process's open file descriptors via /proc/self/fd,
+// returning -1 where procfs is unavailable (macOS, plan9).
+func openFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// backlinkAlert builds the fixed single-variable alert every stream repeats;
+// per-alert payload identical across both wirings so only the transport
+// differs.
+func backlinkAlert(stream int) event.Alert {
+	return event.Alert{
+		Cond:   fmt.Sprintf("c%04d", stream/2),
+		Source: fmt.Sprintf("CE%d", stream%2+1),
+		Histories: event.HistorySet{
+			"x": {Var: "x", Recent: []event.Update{
+				event.U("x", 42, 2), event.U("x", 41, 1),
+			}},
+		},
+	}
+}
+
+// backlinkThroughput drives streams × perStream alerts into one MuxListener,
+// either over one dedicated TCPSender per stream (shared=false, the
+// per-connection baseline) or over a single shared MuxSender multiplexing
+// every stream (shared=true). Resource counts are sampled after all
+// connections are up, before the clock starts.
+func backlinkThroughput(shared bool, streams, perStream int) (backlinkResult, error) {
+	l, err := transport.ListenMux("127.0.0.1:0", transport.MuxListenerOptions{})
+	if err != nil {
+		return backlinkResult{}, err
+	}
+	defer l.Close()
+
+	total := streams * perStream
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		n := 0
+		for range l.Alerts() {
+			if n++; n == total {
+				return
+			}
+		}
+	}()
+
+	res := backlinkResult{Streams: streams, PerStream: perStream}
+	var send func(stream int, a event.Alert) error
+	var finish func() error
+	if shared {
+		ms, err := transport.DialMux(l.Addr(), transport.MuxSenderOptions{})
+		if err != nil {
+			return res, err
+		}
+		defer func() { _ = ms.Close() }()
+		send = func(stream int, a event.Alert) error { return ms.Send(uint32(stream), a) }
+		finish = ms.Flush
+		res.Connections = 1
+	} else {
+		senders := make([]*transport.TCPSender, streams)
+		for i := range senders {
+			s, err := transport.DialAD(l.Addr())
+			if err != nil {
+				return res, fmt.Errorf("dial stream %d: %w", i, err)
+			}
+			defer func() { _ = s.Close() }()
+			senders[i] = s
+		}
+		send = func(stream int, a event.Alert) error { return senders[stream].Send(a) }
+		finish = func() error { return nil }
+		res.Connections = streams
+	}
+
+	// Steady state: every connection is up, nothing sent yet.
+	res.Goroutines = runtime.NumGoroutine()
+	res.OpenFDs = openFDs()
+
+	alerts := make([]event.Alert, streams)
+	for i := range alerts {
+		alerts[i] = backlinkAlert(i)
+	}
+	start := time.Now()
+	// Round-robin across streams, the arrival order a live fleet produces.
+	for i := 0; i < perStream; i++ {
+		for s := 0; s < streams; s++ {
+			if err := send(s, alerts[s]); err != nil {
+				return res, fmt.Errorf("send stream %d: %w", s, err)
+			}
+		}
+	}
+	if err := finish(); err != nil {
+		return res, err
+	}
+	<-recvDone
+	res.AlertsPerSec = float64(total) / time.Since(start).Seconds()
+	return res, nil
+}

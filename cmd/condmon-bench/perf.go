@@ -43,15 +43,18 @@ type perfReport struct {
 	GOARCH      string                      `json:"goarch"`
 	Benchmarks  map[string]perfResult       `json:"benchmarks"`
 	MultiSystem map[string]throughputResult `json:"multi_system"`
+	Backlink    map[string]backlinkResult   `json:"backlink"`
 }
 
 // throughputResult is one MultiSystemThroughput run: a thousand-condition
 // two-replica deployment driven to completion, per-update or batched.
 type throughputResult struct {
-	Conditions    int     `json:"conditions"`
-	Replicas      int     `json:"replicas"`
-	Workers       int     `json:"workers"`
-	Goroutines    int     `json:"goroutines"`
+	Conditions int `json:"conditions"`
+	Replicas   int `json:"replicas"`
+	Workers    int `json:"workers"`
+	Goroutines int `json:"goroutines"`
+	// BatchSize 0 means adaptive: the Pump sized each run from live shard
+	// queue depth instead of a fixed length.
 	BatchSize     int     `json:"batch_size"`
 	Updates       int     `json:"updates"`
 	Displayed     int     `json:"displayed"`
@@ -104,7 +107,8 @@ func filterStream() ([]event.Alert, error) {
 
 // multiThroughput builds the MultiSystemThroughput scenario — 1000
 // threshold conditions over 8 variables, 2 CE replicas each — and drives
-// total updates through it, singly (batchSize ≤ 1) or via EmitBatch. The
+// total updates through it, singly (batchSize 1), via fixed EmitBatch runs
+// (batchSize > 1), or through the adaptive Pump (batchSize 0). The
 // reported rate includes Close, so every update is fully evaluated and
 // filtered before the clock stops. Goroutines is sampled while the system
 // is live: with the sharded worker pool it stays O(workers) rather than
@@ -142,7 +146,19 @@ func multiThroughput(batchSize, conditions, total int, reg *obs.Registry) (throu
 	}
 	perVar := total / nVars
 	start := time.Now()
-	if batchSize <= 1 {
+	if batchSize == 0 {
+		pump := sys.NewPump(crt.PumpOptions{})
+		for _, v := range vars {
+			for i := 0; i < perVar; i++ {
+				if err := pump.Feed(v, float64(i%1000)); err != nil {
+					return res, err
+				}
+			}
+		}
+		if err := pump.Flush(); err != nil {
+			return res, err
+		}
+	} else if batchSize <= 1 {
 		for i := 0; i < perVar; i++ {
 			for _, v := range vars {
 				if _, err := sys.Emit(v, float64(i%1000)); err != nil {
@@ -224,12 +240,31 @@ func runPerf(out io.Writer, metricsAddr string, hold time.Duration) error {
 	}{
 		{"MultiSystemThroughput/per_update", 1},
 		{"MultiSystemThroughput/batched", 256},
+		{"MultiSystemThroughput/adaptive", 0},
 	} {
 		res, err := multiThroughput(m.batch, 1000, 20000, reg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", m.key, err)
 		}
 		report.MultiSystem[m.key] = res
+	}
+
+	// The back-link fan-in scenario: 1000 conditions × 2 CE replicas = 2000
+	// alert streams, carried either on 2000 dedicated connections or on one
+	// shared multiplexed connection.
+	report.Backlink = map[string]backlinkResult{}
+	for _, m := range []struct {
+		key    string
+		shared bool
+	}{
+		{"BacklinkFanIn/dedicated", false},
+		{"BacklinkFanIn/mux", true},
+	} {
+		res, err := backlinkThroughput(m.shared, 2000, 50)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.key, err)
+		}
+		report.Backlink[m.key] = res
 	}
 
 	// encoding/json sorts map keys, so the output is diff-friendly.

@@ -21,6 +21,7 @@ import (
 
 	"condmon/internal/ce"
 	"condmon/internal/cond"
+	"condmon/internal/event"
 	"condmon/internal/link"
 	"condmon/internal/obs"
 	"condmon/internal/transport"
@@ -44,6 +45,8 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 1, "seed for forced drops")
 		n        = fs.Int("n", 0, "exit after this many received updates (0 = run until interrupted)")
 		maddr    = fs.String("metrics", "", "serve /metrics and /debug/pprof/ on this address while running")
+		mux      = fs.Bool("mux", false, "speak the multiplexed back-link protocol (coalesced 'M' frames)")
+		stream   = fs.Uint("stream", 0, "mux stream id tagging this replica's alerts (with -mux)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,11 +97,25 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "%s listening on %s, forwarding to %s\n", *id, recv.Addr(), *adAddr)
 
-	snd, err := transport.DialAD(*adAddr)
-	if err != nil {
-		return err
+	// send forwards one alert over whichever back-link protocol was chosen:
+	// per-alert 'A' frames on a dedicated connection, or coalesced 'M'
+	// frames on a stream of the shared mux connection.
+	var send func(event.Alert) error
+	if *mux {
+		ms, err := transport.DialMux(*adAddr, transport.MuxSenderOptions{Metrics: reg})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = ms.Close() }()
+		send = func(a event.Alert) error { return ms.Send(uint32(*stream), a) }
+	} else {
+		snd, err := transport.DialAD(*adAddr)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = snd.Close() }()
+		send = snd.Send
 	}
-	defer func() { _ = snd.Close() }()
 
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt)
@@ -119,7 +136,7 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			if fired {
-				if err := snd.Send(a); err != nil {
+				if err := send(a); err != nil {
 					return fmt.Errorf("back link: %w", err)
 				}
 				fmt.Fprintf(out, "%s alert %v\n", *id, a)

@@ -25,15 +25,25 @@ func equivConds() []cond.Condition {
 	}
 }
 
-// runMulti drives one MultiSystem over a fixed deterministic stream, either
-// per-update or in batches of the given size, and returns the per-condition
-// displayed sequences.
-func runMulti(t *testing.T, loss func(string, int, event.VarName) link.Model, batch int) map[string][]event.Alert {
+// runMode selects how updates reach the shards and how alerts travel back.
+type runMode struct {
+	// batch is the fixed EmitBatch run length; <=1 means per-update Emit.
+	batch int
+	// inline bypasses the multiplexed back link (the pre-mux baseline).
+	inline bool
+	// pump drives the stream through the adaptive Pump instead of a fixed
+	// batch size; batch is ignored.
+	pump bool
+}
+
+// runMulti drives one MultiSystem over a fixed deterministic stream in the
+// given mode and returns the per-condition displayed sequences.
+func runMulti(t *testing.T, loss func(string, int, event.VarName) link.Model, mode runMode) map[string][]event.Alert {
 	t.Helper()
 	conds := equivConds()
 	sys, err := NewMulti(conds, func(c cond.Condition) ad.Filter {
 		return ad.NewAD1()
-	}, MultiOptions{Replicas: 2, Seed: 42, Loss: loss})
+	}, MultiOptions{Replicas: 2, Seed: 42, Loss: loss, InlineFanIn: mode.inline})
 	if err != nil {
 		t.Fatalf("NewMulti: %v", err)
 	}
@@ -48,24 +58,42 @@ func runMulti(t *testing.T, loss func(string, int, event.VarName) link.Model, ba
 		}
 		return out
 	}
+	var pump *Pump
+	if mode.pump {
+		// Tight bounds so the controller actually moves during a 400-update
+		// run: grows from 2 when the shards keep up, shrinks at depth > 4.
+		pump = sys.NewPump(PumpOptions{Min: 2, Max: 128, HighWater: 4})
+	}
 	for _, v := range []event.VarName{"x", "y"} {
 		values := vals(v)
-		if batch <= 1 {
+		switch {
+		case mode.pump:
+			for _, val := range values {
+				if err := pump.Feed(v, val); err != nil {
+					t.Fatalf("Feed: %v", err)
+				}
+			}
+		case mode.batch <= 1:
 			for _, val := range values {
 				if _, err := sys.Emit(v, val); err != nil {
 					t.Fatalf("Emit: %v", err)
 				}
 			}
-			continue
+		default:
+			for i := 0; i < len(values); i += mode.batch {
+				j := i + mode.batch
+				if j > len(values) {
+					j = len(values)
+				}
+				if _, err := sys.EmitBatch(v, values[i:j]); err != nil {
+					t.Fatalf("EmitBatch: %v", err)
+				}
+			}
 		}
-		for i := 0; i < len(values); i += batch {
-			j := i + batch
-			if j > len(values) {
-				j = len(values)
-			}
-			if _, err := sys.EmitBatch(v, values[i:j]); err != nil {
-				t.Fatalf("EmitBatch: %v", err)
-			}
+	}
+	if pump != nil {
+		if err := pump.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
 		}
 	}
 	if _, err := sys.Close(); err != nil {
@@ -76,6 +104,26 @@ func runMulti(t *testing.T, loss func(string, int, event.VarName) link.Model, ba
 		out[c.Name()] = sys.Demux().DisplayedFor(c.Name())
 	}
 	return out
+}
+
+// compareDisplayed asserts got matches want per condition: same alerts, same
+// values, same order.
+func compareDisplayed(t *testing.T, label string, want, got map[string][]event.Alert) {
+	t.Helper()
+	for condName, wantAlerts := range want {
+		gotAlerts := got[condName]
+		if len(gotAlerts) != len(wantAlerts) {
+			t.Fatalf("%s cond=%q: displayed %d alerts, want %d",
+				label, condName, len(gotAlerts), len(wantAlerts))
+		}
+		for i := range wantAlerts {
+			w, g := wantAlerts[i], gotAlerts[i]
+			if w.Key() != g.Key() || !w.Histories.Equal(g.Histories) {
+				t.Fatalf("%s cond=%q alert %d: got %v, want %v",
+					label, condName, i, g, w)
+			}
+		}
+	}
 }
 
 // TestMultiSystemBatchEquivalence is the acceptance gate for the batched
@@ -116,26 +164,41 @@ func TestMultiSystemBatchEquivalence(t *testing.T) {
 	}
 	for name, loss := range schedules {
 		t.Run(name, func(t *testing.T) {
-			want := runMulti(t, loss, 1)
+			// The gold standard: per-update emission with the pre-mux
+			// synchronous fan-in.
+			want := runMulti(t, loss, runMode{batch: 1, inline: true})
+			// Multiplexed back link, per-update.
+			compareDisplayed(t, "mux/per-update", want,
+				runMulti(t, loss, runMode{batch: 1}))
+			// Multiplexed back link, fixed batch sizes.
 			for _, batch := range []int{2, 7, 64, 400} {
-				got := runMulti(t, loss, batch)
-				for condName, wantAlerts := range want {
-					gotAlerts := got[condName]
-					if len(gotAlerts) != len(wantAlerts) {
-						t.Fatalf("batch=%d cond=%q: displayed %d alerts, want %d",
-							batch, condName, len(gotAlerts), len(wantAlerts))
-					}
-					for i := range wantAlerts {
-						w, g := wantAlerts[i], gotAlerts[i]
-						if w.Key() != g.Key() || !w.Histories.Equal(g.Histories) {
-							t.Fatalf("batch=%d cond=%q alert %d: got %v, want %v",
-								batch, condName, i, g, w)
-						}
-					}
-				}
+				got := runMulti(t, loss, runMode{batch: batch})
+				compareDisplayed(t, fmt.Sprintf("mux/batch=%d", batch), want, got)
 			}
+			// Adaptive pump: run lengths vary with live queue depth, so this
+			// leg also proves equivalence holds for nondeterministic sizing.
+			compareDisplayed(t, "mux/pump", want,
+				runMulti(t, loss, runMode{pump: true}))
 		})
 	}
+}
+
+// TestMultiSystemMuxEquivalence is the focused race-checked CI gate for the
+// multiplexed back link: under a lossy schedule, the coalesced mux fan-in
+// must display exactly what the inline synchronous path displays, per
+// condition and in order.
+func TestMultiSystemMuxEquivalence(t *testing.T) {
+	loss := func(condName string, replica int, v event.VarName) link.Model {
+		m, err := link.NewBernoulli(0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	want := runMulti(t, loss, runMode{batch: 1, inline: true})
+	compareDisplayed(t, "mux/per-update", want, runMulti(t, loss, runMode{batch: 1}))
+	compareDisplayed(t, "mux/batch=64", want, runMulti(t, loss, runMode{batch: 64}))
+	compareDisplayed(t, "mux/pump", want, runMulti(t, loss, runMode{pump: true}))
 }
 
 // TestMultiSystemGoroutineBound verifies the tentpole claim: the system's

@@ -45,7 +45,19 @@ type MultiSystem struct {
 	wg      sync.WaitGroup
 	byShard map[string]int // condition name → shard index (diagnostics)
 
-	m *multiMetrics // nil when MultiOptions.Metrics was nil
+	// backlink is the multiplexed back link: every station of every shard
+	// shares this one channel to the Alert Displayer pump — the in-process
+	// analog of transport.MuxSender's shared TCP connection, with the shard
+	// index as the stream id. FIFO on one channel preserves per-stream
+	// (hence per-condition, since conditions are co-sharded) alert order,
+	// which is what keeps displayed streams byte-identical to the inline
+	// baseline. Nil when MultiOptions.InlineFanIn is set.
+	backlink   chan backFrame
+	pumpWg     sync.WaitGroup
+	backGauges []*obs.Gauge // per-stream queue depth, nil when metrics off
+
+	m   *multiMetrics // nil when MultiOptions.Metrics was nil
+	reg *obs.Registry // nil when MultiOptions.Metrics was nil
 
 	mu     sync.Mutex
 	closed bool
@@ -53,6 +65,13 @@ type MultiSystem struct {
 	// errMu guards evaluation errors surfaced from shard workers.
 	errMu sync.Mutex
 	err   error
+}
+
+// backFrame is one coalesced run on the multiplexed back link: the alerts
+// a single shard produced for one update frame, in display order.
+type backFrame struct {
+	stream int
+	alerts []event.Alert
 }
 
 // multiMetrics is the MultiSystem's aggregate instrumentation. Front-link
@@ -130,6 +149,23 @@ type shard struct {
 	// active is merge scratch for deliverBatchAll: the stations of the
 	// current frame that fired at least once.
 	active []*station
+	// free recycles back-link frame buffers from the pump back to this
+	// shard's worker, bounding steady-state allocation on the alert path.
+	free chan []event.Alert
+}
+
+// backFreeList sizes each shard's recycled-buffer channel.
+const backFreeList = 4
+
+// frameBuf returns an empty alert buffer for a back-link frame, reusing a
+// recycled one when available.
+func (sh *shard) frameBuf() []event.Alert {
+	select {
+	case b := <-sh.free:
+		return b[:0]
+	default:
+		return make([]event.Alert, 0, 8)
+	}
 }
 
 // station is one (condition, replica) pair: an evaluator plus the
@@ -170,11 +206,21 @@ type MultiOptions struct {
 	// multi.lost aggregated over every front link, multi.ce.* counters
 	// shared by all evaluators (fed / discarded / missed_down / fired —
 	// no latency histograms at fleet scale), ad.<condition>.offered /
-	// .displayed / .suppressed per condition, and per-shard
+	// .displayed / .suppressed per condition, per-shard
 	// multi.shard.<i>.queue (sampled channel depth) and
-	// multi.shard.<i>.stations (occupancy) gauges. Nil (the default)
-	// leaves the pipeline uninstrumented and allocation-free.
+	// multi.shard.<i>.stations (occupancy) gauges, and per-stream
+	// multi.backlink.<i>.queue gauges (alerts in flight on the multiplexed
+	// back link, one stream per shard) plus multi.backlink.frames (frames
+	// queued on the shared link). Nil (the default) leaves the pipeline
+	// uninstrumented and allocation-free.
 	Metrics *obs.Registry
+	// InlineFanIn bypasses the multiplexed back link: shard workers offer
+	// alerts to the demux synchronously, one call per alert — the
+	// dedicated-connection, per-alert wiring of the pre-mux pipeline, kept
+	// as the equivalence baseline for tests. The default (false) coalesces
+	// each shard's alert runs into frames on one shared back-link channel
+	// drained by a single Alert Displayer pump.
+	InlineFanIn bool
 }
 
 // NewMulti builds and starts a multi-condition system. newFilter is called
@@ -219,11 +265,16 @@ func NewMulti(conds []cond.Condition, newFilter func(c cond.Condition) ad.Filter
 	}
 	if opts.Metrics != nil {
 		sys.m = newMultiMetrics(opts.Metrics)
+		sys.reg = opts.Metrics
+	}
+	if !opts.InlineFanIn {
+		sys.backlink = make(chan backFrame, backlinkBuffer)
 	}
 	for i := range sys.shards {
 		sys.shards[i] = &shard{
 			in:    make(chan frame, frontBuffer),
 			byVar: make(map[event.VarName][]*station),
+			free:  make(chan []event.Alert, backFreeList),
 		}
 	}
 
@@ -293,36 +344,86 @@ func NewMulti(conds []cond.Condition, newFilter func(c cond.Condition) ad.Filter
 			})
 			opts.Metrics.Gauge(fmt.Sprintf("multi.shard.%d.stations", i)).Set(perShard[i])
 		}
+		if sys.backlink != nil {
+			// Per-stream back-link depth, the shard-gauge pattern applied to
+			// alert fan-in: stream i's gauge counts alerts enqueued by shard
+			// i and not yet filtered. The shared channel's frame depth is
+			// sampled separately.
+			sys.backGauges = make([]*obs.Gauge, len(sys.shards))
+			for i := range sys.shards {
+				sys.backGauges[i] = opts.Metrics.Gauge(fmt.Sprintf("multi.backlink.%d.queue", i))
+			}
+			opts.Metrics.GaugeFunc("multi.backlink.frames", func() int64 {
+				return int64(len(sys.backlink))
+			})
+		}
 	}
 
-	for _, sh := range sys.shards {
-		sh := sh
+	for i, sh := range sys.shards {
+		i, sh := i, sh
 		sys.wg.Add(1)
 		go func() {
 			defer sys.wg.Done()
-			sys.shardLoop(sh)
+			sys.shardLoop(i, sh)
+		}()
+	}
+	if sys.backlink != nil {
+		sys.pumpWg.Add(1)
+		go func() {
+			defer sys.pumpWg.Done()
+			sys.pumpLoop()
 		}()
 	}
 	return sys, nil
 }
 
 // shardLoop drains one shard's frame channel, driving every subscribed
-// station inline.
-func (s *MultiSystem) shardLoop(sh *shard) {
+// station inline. stream is the shard's index — its back-link stream id.
+func (s *MultiSystem) shardLoop(stream int, sh *shard) {
 	for f := range sh.in {
 		if f.us != nil {
-			s.deliverBatchAll(sh, sh.byVar[f.us[0].Var], f.us)
+			s.deliverBatchAll(stream, sh, sh.byVar[f.us[0].Var], f.us)
 			continue
 		}
 		for _, st := range sh.byVar[f.u.Var] {
-			s.deliver(st, f.u)
+			s.deliver(stream, sh, st, f.u)
 		}
 	}
 }
 
+// pumpLoop is the Alert Displayer pump: the single consumer of the
+// multiplexed back link. It preserves frame order (hence per-stream and
+// per-condition order) while decoupling shard workers from filter latency.
+func (s *MultiSystem) pumpLoop() {
+	for f := range s.backlink {
+		for _, a := range f.alerts {
+			if _, err := s.demux.Offer(a); err != nil {
+				s.recordErr(err)
+			}
+		}
+		if s.backGauges != nil {
+			s.backGauges[f.stream].Add(-int64(len(f.alerts)))
+		}
+		// Recycle the frame buffer to its producing shard; drop it if the
+		// free list is full.
+		select {
+		case s.shards[f.stream].free <- f.alerts[:0]:
+		default:
+		}
+	}
+}
+
+// sendBack ships one coalesced alert run down the multiplexed back link.
+func (s *MultiSystem) sendBack(stream int, alerts []event.Alert) {
+	if s.backGauges != nil {
+		s.backGauges[stream].Add(int64(len(alerts)))
+	}
+	s.backlink <- backFrame{stream: stream, alerts: alerts}
+}
+
 // deliver runs one update through a station's front link and evaluator —
 // the body of the former per-link and per-CE goroutines, fused.
-func (s *MultiSystem) deliver(st *station, u event.Update) {
+func (s *MultiSystem) deliver(stream int, sh *shard, st *station, u event.Update) {
 	l := st.links[u.Var]
 	if !l.lossless && !l.model.Deliver(u, l.rng) {
 		s.m.addLost(1)
@@ -337,9 +438,13 @@ func (s *MultiSystem) deliver(st *station, u event.Update) {
 	if !fired {
 		return
 	}
-	if _, err := s.demux.Offer(a); err != nil {
-		s.recordErr(err)
+	if s.backlink == nil {
+		if _, err := s.demux.Offer(a); err != nil {
+			s.recordErr(err)
+		}
+		return
 	}
+	s.sendBack(stream, append(sh.frameBuf(), a))
 }
 
 // deliverBatchAll is deliver for a whole batch across every station
@@ -350,8 +455,9 @@ func (s *MultiSystem) deliver(st *station, u event.Update) {
 // number — station order breaking ties — which is precisely the order the
 // per-update loop interleaves them in. Under loss, replicas of one
 // condition diverge, so this merge is what keeps the displayed sequence
-// identical between the two paths.
-func (s *MultiSystem) deliverBatchAll(sh *shard, sts []*station, us []event.Update) {
+// identical between the two paths. The merged run leaves as one coalesced
+// back-link frame (or as inline Offers when the mux is bypassed).
+func (s *MultiSystem) deliverBatchAll(stream int, sh *shard, sts []*station, us []event.Update) {
 	v := us[0].Var
 	// Every alert in a batch of variable v was triggered by the v update it
 	// just pushed, so Histories[v].Latest().SeqNo identifies the triggering
@@ -387,6 +493,10 @@ func (s *MultiSystem) deliverBatchAll(sh *shard, sts []*station, us []event.Upda
 		}
 	}
 	sh.active = active
+	var out []event.Alert
+	if s.backlink != nil && len(active) > 0 {
+		out = sh.frameBuf()
+	}
 	for len(active) > 0 {
 		best := 0
 		for i := 1; i < len(active); i++ {
@@ -397,7 +507,11 @@ func (s *MultiSystem) deliverBatchAll(sh *shard, sts []*station, us []event.Upda
 			}
 		}
 		st := active[best]
-		if _, err := s.demux.Offer(st.scratch[st.cursor]); err != nil {
+		if s.backlink != nil {
+			// Coalesce: the station scratch buffers are reused next frame,
+			// so the alert values are copied into the frame's own run.
+			out = append(out, st.scratch[st.cursor])
+		} else if _, err := s.demux.Offer(st.scratch[st.cursor]); err != nil {
 			s.recordErr(err)
 		}
 		st.cursor++
@@ -408,6 +522,9 @@ func (s *MultiSystem) deliverBatchAll(sh *shard, sts []*station, us []event.Upda
 		// Drop the drained station, preserving order for the tie-break.
 		copy(active[best:], active[best+1:])
 		active = active[:len(active)-1]
+	}
+	if len(out) > 0 {
+		s.sendBack(stream, out)
 	}
 }
 
@@ -507,7 +624,39 @@ func (s *MultiSystem) Close() ([]event.Alert, error) {
 		close(sh.in)
 	}
 	s.wg.Wait()
+	// All shard workers have exited, so no sendBack is in flight: the back
+	// link drains to empty and the pump exits.
+	if s.backlink != nil {
+		close(s.backlink)
+		s.pumpWg.Wait()
+	}
 	s.errMu.Lock()
 	defer s.errMu.Unlock()
 	return s.demux.Displayed(), s.err
+}
+
+// QueueDepth reports the deepest pending-update queue among the shards
+// subscribed to variable v — the live backpressure signal an adaptive DM
+// pump sizes its EmitBatch runs from. Unknown variables report zero.
+func (s *MultiSystem) QueueDepth(v event.VarName) int {
+	dm, ok := s.dms[v]
+	if !ok {
+		return 0
+	}
+	depth := 0
+	for _, sh := range dm.shards {
+		if d := len(sh.in); d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// BacklinkDepth reports how many coalesced alert frames are queued on the
+// multiplexed back link (zero when InlineFanIn bypassed it).
+func (s *MultiSystem) BacklinkDepth() int {
+	if s.backlink == nil {
+		return 0
+	}
+	return len(s.backlink)
 }

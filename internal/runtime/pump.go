@@ -1,0 +1,195 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"condmon/internal/event"
+	"condmon/internal/obs"
+)
+
+// This file closes the backpressure loop from ISSUE PR 4: the DM-side pump
+// sizes its EmitBatch runs from the live shard queue depth instead of a
+// fixed batch knob. A drained pipeline doubles the run length (fewer
+// hand-offs per update), while a queue above the high-water mark halves it
+// (smaller runs reach the workers sooner and bound the latency of any one
+// batch). Because EmitBatch is equivalence-preserving for every run length
+// — loss models draw randomness per update, not per frame — the adaptive
+// sizing never changes which alerts a condition displays, only how the
+// updates are chunked in flight.
+
+// Default adaptive-pump tuning. Min keeps some amortization even under
+// sustained backpressure; Max bounds worst-case batch latency; HighWater
+// is the shard queue depth (out of shardBuffer slots) that signals the
+// workers are falling behind.
+const (
+	defaultPumpMin       = 8
+	defaultPumpMax       = 1024
+	defaultPumpHighWater = 64
+)
+
+// PumpOptions tunes the adaptive run-length controller.
+type PumpOptions struct {
+	// Min is the smallest EmitBatch run length (default 8). The run never
+	// shrinks below it, so per-update hand-off cost stays amortized.
+	Min int
+	// Max is the largest run length (default 1024), bounding how long a
+	// reading can sit in the pump before reaching the shards.
+	Max int
+	// HighWater is the shard queue depth above which a *growing* backlog
+	// halves the run length (default 64). Any other regime — drained,
+	// shallow, or deep-but-stable — doubles it.
+	HighWater int
+}
+
+func (o *PumpOptions) applyDefaults() {
+	if o.Min <= 0 {
+		o.Min = defaultPumpMin
+	}
+	if o.Max <= 0 {
+		o.Max = defaultPumpMax
+	}
+	if o.Max < o.Min {
+		o.Max = o.Min
+	}
+	if o.HighWater <= 0 {
+		o.HighWater = defaultPumpHighWater
+	}
+}
+
+// nextRun is the pure adaptation step, driven by the queue depth observed
+// after this flush and the depth observed after the previous one. The run
+// halves only when the backlog is both past the high-water mark and still
+// growing — the workers are falling behind and shorter runs let them
+// interleave other variables sooner. Everything else doubles: a drained or
+// shallow queue means the pipeline is keeping up and larger runs amortize
+// the hand-offs, and a deep but *stable* backlog (the producer blocked on a
+// full channel, the saturated regime) means shrinking cannot reduce
+// queueing delay anyway — it would only multiply per-frame overhead — so
+// the controller converges on the largest run the clamp allows, matching
+// what a throughput-optimal fixed size would be. The result is clamped to
+// [Min, Max].
+func nextRun(run, depth, lastDepth int, o PumpOptions) int {
+	switch {
+	case depth > o.HighWater && depth > lastDepth:
+		run /= 2
+	default:
+		run *= 2
+	}
+	if run < o.Min {
+		run = o.Min
+	}
+	if run > o.Max {
+		run = o.Max
+	}
+	return run
+}
+
+// pumpVar is the per-variable buffer plus its current adaptive run length
+// and the queue depth observed at the previous flush (the backlog trend).
+type pumpVar struct {
+	buf       []float64
+	run       int
+	lastDepth int
+	gauge     *obs.Gauge
+}
+
+// Pump batches readings in front of MultiSystem.EmitBatch and adapts the
+// run length per variable from the live shard queue depth. It is not safe
+// for concurrent use; drive each Pump from a single emitter goroutine,
+// matching the one-DM-per-variable discipline of the underlying system.
+type Pump struct {
+	sys  *MultiSystem
+	opts PumpOptions
+	vars map[event.VarName]*pumpVar
+}
+
+// NewPump returns an adaptive batcher feeding this system. When the system
+// was built with a metrics registry, each variable's current run length is
+// published as the gauge multi.pump.<var>.run.
+func (s *MultiSystem) NewPump(opts PumpOptions) *Pump {
+	opts.applyDefaults()
+	return &Pump{
+		sys:  s,
+		opts: opts,
+		vars: make(map[event.VarName]*pumpVar),
+	}
+}
+
+func (p *Pump) varState(v event.VarName) *pumpVar {
+	pv, ok := p.vars[v]
+	if !ok {
+		pv = &pumpVar{run: p.opts.Min, buf: make([]float64, 0, p.opts.Min)}
+		if p.sys.reg != nil {
+			pv.gauge = p.sys.reg.Gauge(fmt.Sprintf("multi.pump.%s.run", v))
+			pv.gauge.Set(int64(pv.run))
+		}
+		p.vars[v] = pv
+	}
+	return pv
+}
+
+// Feed buffers one reading of variable v, flushing a full run through
+// EmitBatch when the current adaptive run length is reached. Errors from
+// the flush (including ErrClosed after the system shuts down) surface here.
+func (p *Pump) Feed(v event.VarName, value float64) error {
+	pv := p.varState(v)
+	pv.buf = append(pv.buf, value)
+	if len(pv.buf) < pv.run {
+		return nil
+	}
+	return p.flushVar(v, pv)
+}
+
+// Flush pushes every partially filled buffer through EmitBatch, in the
+// deterministic order of variable names. Call it before Close so trailing
+// readings are not lost.
+func (p *Pump) Flush() error {
+	names := make([]string, 0, len(p.vars))
+	for v := range p.vars {
+		names = append(names, string(v))
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := event.VarName(name)
+		pv := p.vars[v]
+		if len(pv.buf) == 0 {
+			continue
+		}
+		if err := p.flushVar(v, pv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Pump) flushVar(v event.VarName, pv *pumpVar) error {
+	_, err := p.sys.EmitBatch(v, pv.buf)
+	pv.buf = pv.buf[:0]
+	if err != nil {
+		return err
+	}
+	depth := p.sys.QueueDepth(v)
+	pv.run = nextRun(pv.run, depth, pv.lastDepth, p.opts)
+	pv.lastDepth = depth
+	if pv.gauge != nil {
+		pv.gauge.Set(int64(pv.run))
+	}
+	return nil
+}
+
+// Pending reports how many readings of v are buffered but not yet emitted.
+func (p *Pump) Pending(v event.VarName) int {
+	if pv, ok := p.vars[v]; ok {
+		return len(pv.buf)
+	}
+	return 0
+}
+
+// Run reports the current adaptive run length for v (Min before first use).
+func (p *Pump) Run(v event.VarName) int {
+	if pv, ok := p.vars[v]; ok {
+		return pv.run
+	}
+	return p.opts.Min
+}

@@ -1,0 +1,150 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/obs"
+)
+
+// TestNextRunAdaptation pins the pure controller step: only a backlog that
+// is past the high-water mark and still growing halves the run; every
+// other regime doubles it, and the result clamps to [Min, Max].
+func TestNextRunAdaptation(t *testing.T) {
+	o := PumpOptions{Min: 4, Max: 64, HighWater: 10}
+	cases := []struct {
+		name             string
+		run, depth, last int
+		want             int
+	}{
+		{"drained doubles", 8, 0, 3, 16},
+		{"shallow growing backlog doubles", 8, 5, 2, 16},
+		{"at high water doubles", 8, 10, 2, 16},
+		{"growing past high water halves", 8, 11, 2, 4},
+		{"deep but stable backlog doubles", 8, 100, 100, 16},
+		{"deep shrinking backlog doubles", 8, 90, 100, 16},
+		{"clamped at max", 64, 0, 0, 64},
+		{"clamped at min", 4, 100, 10, 4},
+		{"grows toward max", 48, 0, 0, 64},
+	}
+	for _, tc := range cases {
+		if got := nextRun(tc.run, tc.depth, tc.last, o); got != tc.want {
+			t.Errorf("%s: nextRun(%d, %d, %d) = %d, want %d",
+				tc.name, tc.run, tc.depth, tc.last, got, tc.want)
+		}
+	}
+}
+
+// TestPumpOptionsDefaults checks the zero value resolves to sane tuning and
+// that Max is never allowed below Min.
+func TestPumpOptionsDefaults(t *testing.T) {
+	var o PumpOptions
+	o.applyDefaults()
+	if o.Min != defaultPumpMin || o.Max != defaultPumpMax || o.HighWater != defaultPumpHighWater {
+		t.Errorf("defaults = %+v, want {%d %d %d}",
+			o, defaultPumpMin, defaultPumpMax, defaultPumpHighWater)
+	}
+	inverted := PumpOptions{Min: 100, Max: 10, HighWater: 1}
+	inverted.applyDefaults()
+	if inverted.Max != 100 {
+		t.Errorf("Max below Min should be raised to Min, got Max=%d", inverted.Max)
+	}
+}
+
+// TestPumpFlushSemantics verifies buffering: readings accumulate until the
+// run length is hit, Flush pushes partial runs, and nothing is lost.
+func TestPumpFlushSemantics(t *testing.T) {
+	sys, err := NewMulti(
+		[]cond.Condition{cond.Threshold{CondName: "hot", Var: "x", Limit: 500, Above: true}},
+		func(c cond.Condition) ad.Filter { return ad.NewAD1() },
+		MultiOptions{Replicas: 1})
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	p := sys.NewPump(PumpOptions{Min: 4, Max: 4, HighWater: 1})
+	for i := 0; i < 3; i++ {
+		if err := p.Feed("x", float64(600+i)); err != nil {
+			t.Fatalf("Feed: %v", err)
+		}
+	}
+	if got := p.Pending("x"); got != 3 {
+		t.Errorf("Pending = %d before run boundary, want 3", got)
+	}
+	if err := p.Feed("x", 603); err != nil {
+		t.Fatalf("Feed: %v", err)
+	}
+	if got := p.Pending("x"); got != 0 {
+		t.Errorf("Pending = %d after full run, want 0", got)
+	}
+	if err := p.Feed("x", 604); err != nil {
+		t.Fatalf("Feed: %v", err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := p.Pending("x"); got != 0 {
+		t.Errorf("Pending = %d after Flush, want 0", got)
+	}
+	displayed, err := sys.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The threshold fires on every x > 500 update and AD-1 displays each
+	// distinct alert once, so all five readings must have made it through.
+	if len(displayed) != 5 {
+		t.Errorf("displayed %d alerts, want 5", len(displayed))
+	}
+}
+
+// TestPumpRunGauge verifies the controller publishes its current run length
+// as multi.pump.<var>.run when the system carries a metrics registry.
+func TestPumpRunGauge(t *testing.T) {
+	reg := obs.NewRegistry()
+	sys, _, _ := newTestMulti(t, MultiOptions{Replicas: 1, Metrics: reg})
+	p := sys.NewPump(PumpOptions{Min: 2, Max: 16, HighWater: 1})
+	for i := 0; i < 2; i++ {
+		if err := p.Feed("x", float64(i)); err != nil {
+			t.Fatalf("Feed: %v", err)
+		}
+	}
+	pt, ok := reg.Get("multi.pump.x.run")
+	if !ok {
+		t.Fatal("multi.pump.x.run gauge not registered")
+	}
+	if pt.Value < 2 || pt.Value > 16 {
+		t.Errorf("run gauge = %d, want within [2, 16]", pt.Value)
+	}
+	if got := p.Run("x"); int64(got) != pt.Value {
+		t.Errorf("Run(x) = %d but gauge says %d", got, pt.Value)
+	}
+	if _, err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestPumpClosedSentinel pins error propagation: a Feed that triggers a
+// flush after Close surfaces the wrapped ErrClosed.
+func TestPumpClosedSentinel(t *testing.T) {
+	sys, _, _ := newTestMulti(t, MultiOptions{Replicas: 1})
+	p := sys.NewPump(PumpOptions{Min: 1, Max: 1, HighWater: 1})
+	if _, err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := p.Feed("x", 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Feed after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestQueueDepthUnknownVar pins the zero-for-unknown contract the pump
+// relies on.
+func TestQueueDepthUnknownVar(t *testing.T) {
+	sys, _, _ := newTestMulti(t, MultiOptions{Replicas: 1})
+	if got := sys.QueueDepth("nosuch"); got != 0 {
+		t.Errorf("QueueDepth(nosuch) = %d, want 0", got)
+	}
+	if _, err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"condmon/internal/runtime"
 	"condmon/internal/wire"
 )
 
@@ -13,7 +14,8 @@ import (
 // wire tag byte distinguishes alerts from digests — so one ADListener can
 // serve a mixed fleet of CEs.
 
-// SendDigest transmits an alert digest as a length-prefixed frame.
+// SendDigest transmits an alert digest as a length-prefixed frame. Like
+// Send, it returns the wrapped runtime.ErrClosed sentinel after Close.
 func (s *TCPSender) SendDigest(d wire.Digest) error {
 	body, err := wire.AppendDigest(nil, d)
 	if err != nil {
@@ -26,6 +28,9 @@ func (s *TCPSender) SendDigest(d wire.Digest) error {
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("transport: SendDigest: %w", runtime.ErrClosed)
+	}
 	if _, err := s.conn.Write(hdr[:]); err != nil {
 		return fmt.Errorf("transport: send digest header: %w", err)
 	}

@@ -1,0 +1,406 @@
+package transport
+
+// This file is the multiplexed back link: every CE replica of a process
+// shares one TCP connection to the AD instead of dialing its own. The
+// MuxSender tags each alert with a 32-bit stream id, coalesces small
+// writes into 'M' frames (flushed by size or deadline), and preserves
+// per-stream order; the MuxListener demultiplexes frames back into
+// (stream, alert) pairs. A thousand-replica deployment thus holds one
+// file descriptor per process on each side where the dedicated-connection
+// wiring holds one per replica.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"condmon/internal/event"
+	"condmon/internal/obs"
+	"condmon/internal/runtime"
+	"condmon/internal/wire"
+)
+
+// Default MuxSender coalescing knobs: a buffer flushes as soon as it holds
+// defaultFlushBytes of frame payload, or defaultFlushEvery after the first
+// unflushed Send, whichever comes first.
+const (
+	defaultFlushBytes = 32 * 1024
+	defaultFlushEvery = 2 * time.Millisecond
+)
+
+// MuxSenderOptions configure the coalescing buffer of a MuxSender.
+type MuxSenderOptions struct {
+	// FlushBytes is the buffered payload size that forces an immediate
+	// flush (default 32 KiB). Larger values coalesce more alerts per
+	// syscall at the cost of latency.
+	FlushBytes int
+	// FlushEvery bounds how long a buffered alert may wait before the
+	// deadline flush pushes it out (default 2ms).
+	FlushEvery time.Duration
+	// Metrics, if non-nil, registers sender counters under MetricsPrefix
+	// (default "transport.mux"): <prefix>.alerts, <prefix>.frames, and
+	// <prefix>.flushes — alerts ≫ frames ≫ flushes is coalescing working.
+	Metrics       *obs.Registry
+	MetricsPrefix string
+}
+
+func (o *MuxSenderOptions) applyDefaults() {
+	if o.FlushBytes <= 0 {
+		o.FlushBytes = defaultFlushBytes
+	}
+	if o.FlushEvery <= 0 {
+		o.FlushEvery = defaultFlushEvery
+	}
+	if o.MetricsPrefix == "" {
+		o.MetricsPrefix = "transport.mux"
+	}
+}
+
+// muxStream is one stream's pending coalesced run: encoded alert bodies in
+// Send order, reused across flushes.
+type muxStream struct {
+	id    uint32
+	items [][]byte
+	bytes int // sum of item body lengths
+}
+
+// MuxSender is the shared-connection CE side of a multiplexed back link.
+// Any number of streams (CE replicas, shards) send through one TCP
+// connection; alerts of one stream are delivered in Send order, and small
+// Sends are coalesced into 'M' frames flushed by size or deadline. All
+// methods are safe for concurrent use — replicas of one process share the
+// sender directly.
+type MuxSender struct {
+	opts MuxSenderOptions
+	conn net.Conn
+
+	mu      sync.Mutex
+	streams map[uint32]*muxStream
+	order   []*muxStream // streams with pending items, first-Send order
+	pending int          // buffered payload bytes (items + per-item overhead)
+	timer   *time.Timer  // armed deadline flush, nil when idle
+	closed  bool
+	err     error // sticky write error: the connection is dead
+
+	cAlerts, cFrames, cFlushes *obs.Counter
+}
+
+// DialMux connects a shared back link to a MuxListener (or any AD endpoint
+// that understands 'M' frames).
+func DialMux(addr string, opts MuxSenderOptions) (*MuxSender, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial mux %q: %w", addr, err)
+	}
+	opts.applyDefaults()
+	s := &MuxSender{
+		opts:    opts,
+		conn:    conn,
+		streams: make(map[uint32]*muxStream),
+	}
+	if opts.Metrics != nil {
+		s.cAlerts = opts.Metrics.Counter(opts.MetricsPrefix + ".alerts")
+		s.cFrames = opts.Metrics.Counter(opts.MetricsPrefix + ".frames")
+		s.cFlushes = opts.Metrics.Counter(opts.MetricsPrefix + ".flushes")
+	}
+	return s, nil
+}
+
+// Send enqueues one alert on the given stream. The alert leaves in the next
+// flush — triggered by the size threshold, the deadline, an explicit Flush,
+// or Close — and arrives after every alert previously sent on the same
+// stream. After Close, Send returns the wrapped runtime.ErrClosed sentinel,
+// matching the front links' Emit-after-Close contract.
+func (s *MuxSender) Send(stream uint32, a event.Alert) error {
+	body, err := wire.EncodeAlert(a)
+	if err != nil {
+		return err
+	}
+	if wire.MuxOverhead(1, len(body)) > maxFrame {
+		return fmt.Errorf("transport: alert of %d bytes exceeds frame limit", len(body))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("transport: mux Send: %w", runtime.ErrClosed)
+	}
+	if s.err != nil {
+		return s.err
+	}
+	st, ok := s.streams[stream]
+	if !ok {
+		st = &muxStream{id: stream}
+		s.streams[stream] = st
+	}
+	if len(st.items) == 0 {
+		s.order = append(s.order, st)
+	}
+	st.items = append(st.items, body)
+	st.bytes += len(body)
+	s.pending += len(body) + 4
+	s.cAlerts.Inc()
+	if s.pending >= s.opts.FlushBytes {
+		return s.flushLocked()
+	}
+	if s.timer == nil {
+		s.timer = time.AfterFunc(s.opts.FlushEvery, s.deadlineFlush)
+	}
+	return nil
+}
+
+// deadlineFlush is the timer callback: push whatever is buffered.
+func (s *MuxSender) deadlineFlush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	_ = s.flushLocked() // the error is sticky; the next Send reports it
+}
+
+// Flush writes every buffered alert out now. Useful before measuring and
+// when a caller needs bounded delivery without waiting for the deadline.
+func (s *MuxSender) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("transport: mux Flush: %w", runtime.ErrClosed)
+	}
+	return s.flushLocked()
+}
+
+// flushLocked encodes every pending stream run into 'M' frames — splitting
+// runs whose encoding would exceed maxFrame into several frames of the same
+// stream, so an oversized run never resets the connection — and writes them
+// with one syscall. The caller holds s.mu.
+func (s *MuxSender) flushLocked() error {
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if len(s.order) == 0 {
+		return nil
+	}
+	var out []byte
+	frames := 0
+	for _, st := range s.order {
+		items := st.items
+		for len(items) > 0 {
+			// Greedily pack items while the frame stays under maxFrame and
+			// the 16-bit item count has room.
+			n, bytes := 0, 0
+			for n < len(items) && n < 1<<16-1 {
+				if sz := wire.MuxOverhead(n+1, bytes+len(items[n])); sz > maxFrame && n > 0 {
+					break
+				}
+				bytes += len(items[n])
+				n++
+			}
+			frame := encodeMuxItems(st.id, items[:n])
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+			out = append(out, hdr[:]...)
+			out = append(out, frame...)
+			items = items[n:]
+			frames++
+		}
+		st.items = st.items[:0]
+		st.bytes = 0
+	}
+	s.order = s.order[:0]
+	s.pending = 0
+	s.cFrames.Add(int64(frames))
+	s.cFlushes.Inc()
+	if _, err := s.conn.Write(out); err != nil {
+		s.err = fmt.Errorf("transport: mux flush: %w", err)
+		return s.err
+	}
+	return nil
+}
+
+// encodeMuxItems assembles one 'M' frame from pre-encoded alert bodies —
+// the wire.AppendMux layout without re-encoding each alert.
+func encodeMuxItems(stream uint32, items [][]byte) []byte {
+	size := 1 + 4 + 2
+	for _, it := range items {
+		size += 4 + len(it)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, 'M')
+	out = binary.BigEndian.AppendUint32(out, stream)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(items)))
+	for _, it := range items {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(it)))
+		out = append(out, it...)
+	}
+	return out
+}
+
+// Close flushes buffered alerts and closes the shared connection. Later
+// Sends return the wrapped runtime.ErrClosed sentinel.
+func (s *MuxSender) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	flushErr := s.flushLocked()
+	s.closed = true
+	if err := s.conn.Close(); err != nil && flushErr == nil {
+		return err
+	}
+	return flushErr
+}
+
+// StreamAlert is one demultiplexed back-link arrival: the alert plus the
+// stream id its sender tagged it with. Plain 'A' frames from non-mux
+// senders surface as stream 0.
+type StreamAlert struct {
+	Stream uint32
+	Alert  event.Alert
+}
+
+// MuxListenerOptions configure the AD side of a multiplexed back link.
+type MuxListenerOptions struct {
+	// Metrics, if non-nil, registers listener counters under MetricsPrefix
+	// (default "transport.muxrecv"): <prefix>.alerts, <prefix>.frames, and
+	// <prefix>.item_errors (corrupt items skipped inside otherwise valid
+	// frames).
+	Metrics       *obs.Registry
+	MetricsPrefix string
+}
+
+// MuxListener is the AD side of multiplexed back links: it accepts any
+// number of shared connections, decodes 'M' frames (and plain 'A' frames
+// from legacy senders), and merges the demultiplexed streams into one
+// channel while preserving each stream's send order.
+type MuxListener struct {
+	ln   net.Listener
+	out  chan StreamAlert
+	wg   sync.WaitGroup
+	done chan struct{}
+
+	cAlerts, cFrames, cItemErrs *obs.Counter
+}
+
+// ListenMux starts a multiplexed AD endpoint on addr.
+func ListenMux(addr string, opts MuxListenerOptions) (*MuxListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen mux %q: %w", addr, err)
+	}
+	l := &MuxListener{
+		ln:   ln,
+		out:  make(chan StreamAlert, updateBuffer),
+		done: make(chan struct{}),
+	}
+	if opts.Metrics != nil {
+		prefix := opts.MetricsPrefix
+		if prefix == "" {
+			prefix = "transport.muxrecv"
+		}
+		l.cAlerts = opts.Metrics.Counter(prefix + ".alerts")
+		l.cFrames = opts.Metrics.Counter(prefix + ".frames")
+		l.cItemErrs = opts.Metrics.Counter(prefix + ".item_errors")
+	}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the bound address.
+func (l *MuxListener) Addr() string { return l.ln.Addr().String() }
+
+// Alerts returns the merged, stream-tagged alert flow. Within one stream,
+// arrival order is send order; across streams the interleaving is the
+// nondeterministic merge M of the analysis model. The channel closes after
+// Close once all connection handlers exit.
+func (l *MuxListener) Alerts() <-chan StreamAlert { return l.out }
+
+// Close shuts the listener and all connections down and closes Alerts.
+func (l *MuxListener) Close() {
+	close(l.done)
+	_ = l.ln.Close()
+	l.wg.Wait()
+	close(l.out)
+}
+
+func (l *MuxListener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		l.wg.Add(1)
+		go l.handle(conn)
+	}
+}
+
+func (l *MuxListener) handle(conn net.Conn) {
+	defer l.wg.Done()
+	defer func() { _ = conn.Close() }()
+	go func() {
+		// Unblock reads when Close is called.
+		<-l.done
+		_ = conn.Close()
+	}()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > maxFrame {
+			return // corrupt stream: a real TCP link would reset here
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		l.cFrames.Inc()
+		switch body[0] {
+		case 'M':
+			m, itemErrs, rest, err := wire.DecodeMux(body)
+			if err != nil || len(rest) != 0 {
+				return // frame-level corruption: reset the connection
+			}
+			// Item errors never desync the frame: the corrupt alerts are
+			// dropped, the rest of the run flows on.
+			l.cItemErrs.Add(int64(len(itemErrs)))
+			for _, a := range m.Alerts {
+				if !l.emit(StreamAlert{Stream: m.Stream, Alert: a}) {
+					return
+				}
+			}
+		case 'A':
+			a, rest, err := wire.DecodeAlert(body)
+			if err != nil || len(rest) != 0 {
+				return
+			}
+			if !l.emit(StreamAlert{Alert: a}) {
+				return
+			}
+		default:
+			return // unknown frame type: treat as a corrupt stream
+		}
+	}
+}
+
+// emit hands one arrival to the merged channel, reporting false when the
+// listener is shutting down.
+func (l *MuxListener) emit(sa StreamAlert) bool {
+	select {
+	case l.out <- sa:
+		l.cAlerts.Inc()
+		return true
+	case <-l.done:
+		return false
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"condmon/internal/event"
 	"condmon/internal/link"
 	"condmon/internal/obs"
+	"condmon/internal/runtime"
 	"condmon/internal/wire"
 
 	"math/rand"
@@ -289,8 +290,9 @@ func (r *UDPReceiver) deliver(u event.Update, forced link.Model, rng *rand.Rand)
 // TCPSender is the CE side of a back link: a reliable, ordered alert
 // stream to the AD.
 type TCPSender struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
 }
 
 // DialAD connects to an ADListener.
@@ -304,6 +306,9 @@ func DialAD(addr string) (*TCPSender, error) {
 
 // Send transmits one alert as a length-prefixed frame. Unlike the front
 // links, errors are returned: back links must not lose alerts silently.
+// After Close, Send returns the wrapped runtime.ErrClosed sentinel —
+// parity with the runtime's Emit-after-Close contract, instead of the raw
+// net error a write on a closed socket would surface.
 func (s *TCPSender) Send(a event.Alert) error {
 	body, err := wire.EncodeAlert(a)
 	if err != nil {
@@ -316,6 +321,9 @@ func (s *TCPSender) Send(a event.Alert) error {
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("transport: Send: %w", runtime.ErrClosed)
+	}
 	if _, err := s.conn.Write(hdr[:]); err != nil {
 		return fmt.Errorf("transport: send alert header: %w", err)
 	}
@@ -325,8 +333,17 @@ func (s *TCPSender) Send(a event.Alert) error {
 	return nil
 }
 
-// Close closes the connection.
-func (s *TCPSender) Close() error { return s.conn.Close() }
+// Close closes the connection; it is idempotent, and later Sends report
+// the runtime.ErrClosed sentinel.
+func (s *TCPSender) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.conn.Close()
+}
 
 // ADListener is the AD side of the back links: it accepts any number of CE
 // connections and merges their alert streams into one channel — the

@@ -131,6 +131,78 @@ func FuzzDecodeBatch(f *testing.F) {
 	})
 }
 
+// FuzzMuxRoundTrip asserts decode(encode(x)) == x for every mux frame the
+// encoder accepts: stream id, run length, order, and every alert's fields
+// must survive the trip with no item errors.
+func FuzzMuxRoundTrip(f *testing.F) {
+	f.Add(uint32(0), []byte("hot"), []byte("CE1"), int64(1), 10.0, int64(2), 20.0)
+	f.Add(uint32(7), []byte(""), []byte(""), int64(0), 0.0, int64(0), 0.0)
+	f.Add(uint32(1<<31), []byte("c"), []byte("CE2"), int64(9), -1.5, int64(3), 3000.0)
+	f.Fuzz(func(t *testing.T, stream uint32, condName, source []byte, s1 int64, v1 float64, s2 int64, v2 float64) {
+		alerts := []event.Alert{
+			{Cond: string(condName), Source: string(source), Histories: event.HistorySet{
+				"x": {Var: "x", Recent: []event.Update{event.U("x", s1, v1)}},
+			}},
+			{Cond: string(condName), Source: string(source), Histories: event.HistorySet{
+				"x": {Var: "x", Recent: []event.Update{event.U("x", s2, v2), event.U("x", s1, v1)}},
+			}},
+		}
+		b, err := EncodeMux(stream, alerts)
+		if err != nil {
+			return // encoder rejected the inputs: nothing to check
+		}
+		m, itemErrs, rest, err := DecodeMux(b)
+		if err != nil {
+			t.Fatalf("clean mux frame failed to decode: %v", err)
+		}
+		if len(itemErrs) != 0 {
+			t.Fatalf("clean mux frame produced item errors: %v", itemErrs)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("clean mux frame left %d trailing bytes", len(rest))
+		}
+		if m.Stream != stream || len(m.Alerts) != len(alerts) {
+			t.Fatalf("round trip = stream %d with %d alerts, want stream %d with %d", m.Stream, len(m.Alerts), stream, len(alerts))
+		}
+		for i := range alerts {
+			w, g := alerts[i], m.Alerts[i]
+			if g.Cond != w.Cond || g.Source != w.Source {
+				t.Fatalf("alert %d = (%q, %q), want (%q, %q)", i, g.Cond, g.Source, w.Cond, w.Source)
+			}
+			if !g.Histories.Equal(w.Histories) {
+				t.Fatalf("alert %d histories = %v, want %v", i, g.Histories, w.Histories)
+			}
+		}
+	})
+}
+
+// FuzzDecodeMux ensures the mux decoder never panics on arbitrary bytes and
+// that every alert it does accept is itself re-encodable — the frame never
+// hands garbage downstream.
+func FuzzDecodeMux(f *testing.F) {
+	a := event.Alert{Cond: "c", Source: "CE1", Histories: event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 2, 20), event.U("x", 1, 10)}},
+	}}
+	seed, err := EncodeMux(3, []event.Alert{a, a})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{'M'})
+	f.Add([]byte{'M', 0, 0, 0, 1, 0, 2})
+	f.Add([]byte{'M', 0, 0, 0, 1, 0, 1, 0, 0, 0, 1, 'A'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, _, _, err := DecodeMux(data)
+		if err != nil {
+			return
+		}
+		if _, err := EncodeMux(m.Stream, m.Alerts); err != nil {
+			t.Fatalf("decoded mux frame %+v does not re-encode: %v", m, err)
+		}
+	})
+}
+
 // FuzzDecodeDigest ensures the digest decoder never panics.
 func FuzzDecodeDigest(f *testing.F) {
 	d := DigestOf(event.Alert{Cond: "c", Histories: event.HistorySet{

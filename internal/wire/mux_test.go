@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"condmon/internal/event"
+)
+
+func muxAlerts() []event.Alert {
+	return []event.Alert{
+		{Cond: "hot", Source: "CE1", Histories: event.HistorySet{
+			"x": {Var: "x", Recent: []event.Update{event.U("x", 3, 100), event.U("x", 1, 50)}},
+		}},
+		{Cond: "hot", Source: "CE2", Histories: event.HistorySet{
+			"x": {Var: "x", Recent: []event.Update{event.U("x", 3, 100)}},
+		}},
+		{Cond: "diff", Source: "CE1", Histories: event.HistorySet{
+			"x": {Var: "x", Recent: []event.Update{event.U("x", 7, 700)}},
+			"y": {Var: "y", Recent: []event.Update{event.U("y", 2, 400)}},
+		}},
+	}
+}
+
+func TestMuxRoundTrip(t *testing.T) {
+	alerts := muxAlerts()
+	b, err := EncodeMux(42, alerts)
+	if err != nil {
+		t.Fatalf("EncodeMux: %v", err)
+	}
+	m, itemErrs, rest, err := DecodeMux(b)
+	if err != nil {
+		t.Fatalf("DecodeMux: %v", err)
+	}
+	if len(itemErrs) != 0 {
+		t.Fatalf("clean frame produced item errors: %v", itemErrs)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("clean frame left %d trailing bytes", len(rest))
+	}
+	if m.Stream != 42 {
+		t.Errorf("stream = %d, want 42", m.Stream)
+	}
+	if len(m.Alerts) != len(alerts) {
+		t.Fatalf("decoded %d alerts, want %d", len(m.Alerts), len(alerts))
+	}
+	for i := range alerts {
+		w, g := alerts[i], m.Alerts[i]
+		if g.Cond != w.Cond || g.Source != w.Source || !g.Histories.Equal(w.Histories) {
+			t.Errorf("alert %d = %v, want %v", i, g, w)
+		}
+	}
+}
+
+func TestMuxEmptyRun(t *testing.T) {
+	b, err := EncodeMux(7, nil)
+	if err != nil {
+		t.Fatalf("EncodeMux: %v", err)
+	}
+	m, itemErrs, rest, err := DecodeMux(b)
+	if err != nil || len(itemErrs) != 0 || len(rest) != 0 {
+		t.Fatalf("DecodeMux = (%v, %v, %d trailing, %v)", m, itemErrs, len(rest), err)
+	}
+	if m.Stream != 7 || len(m.Alerts) != 0 {
+		t.Errorf("decoded %v, want empty stream-7 run", m)
+	}
+}
+
+// TestMuxCorruptItemSkipped is the desync contract: flipping bytes inside
+// one item's body must cost only that item, with every other alert of the
+// run still decoding in order.
+func TestMuxCorruptItemSkipped(t *testing.T) {
+	alerts := muxAlerts()
+	b, err := EncodeMux(3, alerts)
+	if err != nil {
+		t.Fatalf("EncodeMux: %v", err)
+	}
+	// Corrupt the second item's body: its length prefix sits right after
+	// item 0. Walk the frame to find it.
+	off := muxHeaderLen
+	off += muxItemOverhead + int(binary.BigEndian.Uint32(b[off:])) // past item 0
+	b[off+muxItemOverhead] = 'Z'                                   // item 1's tag byte: no longer an alert
+
+	m, itemErrs, rest, err := DecodeMux(b)
+	if err != nil {
+		t.Fatalf("DecodeMux after corruption: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("corrupted item desynced the frame: %d trailing bytes", len(rest))
+	}
+	if len(itemErrs) != 1 || itemErrs[0].Index != 1 {
+		t.Fatalf("itemErrs = %v, want exactly item 1", itemErrs)
+	}
+	if len(m.Alerts) != 2 {
+		t.Fatalf("decoded %d alerts, want the 2 intact ones", len(m.Alerts))
+	}
+	if m.Alerts[0].Source != "CE1" || m.Alerts[1].Cond != "diff" {
+		t.Errorf("surviving alerts = %v, want items 0 and 2 in order", m.Alerts)
+	}
+}
+
+func TestMuxTruncationIsFrameError(t *testing.T) {
+	alerts := muxAlerts()
+	b, err := EncodeMux(1, alerts)
+	if err != nil {
+		t.Fatalf("EncodeMux: %v", err)
+	}
+	for _, cut := range []int{1, muxHeaderLen - 1, muxHeaderLen + 2, len(b) - 1} {
+		if _, _, _, err := DecodeMux(b[:cut]); err == nil {
+			t.Errorf("DecodeMux of %d/%d bytes succeeded, want frame error", cut, len(b))
+		}
+	}
+}
+
+func TestMuxOverheadMatchesEncoding(t *testing.T) {
+	alerts := muxAlerts()
+	body := 0
+	for _, a := range alerts {
+		e, err := EncodeAlert(a)
+		if err != nil {
+			t.Fatalf("EncodeAlert: %v", err)
+		}
+		body += len(e)
+	}
+	b, err := EncodeMux(9, alerts)
+	if err != nil {
+		t.Fatalf("EncodeMux: %v", err)
+	}
+	if got, want := len(b), MuxOverhead(len(alerts), body); got != want {
+		t.Errorf("encoded %d bytes, MuxOverhead predicts %d", got, want)
+	}
+}
+
+func TestMuxTrailingBytesReturned(t *testing.T) {
+	b, err := EncodeMux(5, muxAlerts()[:1])
+	if err != nil {
+		t.Fatalf("EncodeMux: %v", err)
+	}
+	tail := []byte{0xde, 0xad}
+	m, itemErrs, rest, err := DecodeMux(append(append([]byte(nil), b...), tail...))
+	if err != nil || len(itemErrs) != 0 {
+		t.Fatalf("DecodeMux: %v %v", itemErrs, err)
+	}
+	if m.Stream != 5 || !bytes.Equal(rest, tail) {
+		t.Errorf("rest = %x, want %x", rest, tail)
+	}
+}

@@ -26,6 +26,7 @@ const (
 	tagAlert  byte = 'A'
 	tagDigest byte = 'D'
 	tagBatch  byte = 'B'
+	tagMux    byte = 'M'
 )
 
 // maxStringLen bounds encoded names; longer inputs are rejected rather
@@ -97,9 +98,10 @@ type Batch struct {
 	Updates []event.Update
 }
 
-// ItemError reports one undecodable update inside an otherwise well-formed
-// batch frame. Because batch items are fixed-size records, a bad item never
-// desynchronizes the frame: DecodeBatch skips it and keeps decoding.
+// ItemError reports one undecodable item inside an otherwise well-formed
+// multi-item frame ('B' batches, 'M' mux runs). Because batch items are
+// fixed-size records and mux items carry length prefixes, a bad item never
+// desynchronizes its frame: the decoders skip it and keep decoding.
 type ItemError struct {
 	// Index is the item's position in the encoded frame.
 	Index int
@@ -107,7 +109,7 @@ type ItemError struct {
 }
 
 // Error implements error.
-func (e ItemError) Error() string { return fmt.Sprintf("wire: batch item %d: %v", e.Index, e.Err) }
+func (e ItemError) Error() string { return fmt.Sprintf("wire: frame item %d: %v", e.Index, e.Err) }
 
 // AppendBatch appends the encoding of a batch frame for variable v to dst.
 // It enforces the frame contract — every update is for v with a
@@ -191,6 +193,106 @@ func DecodeBatch(b []byte) (batch Batch, itemErrs []ItemError, rest []byte, err 
 		batch.Updates = append(batch.Updates, event.Update{Var: batch.Var, SeqNo: seqNo, Value: value})
 	}
 	return batch, itemErrs, b, nil
+}
+
+// Mux is a multiplexed back-link frame: one stream's coalesced run of
+// alerts, in send order. Streams let many CE replicas share a single TCP
+// connection — the frame tags each run with the 32-bit stream id the sender
+// chose (a replica index, a shard index), and the receiver demultiplexes by
+// it. Each item inside the frame is an independently length-prefixed alert
+// encoding, so a corrupt item is skipped by its prefix and never
+// desynchronizes the rest of the frame — the same tolerance contract as the
+// 'B' batch frames.
+type Mux struct {
+	Stream uint32
+	Alerts []event.Alert
+}
+
+// muxHeaderLen is the fixed frame overhead of a mux frame: tag byte,
+// 32-bit stream id, 16-bit item count.
+const muxHeaderLen = 1 + 4 + 2
+
+// muxItemOverhead is the per-item overhead inside a mux frame: the 32-bit
+// length prefix preceding each encoded alert.
+const muxItemOverhead = 4
+
+// MuxOverhead reports the encoded size of a mux frame carrying items whose
+// alert encodings total bodyBytes across n items. Senders use it to pack
+// coalesced runs under a frame-size limit without encoding twice.
+func MuxOverhead(n, bodyBytes int) int {
+	return muxHeaderLen + n*muxItemOverhead + bodyBytes
+}
+
+// AppendMux appends the encoding of one stream's coalesced alert run to
+// dst. The run order is preserved on the wire; an empty run encodes to a
+// valid (if pointless) frame.
+func AppendMux(dst []byte, stream uint32, alerts []event.Alert) ([]byte, error) {
+	if len(alerts) > maxStringLen {
+		return nil, fmt.Errorf("wire: mux run of %d alerts exceeds limit", len(alerts))
+	}
+	dst = append(dst, tagMux)
+	dst = binary.BigEndian.AppendUint32(dst, stream)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(alerts)))
+	for i, a := range alerts {
+		at := len(dst)
+		dst = binary.BigEndian.AppendUint32(dst, 0) // patched after encoding
+		var err error
+		dst, err = AppendAlert(dst, a)
+		if err != nil {
+			return nil, fmt.Errorf("wire: mux item %d: %w", i, err)
+		}
+		binary.BigEndian.PutUint32(dst[at:], uint32(len(dst)-at-muxItemOverhead))
+	}
+	return dst, nil
+}
+
+// EncodeMux encodes a mux frame.
+func EncodeMux(stream uint32, alerts []event.Alert) ([]byte, error) {
+	return AppendMux(nil, stream, alerts)
+}
+
+// DecodeMux decodes a mux frame, returning trailing bytes. Frame-level
+// corruption (bad tag, truncated header, an item length running past the
+// buffer) fails the whole frame; an item whose body does not decode as an
+// alert is reported in itemErrs and skipped via its length prefix, so one
+// corrupt alert never costs the rest of the run.
+func DecodeMux(b []byte) (m Mux, itemErrs []ItemError, rest []byte, err error) {
+	if len(b) == 0 || b[0] != tagMux {
+		return Mux{}, nil, nil, errf("not a mux message")
+	}
+	b = b[1:]
+	if len(b) < 6 {
+		return Mux{}, nil, nil, errf("truncated mux header")
+	}
+	m.Stream = binary.BigEndian.Uint32(b)
+	n := int(binary.BigEndian.Uint16(b[4:]))
+	b = b[6:]
+	if n > 0 {
+		m.Alerts = make([]event.Alert, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		if len(b) < muxItemOverhead {
+			return Mux{}, nil, nil, errf("truncated mux item %d length", i)
+		}
+		ln := int(binary.BigEndian.Uint32(b))
+		b = b[muxItemOverhead:]
+		if len(b) < ln {
+			return Mux{}, nil, nil, errf("truncated mux item %d body (want %d bytes, have %d)", i, ln, len(b))
+		}
+		item := b[:ln]
+		b = b[ln:]
+		a, itemRest, err := DecodeAlert(item)
+		if err != nil {
+			itemErrs = append(itemErrs, ItemError{Index: i, Err: err})
+			continue
+		}
+		if len(itemRest) != 0 {
+			itemErrs = append(itemErrs, ItemError{Index: i, Err: errf("mux item has %d trailing bytes", len(itemRest))})
+			continue
+		}
+		m.Alerts = append(m.Alerts, a)
+	}
+	return m, itemErrs, b, nil
 }
 
 // AppendAlert appends the encoding of a full alert — condition, source and
