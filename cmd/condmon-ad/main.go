@@ -36,12 +36,14 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("condmon-ad", flag.ContinueOnError)
 	var (
-		listen = fs.String("listen", "127.0.0.1:0", "TCP endpoint for back links")
-		algo   = fs.String("ad-algo", "AD-1", "filtering algorithm: AD-0 … AD-6")
-		vars   = fs.String("vars", "x", "comma-separated condition variables")
-		n      = fs.Int("n", 0, "exit after this many received alerts (0 = run until interrupted)")
-		maddr  = fs.String("metrics", "", "serve /metrics and /debug/pprof/ on this address while running")
-		mux    = fs.Bool("mux", false, "accept the multiplexed back-link protocol (stream-tagged 'M' frames)")
+		listen   = fs.String("listen", "127.0.0.1:0", "TCP endpoint for back links")
+		algo     = fs.String("ad-algo", "AD-1", "filtering algorithm: AD-0 … AD-6")
+		vars     = fs.String("vars", "x", "comma-separated condition variables")
+		n        = fs.Int("n", 0, "exit after this many received alerts (0 = run until interrupted)")
+		maddr    = fs.String("metrics", "", "serve /metrics and /debug/pprof/ on this address while running")
+		mux      = fs.Bool("mux", false, "accept the multiplexed back-link protocol (stream-tagged 'M' frames)")
+		tracing  = fs.Bool("tracing", false, "record backlink/ad spans in a flight recorder (served at /trace with -metrics)")
+		staleAft = fs.Duration("stale-after", 0, "back link reported stale on /healthz after this long without traffic (default 10s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,16 +59,25 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var reg *obs.Registry
+	var (
+		reg *obs.Registry
+		tr  *obs.Tracer
+		hl  *obs.Health
+	)
+	if *tracing {
+		tr = obs.NewTracer(obs.DefaultTraceCap)
+		filter = ad.NewTraced(filter, tr)
+	}
 	if *maddr != "" {
 		reg = obs.NewRegistry()
 		filter = ad.RegisterInstrumented(reg, "ad", filter)
-		srv, err := obs.Serve(*maddr, reg)
+		hl = obs.NewHealth()
+		srv, err := obs.ServeWith(*maddr, obs.MuxOptions{Registry: reg, Trace: tr, Health: hl})
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(out, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+		fmt.Fprintf(out, "metrics: http://%s/metrics (trace at /trace, health at /healthz)\n", srv.Addr())
 	}
 
 	// Normalize both listener shapes to one stream-tagged channel: the
@@ -76,14 +87,18 @@ func run(args []string, out io.Writer) error {
 		addr   string
 	)
 	if *mux {
-		l, err := transport.ListenMux(*listen, transport.MuxListenerOptions{Metrics: reg})
+		l, err := transport.ListenMux(*listen, transport.MuxListenerOptions{
+			Metrics: reg, Trace: tr, Health: hl, StaleAfter: *staleAft,
+		})
 		if err != nil {
 			return err
 		}
 		defer l.Close()
 		alerts, addr = l.Alerts(), l.Addr()
 	} else {
-		l, err := transport.ListenAD(*listen)
+		l, err := transport.ListenADOpts(*listen, transport.ADListenerOptions{
+			Trace: tr, Health: hl, StaleAfter: *staleAft,
+		})
 		if err != nil {
 			return err
 		}

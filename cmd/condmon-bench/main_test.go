@@ -67,7 +67,7 @@ func TestRunMetricsRequiresPerf(t *testing.T) {
 // DMs emitted either crossed each front link or was dropped on it.
 func TestMultiThroughputWithMetrics(t *testing.T) {
 	reg := obs.NewRegistry()
-	res, err := multiThroughput(16, 40, 800, reg)
+	res, err := multiThroughput(16, 40, 800, reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

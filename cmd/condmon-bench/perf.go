@@ -71,13 +71,15 @@ func measure(f func(b *testing.B)) perfResult {
 }
 
 // feedBench measures Evaluator.Feed for condition c, the CEFeed/DSLEval
-// scenarios of bench_test.go.
-func feedBench(c cond.Condition) func(b *testing.B) {
+// scenarios of bench_test.go. A non-nil tracer attaches the live flight
+// recorder, measuring the tracing-on cost of the same path.
+func feedBench(c cond.Condition, tr *obs.Tracer) func(b *testing.B) {
 	return func(b *testing.B) {
 		eval, err := ce.New("CE1", c)
 		if err != nil {
 			b.Fatal(err)
 		}
+		eval.SetTracer(tr)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -115,7 +117,7 @@ func filterStream() ([]event.Alert, error) {
 // the O(conditions × replicas × variables) of a goroutine-per-link wiring.
 // A non-nil reg attaches the full multi.* / ad.* counter set to the run;
 // the default nil registry measures the uninstrumented configuration.
-func multiThroughput(batchSize, conditions, total int, reg *obs.Registry) (throughputResult, error) {
+func multiThroughput(batchSize, conditions, total int, reg *obs.Registry, tr *obs.Tracer) (throughputResult, error) {
 	const nVars = 8
 	vars := make([]event.VarName, nVars)
 	for i := range vars {
@@ -132,7 +134,7 @@ func multiThroughput(batchSize, conditions, total int, reg *obs.Registry) (throu
 	}
 	sys, err := crt.NewMulti(conds, func(c cond.Condition) ad.Filter {
 		return ad.NewAD1()
-	}, crt.MultiOptions{Replicas: 2, Seed: 1, Metrics: reg})
+	}, crt.MultiOptions{Replicas: 2, Seed: 1, Metrics: reg, Trace: tr})
 	if err != nil {
 		return throughputResult{}, err
 	}
@@ -211,9 +213,13 @@ func runPerf(out io.Writer, metricsAddr string, hold time.Duration) error {
 		GOARCH:     runtime.GOARCH,
 		Benchmarks: map[string]perfResult{},
 	}
-	report.Benchmarks["CEFeed"] = measure(feedBench(cond.NewRiseAggressive("x")))
+	report.Benchmarks["CEFeed"] = measure(feedBench(cond.NewRiseAggressive("x"), nil))
+	// The same path with the flight recorder attached: the tracing-on
+	// overhead BENCH_PR5.json records next to the tracing-off pin.
+	report.Benchmarks["CEFeed/traced"] = measure(feedBench(
+		cond.NewRiseAggressive("x"), obs.NewTracer(obs.DefaultTraceCap)))
 	report.Benchmarks["DSLEval"] = measure(feedBench(
-		cond.MustParse("c3", "x[0] - x[-1] > 200 && consecutive(x)")))
+		cond.MustParse("c3", "x[0] - x[-1] > 200 && consecutive(x)"), nil))
 	filters := []struct {
 		name string
 		mk   func() ad.Filter
@@ -235,14 +241,20 @@ func runPerf(out io.Writer, metricsAddr string, hold time.Duration) error {
 
 	report.MultiSystem = map[string]throughputResult{}
 	for _, m := range []struct {
-		key   string
-		batch int
+		key    string
+		batch  int
+		traced bool
 	}{
-		{"MultiSystemThroughput/per_update", 1},
-		{"MultiSystemThroughput/batched", 256},
-		{"MultiSystemThroughput/adaptive", 0},
+		{"MultiSystemThroughput/per_update", 1, false},
+		{"MultiSystemThroughput/batched", 256, false},
+		{"MultiSystemThroughput/adaptive", 0, false},
+		{"MultiSystemThroughput/adaptive_traced", 0, true},
 	} {
-		res, err := multiThroughput(m.batch, 1000, 20000, reg)
+		var tr *obs.Tracer
+		if m.traced {
+			tr = obs.NewTracer(obs.DefaultTraceCap)
+		}
+		res, err := multiThroughput(m.batch, 1000, 20000, reg, tr)
 		if err != nil {
 			return fmt.Errorf("%s: %w", m.key, err)
 		}

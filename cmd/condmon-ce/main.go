@@ -25,6 +25,7 @@ import (
 	"condmon/internal/link"
 	"condmon/internal/obs"
 	"condmon/internal/transport"
+	"condmon/internal/wire"
 )
 
 func main() {
@@ -47,6 +48,8 @@ func run(args []string, out io.Writer) error {
 		maddr    = fs.String("metrics", "", "serve /metrics and /debug/pprof/ on this address while running")
 		mux      = fs.Bool("mux", false, "speak the multiplexed back-link protocol (coalesced 'M' frames)")
 		stream   = fs.Uint("stream", 0, "mux stream id tagging this replica's alerts (with -mux)")
+		tracing  = fs.Bool("tracing", false, "record link/feed/backlink spans in a flight recorder (served at /trace with -metrics)")
+		staleAft = fs.Duration("stale-after", 0, "front link reported stale on /healthz after this long without traffic (default 10s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,10 +67,20 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	var reg *obs.Registry
+	var (
+		reg *obs.Registry
+		tr  *obs.Tracer
+		hl  *obs.Health
+	)
 	if *maddr != "" {
 		reg = obs.NewRegistry()
 		eval.SetMetrics(ce.RegisterMetrics(reg, "ce."+*id))
+		hl = obs.NewHealth()
+		hl.Ready("received", obs.RegistryReady(reg, "transport.recv.accepted", 1))
+	}
+	if *tracing {
+		tr = obs.NewTracer(obs.DefaultTraceCap)
+		eval.SetTracer(tr)
 	}
 
 	var forced link.Model
@@ -82,18 +95,22 @@ func run(args []string, out io.Writer) error {
 		ForcedLoss: forced,
 		Seed:       *seed,
 		Metrics:    reg,
+		Trace:      tr,
+		TraceName:  *id,
+		Health:     hl,
+		StaleAfter: *staleAft,
 	})
 	if err != nil {
 		return err
 	}
 	defer recv.Close()
 	if reg != nil {
-		srv, err := obs.Serve(*maddr, reg)
+		srv, err := obs.ServeWith(*maddr, obs.MuxOptions{Registry: reg, Trace: tr, Health: hl})
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(out, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+		fmt.Fprintf(out, "metrics: http://%s/metrics (trace at /trace, health at /healthz)\n", srv.Addr())
 	}
 	fmt.Fprintf(out, "%s listening on %s, forwarding to %s\n", *id, recv.Addr(), *adAddr)
 
@@ -101,13 +118,34 @@ func run(args []string, out io.Writer) error {
 	// per-alert 'A' frames on a dedicated connection, or coalesced 'M'
 	// frames on a stream of the shared mux connection.
 	var send func(event.Alert) error
+	// sentSpans records one StageBacklink/sent span per history variable of
+	// a departing alert and returns the freshest front-link origin timestamp
+	// among them, for stamping the annotated alert frame.
+	sentSpans := func(a event.Alert) int64 {
+		var origin int64
+		for _, v := range a.Histories.Vars() {
+			if o := recv.LastOrigin(v); o > origin {
+				origin = o
+			}
+			tr.Record(obs.Span{
+				Var: string(v), Seq: a.Histories[v].Latest().SeqNo,
+				Stage: obs.StageBacklink, Replica: a.Source, Disp: obs.DispSent,
+			})
+		}
+		return origin
+	}
 	if *mux {
-		ms, err := transport.DialMux(*adAddr, transport.MuxSenderOptions{Metrics: reg})
+		ms, err := transport.DialMux(*adAddr, transport.MuxSenderOptions{Metrics: reg, Annotate: *tracing})
 		if err != nil {
 			return err
 		}
 		defer func() { _ = ms.Close() }()
-		send = func(a event.Alert) error { return ms.Send(uint32(*stream), a) }
+		send = func(a event.Alert) error {
+			if tr != nil {
+				sentSpans(a)
+			}
+			return ms.Send(uint32(*stream), a)
+		}
 	} else {
 		snd, err := transport.DialAD(*adAddr)
 		if err != nil {
@@ -115,6 +153,12 @@ func run(args []string, out io.Writer) error {
 		}
 		defer func() { _ = snd.Close() }()
 		send = snd.Send
+		if tr != nil {
+			send = func(a event.Alert) error {
+				origin := sentSpans(a)
+				return snd.SendTrace(a, wire.Trace{Flags: wire.TraceFlagSampled, Origin: origin})
+			}
+		}
 	}
 
 	interrupt := make(chan os.Signal, 1)

@@ -41,6 +41,8 @@ func run(args []string, out io.Writer) error {
 		interval  = fs.Duration("interval", 20*time.Millisecond, "delay between updates")
 		tracePath = fs.String("trace", "", "send updates from this trace instead of a generator")
 		maddr     = fs.String("metrics", "", "serve /metrics and /debug/pprof/ on this address while sending")
+		tracing   = fs.Bool("tracing", false, "annotate datagrams with trace trailers and record emit spans (served at /trace with -metrics)")
+		linger    = fs.Duration("linger", 0, "keep running (and serving -metrics endpoints) this long after the last update")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,15 +91,20 @@ func run(args []string, out io.Writer) error {
 	}
 	defer pub.Close()
 
+	var tr *obs.Tracer
+	if *tracing {
+		tr = obs.NewTracer(obs.DefaultTraceCap)
+		pub.SetTrace(tr, "DM")
+	}
 	if *maddr != "" {
 		reg := obs.NewRegistry()
 		pub.SetMetrics(reg, "dm."+*varName)
-		srv, err := obs.Serve(*maddr, reg)
+		srv, err := obs.ServeWith(*maddr, obs.MuxOptions{Registry: reg, Trace: tr})
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(out, "metrics: http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr())
+		fmt.Fprintf(out, "metrics: http://%s/metrics (trace at /trace, pprof at /debug/pprof/)\n", srv.Addr())
 	}
 
 	for _, u := range updates {
@@ -106,6 +113,9 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "sent %v\n", u)
 		time.Sleep(*interval)
+	}
+	if *linger > 0 {
+		time.Sleep(*linger)
 	}
 	return nil
 }

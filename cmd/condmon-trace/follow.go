@@ -1,0 +1,223 @@
+package main
+
+// The follow mode: poll the /trace flight-recorder endpoints of a running
+// fleet (condmon-dm, condmon-ce, condmon-ad started with -tracing and
+// -metrics) and stitch the spans they return into per-(var, seq) causal
+// timelines — emitted at the DM, delivered or lost on each front link,
+// fed/fired at each CE, sent and arrived on the back link, and the
+// displayer's verdict with the suppressing AD rule. The cross-process
+// counterpart of the offline `alerts` mode: same question ("why did this
+// alert display and that one not?"), answered from live daemons instead of
+// a replayed trace.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"condmon/internal/obs"
+)
+
+// traceResponse mirrors the JSON shape of the obs /trace endpoint.
+type traceResponse struct {
+	Spans []obs.Span `json:"spans"`
+}
+
+// lineage is every span recorded for one (var, seq) pair, in causal order.
+type lineage struct {
+	Var   string
+	Seq   int64
+	Spans []obs.Span
+}
+
+func runFollow(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("condmon-trace follow", flag.ContinueOnError)
+	var (
+		endpoints = fs.String("endpoints", "", "comma-separated /trace endpoint bases (host:port or http://host:port)")
+		varName   = fs.String("var", "", "restrict to one variable")
+		seq       = fs.Int64("seq", -1, "restrict to one sequence number (-1 = all)")
+		interval  = fs.Duration("interval", 300*time.Millisecond, "poll interval")
+		duration  = fs.Duration("for", 3*time.Second, "total time to follow before printing the stitched timelines")
+		once      = fs.Bool("once", false, "poll each endpoint once and stitch immediately")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *endpoints == "" {
+		return fmt.Errorf("need -endpoints with at least one /trace base URL")
+	}
+	var bases []string
+	for _, e := range strings.Split(*endpoints, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			if !strings.Contains(e, "://") {
+				e = "http://" + e
+			}
+			bases = append(bases, e)
+		}
+	}
+
+	query := url.Values{}
+	if *varName != "" {
+		query.Set("var", *varName)
+	}
+	if *seq >= 0 {
+		query.Set("seq", fmt.Sprint(*seq))
+	}
+
+	// Accumulate across polls, deduplicating on the full span value: a
+	// recorded span is immutable, so re-reading it on the next poll yields
+	// an identical struct. Spans that fall off a wrapping ring between
+	// polls stay in the accumulator — following sees more than any single
+	// snapshot.
+	seen := make(map[obs.Span]struct{})
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(*duration)
+	polled := 0
+	for {
+		for _, base := range bases {
+			spans, err := fetchSpans(client, base, query)
+			if err != nil {
+				// A fleet member may not be up yet (or already gone);
+				// following is best-effort by design.
+				fmt.Fprintf(out, "# %s: %v\n", base, err)
+				continue
+			}
+			for _, s := range spans {
+				seen[s] = struct{}{}
+			}
+		}
+		polled++
+		if *once || !time.Now().Add(*interval).Before(deadline) {
+			break
+		}
+		time.Sleep(*interval)
+	}
+
+	all := make([]obs.Span, 0, len(seen))
+	for s := range seen {
+		all = append(all, s)
+	}
+	lineages := stitch(all)
+	writeLineages(out, lineages)
+	fmt.Fprintf(out, "followed %d endpoint(s) over %d poll(s): %d span(s), %d lineage(s)\n",
+		len(bases), polled, len(all), len(lineages))
+	return nil
+}
+
+// fetchSpans GETs one endpoint's /trace and returns the decoded spans.
+func fetchSpans(client *http.Client, base string, query url.Values) ([]obs.Span, error) {
+	u := strings.TrimSuffix(base, "/") + "/trace"
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	resp, err := client.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	var tr traceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("GET %s: %w", u, err)
+	}
+	return tr.Spans, nil
+}
+
+// stageRank orders spans along the pipeline; the sent/arrived split makes
+// the two halves of a back-link crossing sort correctly even when clock
+// skew between processes inverts their timestamps.
+func stageRank(s obs.Span) int {
+	switch s.Stage {
+	case obs.StageEmit:
+		return 0
+	case obs.StageLink:
+		return 1
+	case obs.StageFeed:
+		return 2
+	case obs.StageBacklink:
+		if s.Disp == obs.DispArrived {
+			return 4
+		}
+		return 3
+	case obs.StageAD:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// stitch groups spans into per-(var, seq) lineages and orders each
+// lineage causally: by pipeline stage, then by replica (so the per-replica
+// delivered/lost fates line up), then by recording time.
+func stitch(spans []obs.Span) []lineage {
+	type key struct {
+		v string
+		s int64
+	}
+	groups := make(map[key][]obs.Span)
+	for _, s := range spans {
+		k := key{s.Var, s.Seq}
+		groups[k] = append(groups[k], s)
+	}
+	out := make([]lineage, 0, len(groups))
+	for k, g := range groups {
+		sort.Slice(g, func(i, j int) bool {
+			ri, rj := stageRank(g[i]), stageRank(g[j])
+			if ri != rj {
+				return ri < rj
+			}
+			if g[i].Replica != g[j].Replica {
+				return g[i].Replica < g[j].Replica
+			}
+			return g[i].Time < g[j].Time
+		})
+		out = append(out, lineage{Var: k.v, Seq: k.s, Spans: g})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Var != out[j].Var {
+			return out[i].Var < out[j].Var
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// writeLineages renders stitched timelines, one block per (var, seq). The
+// latency column is relative to the lineage's origin — the DM emit span
+// when one was scraped, else the earliest origin annotation carried over
+// the wire — and spans recorded on other hosts inherit whatever clock skew
+// those hosts have; it is a reading aid, not a measurement.
+func writeLineages(out io.Writer, lineages []lineage) {
+	for _, l := range lineages {
+		origin := int64(0)
+		for _, s := range l.Spans {
+			if s.Stage == obs.StageEmit && s.Time != 0 {
+				origin = s.Time
+				break
+			}
+			if s.Origin != 0 && (origin == 0 || s.Origin < origin) {
+				origin = s.Origin
+			}
+		}
+		fmt.Fprintf(out, "%s seq=%d\n", l.Var, l.Seq)
+		for _, s := range l.Spans {
+			lat := ""
+			if origin != 0 && s.Time >= origin {
+				lat = fmt.Sprintf("  +%.1fms", float64(s.Time-origin)/1e6)
+			}
+			rule := ""
+			if s.Rule != "" {
+				rule = "  by " + s.Rule
+			}
+			fmt.Fprintf(out, "  %-8s  %-12s  %s%s%s\n", s.Stage, s.Replica, s.Disp, rule, lat)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"condmon/internal/obs"
+)
+
+// The stitcher groups by (var, seq), orders lineages by var then seq, and
+// orders each lineage's spans causally by pipeline stage — regardless of
+// the order (and clock skew) the endpoints returned them in.
+func TestStitchOrdering(t *testing.T) {
+	spans := []obs.Span{
+		{Var: "x", Seq: 2, Stage: obs.StageAD, Replica: "CE1", Disp: obs.DispDisplayed, Time: 50},
+		{Var: "x", Seq: 1, Stage: obs.StageLink, Replica: "CE2", Disp: obs.DispLost, Time: 20},
+		{Var: "x", Seq: 2, Stage: obs.StageEmit, Replica: "DM", Disp: obs.DispEmitted, Time: 999}, // skewed clock
+		{Var: "x", Seq: 1, Stage: obs.StageEmit, Replica: "DM", Disp: obs.DispEmitted, Time: 10},
+		{Var: "x", Seq: 2, Stage: obs.StageBacklink, Replica: "CE1", Disp: obs.DispArrived, Time: 40},
+		{Var: "x", Seq: 2, Stage: obs.StageBacklink, Replica: "CE1", Disp: obs.DispSent, Time: 41}, // skew inverts send/arrive
+		{Var: "a", Seq: 9, Stage: obs.StageEmit, Replica: "DM", Disp: obs.DispEmitted, Time: 1},
+	}
+	got := stitch(spans)
+	if len(got) != 3 {
+		t.Fatalf("%d lineages, want 3", len(got))
+	}
+	if got[0].Var != "a" || got[1].Seq != 1 || got[2].Seq != 2 {
+		t.Errorf("lineage order = %v, want a@9, x@1, x@2", []any{got[0], got[1], got[2]})
+	}
+	x2 := got[2]
+	var stages []string
+	for _, s := range x2.Spans {
+		stages = append(stages, s.Stage+"/"+s.Disp)
+	}
+	want := "emit/emitted backlink/sent backlink/arrived ad/displayed"
+	if strings.Join(stages, " ") != want {
+		t.Errorf("x@2 causal order = %v, want %q", stages, want)
+	}
+}
+
+// The rendered timeline names the suppressing rule and anchors latency to
+// the emit span.
+func TestWriteLineages(t *testing.T) {
+	lineages := stitch([]obs.Span{
+		{Var: "x", Seq: 5, Stage: obs.StageEmit, Replica: "DM", Disp: obs.DispEmitted, Time: 1_000_000},
+		{Var: "x", Seq: 5, Stage: obs.StageLink, Replica: "CE1", Disp: obs.DispDelivered, Time: 2_000_000},
+		{Var: "x", Seq: 5, Stage: obs.StageLink, Replica: "CE2", Disp: obs.DispLost, Time: 2_000_000},
+		{Var: "x", Seq: 5, Stage: obs.StageFeed, Replica: "CE1", Disp: obs.DispFired, Time: 3_000_000},
+		{Var: "x", Seq: 5, Stage: obs.StageAD, Replica: "CE1", Disp: obs.DispSuppressed, Rule: "AD-1", Time: 4_000_000},
+	})
+	var b strings.Builder
+	writeLineages(&b, lineages)
+	out := b.String()
+	for _, want := range []string{
+		"x seq=5\n",
+		"emit",
+		"delivered",
+		"lost",
+		"fired",
+		"suppressed  by AD-1",
+		"+3.0ms", // the AD verdict relative to the emit span
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// follow against a live /trace endpoint: spans scraped over HTTP come back
+// stitched. The endpoint is a real obs server carrying a known lineage.
+func TestFollowOnce(t *testing.T) {
+	tr := obs.NewTracer(64)
+	tr.Record(obs.Span{Var: "x", Seq: 7, Stage: obs.StageEmit, Replica: "DM", Disp: obs.DispEmitted, Time: 1})
+	tr.Record(obs.Span{Var: "x", Seq: 7, Stage: obs.StageLink, Replica: "CE1", Disp: obs.DispDelivered, Time: 2})
+	tr.Record(obs.Span{Var: "x", Seq: 7, Stage: obs.StageAD, Replica: "CE1", Disp: obs.DispSuppressed, Rule: "AD-2", Time: 3})
+	srv, err := obs.ServeWith("127.0.0.1:0", obs.MuxOptions{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := run([]string{"follow", "-endpoints", srv.Addr(), "-var", "x", "-once"}, &out); err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"x seq=7", "emitted", "delivered", "by AD-2", "3 span(s), 1 lineage(s)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("follow output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// An unreachable endpoint is reported, not fatal: following a fleet whose
+// members come and go is best-effort.
+func TestFollowUnreachableEndpoint(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"follow", "-endpoints", "127.0.0.1:1", "-once"}, &out); err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	if !strings.Contains(out.String(), "# http://127.0.0.1:1:") {
+		t.Errorf("unreachable endpoint not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "0 span(s)") {
+		t.Errorf("expected an empty stitch:\n%s", out.String())
+	}
+}
+
+func TestFollowNeedsEndpoints(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"follow"}, &out); err == nil {
+		t.Fatal("follow without -endpoints should fail")
+	}
+}

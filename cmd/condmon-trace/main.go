@@ -6,11 +6,14 @@
 //	condmon-trace gen    -var x -source reactor -n 100 -seed 1 -out trace.txt
 //	condmon-trace info   -in trace.txt
 //	condmon-trace alerts -in trace.txt -cond 'x[0] > 3000' -ad AD-1 -loss 0.3 -seed 2
+//	condmon-trace follow -endpoints 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 -var x -for 3s
 //
 // The alerts mode replays the trace through a two-replica lossy run and
 // tags every alert reaching the displayer with its originating replica,
 // the update that triggered it, and — when it is suppressed — the filter
-// rule that rejected it.
+// rule that rejected it. The follow mode answers the same question for a
+// live fleet: it polls each daemon's /trace flight-recorder endpoint and
+// stitches the scraped spans into per-(var, seq) causal timelines.
 package main
 
 import (
@@ -47,8 +50,10 @@ func run(args []string, out io.Writer) error {
 		return runInfo(args[1:], out)
 	case "alerts":
 		return runAlerts(args[1:], out)
+	case "follow":
+		return runFollow(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want gen, info, or alerts)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want gen, info, alerts, or follow)", args[0])
 	}
 }
 

@@ -17,7 +17,7 @@ import (
 // reconciles. Test and Accept delegate without counting — a combinator
 // probing a constituent is not a user-visible offer.
 type Instrumented struct {
-	inner                           Filter
+	inner                          Filter
 	offered, displayed, suppressed *obs.Counter
 }
 
@@ -68,6 +68,64 @@ func (f *Instrumented) testAndSet(a event.Alert) bool {
 // Unwrap returns the inner filter.
 func (f *Instrumented) Unwrap() Filter { return f.inner }
 
+// Traced is a Filter that records a StageAD span for every Offer made to
+// an inner filter: one span per history variable of the alert, disposed
+// displayed or suppressed, with the suppressing rule named via Explain —
+// the flight-recorder form of the question condmon-trace's offline alert
+// mode answers. Test and Accept delegate without recording, mirroring
+// Instrumented: a combinator probing a constituent is not a user-visible
+// verdict.
+type Traced struct {
+	inner Filter
+	tr    *obs.Tracer
+}
+
+var _ Filter = (*Traced)(nil)
+
+// NewTraced wraps inner so every Offer records its verdict in t. With a
+// nil tracer it returns inner unchanged — the off state adds no wrapper to
+// Offer's dispatch.
+func NewTraced(inner Filter, t *obs.Tracer) Filter {
+	if t == nil {
+		return inner
+	}
+	return &Traced{inner: inner, tr: t}
+}
+
+// Name implements Filter, reporting the inner algorithm's name.
+func (f *Traced) Name() string { return f.inner.Name() }
+
+// Test implements Filter by delegating to the inner filter, unrecorded.
+func (f *Traced) Test(a event.Alert) bool { return f.inner.Test(a) }
+
+// Accept implements Filter by delegating to the inner filter, unrecorded.
+func (f *Traced) Accept(a event.Alert) { f.inner.Accept(a) }
+
+// testAndSet asks Explain for the would-be verdict and rule first — Test
+// only, no state change — then routes the real Offer through the inner
+// filter's own fused path. The filters run single-goroutine (the Run loop
+// / displayer mutex), so the explained verdict and the applied one agree.
+func (f *Traced) testAndSet(a event.Alert) bool {
+	_, rule := Explain(f.inner, a)
+	ok := Offer(f.inner, a)
+	disp := obs.DispDisplayed
+	if !ok {
+		disp = obs.DispSuppressed
+	} else {
+		rule = ""
+	}
+	for _, v := range a.Histories.Vars() {
+		f.tr.Record(obs.Span{
+			Var: string(v), Seq: a.Histories[v].Latest().SeqNo,
+			Stage: obs.StageAD, Replica: a.Source, Disp: disp, Rule: rule,
+		})
+	}
+	return ok
+}
+
+// Unwrap returns the inner filter.
+func (f *Traced) Unwrap() Filter { return f.inner }
+
 // Explain reports whether filter f would pass alert a (without changing
 // any state — it only calls Test) and, when it would not, the name of the
 // innermost constituent rule that rejects it: for a combinator like AD-4
@@ -77,6 +135,8 @@ func (f *Instrumented) Unwrap() Filter { return f.inner }
 func Explain(f Filter, a event.Alert) (pass bool, rule string) {
 	switch f := f.(type) {
 	case *Instrumented:
+		return Explain(f.inner, a)
+	case *Traced:
 		return Explain(f.inner, a)
 	case *Combine:
 		for _, g := range f.filters {

@@ -217,4 +217,3 @@ func BenchmarkFeedBatch(b *testing.B) {
 		})
 	}
 }
-

@@ -129,6 +129,10 @@ type Evaluator struct {
 	// m is the optional live instrumentation; nil (the default) means
 	// metrics are off and the hot path pays only nil checks.
 	m *Metrics
+
+	// tr is the optional flight recorder; nil (the default) means tracing
+	// is off and every Feed outcome site pays one nil check.
+	tr *obs.Tracer
 }
 
 // winSlot pairs a variable with its window for slice-backed lookup.
@@ -244,6 +248,24 @@ func (e *Evaluator) Stats() (fed, discarded, missedDown int64) {
 // feeding updates — it is not synchronized against a concurrent Feed.
 func (e *Evaluator) SetMetrics(m *Metrics) { e.m = m }
 
+// SetTracer attaches (or, with nil, detaches) the live flight recorder:
+// every Feed/FeedBatch outcome records a StageFeed span (fed, discarded,
+// missed_down, fired) under this evaluator's id. One tracer is typically
+// shared by every component of a pipeline — its Record is lock-free. Call
+// it before feeding updates — it is not synchronized against a concurrent
+// Feed. The checks at the outcome sites are inline nil tests, not wrapper
+// calls, so the tracing-off hot path keeps its zero-allocation pin.
+func (e *Evaluator) SetTracer(t *obs.Tracer) { e.tr = t }
+
+// feedSpan records one StageFeed span; callers nil-check e.tr first so the
+// tracing-off path never pays the call.
+func (e *Evaluator) feedSpan(u event.Update, disp string) {
+	e.tr.Record(obs.Span{
+		Var: string(u.Var), Seq: u.SeqNo,
+		Stage: obs.StageFeed, Replica: e.id, Disp: disp,
+	})
+}
+
 // Feed delivers one update to the evaluator. It returns the alert and true
 // if the condition fired. Updates are handled per Section 2:
 //
@@ -270,12 +292,18 @@ func (e *Evaluator) Feed(u event.Update) (event.Alert, bool, error) {
 	if e.down {
 		e.missedDown++
 		e.m.addMissedDown(1)
+		if e.tr != nil {
+			e.feedSpan(u, obs.DispMissedDown)
+		}
 		return event.Alert{}, false, nil
 	}
 	w := e.window(u.Var)
 	if w == nil {
 		e.discarded++
 		e.m.incDiscarded()
+		if e.tr != nil {
+			e.feedSpan(u, obs.DispDiscarded)
+		}
 		return event.Alert{}, false, nil
 	}
 	wasFull := w.Full()
@@ -283,6 +311,9 @@ func (e *Evaluator) Feed(u event.Update) (event.Alert, bool, error) {
 		// Out-of-order or duplicate delivery: discard, per Section 2.1.
 		e.discarded++
 		e.m.incDiscarded()
+		if e.tr != nil {
+			e.feedSpan(u, obs.DispDiscarded)
+		}
 		return event.Alert{}, false, nil
 	}
 	e.fed++
@@ -291,6 +322,9 @@ func (e *Evaluator) Feed(u event.Update) (event.Alert, bool, error) {
 		e.notFull--
 	}
 	if e.notFull > 0 {
+		if e.tr != nil {
+			e.feedSpan(u, obs.DispFed)
+		}
 		return event.Alert{}, false, nil
 	}
 	// Evaluate against the live windows; the non-firing steady state never
@@ -300,11 +334,17 @@ func (e *Evaluator) Feed(u event.Update) (event.Alert, bool, error) {
 		return event.Alert{}, false, fmt.Errorf("ce: %s: evaluate %q: %w", e.id, e.cond.Name(), err)
 	}
 	if !fired {
+		if e.tr != nil {
+			e.feedSpan(u, obs.DispFed)
+		}
 		return event.Alert{}, false, nil
 	}
 	// Only a firing condition pays for the immutable snapshot embedded in
 	// the alert (and for the alert's precomputed identity key).
 	e.m.incFired()
+	if e.tr != nil {
+		e.feedSpan(u, obs.DispFired)
+	}
 	return event.NewAlert(e.cond.Name(), e.historySnapshot(), e.id), true, nil
 }
 
@@ -337,6 +377,11 @@ func (e *Evaluator) feedBatch(us []event.Update, dst []event.Alert) ([]event.Ale
 	if e.down {
 		e.missedDown += int64(len(us))
 		e.m.addMissedDown(int64(len(us)))
+		if e.tr != nil {
+			for _, u := range us {
+				e.feedSpan(u, obs.DispMissedDown)
+			}
+		}
 		return dst, nil
 	}
 	var (
@@ -352,6 +397,9 @@ func (e *Evaluator) feedBatch(us []event.Update, dst []event.Alert) ([]event.Ale
 			if w == nil {
 				e.discarded++
 				e.m.incDiscarded()
+				if e.tr != nil {
+					e.feedSpan(u, obs.DispDiscarded)
+				}
 				lastVar, lastWin = u.Var, nil
 				continue
 			}
@@ -361,6 +409,9 @@ func (e *Evaluator) feedBatch(us []event.Update, dst []event.Alert) ([]event.Ale
 		if !w.TryPush(u) {
 			e.discarded++
 			e.m.incDiscarded()
+			if e.tr != nil {
+				e.feedSpan(u, obs.DispDiscarded)
+			}
 			continue
 		}
 		e.fed++
@@ -369,6 +420,9 @@ func (e *Evaluator) feedBatch(us []event.Update, dst []event.Alert) ([]event.Ale
 			e.notFull--
 		}
 		if e.notFull > 0 {
+			if e.tr != nil {
+				e.feedSpan(u, obs.DispFed)
+			}
 			continue
 		}
 		var (
@@ -399,7 +453,12 @@ func (e *Evaluator) feedBatch(us []event.Update, dst []event.Alert) ([]event.Ale
 		}
 		if fired {
 			e.m.incFired()
+			if e.tr != nil {
+				e.feedSpan(u, obs.DispFired)
+			}
 			dst = append(dst, event.NewAlert(e.cond.Name(), e.historySnapshot(), e.id))
+		} else if e.tr != nil {
+			e.feedSpan(u, obs.DispFed)
 		}
 	}
 	return dst, firstErr

@@ -1,0 +1,103 @@
+package ce
+
+import (
+	"testing"
+
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/obs"
+)
+
+// The tracing-off contract: an evaluator with no tracer (the default, or
+// an explicit SetTracer(nil)) pays one nil check per Feed and still makes
+// zero allocations on the non-firing hot path — the PR 2 pin holds with
+// the tracing hooks compiled in.
+func TestFeedTracingOffZeroAllocs(t *testing.T) {
+	e, err := New("CE1", cond.NewRiseAggressive("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetTracer(nil)
+	var n int64
+	requireZeroAllocs(t, "Feed/tracing-off", func() {
+		n++
+		if _, fired, err := e.Feed(event.U("x", n, 100)); err != nil || fired {
+			t.Fatalf("fired=%v err=%v", fired, err)
+		}
+	})
+}
+
+// With a tracer attached, Feed leaves one StageFeed span per update with
+// the disposition that actually happened: fed, fired, discarded, or
+// missed_down.
+func TestFeedSpans(t *testing.T) {
+	tr := obs.NewTracer(64)
+	e, err := New("CE1", cond.NewOverheat("x")) // fires on x[0] > 3000
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetTracer(tr)
+
+	if _, fired, _ := e.Feed(event.U("x", 1, 100)); fired {
+		t.Fatal("low value fired")
+	}
+	if _, fired, _ := e.Feed(event.U("x", 2, 3200)); !fired {
+		t.Fatal("high value did not fire")
+	}
+	if _, fired, _ := e.Feed(event.U("x", 1, 0)); fired { // stale: discarded
+		t.Fatal("stale update fired")
+	}
+	e.SetDown(true)
+	if _, fired, _ := e.Feed(event.U("x", 3, 0)); fired {
+		t.Fatal("down evaluator fired")
+	}
+	e.SetDown(false)
+
+	want := []struct {
+		seq  int64
+		disp string
+	}{
+		{1, obs.DispFed},
+		{2, obs.DispFired},
+		{1, obs.DispDiscarded},
+		{3, obs.DispMissedDown},
+	}
+	spans := tr.Spans("x", -1)
+	if len(spans) != len(want) {
+		t.Fatalf("%d spans, want %d: %+v", len(spans), len(want), spans)
+	}
+	for i, w := range want {
+		s := spans[i]
+		if s.Stage != obs.StageFeed || s.Replica != "CE1" || s.Seq != w.seq || s.Disp != w.disp {
+			t.Errorf("span %d = %+v, want feed/CE1 seq=%d disp=%s", i, s, w.seq, w.disp)
+		}
+	}
+}
+
+// FeedBatch records the same spans the per-update path would.
+func TestFeedBatchSpans(t *testing.T) {
+	tr := obs.NewTracer(64)
+	e, err := New("CE1", cond.NewOverheat("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetTracer(tr)
+	us := []event.Update{
+		event.U("x", 1, 100),
+		event.U("x", 2, 3200),
+	}
+	alerts, err := e.FeedBatch(us, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 {
+		t.Fatalf("%d alerts, want 1", len(alerts))
+	}
+	spans := tr.Spans("x", -1)
+	if len(spans) != 2 {
+		t.Fatalf("%d spans, want 2: %+v", len(spans), spans)
+	}
+	if spans[0].Disp != obs.DispFed || spans[1].Disp != obs.DispFired {
+		t.Errorf("dispositions = %s, %s, want fed, fired", spans[0].Disp, spans[1].Disp)
+	}
+}

@@ -164,4 +164,3 @@ func sortedVars(vs []event.VarName) []event.VarName {
 	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
 	return vs
 }
-

@@ -1,0 +1,249 @@
+package obs
+
+// Liveness for the links, readiness for the process. A metrics counter can
+// tell you how many updates a link has delivered, but not whether it is
+// delivering *now* — a wedged receiver and a quiet one look identical in a
+// single scrape. Health tracks the last-activity instant of each named
+// link (one atomic store per touch, same nil-safe off-by-default contract
+// as the rest of the package) and serves /healthz: HTTP 200 while every
+// link has been touched within its staleness threshold and every readiness
+// check passes, 503 otherwise, with a JSON body naming the stale link or
+// failing check so the operator's first curl already points at the broken
+// hop.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultStaleAfter is the staleness threshold LinkHealth uses when the
+// caller passes a non-positive one.
+const DefaultStaleAfter = 10 * time.Second
+
+// LinkHealth tracks one link's last-activity instant against a staleness
+// threshold. Touch is one atomic store — cheap enough for per-delivery
+// call sites — and all methods no-op (or report stale) on a nil receiver.
+type LinkHealth struct {
+	name       string
+	staleAfter time.Duration
+	last       atomic.Int64 // unix nanos of last Touch; 0 = never
+}
+
+// Name returns the link's registered name ("" on a nil receiver).
+func (l *LinkHealth) Name() string {
+	if l == nil {
+		return ""
+	}
+	return l.name
+}
+
+// Touch records activity on the link now.
+func (l *LinkHealth) Touch() {
+	if l == nil {
+		return
+	}
+	l.last.Store(time.Now().UnixNano())
+}
+
+// LastActivity returns the instant of the last Touch, or the zero time if
+// the link was never touched (or the receiver is nil).
+func (l *LinkHealth) LastActivity() time.Time {
+	if l == nil {
+		return time.Time{}
+	}
+	ns := l.last.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// Stale reports whether the link has gone longer than its threshold
+// without activity. A never-touched link is stale: a link that exists but
+// has carried nothing is exactly the wedge /healthz is for. Nil receivers
+// are stale too.
+func (l *LinkHealth) Stale() bool {
+	stale, _ := l.age()
+	return stale
+}
+
+// age reports staleness plus the time since last activity (-1 when never
+// touched).
+func (l *LinkHealth) age() (stale bool, age time.Duration) {
+	if l == nil {
+		return true, -1
+	}
+	ns := l.last.Load()
+	if ns == 0 {
+		return true, -1
+	}
+	age = time.Since(time.Unix(0, ns))
+	return age > l.staleAfter, age
+}
+
+// Health aggregates per-link staleness and named readiness checks into one
+// verdict for the /healthz endpoint. A nil *Health is the "health off"
+// state: Link returns nil, Ready is a no-op, and Check reports healthy (a
+// daemon with no health tracking has nothing to be unhealthy about). All
+// methods are safe for concurrent use.
+type Health struct {
+	mu     sync.Mutex
+	links  []*LinkHealth
+	checks []readinessCheck
+}
+
+// readinessCheck is one named Ready callback.
+type readinessCheck struct {
+	name string
+	f    func() bool
+}
+
+// NewHealth returns an empty health tracker.
+func NewHealth() *Health { return &Health{} }
+
+// Link registers (or returns the existing) link tracker under name.
+// staleAfter ≤ 0 means DefaultStaleAfter; on a name already registered the
+// existing threshold is kept. Nil receivers return a nil *LinkHealth,
+// whose Touch no-ops.
+func (h *Health) Link(name string, staleAfter time.Duration) *LinkHealth {
+	if h == nil {
+		return nil
+	}
+	if staleAfter <= 0 {
+		staleAfter = DefaultStaleAfter
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, l := range h.links {
+		if l.name == name {
+			return l
+		}
+	}
+	l := &LinkHealth{name: name, staleAfter: staleAfter}
+	h.links = append(h.links, l)
+	return l
+}
+
+// Ready registers a named readiness predicate, checked on every /healthz
+// request (and by Check). It must be safe to call concurrently with the
+// system running. No-op on a nil receiver; re-registering a name replaces
+// the predicate.
+func (h *Health) Ready(name string, f func() bool) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, c := range h.checks {
+		if c.name == name {
+			h.checks[i].f = f
+			return
+		}
+	}
+	h.checks = append(h.checks, readinessCheck{name: name, f: f})
+}
+
+// LinkStatus is one link's verdict in a health report.
+type LinkStatus struct {
+	// Name is the link's registered name.
+	Name string `json:"name"`
+	// Stale is true when the link exceeded its threshold without activity
+	// (or was never touched).
+	Stale bool `json:"stale"`
+	// AgeMillis is the time since last activity in milliseconds, -1 when
+	// the link was never touched.
+	AgeMillis int64 `json:"age_ms"`
+	// StaleAfterMillis is the link's staleness threshold in milliseconds.
+	StaleAfterMillis int64 `json:"stale_after_ms"`
+}
+
+// CheckStatus is one readiness check's verdict in a health report.
+type CheckStatus struct {
+	// Name is the check's registered name.
+	Name string `json:"name"`
+	// Ready is the predicate's result at report time.
+	Ready bool `json:"ready"`
+}
+
+// Report is the full /healthz verdict.
+type Report struct {
+	// Healthy is true when no link is stale and every readiness check
+	// passes.
+	Healthy bool `json:"healthy"`
+	// Links lists every registered link's status, sorted by name.
+	Links []LinkStatus `json:"links,omitempty"`
+	// Checks lists every readiness check's status, sorted by name.
+	Checks []CheckStatus `json:"checks,omitempty"`
+}
+
+// Check evaluates every link and readiness check now. A nil receiver (or a
+// tracker with nothing registered) reports healthy.
+func (h *Health) Check() Report {
+	if h == nil {
+		return Report{Healthy: true}
+	}
+	h.mu.Lock()
+	links := append([]*LinkHealth(nil), h.links...)
+	checks := append([]readinessCheck(nil), h.checks...)
+	h.mu.Unlock()
+
+	rep := Report{Healthy: true}
+	for _, l := range links {
+		stale, age := l.age()
+		ageMS := int64(-1)
+		if age >= 0 {
+			ageMS = age.Milliseconds()
+		}
+		rep.Links = append(rep.Links, LinkStatus{
+			Name:             l.name,
+			Stale:            stale,
+			AgeMillis:        ageMS,
+			StaleAfterMillis: l.staleAfter.Milliseconds(),
+		})
+		if stale {
+			rep.Healthy = false
+		}
+	}
+	for _, c := range checks {
+		ok := c.f()
+		rep.Checks = append(rep.Checks, CheckStatus{Name: c.name, Ready: ok})
+		if !ok {
+			rep.Healthy = false
+		}
+	}
+	sort.Slice(rep.Links, func(i, j int) bool { return rep.Links[i].Name < rep.Links[j].Name })
+	sort.Slice(rep.Checks, func(i, j int) bool { return rep.Checks[i].Name < rep.Checks[j].Name })
+	return rep
+}
+
+// HealthHandler serves Check as JSON at any path it is mounted on: HTTP
+// 200 when healthy, 503 when any link is stale or any check fails. A nil
+// tracker always serves 200, so daemons mount the handler unconditionally.
+func HealthHandler(h *Health) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rep := h.Check()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if !rep.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+}
+
+// RegistryReady returns a readiness predicate that passes once the named
+// counter in r is at least min — e.g. "the receiver has accepted one
+// update" as a gate for load balancers. A nil registry (or unregistered
+// name) never becomes ready, which fails loudly instead of green-lighting
+// a daemon whose wiring is missing.
+func RegistryReady(r *Registry, name string, min int64) func() bool {
+	return func() bool {
+		p, ok := r.Get(name)
+		return ok && p.Value >= min
+	}
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// The nil no-op contract on the health handles: a nil *Health hands out
+// nil *LinkHealth trackers whose Touch no-ops, and reports healthy — the
+// "health off" state costs nothing and fails nothing.
+func TestHealthNilNoOp(t *testing.T) {
+	var h *Health
+	l := h.Link("front", time.Second)
+	if l != nil {
+		t.Errorf("nil Health.Link returned %v, want nil", l)
+	}
+	l.Touch() // must not panic
+	h.Ready("check", func() bool { return false })
+	if rep := h.Check(); !rep.Healthy || rep.Links != nil || rep.Checks != nil {
+		t.Errorf("nil Check() = %+v, want empty healthy report", rep)
+	}
+	if got := l.Name(); got != "" {
+		t.Errorf("nil LinkHealth.Name() = %q, want \"\"", got)
+	}
+	if !l.Stale() {
+		t.Error("nil LinkHealth should report stale")
+	}
+	if !l.LastActivity().IsZero() {
+		t.Error("nil LinkHealth.LastActivity() should be the zero time")
+	}
+}
+
+// Touch on a live link — the per-delivery hot-path call — must not
+// allocate.
+func TestLinkHealthTouchZeroAllocs(t *testing.T) {
+	l := NewHealth().Link("front", time.Second)
+	if allocs := testing.AllocsPerRun(500, l.Touch); allocs != 0 {
+		t.Errorf("Touch: %v allocs/op, want 0", allocs)
+	}
+}
+
+// A never-touched link is stale (a registered link carrying nothing is the
+// wedge /healthz exists to catch); a touched one is fresh until its
+// threshold passes.
+func TestLinkHealthStaleness(t *testing.T) {
+	h := NewHealth()
+	l := h.Link("front", time.Hour)
+	if !l.Stale() {
+		t.Error("never-touched link should be stale")
+	}
+	l.Touch()
+	if l.Stale() {
+		t.Error("just-touched link should be fresh")
+	}
+	fast := h.Link("back", time.Nanosecond)
+	fast.Touch()
+	time.Sleep(time.Millisecond)
+	if !fast.Stale() {
+		t.Error("link past its threshold should be stale")
+	}
+}
+
+// Link deduplicates by name (keeping the first threshold) and Ready
+// replaces a re-registered predicate.
+func TestHealthRegistration(t *testing.T) {
+	h := NewHealth()
+	a := h.Link("front", time.Second)
+	b := h.Link("front", time.Hour)
+	if a != b {
+		t.Error("Link(\"front\") twice returned distinct trackers")
+	}
+	h.Ready("r", func() bool { return false })
+	h.Ready("r", func() bool { return true })
+	a.Touch()
+	rep := h.Check()
+	if !rep.Healthy {
+		t.Errorf("Check() = %+v, want healthy (replaced predicate passes)", rep)
+	}
+	if len(rep.Checks) != 1 {
+		t.Errorf("%d checks, want 1 (re-registering replaces)", len(rep.Checks))
+	}
+}
+
+// The aggregated verdict: healthy only when every link is fresh and every
+// check passes, with the report naming the offender.
+func TestHealthCheckVerdict(t *testing.T) {
+	h := NewHealth()
+	front := h.Link("front", time.Hour)
+	h.Link("back", time.Hour) // never touched: stale
+	ready := false
+	h.Ready("received", func() bool { return ready })
+
+	rep := h.Check()
+	if rep.Healthy {
+		t.Errorf("Check() healthy with a stale link and failing check: %+v", rep)
+	}
+	// Links and checks are sorted by name.
+	if len(rep.Links) != 2 || rep.Links[0].Name != "back" || rep.Links[1].Name != "front" {
+		t.Errorf("links = %+v, want [back front]", rep.Links)
+	}
+	if !rep.Links[0].Stale || rep.Links[0].AgeMillis != -1 {
+		t.Errorf("never-touched link = %+v, want stale with age -1", rep.Links[0])
+	}
+
+	front.Touch()
+	h.Link("back", 0).Touch()
+	ready = true
+	if rep := h.Check(); !rep.Healthy {
+		t.Errorf("Check() = %+v, want healthy after touches and ready", rep)
+	}
+}
+
+// The /healthz endpoint: 200 with a JSON report while healthy, 503 naming
+// the stale link when not; a nil tracker always serves 200.
+func TestHealthHandler(t *testing.T) {
+	h := NewHealth()
+	l := h.Link("front", time.Hour)
+
+	get := func(h *Health) (int, Report) {
+		t.Helper()
+		req := httptest.NewRequest("GET", "/healthz", nil)
+		w := httptest.NewRecorder()
+		HealthHandler(h).ServeHTTP(w, req)
+		var rep Report
+		if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		return w.Code, rep
+	}
+
+	if code, rep := get(h); code != 503 || rep.Healthy {
+		t.Errorf("stale link: status=%d healthy=%v, want 503/false", code, rep.Healthy)
+	}
+	l.Touch()
+	if code, rep := get(h); code != 200 || !rep.Healthy {
+		t.Errorf("fresh link: status=%d healthy=%v, want 200/true", code, rep.Healthy)
+	}
+	if code, rep := get(nil); code != 200 || !rep.Healthy {
+		t.Errorf("nil tracker: status=%d healthy=%v, want 200/true", code, rep.Healthy)
+	}
+}
+
+// RegistryReady gates readiness on a counter reaching a floor; a nil or
+// unpopulated registry never becomes ready.
+func TestRegistryReady(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("recv.accepted")
+	ready := RegistryReady(reg, "recv.accepted", 2)
+	if ready() {
+		t.Error("ready before the counter reached the floor")
+	}
+	c.Add(2)
+	if !ready() {
+		t.Error("not ready after the counter reached the floor")
+	}
+	if RegistryReady(nil, "recv.accepted", 1)() {
+		t.Error("nil registry should never be ready")
+	}
+	if RegistryReady(reg, "missing", 1)() {
+		t.Error("unregistered counter should never be ready")
+	}
+}

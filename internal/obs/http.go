@@ -1,26 +1,44 @@
 package obs
 
-// The opt-in HTTP surface: an expvar-style JSON endpoint at /metrics (plain
-// text with ?format=text), plus the standard net/http/pprof handlers under
-// /debug/pprof/. Nothing here is imported unless a command passes -metrics,
-// so the default build path of the pipeline never starts a listener.
+// The opt-in HTTP surface: an expvar-style JSON endpoint at /metrics
+// (plain text with ?format=text, Prometheus exposition with ?format=prom
+// or an Accept header naming a prometheus/openmetrics media type), the
+// /trace flight-recorder and /healthz endpoints when a tracer/health
+// tracker is wired, plus the standard net/http/pprof handlers under
+// /debug/pprof/. Nothing here is imported unless a command passes
+// -metrics, so the default build path of the pipeline never starts a
+// listener.
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 )
 
 // Handler serves the registry at any path it is mounted on: JSON by
-// default (one key per metric, histograms as {count, sum, buckets}),
-// plain "name value" text with ?format=text.
+// default (one key per metric, histograms as {count, sum, buckets,
+// p50/p90/p99}), plain "name value" text with ?format=text, Prometheus
+// text exposition with ?format=prom — or whenever the request's Accept
+// header names a Prometheus or OpenMetrics media type, so stock scrapers
+// need no URL parameters.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		if req.URL.Query().Get("format") == "text" {
+		switch req.URL.Query().Get("format") {
+		case "text":
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			_ = r.WriteText(w)
+			return
+		case "prom":
+			servePromText(w, r)
+			return
+		}
+		if accept := req.Header.Get("Accept"); strings.Contains(accept, "openmetrics") ||
+			strings.Contains(accept, "prometheus") {
+			servePromText(w, r)
 			return
 		}
 		out := make(map[string]any)
@@ -35,7 +53,13 @@ func Handler(r *Registry) http.Handler {
 					}
 					buckets[key] = b.Count
 				}
-				out[p.Name] = map[string]any{"count": p.Value, "sum": p.Sum, "buckets": buckets}
+				hv := map[string]any{"count": p.Value, "sum": p.Sum, "buckets": buckets}
+				for _, ql := range quantileLabels {
+					if v, ok := p.Quantile(ql.q); ok {
+						hv[ql.label] = v
+					}
+				}
+				out[p.Name] = hv
 			default:
 				out[p.Name] = p.Value
 			}
@@ -47,11 +71,40 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
-// NewMux returns a mux with the full observability surface: /metrics (see
-// Handler) and the pprof profile handlers under /debug/pprof/.
+// servePromText writes the Prometheus exposition with its standard
+// content type.
+func servePromText(w http.ResponseWriter, r *Registry) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WriteProm(w)
+}
+
+// MuxOptions selects what NewMuxOpts mounts. The zero value (all nil) is
+// valid and yields a mux whose endpoints serve empty data — nil-safety all
+// the way to the HTTP surface, so daemons build one mux unconditionally
+// and wire only what their flags enabled.
+type MuxOptions struct {
+	// Registry backs /metrics (nil serves an empty registry).
+	Registry *Registry
+	// Trace backs /trace (nil serves an empty flight recorder).
+	Trace *Tracer
+	// Health backs /healthz (nil always reports healthy).
+	Health *Health
+}
+
+// NewMux returns a mux with the metrics observability surface: /metrics
+// (see Handler) and the pprof profile handlers under /debug/pprof/.
+// Equivalent to NewMuxOpts(MuxOptions{Registry: r}).
 func NewMux(r *Registry) *http.ServeMux {
+	return NewMuxOpts(MuxOptions{Registry: r})
+}
+
+// NewMuxOpts returns a mux with the full observability surface: /metrics,
+// /trace, /healthz, and the pprof profile handlers under /debug/pprof/.
+func NewMuxOpts(o MuxOptions) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/metrics", Handler(o.Registry))
+	mux.Handle("/trace", TraceHandler(o.Trace))
+	mux.Handle("/healthz", HealthHandler(o.Health))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -62,25 +115,53 @@ func NewMux(r *Registry) *http.ServeMux {
 
 // Server is a running observability endpoint.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when the serve goroutine has returned
 }
 
 // Serve starts the observability endpoint on addr (use "127.0.0.1:0" for
 // an ephemeral port) and returns once the listener is bound, so Addr is
-// immediately valid. The server runs until Close.
+// immediately valid. The server runs until Close or Shutdown. Equivalent
+// to ServeWith(addr, MuxOptions{Registry: r}).
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeWith(addr, MuxOptions{Registry: r})
+}
+
+// ServeWith starts the full observability endpoint (metrics, trace,
+// health, pprof — see NewMuxOpts) on addr. It returns once the listener is
+// bound, so Addr is immediately valid; the server runs until Close or
+// Shutdown.
+func ServeWith(addr string, o MuxOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(r)}}
-	go func() { _ = s.srv.Serve(ln) }()
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMuxOpts(o)}, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
+	}()
 	return s, nil
 }
 
 // Addr returns the bound listen address (host:port).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and in-flight handlers.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the listener, interrupts in-flight handlers, and waits for
+// the serve goroutine to exit, so tests that start and stop endpoints leak
+// neither the port nor the goroutine.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// Shutdown stops accepting new connections and waits for in-flight
+// handlers to finish, up to ctx's deadline — the graceful counterpart of
+// Close. The serve goroutine has exited by the time it returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}

@@ -188,6 +188,59 @@ type Point struct {
 	Buckets []Bucket
 }
 
+// Quantile estimates the q-th quantile (0 < q ≤ 1) of a histogram point
+// from its fixed buckets, interpolating linearly within the bucket the
+// quantile falls in. The estimate inherits the buckets' resolution: the
+// true value is only known to lie within the bucket's (lo, hi] range, so
+// the error bound is that bucket's width — with DefaultLatencyBounds,
+// roughly a factor of 2–2.5 at any scale. Observations in the +Inf bucket
+// clamp to the last finite bound (reported quantiles never exceed it).
+// Returns ok=false for non-histogram points, empty histograms, or q out of
+// range.
+func (p Point) Quantile(q float64) (v int64, ok bool) {
+	if p.Kind != KindHistogram || p.Value <= 0 || q <= 0 || q > 1 {
+		return 0, false
+	}
+	// The bucket counts may total slightly more than Value (in-flight
+	// observations at snapshot time); rank against the bucket total so the
+	// scan always terminates inside the buckets.
+	var total int64
+	for _, b := range p.Buckets {
+		total += b.Count
+	}
+	if total <= 0 {
+		return 0, false
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	var cum int64
+	for i, b := range p.Buckets {
+		if b.Count == 0 {
+			cum += b.Count
+			continue
+		}
+		if cum+b.Count < rank {
+			cum += b.Count
+			continue
+		}
+		hi := b.UpperBound
+		if hi == InfBound {
+			// No finite upper edge to interpolate toward: clamp to the
+			// last finite bound (or give up on a single +Inf bucket).
+			if i == 0 {
+				return 0, false
+			}
+			return p.Buckets[i-1].UpperBound, true
+		}
+		var lo int64
+		if i > 0 {
+			lo = p.Buckets[i-1].UpperBound
+		}
+		frac := float64(rank-cum) / float64(b.Count)
+		return lo + int64(frac*float64(hi-lo)), true
+	}
+	return 0, false
+}
+
 // gaugeFunc adapts a sampling callback (e.g. a channel-depth probe) to the
 // registry.
 type gaugeFunc func() int64
@@ -365,10 +418,19 @@ func (r *Registry) Names() []string {
 	return out
 }
 
+// quantileLabels are the estimates WriteText and the JSON handler emit for
+// every histogram.
+var quantileLabels = []struct {
+	label string
+	q     float64
+}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}}
+
 // WriteText dumps the registry as plain "name value" lines, sorted by
 // name — the format the RUNBOOK's command-line examples grep. Histograms
-// expand to .count, .sum, and per-bucket .le.<bound> lines (.le.+Inf for
-// the overflow bucket).
+// expand to .count, .sum, per-bucket .le.<bound> lines (.le.+Inf for the
+// overflow bucket), and .p50/.p90/.p99 quantile estimates (interpolated
+// from the fixed buckets — see Point.Quantile for the error bound; omitted
+// while the histogram is empty).
 func (r *Registry) WriteText(w io.Writer) error {
 	points := r.Snapshot()
 	sort.Slice(points, func(i, j int) bool { return points[i].Name < points[j].Name })
@@ -377,6 +439,13 @@ func (r *Registry) WriteText(w io.Writer) error {
 		case KindHistogram:
 			if _, err := fmt.Fprintf(w, "%s.count %d\n%s.sum %d\n", p.Name, p.Value, p.Name, p.Sum); err != nil {
 				return err
+			}
+			for _, ql := range quantileLabels {
+				if v, ok := p.Quantile(ql.q); ok {
+					if _, err := fmt.Fprintf(w, "%s.%s %d\n", p.Name, ql.label, v); err != nil {
+						return err
+					}
+				}
 			}
 			for _, b := range p.Buckets {
 				bound := "+Inf"

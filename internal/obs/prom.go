@@ -1,0 +1,106 @@
+package obs
+
+// Prometheus/OpenMetrics text exposition for the registry, so standard
+// scrapers work against /metrics without speaking the custom JSON. The
+// mapping from the registry's dotted namespace:
+//
+//   - Names are sanitized to the Prometheus charset: dots and any other
+//     illegal runes become underscores (`multi.backlink.0.queue` →
+//     `multi_backlink_0_queue`), and a leading digit gains an underscore
+//     prefix. Sanitized collisions keep distinct series because the
+//     original dotted name rides along as a `name` label.
+//   - Counters keep their value; sampled GaugeFuncs are evaluated at
+//     scrape time like any snapshot.
+//   - Histograms become native Prometheus histograms: the registry's
+//     per-bucket counts are converted to the cumulative `_bucket{le=...}`
+//     form (plus the mandatory le="+Inf" bucket equal to `_count`), with
+//     `_sum` and `_count` series alongside. Quantile estimates are NOT
+//     exported — Prometheus derives quantiles server-side via
+//     histogram_quantile(), which is strictly better placed to aggregate
+//     across processes.
+//
+// The output is the Prometheus text format (text/plain; version=0.0.4)
+// with a terminating `# EOF` line, which OpenMetrics parsers require and
+// classic Prometheus parsers ignore.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promName sanitizes a dotted metric name into the Prometheus identifier
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			if r >= '0' && r <= '9' { // leading digit
+				b.WriteByte('_')
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WriteProm writes the registry in the Prometheus/OpenMetrics text
+// exposition format: one `# TYPE` line per metric, the original dotted
+// name preserved as a `name` label, histograms in cumulative
+// `_bucket{le=...}` form, and a final `# EOF`. Nil registries write only
+// the `# EOF` terminator.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, p := range r.Snapshot() {
+		pn := promName(p.Name)
+		label := fmt.Sprintf(`name=%q`, promEscape(p.Name))
+		switch p.Kind {
+		case KindCounter:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s{%s} %d\n", pn, pn, label, p.Value); err != nil {
+				return err
+			}
+		case KindGauge:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s{%s} %d\n", pn, pn, label, p.Value); err != nil {
+				return err
+			}
+		case KindHistogram:
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+				return err
+			}
+			// The registry stores per-bucket counts; Prometheus buckets are
+			// cumulative, and the +Inf bucket must equal _count.
+			var cum int64
+			for _, b := range p.Buckets {
+				cum += b.Count
+				le := "+Inf"
+				if b.UpperBound != InfBound {
+					le = fmt.Sprintf("%d", b.UpperBound)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", pn, label, le, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum{%s} %d\n%s_count{%s} %d\n", pn, label, p.Sum, pn, label, p.Value); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "# EOF")
+	return err
+}

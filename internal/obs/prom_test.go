@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"ce.CE1.fed", "ce_CE1_fed"},
+		{"multi.backlink.0.queue", "multi_backlink_0_queue"},
+		{"0starts.with.digit", "_0starts_with_digit"},
+		{"already_fine:ok", "already_fine:ok"},
+		{"", "_"},
+	} {
+		if got := promName(tc.in); got != tc.want {
+			t.Errorf("promName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// The exposition format: counters and gauges with the dotted name as a
+// label, histograms in cumulative bucket form with _sum/_count, and the
+// OpenMetrics-required # EOF terminator.
+func TestWriteProm(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ce.fed").Add(7)
+	reg.Gauge("backlink.queue").Set(3)
+	h := reg.Histogram("lat", 10, 20)
+	for _, v := range []int64{5, 15, 15, 100} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ce_fed counter\n",
+		"ce_fed{name=\"ce.fed\"} 7\n",
+		"# TYPE backlink_queue gauge\n",
+		"backlink_queue{name=\"backlink.queue\"} 3\n",
+		"# TYPE lat histogram\n",
+		"lat_bucket{name=\"lat\",le=\"10\"} 1\n",
+		"lat_bucket{name=\"lat\",le=\"20\"} 3\n",
+		"lat_bucket{name=\"lat\",le=\"+Inf\"} 4\n",
+		"lat_sum{name=\"lat\"} 135\n",
+		"lat_count{name=\"lat\"} 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteProm output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("WriteProm output must end with # EOF:\n%s", out)
+	}
+
+	// A nil registry writes only the terminator.
+	b.Reset()
+	if err := (*Registry)(nil).WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "# EOF\n" {
+		t.Errorf("nil WriteProm = %q, want just the # EOF line", b.String())
+	}
+}
+
+// The /metrics handler negotiates the exposition format: ?format=prom and
+// a Prometheus/OpenMetrics Accept header both serve the text exposition,
+// everything else keeps the JSON default.
+func TestHandlerContentNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Inc()
+
+	get := func(url, accept string) (string, string) {
+		t.Helper()
+		req := httptest.NewRequest("GET", url, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		w := httptest.NewRecorder()
+		Handler(reg).ServeHTTP(w, req)
+		return w.Body.String(), w.Header().Get("Content-Type")
+	}
+
+	if body, ct := get("/metrics?format=prom", ""); !strings.Contains(body, `c{name="c"} 1`) ||
+		!strings.Contains(ct, "text/plain; version=0.0.4") {
+		t.Errorf("?format=prom: content-type %q body %q", ct, body)
+	}
+	if body, _ := get("/metrics", "application/openmetrics-text; version=1.0.0"); !strings.Contains(body, "# EOF") {
+		t.Errorf("openmetrics Accept header did not negotiate the exposition: %q", body)
+	}
+	if body, ct := get("/metrics", "application/json"); !strings.Contains(ct, "application/json") ||
+		!strings.Contains(body, `"c": 1`) {
+		t.Errorf("default: content-type %q body %q", ct, body)
+	}
+}
+
+// Quantile estimates: exact at bucket edges, interpolated inside buckets,
+// clamped to the last finite bound when the rank lands in +Inf, and
+// refused (ok=false) when the histogram has no data or no finite bounds.
+func TestPointQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", 10, 100)
+	// 8 observations ≤10, 1 in (10,100], 1 in (100,+Inf).
+	for i := 0; i < 8; i++ {
+		h.Observe(5)
+	}
+	h.Observe(50)
+	h.Observe(500)
+	p, ok := reg.Get("lat")
+	if !ok {
+		t.Fatal("histogram not in snapshot")
+	}
+	if v, ok := p.Quantile(0.50); !ok || v > 10 {
+		t.Errorf("p50 = %d/%v, want ≤ 10 (rank 5 of 10 lands in the first bucket)", v, ok)
+	}
+	if v, ok := p.Quantile(0.90); !ok || v <= 10 || v > 100 {
+		t.Errorf("p90 = %d/%v, want in (10, 100] (rank 9 lands in the middle bucket)", v, ok)
+	}
+	if v, ok := p.Quantile(0.99); !ok || v != 100 {
+		t.Errorf("p99 = %d/%v, want clamped to 100 (rank 10 lands in +Inf)", v, ok)
+	}
+
+	// No data, bad q, non-histogram: refused.
+	reg2 := NewRegistry()
+	reg2.Histogram("empty", 10)
+	pe, _ := reg2.Get("empty")
+	if _, ok := pe.Quantile(0.5); ok {
+		t.Error("empty histogram produced a quantile")
+	}
+	if _, ok := p.Quantile(0); ok {
+		t.Error("q=0 produced a quantile")
+	}
+	if _, ok := p.Quantile(1.5); ok {
+		t.Error("q>1 produced a quantile")
+	}
+	reg2.Counter("c").Inc()
+	pc, _ := reg2.Get("c")
+	if _, ok := pc.Quantile(0.5); ok {
+		t.Error("counter produced a quantile")
+	}
+}
+
+// The text rendering gains p50/p90/p99 lines for histograms with data.
+func TestWriteTextQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", 10, 100)
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"lat.p50 ", "lat.p90 ", "lat.p99 "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package obs
+
+// The live-tracing core: a fixed-size, lock-free flight recorder of compact
+// per-stage span records, the runtime answer to "why did alert (x,17)
+// display but (x,18) get suppressed?". Where the metrics half of this
+// package aggregates (counters move, identities reconcile), the tracer
+// remembers individual lineages: every update and alert leaves one span per
+// pipeline stage it crosses — emitted at the DM, delivered or lost on each
+// front link, fed/discarded/fired at each CE replica, sent and arrived on
+// the back link, displayed or suppressed (with the suppressing AD rule) at
+// the displayer. Spans are stitched back into causal timelines by
+// (var, seq) — locally by Tracer.Spans, across processes by
+// `condmon-trace follow` polling each daemon's /trace endpoint.
+//
+// The tracer honors the same two contracts as the metrics core:
+//
+//   - Nil safety. Every method no-ops on a nil *Tracer, so components
+//     thread a tracer unconditionally and the tracing-off hot path pays one
+//     nil check — the zero-allocation pins and the batched-pipeline
+//     throughput band hold with tracing off.
+//
+//   - Lock-free recording. Record claims a ring slot with one atomic add
+//     and publishes the span with one atomic pointer store; it never takes
+//     a lock or blocks, and readers (snapshots, the /trace endpoint) can
+//     never observe a torn record — a loaded span is immutable. The cost
+//     is one small heap allocation per recorded span, paid only when
+//     tracing is on; the tracing-off path allocates nothing.
+//
+// The recorder is deliberately lossy: when the ring wraps, the oldest spans
+// are overwritten. It is a flight recorder, not an audit log — size it to
+// the window an operator can react within (DefaultTraceCap covers a few
+// seconds at typical alert rates).
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Pipeline stages a span can record, ordered along the update/alert path.
+const (
+	// StageEmit is the DM assigning a sequence number and publishing.
+	StageEmit = "emit"
+	// StageLink is a front link deciding delivery or loss per replica.
+	StageLink = "link"
+	// StageFeed is a CE replica consuming (or discarding) the update and
+	// possibly firing.
+	StageFeed = "feed"
+	// StageBacklink is an alert crossing a back link (send and arrival).
+	StageBacklink = "backlink"
+	// StageAD is the Alert Displayer's filter verdict.
+	StageAD = "ad"
+)
+
+// Dispositions a span can carry — what happened to the update or alert at
+// its stage.
+const (
+	// DispEmitted: the DM published the update.
+	DispEmitted = "emitted"
+	// DispDelivered: the front link (or receiver) delivered the update.
+	DispDelivered = "delivered"
+	// DispLost: the link's loss model (or a forced drop) lost the update.
+	DispLost = "lost"
+	// DispFed: the evaluator accepted the update into its window.
+	DispFed = "fed"
+	// DispDiscarded: the evaluator discarded an out-of-order or
+	// irrelevant-variable delivery (§2.1's in-order rule).
+	DispDiscarded = "discarded"
+	// DispMissedDown: the update arrived while the evaluator was failed.
+	DispMissedDown = "missed_down"
+	// DispFired: the evaluation raised an alert.
+	DispFired = "fired"
+	// DispSent: the alert was enqueued on a back link.
+	DispSent = "sent"
+	// DispArrived: the alert arrived at the displayer side of a back link.
+	DispArrived = "arrived"
+	// DispDisplayed: the AD filter passed the alert through to the user.
+	DispDisplayed = "displayed"
+	// DispSuppressed: the AD filter rejected the alert; Rule names the
+	// innermost rejecting rule (ad.Explain).
+	DispSuppressed = "suppressed"
+)
+
+// Span is one flight-recorder record: what happened to the update (or the
+// alert it triggered) identified by (Var, Seq) at one pipeline stage. Time
+// is stamped by Record; Origin, when non-zero, is the DM-side emit
+// timestamp carried across process boundaries by the wire trace trailer,
+// letting a downstream daemon relate its spans to the update's origin
+// without a shared tracer.
+type Span struct {
+	// Var and Seq identify the update lineage the span belongs to. For
+	// alert spans they name the triggering update: the alert's latest
+	// history entry for Var.
+	Var string `json:"var"`
+	Seq int64  `json:"seq"`
+	// Stage is one of the Stage* constants.
+	Stage string `json:"stage"`
+	// Replica identifies the component the span was recorded at: "DM",
+	// "CE1", a station id like "c0004/CE2", or an alert's source replica
+	// for displayer verdicts.
+	Replica string `json:"replica,omitempty"`
+	// Disp is one of the Disp* constants.
+	Disp string `json:"disp"`
+	// Rule names the suppressing filter rule for DispSuppressed spans (for
+	// combinators like AD-4, the failing constituent — see ad.Explain).
+	Rule string `json:"rule,omitempty"`
+	// Time is the recording wall clock in Unix nanoseconds (stamped by
+	// Record when zero).
+	Time int64 `json:"time"`
+	// Origin is the emit-time wall clock in Unix nanoseconds, zero when
+	// unknown.
+	Origin int64 `json:"origin,omitempty"`
+}
+
+// DefaultTraceCap is the flight-recorder capacity NewTracer uses when the
+// requested capacity is not positive.
+const DefaultTraceCap = 4096
+
+// traceSlot is one ring entry: an atomically published pointer to an
+// immutable span (nil until the slot is first written).
+type traceSlot struct {
+	span atomic.Pointer[Span]
+}
+
+// Tracer is the fixed-size, lock-free flight recorder. A nil *Tracer is
+// the "tracing off" state: Record and every query no-op, so pipelines
+// thread the pointer unconditionally at the cost of one nil check on the
+// hot path. All methods are safe for concurrent use.
+type Tracer struct {
+	slots []traceSlot
+	mask  uint64
+	next  atomic.Uint64
+}
+
+// NewTracer returns a flight recorder holding the most recent `capacity`
+// spans (rounded up to a power of two; DefaultTraceCap when capacity ≤ 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Tracer{slots: make([]traceSlot, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring capacity (zero on a nil tracer).
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.slots)
+}
+
+// Recorded returns how many spans were ever recorded, including those the
+// ring has since overwritten (zero on a nil tracer).
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.next.Load()
+}
+
+// Record appends one span to the ring, overwriting the oldest record once
+// the ring is full. It stamps s.Time with the current wall clock when the
+// caller left it zero. Record never locks or blocks; on a nil tracer it is
+// a no-op and allocates nothing, which is the hot-path state the
+// zero-allocation pins cover. With tracing on it pays one small heap
+// allocation: the span is published as an atomic pointer to an immutable
+// copy, so a reader racing a writer sees either the old record or the new
+// one, never a torn mix.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	if s.Time == 0 {
+		s.Time = time.Now().UnixNano()
+	}
+	// Copy into a fresh heap span here — not by taking &s — so the
+	// parameter itself never escapes and the nil-tracer path above stays
+	// allocation-free.
+	sp := new(Span)
+	*sp = s
+	i := t.next.Add(1) - 1
+	t.slots[i&t.mask].span.Store(sp)
+}
+
+// Snapshot copies the ring's current contents, oldest first. Nil tracers
+// return nil.
+func (t *Tracer) Snapshot() []Span {
+	return t.Spans("", -1)
+}
+
+// Spans returns the recorded spans matching the filter, oldest first: an
+// empty varName matches every variable, a negative seq every sequence
+// number. Nil tracers return nil.
+func (t *Tracer) Spans(varName string, seq int64) []Span {
+	if t == nil {
+		return nil
+	}
+	head := t.next.Load()
+	n := uint64(len(t.slots))
+	start := uint64(0)
+	if head > n {
+		start = head - n
+	}
+	var out []Span
+	for i := start; i < head; i++ {
+		sp := t.slots[i&t.mask].span.Load()
+		if sp == nil {
+			continue // claimed by a writer that has not published yet
+		}
+		s := *sp
+		if varName != "" && s.Var != varName {
+			continue
+		}
+		if seq >= 0 && s.Seq != seq {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// traceResponse is the JSON shape of the /trace endpoint.
+type traceResponse struct {
+	Cap      int    `json:"cap"`
+	Recorded uint64 `json:"recorded"`
+	Spans    []Span `json:"spans"`
+}
+
+// TraceHandler serves the flight recorder as JSON at any path it is
+// mounted on. Query parameters filter the result: ?var=x restricts to one
+// variable, ?seq=17 to one sequence number, ?stage=ad to one stage, and
+// ?limit=100 keeps only the most recent matches. A nil tracer serves an
+// empty recorder, so daemons mount the handler unconditionally.
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		seq := int64(-1)
+		if s := q.Get("seq"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil || v < 0 {
+				http.Error(w, "trace: seq must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			seq = v
+		}
+		spans := t.Spans(q.Get("var"), seq)
+		if stage := q.Get("stage"); stage != "" {
+			kept := spans[:0]
+			for _, s := range spans {
+				if s.Stage == stage {
+					kept = append(kept, s)
+				}
+			}
+			spans = kept
+		}
+		if l := q.Get("limit"); l != "" {
+			v, err := strconv.Atoi(l)
+			if err != nil || v < 0 {
+				http.Error(w, "trace: limit must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			if len(spans) > v {
+				spans = spans[len(spans)-v:]
+			}
+		}
+		if spans == nil {
+			spans = []Span{}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(traceResponse{Cap: t.Cap(), Recorded: t.Recorded(), Spans: spans})
+	})
+}

@@ -58,6 +58,7 @@ type MultiSystem struct {
 
 	m   *multiMetrics // nil when MultiOptions.Metrics was nil
 	reg *obs.Registry // nil when MultiOptions.Metrics was nil
+	tr  *obs.Tracer   // nil when MultiOptions.Trace was nil
 
 	mu     sync.Mutex
 	closed bool
@@ -214,6 +215,14 @@ type MultiOptions struct {
 	// queued on the shared link). Nil (the default) leaves the pipeline
 	// uninstrumented and allocation-free.
 	Metrics *obs.Registry
+	// Trace, if non-nil, threads the flight recorder through the sharded
+	// pipeline: StageEmit spans at the DMs, StageLink delivered/lost spans
+	// at every station's front link (replica labels are the station ids,
+	// e.g. "c0004/CE2"), StageFeed spans in every evaluator, StageBacklink
+	// sent spans on the multiplexed back link, and StageAD verdict spans in
+	// every per-condition filter via ad.NewTraced. Nil (the default) leaves
+	// tracing off at one nil-check per hot-path site.
+	Trace *obs.Tracer
 	// InlineFanIn bypasses the multiplexed back link: shard workers offer
 	// alerts to the demux synchronously, one call per alert — the
 	// dedicated-connection, per-alert wiring of the pre-mux pipeline, kept
@@ -253,6 +262,14 @@ func NewMulti(conds []cond.Condition, newFilter func(c cond.Condition) ad.Filter
 			return ad.RegisterInstrumented(opts.Metrics, "ad."+c.Name(), newFilter(c))
 		}
 	}
+	if opts.Trace != nil {
+		// Each condition's filter records its own verdict spans; the tracer
+		// is lock-free, so every filter shares it.
+		inner := mkFilter
+		mkFilter = func(c cond.Condition) ad.Filter {
+			return ad.NewTraced(inner(c), opts.Trace)
+		}
+	}
 	demux, err := multicond.NewDemux(mkFilter, conds...)
 	if err != nil {
 		return nil, err
@@ -267,6 +284,7 @@ func NewMulti(conds []cond.Condition, newFilter func(c cond.Condition) ad.Filter
 		sys.m = newMultiMetrics(opts.Metrics)
 		sys.reg = opts.Metrics
 	}
+	sys.tr = opts.Trace
 	if !opts.InlineFanIn {
 		sys.backlink = make(chan backFrame, backlinkBuffer)
 	}
@@ -296,6 +314,7 @@ func NewMulti(conds []cond.Condition, newFilter func(c cond.Condition) ad.Filter
 				// of multi.ce.* counters.
 				eval.SetMetrics(sys.m.ce)
 			}
+			eval.SetTracer(opts.Trace)
 			st := &station{eval: eval, links: make(map[event.VarName]*frontLink, len(c.Vars()))}
 			for _, v := range c.Vars() {
 				model := link.Model(link.None{})
@@ -418,7 +437,26 @@ func (s *MultiSystem) sendBack(stream int, alerts []event.Alert) {
 	if s.backGauges != nil {
 		s.backGauges[stream].Add(int64(len(alerts)))
 	}
+	if s.tr != nil {
+		for _, a := range alerts {
+			for _, v := range a.Histories.Vars() {
+				s.tr.Record(obs.Span{
+					Var: string(v), Seq: a.Histories[v].Latest().SeqNo,
+					Stage: obs.StageBacklink, Replica: a.Source, Disp: obs.DispSent,
+				})
+			}
+		}
+	}
 	s.backlink <- backFrame{stream: stream, alerts: alerts}
+}
+
+// linkSpan records one station front-link span; callers nil-check s.tr
+// first so the tracing-off path never pays the call.
+func (s *MultiSystem) linkSpan(st *station, u event.Update, disp string) {
+	s.tr.Record(obs.Span{
+		Var: string(u.Var), Seq: u.SeqNo,
+		Stage: obs.StageLink, Replica: st.eval.ID(), Disp: disp,
+	})
 }
 
 // deliver runs one update through a station's front link and evaluator —
@@ -427,9 +465,15 @@ func (s *MultiSystem) deliver(stream int, sh *shard, st *station, u event.Update
 	l := st.links[u.Var]
 	if !l.lossless && !l.model.Deliver(u, l.rng) {
 		s.m.addLost(1)
+		if s.tr != nil {
+			s.linkSpan(st, u, obs.DispLost)
+		}
 		return
 	}
 	s.m.addDelivered(1)
+	if s.tr != nil {
+		s.linkSpan(st, u, obs.DispDelivered)
+	}
 	a, fired, err := st.eval.Feed(u)
 	if err != nil {
 		s.recordErr(fmt.Errorf("runtime: %s: %w", st.eval.ID(), err))
@@ -474,11 +518,20 @@ func (s *MultiSystem) deliverBatchAll(stream int, sh *shard, sts []*station, us 
 			for _, u := range us {
 				if l.model.Deliver(u, l.rng) {
 					k = append(k, u)
+					if s.tr != nil {
+						s.linkSpan(st, u, obs.DispDelivered)
+					}
+				} else if s.tr != nil {
+					s.linkSpan(st, u, obs.DispLost)
 				}
 			}
 			l.kept = k
 			kept = k
 			s.m.addLost(int64(len(us) - len(kept)))
+		} else if s.tr != nil {
+			for _, u := range us {
+				s.linkSpan(st, u, obs.DispDelivered)
+			}
 		}
 		s.m.addDelivered(int64(len(kept)))
 		alerts, err := st.eval.FeedBatch(kept, st.scratch[:0])
@@ -559,6 +612,12 @@ func (s *MultiSystem) Emit(v event.VarName, value float64) (int64, error) {
 		sh.in <- f
 	}
 	s.m.addEmitted(1)
+	if s.tr != nil {
+		s.tr.Record(obs.Span{
+			Var: string(v), Seq: dm.seq,
+			Stage: obs.StageEmit, Replica: "DM", Disp: obs.DispEmitted,
+		})
+	}
 	return dm.seq, nil
 }
 
@@ -594,6 +653,14 @@ func (s *MultiSystem) EmitBatch(v event.VarName, values []float64) (int64, error
 	}
 	s.m.addEmitted(int64(len(values)))
 	s.m.incEmitBatches()
+	if s.tr != nil {
+		for _, u := range us {
+			s.tr.Record(obs.Span{
+				Var: string(u.Var), Seq: u.SeqNo,
+				Stage: obs.StageEmit, Replica: "DM", Disp: obs.DispEmitted,
+			})
+		}
+	}
 	return dm.seq, nil
 }
 

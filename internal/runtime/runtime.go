@@ -68,6 +68,14 @@ type Options struct {
 	// Displayer. Nil (the default) leaves the pipeline uninstrumented and
 	// allocation-free.
 	Metrics *obs.Registry
+	// Trace, if non-nil, threads the flight recorder through the whole
+	// pipeline: StageEmit spans at the DMs, StageLink delivered/lost spans
+	// per front link, StageFeed spans in every evaluator
+	// (ce.Evaluator.SetTracer), and StageAD verdict spans at the Alert
+	// Displayer via ad.NewTraced (the suppressing rule named by
+	// ad.Explain). Nil (the default) leaves tracing off at one nil-check
+	// per hot-path site.
+	Trace *obs.Tracer
 }
 
 func (o *Options) applyDefaults() {
@@ -86,7 +94,8 @@ type System struct {
 	shutdown chan struct{}
 	wg       sync.WaitGroup
 
-	m *sysMetrics // nil when Options.Metrics was nil
+	m  *sysMetrics // nil when Options.Metrics was nil
+	tr *obs.Tracer // nil when Options.Trace was nil
 
 	mu     sync.Mutex // guards closed
 	closed bool
@@ -167,7 +176,10 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 	if opts.Metrics != nil {
 		sys.m = newSysMetrics(opts.Metrics)
 	}
-	sys.adSrv = newDisplayer(filter)
+	sys.tr = opts.Trace
+	// The displayer's filter records its verdict spans itself (NewTraced is
+	// the identity with tracing off).
+	sys.adSrv = newDisplayer(ad.NewTraced(filter, opts.Trace))
 	if opts.Metrics != nil {
 		sys.adSrv.cOffered = opts.Metrics.Counter("runtime.ad.offered")
 		sys.adSrv.cDisplayed = opts.Metrics.Counter("runtime.ad.displayed")
@@ -229,6 +241,16 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 				delivered = opts.Metrics.Counter(prefix + ".delivered")
 				lost = opts.Metrics.Counter(prefix + ".lost")
 			}
+			// The replica label is precomputed so the traced path never
+			// formats on a per-update basis.
+			tr := opts.Trace
+			replica := fmt.Sprintf("CE%d", i+1)
+			linkSpan := func(u event.Update, disp string) {
+				tr.Record(obs.Span{
+					Var: string(u.Var), Seq: u.SeqNo,
+					Stage: obs.StageLink, Replica: replica, Disp: disp,
+				})
+			}
 			fanIn.Add(1)
 			sys.wg.Add(1)
 			go func(in chan frame, m link.Model, rng *rand.Rand) {
@@ -247,6 +269,11 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 						// shared with the other replicas' links).
 						if lossless {
 							delivered.Add(int64(len(f.us)))
+							if tr != nil {
+								for _, u := range f.us {
+									linkSpan(u, obs.DispDelivered)
+								}
+							}
 							ceIn <- f
 							break
 						}
@@ -254,6 +281,11 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 						for _, u := range f.us {
 							if m.Deliver(u, rng) {
 								kept = append(kept, u)
+								if tr != nil {
+									linkSpan(u, obs.DispDelivered)
+								}
+							} else if tr != nil {
+								linkSpan(u, obs.DispLost)
 							}
 						}
 						delivered.Add(int64(len(kept)))
@@ -263,9 +295,15 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 						}
 					case m.Deliver(f.u, rng):
 						delivered.Inc()
+						if tr != nil {
+							linkSpan(f.u, obs.DispDelivered)
+						}
 						ceIn <- f
 					default:
 						lost.Inc()
+						if tr != nil {
+							linkSpan(f.u, obs.DispLost)
+						}
 					}
 				}
 			}(t.ch, model, rng)
@@ -284,6 +322,7 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 		if opts.Metrics != nil {
 			eval.SetMetrics(ce.RegisterMetrics(opts.Metrics, fmt.Sprintf("ce.CE%d", i+1)))
 		}
+		eval.SetTracer(opts.Trace)
 		back := make(chan event.Alert, backlinkBuffer)
 		sys.adSrv.attach(back)
 		sys.wg.Add(1)
@@ -325,7 +364,19 @@ func (s *System) Emit(v event.VarName, value float64) (int64, error) {
 	dm.seq++
 	dm.in <- frame{u: event.U(v, dm.seq, value)}
 	s.m.addEmitted(1)
+	if s.tr != nil {
+		s.emitSpan(v, dm.seq)
+	}
 	return dm.seq, nil
+}
+
+// emitSpan records one StageEmit span; callers nil-check s.tr first so the
+// tracing-off path never pays the call.
+func (s *System) emitSpan(v event.VarName, seq int64) {
+	s.tr.Record(obs.Span{
+		Var: string(v), Seq: seq,
+		Stage: obs.StageEmit, Replica: "DM", Disp: obs.DispEmitted,
+	})
 }
 
 // EmitBatch publishes a run of readings of variable v as one batch: the DM
@@ -356,6 +407,11 @@ func (s *System) EmitBatch(v event.VarName, values []float64) (int64, error) {
 	dm.in <- frame{us: us}
 	s.m.addEmitted(int64(len(values)))
 	s.m.incEmitBatches()
+	if s.tr != nil {
+		for _, u := range us {
+			s.emitSpan(v, u.SeqNo)
+		}
+	}
 	return dm.seq, nil
 }
 
@@ -514,7 +570,7 @@ func (d *Displayer) PendingCount() int {
 func (d *Displayer) Snapshot() ([]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	s, ok := d.filter.(ad.Snapshotter)
+	s, ok := snapshotter(d.filter)
 	if !ok {
 		return nil, fmt.Errorf("runtime: filter %s does not support snapshots", d.filter.Name())
 	}
@@ -526,9 +582,25 @@ func (d *Displayer) Snapshot() ([]byte, error) {
 func (d *Displayer) RestoreFilter(data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	s, ok := d.filter.(ad.Snapshotter)
+	s, ok := snapshotter(d.filter)
 	if !ok {
 		return fmt.Errorf("runtime: filter %s does not support snapshots", d.filter.Name())
 	}
 	return s.Restore(data)
+}
+
+// snapshotter finds the Snapshotter behind any chain of observability
+// wrappers (ad.Instrumented, ad.Traced) — wrapping a filter for metrics or
+// tracing must not cost it its durable-state support.
+func snapshotter(f ad.Filter) (ad.Snapshotter, bool) {
+	for {
+		if s, ok := f.(ad.Snapshotter); ok {
+			return s, true
+		}
+		u, ok := f.(interface{ Unwrap() ad.Filter })
+		if !ok {
+			return nil, false
+		}
+		f = u.Unwrap()
+	}
 }

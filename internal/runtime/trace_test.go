@@ -1,0 +1,186 @@
+package runtime
+
+import (
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/obs"
+)
+
+// indexSpans groups one lineage's spans by stage for assertion.
+func indexSpans(spans []obs.Span) map[string][]obs.Span {
+	byStage := make(map[string][]obs.Span)
+	for _, s := range spans {
+		byStage[s.Stage] = append(byStage[s.Stage], s)
+	}
+	return byStage
+}
+
+// A traced in-process System records the full lineage of every update:
+// emit at the DM, a delivery-or-loss link span per replica, a feed span
+// per delivery, and displayer verdicts naming the suppressing rule — the
+// single-process version of what `condmon-trace follow` stitches from a
+// live fleet.
+func TestSystemTraceStitch(t *testing.T) {
+	tr := obs.NewTracer(4096)
+	sys, err := New(cond.NewOverheat("x"), ad.NewAD1(), Options{
+		Replicas: 2,
+		Seed:     3,
+		Loss: func(replica int, v event.VarName) link.Model {
+			if replica == 1 { // CE2 lossy, CE1 lossless
+				return link.Bernoulli{P: 0.5}
+			}
+			return nil
+		},
+		Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		v := 100.0
+		if i%4 == 3 {
+			v = 3200 // over the overheat threshold: fires on every replica that got it
+		}
+		if _, err := sys.Emit("x", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	displayed := sys.Close()
+	if len(displayed) == 0 {
+		t.Fatal("run displayed nothing; the trace assertions below would be vacuous")
+	}
+
+	spans := tr.Spans("x", -1)
+	byStage := indexSpans(spans)
+	if got := len(byStage[obs.StageEmit]); got != n {
+		t.Errorf("%d emit spans, want %d", got, n)
+	}
+	// Every emitted update gets exactly one link span per replica.
+	if got := len(byStage[obs.StageLink]); got != 2*n {
+		t.Errorf("%d link spans, want %d (one per update per replica)", got, 2*n)
+	}
+	delivered := 0
+	for _, s := range byStage[obs.StageLink] {
+		switch s.Disp {
+		case obs.DispDelivered:
+			delivered++
+		case obs.DispLost:
+			if s.Replica != "CE2" {
+				t.Errorf("lossless replica lost an update: %+v", s)
+			}
+		default:
+			t.Errorf("unexpected link disposition: %+v", s)
+		}
+	}
+	// Every delivery reaches Feed; front links preserve order, so nothing
+	// is discarded.
+	if got := len(byStage[obs.StageFeed]); got != delivered {
+		t.Errorf("%d feed spans, want %d (one per delivery)", got, delivered)
+	}
+	// Displayer verdicts: one AD span per offer; each is displayed or
+	// suppressed, and suppressions name the rule.
+	if len(byStage[obs.StageAD]) == 0 {
+		t.Fatal("no AD spans recorded")
+	}
+	displayedSpans, suppressed := 0, 0
+	for _, s := range byStage[obs.StageAD] {
+		switch s.Disp {
+		case obs.DispDisplayed:
+			displayedSpans++
+			if s.Rule != "" {
+				t.Errorf("displayed span carries a rule: %+v", s)
+			}
+		case obs.DispSuppressed:
+			suppressed++
+			if s.Rule != "AD-1" {
+				t.Errorf("suppressed span rule = %q, want AD-1: %+v", s.Rule, s)
+			}
+		default:
+			t.Errorf("unexpected AD disposition: %+v", s)
+		}
+	}
+	if displayedSpans != len(displayed) {
+		t.Errorf("%d displayed spans, want %d (one per displayed alert)", displayedSpans, len(displayed))
+	}
+	if suppressed == 0 {
+		t.Error("two replicas firing on shared triggers suppressed nothing; duplicate filtering broken?")
+	}
+}
+
+// The traced System still snapshots and restores its filter state: the
+// Traced wrapper must not hide ad.Snapshotter from the fault-injection
+// path (snapshotter unwraps observability wrappers).
+func TestTracedSystemFilterSnapshot(t *testing.T) {
+	tr := obs.NewTracer(256)
+	sys, err := New(cond.NewOverheat("x"), ad.NewAD1(), Options{Replicas: 1, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Emit("x", 3200); err != nil {
+		t.Fatal(err)
+	}
+	d := sys.Displayer()
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot on a traced displayer: %v", err)
+	}
+	if err := d.RestoreFilter(snap); err != nil {
+		t.Fatalf("RestoreFilter on a traced displayer: %v", err)
+	}
+	sys.Close()
+}
+
+// A traced MultiSystem records the same lineage per station, with the
+// station id as the replica label and sent spans on the multiplexed back
+// link.
+func TestMultiSystemTraceStitch(t *testing.T) {
+	tr := obs.NewTracer(8192)
+	condHot := cond.MustParse("hot", "x[0] > 3000")
+	sys, err := NewMulti([]cond.Condition{condHot}, func(c cond.Condition) ad.Filter {
+		return ad.NewAD1()
+	}, MultiOptions{Replicas: 2, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		v := 100.0
+		if i%5 == 4 {
+			v = 3200
+		}
+		if _, err := sys.Emit("x", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	displayed, err := sys.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(displayed) == 0 {
+		t.Fatal("run displayed nothing")
+	}
+
+	byStage := indexSpans(tr.Spans("x", -1))
+	if got := len(byStage[obs.StageEmit]); got != n {
+		t.Errorf("%d emit spans, want %d", got, n)
+	}
+	if got := len(byStage[obs.StageLink]); got != 2*n {
+		t.Errorf("%d link spans, want %d", got, 2*n)
+	}
+	if len(byStage[obs.StageBacklink]) == 0 {
+		t.Error("no backlink sent spans recorded")
+	}
+	for _, s := range byStage[obs.StageBacklink] {
+		if s.Disp != obs.DispSent || s.Replica == "" {
+			t.Errorf("backlink span = %+v, want sent with a station replica label", s)
+		}
+	}
+	if len(byStage[obs.StageAD]) == 0 {
+		t.Error("no AD spans recorded")
+	}
+}

@@ -45,6 +45,12 @@ type MuxSenderOptions struct {
 	// <prefix>.flushes — alerts ≫ frames ≫ flushes is coalescing working.
 	Metrics       *obs.Registry
 	MetricsPrefix string
+	// Annotate appends a wire trace trailer to every flushed 'M' frame
+	// (sampled flag, no origin — a coalesced frame spans many origins), so
+	// a tracing MuxListener knows the sender participates in a traced run.
+	// Listeners that predate the trailer reject annotated frames, so leave
+	// this off unless the AD side is current.
+	Annotate bool
 }
 
 func (o *MuxSenderOptions) applyDefaults() {
@@ -189,20 +195,28 @@ func (s *MuxSender) flushLocked() error {
 	}
 	var out []byte
 	frames := 0
+	// An annotated frame spends wire.TraceLen of its budget on the trailer.
+	frameBudget := maxFrame
+	if s.opts.Annotate {
+		frameBudget -= wire.TraceLen
+	}
 	for _, st := range s.order {
 		items := st.items
 		for len(items) > 0 {
-			// Greedily pack items while the frame stays under maxFrame and
+			// Greedily pack items while the frame stays under the budget and
 			// the 16-bit item count has room.
 			n, bytes := 0, 0
 			for n < len(items) && n < 1<<16-1 {
-				if sz := wire.MuxOverhead(n+1, bytes+len(items[n])); sz > maxFrame && n > 0 {
+				if sz := wire.MuxOverhead(n+1, bytes+len(items[n])); sz > frameBudget && n > 0 {
 					break
 				}
 				bytes += len(items[n])
 				n++
 			}
 			frame := encodeMuxItems(st.id, items[:n])
+			if s.opts.Annotate {
+				frame = wire.AppendTrace(frame, wire.Trace{Flags: wire.TraceFlagSampled})
+			}
 			var hdr [4]byte
 			binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
 			out = append(out, hdr[:]...)
@@ -274,6 +288,15 @@ type MuxListenerOptions struct {
 	// frames).
 	Metrics       *obs.Registry
 	MetricsPrefix string
+	// Trace, if non-nil, records a StageBacklink/arrived span for every
+	// demultiplexed alert (one per history variable, labelled with the
+	// alert's source replica).
+	Trace *obs.Tracer
+	// Health, if non-nil, registers the shared back link under "backlink"
+	// and touches it on every arriving frame; /healthz reports it stale
+	// after StaleAfter without traffic (obs.DefaultStaleAfter when ≤ 0).
+	Health     *obs.Health
+	StaleAfter time.Duration
 }
 
 // MuxListener is the AD side of multiplexed back links: it accepts any
@@ -287,6 +310,8 @@ type MuxListener struct {
 	done chan struct{}
 
 	cAlerts, cFrames, cItemErrs *obs.Counter
+	tr                          *obs.Tracer
+	lh                          *obs.LinkHealth
 }
 
 // ListenMux starts a multiplexed AD endpoint on addr.
@@ -299,6 +324,10 @@ func ListenMux(addr string, opts MuxListenerOptions) (*MuxListener, error) {
 		ln:   ln,
 		out:  make(chan StreamAlert, updateBuffer),
 		done: make(chan struct{}),
+		tr:   opts.Trace,
+	}
+	if opts.Health != nil {
+		l.lh = opts.Health.Link("backlink", opts.StaleAfter)
 	}
 	if opts.Metrics != nil {
 		prefix := opts.MetricsPrefix
@@ -365,25 +394,39 @@ func (l *MuxListener) handle(conn net.Conn) {
 			return
 		}
 		l.cFrames.Inc()
+		// Either frame kind may carry an optional trace trailer after its
+		// body.
 		switch body[0] {
 		case 'M':
 			m, itemErrs, rest, err := wire.DecodeMux(body)
-			if err != nil || len(rest) != 0 {
+			if err != nil {
 				return // frame-level corruption: reset the connection
 			}
+			t, _, rest, terr := wire.TakeTrace(rest)
+			if terr != nil || len(rest) != 0 {
+				return // frame-level corruption: reset the connection
+			}
+			l.lh.Touch()
 			// Item errors never desync the frame: the corrupt alerts are
 			// dropped, the rest of the run flows on.
 			l.cItemErrs.Add(int64(len(itemErrs)))
 			for _, a := range m.Alerts {
+				arrivalSpans(l.tr, a, t.Origin)
 				if !l.emit(StreamAlert{Stream: m.Stream, Alert: a}) {
 					return
 				}
 			}
 		case 'A':
 			a, rest, err := wire.DecodeAlert(body)
-			if err != nil || len(rest) != 0 {
+			if err != nil {
 				return
 			}
+			t, _, rest, terr := wire.TakeTrace(rest)
+			if terr != nil || len(rest) != 0 {
+				return
+			}
+			l.lh.Touch()
+			arrivalSpans(l.tr, a, t.Origin)
 			if !l.emit(StreamAlert{Alert: a}) {
 				return
 			}

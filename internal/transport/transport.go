@@ -22,6 +22,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"condmon/internal/event"
 	"condmon/internal/link"
@@ -53,6 +54,12 @@ type UDPPublisher struct {
 	// Optional instrumentation; nil counters no-op.
 	cDatagrams *obs.Counter // datagrams written (one per endpoint per send)
 	cUpdates   *obs.Counter // updates published (before fan-out)
+
+	// Optional live tracing (SetTrace); annotate gates the whole path so
+	// the tracing-off cost is one bool check.
+	tr        *obs.Tracer
+	traceName string
+	annotate  bool
 }
 
 // SetMetrics registers publisher counters in reg under prefix:
@@ -62,6 +69,23 @@ type UDPPublisher struct {
 func (p *UDPPublisher) SetMetrics(reg *obs.Registry, prefix string) {
 	p.cDatagrams = reg.Counter(prefix + ".datagrams")
 	p.cUpdates = reg.Counter(prefix + ".updates")
+}
+
+// SetTrace enables live tracing on the publisher: every published update
+// records a StageEmit span in t under the given replica name (default
+// "DM"), and every outgoing datagram gains a wire trace trailer carrying
+// the emit timestamp so downstream daemons can stitch their spans to this
+// origin. Receivers that predate the trailer reject annotated datagrams as
+// trailing garbage, which is why annotation only happens on this opt-in.
+// A nil tracer leaves tracing off.
+func (p *UDPPublisher) SetTrace(t *obs.Tracer, replica string) {
+	if t == nil {
+		return
+	}
+	if replica == "" {
+		replica = "DM"
+	}
+	p.tr, p.traceName, p.annotate = t, replica, true
 }
 
 // NewUDPPublisher connects to the given CE addresses.
@@ -94,6 +118,15 @@ func (p *UDPPublisher) Publish(u event.Update) error {
 	if err != nil {
 		return err
 	}
+	if p.annotate {
+		now := time.Now().UnixNano()
+		b = wire.AppendTrace(b, wire.Trace{Flags: wire.TraceFlagSampled, Origin: now})
+		p.tr.Record(obs.Span{
+			Var: string(u.Var), Seq: u.SeqNo,
+			Stage: obs.StageEmit, Replica: p.traceName, Disp: obs.DispEmitted,
+			Time: now, Origin: now,
+		})
+	}
 	for _, c := range p.conns {
 		_, _ = c.Write(b) // best-effort: loss is part of the model
 	}
@@ -110,8 +143,13 @@ func (p *UDPPublisher) Publish(u event.Update) error {
 // link the paper assumes, and the receiver's per-update sequence check
 // keeps later arrivals in order.
 func (p *UDPPublisher) PublishBatch(v event.VarName, us []event.Update) error {
-	// Fixed 16-byte records after the header make the chunk capacity exact.
-	perChunk := (maxDatagram - (1 + 2 + len(string(v)) + 2)) / 16
+	// Fixed 16-byte records after the header make the chunk capacity exact;
+	// an annotated chunk also reserves room for the frame trailer.
+	overhead := 1 + 2 + len(string(v)) + 2
+	if p.annotate {
+		overhead += wire.TraceLen
+	}
+	perChunk := (maxDatagram - overhead) / 16
 	if perChunk < 1 {
 		return fmt.Errorf("transport: variable name %q leaves no room for updates", v)
 	}
@@ -123,6 +161,18 @@ func (p *UDPPublisher) PublishBatch(v event.VarName, us []event.Update) error {
 		b, err := wire.EncodeBatch(v, us[:n])
 		if err != nil {
 			return err
+		}
+		if p.annotate {
+			// One trailer per chunk: the whole run shares one emit instant.
+			now := time.Now().UnixNano()
+			b = wire.AppendTrace(b, wire.Trace{Flags: wire.TraceFlagSampled, Origin: now})
+			for _, u := range us[:n] {
+				p.tr.Record(obs.Span{
+					Var: string(u.Var), Seq: u.SeqNo,
+					Stage: obs.StageEmit, Replica: p.traceName, Disp: obs.DispEmitted,
+					Time: now, Origin: now,
+				})
+			}
 		}
 		for _, c := range p.conns {
 			_, _ = c.Write(b) // best-effort: loss is part of the model
@@ -153,6 +203,17 @@ type UDPReceiverOptions struct {
 	// MetricsPrefix, default "transport.recv".
 	Metrics       *obs.Registry
 	MetricsPrefix string
+	// Trace, if non-nil, records a StageLink span for every datagram-borne
+	// update (delivered, discarded, lost) under the TraceName replica label
+	// (default "CE"), carrying the origin timestamp from annotated frames.
+	Trace     *obs.Tracer
+	TraceName string
+	// Health, if non-nil, registers this front link under TraceName (or
+	// "front") and touches it on every datagram-borne update, so /healthz
+	// reports the link stale after StaleAfter without activity
+	// (obs.DefaultStaleAfter when ≤ 0).
+	Health     *obs.Health
+	StaleAfter time.Duration
 }
 
 // UDPReceiver is the CE side of a front link: it decodes datagrams,
@@ -163,13 +224,18 @@ type UDPReceiver struct {
 	out  chan event.Update
 	done chan struct{}
 
-	mu        sync.Mutex
-	lastSeq   map[event.VarName]int64
-	discarded int64
-	forced    int64
+	mu         sync.Mutex
+	lastSeq    map[event.VarName]int64
+	lastOrigin map[event.VarName]int64
+	discarded  int64
+	forced     int64
 
-	// Optional instrumentation; nil counters no-op.
+	// Optional instrumentation; nil counters, tracer, and link health
+	// no-op.
 	cAccepted, cDiscarded, cForced, cOverrun *obs.Counter
+	tr                                       *obs.Tracer
+	trName                                   string
+	lh                                       *obs.LinkHealth
 }
 
 // ListenUDP starts a receiver on addr (use "127.0.0.1:0" for an ephemeral
@@ -184,10 +250,25 @@ func ListenUDP(addr string, opts UDPReceiverOptions) (*UDPReceiver, error) {
 		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
 	}
 	r := &UDPReceiver{
-		conn:    conn,
-		out:     make(chan event.Update, updateBuffer),
-		done:    make(chan struct{}),
-		lastSeq: make(map[event.VarName]int64),
+		conn:       conn,
+		out:        make(chan event.Update, updateBuffer),
+		done:       make(chan struct{}),
+		lastSeq:    make(map[event.VarName]int64),
+		lastOrigin: make(map[event.VarName]int64),
+	}
+	if opts.Trace != nil {
+		r.tr = opts.Trace
+		r.trName = opts.TraceName
+		if r.trName == "" {
+			r.trName = "CE"
+		}
+	}
+	if opts.Health != nil {
+		name := opts.TraceName
+		if name == "" {
+			name = "front"
+		}
+		r.lh = opts.Health.Link("front:"+name, opts.StaleAfter)
 	}
 	if opts.Metrics != nil {
 		prefix := opts.MetricsPrefix
@@ -239,31 +320,53 @@ func (r *UDPReceiver) loop(forced link.Model, rng *rand.Rand) {
 			// dropped individually (the decoder keeps framing), just another
 			// form of link loss.
 			batch, _, rest, err := wire.DecodeBatch(buf[:n])
-			if err != nil || len(rest) != 0 {
+			if err != nil {
+				continue // corrupt datagram: drop, like any lossy link
+			}
+			t, _, rest, terr := wire.TakeTrace(rest)
+			if terr != nil || len(rest) != 0 {
 				continue // corrupt datagram: drop, like any lossy link
 			}
 			for _, u := range batch.Updates {
-				r.deliver(u, forced, rng)
+				r.deliver(u, forced, rng, t.Origin)
 			}
 			continue
 		}
 		u, rest, err := wire.DecodeUpdate(buf[:n])
-		if err != nil || len(rest) != 0 {
+		if err != nil {
 			continue // corrupt datagram: drop, like any lossy link
 		}
-		r.deliver(u, forced, rng)
+		t, _, rest, terr := wire.TakeTrace(rest)
+		if terr != nil || len(rest) != 0 {
+			continue // corrupt datagram: drop, like any lossy link
+		}
+		r.deliver(u, forced, rng, t.Origin)
 	}
+}
+
+// LastOrigin returns the origin timestamp (Unix nanoseconds) carried by
+// the most recently accepted annotated update for v, or zero when no
+// annotated update has arrived. CE daemons use it to stamp outgoing alert
+// frames with the triggering update's emit time.
+func (r *UDPReceiver) LastOrigin(v event.VarName) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastOrigin[v]
 }
 
 // deliver applies the in-order rule and forced loss to one received update
 // and hands survivors to the output channel — identical acceptance whether
-// the update arrived alone or inside a batch datagram.
-func (r *UDPReceiver) deliver(u event.Update, forced link.Model, rng *rand.Rand) {
+// the update arrived alone or inside a batch datagram. origin is the
+// annotated frame's emit timestamp (zero when untagged); it labels the
+// link spans and is remembered per variable for LastOrigin.
+func (r *UDPReceiver) deliver(u event.Update, forced link.Model, rng *rand.Rand, origin int64) {
+	r.lh.Touch() // any datagram-borne update is link activity
 	r.mu.Lock()
 	if last, ok := r.lastSeq[u.Var]; ok && u.SeqNo <= last {
 		r.discarded++
 		r.mu.Unlock()
 		r.cDiscarded.Inc()
+		r.linkSpan(u, obs.DispDiscarded, origin)
 		return // out-of-order or duplicate: discard (Section 2.1)
 	}
 	if forced != nil && !forced.Deliver(u, rng) {
@@ -273,18 +376,36 @@ func (r *UDPReceiver) deliver(u event.Update, forced link.Model, rng *rand.Rand)
 		r.forced++
 		r.mu.Unlock()
 		r.cForced.Inc()
+		r.linkSpan(u, obs.DispLost, origin)
 		return
 	}
 	r.lastSeq[u.Var] = u.SeqNo
+	if origin != 0 {
+		r.lastOrigin[u.Var] = origin
+	}
 	r.mu.Unlock()
 
 	select {
 	case r.out <- u:
 		r.cAccepted.Inc()
+		r.linkSpan(u, obs.DispDelivered, origin)
 	default:
 		// Receiver overrun: drop, indistinguishable from link loss.
 		r.cOverrun.Inc()
+		r.linkSpan(u, obs.DispLost, origin)
 	}
+}
+
+// linkSpan records one front-link span; no-op with tracing off.
+func (r *UDPReceiver) linkSpan(u event.Update, disp string, origin int64) {
+	if r.tr == nil {
+		return
+	}
+	r.tr.Record(obs.Span{
+		Var: string(u.Var), Seq: u.SeqNo,
+		Stage: obs.StageLink, Replica: r.trName, Disp: disp,
+		Origin: origin,
+	})
 }
 
 // TCPSender is the CE side of a back link: a reliable, ordered alert
@@ -314,6 +435,25 @@ func (s *TCPSender) Send(a event.Alert) error {
 	if err != nil {
 		return err
 	}
+	return s.sendFrame(body)
+}
+
+// SendTrace transmits one alert with a wire trace trailer appended after
+// the alert body inside the frame, carrying the sampled flag and the
+// triggering update's origin timestamp across the back link. Listeners
+// that predate the trailer reject annotated frames as trailing garbage,
+// so only send annotated when the AD side is running ListenADOpts (or a
+// MuxListener) from this version on.
+func (s *TCPSender) SendTrace(a event.Alert, t wire.Trace) error {
+	body, err := wire.EncodeAlert(a)
+	if err != nil {
+		return err
+	}
+	return s.sendFrame(wire.AppendTrace(body, t))
+}
+
+// sendFrame writes one length-prefixed frame under the sender mutex.
+func (s *TCPSender) sendFrame(body []byte) error {
 	if len(body) > maxFrame {
 		return fmt.Errorf("transport: alert frame of %d bytes exceeds limit", len(body))
 	}
@@ -354,10 +494,34 @@ type ADListener struct {
 	digests chan wire.Digest
 	wg      sync.WaitGroup
 	done    chan struct{}
+
+	// Optional instrumentation; nil tracer and link health no-op.
+	tr *obs.Tracer
+	lh *obs.LinkHealth
+}
+
+// ADListenerOptions configure the AD side of the back links.
+type ADListenerOptions struct {
+	// Trace, if non-nil, records a StageBacklink/arrived span for every
+	// alert frame that arrives (one per history variable, labelled with the
+	// alert's source replica), carrying the origin timestamp from annotated
+	// frames.
+	Trace *obs.Tracer
+	// Health, if non-nil, registers the merged back link under "backlink"
+	// and touches it on every arriving frame; /healthz reports it stale
+	// after StaleAfter without traffic (obs.DefaultStaleAfter when ≤ 0).
+	Health     *obs.Health
+	StaleAfter time.Duration
 }
 
 // ListenAD starts an AD endpoint on addr.
 func ListenAD(addr string) (*ADListener, error) {
+	return ListenADOpts(addr, ADListenerOptions{})
+}
+
+// ListenADOpts starts an AD endpoint on addr with tracing and health
+// wiring. The zero options value behaves exactly like ListenAD.
+func ListenADOpts(addr string, opts ADListenerOptions) (*ADListener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen AD %q: %w", addr, err)
@@ -367,10 +531,30 @@ func ListenAD(addr string) (*ADListener, error) {
 		out:     make(chan event.Alert, updateBuffer),
 		digests: make(chan wire.Digest, updateBuffer),
 		done:    make(chan struct{}),
+		tr:      opts.Trace,
+	}
+	if opts.Health != nil {
+		l.lh = opts.Health.Link("backlink", opts.StaleAfter)
 	}
 	l.wg.Add(1)
 	go l.acceptLoop()
 	return l, nil
+}
+
+// arrivalSpans records one StageBacklink/arrived span per history variable
+// of an alert that crossed a back link — shared by the dedicated and mux
+// listeners. No-op with tracing off.
+func arrivalSpans(tr *obs.Tracer, a event.Alert, origin int64) {
+	if tr == nil {
+		return
+	}
+	for _, v := range a.Histories.Vars() {
+		tr.Record(obs.Span{
+			Var: string(v), Seq: a.Histories[v].Latest().SeqNo,
+			Stage: obs.StageBacklink, Replica: a.Source, Disp: obs.DispArrived,
+			Origin: origin,
+		})
+	}
 }
 
 // Addr returns the bound address.
@@ -422,13 +606,20 @@ func (l *ADListener) handle(conn net.Conn) {
 		if _, err := io.ReadFull(conn, body); err != nil {
 			return
 		}
-		// Frames are self-describing: dispatch on the wire tag byte.
+		// Frames are self-describing: dispatch on the wire tag byte. Either
+		// frame kind may carry an optional trace trailer after its body.
 		switch body[0] {
 		case 'A':
 			a, rest, err := wire.DecodeAlert(body)
-			if err != nil || len(rest) != 0 {
+			if err != nil {
 				return
 			}
+			t, _, rest, terr := wire.TakeTrace(rest)
+			if terr != nil || len(rest) != 0 {
+				return
+			}
+			l.lh.Touch()
+			arrivalSpans(l.tr, a, t.Origin)
 			select {
 			case l.out <- a:
 			case <-l.done:
@@ -436,9 +627,13 @@ func (l *ADListener) handle(conn net.Conn) {
 			}
 		case 'D':
 			d, rest, err := wire.DecodeDigest(body)
-			if err != nil || len(rest) != 0 {
+			if err != nil {
 				return
 			}
+			if _, _, rest, terr := wire.TakeTrace(rest); terr != nil || len(rest) != 0 {
+				return
+			}
+			l.lh.Touch()
 			select {
 			case l.digests <- d:
 			case <-l.done:

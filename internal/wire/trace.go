@@ -1,0 +1,69 @@
+package wire
+
+// The trace trailer: a tiny optional annotation appended after a frame
+// body ('U', 'B', 'A', or 'M') so that live-tracing spans survive process
+// boundaries — a CE daemon that receives an annotated update knows the
+// DM-side emit timestamp, and an AD daemon that receives an annotated
+// alert frame can relate its displayer verdicts to the update's origin.
+//
+// Layout: tag byte 'T', one flag byte, and a big-endian 8-byte origin
+// timestamp in Unix nanoseconds — 10 bytes total, flat cost per frame (not
+// per item), so an annotated 64KB batch datagram pays the same 10 bytes as
+// a single update.
+//
+// Backward and forward compatibility fall out of the existing decode
+// convention: every frame decoder returns its trailing bytes, and
+// receivers historically required len(rest) == 0. New receivers instead
+// call TakeTrace on the rest — an empty rest or one that does not start
+// with 'T' is simply "no annotation" (ok=false), so frames from old
+// senders decode unchanged; old receivers reject annotated frames the
+// same way they reject any other trailing garbage, which is why tracing
+// annotation is opt-in per sender and off by default.
+
+import "encoding/binary"
+
+// tagTrace marks a trace trailer after a frame body.
+const tagTrace byte = 'T'
+
+// TraceFlagSampled marks a frame whose lineage the sender is tracing; it
+// is the only flag currently assigned, the remaining bits are reserved.
+const TraceFlagSampled byte = 1 << 0
+
+// TraceLen is the encoded size of a trace trailer in bytes.
+const TraceLen = 1 + 1 + 8
+
+// Trace is the decoded trailer annotation.
+type Trace struct {
+	// Flags carries TraceFlag* bits.
+	Flags byte
+	// Origin is the sender-side emit timestamp in Unix nanoseconds (zero
+	// when the sender did not know it).
+	Origin int64
+}
+
+// Sampled reports whether the TraceFlagSampled bit is set.
+func (t Trace) Sampled() bool { return t.Flags&TraceFlagSampled != 0 }
+
+// AppendTrace appends the trailer encoding of t to dst.
+func AppendTrace(dst []byte, t Trace) []byte {
+	dst = append(dst, tagTrace, t.Flags)
+	return binary.BigEndian.AppendUint64(dst, uint64(t.Origin))
+}
+
+// TakeTrace consumes an optional trace trailer from the front of b
+// (normally a frame decoder's trailing bytes). An empty b, or one that
+// does not start with the trailer tag, is not an error — it returns
+// ok=false with rest=b untouched, which is how frames from senders that
+// do not annotate keep decoding. A buffer that starts the trailer but
+// truncates it is corrupt and returns an error.
+func TakeTrace(b []byte) (t Trace, ok bool, rest []byte, err error) {
+	if len(b) == 0 || b[0] != tagTrace {
+		return Trace{}, false, b, nil
+	}
+	if len(b) < TraceLen {
+		return Trace{}, false, nil, errf("truncated trace trailer (want %d bytes, have %d)", TraceLen, len(b))
+	}
+	t.Flags = b[1]
+	t.Origin = int64(binary.BigEndian.Uint64(b[2:]))
+	return t, true, b[TraceLen:], nil
+}

@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"condmon/internal/event"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	want := Trace{Flags: TraceFlagSampled, Origin: 1700000000123456789}
+	b := AppendTrace(nil, want)
+	if len(b) != TraceLen {
+		t.Fatalf("encoded trailer is %d bytes, want %d", len(b), TraceLen)
+	}
+	got, ok, rest, err := TakeTrace(b)
+	if err != nil || !ok {
+		t.Fatalf("TakeTrace: ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Errorf("round trip = %+v, want %+v", got, want)
+	}
+	if len(rest) != 0 {
+		t.Errorf("trailing bytes: %d", len(rest))
+	}
+	if !got.Sampled() {
+		t.Error("Sampled() = false on a sampled trailer")
+	}
+}
+
+// The opt-in contract: bytes that do not start a trailer are "no
+// annotation", returned untouched — this is how frames from senders that
+// do not annotate keep decoding through TakeTrace.
+func TestTakeTraceAbsent(t *testing.T) {
+	for _, b := range [][]byte{nil, {}, {0xEE, 0x01}, []byte("U...")} {
+		tr, ok, rest, err := TakeTrace(b)
+		if err != nil {
+			t.Errorf("TakeTrace(%v): unexpected error %v", b, err)
+		}
+		if ok || tr != (Trace{}) {
+			t.Errorf("TakeTrace(%v): ok=%v trace=%+v, want absent", b, ok, tr)
+		}
+		if !bytes.Equal(rest, b) {
+			t.Errorf("TakeTrace(%v): rest=%v, want input untouched", b, rest)
+		}
+	}
+}
+
+// A buffer that starts a trailer but truncates it is corrupt, not absent.
+func TestTakeTraceTruncated(t *testing.T) {
+	full := AppendTrace(nil, Trace{Flags: TraceFlagSampled, Origin: 42})
+	for cut := 1; cut < TraceLen; cut++ {
+		if _, ok, _, err := TakeTrace(full[:cut]); err == nil || ok {
+			t.Errorf("TakeTrace(%d-byte prefix): ok=%v err=%v, want error", cut, ok, err)
+		}
+	}
+}
+
+// Mixed old/new decoding of annotated frames. Every frame decoder returns
+// its trailing bytes, so:
+//
+//   - an annotated frame decodes identically through the old decoder, which
+//     surfaces the 10 trailer bytes as rest — an old receiver that requires
+//     len(rest) == 0 rejects it (annotation is opt-in per sender for
+//     exactly this reason), while a new receiver hands rest to TakeTrace;
+//   - an un-annotated frame flows through TakeTrace as "no annotation".
+func TestAnnotatedFrameDecoding(t *testing.T) {
+	origin := int64(1234567890)
+	ann := Trace{Flags: TraceFlagSampled, Origin: origin}
+
+	t.Run("update", func(t *testing.T) {
+		u := event.U("x", 7, 2500)
+		plain, err := EncodeUpdate(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		framed := AppendTrace(plain, ann)
+		got, rest, err := DecodeUpdate(framed)
+		if err != nil {
+			t.Fatalf("DecodeUpdate(annotated): %v", err)
+		}
+		if got != u {
+			t.Errorf("decoded %v, want %v", got, u)
+		}
+		if len(rest) != TraceLen { // what an old strict receiver would reject
+			t.Fatalf("rest is %d bytes, want the %d-byte trailer", len(rest), TraceLen)
+		}
+		tr, ok, rest, err := TakeTrace(rest)
+		if err != nil || !ok || tr.Origin != origin || len(rest) != 0 {
+			t.Errorf("TakeTrace: trace=%+v ok=%v rest=%d err=%v", tr, ok, len(rest), err)
+		}
+	})
+
+	t.Run("batch", func(t *testing.T) {
+		us := []event.Update{event.U("x", 1, 10), event.U("x", 2, 20)}
+		plain, err := EncodeBatch("x", us)
+		if err != nil {
+			t.Fatal(err)
+		}
+		framed := AppendTrace(plain, ann)
+		batch, itemErrs, rest, err := DecodeBatch(framed)
+		if err != nil || len(itemErrs) != 0 {
+			t.Fatalf("DecodeBatch(annotated): %v %v", err, itemErrs)
+		}
+		if len(batch.Updates) != 2 {
+			t.Errorf("decoded %d updates, want 2", len(batch.Updates))
+		}
+		tr, ok, rest, err := TakeTrace(rest)
+		if err != nil || !ok || tr.Origin != origin || len(rest) != 0 {
+			t.Errorf("TakeTrace: trace=%+v ok=%v rest=%d err=%v", tr, ok, len(rest), err)
+		}
+	})
+
+	t.Run("alert", func(t *testing.T) {
+		a := sampleAlert()
+		plain, err := EncodeAlert(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		framed := AppendTrace(plain, ann)
+		_, rest, err := DecodeAlert(framed)
+		if err != nil {
+			t.Fatalf("DecodeAlert(annotated): %v", err)
+		}
+		tr, ok, rest, err := TakeTrace(rest)
+		if err != nil || !ok || tr.Origin != origin || len(rest) != 0 {
+			t.Errorf("TakeTrace: trace=%+v ok=%v rest=%d err=%v", tr, ok, len(rest), err)
+		}
+	})
+
+	t.Run("mux", func(t *testing.T) {
+		plain, err := EncodeMux(3, []event.Alert{sampleAlert()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		framed := AppendTrace(plain, Trace{Flags: TraceFlagSampled}) // mux frames carry no origin
+		m, itemErrs, rest, err := DecodeMux(framed)
+		if err != nil || len(itemErrs) != 0 {
+			t.Fatalf("DecodeMux(annotated): %v %v", err, itemErrs)
+		}
+		if m.Stream != 3 || len(m.Alerts) != 1 {
+			t.Errorf("decoded stream=%d alerts=%d, want 3/1", m.Stream, len(m.Alerts))
+		}
+		tr, ok, rest, err := TakeTrace(rest)
+		if err != nil || !ok || !tr.Sampled() || tr.Origin != 0 || len(rest) != 0 {
+			t.Errorf("TakeTrace: trace=%+v ok=%v rest=%d err=%v", tr, ok, len(rest), err)
+		}
+	})
+
+	t.Run("un-annotated", func(t *testing.T) {
+		plain, err := EncodeUpdate(event.U("x", 1, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rest, err := DecodeUpdate(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, rest, err := TakeTrace(rest); err != nil || ok || len(rest) != 0 {
+			t.Errorf("un-annotated frame through TakeTrace: ok=%v rest=%d err=%v", ok, len(rest), err)
+		}
+	})
+}
