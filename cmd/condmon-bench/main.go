@@ -10,6 +10,11 @@
 // Experiments: table1 table2 table-ad3 table-ad4 table3 table-ad6
 // domination benefit tradeoff maximality table1-3ce replicas downtime all
 // (default: all).
+//
+// With -perf the paper experiments are skipped and the hot-path
+// measurement scenarios run instead; -scenario filters them by name
+// (CEFeed DSLEval Filters MultiSystem Backlink MillionConditions) and
+// -scale sizes the MillionConditions engine.
 package main
 
 import (
@@ -39,6 +44,8 @@ func run(args []string, out io.Writer) error {
 		lossP  = fs.Float64("loss", 0.3, "per-update front-link drop probability in lossy rows")
 		asCSV  = fs.Bool("csv", false, "emit curve experiments (benefit, tradeoff, replicas, downtime) as CSV")
 		perf   = fs.Bool("perf", false, "measure hot-path micro-benchmarks and emit JSON (see BENCH_PR1.json); skips the paper experiments")
+		scen   = fs.String("scenario", "", "with -perf, comma-separated scenario filter: CEFeed DSLEval Filters MultiSystem Backlink MillionConditions all (default: all but MillionConditions)")
+		scale  = fs.Int("scale", 1_000_000, "with -perf -scenario MillionConditions, how many conditions to register")
 		maddr  = fs.String("metrics", "", "with -perf, attach pipeline counters to the MultiSystem runs and serve /metrics and /debug/pprof/ on this address afterwards")
 		hold   = fs.Duration("hold", 30*time.Second, "how long to keep the -metrics endpoint up after measuring")
 	)
@@ -46,10 +53,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *perf {
-		return runPerf(out, *maddr, *hold)
+		return runPerf(out, *maddr, *hold, *scen, *scale)
 	}
 	if *maddr != "" {
 		return fmt.Errorf("-metrics requires -perf (the paper experiments are pure and carry no counters)")
+	}
+	if *scen != "" {
+		return fmt.Errorf("-scenario requires -perf (the paper experiments are selected by name: condmon-bench table1 ...)")
 	}
 	cfg := exp.Config{Seed: *seed, Trials: *trials, StreamLen: *length, LossP: *lossP}
 

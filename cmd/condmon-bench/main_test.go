@@ -63,6 +63,80 @@ func TestRunMetricsRequiresPerf(t *testing.T) {
 	}
 }
 
+func TestRunScenarioRequiresPerf(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "Filters", "table1"}, &out); err == nil {
+		t.Error("-scenario without -perf should fail")
+	}
+}
+
+func TestParseScenarios(t *testing.T) {
+	def, err := parseScenarios("")
+	if err != nil {
+		t.Fatalf("default spec: %v", err)
+	}
+	if def["millionconditions"] {
+		t.Error("default selection must exclude MillionConditions")
+	}
+	for _, want := range []string{"cefeed", "dsleval", "filters", "multisystem", "backlink"} {
+		if !def[want] {
+			t.Errorf("default selection missing %s", want)
+		}
+	}
+	all, err := parseScenarios("all")
+	if err != nil {
+		t.Fatalf("all: %v", err)
+	}
+	if !all["millionconditions"] {
+		t.Error("\"all\" must include MillionConditions")
+	}
+	sub, err := parseScenarios("Filters, millionconditions")
+	if err != nil {
+		t.Fatalf("subset spec: %v", err)
+	}
+	if len(sub) != 2 || !sub["filters"] || !sub["millionconditions"] {
+		t.Errorf("subset selection = %v, want filters+millionconditions", sub)
+	}
+	if _, err := parseScenarios("Filters,nosuch"); err == nil ||
+		!strings.Contains(err.Error(), "unknown scenario") ||
+		!strings.Contains(err.Error(), "MillionConditions") {
+		t.Errorf("unknown name: err = %v, want unknown-scenario error listing scenarios", err)
+	}
+	if _, err := parseScenarios(" , "); err == nil {
+		t.Error("blank list should fail")
+	}
+}
+
+// A scaled-down MillionConditions run must produce internally consistent
+// numbers: positive rates, a baseline no larger than the scale, and a
+// spike that fired the low end of the threshold index (at scale 200 with
+// 8 variables, conditions 0,8,...,192 watch m0 and all sit below the
+// spike value — 25 displayed alerts).
+func TestMillionRunScaledDown(t *testing.T) {
+	res, err := millionRun(200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conditions != 200 || res.BaselineConditions != 200 {
+		t.Errorf("conditions = %d/%d, want 200/200", res.Conditions, res.BaselineConditions)
+	}
+	if res.RegisterPerSec <= 0 || res.ChurnOpsPerSec <= 0 {
+		t.Errorf("non-positive rates: register %v, churn %v", res.RegisterPerSec, res.ChurnOpsPerSec)
+	}
+	if res.NsPerUpdate <= 0 || res.BaselineNsPerUpdate <= 0 {
+		t.Errorf("non-positive latency: %v vs %v", res.NsPerUpdate, res.BaselineNsPerUpdate)
+	}
+	if res.SpikeDisplayed != 25 {
+		t.Errorf("SpikeDisplayed = %d, want 25", res.SpikeDisplayed)
+	}
+}
+
+func TestMillionRunRejectsBadScale(t *testing.T) {
+	if _, err := millionRun(0, nil); err == nil {
+		t.Error("scale 0 should fail")
+	}
+}
+
 // A metered throughput run must leave reconciled counters behind: what the
 // DMs emitted either crossed each front link or was dropped on it.
 func TestMultiThroughputWithMetrics(t *testing.T) {

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -41,9 +42,60 @@ type perfReport struct {
 	Go          string                      `json:"go"`
 	GOOS        string                      `json:"goos"`
 	GOARCH      string                      `json:"goarch"`
-	Benchmarks  map[string]perfResult       `json:"benchmarks"`
-	MultiSystem map[string]throughputResult `json:"multi_system"`
-	Backlink    map[string]backlinkResult   `json:"backlink"`
+	Benchmarks  map[string]perfResult       `json:"benchmarks,omitempty"`
+	MultiSystem map[string]throughputResult `json:"multi_system,omitempty"`
+	Backlink    map[string]backlinkResult   `json:"backlink,omitempty"`
+	Million     map[string]millionResult    `json:"million_conditions,omitempty"`
+}
+
+// perfScenarios names the -scenario groups in canonical order. The
+// default run (empty -scenario) covers every group except
+// MillionConditions: building a million-condition engine is a deliberate
+// act, opted into by name.
+var perfScenarios = []string{
+	"CEFeed", "DSLEval", "Filters", "MultiSystem", "Backlink", "MillionConditions",
+}
+
+// parseScenarios resolves a comma-separated, case-insensitive -scenario
+// list into the selected set (keys lower-cased). An empty spec selects
+// the default set; "all" selects every group including MillionConditions;
+// unknown names are rejected with the full scenario list.
+func parseScenarios(spec string) (map[string]bool, error) {
+	sel := make(map[string]bool, len(perfScenarios))
+	all := func() {
+		for _, s := range perfScenarios {
+			sel[strings.ToLower(s)] = true
+		}
+	}
+	if strings.TrimSpace(spec) == "" {
+		all()
+		delete(sel, "millionconditions")
+		return sel, nil
+	}
+	known := map[string]bool{"all": true}
+	for _, s := range perfScenarios {
+		known[strings.ToLower(s)] = true
+	}
+	for _, w := range strings.Split(spec, ",") {
+		w = strings.ToLower(strings.TrimSpace(w))
+		if w == "" {
+			continue
+		}
+		if !known[w] {
+			return nil, fmt.Errorf("unknown scenario %q (known: %s, all)",
+				w, strings.Join(perfScenarios, " "))
+		}
+		if w == "all" {
+			all()
+			continue
+		}
+		sel[w] = true
+	}
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("empty -scenario list (known: %s, all)",
+			strings.Join(perfScenarios, " "))
+	}
+	return sel, nil
 }
 
 // throughputResult is one MultiSystemThroughput run: a thousand-condition
@@ -194,89 +246,115 @@ func multiThroughput(batchSize, conditions, total int, reg *obs.Registry, tr *ob
 	return res, nil
 }
 
-// runPerf measures the hot paths and emits the JSON report on out. With a
-// non-empty metricsAddr the MultiSystem runs carry pipeline counters and
-// the registry is served over HTTP for the hold duration afterwards (the
-// serving notice goes to stderr so out stays valid JSON).
-func runPerf(out io.Writer, metricsAddr string, hold time.Duration) error {
+// runPerf measures the hot paths selected by the -scenario spec and
+// emits the JSON report on out. With a non-empty metricsAddr the
+// MultiSystem and MillionConditions runs carry pipeline counters and the
+// registry is served over HTTP for the hold duration afterwards (the
+// serving notice goes to stderr so out stays valid JSON). scale sets the
+// MillionConditions condition count.
+func runPerf(out io.Writer, metricsAddr string, hold time.Duration, scenarios string, scale int) error {
+	sel, err := parseScenarios(scenarios)
+	if err != nil {
+		return err
+	}
 	var reg *obs.Registry
 	if metricsAddr != "" {
 		reg = obs.NewRegistry()
 	}
-	merged, err := filterStream()
-	if err != nil {
-		return err
-	}
 	report := perfReport{
-		Go:         runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		Benchmarks: map[string]perfResult{},
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
 	}
-	report.Benchmarks["CEFeed"] = measure(feedBench(cond.NewRiseAggressive("x"), nil))
-	// The same path with the flight recorder attached: the tracing-on
-	// overhead BENCH_PR5.json records next to the tracing-off pin.
-	report.Benchmarks["CEFeed/traced"] = measure(feedBench(
-		cond.NewRiseAggressive("x"), obs.NewTracer(obs.DefaultTraceCap)))
-	report.Benchmarks["DSLEval"] = measure(feedBench(
-		cond.MustParse("c3", "x[0] - x[-1] > 200 && consecutive(x)"), nil))
-	filters := []struct {
-		name string
-		mk   func() ad.Filter
-	}{
-		{"Filters/AD-1", func() ad.Filter { return ad.NewAD1() }},
-		{"Filters/AD-2", func() ad.Filter { return ad.NewAD2("x") }},
-		{"Filters/AD-3", func() ad.Filter { return ad.NewAD3("x") }},
-		{"Filters/AD-4", func() ad.Filter { return ad.NewAD4("x") }},
+	if sel["cefeed"] || sel["dsleval"] || sel["filters"] {
+		report.Benchmarks = map[string]perfResult{}
 	}
-	for _, f := range filters {
-		mk := f.mk
-		report.Benchmarks[f.name] = measure(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				ad.Run(mk(), merged)
+	if sel["cefeed"] {
+		report.Benchmarks["CEFeed"] = measure(feedBench(cond.NewRiseAggressive("x"), nil))
+		// The same path with the flight recorder attached: the tracing-on
+		// overhead BENCH_PR5.json records next to the tracing-off pin.
+		report.Benchmarks["CEFeed/traced"] = measure(feedBench(
+			cond.NewRiseAggressive("x"), obs.NewTracer(obs.DefaultTraceCap)))
+	}
+	if sel["dsleval"] {
+		report.Benchmarks["DSLEval"] = measure(feedBench(
+			cond.MustParse("c3", "x[0] - x[-1] > 200 && consecutive(x)"), nil))
+	}
+	if sel["filters"] {
+		merged, err := filterStream()
+		if err != nil {
+			return err
+		}
+		filters := []struct {
+			name string
+			mk   func() ad.Filter
+		}{
+			{"Filters/AD-1", func() ad.Filter { return ad.NewAD1() }},
+			{"Filters/AD-2", func() ad.Filter { return ad.NewAD2("x") }},
+			{"Filters/AD-3", func() ad.Filter { return ad.NewAD3("x") }},
+			{"Filters/AD-4", func() ad.Filter { return ad.NewAD4("x") }},
+		}
+		for _, f := range filters {
+			mk := f.mk
+			report.Benchmarks[f.name] = measure(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ad.Run(mk(), merged)
+				}
+			})
+		}
+	}
+
+	if sel["multisystem"] {
+		report.MultiSystem = map[string]throughputResult{}
+		for _, m := range []struct {
+			key    string
+			batch  int
+			traced bool
+		}{
+			{"MultiSystemThroughput/per_update", 1, false},
+			{"MultiSystemThroughput/batched", 256, false},
+			{"MultiSystemThroughput/adaptive", 0, false},
+			{"MultiSystemThroughput/adaptive_traced", 0, true},
+		} {
+			var tr *obs.Tracer
+			if m.traced {
+				tr = obs.NewTracer(obs.DefaultTraceCap)
 			}
-		})
+			res, err := multiThroughput(m.batch, 1000, 20000, reg, tr)
+			if err != nil {
+				return fmt.Errorf("%s: %w", m.key, err)
+			}
+			report.MultiSystem[m.key] = res
+		}
 	}
 
-	report.MultiSystem = map[string]throughputResult{}
-	for _, m := range []struct {
-		key    string
-		batch  int
-		traced bool
-	}{
-		{"MultiSystemThroughput/per_update", 1, false},
-		{"MultiSystemThroughput/batched", 256, false},
-		{"MultiSystemThroughput/adaptive", 0, false},
-		{"MultiSystemThroughput/adaptive_traced", 0, true},
-	} {
-		var tr *obs.Tracer
-		if m.traced {
-			tr = obs.NewTracer(obs.DefaultTraceCap)
+	if sel["backlink"] {
+		// The back-link fan-in scenario: 1000 conditions × 2 CE replicas =
+		// 2000 alert streams, carried either on 2000 dedicated connections
+		// or on one shared multiplexed connection.
+		report.Backlink = map[string]backlinkResult{}
+		for _, m := range []struct {
+			key    string
+			shared bool
+		}{
+			{"BacklinkFanIn/dedicated", false},
+			{"BacklinkFanIn/mux", true},
+		} {
+			res, err := backlinkThroughput(m.shared, 2000, 50)
+			if err != nil {
+				return fmt.Errorf("%s: %w", m.key, err)
+			}
+			report.Backlink[m.key] = res
 		}
-		res, err := multiThroughput(m.batch, 1000, 20000, reg, tr)
-		if err != nil {
-			return fmt.Errorf("%s: %w", m.key, err)
-		}
-		report.MultiSystem[m.key] = res
 	}
 
-	// The back-link fan-in scenario: 1000 conditions × 2 CE replicas = 2000
-	// alert streams, carried either on 2000 dedicated connections or on one
-	// shared multiplexed connection.
-	report.Backlink = map[string]backlinkResult{}
-	for _, m := range []struct {
-		key    string
-		shared bool
-	}{
-		{"BacklinkFanIn/dedicated", false},
-		{"BacklinkFanIn/mux", true},
-	} {
-		res, err := backlinkThroughput(m.shared, 2000, 50)
+	if sel["millionconditions"] {
+		res, err := millionRun(scale, reg)
 		if err != nil {
-			return fmt.Errorf("%s: %w", m.key, err)
+			return fmt.Errorf("MillionConditions: %w", err)
 		}
-		report.Backlink[m.key] = res
+		report.Million = map[string]millionResult{"MillionConditions": res}
 	}
 
 	// encoding/json sorts map keys, so the output is diff-friendly.

@@ -178,10 +178,32 @@ func (f *AD2) Accept(a event.Alert) { f.last = a.MustSeqNo(f.varName) }
 // (without it, a late-arriving duplicate re-displays an old sequence
 // number).
 type AD3 struct {
-	vars     []event.VarName
-	received map[event.VarName]seq.Set
-	missed   map[event.VarName]seq.Set
-	seen     map[string]struct{}
+	// rm holds one Received/Missed pair per variable, in construction
+	// order. A slice (scanned linearly — filters watch one or two
+	// variables) replaces the two per-variable maps of the original
+	// layout, and the sets inside are created on first Accept: building a
+	// filter costs two allocations instead of seven, which is what a
+	// registry churning thousands of registrations per second pays.
+	rm []recvMiss
+	// seen is the exact-duplicate index, also created on first Accept.
+	seen map[string]struct{}
+}
+
+// recvMiss is one variable's consistency state: the updates displayed
+// alerts assert were received, and the spanning-set gaps they assert were
+// missed. Nil sets behave as empty (seq.Set lookups on a nil map miss);
+// ensure materializes them before the first mutation.
+type recvMiss struct {
+	v        event.VarName
+	received seq.Set
+	missed   seq.Set
+}
+
+func (e *recvMiss) ensure() {
+	if e.received == nil {
+		e.received = make(seq.Set)
+		e.missed = make(seq.Set)
+	}
 }
 
 var _ Filter = (*AD3)(nil)
@@ -190,15 +212,9 @@ var _ Filter = (*AD3)(nil)
 // single-variable algorithm of Figure A-3, several for the multi-variable
 // extension).
 func NewAD3(vars ...event.VarName) *AD3 {
-	f := &AD3{
-		vars:     vars,
-		received: make(map[event.VarName]seq.Set, len(vars)),
-		missed:   make(map[event.VarName]seq.Set, len(vars)),
-		seen:     make(map[string]struct{}),
-	}
-	for _, v := range vars {
-		f.received[v] = make(seq.Set)
-		f.missed[v] = make(seq.Set)
+	f := &AD3{rm: make([]recvMiss, len(vars))}
+	for i, v := range vars {
+		f.rm[i].v = v
 	}
 	return f
 }
@@ -206,20 +222,37 @@ func NewAD3(vars ...event.VarName) *AD3 {
 // Name implements Filter.
 func (f *AD3) Name() string { return "AD-3" }
 
+// varNames returns the watched variables in construction order (cold paths:
+// snapshots and diagnostics).
+func (f *AD3) varNames() []event.VarName {
+	vars := make([]event.VarName, len(f.rm))
+	for i := range f.rm {
+		vars[i] = f.rm[i].v
+	}
+	return vars
+}
+
 // Test implements Filter: exact-duplicate removal plus the Conflicts(H)
 // predicate of Figure A-3.
 func (f *AD3) Test(a event.Alert) bool {
 	if _, dup := f.seen[a.Key()]; dup {
 		return false
 	}
-	for _, v := range f.vars {
-		h, ok := a.Histories[v]
+	return !f.conflicts(a)
+}
+
+// conflicts is the Conflicts(H) predicate over every watched variable; a
+// missing history also conflicts (the alert does not cover the filter).
+func (f *AD3) conflicts(a event.Alert) bool {
+	for i := range f.rm {
+		e := &f.rm[i]
+		h, ok := a.Histories[e.v]
 		if !ok {
-			return false
+			return true
 		}
-		if conflict, fast := f.conflictsInOrder(v, h); fast {
+		if conflict, fast := e.conflictsInOrder(h); fast {
 			if conflict {
-				return false
+				return true
 			}
 			continue
 		}
@@ -228,19 +261,19 @@ func (f *AD3) Test(a event.Alert) bool {
 		win := h.SeqNosAscending().Set()
 		// "foreach sequence number s in Hx: if (s in Missed) return True".
 		for s := range win {
-			if f.missed[v].Contains(s) {
-				return false
+			if e.missed.Contains(s) {
+				return true
 			}
 		}
 		// "foreach s in SpanningSet(Hx): if (s not in Hx AND s in Received)
 		// return True".
 		for s := range seq.SpanningSet(win) {
-			if !win.Contains(s) && f.received[v].Contains(s) {
-				return false
+			if !win.Contains(s) && e.received.Contains(s) {
+				return true
 			}
 		}
 	}
-	return true
+	return false
 }
 
 // conflictsInOrder is the Conflicts(H) predicate specialized for histories
@@ -250,9 +283,8 @@ func (f *AD3) Test(a event.Alert) bool {
 // sets: the steady-state Offer allocates nothing. fast is false when the
 // history violates the ordering invariant and the caller must take the
 // general set-based path.
-func (f *AD3) conflictsInOrder(v event.VarName, h event.History) (conflict, fast bool) {
+func (e *recvMiss) conflictsInOrder(h event.History) (conflict, fast bool) {
 	rec := h.Recent // newest first
-	missed, received := f.missed[v], f.received[v]
 	var prev int64
 	for i := len(rec) - 1; i >= 0; i-- {
 		s := rec[i].SeqNo
@@ -262,12 +294,12 @@ func (f *AD3) conflictsInOrder(v event.VarName, h event.History) (conflict, fast
 			}
 			// The gaps (prev, s) are exactly SpanningSet(Hx) ∖ Hx.
 			for g := prev + 1; g < s; g++ {
-				if received.Contains(g) {
+				if e.received.Contains(g) {
 					return true, true
 				}
 			}
 		}
-		if missed.Contains(s) {
+		if e.missed.Contains(s) {
 			return true, true
 		}
 		prev = s
@@ -277,53 +309,108 @@ func (f *AD3) conflictsInOrder(v event.VarName, h event.History) (conflict, fast
 
 // Accept implements Filter: the UpdateState(H) procedure of Figure A-3.
 func (f *AD3) Accept(a event.Alert) {
+	if f.seen == nil {
+		f.seen = make(map[string]struct{})
+	}
 	f.seen[a.Key()] = struct{}{}
-	for _, v := range f.vars {
-		if f.updateInOrder(v, a.Histories[v]) {
+	for i := range f.rm {
+		e := &f.rm[i]
+		e.ensure()
+		if e.updateInOrder(a.Histories[e.v]) {
 			continue
 		}
-		win := a.Histories[v].SeqNosAscending().Set()
+		win := a.Histories[e.v].SeqNosAscending().Set()
 		for s := range win {
-			f.received[v].Add(s)
+			e.received.Add(s)
 		}
 		for s := range seq.SpanningSet(win) {
 			if !win.Contains(s) {
-				f.missed[v].Add(s)
+				e.missed.Add(s)
 			}
 		}
 	}
 }
 
+// testAndSet fuses the duplicate probe of Test with the insert of Accept:
+// one map operation instead of a lookup followed by an insert. State after
+// the call is identical to the two-phase sequence — a conflicting alert's
+// key is backed out, so only displayed alerts are remembered.
+func (f *AD3) testAndSet(a event.Alert) bool {
+	if f.seen == nil {
+		f.seen = make(map[string]struct{})
+	}
+	before := len(f.seen)
+	key := a.Key()
+	f.seen[key] = struct{}{}
+	if len(f.seen) == before {
+		return false // exact duplicate
+	}
+	if f.conflicts(a) {
+		delete(f.seen, key)
+		return false
+	}
+	for i := range f.rm {
+		e := &f.rm[i]
+		e.ensure()
+		if e.updateInOrder(a.Histories[e.v]) {
+			continue
+		}
+		win := a.Histories[e.v].SeqNosAscending().Set()
+		for s := range win {
+			e.received.Add(s)
+		}
+		for s := range seq.SpanningSet(win) {
+			if !win.Contains(s) {
+				e.missed.Add(s)
+			}
+		}
+	}
+	return true
+}
+
 // updateInOrder is UpdateState(H) specialized like conflictsInOrder; it
 // reports false (having changed nothing) when the history is not strictly
 // in order.
-func (f *AD3) updateInOrder(v event.VarName, h event.History) bool {
+func (e *recvMiss) updateInOrder(h event.History) bool {
 	rec := h.Recent
 	for i := len(rec) - 1; i > 0; i-- {
 		if rec[i].SeqNo >= rec[i-1].SeqNo {
 			return false
 		}
 	}
-	missed, received := f.missed[v], f.received[v]
 	var prev int64
 	for i := len(rec) - 1; i >= 0; i-- {
 		s := rec[i].SeqNo
 		if i < len(rec)-1 {
 			for g := prev + 1; g < s; g++ {
-				missed.Add(g)
+				e.missed.Add(g)
 			}
 		}
-		received.Add(s)
+		e.received.Add(s)
 		prev = s
 	}
 	return true
 }
 
+// entry returns the consistency state for v, or nil when unwatched.
+func (f *AD3) entry(v event.VarName) *recvMiss {
+	for i := range f.rm {
+		if f.rm[i].v == v {
+			return &f.rm[i]
+		}
+	}
+	return nil
+}
+
 // Received returns a copy of the Received set for v — the witness U′ used
 // in the proof of Theorem 7 and by the consistency checker.
 func (f *AD3) Received(v event.VarName) seq.Set {
-	out := make(seq.Set, len(f.received[v]))
-	for s := range f.received[v] {
+	e := f.entry(v)
+	if e == nil {
+		return make(seq.Set)
+	}
+	out := make(seq.Set, len(e.received))
+	for s := range e.received {
 		out.Add(s)
 	}
 	return out
@@ -331,8 +418,12 @@ func (f *AD3) Received(v event.VarName) seq.Set {
 
 // Missed returns a copy of the Missed set for v.
 func (f *AD3) Missed(v event.VarName) seq.Set {
-	out := make(seq.Set, len(f.missed[v]))
-	for s := range f.missed[v] {
+	e := f.entry(v)
+	if e == nil {
+		return make(seq.Set)
+	}
+	out := make(seq.Set, len(e.missed))
+	for s := range e.missed {
 		out.Add(s)
 	}
 	return out

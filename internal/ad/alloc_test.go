@@ -57,6 +57,55 @@ func TestAD3SuppressedOfferZeroAllocs(t *testing.T) {
 	}
 }
 
+// AD-3 construction is on the registry's churn path: a dynamic engine
+// builds one filter per registration, thousands per second under churn.
+// With the slice-backed Received/Missed layout and lazily created sets,
+// NewAD3 costs two allocations (the filter and its per-variable slice) —
+// the pin includes a third for the variadic argument slice.
+func TestAD3ConstructionAllocs(t *testing.T) {
+	if allocs := testing.AllocsPerRun(500, func() {
+		f := NewAD3("x")
+		if f.Name() != "AD-3" {
+			t.Fatal("wrong filter")
+		}
+	}); allocs > 3 {
+		t.Errorf("NewAD3: %v allocs/op, want ≤ 3", allocs)
+	}
+}
+
+// The first displayed alert pays the deferred set/map construction; after
+// that, an accepted in-order alert costs only map inserts. Pin the
+// steady-state accept path too: extending Received by one consecutive
+// seqno must not allocate once the maps have grown to capacity.
+func TestAD3AcceptSteadyStateAllocs(t *testing.T) {
+	f := NewAD3("x")
+	// Warm up: grow the seen and received maps well past the test range.
+	for i := int64(1); i <= 512; i++ {
+		a := event.NewAlert("c", event.HistorySet{
+			"x": {Var: "x", Recent: []event.Update{event.U("x", i, 1)}},
+		}, "CE1")
+		if !Offer(f, a) {
+			t.Fatalf("in-order alert %d rejected", i)
+		}
+	}
+	const runs = 100
+	alerts := make([]event.Alert, 0, runs+1)
+	for i := int64(513); i <= 513+runs; i++ {
+		alerts = append(alerts, event.NewAlert("c", event.HistorySet{
+			"x": {Var: "x", Recent: []event.Update{event.U("x", i, 1)}},
+		}, "CE1"))
+	}
+	next := 0
+	if allocs := testing.AllocsPerRun(runs, func() {
+		if !Offer(f, alerts[next]) {
+			t.Fatal("in-order alert rejected")
+		}
+		next++
+	}); allocs > 1 { // amortized map growth only
+		t.Errorf("steady-state accepted Offer: %v allocs/op, want ≤ 1", allocs)
+	}
+}
+
 // The same holds for AD-4, whose Test runs AD-2 and AD-3 in sequence.
 func TestAD4SuppressedOfferZeroAllocs(t *testing.T) {
 	f := NewAD4("x")

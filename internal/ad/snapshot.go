@@ -122,15 +122,17 @@ type ad3State struct {
 
 // Snapshot implements Snapshotter.
 func (f *AD3) Snapshot() ([]byte, error) {
+	vars := f.varNames()
 	st := ad3State{
-		Vars:     f.vars,
-		Received: make(map[event.VarName][]int64, len(f.vars)),
-		Missed:   make(map[event.VarName][]int64, len(f.vars)),
+		Vars:     vars,
+		Received: make(map[event.VarName][]int64, len(vars)),
+		Missed:   make(map[event.VarName][]int64, len(vars)),
 		Seen:     setKeys(f.seen),
 	}
-	for _, v := range f.vars {
-		st.Received[v] = f.received[v].Sorted()
-		st.Missed[v] = f.missed[v].Sorted()
+	for i := range f.rm {
+		e := &f.rm[i]
+		st.Received[e.v] = e.received.Sorted()
+		st.Missed[e.v] = e.missed.Sorted()
 	}
 	return gobEncode(st)
 }
@@ -141,17 +143,18 @@ func (f *AD3) Restore(data []byte) error {
 	if err := gobDecode(data, &st); err != nil {
 		return err
 	}
-	if len(st.Vars) != len(f.vars) {
-		return fmt.Errorf("ad: restore: snapshot covers %d variables, filter has %d", len(st.Vars), len(f.vars))
+	if len(st.Vars) != len(f.rm) {
+		return fmt.Errorf("ad: restore: snapshot covers %d variables, filter has %d", len(st.Vars), len(f.rm))
 	}
-	for i, v := range f.vars {
-		if st.Vars[i] != v {
-			return fmt.Errorf("ad: restore: snapshot variable %q does not match filter variable %q", st.Vars[i], v)
+	for i := range f.rm {
+		if st.Vars[i] != f.rm[i].v {
+			return fmt.Errorf("ad: restore: snapshot variable %q does not match filter variable %q", st.Vars[i], f.rm[i].v)
 		}
 	}
-	for _, v := range f.vars {
-		f.received[v] = seq.NewSet(st.Received[v]...)
-		f.missed[v] = seq.NewSet(st.Missed[v]...)
+	for i := range f.rm {
+		e := &f.rm[i]
+		e.received = seq.NewSet(st.Received[e.v]...)
+		e.missed = seq.NewSet(st.Missed[e.v]...)
 	}
 	f.seen = keySet(st.Seen)
 	return nil

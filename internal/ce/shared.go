@@ -1,0 +1,354 @@
+package ce
+
+// Shared evaluation: one CE lane monitoring MANY conditions over ONE set of
+// per-variable history windows, instead of one Evaluator (with private
+// windows) per condition. Conditions are grouped by variable set into
+// cond.Packs — evaluated in one pass per update with a fired-member set —
+// and conditions the pack compiler cannot absorb fall back to private
+// per-condition Evaluators (the heterogeneous stragglers), fed from the
+// same update stream.
+//
+// The displayed-stream contract: for conditions registered before traffic
+// starts, a SharedEvaluator fed a delivery sequence produces, per
+// condition, exactly the alerts the per-condition Evaluators would produce
+// from the same sequence — same histories, same order. (A condition
+// registered mid-traffic instead sees the lane's warm shared windows and
+// may fire immediately, where a cold private evaluator would first have to
+// refill its windows; the registry documents this as a feature of live
+// registration.) Two mechanisms preserve the contract:
+//
+//   - Gating: a pack member is evaluated only once every shared window
+//     holds at least the member's own degree — the moment a private
+//     evaluator's windows would have filled.
+//
+//   - Truncation: a firing member's alert embeds each window's
+//     HistoryPrefix at the member's own degree, so alert identities match
+//     the private-window baseline even though the shared window is sized
+//     to the maximum degree of its readers.
+
+import (
+	"fmt"
+	"strconv"
+
+	"condmon/internal/cond"
+	"condmon/internal/event"
+)
+
+// SharedWindows is one shard-lane's update history store: a single
+// event.Window per variable, shared by every co-sharded condition reading
+// that variable, each sized to the maximum degree any reader requires.
+type SharedWindows struct {
+	wins map[event.VarName]*event.Window
+}
+
+// NewSharedWindows creates an empty store.
+func NewSharedWindows() *SharedWindows {
+	return &SharedWindows{wins: make(map[event.VarName]*event.Window)}
+}
+
+// Ensure creates the variable's window at the given degree, or widens an
+// existing one (Window.Grow) when a new reader needs deeper history.
+func (s *SharedWindows) Ensure(v event.VarName, degree int) error {
+	if w, ok := s.wins[v]; ok {
+		w.Grow(degree)
+		return nil
+	}
+	w, err := event.NewWindow(v, degree)
+	if err != nil {
+		return err
+	}
+	s.wins[v] = w
+	return nil
+}
+
+// Window returns the variable's window, or nil when untracked.
+func (s *SharedWindows) Window(v event.VarName) *event.Window { return s.wins[v] }
+
+// Push incorporates an update into the variable's shared window. It
+// reports false — one discard, observed by every reader at once — when the
+// variable is untracked or the delivery is out of order.
+func (s *SharedWindows) Push(u event.Update) bool {
+	w := s.wins[u.Var]
+	if w == nil {
+		return false
+	}
+	return w.TryPush(u)
+}
+
+// HistoryOf implements event.HistoryView over the live windows. Returned
+// histories alias window storage and are valid only until the next Push.
+func (s *SharedWindows) HistoryOf(v event.VarName) (event.History, bool) {
+	w := s.wins[v]
+	if w == nil {
+		return event.History{}, false
+	}
+	return w.Live(), true
+}
+
+// Len returns the number of tracked variables.
+func (s *SharedWindows) Len() int { return len(s.wins) }
+
+// MemberAlert is one fired condition from a shared evaluation pass. Token
+// echoes the registration token (the registry's epoch), letting the alert
+// fan-in fence alerts that were in flight when their condition was
+// unregistered.
+type MemberAlert struct {
+	Token uint64
+	Alert event.Alert
+}
+
+// Ref identifies a registered condition within a SharedEvaluator, for
+// Unregister.
+type Ref struct {
+	ps *packState
+	st *straggler
+	id int32
+}
+
+// packState is one cond.Pack plus the per-member metadata the evaluator
+// needs to emit alerts: registration tokens and per-variable degrees for
+// history truncation.
+type packState struct {
+	pack *cond.Pack
+	vars []event.VarName
+	meta map[int32]memberMeta
+}
+
+type memberMeta struct {
+	token uint64
+	// degs is the member's degree per pack variable, in vars order, used
+	// to truncate alert histories to the member's own view.
+	degs []int
+	// key is the canonical form of degs: the per-pack snapshot-cache key.
+	key string
+}
+
+// straggler is a condition outside the pack compiler's reach, evaluated by
+// a private per-condition Evaluator fed the same deliveries.
+type straggler struct {
+	ev    *Evaluator
+	token uint64
+	live  bool
+}
+
+// SharedEvaluator is one CE lane of one shard: it owns the lane's shared
+// windows and evaluates every registered condition — pack members in one
+// pass per pack, stragglers individually — against each delivered update.
+// Like Evaluator, it is not safe for concurrent use; the runtime wraps it
+// in a single goroutine.
+type SharedEvaluator struct {
+	id   string
+	wins *SharedWindows
+	// noPacks disables grouping: every condition becomes a straggler with
+	// private windows. It is the per-condition baseline the equivalence
+	// suite compares pack evaluation against.
+	noPacks bool
+
+	packs  map[string]*packState // keyed by variable-set signature
+	byVarP map[event.VarName][]*packState
+	byVarS map[event.VarName][]*straggler
+
+	nMembers    int
+	nStragglers int
+
+	fired []int32 // scratch for Pack.EvalAppend
+	m     *Metrics
+}
+
+// NewSharedEvaluator creates an empty lane evaluator with the given
+// identity ("CE1", "CE2", …); emitted alerts carry it as Source. noPacks
+// selects the per-condition baseline mode (see SharedEvaluator).
+func NewSharedEvaluator(id string, noPacks bool) (*SharedEvaluator, error) {
+	if id == "" {
+		return nil, fmt.Errorf("ce: shared evaluator id must be non-empty")
+	}
+	return &SharedEvaluator{
+		id:      id,
+		wins:    NewSharedWindows(),
+		noPacks: noPacks,
+		packs:   make(map[string]*packState),
+		byVarP:  make(map[event.VarName][]*packState),
+		byVarS:  make(map[event.VarName][]*straggler),
+	}, nil
+}
+
+// ID returns the lane identity.
+func (s *SharedEvaluator) ID() string { return s.id }
+
+// SetMetrics attaches (or detaches) shared instrumentation; straggler
+// evaluators receive the same Metrics. Call before feeding updates.
+func (s *SharedEvaluator) SetMetrics(m *Metrics) { s.m = m }
+
+// Packs returns the number of live packs.
+func (s *SharedEvaluator) Packs() int { return len(s.packs) }
+
+// PackMembers returns the number of live pack-member conditions.
+func (s *SharedEvaluator) PackMembers() int { return s.nMembers }
+
+// Stragglers returns the number of live per-condition fallback evaluators.
+func (s *SharedEvaluator) Stragglers() int { return s.nStragglers }
+
+// Windows returns the lane's shared window store.
+func (s *SharedEvaluator) Windows() *SharedWindows { return s.wins }
+
+// varsSig is the pack key: the sorted, deduplicated variable set.
+func varsSig(vars []event.VarName) string {
+	n := 0
+	for _, v := range vars {
+		n += len(v) + 1
+	}
+	b := make([]byte, 0, n)
+	for _, v := range vars {
+		b = append(b, v...)
+		b = append(b, 0)
+	}
+	return string(b)
+}
+
+// Register adds a condition to the lane under the given token. Packable
+// conditions join (or create) the pack for their variable set; everything
+// else gets a private straggler Evaluator. The returned Ref is the handle
+// for Unregister.
+func (s *SharedEvaluator) Register(c cond.Condition, token uint64) (Ref, error) {
+	if !s.noPacks && cond.Packable(c) {
+		vars := c.Vars()
+		sig := varsSig(vars)
+		ps, ok := s.packs[sig]
+		if !ok {
+			ps = &packState{
+				pack: cond.NewPack(vars...),
+				vars: vars,
+				meta: make(map[int32]memberMeta),
+			}
+		}
+		if id, added := ps.pack.Add(c); added {
+			// Size the shared windows before the pack can be evaluated.
+			for _, v := range ps.vars {
+				if err := s.wins.Ensure(v, ps.pack.Degree(v)); err != nil {
+					ps.pack.Remove(id)
+					return Ref{}, fmt.Errorf("ce: %s: register %q: %w", s.id, c.Name(), err)
+				}
+			}
+			degs := make([]int, len(ps.vars))
+			key := make([]byte, 0, 2*len(ps.vars))
+			for i, v := range ps.vars {
+				degs[i] = c.Degree(v)
+				key = strconv.AppendInt(key, int64(degs[i]), 10)
+				key = append(key, ',')
+			}
+			ps.meta[id] = memberMeta{token: token, degs: degs, key: string(key)}
+			if !ok {
+				s.packs[sig] = ps
+				for _, v := range ps.vars {
+					s.byVarP[v] = append(s.byVarP[v], ps)
+				}
+			}
+			s.nMembers++
+			return Ref{ps: ps, id: id}, nil
+		}
+		// The pack declined (e.g. duplicated variables in the set); fall
+		// through to a straggler.
+	}
+	ev, err := New(s.id, c)
+	if err != nil {
+		return Ref{}, err
+	}
+	ev.SetMetrics(s.m)
+	st := &straggler{ev: ev, token: token, live: true}
+	for _, v := range c.Vars() {
+		s.byVarS[v] = append(s.byVarS[v], st)
+	}
+	s.nStragglers++
+	return Ref{st: st}, nil
+}
+
+// Unregister removes a previously registered condition. The lane stops
+// evaluating it immediately; its shared windows persist (degrees never
+// shrink) so remaining readers are unaffected. Unregistering a zero or
+// stale Ref is a no-op.
+func (s *SharedEvaluator) Unregister(r Ref) {
+	switch {
+	case r.ps != nil:
+		if _, ok := r.ps.meta[r.id]; !ok {
+			return
+		}
+		r.ps.pack.Remove(r.id)
+		delete(r.ps.meta, r.id)
+		s.nMembers--
+	case r.st != nil && r.st.live:
+		r.st.live = false
+		for _, v := range r.st.ev.Condition().Vars() {
+			list := s.byVarS[v]
+			for i, st := range list {
+				if st == r.st {
+					s.byVarS[v] = append(list[:i], list[i+1:]...)
+					break
+				}
+			}
+		}
+		s.nStragglers--
+	}
+}
+
+// Feed delivers one update to the lane: one shared-window push, one
+// evaluation pass per pack reading the variable, one private Feed per
+// straggler reading it. Alerts of every firing condition are appended to
+// out in registration order (per pack, then stragglers). Evaluation errors
+// do not stop the pass; the first is returned at the end.
+func (s *SharedEvaluator) Feed(u event.Update, out []MemberAlert) ([]MemberAlert, error) {
+	var firstErr error
+	if w := s.wins.Window(u.Var); w != nil {
+		if w.TryPush(u) {
+			s.m.incFed()
+			for _, ps := range s.byVarP[u.Var] {
+				// snaps caches one truncated HistorySet per distinct degree
+				// signature within this (update, pack); members of equal
+				// degrees share the same immutable snapshot (alerts never
+				// mutate histories).
+				var snaps map[string]event.HistorySet
+				var err error
+				s.fired, err = ps.pack.EvalAppend(s.wins, s.fired[:0])
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("ce: %s: %w", s.id, err)
+				}
+				for _, id := range s.fired {
+					meta, ok := ps.meta[id]
+					if !ok {
+						continue
+					}
+					if snaps == nil {
+						snaps = make(map[string]event.HistorySet, 1)
+					}
+					hs, ok := snaps[meta.key]
+					if !ok {
+						hs = make(event.HistorySet, len(ps.vars))
+						for i, v := range ps.vars {
+							hs[v] = s.wins.Window(v).HistoryPrefix(meta.degs[i])
+						}
+						snaps[meta.key] = hs
+					}
+					s.m.incFired()
+					out = append(out, MemberAlert{
+						Token: meta.token,
+						Alert: event.NewAlert(ps.pack.MemberName(id), hs, s.id),
+					})
+				}
+			}
+		} else {
+			s.m.incDiscarded()
+		}
+	}
+	for _, st := range s.byVarS[u.Var] {
+		a, fired, err := st.ev.Feed(u)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if fired {
+			out = append(out, MemberAlert{Token: st.token, Alert: a})
+		}
+	}
+	return out, firstErr
+}

@@ -1,0 +1,228 @@
+package ce
+
+import (
+	"math/rand"
+	"testing"
+
+	"condmon/internal/cond"
+	"condmon/internal/event"
+)
+
+// sharedFleet is a mixed registration: threshold-index members, CSE-shared
+// expression members, multi-variable pack members, and an unpackable
+// straggler.
+func sharedFleet() []cond.Condition {
+	return []cond.Condition{
+		cond.Threshold{CondName: "hot", Var: "x", Limit: 700, Above: true},
+		cond.Threshold{CondName: "cold", Var: "x", Limit: 150, Above: false},
+		cond.NewRiseAggressive("x"),
+		cond.NewRiseConservative("x"),
+		cond.MustParse("jump", "x[0] - x[-1] > 300 && consecutive(x)"),
+		cond.MustParse("deep", "x[0] - x[-2] > 150"),
+		cond.NewTempDiff("x", "y"),
+		cond.GreaterThan{CondName: "A", X: "x", Y: "y"},
+		cond.NewLemma6Condition("x", "y"), // unpackable: straggler path
+		cond.Threshold{CondName: "wet", Var: "y", Limit: 400, Above: true},
+	}
+}
+
+// gappyStream builds a deterministic interleaved x/y stream with seqno
+// gaps, the shape a lossy front link delivers.
+func gappyStream(n int, seed int64) []event.Update {
+	rng := rand.New(rand.NewSource(seed))
+	seqs := map[event.VarName]int64{}
+	out := make([]event.Update, 0, n)
+	for i := 0; i < n; i++ {
+		v := event.VarName("x")
+		if rng.Intn(3) == 0 {
+			v = "y"
+		}
+		seqs[v] += int64(1 + rng.Intn(3))
+		out = append(out, event.U(v, seqs[v], float64(rng.Intn(1000))))
+	}
+	return out
+}
+
+// runShared feeds the stream to a fresh SharedEvaluator over the fleet and
+// returns the per-condition alert sequences.
+func runShared(t *testing.T, noPacks bool, stream []event.Update) map[string][]event.Alert {
+	t.Helper()
+	se, err := NewSharedEvaluator("CE1", noPacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sharedFleet() {
+		if _, err := se.Register(c, 1); err != nil {
+			t.Fatalf("Register(%s): %v", c.Name(), err)
+		}
+	}
+	out := make(map[string][]event.Alert)
+	var buf []MemberAlert
+	for _, u := range stream {
+		buf, err = se.Feed(u, buf[:0])
+		if err != nil {
+			t.Fatalf("Feed(%v): %v", u, err)
+		}
+		for _, ma := range buf {
+			out[ma.Alert.Cond] = append(out[ma.Alert.Cond], ma.Alert)
+		}
+	}
+	return out
+}
+
+// TestSharedEvaluatorEquivalence is the package-level acceptance gate for
+// shared evaluation: per condition, the pack-evaluated alert stream must
+// be byte-identical (keys, histories, order) to the per-condition
+// baseline, over a gappy interleaved stream.
+func TestSharedEvaluatorEquivalence(t *testing.T) {
+	stream := gappyStream(600, 17)
+	want := runShared(t, true, stream)
+	got := runShared(t, false, stream)
+	if len(want) == 0 {
+		t.Fatal("baseline displayed nothing; stream too tame")
+	}
+	for name, wa := range want {
+		ga := got[name]
+		if len(ga) != len(wa) {
+			t.Fatalf("cond %q: %d alerts packed vs %d baseline", name, len(ga), len(wa))
+		}
+		for i := range wa {
+			if wa[i].Key() != ga[i].Key() || !wa[i].Histories.Equal(ga[i].Histories) {
+				t.Fatalf("cond %q alert %d: packed %v, baseline %v", name, i, ga[i], wa[i])
+			}
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Fatalf("packed mode fired unknown condition %q", name)
+		}
+	}
+}
+
+// TestSharedEvaluatorGrouping pins the structural claim: the fleet
+// collapses into per-variable-set packs with exactly one straggler.
+func TestSharedEvaluatorGrouping(t *testing.T) {
+	se, err := NewSharedEvaluator("CE1", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sharedFleet() {
+		if _, err := se.Register(c, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if se.Packs() != 3 { // {x}, {x,y}, {y}
+		t.Errorf("Packs() = %d, want 3", se.Packs())
+	}
+	if se.PackMembers() != 9 {
+		t.Errorf("PackMembers() = %d, want 9", se.PackMembers())
+	}
+	if se.Stragglers() != 1 {
+		t.Errorf("Stragglers() = %d, want 1", se.Stragglers())
+	}
+	if se.Windows().Len() != 2 {
+		t.Errorf("shared windows track %d variables, want 2", se.Windows().Len())
+	}
+	// deep (degree 3) dominates the x window's size.
+	if d := se.Windows().Window("x").Degree(); d != 3 {
+		t.Errorf("shared x window degree = %d, want 3", d)
+	}
+}
+
+// TestSharedEvaluatorUnregister checks immediate removal: an unregistered
+// condition stops firing, siblings keep firing, and a second Unregister is
+// a no-op.
+func TestSharedEvaluatorUnregister(t *testing.T) {
+	se, err := NewSharedEvaluator("CE1", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refHot, err := se.Register(cond.Threshold{CondName: "hot", Var: "x", Limit: 100, Above: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Register(cond.Threshold{CondName: "warm", Var: "x", Limit: 50, Above: true}, 1); err != nil {
+		t.Fatal(err)
+	}
+	refL6, err := se.Register(cond.NewLemma6Condition("x", "y"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := se.Feed(event.U("x", 1, 500), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 2 {
+		t.Fatalf("before unregister: %d alerts, want 2", len(buf))
+	}
+	se.Unregister(refHot)
+	se.Unregister(refHot)
+	se.Unregister(refL6)
+	se.Unregister(Ref{})
+	if se.PackMembers() != 1 || se.Stragglers() != 0 {
+		t.Fatalf("after unregister: members=%d stragglers=%d", se.PackMembers(), se.Stragglers())
+	}
+	buf, err = se.Feed(event.U("x", 2, 600), buf[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 1 || buf[0].Alert.Cond != "warm" {
+		t.Fatalf("after unregister: alerts %v, want just warm", buf)
+	}
+}
+
+// TestSharedEvaluatorWarmStart documents live registration's semantics: a
+// member joining mid-traffic evaluates against the lane's already-warm
+// windows and can fire on the very next update.
+func TestSharedEvaluatorWarmStart(t *testing.T) {
+	se, err := NewSharedEvaluator("CE1", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Register(cond.NewRiseAggressive("x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Feed(event.U("x", 1, 100), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Feed(event.U("x", 2, 150), nil); err != nil {
+		t.Fatal(err)
+	}
+	// A late-joining degree-2 member sees the warm window.
+	if _, err := se.Register(cond.MustParse("late", "x[0] - x[-1] > 100"), 2); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := se.Feed(event.U("x", 3, 400), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]uint64{}
+	for _, ma := range buf {
+		names[ma.Alert.Cond] = ma.Token
+	}
+	if names["late"] != 2 {
+		t.Fatalf("late member did not fire with its token on first post-registration update: %v", buf)
+	}
+	if names["c2"] != 1 {
+		t.Fatalf("c2 should fire (rise 250 > 200): %v", buf)
+	}
+}
+
+// TestSharedEvaluatorTokens: alerts carry the member's registration token,
+// the engine's fencing epoch.
+func TestSharedEvaluatorTokens(t *testing.T) {
+	se, _ := NewSharedEvaluator("CE2", false)
+	if _, err := se.Register(cond.Threshold{CondName: "a", Var: "x", Limit: 0, Above: true}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Register(cond.NewLemma6Condition("x", "y"), 9); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := se.Feed(event.U("x", 1, 5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 1 || buf[0].Token != 7 || buf[0].Alert.Source != "CE2" {
+		t.Fatalf("alert = %+v, want token 7 source CE2", buf)
+	}
+}

@@ -60,7 +60,7 @@ func Parse(name, src string) (*Expr, error) {
 		slot[v] = i
 		c.degs[i] = c.degrees[v]
 	}
-	c.code = compileExpr(root, slot, c.degrees).eval()
+	c.code = compileExpr(root, &compileCtx{slot: slot, degrees: c.degrees}).eval()
 	return c, nil
 }
 

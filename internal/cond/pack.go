@@ -1,0 +1,472 @@
+package cond
+
+// Pack is the shared-evaluation engine's compilation unit: a dynamic group
+// of conditions over the same variable set, evaluated together in one pass
+// per update instead of one pass per condition. It generalizes the
+// Appendix D disjunction trick (multicond.Reduce) from "evaluate the OR
+// once" to "evaluate the whole group once and report WHICH members fired",
+// and adds two sublinearity levers:
+//
+//   - Threshold members (Threshold values and threshold-shaped DSL
+//     expressions like "x[0] > 5") are folded into a sorted limit index.
+//     One binary search per update finds every fired member, so per-update
+//     cost is O(log n + fired) in the number of threshold members rather
+//     than O(n).
+//
+//   - Expression members are lowered through the CSE-interning compiler
+//     (see compileCtx): syntactically identical interior subexpressions
+//     compile once and evaluate once per round, shared across members via
+//     memo cells.
+//
+// A Pack is NOT safe for concurrent use: like a bound Program, it is owned
+// by a single evaluation goroutine (one CE lane of one shard).
+
+import (
+	"math"
+	"slices"
+	"sort"
+
+	"condmon/internal/event"
+)
+
+// thrMergeLimit bounds the unsorted pending buffer of a threshold index.
+// Registrations append to pending in O(1); when the buffer fills it is
+// sort-merged into the main run, amortizing bulk registration to
+// O(n log n) total instead of O(n²) for naive sorted insertion.
+const thrMergeLimit = 1024
+
+// thrEntry is one threshold member: fire when the latest value passes
+// limit in the index's direction.
+type thrEntry struct {
+	limit float64
+	id    int32
+}
+
+// thrIndex is a sorted threshold index for one comparison direction.
+// Removal is tombstoned: dead ids are skipped during evaluation and
+// physically dropped when they outnumber the live entries.
+type thrIndex struct {
+	// above selects "value > limit" members; false selects "value < limit".
+	above   bool
+	sorted  []thrEntry // ascending by limit
+	pending []thrEntry // recent additions, unsorted
+	dead    map[int32]struct{}
+}
+
+func (t *thrIndex) add(limit float64, id int32) {
+	t.pending = append(t.pending, thrEntry{limit: limit, id: id})
+	if len(t.pending) >= thrMergeLimit {
+		t.merge()
+	}
+}
+
+// merge folds the pending buffer into the sorted run.
+func (t *thrIndex) merge() {
+	if len(t.pending) == 0 {
+		return
+	}
+	sort.Slice(t.pending, func(i, j int) bool { return t.pending[i].limit < t.pending[j].limit })
+	merged := make([]thrEntry, 0, len(t.sorted)+len(t.pending))
+	i, j := 0, 0
+	for i < len(t.sorted) && j < len(t.pending) {
+		if t.sorted[i].limit <= t.pending[j].limit {
+			merged = append(merged, t.sorted[i])
+			i++
+		} else {
+			merged = append(merged, t.pending[j])
+			j++
+		}
+	}
+	merged = append(merged, t.sorted[i:]...)
+	merged = append(merged, t.pending[j:]...)
+	t.sorted = merged
+	t.pending = t.pending[:0]
+}
+
+func (t *thrIndex) remove(id int32) {
+	if t.dead == nil {
+		t.dead = make(map[int32]struct{})
+	}
+	t.dead[id] = struct{}{}
+	if len(t.dead)*2 > len(t.sorted)+len(t.pending) {
+		t.compact()
+	}
+}
+
+// compact physically drops tombstoned entries.
+func (t *thrIndex) compact() {
+	keepS := t.sorted[:0]
+	for _, e := range t.sorted {
+		if _, gone := t.dead[e.id]; !gone {
+			keepS = append(keepS, e)
+		}
+	}
+	t.sorted = keepS
+	keepP := t.pending[:0]
+	for _, e := range t.pending {
+		if _, gone := t.dead[e.id]; !gone {
+			keepP = append(keepP, e)
+		}
+	}
+	t.pending = keepP
+	t.dead = nil
+}
+
+// appendFired appends the ids of every member triggered by val. The sorted
+// run contributes a binary-searched prefix (above) or suffix (below); the
+// pending buffer is scanned linearly, bounded by thrMergeLimit.
+func (t *thrIndex) appendFired(val float64, fired []int32) []int32 {
+	if math.IsNaN(val) {
+		// No strict comparison against NaN holds; the search below would
+		// misclassify it, so short-circuit to "nothing fires".
+		return fired
+	}
+	checkDead := len(t.dead) > 0
+	emit := func(id int32) []int32 {
+		if checkDead {
+			if _, gone := t.dead[id]; gone {
+				return fired
+			}
+		}
+		return append(fired, id)
+	}
+	if t.above {
+		n := sort.Search(len(t.sorted), func(i int) bool { return t.sorted[i].limit >= val })
+		for _, e := range t.sorted[:n] {
+			fired = emit(e.id)
+		}
+		for _, e := range t.pending {
+			if e.limit < val {
+				fired = emit(e.id)
+			}
+		}
+	} else {
+		n := sort.Search(len(t.sorted), func(i int) bool { return t.sorted[i].limit > val })
+		for _, e := range t.sorted[n:] {
+			fired = emit(e.id)
+		}
+		for _, e := range t.pending {
+			if e.limit > val {
+				fired = emit(e.id)
+			}
+		}
+	}
+	return fired
+}
+
+// len reports live + tombstoned entries (capacity accounting only).
+func (t *thrIndex) size() int { return len(t.sorted) + len(t.pending) }
+
+// packMember is one registered condition inside a Pack.
+type packMember struct {
+	name string
+	// degs is the member's per-variable degree, aligned with Pack.vars; a
+	// member is evaluated only once every slot holds at least its degree,
+	// mirroring a private evaluator's not-yet-full gating.
+	degs []int
+	// code is the compiled expression; nil for threshold-index members.
+	code evalFn
+	// thr is the index holding the member, nil for expression members.
+	thr  *thrIndex
+	live bool
+}
+
+// Pack evaluates a dynamic group of same-variable-set conditions in one
+// pass per update. Member ids are monotonically increasing and never
+// reused, so ascending id order is registration order.
+type Pack struct {
+	vars    []event.VarName
+	slot    map[event.VarName]int
+	maxDegs []int
+	env     env
+	intern  map[string]compiled
+	members []packMember
+	// exprIDs lists live expression members in arbitrary order (removal is
+	// swap-delete); EvalAppend sorts fired ids so evaluation order never
+	// shows through.
+	exprIDs []int32
+	above   thrIndex
+	below   thrIndex
+	liveN   int
+}
+
+// NewPack creates an empty pack over the given variable set. The set is
+// sorted and deduplicated; it is fixed for the pack's lifetime and every
+// member's variable set must equal it exactly.
+func NewPack(vars ...event.VarName) *Pack {
+	vs := make([]event.VarName, len(vars))
+	copy(vs, vars)
+	vs = sortedVars(vs)
+	vs = slices.Compact(vs)
+	p := &Pack{
+		vars:    vs,
+		slot:    make(map[event.VarName]int, len(vs)),
+		maxDegs: make([]int, len(vs)),
+		intern:  make(map[string]compiled),
+		above:   thrIndex{above: true},
+		below:   thrIndex{above: false},
+	}
+	for i, v := range vs {
+		p.slot[v] = i
+	}
+	p.env.slots = make([]event.History, len(vs))
+	return p
+}
+
+// Vars returns the pack's variable set, sorted.
+func (p *Pack) Vars() []event.VarName {
+	out := make([]event.VarName, len(p.vars))
+	copy(out, p.vars)
+	return out
+}
+
+// Len returns the number of live members.
+func (p *Pack) Len() int { return p.liveN }
+
+// Degree returns the widest degree any member (past or present) has
+// required for v — the size the shared window must keep. It never shrinks
+// on removal, so a window sized from it stays valid without coordination.
+func (p *Pack) Degree(v event.VarName) int {
+	i, ok := p.slot[v]
+	if !ok {
+		return 0
+	}
+	return p.maxDegs[i]
+}
+
+// MemberName returns the condition name registered under id, or "" if the
+// id is out of range or the member was removed.
+func (p *Pack) MemberName(id int32) string {
+	if id < 0 || int(id) >= len(p.members) || !p.members[id].live {
+		return ""
+	}
+	return p.members[id].name
+}
+
+// Packable reports whether Add accepts the condition. Unpackable
+// conditions (opaque Funcs, scripted PairSets, Or-combinations, …) fall
+// back to per-condition evaluation — the heterogeneous-straggler path.
+func Packable(c Condition) bool {
+	switch c.(type) {
+	case Threshold, Rise, Drop, AbsDiff, GreaterThan, *Expr:
+		return true
+	default:
+		return false
+	}
+}
+
+// packAST lowers a packable condition to a DSL syntax tree equivalent to
+// its EvalView. Built-ins are synthesized (Rise's guard becomes
+// consecutive(v), Drop's zero-divisor guard becomes a short-circuit
+// conjunct), so CSE applies uniformly across built-in and parsed members.
+func packAST(c Condition) (expr, bool) {
+	switch t := c.(type) {
+	case Threshold:
+		return thresholdAST(t.Var, t.Limit, t.Above), true
+	case Rise:
+		cmp := binary{
+			op: tokGT,
+			l:  binary{op: tokMinus, l: varRef{varName: t.Var}, r: varRef{varName: t.Var, offset: -1}},
+			r:  numLit{val: t.Delta},
+		}
+		if t.Consecutive {
+			return binary{op: tokAnd, l: cmp, r: consecutiveRef{varName: t.Var}}, true
+		}
+		return cmp, true
+	case Drop:
+		prev := varRef{varName: t.Var, offset: -1}
+		ratio := binary{
+			op: tokGT,
+			l: binary{op: tokSlash,
+				l: binary{op: tokMinus, l: prev, r: varRef{varName: t.Var}},
+				r: prev},
+			r: numLit{val: t.Frac},
+		}
+		guarded := binary{op: tokAnd, l: binary{op: tokNE, l: prev, r: numLit{}}, r: ratio}
+		if t.Consecutive {
+			return binary{op: tokAnd, l: consecutiveRef{varName: t.Var}, r: guarded}, true
+		}
+		return guarded, true
+	case AbsDiff:
+		return binary{
+			op: tokGT,
+			l:  call{fn: "abs", args: []expr{binary{op: tokMinus, l: varRef{varName: t.X}, r: varRef{varName: t.Y}}}},
+			r:  numLit{val: t.Limit},
+		}, true
+	case GreaterThan:
+		return binary{op: tokGT, l: varRef{varName: t.X}, r: varRef{varName: t.Y}}, true
+	case *Expr:
+		return t.root, true
+	default:
+		return nil, false
+	}
+}
+
+// thresholdAST is the expression form of a Threshold, used when the limit
+// cannot live in the index (NaN).
+func thresholdAST(v event.VarName, limit float64, above bool) expr {
+	op := tokLT
+	if above {
+		op = tokGT
+	}
+	return binary{op: op, l: varRef{varName: v}, r: numLit{val: limit}}
+}
+
+// thresholdShape recognizes index-eligible comparisons: a strict
+// comparison between the latest value of a variable and a constant, in
+// either operand order. Inclusive comparisons stay expression members —
+// the index implements strict semantics only.
+func thresholdShape(root expr) (limit float64, above bool, ok bool) {
+	b, isBin := root.(binary)
+	if !isBin {
+		return 0, false, false
+	}
+	if v, okL := b.l.(varRef); okL && v.offset == 0 {
+		if n, okR := b.r.(numLit); okR {
+			switch b.op {
+			case tokGT:
+				return n.val, true, true
+			case tokLT:
+				return n.val, false, true
+			}
+		}
+	}
+	if n, okL := b.l.(numLit); okL {
+		if v, okR := b.r.(varRef); okR && v.offset == 0 {
+			switch b.op {
+			case tokLT: // limit < x[0]  ≡  x[0] > limit
+				return n.val, true, true
+			case tokGT: // limit > x[0]  ≡  x[0] < limit
+				return n.val, false, true
+			}
+		}
+	}
+	return 0, false, false
+}
+
+// Add registers a condition with the pack and returns its member id. It
+// returns ok=false — leaving the pack unchanged — when the condition is
+// not packable or its variable set differs from the pack's; the caller
+// then falls back to a private per-condition evaluator.
+func (p *Pack) Add(c Condition) (int32, bool) {
+	root, ok := packAST(c)
+	if !ok {
+		return 0, false
+	}
+	cv := c.Vars()
+	if len(cv) != len(p.vars) {
+		return 0, false
+	}
+	for i, v := range cv {
+		if v != p.vars[i] {
+			return 0, false
+		}
+	}
+	id := int32(len(p.members))
+	m := packMember{name: c.Name(), live: true, degs: make([]int, len(p.vars))}
+	degrees := make(map[event.VarName]int, len(p.vars))
+	for i, v := range p.vars {
+		m.degs[i] = c.Degree(v)
+		degrees[v] = m.degs[i]
+	}
+	if limit, above, thr := thresholdShape(root); thr && !math.IsNaN(limit) {
+		idx := &p.below
+		if above {
+			idx = &p.above
+		}
+		idx.add(limit, id)
+		m.thr = idx
+	} else {
+		cx := &compileCtx{slot: p.slot, degrees: degrees, intern: p.intern}
+		m.code = compileExpr(root, cx).eval()
+		p.exprIDs = append(p.exprIDs, id)
+	}
+	for i := range m.degs {
+		if m.degs[i] > p.maxDegs[i] {
+			p.maxDegs[i] = m.degs[i]
+		}
+	}
+	p.members = append(p.members, m)
+	p.liveN++
+	return id, true
+}
+
+// Remove unregisters a member. Removing an unknown or already-removed id
+// is a no-op. Ids are never reused.
+func (p *Pack) Remove(id int32) {
+	if id < 0 || int(id) >= len(p.members) || !p.members[id].live {
+		return
+	}
+	m := &p.members[id]
+	m.live = false
+	if m.thr != nil {
+		m.thr.remove(id)
+		m.thr = nil
+	} else {
+		for i, eid := range p.exprIDs {
+			if eid == id {
+				last := len(p.exprIDs) - 1
+				p.exprIDs[i] = p.exprIDs[last]
+				p.exprIDs = p.exprIDs[:last]
+				break
+			}
+		}
+		m.code = nil
+	}
+	m.degs = nil
+	p.liveN--
+}
+
+// EvalAppend evaluates every member against the view and appends the ids
+// of those that fired, sorted ascending (= registration order). A member
+// whose per-variable degree is not yet met is skipped, exactly as a
+// private evaluator would skip evaluation while its windows fill. Member
+// evaluation errors do not stop the pass: remaining members still
+// evaluate, and the first error is returned alongside the fired set.
+func (p *Pack) EvalAppend(h event.HistoryView, fired []int32) ([]int32, error) {
+	for i, v := range p.vars {
+		hv, ok := h.HistoryOf(v)
+		if !ok {
+			return fired, errMissingVar("pack", v)
+		}
+		p.env.slots[i] = hv
+	}
+	p.env.round++
+	start := len(fired)
+	if len(p.vars) == 1 && (p.above.size() > 0 || p.below.size() > 0) {
+		if len(p.env.slots[0].Recent) > 0 {
+			val := p.env.slots[0].Recent[0].Value
+			fired = p.above.appendFired(val, fired)
+			fired = p.below.appendFired(val, fired)
+		}
+	}
+	var firstErr error
+	for _, id := range p.exprIDs {
+		m := &p.members[id]
+		ready := true
+		for i, d := range m.degs {
+			if len(p.env.slots[i].Recent) < d {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		p.env.name = m.name
+		p.env.err = nil
+		got := m.code(&p.env)
+		if p.env.err != nil {
+			if firstErr == nil {
+				firstErr = p.env.err
+			}
+			continue
+		}
+		if got != 0 {
+			fired = append(fired, id)
+		}
+	}
+	tail := fired[start:]
+	slices.Sort(tail)
+	return fired, firstErr
+}

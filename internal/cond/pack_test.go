@@ -1,0 +1,393 @@
+package cond
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"condmon/internal/event"
+)
+
+// packBaseline is the per-condition oracle: a private window per variable
+// at the condition's own degree, evaluated only once all windows are full
+// — exactly the gating a dedicated ce.Evaluator applies.
+type packBaseline struct {
+	c    Condition
+	wins map[event.VarName]*event.Window
+}
+
+func newPackBaseline(t *testing.T, c Condition) *packBaseline {
+	t.Helper()
+	b := &packBaseline{c: c, wins: make(map[event.VarName]*event.Window)}
+	for _, v := range c.Vars() {
+		w, err := event.NewWindow(v, c.Degree(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.wins[v] = w
+	}
+	return b
+}
+
+// feed pushes the update (if relevant) and reports whether the condition
+// fired, mirroring one evaluator step.
+func (b *packBaseline) feed(t *testing.T, u event.Update) bool {
+	t.Helper()
+	w, ok := b.wins[u.Var]
+	if !ok {
+		return false
+	}
+	w.TryPush(u)
+	hs := make(event.HistorySet, len(b.wins))
+	for v, win := range b.wins {
+		if !win.Full() {
+			return false
+		}
+		hs[v] = win.History()
+	}
+	fired, err := b.c.Eval(hs)
+	if err != nil {
+		t.Fatalf("baseline %s: %v", b.c.Name(), err)
+	}
+	return fired
+}
+
+// firedNames maps a sorted fired-id slice to member names.
+func firedNames(p *Pack, ids []int32) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = p.MemberName(id)
+	}
+	return out
+}
+
+// TestPackThresholdIndexDifferential drives a churning threshold
+// population (above and below, random limits, removals crossing the
+// tombstone-compaction threshold, additions crossing the pending-merge
+// threshold) and checks every update's fired set against brute-force
+// per-condition evaluation.
+func TestPackThresholdIndexDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewPack("x")
+	type member struct {
+		id  int32
+		c   Threshold
+		out bool
+	}
+	var members []member
+	add := func() {
+		c := Threshold{
+			CondName: fmt.Sprintf("t%04d", len(members)),
+			Var:      "x",
+			Limit:    float64(rng.Intn(2000)) - 1000,
+			Above:    rng.Intn(2) == 0,
+		}
+		id, ok := p.Add(c)
+		if !ok {
+			t.Fatalf("Add(%v) rejected", c)
+		}
+		members = append(members, member{id: id, c: c})
+	}
+	for i := 0; i < 2500; i++ {
+		add()
+	}
+	w, _ := event.NewWindow("x", 1)
+	seq := int64(0)
+	check := func() {
+		seq++
+		val := float64(rng.Intn(2200)) - 1100
+		w.TryPush(event.U("x", seq, val))
+		fired, err := p.EvalAppend(event.HistorySet{"x": w.History()}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[string]bool, len(fired))
+		for _, id := range fired {
+			got[p.MemberName(id)] = true
+		}
+		want := 0
+		for _, m := range members {
+			if m.out {
+				continue
+			}
+			fires := val > m.c.Limit
+			if !m.c.Above {
+				fires = val < m.c.Limit
+			}
+			if fires {
+				want++
+			}
+			if fires != got[m.c.CondName] {
+				t.Fatalf("seq %d val %g: member %s fired=%v, want %v",
+					seq, val, m.c.CondName, got[m.c.CondName], fires)
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("seq %d: %d distinct fired members, want %d", seq, len(got), want)
+		}
+	}
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 5; i++ {
+			check()
+		}
+		// Churn: remove a third of the live members, add a fresh batch.
+		for i := range members {
+			if !members[i].out && rng.Intn(3) == 0 {
+				p.Remove(members[i].id)
+				members[i].out = true
+			}
+		}
+		for i := 0; i < 400; i++ {
+			add()
+		}
+	}
+	if p.Len() == 0 {
+		t.Fatal("no live members left; churn schedule broken")
+	}
+}
+
+// TestPackMixedDifferential runs a single-variable pack holding every
+// packable built-in plus parsed expressions against per-condition
+// baselines over a lossy-looking (gappy) update stream.
+func TestPackMixedDifferential(t *testing.T) {
+	conds := []Condition{
+		Threshold{CondName: "hot", Var: "x", Limit: 700, Above: true},
+		Threshold{CondName: "cold", Var: "x", Limit: 120, Above: false},
+		NewRiseAggressive("x"),
+		NewRiseConservative("x"),
+		Drop{CondName: "dip", Var: "x", Frac: 0.3},
+		Drop{CondName: "dipc", Var: "x", Frac: 0.3, Consecutive: true},
+		MustParse("jump", "x[0] - x[-1] > 300 && consecutive(x)"),
+		MustParse("deep", "x[0] - x[-2] > 100"),
+		MustParse("thr", "x[0] > 500"),           // threshold-shaped: joins the index
+		MustParse("rthr", "250 > x[0]"),          // reversed threshold shape
+		MustParse("ge", "x[0] >= 900"),           // inclusive: stays an expr member
+		MustParse("risey", "x[0] - x[-1] > 200"), // shares CSE nodes with c2
+	}
+	p := NewPack("x")
+	baselines := make(map[string]*packBaseline, len(conds))
+	for _, c := range conds {
+		if _, ok := p.Add(c); !ok {
+			t.Fatalf("Add(%s) rejected", c.Name())
+		}
+		baselines[c.Name()] = newPackBaseline(t, c)
+	}
+	maxDeg := p.Degree("x")
+	if maxDeg != 3 {
+		t.Fatalf("pack Degree(x) = %d, want 3 (from deep)", maxDeg)
+	}
+	w, _ := event.NewWindow("x", maxDeg)
+	rng := rand.New(rand.NewSource(11))
+	seq := int64(0)
+	for i := 0; i < 500; i++ {
+		seq += int64(1 + rng.Intn(3)) // gaps exercise consecutive() members
+		u := event.U("x", seq, float64(rng.Intn(1000)))
+		w.TryPush(u)
+		want := make(map[string]bool, len(conds))
+		for name, b := range baselines {
+			want[name] = b.feed(t, u)
+		}
+		fired, err := p.EvalAppend(event.HistorySet{"x": w.History()}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[string]bool, len(fired))
+		for _, id := range fired {
+			got[p.MemberName(id)] = true
+		}
+		for name, wantFired := range want {
+			if got[name] != wantFired {
+				t.Fatalf("update %v: member %s fired=%v, want %v", u, name, got[name], wantFired)
+			}
+		}
+		if len(got) > len(want) {
+			t.Fatalf("update %v: unknown members fired: %v", u, got)
+		}
+	}
+}
+
+// TestPackMultiVarDifferential covers two-variable packs: the synthesized
+// built-in ASTs (AbsDiff, GreaterThan) and a parsed expression share one
+// pack keyed by the {x,y} variable set.
+func TestPackMultiVarDifferential(t *testing.T) {
+	conds := []Condition{
+		NewTempDiff("x", "y"),
+		GreaterThan{CondName: "A", X: "x", Y: "y"},
+		GreaterThan{CondName: "B", X: "y", Y: "x"},
+		MustParse("gap", "abs(x[0] - y[0]) > 100 || x[0] > 950"),
+	}
+	p := NewPack("x", "y")
+	baselines := make(map[string]*packBaseline, len(conds))
+	for _, c := range conds {
+		if _, ok := p.Add(c); !ok {
+			t.Fatalf("Add(%s) rejected", c.Name())
+		}
+		baselines[c.Name()] = newPackBaseline(t, c)
+	}
+	wx, _ := event.NewWindow("x", 1)
+	wy, _ := event.NewWindow("y", 1)
+	rng := rand.New(rand.NewSource(13))
+	seqs := map[event.VarName]int64{}
+	for i := 0; i < 400; i++ {
+		v := event.VarName("x")
+		if rng.Intn(2) == 0 {
+			v = "y"
+		}
+		seqs[v]++
+		u := event.U(v, seqs[v], float64(rng.Intn(1000)))
+		if v == "x" {
+			wx.TryPush(u)
+		} else {
+			wy.TryPush(u)
+		}
+		want := make(map[string]bool, len(conds))
+		for name, b := range baselines {
+			want[name] = b.feed(t, u)
+		}
+		if !wx.Full() || !wy.Full() {
+			continue
+		}
+		hs := event.HistorySet{"x": wx.History(), "y": wy.History()}
+		fired, err := p.EvalAppend(hs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[string]bool, len(fired))
+		for _, id := range fired {
+			got[p.MemberName(id)] = true
+		}
+		for name, wantFired := range want {
+			if got[name] != wantFired {
+				t.Fatalf("update %v: member %s fired=%v, want %v", u, name, got[name], wantFired)
+			}
+		}
+	}
+}
+
+// TestPackCSEInterning pins the sharing: a built-in Rise and the same
+// expression parsed from text lower to identical canonical keys, so the
+// intern table holds each distinct interior node once.
+func TestPackCSEInterning(t *testing.T) {
+	p := NewPack("x")
+	if _, ok := p.Add(NewRiseAggressive("x")); !ok {
+		t.Fatal("Add(Rise) rejected")
+	}
+	if len(p.intern) != 2 { // (x[0] - x[-1]) and the > comparison
+		t.Fatalf("intern table has %d entries after first member, want 2", len(p.intern))
+	}
+	if _, ok := p.Add(MustParse("same", "x[0] - x[-1] > 200")); !ok {
+		t.Fatal("Add(parsed) rejected")
+	}
+	if len(p.intern) != 2 {
+		t.Fatalf("intern table has %d entries after identical member, want still 2", len(p.intern))
+	}
+	// A conservative variant shares the comparison subtree and adds the
+	// conjunction + guard.
+	if _, ok := p.Add(NewRiseConservative("x")); !ok {
+		t.Fatal("Add(conservative Rise) rejected")
+	}
+	if len(p.intern) != 3 { // the && conjunction is new; consecutive(x) is a leaf
+		t.Fatalf("intern table has %d entries after conservative member, want 3", len(p.intern))
+	}
+}
+
+// TestPackMemberErrorsAreIsolated checks that one member's runtime error
+// (division by zero) neither halts the pass nor suppresses other members.
+func TestPackMemberErrorsAreIsolated(t *testing.T) {
+	p := NewPack("x")
+	if _, ok := p.Add(MustParse("bad", "1 / x[0] > 0")); !ok {
+		t.Fatal("Add(bad) rejected")
+	}
+	okID, ok := p.Add(Threshold{CondName: "zero", Var: "x", Limit: -1, Above: true})
+	if !ok {
+		t.Fatal("Add(zero) rejected")
+	}
+	w, _ := event.NewWindow("x", 1)
+	w.TryPush(event.U("x", 1, 0)) // x[0]=0 → bad divides by zero, zero fires
+	fired, err := p.EvalAppend(event.HistorySet{"x": w.History()}, nil)
+	if err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+	if len(fired) != 1 || fired[0] != okID {
+		t.Fatalf("fired = %v, want just the threshold member %d", fired, okID)
+	}
+}
+
+// TestPackRejections pins the fallback contract: unpackable conditions and
+// variable-set mismatches return ok=false and leave the pack unchanged.
+func TestPackRejections(t *testing.T) {
+	p := NewPack("x")
+	if _, ok := p.Add(NewLemma6Condition("x", "y")); ok {
+		t.Error("PairSet should not be packable")
+	}
+	if _, ok := p.Add(Threshold{CondName: "wrongvar", Var: "y", Limit: 1}); ok {
+		t.Error("variable-set mismatch should be rejected")
+	}
+	if _, ok := p.Add(NewTempDiff("x", "y")); ok {
+		t.Error("two-variable condition should not join a one-variable pack")
+	}
+	if p.Len() != 0 || len(p.members) != 0 {
+		t.Errorf("rejected Adds changed the pack: len=%d members=%d", p.Len(), len(p.members))
+	}
+	if !Packable(NewRiseAggressive("x")) || Packable(NewLemma6Condition("x", "y")) {
+		t.Error("Packable misclassifies")
+	}
+}
+
+// TestPackNaNThreshold: a NaN limit cannot live in the sorted index and a
+// NaN value must fire nothing, matching strict-comparison semantics.
+func TestPackNaNThreshold(t *testing.T) {
+	p := NewPack("x")
+	if _, ok := p.Add(Threshold{CondName: "nan", Var: "x", Limit: math.NaN(), Above: true}); !ok {
+		t.Fatal("NaN-limit threshold rejected; should fall back to an expr member")
+	}
+	if _, ok := p.Add(Threshold{CondName: "hot", Var: "x", Limit: 10, Above: true}); !ok {
+		t.Fatal("Add rejected")
+	}
+	w, _ := event.NewWindow("x", 1)
+	w.TryPush(event.U("x", 1, math.NaN()))
+	fired, err := p.EvalAppend(event.HistorySet{"x": w.History()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 0 {
+		t.Fatalf("NaN value fired %v, want nothing", firedNames(p, fired))
+	}
+	w.TryPush(event.U("x", 2, 50))
+	fired, err = p.EvalAppend(event.HistorySet{"x": w.History()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || p.MemberName(fired[0]) != "hot" {
+		t.Fatalf("fired %v, want just hot", firedNames(p, fired))
+	}
+}
+
+// TestPackRemoveIdempotent pins Remove semantics: unknown ids and double
+// removals are no-ops, and removed members never fire again.
+func TestPackRemoveIdempotent(t *testing.T) {
+	p := NewPack("x")
+	id, _ := p.Add(Threshold{CondName: "a", Var: "x", Limit: 0, Above: true})
+	id2, _ := p.Add(MustParse("b", "x[0] - x[-1] > 0"))
+	p.Remove(id)
+	p.Remove(id)
+	p.Remove(99)
+	p.Remove(-1)
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", p.Len())
+	}
+	if p.MemberName(id) != "" || p.MemberName(id2) != "b" {
+		t.Fatal("MemberName after removal wrong")
+	}
+	w, _ := event.NewWindow("x", 2)
+	w.TryPush(event.U("x", 1, 1))
+	w.TryPush(event.U("x", 2, 5))
+	fired, err := p.EvalAppend(event.HistorySet{"x": w.History()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != id2 {
+		t.Fatalf("fired %v, want just member b", fired)
+	}
+}

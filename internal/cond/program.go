@@ -20,6 +20,7 @@ package cond
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"condmon/internal/event"
 )
@@ -50,6 +51,10 @@ type env struct {
 	name  string
 	slots []event.History
 	err   error
+	// round is the shared-evaluation epoch used by memoized CSE nodes
+	// (see Pack): a memo cell is valid only for the round it was computed
+	// in. Plain Programs never memoize, so the zero value is inert.
+	round uint64
 }
 
 // evalFn is one compiled node: booleans are 1 and 0, as in the interpreter.
@@ -149,15 +154,132 @@ func (c compiled) eval() evalFn {
 	return c.fn
 }
 
-// compileExpr lowers the AST into a closure program. slot maps each
-// variable to its index in the Expr's sorted vars; degrees is the final
-// per-variable degree map (lowering runs after collectDegrees).
-func compileExpr(e expr, slot map[event.VarName]int, degrees map[event.VarName]int) compiled {
+// compileCtx carries the lowering inputs: slot maps each variable to its
+// index in the sorted variable order, degrees is the final per-variable
+// degree map (lowering runs after collectDegrees), and intern — when
+// non-nil — enables cross-expression common-subexpression elimination:
+// interior nodes with the same canonical key compile once and evaluate
+// once per round (see Pack).
+type compileCtx struct {
+	slot    map[event.VarName]int
+	degrees map[event.VarName]int
+	intern  map[string]compiled
+}
+
+// memoCell caches one interned node's value for the current evaluation
+// round. Stamps start at zero and rounds at one, so a fresh cell never
+// reads as valid.
+type memoCell struct {
+	stamp uint64
+	val   float64
+}
+
+// memoize wraps an interned node so that co-compiled expressions sharing
+// it evaluate it at most once per round. Values computed under a sticky
+// error are not cached: the next reader re-evaluates and reports the
+// error under its own condition name, exactly as an unshared compile
+// would.
+func memoize(c compiled) compiled {
+	if c.lit {
+		return c
+	}
+	inner := c.fn
+	cell := &memoCell{}
+	return compiled{fn: func(e *env) float64 {
+		if cell.stamp == e.round {
+			return cell.val
+		}
+		v := inner(e)
+		if e.err == nil {
+			cell.stamp, cell.val = e.round, v
+		}
+		return v
+	}}
+}
+
+// canonKey serializes a subtree into its canonical identity for CSE
+// interning. consecutive(v) embeds the resolved degree — its compiled
+// code trims the window to the owning condition's degree in v, so two
+// conditions of different degree must not share the node.
+func canonKey(e expr, degrees map[event.VarName]int) string {
+	return string(appendCanonKey(make([]byte, 0, 64), e, degrees))
+}
+
+func appendCanonKey(b []byte, e expr, degrees map[event.VarName]int) []byte {
+	switch n := e.(type) {
+	case numLit:
+		b = append(b, 'n')
+		b = strconv.AppendFloat(b, n.val, 'g', -1, 64)
+	case varRef:
+		b = append(b, 'v')
+		b = append(b, n.varName...)
+		b = append(b, '@')
+		b = strconv.AppendInt(b, int64(n.offset), 10)
+	case seqnoRef:
+		b = append(b, 's')
+		b = append(b, n.varName...)
+		b = append(b, '@')
+		b = strconv.AppendInt(b, int64(n.offset), 10)
+	case consecutiveRef:
+		b = append(b, 'c')
+		b = append(b, n.varName...)
+		b = append(b, '#')
+		b = strconv.AppendInt(b, int64(degrees[n.varName]), 10)
+	case call:
+		b = append(b, 'f')
+		b = append(b, n.fn...)
+		b = append(b, '(')
+		for _, a := range n.args {
+			b = appendCanonKey(b, a, degrees)
+			b = append(b, ',')
+		}
+		b = append(b, ')')
+	case binary:
+		b = append(b, '(')
+		b = strconv.AppendInt(b, int64(n.op), 10)
+		b = append(b, ' ')
+		b = appendCanonKey(b, n.l, degrees)
+		b = append(b, ' ')
+		b = appendCanonKey(b, n.r, degrees)
+		b = append(b, ')')
+	case unary:
+		b = append(b, 'u')
+		b = strconv.AppendInt(b, int64(n.op), 10)
+		b = appendCanonKey(b, n.x, degrees)
+	}
+	return b
+}
+
+// compileExpr lowers the AST into a closure program. With interning
+// enabled, interior nodes (calls, binaries, unaries) are deduplicated by
+// canonical key and memoized; leaves stay direct — a slot load is cheaper
+// than a memo probe.
+func compileExpr(e expr, cx *compileCtx) compiled {
+	if cx.intern == nil {
+		return compileNode(e, cx)
+	}
+	switch e.(type) {
+	case call, binary, unary:
+	default:
+		return compileNode(e, cx)
+	}
+	key := canonKey(e, cx.degrees)
+	if c, ok := cx.intern[key]; ok {
+		return c
+	}
+	c := memoize(compileNode(e, cx))
+	cx.intern[key] = c
+	return c
+}
+
+// compileNode lowers one AST node, dispatching children back through
+// compileExpr so interning applies at every interior level.
+func compileNode(e expr, cx *compileCtx) compiled {
 	switch n := e.(type) {
 	case numLit:
 		return constC(n.val)
 	case varRef:
-		idx, pos := slot[n.varName], -n.offset
+		idx, pos := cx.slot[n.varName], -n.offset
 		v := n.varName
 		return compiled{fn: func(e *env) float64 {
 			recent := e.slots[idx].Recent
@@ -168,7 +290,7 @@ func compileExpr(e expr, slot map[event.VarName]int, degrees map[event.VarName]i
 			return recent[pos].Value
 		}}
 	case seqnoRef:
-		idx, pos := slot[n.varName], -n.offset
+		idx, pos := cx.slot[n.varName], -n.offset
 		v := n.varName
 		return compiled{fn: func(e *env) float64 {
 			recent := e.slots[idx].Recent
@@ -179,7 +301,7 @@ func compileExpr(e expr, slot map[event.VarName]int, degrees map[event.VarName]i
 			return float64(recent[pos].SeqNo)
 		}}
 	case consecutiveRef:
-		idx, d := slot[n.varName], degrees[n.varName]
+		idx, d := cx.slot[n.varName], cx.degrees[n.varName]
 		return compiled{fn: func(e *env) float64 {
 			win := e.slots[idx].Recent
 			if len(win) > d {
@@ -193,11 +315,11 @@ func compileExpr(e expr, slot map[event.VarName]int, degrees map[event.VarName]i
 			return 1
 		}}
 	case call:
-		return compileCall(n, slot, degrees)
+		return compileCall(n, cx)
 	case binary:
-		return compileBinary(n, slot, degrees)
+		return compileBinary(n, cx)
 	case unary:
-		x := compileExpr(n.x, slot, degrees)
+		x := compileExpr(n.x, cx)
 		if n.op == tokMinus {
 			if x.lit {
 				return constC(-x.val)
@@ -222,18 +344,18 @@ func compileExpr(e expr, slot map[event.VarName]int, degrees map[event.VarName]i
 
 // compileCall specializes abs/min/max to their fixed arity — no argument
 // slice — and folds constant arguments.
-func compileCall(n call, slot map[event.VarName]int, degrees map[event.VarName]int) compiled {
+func compileCall(n call, cx *compileCtx) compiled {
 	switch n.fn {
 	case "abs":
-		x := compileExpr(n.args[0], slot, degrees)
+		x := compileExpr(n.args[0], cx)
 		if x.lit {
 			return constC(math.Abs(x.val))
 		}
 		xf := x.fn
 		return compiled{fn: func(e *env) float64 { return math.Abs(xf(e)) }}
 	case "min", "max":
-		a := compileExpr(n.args[0], slot, degrees)
-		b := compileExpr(n.args[1], slot, degrees)
+		a := compileExpr(n.args[0], cx)
+		b := compileExpr(n.args[1], cx)
 		pick := math.Min
 		if n.fn == "max" {
 			pick = math.Max
@@ -262,8 +384,8 @@ func compileCall(n call, slot map[event.VarName]int, degrees map[event.VarName]i
 // preserving the interpreter's short-circuit and error-ordering semantics
 // exactly (left operand first; a constant-false && never evaluates its
 // right side, matching the interpreter's short circuit).
-func compileBinary(n binary, slot map[event.VarName]int, degrees map[event.VarName]int) compiled {
-	l := compileExpr(n.l, slot, degrees)
+func compileBinary(n binary, cx *compileCtx) compiled {
+	l := compileExpr(n.l, cx)
 
 	// Short-circuit operators fold on their left operand only: the
 	// interpreter never evaluates the right side when the left decides.
@@ -273,14 +395,14 @@ func compileBinary(n binary, slot map[event.VarName]int, degrees map[event.VarNa
 			if l.val == 0 {
 				return constC(0)
 			}
-			r := compileExpr(n.r, slot, degrees)
+			r := compileExpr(n.r, cx)
 			if r.lit {
 				return constC(boolToNum(r.val != 0))
 			}
 			return r
 		}
 		lf := l.fn
-		rf := compileExpr(n.r, slot, degrees).eval()
+		rf := compileExpr(n.r, cx).eval()
 		return compiled{fn: func(e *env) float64 {
 			v := lf(e)
 			if e.err != nil || v == 0 {
@@ -293,14 +415,14 @@ func compileBinary(n binary, slot map[event.VarName]int, degrees map[event.VarNa
 			if l.val != 0 {
 				return constC(1)
 			}
-			r := compileExpr(n.r, slot, degrees)
+			r := compileExpr(n.r, cx)
 			if r.lit {
 				return constC(boolToNum(r.val != 0))
 			}
 			return r
 		}
 		lf := l.fn
-		rf := compileExpr(n.r, slot, degrees).eval()
+		rf := compileExpr(n.r, cx).eval()
 		return compiled{fn: func(e *env) float64 {
 			v := lf(e)
 			if e.err != nil {
@@ -313,7 +435,7 @@ func compileBinary(n binary, slot map[event.VarName]int, degrees map[event.VarNa
 		}}
 	}
 
-	r := compileExpr(n.r, slot, degrees)
+	r := compileExpr(n.r, cx)
 
 	// Division folds only when the divisor is a non-zero constant; a
 	// constant zero divisor must stay a runtime error to match the

@@ -105,7 +105,7 @@ func TestConstantFolding(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parseExpr(%q): %v", tc.src, err)
 		}
-		got := compileExpr(root, nil, nil)
+		got := compileExpr(root, &compileCtx{})
 		if !got.lit {
 			t.Errorf("%q: compiled to a closure, want folded constant", tc.src)
 			continue
@@ -121,7 +121,7 @@ func TestConstantFolding(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parseExpr: %v", err)
 	}
-	if c := compileExpr(root, nil, nil); c.lit {
+	if c := compileExpr(root, &compileCtx{}); c.lit {
 		t.Error("1 / 0 > 0 folded to a constant; must stay a runtime error")
 	}
 	c := MustParse("dz", "x[0] > 0 && 1 / 0 > 0")

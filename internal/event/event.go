@@ -412,6 +412,40 @@ func (w *Window) TryPush(u Update) bool {
 	return true
 }
 
+// Grow widens the window to the given degree in place, preserving the
+// updates already held. Shared windows use it when a newly registered
+// condition reads the same variable at a higher degree than any existing
+// reader. Shrinking is not supported: a degree ≤ the current one is a
+// no-op, so concurrent readers never observe history loss.
+func (w *Window) Grow(degree int) {
+	if degree <= w.degree {
+		return
+	}
+	w.degree = degree
+	if cap(w.recent) < degree {
+		grown := make([]Update, len(w.recent), degree)
+		copy(grown, w.recent)
+		w.recent = grown
+	}
+}
+
+// Degree returns the window's capacity (the paper's N).
+func (w *Window) Degree() int { return w.degree }
+
+// HistoryPrefix snapshots the most recent d updates as an immutable
+// History. It is the per-member view of a shared window: a window sized to
+// the maximum degree of its readers serves a degree-d reader exactly the
+// history a private degree-d window would hold. d values beyond the
+// current length are clamped.
+func (w *Window) HistoryPrefix(d int) History {
+	if d > len(w.recent) {
+		d = len(w.recent)
+	}
+	h := History{Var: w.varName, Recent: make([]Update, d)}
+	copy(h.Recent, w.recent[:d])
+	return h
+}
+
 // Full reports whether the window holds `degree` updates. H is undefined —
 // and the condition cannot be evaluated — until the window is full
 // (Section 2: "when the system is just starting up…Hx is undefined").

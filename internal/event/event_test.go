@@ -331,3 +331,78 @@ func TestQuickWindowMatchesNaive(t *testing.T) {
 		t.Errorf("window does not match naive model: %v", err)
 	}
 }
+
+// TestWindowGrow verifies in-place widening: contents survive, the new
+// capacity fills before old entries fall off, and shrinking is a no-op.
+func TestWindowGrow(t *testing.T) {
+	w, err := NewWindow("x", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Push(U("x", 1, 10))
+	w.Push(U("x", 2, 20))
+	if !w.Full() {
+		t.Fatal("degree-2 window not full after 2 pushes")
+	}
+	w.Grow(4)
+	if w.Degree() != 4 {
+		t.Fatalf("Degree() = %d after Grow(4)", w.Degree())
+	}
+	if w.Full() {
+		t.Error("window reports full immediately after growing")
+	}
+	h := w.History()
+	if len(h.Recent) != 2 || h.Recent[0].SeqNo != 2 || h.Recent[1].SeqNo != 1 {
+		t.Fatalf("contents not preserved across Grow: %v", h)
+	}
+	w.Push(U("x", 3, 30))
+	w.Push(U("x", 4, 40))
+	if !w.Full() {
+		t.Error("grown window not full after reaching new degree")
+	}
+	got := w.History().SeqNosAscending()
+	want := seq.Seq{1, 2, 3, 4}
+	if !got.Equal(want) {
+		t.Errorf("grown window holds %v, want %v", got, want)
+	}
+	// Shrinking is a no-op.
+	w.Grow(1)
+	if w.Degree() != 4 || w.Len() != 4 {
+		t.Errorf("Grow(1) shrank the window: degree=%d len=%d", w.Degree(), w.Len())
+	}
+}
+
+// TestWindowHistoryPrefix pins the per-member view of a shared window: the
+// prefix of length d must equal the history a private degree-d window
+// would hold, and must be an independent snapshot.
+func TestWindowHistoryPrefix(t *testing.T) {
+	shared, _ := NewWindow("x", 3)
+	private, _ := NewWindow("x", 2)
+	for i := int64(1); i <= 5; i++ {
+		u := U("x", i, float64(i*10))
+		shared.Push(u)
+		private.Push(u)
+	}
+	got := shared.HistoryPrefix(2)
+	want := private.History()
+	if len(got.Recent) != len(want.Recent) {
+		t.Fatalf("prefix length %d, want %d", len(got.Recent), len(want.Recent))
+	}
+	for i := range want.Recent {
+		if got.Recent[i] != want.Recent[i] {
+			t.Fatalf("prefix[%d] = %v, want %v", i, got.Recent[i], want.Recent[i])
+		}
+	}
+	// Clamped when the window holds fewer than d updates.
+	short, _ := NewWindow("y", 5)
+	short.Push(U("y", 1, 1))
+	if h := short.HistoryPrefix(3); len(h.Recent) != 1 {
+		t.Errorf("prefix of short window has %d entries, want 1", len(h.Recent))
+	}
+	// Snapshot independence: later pushes must not show through.
+	before := got.Recent[0].SeqNo
+	shared.Push(U("x", 6, 60))
+	if got.Recent[0].SeqNo != before {
+		t.Error("HistoryPrefix aliases window storage")
+	}
+}

@@ -1,0 +1,134 @@
+package multicond
+
+import (
+	"fmt"
+	"sync"
+
+	"condmon/internal/ad"
+	"condmon/internal/event"
+)
+
+// LiveDemux is the dynamic counterpart of Demux: the Alert Displayer of a
+// system whose condition set changes while alerts are in flight. Each
+// entry carries the registration epoch assigned by the condition registry;
+// an alert is accepted only when its epoch matches the live entry, so
+// alerts that were queued in the multiplexed back link when their
+// condition was unregistered — or that belong to an earlier incarnation of
+// a re-registered name — are fenced off instead of displayed. Fencing is
+// what makes Unregister clean: the moment it returns, the condition's
+// displayed stream is final.
+type LiveDemux struct {
+	mu        sync.Mutex
+	entries   map[string]liveEntry
+	displayed []event.Alert
+	suppress  int
+	fenced    int
+}
+
+// liveEntry pairs a per-condition filter instance with its epoch.
+type liveEntry struct {
+	epoch  uint64
+	filter ad.Filter
+}
+
+// NewLiveDemux builds an empty dynamic demultiplexing AD; conditions join
+// and leave through Register/Unregister.
+func NewLiveDemux() *LiveDemux {
+	return &LiveDemux{entries: make(map[string]liveEntry)}
+}
+
+// Register installs a fresh filter instance for the condition under the
+// given epoch. Registering a name that is still live is an error: the
+// registry must Unregister the old incarnation first (which fences its
+// stragglers), then re-register with a higher epoch.
+func (d *LiveDemux) Register(name string, epoch uint64, f ad.Filter) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.entries[name]; dup {
+		return fmt.Errorf("multicond: condition %q already registered", name)
+	}
+	d.entries[name] = liveEntry{epoch: epoch, filter: f}
+	return nil
+}
+
+// Unregister removes the condition's entry immediately. Alerts for the
+// name that arrive afterwards — regardless of epoch — are fenced. The
+// condition's already-displayed subsequence remains queryable.
+func (d *LiveDemux) Unregister(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.entries, name)
+}
+
+// Offer routes the alert to its condition's filter if the condition is
+// live at the same epoch, and reports whether it was displayed. Epoch
+// mismatches and unknown conditions are fenced — counted, never displayed,
+// never an error: with live unregistration they are expected traffic, not
+// mis-wiring.
+func (d *LiveDemux) Offer(a event.Alert, epoch uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[a.Cond]
+	if !ok || e.epoch != epoch {
+		d.fenced++
+		return false
+	}
+	if ad.Offer(e.filter, a) {
+		d.displayed = append(d.displayed, a)
+		return true
+	}
+	d.suppress++
+	return false
+}
+
+// Displayed returns a copy of the merged displayed sequence.
+func (d *LiveDemux) Displayed() []event.Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]event.Alert, len(d.displayed))
+	copy(out, d.displayed)
+	return out
+}
+
+// DisplayedCount returns the length of the displayed sequence without
+// copying it — the cheap form for gauges sampled at snapshot time.
+func (d *LiveDemux) DisplayedCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.displayed)
+}
+
+// DisplayedFor returns the displayed subsequence of one condition,
+// including alerts displayed before the condition was unregistered.
+func (d *LiveDemux) DisplayedFor(name string) []event.Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []event.Alert
+	for _, a := range d.displayed {
+		if a.Cond == name {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Suppressed returns the number of alerts filtered by live entries.
+func (d *LiveDemux) Suppressed() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.suppress
+}
+
+// Fenced returns the number of alerts dropped by epoch fencing.
+func (d *LiveDemux) Fenced() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fenced
+}
+
+// Live returns the number of registered conditions.
+func (d *LiveDemux) Live() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}

@@ -1,0 +1,80 @@
+package multicond
+
+import (
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/event"
+)
+
+func liveAlert(name string, seq int64) event.Alert {
+	return event.NewAlert(name, event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", seq, float64(seq))}},
+	}, "CE1")
+}
+
+// TestLiveDemuxEpochFencing pins the fencing contract: stale-epoch alerts
+// and alerts for unregistered names are counted, never displayed, and a
+// re-registered name starts a fresh filter under its new epoch.
+func TestLiveDemuxEpochFencing(t *testing.T) {
+	d := NewLiveDemux()
+	if err := d.Register("c", 1, ad.NewAD1()); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Offer(liveAlert("c", 1), 1) {
+		t.Fatal("live alert not displayed")
+	}
+	// Duplicate: suppressed by the filter, not fenced.
+	if d.Offer(liveAlert("c", 1), 1) {
+		t.Fatal("duplicate displayed")
+	}
+	if d.Suppressed() != 1 || d.Fenced() != 0 {
+		t.Fatalf("suppressed=%d fenced=%d, want 1,0", d.Suppressed(), d.Fenced())
+	}
+	// Wrong epoch while live: fenced.
+	if d.Offer(liveAlert("c", 2), 99) {
+		t.Fatal("stale-epoch alert displayed")
+	}
+	// Unregister: everything for the name is fenced from now on.
+	d.Unregister("c")
+	if d.Offer(liveAlert("c", 3), 1) {
+		t.Fatal("post-unregister alert displayed")
+	}
+	if d.Live() != 0 {
+		t.Fatalf("Live() = %d, want 0", d.Live())
+	}
+	before := len(d.DisplayedFor("c"))
+	// Re-register under a new epoch: old-epoch stragglers stay fenced, the
+	// new incarnation starts a fresh duplicate filter.
+	if err := d.Register("c", 2, ad.NewAD1()); err != nil {
+		t.Fatal(err)
+	}
+	if d.Offer(liveAlert("c", 4), 1) {
+		t.Fatal("old-epoch straggler displayed after re-registration")
+	}
+	if !d.Offer(liveAlert("c", 1), 2) {
+		t.Fatal("new incarnation should re-display the seqno-1 alert: fresh filter")
+	}
+	if got := len(d.DisplayedFor("c")); got != before+1 {
+		t.Fatalf("DisplayedFor = %d alerts, want %d", got, before+1)
+	}
+	if d.Fenced() != 3 {
+		t.Fatalf("Fenced() = %d, want 3", d.Fenced())
+	}
+}
+
+// TestLiveDemuxDuplicateRegistration: a live name cannot be registered
+// twice; the registry must unregister first.
+func TestLiveDemuxDuplicateRegistration(t *testing.T) {
+	d := NewLiveDemux()
+	if err := d.Register("c", 1, ad.NewAD1()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register("c", 2, ad.NewAD1()); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	d.Unregister("c")
+	if err := d.Register("c", 2, ad.NewAD1()); err != nil {
+		t.Fatalf("re-registration after unregister: %v", err)
+	}
+}

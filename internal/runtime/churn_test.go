@@ -1,0 +1,108 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+)
+
+// TestEngineChurn hammers the registry from multiple goroutines while
+// update traffic is live: concurrent Register/Unregister cycles against
+// concurrent EmitBatch emitters, plus a rebalance in the middle. The test
+// is a -race gate first (registry locking, control-frame hand-off, DM
+// subscription), and checks the steady conditions survived the churn with
+// their displayed streams intact.
+func TestEngineChurn(t *testing.T) {
+	ng, err := NewEngine(func(c cond.Condition) ad.Filter {
+		return ad.NewAD1()
+	}, EngineOptions{Replicas: 2, Workers: 4, Seed: 7})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	// Steady conditions pin down the DMs and give the churn something to
+	// interleave with.
+	if _, err := ng.Register(cond.Threshold{CondName: "steady-x", Var: "x", Limit: 500, Above: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ng.Register(cond.Threshold{CondName: "steady-y", Var: "y", Limit: 300, Above: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		emitters     = 2  // one per variable
+		emitBatches  = 80 // batches per emitter
+		batchLen     = 32
+		churners     = 3
+		churnsPerGor = 40
+	)
+	var wg sync.WaitGroup
+	for e := 0; e < emitters; e++ {
+		v := event.VarName("x")
+		if e == 1 {
+			v = "y"
+		}
+		wg.Add(1)
+		go func(v event.VarName, seed int) {
+			defer wg.Done()
+			vals := make([]float64, batchLen)
+			for b := 0; b < emitBatches; b++ {
+				for i := range vals {
+					vals[i] = float64(((b*batchLen + i + seed) * 13) % 1000)
+				}
+				if _, err := ng.EmitBatch(v, vals); err != nil {
+					t.Errorf("EmitBatch(%s): %v", v, err)
+					return
+				}
+			}
+		}(v, e*17)
+	}
+	for g := 0; g < churners; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < churnsPerGor; i++ {
+				name := fmt.Sprintf("ch%d-%d", g, i)
+				v := event.VarName("x")
+				if (g+i)%2 == 0 {
+					v = "y"
+				}
+				if _, err := ng.Register(cond.Threshold{
+					CondName: name, Var: v, Limit: float64((i * 37) % 900), Above: true,
+				}); err != nil {
+					t.Errorf("Register(%s): %v", name, err)
+					return
+				}
+				if i%8 == 3 {
+					if _, err := ng.Rebalance(); err != nil {
+						t.Errorf("Rebalance: %v", err)
+						return
+					}
+				}
+				if err := ng.Unregister(name); err != nil {
+					t.Errorf("Unregister(%s): %v", name, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := ng.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := ng.Conditions(); got != 2 {
+		t.Errorf("Conditions() = %d after churn, want the 2 steady ones", got)
+	}
+	if len(ng.Demux().DisplayedFor("steady-x")) == 0 {
+		t.Error("steady-x displayed nothing under churn")
+	}
+	if len(ng.Demux().DisplayedFor("steady-y")) == 0 {
+		t.Error("steady-y displayed nothing under churn")
+	}
+	if _, err := ng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

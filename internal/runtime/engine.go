@@ -1,0 +1,817 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"condmon/internal/ad"
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/multicond"
+	"condmon/internal/obs"
+
+	"math/rand"
+	gort "runtime"
+)
+
+// Engine is the million-condition evolution of MultiSystem: a sharded
+// multi-condition monitoring system whose condition set changes while
+// updates are in flight. Three structural changes separate it from the
+// static fleet:
+//
+//   - Registry: conditions join and leave a running Engine through
+//     Register/Unregister. Each registration is stamped with a monotonic
+//     epoch; the Alert Displayer (a multicond.LiveDemux) fences alerts
+//     whose epoch does not match the live registration, so a removed
+//     condition's in-flight alerts are suppressed cleanly — the moment
+//     Unregister returns, that condition's displayed stream is final.
+//
+//   - Shared evaluation: each shard runs one ce.SharedEvaluator lane per
+//     replica instead of one ce.Evaluator per (condition, replica). Every
+//     co-sharded condition reading a variable shares that lane's single
+//     history window, and packable conditions are evaluated by
+//     cond.Pack — one pass per update with a fired-member set — so the
+//     per-update cost grows with the number of distinct variable sets and
+//     expression shapes, not the raw condition count.
+//
+//   - Per-lane links: loss is modeled per (shard, replica, variable)
+//     front link, shared by every condition on the lane. One randomness
+//     draw per update per lane — not per condition — which both matches
+//     the paper's figure (links carry variables, not conditions) and
+//     keeps pack evaluation byte-identical to the per-condition baseline
+//     under loss: the same deliveries reach the same windows either way.
+//
+// Control requests (add/remove) ride the shard frame channels, so a
+// registration is totally ordered after every update emitted before it;
+// Register and Unregister block until every lane of the owning shard has
+// applied the change.
+type Engine struct {
+	newFilter func(c cond.Condition) ad.Filter
+	loss      func(shard, replica int, v event.VarName) link.Model
+	seed      int64
+	noPacks   bool
+
+	shards []*eshard
+	demux  *multicond.LiveDemux
+	wg     sync.WaitGroup
+
+	// backlink is the multiplexed back link shared by every lane of every
+	// shard, drained by a single Alert Displayer pump (see MultiSystem).
+	backlink chan ebackFrame
+	pumpWg   sync.WaitGroup
+
+	// regMu guards the registry: the name → registration map, the epoch
+	// counter, and the closed flag. Control frames are sent while it is
+	// held, so no send can race Close's channel shutdown.
+	regMu  sync.Mutex
+	regs   map[string]*engineReg
+	epoch  uint64
+	closed bool
+
+	// dmMu guards creation in the dms map; each engineDM serializes its
+	// own emissions.
+	dmMu sync.RWMutex
+	dms  map[event.VarName]*engineDM
+
+	m *engineMetrics // nil when EngineOptions.Metrics was nil
+
+	errMu sync.Mutex
+	err   error
+}
+
+// engineReg is the registry's record of one live condition.
+type engineReg struct {
+	c     cond.Condition
+	epoch uint64
+	shard int
+}
+
+// engineDM is the Data Monitor for one variable: the sequence counter plus
+// the shards with at least one subscribed condition. DMs are created at a
+// variable's first registration and kept for the Engine's lifetime —
+// sequence numbers must keep ascending across unregister/re-register
+// cycles of the conditions reading the variable.
+type engineDM struct {
+	mu     sync.Mutex
+	seq    int64
+	closed bool
+	shards []*eshard
+}
+
+// eshard is one worker of the Engine's pool: a frame channel plus one
+// SharedEvaluator lane per replica. byName holds each registered
+// condition's per-lane Unregister handles; only the shard goroutine
+// touches it (via control frames).
+type eshard struct {
+	idx    int
+	in     chan emsg
+	lanes  []*elane
+	byName map[string][]ce.Ref
+	// free recycles back-link frame buffers from the pump, bounding
+	// steady-state allocation on the alert path.
+	free chan []ce.MemberAlert
+}
+
+// frameBuf returns an empty member-alert buffer, reusing a recycled one
+// when available.
+func (sh *eshard) frameBuf() []ce.MemberAlert {
+	select {
+	case b := <-sh.free:
+		return b[:0]
+	default:
+		return make([]ce.MemberAlert, 0, 8)
+	}
+}
+
+// elane is one CE replica of one shard: a shared evaluator over the
+// lane's windows, fed through one front link per variable. Links are
+// created at a variable's first registration on the lane and persist so
+// each link's randomness stream is continuous across churn.
+type elane struct {
+	se    *ce.SharedEvaluator
+	links map[event.VarName]*frontLink
+}
+
+// emsg is the unit carried by an Engine shard channel: a single update, a
+// batch, or an in-band control request. Control frames are immune to link
+// loss — they model operator actions, not sensor datagrams.
+type emsg struct {
+	u   event.Update
+	us  []event.Update
+	ctl *ectl
+}
+
+// Control operations carried by ectl.
+const (
+	ctlAdd = iota
+	ctlRemove
+)
+
+// ectl is one registry control request, applied to every lane of the
+// target shard in order; done reports completion (or the first lane
+// error) back to the blocked Register/Unregister call.
+type ectl struct {
+	op    int
+	c     cond.Condition // ctlAdd
+	name  string         // ctlRemove
+	epoch uint64
+	done  chan error
+}
+
+// ebackFrame is one coalesced run on the multiplexed back link: the
+// member alerts one shard produced for one frame, in evaluation order.
+// A frame with done non-nil is a flush token from Drain: the pump closes
+// done once every earlier frame has been fully offered.
+type ebackFrame struct {
+	stream int
+	alerts []ce.MemberAlert
+	done   chan struct{}
+}
+
+// engineMetrics is the Engine's aggregate instrumentation. All methods
+// are safe on a nil receiver — the metrics-off state.
+type engineMetrics struct {
+	emitted     *obs.Counter
+	emitBatches *obs.Counter
+	delivered   *obs.Counter
+	lost        *obs.Counter
+	registered  *obs.Counter
+	unregs      *obs.Counter
+	conditions  *obs.Gauge
+	ce          *ce.Metrics
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	return &engineMetrics{
+		emitted:     reg.Counter("engine.emitted"),
+		emitBatches: reg.Counter("engine.emit_batches"),
+		delivered:   reg.Counter("engine.delivered"),
+		lost:        reg.Counter("engine.lost"),
+		registered:  reg.Counter("engine.registered"),
+		unregs:      reg.Counter("engine.unregistered"),
+		conditions:  reg.Gauge("engine.conditions"),
+		// Counters only, as in MultiSystem: latency histograms at fleet
+		// scale would put a clock read on every Feed.
+		ce: &ce.Metrics{
+			Fed:        reg.Counter("engine.ce.fed"),
+			Discarded:  reg.Counter("engine.ce.discarded"),
+			MissedDown: reg.Counter("engine.ce.missed_down"),
+			Fired:      reg.Counter("engine.ce.fired"),
+		},
+	}
+}
+
+func (m *engineMetrics) addEmitted(n int64) {
+	if m != nil {
+		m.emitted.Add(n)
+	}
+}
+
+func (m *engineMetrics) incEmitBatches() {
+	if m != nil {
+		m.emitBatches.Inc()
+	}
+}
+
+func (m *engineMetrics) addDelivered(n int64) {
+	if m != nil {
+		m.delivered.Add(n)
+	}
+}
+
+func (m *engineMetrics) addLost(n int64) {
+	if m != nil {
+		m.lost.Add(n)
+	}
+}
+
+func (m *engineMetrics) reg() {
+	if m != nil {
+		m.registered.Inc()
+		m.conditions.Add(1)
+	}
+}
+
+func (m *engineMetrics) unreg() {
+	if m != nil {
+		m.unregs.Inc()
+		m.conditions.Add(-1)
+	}
+}
+
+// EngineOptions configure NewEngine.
+type EngineOptions struct {
+	// Replicas is the number of CE lanes per shard (default 2).
+	Replicas int
+	// Workers is the size of the shard pool (default GOMAXPROCS). Unlike
+	// MultiOptions.Workers it is not clamped to the condition count —
+	// the condition count is zero at construction and unbounded after.
+	Workers int
+	// Loss returns the loss model for the front link carrying variable v
+	// to replica lane r of shard s. Nil means lossless. The link is
+	// shared by every condition of the shard reading v: one delivery
+	// decision per update per lane.
+	Loss func(shard, replica int, v event.VarName) link.Model
+	// Seed drives link randomness.
+	Seed int64
+	// Metrics, if non-nil, instruments the engine in the given registry:
+	// engine.emitted / engine.emit_batches at the DMs, engine.delivered /
+	// engine.lost aggregated over every lane link, engine.ce.* counters
+	// shared by all lanes, engine.registered / engine.unregistered /
+	// engine.conditions for registry churn,
+	// engine.fenced / engine.suppressed / engine.displayed at the alert
+	// fan-in, per-shard engine.shard.<i>.queue gauges, and
+	// engine.backlink.frames for the shared back link.
+	Metrics *obs.Registry
+	// NoPacks disables shared-window pack evaluation: every condition
+	// gets a private per-condition evaluator on its lanes. This is the
+	// per-condition baseline the equivalence suite compares pack
+	// evaluation against; links, sharding, fan-in and fencing are
+	// identical in both modes.
+	NoPacks bool
+}
+
+// NewEngine builds and starts an empty dynamic monitoring engine.
+// newFilter is called once per registration to create the condition's
+// alert-stream filter instance (a re-registered name gets a fresh one).
+func NewEngine(newFilter func(c cond.Condition) ad.Filter, opts EngineOptions) (*Engine, error) {
+	if newFilter == nil {
+		return nil, fmt.Errorf("runtime: engine needs a filter constructor")
+	}
+	if opts.Replicas == 0 {
+		opts.Replicas = 2
+	}
+	if opts.Replicas < 1 {
+		return nil, fmt.Errorf("runtime: replicas must be ≥ 1, got %d", opts.Replicas)
+	}
+	if opts.Workers == 0 {
+		opts.Workers = gort.GOMAXPROCS(0)
+	}
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("runtime: workers must be ≥ 1, got %d", opts.Workers)
+	}
+	ng := &Engine{
+		newFilter: newFilter,
+		loss:      opts.Loss,
+		seed:      opts.Seed,
+		noPacks:   opts.NoPacks,
+		shards:    make([]*eshard, opts.Workers),
+		demux:     multicond.NewLiveDemux(),
+		backlink:  make(chan ebackFrame, backlinkBuffer),
+		regs:      make(map[string]*engineReg),
+		dms:       make(map[event.VarName]*engineDM),
+	}
+	if opts.Metrics != nil {
+		ng.m = newEngineMetrics(opts.Metrics)
+	}
+	for i := range ng.shards {
+		sh := &eshard{
+			idx:    i,
+			in:     make(chan emsg, frontBuffer),
+			lanes:  make([]*elane, opts.Replicas),
+			byName: make(map[string][]ce.Ref),
+			free:   make(chan []ce.MemberAlert, backFreeList),
+		}
+		for r := range sh.lanes {
+			se, err := ce.NewSharedEvaluator(fmt.Sprintf("S%d/CE%d", i, r+1), opts.NoPacks)
+			if err != nil {
+				return nil, err
+			}
+			if ng.m != nil {
+				se.SetMetrics(ng.m.ce)
+			}
+			sh.lanes[r] = &elane{se: se, links: make(map[event.VarName]*frontLink)}
+		}
+		ng.shards[i] = sh
+	}
+	if opts.Metrics != nil {
+		for i, sh := range ng.shards {
+			sh := sh
+			opts.Metrics.GaugeFunc(fmt.Sprintf("engine.shard.%d.queue", i), func() int64 {
+				return int64(len(sh.in))
+			})
+		}
+		opts.Metrics.GaugeFunc("engine.backlink.frames", func() int64 {
+			return int64(len(ng.backlink))
+		})
+		opts.Metrics.GaugeFunc("engine.fenced", func() int64 {
+			return int64(ng.demux.Fenced())
+		})
+		opts.Metrics.GaugeFunc("engine.suppressed", func() int64 {
+			return int64(ng.demux.Suppressed())
+		})
+		opts.Metrics.GaugeFunc("engine.displayed", func() int64 {
+			return int64(ng.demux.DisplayedCount())
+		})
+	}
+	for i, sh := range ng.shards {
+		i, sh := i, sh
+		ng.wg.Add(1)
+		go func() {
+			defer ng.wg.Done()
+			ng.eshardLoop(i, sh)
+		}()
+	}
+	ng.pumpWg.Add(1)
+	go func() {
+		defer ng.pumpWg.Done()
+		ng.epumpLoop()
+	}()
+	return ng, nil
+}
+
+// shardFor maps a condition name onto a shard index.
+func (ng *Engine) shardFor(name string) int {
+	return int(uint64(hashVar(event.VarName(name))) % uint64(len(ng.shards)))
+}
+
+// newLaneLink builds the front link for variable v into replica lane r of
+// shard s. Seeds mix all three coordinates so every lane link draws an
+// independent randomness stream.
+func (ng *Engine) newLaneLink(s, r int, v event.VarName) *frontLink {
+	model := link.Model(link.None{})
+	if ng.loss != nil {
+		if m := ng.loss(s, r, v); m != nil {
+			model = m
+		}
+	}
+	_, lossless := model.(link.None)
+	return &frontLink{
+		model:    model,
+		lossless: lossless,
+		rng:      rand.New(rand.NewSource(ng.seed ^ int64(r+1)<<20 ^ int64(s+1)<<8 ^ hashVar(v))),
+	}
+}
+
+// Register adds the condition to the running engine and returns its
+// registration epoch. The call blocks until every lane of the owning
+// shard has installed the condition: once Register returns, subsequently
+// emitted updates are evaluated against it. The new member sees the
+// lane's already-warm shared windows, so it can fire on the very next
+// update — a cold private evaluator would first refill its history — and
+// the registry documents this as the semantics of live registration.
+// Registering a name that is still live is an error.
+func (ng *Engine) Register(c cond.Condition) (uint64, error) {
+	if len(c.Vars()) == 0 {
+		return 0, fmt.Errorf("runtime: condition %q has no variables", c.Name())
+	}
+	ng.regMu.Lock()
+	if ng.closed {
+		ng.regMu.Unlock()
+		return 0, fmt.Errorf("runtime: Register: %w", ErrClosed)
+	}
+	if _, dup := ng.regs[c.Name()]; dup {
+		ng.regMu.Unlock()
+		return 0, fmt.Errorf("runtime: condition %q already registered", c.Name())
+	}
+	ng.epoch++
+	ep := ng.epoch
+	si := ng.shardFor(c.Name())
+	// The demux entry must exist before the shard can fire the condition;
+	// the lanes cannot fire it before the control frame below is applied.
+	if err := ng.demux.Register(c.Name(), ep, ng.newFilter(c)); err != nil {
+		ng.regMu.Unlock()
+		return 0, err
+	}
+	ng.regs[c.Name()] = &engineReg{c: c, epoch: ep, shard: si}
+	// Subscribe the shard to every variable before the control frame is
+	// enqueued: updates emitted after Register returns are then ordered
+	// after the add on the shard channel.
+	ng.subscribe(si, c.Vars())
+	done := make(chan error, 1)
+	ng.shards[si].in <- emsg{ctl: &ectl{op: ctlAdd, c: c, epoch: ep, done: done}}
+	ng.regMu.Unlock()
+	if err := <-done; err != nil {
+		ng.demux.Unregister(c.Name())
+		ng.regMu.Lock()
+		delete(ng.regs, c.Name())
+		ng.regMu.Unlock()
+		return 0, err
+	}
+	ng.m.reg()
+	return ep, nil
+}
+
+// Unregister removes the condition from the running engine. The alert
+// fan-in is fenced first, so the moment Unregister returns the
+// condition's displayed stream is final — alerts still in flight on the
+// back link are counted as fenced, never displayed. The call then blocks
+// until every lane of the owning shard has dropped the condition. The
+// lane's shared windows persist (degrees never shrink), so co-sharded
+// conditions are unaffected.
+func (ng *Engine) Unregister(name string) error {
+	ng.regMu.Lock()
+	if ng.closed {
+		ng.regMu.Unlock()
+		return fmt.Errorf("runtime: Unregister: %w", ErrClosed)
+	}
+	reg, ok := ng.regs[name]
+	if !ok {
+		ng.regMu.Unlock()
+		return fmt.Errorf("runtime: condition %q not registered", name)
+	}
+	delete(ng.regs, name)
+	ng.demux.Unregister(name)
+	done := make(chan error, 1)
+	ng.shards[reg.shard].in <- emsg{ctl: &ectl{op: ctlRemove, name: name, done: done}}
+	ng.regMu.Unlock()
+	<-done
+	ng.m.unreg()
+	return nil
+}
+
+// Rebalance redistributes the live conditions evenly across the shard
+// pool: names are sorted and assigned round-robin, and each mismatched
+// condition is moved — removed from its source shard, then added to its
+// destination — keeping its epoch, so alerts in flight across the move
+// stay valid. Updates delivered to the destination shard before the move
+// completes are not evaluated for the moving condition (its windows there
+// may also start cold); co-sharded conditions on both shards are
+// unaffected throughout. It returns the number of conditions moved.
+func (ng *Engine) Rebalance() (int, error) {
+	ng.regMu.Lock()
+	defer ng.regMu.Unlock()
+	if ng.closed {
+		return 0, fmt.Errorf("runtime: Rebalance: %w", ErrClosed)
+	}
+	names := make([]string, 0, len(ng.regs))
+	for name := range ng.regs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	moved := 0
+	for i, name := range names {
+		dst := i % len(ng.shards)
+		reg := ng.regs[name]
+		if reg.shard == dst {
+			continue
+		}
+		done := make(chan error, 1)
+		ng.shards[reg.shard].in <- emsg{ctl: &ectl{op: ctlRemove, name: name, done: done}}
+		<-done
+		ng.subscribe(dst, reg.c.Vars())
+		done = make(chan error, 1)
+		ng.shards[dst].in <- emsg{ctl: &ectl{op: ctlAdd, c: reg.c, epoch: reg.epoch, done: done}}
+		if err := <-done; err != nil {
+			// Re-registration failed (should not happen for a condition
+			// that registered once already): drop it cleanly.
+			ng.demux.Unregister(name)
+			delete(ng.regs, name)
+			ng.recordEngineErr(fmt.Errorf("runtime: rebalance %q: %w", name, err))
+			continue
+		}
+		reg.shard = dst
+		moved++
+	}
+	return moved, nil
+}
+
+// subscribe ensures variable DMs exist and fan out to shard si.
+func (ng *Engine) subscribe(si int, vars []event.VarName) {
+	sh := ng.shards[si]
+	for _, v := range vars {
+		ng.dmMu.Lock()
+		dm := ng.dms[v]
+		if dm == nil {
+			dm = &engineDM{}
+			ng.dms[v] = dm
+		}
+		ng.dmMu.Unlock()
+		dm.mu.Lock()
+		found := false
+		for _, s := range dm.shards {
+			if s == sh {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dm.shards = append(dm.shards, sh)
+		}
+		dm.mu.Unlock()
+	}
+}
+
+// eshardLoop drains one shard's channel, applying control frames and
+// driving every lane for update frames. stream is the shard's back-link
+// stream id.
+func (ng *Engine) eshardLoop(stream int, sh *eshard) {
+	for m := range sh.in {
+		switch {
+		case m.ctl != nil:
+			ng.applyCtl(sh, m.ctl)
+		case m.us != nil:
+			buf := sh.frameBuf()
+			for _, u := range m.us {
+				buf = ng.laneDeliver(sh, u, buf)
+			}
+			ng.esendBack(stream, sh, buf)
+		default:
+			buf := ng.laneDeliver(sh, m.u, sh.frameBuf())
+			ng.esendBack(stream, sh, buf)
+		}
+	}
+}
+
+// applyCtl applies one registry control request to every lane of the
+// shard, in lane order.
+func (ng *Engine) applyCtl(sh *eshard, c *ectl) {
+	switch c.op {
+	case ctlAdd:
+		refs := make([]ce.Ref, len(sh.lanes))
+		for i, ln := range sh.lanes {
+			ref, err := ln.se.Register(c.c, c.epoch)
+			if err != nil {
+				for j := 0; j < i; j++ {
+					sh.lanes[j].se.Unregister(refs[j])
+				}
+				c.done <- err
+				return
+			}
+			refs[i] = ref
+			for _, v := range c.c.Vars() {
+				if _, ok := ln.links[v]; !ok {
+					ln.links[v] = ng.newLaneLink(sh.idx, i, v)
+				}
+			}
+		}
+		sh.byName[c.c.Name()] = refs
+		c.done <- nil
+	case ctlRemove:
+		for i, ref := range sh.byName[c.name] {
+			sh.lanes[i].se.Unregister(ref)
+		}
+		delete(sh.byName, c.name)
+		c.done <- nil
+	}
+}
+
+// laneDeliver runs one update through every lane of the shard: one link
+// delivery decision per lane (shared by all the lane's conditions), then
+// one shared evaluation pass. Firing members' alerts are appended to buf.
+func (ng *Engine) laneDeliver(sh *eshard, u event.Update, buf []ce.MemberAlert) []ce.MemberAlert {
+	for _, ln := range sh.lanes {
+		l := ln.links[u.Var]
+		if l == nil {
+			// The shard is subscribed to the variable, but this lane's
+			// link only appears once the first add naming it is applied:
+			// updates racing ahead of a registration are not evaluated.
+			continue
+		}
+		if !l.lossless && !l.model.Deliver(u, l.rng) {
+			ng.m.addLost(1)
+			continue
+		}
+		ng.m.addDelivered(1)
+		var err error
+		buf, err = ln.se.Feed(u, buf)
+		if err != nil {
+			ng.recordEngineErr(fmt.Errorf("runtime: %s: %w", ln.se.ID(), err))
+		}
+	}
+	return buf
+}
+
+// esendBack ships one coalesced member-alert run down the back link, or
+// recycles the empty buffer.
+func (ng *Engine) esendBack(stream int, sh *eshard, alerts []ce.MemberAlert) {
+	if len(alerts) == 0 {
+		select {
+		case sh.free <- alerts[:0]:
+		default:
+		}
+		return
+	}
+	ng.backlink <- ebackFrame{stream: stream, alerts: alerts}
+}
+
+// epumpLoop is the Alert Displayer pump: the single consumer of the back
+// link, offering each member alert to the fencing demux under its
+// registration epoch.
+func (ng *Engine) epumpLoop() {
+	for f := range ng.backlink {
+		if f.done != nil {
+			close(f.done)
+			continue
+		}
+		for _, ma := range f.alerts {
+			ng.demux.Offer(ma.Alert, ma.Token)
+		}
+		select {
+		case ng.shards[f.stream].free <- f.alerts[:0]:
+		default:
+		}
+	}
+}
+
+func (ng *Engine) recordEngineErr(err error) {
+	ng.errMu.Lock()
+	defer ng.errMu.Unlock()
+	if ng.err == nil {
+		ng.err = err
+	}
+}
+
+func (ng *Engine) firstErr() error {
+	ng.errMu.Lock()
+	defer ng.errMu.Unlock()
+	return ng.err
+}
+
+// Emit publishes a new reading of variable v to every shard with a
+// subscribed condition. The variable must have appeared in at least one
+// registration (DMs are created at first Register and kept for the
+// engine's lifetime).
+func (ng *Engine) Emit(v event.VarName, value float64) (int64, error) {
+	ng.dmMu.RLock()
+	dm := ng.dms[v]
+	ng.dmMu.RUnlock()
+	if dm == nil {
+		return 0, fmt.Errorf("runtime: no data monitor for variable %q", v)
+	}
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	if dm.closed {
+		return 0, fmt.Errorf("runtime: Emit: %w", ErrClosed)
+	}
+	dm.seq++
+	f := emsg{u: event.U(v, dm.seq, value)}
+	for _, sh := range dm.shards {
+		sh.in <- f
+	}
+	ng.m.addEmitted(1)
+	return dm.seq, nil
+}
+
+// EmitBatch publishes a run of readings of variable v as one batch,
+// semantically identical to calling Emit once per value with no
+// interleaved emitters. It returns the sequence number assigned to the
+// last reading (zero-length batches return the current counter).
+func (ng *Engine) EmitBatch(v event.VarName, values []float64) (int64, error) {
+	ng.dmMu.RLock()
+	dm := ng.dms[v]
+	ng.dmMu.RUnlock()
+	if dm == nil {
+		return 0, fmt.Errorf("runtime: no data monitor for variable %q", v)
+	}
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	if dm.closed {
+		return 0, fmt.Errorf("runtime: EmitBatch: %w", ErrClosed)
+	}
+	if len(values) == 0 {
+		return dm.seq, nil
+	}
+	us := make([]event.Update, len(values))
+	for i, value := range values {
+		dm.seq++
+		us[i] = event.U(v, dm.seq, value)
+	}
+	f := emsg{us: us}
+	for _, sh := range dm.shards {
+		sh.in <- f
+	}
+	ng.m.addEmitted(int64(len(values)))
+	ng.m.incEmitBatches()
+	return dm.seq, nil
+}
+
+// Drain blocks until every update and alert emitted before the call has
+// been fully processed — shard queues empty and back-link alerts
+// filtered — without stopping the engine. It works by flushing a no-op
+// control frame through every shard (ordered after all prior frames) and
+// then waiting for the pump to drain the back link. Concurrent emitters
+// can keep the pipeline busy; Drain only guarantees its happens-before
+// edge: everything emitted before Drain began is displayed or fenced when
+// it returns.
+func (ng *Engine) Drain() error {
+	// regMu is held throughout: Close cannot shut the channels down under
+	// us, and the shard workers and pump never take it.
+	ng.regMu.Lock()
+	defer ng.regMu.Unlock()
+	if ng.closed {
+		return fmt.Errorf("runtime: Drain: %w", ErrClosed)
+	}
+	dones := make([]chan error, len(ng.shards))
+	for i, sh := range ng.shards {
+		dones[i] = make(chan error, 1)
+		// A remove of a name that was never registered is a no-op control
+		// frame that still answers done — the engine's flush token.
+		sh.in <- emsg{ctl: &ectl{op: ctlRemove, name: "", done: dones[i]}}
+	}
+	for _, d := range dones {
+		<-d
+	}
+	// Every shard has enqueued all frames it produced before its token;
+	// one flush frame round-trips the pump behind them.
+	flushed := make(chan struct{})
+	ng.backlink <- ebackFrame{done: flushed}
+	<-flushed
+	return nil
+}
+
+// Demux exposes the fencing Alert Displayer for inspection.
+func (ng *Engine) Demux() *multicond.LiveDemux { return ng.demux }
+
+// Workers returns the size of the shard pool.
+func (ng *Engine) Workers() int { return len(ng.shards) }
+
+// Conditions returns the number of live registrations.
+func (ng *Engine) Conditions() int {
+	ng.regMu.Lock()
+	defer ng.regMu.Unlock()
+	return len(ng.regs)
+}
+
+// Epoch returns the latest registration epoch issued.
+func (ng *Engine) Epoch() uint64 {
+	ng.regMu.Lock()
+	defer ng.regMu.Unlock()
+	return ng.epoch
+}
+
+// ShardOf reports which shard currently owns the condition, and whether
+// the name is registered at all (diagnostics).
+func (ng *Engine) ShardOf(name string) (int, bool) {
+	ng.regMu.Lock()
+	defer ng.regMu.Unlock()
+	reg, ok := ng.regs[name]
+	if !ok {
+		return 0, false
+	}
+	return reg.shard, true
+}
+
+// Close drains the pipeline and returns the merged displayed sequence,
+// plus the first evaluation error encountered (if any).
+func (ng *Engine) Close() ([]event.Alert, error) {
+	ng.regMu.Lock()
+	if ng.closed {
+		ng.regMu.Unlock()
+		return ng.demux.Displayed(), ng.firstErr()
+	}
+	ng.closed = true
+	ng.regMu.Unlock()
+
+	// Stop every DM first: once each dm.mu has been held with closed set,
+	// no Emit can be mid-send. Register/Unregister/Rebalance sends happen
+	// under regMu, which has already seen closed — so the shard channels
+	// are safe to close.
+	ng.dmMu.Lock()
+	for _, dm := range ng.dms {
+		dm.mu.Lock()
+		dm.closed = true
+		dm.mu.Unlock()
+	}
+	ng.dmMu.Unlock()
+	for _, sh := range ng.shards {
+		close(sh.in)
+	}
+	ng.wg.Wait()
+	close(ng.backlink)
+	ng.pumpWg.Wait()
+	return ng.demux.Displayed(), ng.firstErr()
+}
