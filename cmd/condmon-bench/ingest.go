@@ -1,0 +1,156 @@
+package main
+
+// Ingest-plane measurement for the -perf report: the same update volume is
+// pushed over real loopback UDP through the single-socket channel-mode
+// receiver (the pre-group wiring) and through SO_REUSEPORT socket groups
+// in direct-dispatch mode. Publisher sender lanes match the receive group
+// width so the kernel's 4-tuple hash spreads variables across sockets.
+// Updates/sec counts fully accepted updates; allocations are sampled
+// process-wide around the timed window, so a non-pooled receive path shows
+// up as allocs/update ≫ 0.
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"condmon/internal/event"
+	"condmon/internal/obs"
+	"condmon/internal/transport"
+)
+
+// ingestResult is one ingest run: accepted updates/sec through a given
+// socket-group width and delivery mode.
+type ingestResult struct {
+	Sockets   int  `json:"sockets"`
+	Senders   int  `json:"senders"`
+	Dispatch  bool `json:"dispatch"`
+	Variables int  `json:"variables"`
+	BatchSize int  `json:"batch_size"`
+	Updates   int  `json:"updates"`
+	// PerSocketDatagrams shows how the kernel spread the load (one entry
+	// per socket of the group).
+	PerSocketDatagrams []int64 `json:"per_socket_datagrams"`
+	// Dropped counts updates the loopback hop lost despite flow control
+	// (kernel receive-buffer overflow); non-zero means the rate below is
+	// measured over the accepted subset.
+	Dropped         int     `json:"dropped"`
+	UpdatesPerSec   float64 `json:"updates_per_sec"`
+	AllocsPerUpdate float64 `json:"allocs_per_update"`
+}
+
+// ingestThroughput drives total updates across nVars variables through one
+// loopback UDP hop in the given mode and reports the accepted-update rate.
+// Publishing is flow-controlled against the accepted counter (UDP gives no
+// backpressure; unchecked loopback floods overflow the receive buffer and
+// the "throughput" would be measuring loss), so the number reported is the
+// rate the receive path actually sustains.
+func ingestThroughput(sockets int, dispatch bool, total int) (ingestResult, error) {
+	const nVars, chunk = 64, 32
+	reg := obs.NewRegistry()
+	var accepted atomic.Int64
+	opts := transport.UDPReceiverOptions{Metrics: reg}
+	if dispatch {
+		opts.Dispatch = func(v event.VarName, us []event.Update) {
+			accepted.Add(int64(len(us)))
+		}
+	}
+	recv, err := transport.ListenUDPGroup("127.0.0.1:0", sockets, opts)
+	if err != nil {
+		return ingestResult{}, err
+	}
+	defer recv.Close()
+	consumerDone := make(chan struct{})
+	if dispatch {
+		close(consumerDone)
+	} else {
+		go func() {
+			defer close(consumerDone)
+			for range recv.Updates() {
+				accepted.Add(1)
+			}
+		}()
+	}
+	pub, err := transport.NewUDPPublisherOpts(
+		transport.UDPPublisherOptions{Senders: recv.Sockets()}, recv.Addr())
+	if err != nil {
+		return ingestResult{}, err
+	}
+	defer pub.Close()
+
+	res := ingestResult{
+		Sockets:   recv.Sockets(),
+		Senders:   pub.Senders(),
+		Dispatch:  dispatch,
+		Variables: nVars,
+		BatchSize: chunk,
+	}
+	vars := make([]event.VarName, nVars)
+	runs := make([][]event.Update, nVars)
+	perVar := total / nVars
+	perVar -= perVar % chunk
+	res.Updates = perVar * nVars
+	for i := range vars {
+		vars[i] = event.VarName(fmt.Sprintf("v%03d", i))
+		runs[i] = make([]event.Update, chunk)
+	}
+	seqs := make([]int64, nVars)
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	sent := 0
+	for r := 0; r < perVar/chunk; r++ {
+		for i, v := range vars {
+			run := runs[i]
+			for j := range run {
+				seqs[i]++
+				run[j] = event.U(v, seqs[i], float64(seqs[i]%1000))
+			}
+			if err := pub.PublishBatch(v, run); err != nil {
+				return res, err
+			}
+			sent += chunk
+			// Window the flood: stay ahead of acceptance by at most 64
+			// datagrams' worth of updates in dispatch mode (the kernel
+			// receive buffer — SetReadBuffer is silently clamped to
+			// net.core.rmem_max — must never overflow), and by less than the
+			// receiver's 1024-slot channel in channel mode so the consumer
+			// lagging never overruns it. Each mode runs at the rate it can
+			// sustain without loss.
+			window := 2048
+			if !dispatch {
+				window = 512
+			}
+			for sent-int(accepted.Load()) > window {
+				runtime.Gosched()
+			}
+		}
+	}
+	// Wait for the tail; a datagram lost despite the flow-control window
+	// shows up as acceptance stalling short of the total, in which case the
+	// rate is honestly computed over what actually arrived and Dropped
+	// records the shortfall.
+	lastSeen, lastProgress := accepted.Load(), time.Now()
+	for int(accepted.Load()) < res.Updates {
+		if now := accepted.Load(); now != lastSeen {
+			lastSeen, lastProgress = now, time.Now()
+		} else if time.Since(lastProgress) > 3*time.Second {
+			break
+		}
+		runtime.Gosched()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	got := int(accepted.Load())
+	res.Dropped = res.Updates - got
+	res.UpdatesPerSec = float64(got) / elapsed.Seconds()
+	res.AllocsPerUpdate = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Updates)
+	for i := 0; i < recv.Sockets(); i++ {
+		res.PerSocketDatagrams = append(res.PerSocketDatagrams,
+			reg.Counter(fmt.Sprintf("transport.recv.%d.datagrams", i)).Value())
+	}
+	return res, nil
+}

@@ -45,6 +45,7 @@ type perfReport struct {
 	Benchmarks  map[string]perfResult       `json:"benchmarks,omitempty"`
 	MultiSystem map[string]throughputResult `json:"multi_system,omitempty"`
 	Backlink    map[string]backlinkResult   `json:"backlink,omitempty"`
+	Ingest      map[string]ingestResult     `json:"ingest,omitempty"`
 	Million     map[string]millionResult    `json:"million_conditions,omitempty"`
 }
 
@@ -53,7 +54,8 @@ type perfReport struct {
 // MillionConditions: building a million-condition engine is a deliberate
 // act, opted into by name.
 var perfScenarios = []string{
-	"CEFeed", "DSLEval", "Filters", "MultiSystem", "Backlink", "MillionConditions",
+	"CEFeed", "DSLEval", "Filters", "MultiSystem", "Backlink", "IngestThroughput",
+	"MillionConditions",
 }
 
 // parseScenarios resolves a comma-separated, case-insensitive -scenario
@@ -346,6 +348,29 @@ func runPerf(out io.Writer, metricsAddr string, hold time.Duration, scenarios st
 				return fmt.Errorf("%s: %w", m.key, err)
 			}
 			report.Backlink[m.key] = res
+		}
+	}
+
+	if sel["ingestthroughput"] {
+		// The ingest-plane scenario: the same volume over loopback UDP
+		// through the single-socket channel receiver (the pre-group
+		// baseline) and through SO_REUSEPORT groups in dispatch mode.
+		report.Ingest = map[string]ingestResult{}
+		for _, m := range []struct {
+			key      string
+			sockets  int
+			dispatch bool
+		}{
+			{"IngestThroughput/1socket_channel", 1, false},
+			{"IngestThroughput/1socket_dispatch", 1, true},
+			{"IngestThroughput/4socket_dispatch", 4, true},
+			{"IngestThroughput/8socket_dispatch", 8, true},
+		} {
+			res, err := ingestThroughput(m.sockets, m.dispatch, 512*1024)
+			if err != nil {
+				return fmt.Errorf("%s: %w", m.key, err)
+			}
+			report.Ingest[m.key] = res
 		}
 	}
 

@@ -40,6 +40,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		id       = fs.String("id", "CE1", "replica identity carried in alerts")
 		listen   = fs.String("listen", "127.0.0.1:0", "UDP endpoint for the front link")
+		sockets  = fs.Int("sockets", 1, "SO_REUSEPORT receive sockets on the front-link port (>1 needs Linux; falls back to 1 elsewhere)")
 		adAddr   = fs.String("ad", "", "Alert Displayer TCP address")
 		condExpr = fs.String("cond", "", "condition DSL expression")
 		dropP    = fs.Float64("drop", 0, "forced front-link drop probability (testing aid)")
@@ -91,7 +92,7 @@ func run(args []string, out io.Writer) error {
 		}
 		forced = b
 	}
-	recv, err := transport.ListenUDP(*listen, transport.UDPReceiverOptions{
+	recv, err := transport.ListenUDPGroup(*listen, *sockets, transport.UDPReceiverOptions{
 		ForcedLoss: forced,
 		Seed:       *seed,
 		Metrics:    reg,
@@ -104,6 +105,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer recv.Close()
+	if *sockets > 1 && recv.Sockets() != *sockets {
+		fmt.Fprintf(out, "%s: SO_REUSEPORT unavailable, falling back to 1 receive socket\n", *id)
+	}
 	if reg != nil {
 		srv, err := obs.ServeWith(*maddr, obs.MuxOptions{Registry: reg, Trace: tr, Health: hl})
 		if err != nil {

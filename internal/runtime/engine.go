@@ -719,6 +719,70 @@ func (ng *Engine) EmitBatch(v event.VarName, values []float64) (int64, error) {
 	return dm.seq, nil
 }
 
+// Inject routes one externally-sequenced update to every shard with a
+// subscribed condition — the ingest-plane entry point for updates whose
+// sequence numbers were assigned upstream (a remote DM behind a
+// transport.UDPReceiver). The DM counter advances past u.SeqNo so a later
+// Emit never reuses a sequence number; per-variable ordering is the
+// caller's responsibility (the receiver's in-order acceptance provides it).
+func (ng *Engine) Inject(u event.Update) error {
+	ng.dmMu.RLock()
+	dm := ng.dms[u.Var]
+	ng.dmMu.RUnlock()
+	if dm == nil {
+		return fmt.Errorf("runtime: no data monitor for variable %q", u.Var)
+	}
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	if dm.closed {
+		return fmt.Errorf("runtime: Inject: %w", ErrClosed)
+	}
+	if u.SeqNo > dm.seq {
+		dm.seq = u.SeqNo
+	}
+	f := emsg{u: u}
+	for _, sh := range dm.shards {
+		sh.in <- f
+	}
+	ng.m.addEmitted(1)
+	return nil
+}
+
+// InjectBatch routes a run of externally-sequenced updates of variable v
+// as one frame per shard. The run is copied before it crosses the shard
+// channels, so the caller may hand in a pooled decode buffer and reuse it
+// the moment InjectBatch returns — the contract a
+// transport.UDPReceiverOptions.Dispatch callback needs. Sequence numbers
+// must be ascending within the run; the DM counter advances past the last.
+func (ng *Engine) InjectBatch(v event.VarName, us []event.Update) error {
+	ng.dmMu.RLock()
+	dm := ng.dms[v]
+	ng.dmMu.RUnlock()
+	if dm == nil {
+		return fmt.Errorf("runtime: no data monitor for variable %q", v)
+	}
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	if dm.closed {
+		return fmt.Errorf("runtime: InjectBatch: %w", ErrClosed)
+	}
+	if len(us) == 0 {
+		return nil
+	}
+	run := make([]event.Update, len(us))
+	copy(run, us)
+	if last := run[len(run)-1].SeqNo; last > dm.seq {
+		dm.seq = last
+	}
+	f := emsg{us: run}
+	for _, sh := range dm.shards {
+		sh.in <- f
+	}
+	ng.m.addEmitted(int64(len(run)))
+	ng.m.incEmitBatches()
+	return nil
+}
+
 // Drain blocks until every update and alert emitted before the call has
 // been fully processed — shard queues empty and back-link alerts
 // filtered — without stopping the engine. It works by flushing a no-op

@@ -1,0 +1,223 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+)
+
+// injectStream is the deterministic test stream shared by the inject
+// equivalence tests.
+func injectStream(v event.VarName, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		phase := int(hashVar(v) % 37)
+		out[i] = float64(((i + phase) * 13) % 1000)
+	}
+	return out
+}
+
+// TestMultiSystemInjectMatchesEmit pins the ingest-plane contract: a
+// stream fed through Inject/InjectBatch with externally assigned sequence
+// numbers displays exactly what the same stream fed through Emit/EmitBatch
+// does — Inject is Emit minus the sequence assignment.
+func TestMultiSystemInjectMatchesEmit(t *testing.T) {
+	const n = 300
+	newSys := func() *MultiSystem {
+		sys, err := NewMulti(equivConds(), func(c cond.Condition) ad.Filter {
+			return ad.NewAD1()
+		}, MultiOptions{Replicas: 2, Seed: 7})
+		if err != nil {
+			t.Fatalf("NewMulti: %v", err)
+		}
+		return sys
+	}
+	vars := []event.VarName{"x", "y"}
+
+	base := newSys()
+	for _, v := range vars {
+		if _, err := base.EmitBatch(v, injectStream(v, n)); err != nil {
+			t.Fatalf("EmitBatch: %v", err)
+		}
+	}
+	if _, err := base.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	want := map[string][]event.Alert{}
+	for _, c := range equivConds() {
+		want[c.Name()] = base.Demux().DisplayedFor(c.Name())
+	}
+
+	inj := newSys()
+	for _, v := range vars {
+		values := injectStream(v, n)
+		seq := int64(0)
+		// Mixed single/batched injection with a reused buffer: the first
+		// update goes through Inject, the rest in runs of 7 through
+		// InjectBatch, mutating the buffer after each call to prove the run
+		// was copied before crossing the shard channels.
+		buf := make([]event.Update, 0, 7)
+		seq++
+		if err := inj.Inject(event.U(v, seq, values[0])); err != nil {
+			t.Fatalf("Inject: %v", err)
+		}
+		for i := 1; i < len(values); i += 7 {
+			j := i + 7
+			if j > len(values) {
+				j = len(values)
+			}
+			buf = buf[:0]
+			for _, val := range values[i:j] {
+				seq++
+				buf = append(buf, event.U(v, seq, val))
+			}
+			if err := inj.InjectBatch(v, buf); err != nil {
+				t.Fatalf("InjectBatch: %v", err)
+			}
+			for k := range buf {
+				buf[k] = event.U("poison", -1, -1) // pooled-buffer reuse
+			}
+		}
+	}
+	if _, err := inj.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got := map[string][]event.Alert{}
+	for _, c := range equivConds() {
+		got[c.Name()] = inj.Demux().DisplayedFor(c.Name())
+	}
+	compareDisplayed(t, "inject", want, got)
+}
+
+// TestMultiSystemInjectSeqInterplay checks the counter contract: Emit
+// after Inject continues past the injected horizon instead of reusing
+// sequence numbers.
+func TestMultiSystemInjectSeqInterplay(t *testing.T) {
+	sys, err := NewMulti(equivConds(), func(c cond.Condition) ad.Filter {
+		return ad.NewAD1()
+	}, MultiOptions{Replicas: 1})
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	defer sys.Close()
+	if err := sys.InjectBatch("x", []event.Update{event.U("x", 5, 1), event.U("x", 9, 2)}); err != nil {
+		t.Fatalf("InjectBatch: %v", err)
+	}
+	seq, err := sys.Emit("x", 3)
+	if err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	if seq != 10 {
+		t.Fatalf("Emit after Inject(seq 9) assigned %d, want 10", seq)
+	}
+}
+
+// TestMultiSystemInjectErrors covers the failure paths: unknown variable,
+// and wrapped ErrClosed after Close.
+func TestMultiSystemInjectErrors(t *testing.T) {
+	sys, err := NewMulti(equivConds(), func(c cond.Condition) ad.Filter {
+		return ad.NewAD1()
+	}, MultiOptions{Replicas: 1})
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	if err := sys.Inject(event.U("nope", 1, 1)); err == nil {
+		t.Fatal("Inject(unknown var): no error")
+	}
+	if err := sys.InjectBatch("nope", []event.Update{event.U("nope", 1, 1)}); err == nil {
+		t.Fatal("InjectBatch(unknown var): no error")
+	}
+	if err := sys.InjectBatch("x", nil); err != nil {
+		t.Fatalf("InjectBatch(empty): %v", err)
+	}
+	if _, err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := sys.Inject(event.U("x", 1, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Inject after Close: %v, want ErrClosed", err)
+	}
+	if err := sys.InjectBatch("x", []event.Update{event.U("x", 1, 1)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("InjectBatch after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestEngineInjectMatchesEmit is the Engine-side twin: injected external
+// sequence numbers display exactly what EmitBatch does.
+func TestEngineInjectMatchesEmit(t *testing.T) {
+	const n = 300
+	newEng := func() *Engine {
+		ng, err := NewEngine(func(c cond.Condition) ad.Filter {
+			return ad.NewAD1()
+		}, EngineOptions{Replicas: 2, Workers: 2, Seed: 7})
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		for _, c := range equivConds() {
+			if _, err := ng.Register(c); err != nil {
+				t.Fatalf("Register: %v", err)
+			}
+		}
+		return ng
+	}
+	vars := []event.VarName{"x", "y"}
+
+	base := newEng()
+	for _, v := range vars {
+		if _, err := base.EmitBatch(v, injectStream(v, n)); err != nil {
+			t.Fatalf("EmitBatch: %v", err)
+		}
+	}
+	if _, err := base.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	want := map[string][]event.Alert{}
+	for _, c := range equivConds() {
+		want[c.Name()] = base.Demux().DisplayedFor(c.Name())
+	}
+
+	inj := newEng()
+	for _, v := range vars {
+		values := injectStream(v, n)
+		buf := make([]event.Update, 0, 9)
+		seq := int64(0)
+		for i := 0; i < len(values); i += 9 {
+			j := i + 9
+			if j > len(values) {
+				j = len(values)
+			}
+			buf = buf[:0]
+			for _, val := range values[i:j] {
+				seq++
+				buf = append(buf, event.U(v, seq, val))
+			}
+			if err := inj.InjectBatch(v, buf); err != nil {
+				t.Fatalf("InjectBatch: %v", err)
+			}
+			for k := range buf {
+				buf[k] = event.U("poison", -1, -1)
+			}
+		}
+	}
+	if _, err := inj.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got := map[string][]event.Alert{}
+	for _, c := range equivConds() {
+		got[c.Name()] = inj.Demux().DisplayedFor(c.Name())
+	}
+	compareDisplayed(t, "engine-inject", want, got)
+
+	ng := newEng()
+	if err := ng.Inject(event.U("nope", 1, 1)); err == nil {
+		t.Fatal("Engine.Inject(unknown var): no error")
+	}
+	if _, err := ng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := ng.Inject(event.U("x", 1, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Engine.Inject after Close: %v, want ErrClosed", err)
+	}
+}

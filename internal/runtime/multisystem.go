@@ -664,6 +664,67 @@ func (s *MultiSystem) EmitBatch(v event.VarName, values []float64) (int64, error
 	return dm.seq, nil
 }
 
+// Inject routes one externally-sequenced update of variable v to every
+// shard with a subscribed station — the ingest-plane entry point for
+// updates whose sequence numbers were assigned upstream (a remote DM
+// behind a transport.UDPReceiver). The DM's own counter advances past
+// u.SeqNo so a later Emit never reuses a sequence number. The caller is
+// responsible for per-variable ordering (the receiver's in-order
+// acceptance provides it).
+func (s *MultiSystem) Inject(u event.Update) error {
+	dm, ok := s.dms[u.Var]
+	if !ok {
+		return fmt.Errorf("runtime: no data monitor for variable %q", u.Var)
+	}
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	if dm.closed {
+		return fmt.Errorf("runtime: Inject: %w", ErrClosed)
+	}
+	if u.SeqNo > dm.seq {
+		dm.seq = u.SeqNo
+	}
+	f := frame{u: u}
+	for _, sh := range dm.shards {
+		sh.in <- f
+	}
+	s.m.addEmitted(1)
+	return nil
+}
+
+// InjectBatch routes a run of externally-sequenced updates of variable v
+// as one frame per shard. The run is copied before it crosses the shard
+// channels, so the caller may reuse (or alias a pooled decode buffer for)
+// us as soon as InjectBatch returns — exactly the contract a
+// transport.UDPReceiverOptions.Dispatch callback needs. Sequence numbers
+// must be ascending within the run; the DM counter advances past the last.
+func (s *MultiSystem) InjectBatch(v event.VarName, us []event.Update) error {
+	dm, ok := s.dms[v]
+	if !ok {
+		return fmt.Errorf("runtime: no data monitor for variable %q", v)
+	}
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	if dm.closed {
+		return fmt.Errorf("runtime: InjectBatch: %w", ErrClosed)
+	}
+	if len(us) == 0 {
+		return nil
+	}
+	run := make([]event.Update, len(us))
+	copy(run, us)
+	if last := run[len(run)-1].SeqNo; last > dm.seq {
+		dm.seq = last
+	}
+	f := frame{us: run}
+	for _, sh := range dm.shards {
+		sh.in <- f
+	}
+	s.m.addEmitted(int64(len(run)))
+	s.m.incEmitBatches()
+	return nil
+}
+
 // Demux exposes the Alert Displayer for inspection.
 func (s *MultiSystem) Demux() *multicond.Demux { return s.demux }
 

@@ -1,0 +1,437 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/obs"
+	"condmon/internal/runtime"
+	"condmon/internal/wire"
+)
+
+// ingestConds is the mixed condition fleet the equivalence runs monitor —
+// every evaluation strategy, one- and two-variable conditions.
+func ingestConds() []cond.Condition {
+	return []cond.Condition{
+		cond.Threshold{CondName: "hot", Var: "x", Limit: 700, Above: true},
+		cond.NewRiseAggressive("x"),
+		cond.NewTempDiff("x", "y"),
+		cond.MustParse("jump", "x[0] - x[-1] > 300 && consecutive(x)"),
+		cond.GreaterThan{CondName: "A", X: "x", Y: "y"},
+	}
+}
+
+var ingestVars = []event.VarName{"x", "y"}
+
+// ingestStream is a deterministic sawtooth with a different phase per
+// variable so every condition fires sometimes but not always.
+func ingestStream(v event.VarName, n int) []event.Update {
+	phase := int(hashVarName(v) % 37)
+	out := make([]event.Update, n)
+	for i := range out {
+		out[i] = event.U(v, int64(i+1), float64(((i+phase)*13)%1000))
+	}
+	return out
+}
+
+// ingestMode selects the plane under test.
+type ingestMode struct {
+	sockets  int  // receive group width (and publisher sender lanes)
+	dispatch bool // direct shard dispatch vs the Updates channel
+}
+
+// runIngest drives one fixed stream through a real loopback UDP hop in the
+// given mode — publisher sender lanes, receiver socket group, forced loss,
+// then a MultiSystem via Inject — and returns the per-condition displayed
+// sequences. It waits for every sent update to be accounted for (accepted,
+// discarded, or force-dropped) before closing, and fails on overruns, so a
+// kernel-dropped datagram surfaces as a timeout rather than silent
+// truncation.
+func runIngest(t *testing.T, lossFor func(v event.VarName) link.Model, mode ingestMode) map[string][]event.Alert {
+	t.Helper()
+	conds := ingestConds()
+	sys, err := runtime.NewMulti(conds, func(c cond.Condition) ad.Filter {
+		return ad.NewAD1()
+	}, runtime.MultiOptions{Replicas: 2, Seed: 42})
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	reg := obs.NewRegistry()
+	var injectErr atomic.Value
+	opts := UDPReceiverOptions{
+		LossFor: lossFor,
+		Seed:    99,
+		Metrics: reg,
+	}
+	if mode.dispatch {
+		opts.Dispatch = func(v event.VarName, us []event.Update) {
+			if err := sys.InjectBatch(v, us); err != nil {
+				injectErr.Store(err)
+			}
+		}
+	}
+	recv, err := ListenUDPGroup("127.0.0.1:0", mode.sockets, opts)
+	if err != nil {
+		t.Fatalf("ListenUDPGroup: %v", err)
+	}
+	var consumerDone chan struct{}
+	if !mode.dispatch {
+		consumerDone = make(chan struct{})
+		go func() {
+			defer close(consumerDone)
+			for u := range recv.Updates() {
+				if err := sys.Inject(u); err != nil {
+					injectErr.Store(err)
+				}
+			}
+		}()
+	}
+	pub, err := NewUDPPublisherOpts(UDPPublisherOptions{Senders: mode.sockets}, recv.Addr())
+	if err != nil {
+		t.Fatalf("NewUDPPublisherOpts: %v", err)
+	}
+
+	// Lockstep publishing: wait for every update of a chunk to be accounted
+	// for (accepted, discarded, or force-dropped) before sending the next.
+	// Acceptance is counted after the dispatch callback (or channel send —
+	// and the single channel consumer injects in FIFO order) returns, so
+	// this fixes the cross-variable frame order each shard observes,
+	// independent of socket count — two-variable conditions are
+	// interleaving-sensitive, and only the interleaving the test controls
+	// may vary between the modes under comparison.
+	const n, chunk = 400, 16
+	accepted := reg.Counter("transport.recv.accepted")
+	overrun := reg.Counter("transport.recv.overrun")
+	sent := 0
+	waitAccounted := func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			d, f := recv.Stats()
+			if accepted.Value()+d+f == int64(sent) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("ingest incomplete: accepted=%d discarded=%d forced=%d, want total %d (loopback drop?)",
+					accepted.Value(), d, f, sent)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	streams := map[event.VarName][]event.Update{}
+	for _, v := range ingestVars {
+		streams[v] = ingestStream(v, n)
+	}
+	for i := 0; i < n; i += chunk {
+		for _, v := range ingestVars {
+			us := streams[v]
+			j := i + chunk
+			if j > len(us) {
+				j = len(us)
+			}
+			if err := pub.PublishBatch(v, us[i:j]); err != nil {
+				t.Fatalf("PublishBatch: %v", err)
+			}
+			sent += j - i
+			waitAccounted()
+		}
+	}
+	if v := overrun.Value(); v != 0 {
+		t.Fatalf("receiver overran %d updates; the equivalence run must be lossless past acceptance", v)
+	}
+	pub.Close()
+	recv.Close()
+	if consumerDone != nil {
+		<-consumerDone
+	}
+	if _, err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err, _ := injectErr.Load().(error); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	out := make(map[string][]event.Alert, len(conds))
+	for _, c := range conds {
+		out[c.Name()] = sys.Demux().DisplayedFor(c.Name())
+	}
+	return out
+}
+
+// compareIngest asserts got matches want per condition: same alerts, same
+// values, same order.
+func compareIngest(t *testing.T, label string, want, got map[string][]event.Alert) {
+	t.Helper()
+	for condName, wantAlerts := range want {
+		gotAlerts := got[condName]
+		if len(gotAlerts) != len(wantAlerts) {
+			t.Fatalf("%s cond=%q: displayed %d alerts, want %d",
+				label, condName, len(gotAlerts), len(wantAlerts))
+		}
+		for i := range wantAlerts {
+			w, g := wantAlerts[i], gotAlerts[i]
+			if w.Key() != g.Key() || !w.Histories.Equal(g.Histories) {
+				t.Fatalf("%s cond=%q alert %d: got %v, want %v",
+					label, condName, i, g, w)
+			}
+		}
+	}
+}
+
+// TestIngestEquivalence is the acceptance gate for the parallel ingest
+// plane: for every loss schedule, the per-condition displayed alert
+// sequences must be identical between single-socket channel mode (the
+// pre-group baseline) and N-socket direct-dispatch mode. Loss randomness
+// is drawn per variable in arrival order, so the schedule a variable sees
+// is independent of socket count and kernel hashing — that invariant is
+// exactly what this test pins.
+func TestIngestEquivalence(t *testing.T) {
+	bern := func(p float64) link.Model {
+		m, err := link.NewBernoulli(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	schedules := map[string]func(v event.VarName) link.Model{
+		"lossless": nil,
+		"bernoulli": func(v event.VarName) link.Model {
+			return bern(0.2)
+		},
+		"burst": func(v event.VarName) link.Model {
+			m, err := link.NewBurst(0.1, 0.5, 0.9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		},
+		"mixed": func(v event.VarName) link.Model {
+			if v == "x" {
+				return bern(0.3)
+			}
+			return nil
+		},
+	}
+	for name, loss := range schedules {
+		t.Run(name, func(t *testing.T) {
+			want := runIngest(t, loss, ingestMode{sockets: 1})
+			compareIngest(t, "1-socket/dispatch", want,
+				runIngest(t, loss, ingestMode{sockets: 1, dispatch: true}))
+			for _, sockets := range []int{4, 8} {
+				got := runIngest(t, loss, ingestMode{sockets: sockets, dispatch: true})
+				compareIngest(t, fmt.Sprintf("%d-socket/dispatch", sockets), want, got)
+			}
+		})
+	}
+}
+
+// TestUDPGroupSocketCounters checks the per-socket gauges exist and sum to
+// the datagram total, and that Sockets reports the real group width
+// (post-fallback on non-Linux platforms).
+func TestUDPGroupSocketCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	recv, err := ListenUDPGroup("127.0.0.1:0", 4, UDPReceiverOptions{Metrics: reg})
+	if err != nil {
+		t.Fatalf("ListenUDPGroup: %v", err)
+	}
+	defer recv.Close()
+	if reusePortAvailable && recv.Sockets() != 4 {
+		t.Fatalf("Sockets() = %d, want 4", recv.Sockets())
+	}
+	if !reusePortAvailable && recv.Sockets() != 1 {
+		t.Fatalf("Sockets() = %d, want 1 after fallback", recv.Sockets())
+	}
+	pub, err := NewUDPPublisherOpts(UDPPublisherOptions{Senders: 4}, recv.Addr())
+	if err != nil {
+		t.Fatalf("NewUDPPublisherOpts: %v", err)
+	}
+	defer pub.Close()
+	const vars, perVar = 16, 5
+	for i := 0; i < vars; i++ {
+		v := event.VarName(fmt.Sprintf("v%02d", i))
+		for s := int64(1); s <= perVar; s++ {
+			if err := pub.Publish(event.U(v, s, float64(s))); err != nil {
+				t.Fatalf("Publish: %v", err)
+			}
+		}
+	}
+	accepted := reg.Counter("transport.recv.accepted")
+	deadline := time.Now().Add(10 * time.Second)
+	for accepted.Value() < vars*perVar {
+		if time.Now().After(deadline) {
+			t.Fatalf("accepted = %d, want %d", accepted.Value(), vars*perVar)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var perSock int64
+	for i := 0; i < recv.Sockets(); i++ {
+		perSock += reg.Counter(fmt.Sprintf("transport.recv.%d.datagrams", i)).Value()
+	}
+	if perSock != vars*perVar {
+		t.Fatalf("per-socket datagram counters sum to %d, want %d", perSock, vars*perVar)
+	}
+}
+
+// TestUDPReceiverConcurrentStatsReaders is the -race gate for the
+// satellite fix: Stats and LastOrigin are lock-free atomic reads, so
+// readers hammering them concurrently with live traffic must neither race
+// nor stall the read loops.
+func TestUDPReceiverConcurrentStatsReaders(t *testing.T) {
+	recv, err := ListenUDP("127.0.0.1:0", UDPReceiverOptions{
+		ForcedLoss: link.Bernoulli{P: 0.3},
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	pub, err := NewUDPPublisher(recv.Addr())
+	if err != nil {
+		t.Fatalf("NewUDPPublisher: %v", err)
+	}
+	tr := obs.NewTracer(64)
+	pub.SetTrace(tr, "DM") // annotated frames exercise lastOrigin stores
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				recv.Stats()
+				recv.LastOrigin("x")
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // drain so the channel never overruns
+		defer wg.Done()
+		for range recv.Updates() {
+		}
+	}()
+
+	us := ingestStream("x", 500)
+	for i := 0; i < len(us); i += 20 {
+		if err := pub.PublishBatch("x", us[i:i+20]); err != nil {
+			t.Fatalf("PublishBatch: %v", err)
+		}
+	}
+	// Wait until forced loss and an annotated origin have both been
+	// observed, so the readers raced live stores, not a quiet receiver.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, f := recv.Stats()
+		if f > 0 && recv.LastOrigin("x") > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no forced loss or origin observed (forced=%d origin=%d)", f, recv.LastOrigin("x"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	pub.Close()
+	recv.Close()
+	wg.Wait()
+}
+
+// TestReceiveDispatchAllocs pins the receive hot path: with warm variable
+// lanes and a reused scratch, handling a batch datagram in dispatch mode
+// allocates nothing — no per-datagram buffers, no string conversions, no
+// map growth.
+func TestReceiveDispatchAllocs(t *testing.T) {
+	var got int64
+	recv, err := ListenUDP("127.0.0.1:0", UDPReceiverOptions{
+		Dispatch: func(v event.VarName, us []event.Update) { got += int64(len(us)) },
+	})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer recv.Close()
+
+	const runs = 200
+	const perFrame = 16
+	frames := make([][]byte, runs+2) // AllocsPerRun runs the body runs+1 times
+	seq := int64(0)
+	for i := range frames {
+		us := make([]event.Update, perFrame)
+		for j := range us {
+			seq++
+			us[j] = event.U("x", seq, float64(j))
+		}
+		frame, err := wire.EncodeBatch("x", us)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = frame
+	}
+	scratch := make([]event.Update, 0, perFrame)
+	scratch = recv.handleDatagram(0, frames[len(frames)-1], scratch) // warm the lane
+	next := 0
+	if avg := testing.AllocsPerRun(runs, func() {
+		scratch = recv.handleDatagram(0, frames[next], scratch)
+		next++
+	}); avg != 0 {
+		t.Errorf("dispatch receive path allocates %.1f per datagram, want 0", avg)
+	}
+}
+
+// TestMaxDatagramClamp pins the satellite publisher option: the split
+// budget is resolved once at construction and clamps to [512B, 64KB].
+func TestMaxDatagramClamp(t *testing.T) {
+	recv, err := ListenUDP("127.0.0.1:0", UDPReceiverOptions{})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer recv.Close()
+	for _, tc := range []struct {
+		give, want int
+	}{
+		{0, maxDatagram},
+		{-5, maxDatagram},
+		{100, minDatagram},
+		{2048, 2048},
+		{1 << 20, maxDatagram},
+	} {
+		pub, err := NewUDPPublisherOpts(UDPPublisherOptions{MaxDatagram: tc.give}, recv.Addr())
+		if err != nil {
+			t.Fatalf("NewUDPPublisherOpts(MaxDatagram=%d): %v", tc.give, err)
+		}
+		if pub.MaxDatagram() != tc.want {
+			t.Errorf("MaxDatagram(%d) clamps to %d, want %d", tc.give, pub.MaxDatagram(), tc.want)
+		}
+		pub.Close()
+	}
+
+	// A small budget actually splits: 20 updates at ~16B each can't fit one
+	// 512B datagram alongside the header, so the receiver must see several
+	// datagrams while accepting every update in order.
+	pub, err := NewUDPPublisherOpts(UDPPublisherOptions{MaxDatagram: 512}, recv.Addr())
+	if err != nil {
+		t.Fatalf("NewUDPPublisherOpts: %v", err)
+	}
+	defer pub.Close()
+	us := ingestStream("split", 64)
+	if err := pub.PublishBatch("split", us); err != nil {
+		t.Fatalf("PublishBatch: %v", err)
+	}
+	got := collect(t, recv, len(us), 5*time.Second)
+	if len(got) != len(us) {
+		t.Fatalf("received %d updates, want %d", len(got), len(us))
+	}
+	for i, u := range got {
+		if u.SeqNo != us[i].SeqNo {
+			t.Fatalf("update %d arrived with seq %d, want %d", i, u.SeqNo, us[i].SeqNo)
+		}
+	}
+}

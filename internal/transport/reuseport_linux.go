@@ -1,0 +1,48 @@
+//go:build linux && !mips && !mipsle && !mips64 && !mips64le
+
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+)
+
+// reusePortAvailable reports whether this platform supports binding a
+// group of UDP sockets to one port via SO_REUSEPORT. On Linux the kernel
+// load-balances datagrams across the group by 4-tuple hash — the property
+// ListenUDPGroup builds on.
+const reusePortAvailable = true
+
+// soReusePort is SO_REUSEPORT on Linux. The syscall package's frozen API
+// predates the option (kernel 3.9), so spell the constant out; it is 15 on
+// every Linux port except the MIPS family, which the build tag excludes.
+const soReusePort = 0xf
+
+// listenUDPReusePort binds one UDP socket to addr with SO_REUSEPORT set
+// before bind, so further sockets can join the same port.
+func listenUDPReusePort(addr string) (*net.UDPConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, ok := pc.(*net.UDPConn)
+	if !ok {
+		pc.Close()
+		return nil, fmt.Errorf("transport: listen %q: unexpected conn type %T", addr, pc)
+	}
+	return conn, nil
+}

@@ -1,0 +1,20 @@
+//go:build !linux || mips || mipsle || mips64 || mips64le
+
+package transport
+
+import (
+	"fmt"
+	"net"
+)
+
+// reusePortAvailable is false here: without SO_REUSEPORT (or where the
+// syscall constant is unknown), ListenUDPGroup falls back to a single
+// socket with identical acceptance semantics — only the kernel-side
+// load-balancing is lost.
+const reusePortAvailable = false
+
+// listenUDPReusePort is never reached when reusePortAvailable is false;
+// it exists so the group path compiles on every platform.
+func listenUDPReusePort(addr string) (*net.UDPConn, error) {
+	return nil, fmt.Errorf("transport: SO_REUSEPORT unsupported on this platform (%q)", addr)
+}

@@ -19,9 +19,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"condmon/internal/event"
@@ -37,19 +39,60 @@ import (
 const maxFrame = 1 << 20
 
 // maxDatagram is the receiver's read-buffer size; PublishBatch splits runs
-// so no batch datagram exceeds it.
+// so no batch datagram exceeds it. UDPPublisherOptions.MaxDatagram may
+// lower the split point but never raise it.
 const maxDatagram = 64 * 1024
+
+// minDatagram is the smallest MaxDatagram a publisher accepts: enough for
+// the batch header, a long variable name, a trace trailer, and at least one
+// record.
+const minDatagram = 512
 
 // updateBuffer sizes receiver channels; UDP senders never block on the
 // receiver, so a full buffer simply looks like link loss — faithful to the
 // medium.
 const updateBuffer = 1024
 
+// hashVarName derives a stable shard index component from a variable name
+// (FNV-1a, allocation-free). Publishers use it to pin each variable to one
+// sender socket; with SO_REUSEPORT receive groups the kernel hashes the
+// resulting fixed 4-tuple, so every datagram of a variable lands on the
+// same receive socket and per-variable in-order acceptance needs no
+// cross-socket coordination.
+func hashVarName(v event.VarName) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(v))
+	return h.Sum64()
+}
+
+// UDPPublisherOptions configure the DM side of a front link.
+type UDPPublisherOptions struct {
+	// Senders is the number of source sockets per CE endpoint (default 1).
+	// Variables are sharded across senders by name hash, so a variable's
+	// datagrams always leave on the same socket — the 4-tuple stability
+	// that keeps an SO_REUSEPORT receive group's per-variable streams on
+	// one receive socket. Different senders may publish concurrently;
+	// publishes of variables sharing a sender serialize on its lock.
+	Senders int
+	// MaxDatagram bounds the size of a batch datagram. Values outside
+	// [512, 64KB] are clamped to that range; zero means 64KB — the
+	// receiver's read-buffer size, which no setting may exceed.
+	MaxDatagram int
+}
+
 // UDPPublisher is the DM side of a front link: it multicasts each update to
 // a fixed set of CE endpoints as independent datagrams (one lossy link per
 // recipient, as in Figure 1(b)).
 type UDPPublisher struct {
-	conns []*net.UDPConn
+	// senders each own one socket per endpoint plus a pooled encode buffer;
+	// a variable's traffic always flows through senders[hash(var)%n].
+	senders []*udpSender
+	// payload is the per-chunk byte budget PublishBatch splits runs
+	// against: MaxDatagram minus the fixed batch-frame overhead and a
+	// reserved trace trailer, hoisted to construction so the hot path only
+	// subtracts the variable-name length.
+	payload int
+	maxDg   int
 
 	// Optional instrumentation; nil counters no-op.
 	cDatagrams *obs.Counter // datagrams written (one per endpoint per send)
@@ -60,6 +103,15 @@ type UDPPublisher struct {
 	tr        *obs.Tracer
 	traceName string
 	annotate  bool
+}
+
+// udpSender is one source-socket lane of a publisher: its connected
+// sockets (one per endpoint, all sharing this lane's source port per
+// endpoint) and the encode buffer its datagrams are built in.
+type udpSender struct {
+	mu    sync.Mutex
+	conns []*net.UDPConn
+	buf   []byte
 }
 
 // SetMetrics registers publisher counters in reg under prefix:
@@ -88,33 +140,84 @@ func (p *UDPPublisher) SetTrace(t *obs.Tracer, replica string) {
 	p.tr, p.traceName, p.annotate = t, replica, true
 }
 
-// NewUDPPublisher connects to the given CE addresses.
+// NewUDPPublisher connects to the given CE addresses with default options:
+// one sender socket per endpoint, 64KB batch datagrams.
 func NewUDPPublisher(addrs ...string) (*UDPPublisher, error) {
+	return NewUDPPublisherOpts(UDPPublisherOptions{}, addrs...)
+}
+
+// NewUDPPublisherOpts connects to the given CE addresses with explicit
+// sender-socket and datagram-size options.
+func NewUDPPublisherOpts(opts UDPPublisherOptions, addrs ...string) (*UDPPublisher, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("transport: publisher needs at least one address")
 	}
-	p := &UDPPublisher{conns: make([]*net.UDPConn, 0, len(addrs))}
+	if opts.Senders < 1 {
+		opts.Senders = 1
+	}
+	maxDg := opts.MaxDatagram
+	switch {
+	case maxDg <= 0:
+		maxDg = maxDatagram
+	case maxDg < minDatagram:
+		maxDg = minDatagram
+	case maxDg > maxDatagram:
+		maxDg = maxDatagram
+	}
+	p := &UDPPublisher{
+		senders: make([]*udpSender, 0, opts.Senders),
+		maxDg:   maxDg,
+		// Fixed batch-frame overhead (tag, name length, item count) plus a
+		// reserved trace trailer, whether or not tracing is on: computing
+		// the budget once here is what keeps PublishBatch's split point out
+		// of the per-call path.
+		payload: maxDg - (1 + 2 + 2) - wire.TraceLen,
+	}
+	dsts := make([]*net.UDPAddr, 0, len(addrs))
 	for _, a := range addrs {
 		dst, err := net.ResolveUDPAddr("udp", a)
 		if err != nil {
-			p.Close()
 			return nil, fmt.Errorf("transport: resolve %q: %w", a, err)
 		}
-		conn, err := net.DialUDP("udp", nil, dst)
-		if err != nil {
-			p.Close()
-			return nil, fmt.Errorf("transport: dial %q: %w", a, err)
+		dsts = append(dsts, dst)
+	}
+	for i := 0; i < opts.Senders; i++ {
+		s := &udpSender{conns: make([]*net.UDPConn, 0, len(dsts))}
+		for _, dst := range dsts {
+			conn, err := net.DialUDP("udp", nil, dst)
+			if err != nil {
+				p.Close()
+				return nil, fmt.Errorf("transport: dial %q: %w", dst, err)
+			}
+			s.conns = append(s.conns, conn)
 		}
-		p.conns = append(p.conns, conn)
+		p.senders = append(p.senders, s)
 	}
 	return p, nil
+}
+
+// Senders returns the number of sender-socket lanes.
+func (p *UDPPublisher) Senders() int { return len(p.senders) }
+
+// MaxDatagram returns the effective (clamped) batch datagram bound.
+func (p *UDPPublisher) MaxDatagram() int { return p.maxDg }
+
+// senderFor returns the sender lane that carries variable v.
+func (p *UDPPublisher) senderFor(v event.VarName) *udpSender {
+	if len(p.senders) == 1 {
+		return p.senders[0]
+	}
+	return p.senders[hashVarName(v)%uint64(len(p.senders))]
 }
 
 // Publish sends the update to every CE endpoint. Send errors on individual
 // endpoints are ignored — a front link is allowed to lose updates, and a
 // dead receiver is indistinguishable from a lossy link.
 func (p *UDPPublisher) Publish(u event.Update) error {
-	b, err := wire.EncodeUpdate(u)
+	s := p.senderFor(u.Var)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := wire.AppendUpdate(s.buf[:0], u)
 	if err != nil {
 		return err
 	}
@@ -127,38 +230,39 @@ func (p *UDPPublisher) Publish(u event.Update) error {
 			Time: now, Origin: now,
 		})
 	}
-	for _, c := range p.conns {
+	s.buf = b
+	for _, c := range s.conns {
 		_, _ = c.Write(b) // best-effort: loss is part of the model
 	}
 	p.cUpdates.Inc()
-	p.cDatagrams.Add(int64(len(p.conns)))
+	p.cDatagrams.Add(int64(len(s.conns)))
 	return nil
 }
 
 // PublishBatch sends a run of in-order updates of one variable as batch
 // datagrams, one syscall per endpoint per chunk instead of one per update.
 // Runs too large for a single datagram are split so every chunk fits the
-// receiver's buffer. Like Publish, per-endpoint send errors are ignored:
+// publisher's MaxDatagram bound (hence the receiver's buffer); the split
+// point is derived from a budget computed at construction, and chunks are
+// encoded into the sender lane's pooled buffer, so a steady-state call
+// allocates nothing. Like Publish, per-endpoint send errors are ignored:
 // losing a whole batch datagram is just a burstier draw from the same lossy
 // link the paper assumes, and the receiver's per-update sequence check
 // keeps later arrivals in order.
 func (p *UDPPublisher) PublishBatch(v event.VarName, us []event.Update) error {
-	// Fixed 16-byte records after the header make the chunk capacity exact;
-	// an annotated chunk also reserves room for the frame trailer.
-	overhead := 1 + 2 + len(string(v)) + 2
-	if p.annotate {
-		overhead += wire.TraceLen
-	}
-	perChunk := (maxDatagram - overhead) / 16
+	perChunk := (p.payload - len(v)) / 16
 	if perChunk < 1 {
 		return fmt.Errorf("transport: variable name %q leaves no room for updates", v)
 	}
+	s := p.senderFor(v)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for len(us) > 0 {
 		n := len(us)
 		if n > perChunk {
 			n = perChunk
 		}
-		b, err := wire.EncodeBatch(v, us[:n])
+		b, err := wire.AppendBatch(s.buf[:0], v, us[:n])
 		if err != nil {
 			return err
 		}
@@ -174,11 +278,12 @@ func (p *UDPPublisher) PublishBatch(v event.VarName, us []event.Update) error {
 				})
 			}
 		}
-		for _, c := range p.conns {
+		s.buf = b
+		for _, c := range s.conns {
 			_, _ = c.Write(b) // best-effort: loss is part of the model
 		}
 		p.cUpdates.Add(int64(n))
-		p.cDatagrams.Add(int64(len(p.conns)))
+		p.cDatagrams.Add(int64(len(s.conns)))
 		us = us[n:]
 	}
 	return nil
@@ -186,21 +291,46 @@ func (p *UDPPublisher) PublishBatch(v event.VarName, us []event.Update) error {
 
 // Close releases the sockets.
 func (p *UDPPublisher) Close() {
-	for _, c := range p.conns {
-		_ = c.Close()
+	for _, s := range p.senders {
+		for _, c := range s.conns {
+			_ = c.Close()
+		}
 	}
 }
 
 // UDPReceiverOptions configure a CE-side front link endpoint.
 type UDPReceiverOptions struct {
 	// ForcedLoss, if non-nil, drops delivered updates per the model — a
-	// deterministic stand-in for real network loss. Seed drives it.
+	// deterministic stand-in for real network loss. The model instance is
+	// shared by every variable (guarded by one lock); loss randomness is
+	// drawn from a per-variable generator seeded from Seed and the variable
+	// name, so a stateless model's schedule for a variable depends only on
+	// that variable's arrival sequence — identical however datagrams
+	// interleave across sockets.
 	ForcedLoss link.Model
 	Seed       int64
+	// LossFor, if non-nil, supersedes ForcedLoss with a fresh model
+	// instance per variable — the per-variable loss lanes that make even
+	// stateful models (e.g. link.Burst) deterministic per variable
+	// regardless of socket count. Returning nil means lossless for that
+	// variable.
+	LossFor func(v event.VarName) link.Model
+	// Dispatch, if non-nil, switches the receiver into direct-dispatch
+	// mode: each accepted in-order run is handed to this callback
+	// synchronously on the owning socket's read goroutine, and the Updates
+	// channel stays empty. The run aliases a pooled decode buffer — consume
+	// or copy before returning. Dispatch may be called concurrently from
+	// different sockets, but all updates of one variable arrive from one
+	// goroutine at a time (sender lanes pin each variable's 4-tuple to one
+	// receive socket). Wire it to MultiSystem.InjectBatch or
+	// Engine.InjectBatch to feed shard lanes without the channel hop.
+	Dispatch func(v event.VarName, us []event.Update)
 	// Metrics, if non-nil, registers receiver counters: accepted updates,
 	// out-of-order discards, forced-loss drops, and overruns (updates
 	// dropped because the consumer fell behind). Names are prefixed with
-	// MetricsPrefix, default "transport.recv".
+	// MetricsPrefix, default "transport.recv". Socket groups additionally
+	// register per-socket <prefix>.<i>.datagrams and <prefix>.<i>.accepted
+	// counters showing how the kernel spreads load across the group.
 	Metrics       *obs.Registry
 	MetricsPrefix string
 	// Trace, if non-nil, records a StageLink span for every datagram-borne
@@ -216,19 +346,54 @@ type UDPReceiverOptions struct {
 	StaleAfter time.Duration
 }
 
-// UDPReceiver is the CE side of a front link: it decodes datagrams,
-// enforces per-variable in-order delivery, optionally injects loss, and
-// hands accepted updates to a channel.
-type UDPReceiver struct {
-	conn *net.UDPConn
-	out  chan event.Update
-	done chan struct{}
+// varState is one variable's acceptance lane: the in-order horizon and
+// origin timestamp as plain atomics (readers never stall the read loops),
+// plus the variable's forced-loss state. States live in a copy-on-write
+// map — the per-variable striping that replaced the receiver-wide mutex.
+type varState struct {
+	name       event.VarName
+	lastSeq    atomic.Int64 // highest seqno seen in order; -1 before the first
+	lastOrigin atomic.Int64
 
-	mu         sync.Mutex
-	lastSeq    map[event.VarName]int64
-	lastOrigin map[event.VarName]int64
-	discarded  int64
-	forced     int64
+	// Forced-loss lane; model nil means lossless. lossMu is per-variable
+	// under LossFor and shared receiver-wide under legacy ForcedLoss
+	// (whose model instance is itself shared).
+	lossMu *sync.Mutex
+	model  link.Model
+	rng    *rand.Rand
+}
+
+// sockStats is one socket's load instrumentation; nil counters no-op.
+type sockStats struct {
+	datagrams *obs.Counter
+	accepted  *obs.Counter
+}
+
+// UDPReceiver is the CE side of a front link: one or more UDP sockets
+// (SO_REUSEPORT groups on Linux) whose read goroutines decode datagrams
+// into pooled buffers, enforce per-variable in-order delivery through
+// lock-free acceptance lanes, optionally inject loss, and hand accepted
+// updates to a channel or a direct-dispatch callback.
+type UDPReceiver struct {
+	conns []*net.UDPConn
+	socks []sockStats
+	out   chan event.Update
+	wg    sync.WaitGroup
+	once  sync.Once
+
+	// vars is the copy-on-write variable-state index: read lock-free on
+	// every datagram, copied under varsMu when a new variable appears.
+	vars   atomic.Pointer[map[string]*varState]
+	varsMu sync.Mutex
+
+	discarded atomic.Int64
+	forced    atomic.Int64
+
+	dispatch     func(v event.VarName, us []event.Update)
+	lossFor      func(v event.VarName) link.Model
+	lossShared   link.Model
+	sharedLossMu sync.Mutex
+	seed         int64
 
 	// Optional instrumentation; nil counters, tracer, and link health
 	// no-op.
@@ -238,24 +403,81 @@ type UDPReceiver struct {
 	lh                                       *obs.LinkHealth
 }
 
-// ListenUDP starts a receiver on addr (use "127.0.0.1:0" for an ephemeral
-// test port).
+// ListenUDP starts a single-socket receiver on addr (use "127.0.0.1:0" for
+// an ephemeral test port).
 func ListenUDP(addr string, opts UDPReceiverOptions) (*UDPReceiver, error) {
-	laddr, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	return ListenUDPGroup(addr, 1, opts)
+}
+
+// ListenUDPGroup starts a receiver with sockets SO_REUSEPORT sockets bound
+// to one port, each drained by its own read goroutine — the parallel
+// ingest plane for multi-queue NICs and many-sender fleets. The kernel
+// hashes each datagram's 4-tuple to one socket of the group, so a sender
+// that keeps a variable on one source socket (UDPPublisherOptions.Senders)
+// gives that variable a single receive goroutine and strictly in-order
+// acceptance with no cross-socket coordination. On platforms without
+// SO_REUSEPORT support (anything but Linux) the group transparently falls
+// back to a single socket; Sockets reports the real width.
+func ListenUDPGroup(addr string, sockets int, opts UDPReceiverOptions) (*UDPReceiver, error) {
+	if sockets < 1 {
+		sockets = 1
 	}
-	conn, err := net.ListenUDP("udp", laddr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+	if !reusePortAvailable {
+		sockets = 1 // documented fallback: one socket, same semantics
+	}
+	conns := make([]*net.UDPConn, 0, sockets)
+	fail := func(err error) (*UDPReceiver, error) {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		return nil, err
+	}
+	if sockets == 1 {
+		laddr, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+		}
+		conn, err := net.ListenUDP("udp", laddr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+		}
+		conns = append(conns, conn)
+	} else {
+		// Every socket of the group — including the first — must opt into
+		// SO_REUSEPORT before bind; the first bind fixes the port the rest
+		// join.
+		first, err := listenUDPReusePort(addr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+		}
+		conns = append(conns, first)
+		bound := first.LocalAddr().String()
+		for i := 1; i < sockets; i++ {
+			c, err := listenUDPReusePort(bound)
+			if err != nil {
+				return fail(fmt.Errorf("transport: listen group socket %d on %q: %w", i, bound, err))
+			}
+			conns = append(conns, c)
+		}
+	}
+	for _, c := range conns {
+		// Best-effort: a deeper kernel buffer absorbs sender bursts while a
+		// read goroutine is mid-decode.
+		_ = c.SetReadBuffer(1 << 20)
 	}
 	r := &UDPReceiver{
-		conn:       conn,
-		out:        make(chan event.Update, updateBuffer),
-		done:       make(chan struct{}),
-		lastSeq:    make(map[event.VarName]int64),
-		lastOrigin: make(map[event.VarName]int64),
+		conns:    conns,
+		socks:    make([]sockStats, len(conns)),
+		out:      make(chan event.Update, updateBuffer),
+		dispatch: opts.Dispatch,
+		lossFor:  opts.LossFor,
+		seed:     opts.Seed,
 	}
+	if opts.LossFor == nil {
+		r.lossShared = opts.ForcedLoss
+	}
+	m := make(map[string]*varState)
+	r.vars.Store(&m)
 	if opts.Trace != nil {
 		r.tr = opts.Trace
 		r.trName = opts.TraceName
@@ -279,121 +501,260 @@ func ListenUDP(addr string, opts UDPReceiverOptions) (*UDPReceiver, error) {
 		r.cDiscarded = opts.Metrics.Counter(prefix + ".discarded")
 		r.cForced = opts.Metrics.Counter(prefix + ".forced_loss")
 		r.cOverrun = opts.Metrics.Counter(prefix + ".overrun")
+		for i := range r.socks {
+			r.socks[i] = sockStats{
+				datagrams: opts.Metrics.Counter(fmt.Sprintf("%s.%d.datagrams", prefix, i)),
+				accepted:  opts.Metrics.Counter(fmt.Sprintf("%s.%d.accepted", prefix, i)),
+			}
+		}
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	go r.loop(opts.ForcedLoss, rng)
+	for i := range r.conns {
+		r.wg.Add(1)
+		go r.readLoop(i)
+	}
 	return r, nil
 }
 
 // Addr returns the bound address (useful with ephemeral ports).
-func (r *UDPReceiver) Addr() string { return r.conn.LocalAddr().String() }
+func (r *UDPReceiver) Addr() string { return r.conns[0].LocalAddr().String() }
+
+// Sockets returns the width of the receive group (1 after the
+// non-SO_REUSEPORT fallback).
+func (r *UDPReceiver) Sockets() int { return len(r.conns) }
 
 // Updates returns the stream of accepted updates. The channel closes when
-// the receiver is closed.
+// the receiver is closed. In dispatch mode it stays empty.
 func (r *UDPReceiver) Updates() <-chan event.Update { return r.out }
 
-// Stats reports discarded out-of-order datagrams and force-dropped updates.
+// Stats reports discarded out-of-order datagrams and force-dropped
+// updates. It reads two atomics — safe to poll from any goroutine without
+// stalling the read loops.
 func (r *UDPReceiver) Stats() (discarded, forced int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.discarded, r.forced
+	return r.discarded.Load(), r.forced.Load()
 }
 
-// Close stops the receiver; Updates is closed after the read loop exits.
+// Close stops the receiver; Updates is closed after every read loop exits.
 func (r *UDPReceiver) Close() {
-	_ = r.conn.Close()
-	<-r.done
+	r.once.Do(func() {
+		for _, c := range r.conns {
+			_ = c.Close()
+		}
+		r.wg.Wait()
+		close(r.out)
+	})
 }
 
-func (r *UDPReceiver) loop(forced link.Model, rng *rand.Rand) {
-	defer close(r.done)
-	defer close(r.out)
+// state returns the acceptance lane for the encoded variable name,
+// creating it on first sight. The fast path is one lock-free map read with
+// no string conversion; the slow path copies the map under varsMu.
+func (r *UDPReceiver) state(name []byte) *varState {
+	if st, ok := (*r.vars.Load())[string(name)]; ok {
+		return st
+	}
+	return r.addVar(string(name))
+}
+
+// intern resolves an encoded variable name for the wire decoders, sharing
+// the acceptance-lane index as the intern table.
+func (r *UDPReceiver) intern(name []byte) event.VarName {
+	return r.state(name).name
+}
+
+// lookup fetches the lane for an already-interned variable.
+func (r *UDPReceiver) lookup(v event.VarName) *varState {
+	return (*r.vars.Load())[string(v)]
+}
+
+// addVar installs a new variable's acceptance lane (copy-on-write).
+func (r *UDPReceiver) addVar(name string) *varState {
+	r.varsMu.Lock()
+	defer r.varsMu.Unlock()
+	old := *r.vars.Load()
+	if st, ok := old[name]; ok {
+		return st // lost the race to another socket
+	}
+	st := &varState{name: event.VarName(name)}
+	st.lastSeq.Store(-1)
+	var model link.Model
+	if r.lossFor != nil {
+		model = r.lossFor(st.name)
+	} else {
+		model = r.lossShared
+	}
+	if _, lossless := model.(link.None); model != nil && !lossless {
+		st.model = model
+		// Per-variable randomness: a variable's draw sequence depends only
+		// on its own arrival order, so loss schedules are identical for any
+		// socket count — what the ingest-equivalence suite pins.
+		st.rng = rand.New(rand.NewSource(r.seed ^ int64(hashVarName(st.name))))
+		if r.lossFor != nil {
+			st.lossMu = new(sync.Mutex)
+		} else {
+			st.lossMu = &r.sharedLossMu // shared model ⇒ shared lock
+		}
+	}
+	next := make(map[string]*varState, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = st
+	r.vars.Store(&next)
+	return st
+}
+
+// readLoop drains one socket: decode into this goroutine's pooled buffers,
+// then run the shared acceptance path.
+func (r *UDPReceiver) readLoop(idx int) {
+	defer r.wg.Done()
+	conn := r.conns[idx]
 	buf := make([]byte, maxDatagram)
+	scratch := make([]event.Update, 0, 64)
 	for {
-		n, _, err := r.conn.ReadFromUDP(buf)
+		// ReadFromUDPAddrPort keeps the read loop allocation-free: the
+		// classic ReadFromUDP materializes a *net.UDPAddr per datagram.
+		n, _, err := conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			return // closed
 		}
-		if n > 0 && buf[0] == 'B' {
-			// A batch datagram: every decodable update runs through the same
-			// per-update acceptance as single datagrams. Corrupt items are
-			// dropped individually (the decoder keeps framing), just another
-			// form of link loss.
-			batch, _, rest, err := wire.DecodeBatch(buf[:n])
-			if err != nil {
-				continue // corrupt datagram: drop, like any lossy link
-			}
-			t, _, rest, terr := wire.TakeTrace(rest)
-			if terr != nil || len(rest) != 0 {
-				continue // corrupt datagram: drop, like any lossy link
-			}
-			for _, u := range batch.Updates {
-				r.deliver(u, forced, rng, t.Origin)
-			}
-			continue
-		}
-		u, rest, err := wire.DecodeUpdate(buf[:n])
+		scratch = r.handleDatagram(idx, buf[:n], scratch)
+	}
+}
+
+// handleDatagram decodes one datagram into scratch and delivers the run,
+// returning the (possibly grown) scratch for reuse. Corrupt datagrams are
+// dropped whole, corrupt batch items individually — both just another form
+// of link loss.
+func (r *UDPReceiver) handleDatagram(idx int, b []byte, scratch []event.Update) []event.Update {
+	r.socks[idx].datagrams.Inc()
+	if len(b) > 0 && b[0] == 'B' {
+		// A batch datagram: every decodable update runs through the same
+		// per-update acceptance as single datagrams.
+		batch, _, rest, err := wire.DecodeBatchInto(b, scratch[:0], r.intern)
 		if err != nil {
-			continue // corrupt datagram: drop, like any lossy link
+			return scratch
+		}
+		if len(batch.Updates) > 0 {
+			scratch = batch.Updates // keep any growth
 		}
 		t, _, rest, terr := wire.TakeTrace(rest)
 		if terr != nil || len(rest) != 0 {
-			continue // corrupt datagram: drop, like any lossy link
+			return scratch
 		}
-		r.deliver(u, forced, rng, t.Origin)
+		if len(batch.Updates) > 0 {
+			r.deliverRun(idx, r.lookup(batch.Var), batch.Updates, t.Origin)
+		}
+		return scratch
+	}
+	u, rest, err := wire.DecodeUpdateInto(b, r.intern)
+	if err != nil {
+		return scratch
+	}
+	t, _, rest, terr := wire.TakeTrace(rest)
+	if terr != nil || len(rest) != 0 {
+		return scratch
+	}
+	run := append(scratch[:0], u)
+	r.deliverRun(idx, r.lookup(u.Var), run, t.Origin)
+	return run[:0]
+}
+
+// acceptance verdicts of one update against its variable's lane.
+const (
+	acceptOK = iota
+	acceptDiscard
+	acceptForced
+)
+
+// accept applies the in-order rule and forced loss to one update. The
+// horizon is claimed by compare-and-swap: with sender lanes pinning each
+// variable to one socket the loop never spins, but acceptance stays
+// correct even if datagrams of one variable reach two sockets.
+func (st *varState) accept(u event.Update) int {
+	for {
+		last := st.lastSeq.Load()
+		if u.SeqNo <= last {
+			return acceptDiscard // out-of-order or duplicate (Section 2.1)
+		}
+		if st.lastSeq.CompareAndSwap(last, u.SeqNo) {
+			break
+		}
+	}
+	if st.model != nil {
+		// Forced loss still advances the order horizon (claimed above): the
+		// link "lost" this update and later arrivals remain in order.
+		st.lossMu.Lock()
+		ok := st.model.Deliver(u, st.rng)
+		st.lossMu.Unlock()
+		if !ok {
+			return acceptForced
+		}
+	}
+	return acceptOK
+}
+
+// deliverRun runs one decoded in-order run (all of one variable) through
+// acceptance, compacting survivors in place, then hands them to the
+// dispatch callback or the output channel. origin is the annotated frame's
+// emit timestamp (zero when untagged); it labels the link spans and is
+// remembered per variable for LastOrigin.
+func (r *UDPReceiver) deliverRun(idx int, st *varState, us []event.Update, origin int64) {
+	r.lh.Touch() // any datagram-borne update is link activity
+	kept := us[:0]
+	for _, u := range us {
+		switch st.accept(u) {
+		case acceptDiscard:
+			r.discarded.Add(1)
+			r.cDiscarded.Inc()
+			r.linkSpan(u, obs.DispDiscarded, origin)
+		case acceptForced:
+			r.forced.Add(1)
+			r.cForced.Inc()
+			r.linkSpan(u, obs.DispLost, origin)
+		default:
+			kept = append(kept, u)
+		}
+	}
+	if len(kept) == 0 {
+		return
+	}
+	if origin != 0 {
+		st.lastOrigin.Store(origin)
+	}
+	if r.dispatch != nil {
+		r.dispatch(st.name, kept)
+		r.cAccepted.Add(int64(len(kept)))
+		r.socks[idx].accepted.Add(int64(len(kept)))
+		if r.tr != nil {
+			for _, u := range kept {
+				r.linkSpan(u, obs.DispDelivered, origin)
+			}
+		}
+		return
+	}
+	for _, u := range kept {
+		select {
+		case r.out <- u:
+			r.cAccepted.Inc()
+			r.socks[idx].accepted.Inc()
+			r.linkSpan(u, obs.DispDelivered, origin)
+		default:
+			// Receiver overrun: drop, indistinguishable from link loss.
+			r.cOverrun.Inc()
+			r.linkSpan(u, obs.DispLost, origin)
+		}
 	}
 }
 
 // LastOrigin returns the origin timestamp (Unix nanoseconds) carried by
 // the most recently accepted annotated update for v, or zero when no
 // annotated update has arrived. CE daemons use it to stamp outgoing alert
-// frames with the triggering update's emit time.
+// frames with the triggering update's emit time. One atomic load — safe
+// from any goroutine without stalling the read loops.
 func (r *UDPReceiver) LastOrigin(v event.VarName) int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.lastOrigin[v]
-}
-
-// deliver applies the in-order rule and forced loss to one received update
-// and hands survivors to the output channel — identical acceptance whether
-// the update arrived alone or inside a batch datagram. origin is the
-// annotated frame's emit timestamp (zero when untagged); it labels the
-// link spans and is remembered per variable for LastOrigin.
-func (r *UDPReceiver) deliver(u event.Update, forced link.Model, rng *rand.Rand, origin int64) {
-	r.lh.Touch() // any datagram-borne update is link activity
-	r.mu.Lock()
-	if last, ok := r.lastSeq[u.Var]; ok && u.SeqNo <= last {
-		r.discarded++
-		r.mu.Unlock()
-		r.cDiscarded.Inc()
-		r.linkSpan(u, obs.DispDiscarded, origin)
-		return // out-of-order or duplicate: discard (Section 2.1)
+	if st := r.lookup(v); st != nil {
+		return st.lastOrigin.Load()
 	}
-	if forced != nil && !forced.Deliver(u, rng) {
-		// Forced loss still advances the order horizon: the link "lost"
-		// this update and later arrivals remain in order.
-		r.lastSeq[u.Var] = u.SeqNo
-		r.forced++
-		r.mu.Unlock()
-		r.cForced.Inc()
-		r.linkSpan(u, obs.DispLost, origin)
-		return
-	}
-	r.lastSeq[u.Var] = u.SeqNo
-	if origin != 0 {
-		r.lastOrigin[u.Var] = origin
-	}
-	r.mu.Unlock()
-
-	select {
-	case r.out <- u:
-		r.cAccepted.Inc()
-		r.linkSpan(u, obs.DispDelivered, origin)
-	default:
-		// Receiver overrun: drop, indistinguishable from link loss.
-		r.cOverrun.Inc()
-		r.linkSpan(u, obs.DispLost, origin)
-	}
+	return 0
 }
 
 // linkSpan records one front-link span; no-op with tracing off.

@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"testing"
+
+	"condmon/internal/event"
+)
+
+// sameErrs compares two ItemError lists by index and message.
+func sameErrs(a, b []ItemError) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Index != b[i].Index || a[i].Err.Error() != b[i].Err.Error() {
+			return false
+		}
+	}
+	return true
+}
+
+// sameBatch compares decoded batches field by field (NaN-tolerant values).
+func sameBatch(a, b Batch) bool {
+	if a.Var != b.Var || len(a.Updates) != len(b.Updates) {
+		return false
+	}
+	for i := range a.Updates {
+		x, y := a.Updates[i], b.Updates[i]
+		if x.Var != y.Var || x.SeqNo != y.SeqNo {
+			return false
+		}
+		if x.Value != y.Value && (x.Value == x.Value || y.Value == y.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzDecodeBatchInto is the differential gate for the pooled decoder: on
+// every input, DecodeBatchInto (with and without an interner, with and
+// without scratch) must agree with DecodeBatch exactly — same batch, same
+// item errors, same trailing bytes, same error disposition.
+func FuzzDecodeBatchInto(f *testing.F) {
+	seed, err := EncodeBatch("x", []event.Update{event.U("x", 1, 10), event.U("x", 3, 30)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{'B'})
+	f.Add([]byte{'B', 0, 1, 'x'})
+	f.Add([]byte{'B', 0, 1, 'x', 0, 2})
+	interned := map[string]event.VarName{}
+	intern := func(b []byte) event.VarName {
+		if v, ok := interned[string(b)]; ok {
+			return v
+		}
+		v := event.VarName(b)
+		interned[string(b)] = v
+		return v
+	}
+	scratch := make([]event.Update, 0, 64)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, wantErrs, wantRest, wantErr := DecodeBatch(data)
+		for _, leg := range []struct {
+			name    string
+			scratch []event.Update
+			intern  Intern
+		}{
+			{"nil/nil", nil, nil},
+			{"scratch/nil", scratch, nil},
+			{"scratch/intern", scratch, intern},
+		} {
+			got, gotErrs, gotRest, gotErr := DecodeBatchInto(data, leg.scratch, leg.intern)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("%s: err = %v, DecodeBatch err = %v", leg.name, gotErr, wantErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if !sameBatch(got, want) {
+				t.Fatalf("%s: batch = %+v, DecodeBatch = %+v", leg.name, got, want)
+			}
+			if !sameErrs(gotErrs, wantErrs) {
+				t.Fatalf("%s: itemErrs = %v, DecodeBatch = %v", leg.name, gotErrs, wantErrs)
+			}
+			if string(gotRest) != string(wantRest) {
+				t.Fatalf("%s: rest = %q, DecodeBatch = %q", leg.name, gotRest, wantRest)
+			}
+		}
+	})
+}
+
+// TestDecodeBatchIntoReusesScratch pins the memory contract: the decoded
+// updates live in the caller's scratch (no fresh slice while capacity
+// lasts), which is exactly why a second decode into the same scratch
+// invalidates the first result — callers must consume or copy per call.
+func TestDecodeBatchIntoReusesScratch(t *testing.T) {
+	b1, err := EncodeBatch("x", []event.Update{event.U("x", 1, 10), event.U("x", 2, 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := EncodeBatch("x", []event.Update{event.U("x", 3, 33), event.U("x", 4, 44)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]event.Update, 0, 8)
+	first, _, _, err := DecodeBatchInto(b1, scratch, nil)
+	if err != nil {
+		t.Fatalf("DecodeBatchInto: %v", err)
+	}
+	if &first.Updates[0] != &scratch[:1][0] {
+		t.Fatalf("decoded updates do not alias the caller's scratch")
+	}
+	copied := append([]event.Update(nil), first.Updates...)
+	second, _, _, err := DecodeBatchInto(b2, scratch, nil)
+	if err != nil {
+		t.Fatalf("DecodeBatchInto: %v", err)
+	}
+	// The copy taken before reuse is intact; the aliased first result now
+	// shows the second frame's records.
+	if copied[0].SeqNo != 1 || copied[1].SeqNo != 2 {
+		t.Fatalf("copied first result corrupted: %v", copied)
+	}
+	if first.Updates[0].SeqNo != 3 {
+		t.Fatalf("aliased first result = %v, want it overwritten by the second decode", first.Updates)
+	}
+	if second.Updates[0].SeqNo != 3 || second.Updates[1].SeqNo != 4 {
+		t.Fatalf("second decode = %v", second.Updates)
+	}
+}
+
+// TestDecodeBatchIntoAllocs pins the pooled hot path at zero allocations:
+// warm scratch, warm interner, clean frames.
+func TestDecodeBatchIntoAllocs(t *testing.T) {
+	us := make([]event.Update, 256)
+	for i := range us {
+		us[i] = event.U("x", int64(i+1), float64(i))
+	}
+	frame, err := EncodeBatch("x", us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]event.VarName{}
+	intern := func(b []byte) event.VarName {
+		if v, ok := names[string(b)]; ok {
+			return v
+		}
+		v := event.VarName(b)
+		names[string(b)] = v
+		return v
+	}
+	scratch := make([]event.Update, 0, len(us))
+	if _, _, _, err := DecodeBatchInto(frame, scratch, intern); err != nil {
+		t.Fatal(err) // warm the interner before pinning
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, _, _, err := DecodeBatchInto(frame, scratch, intern); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("DecodeBatchInto allocates %.1f per frame, want 0", avg)
+	}
+	single, err := EncodeUpdate(event.U("x", 1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, _, err := DecodeUpdateInto(single, intern); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("DecodeUpdateInto allocates %.1f per datagram, want 0", avg)
+	}
+}
+
+// TestDecodeUpdateIntoMatchesDecodeUpdate spot-checks the interned
+// single-update decoder against the allocating one, including error cases.
+func TestDecodeUpdateIntoMatchesDecodeUpdate(t *testing.T) {
+	good, err := EncodeUpdate(event.U("temp", 9, 321.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intern := func(b []byte) event.VarName { return event.VarName(string(b)) }
+	for _, data := range [][]byte{good, {}, {'U'}, {'U', 0, 1, 'x'}, {'U', 0, 1, 'x', 0, 0, 0, 0, 0, 0, 0, 0}} {
+		wantU, wantRest, wantErr := DecodeUpdate(data)
+		gotU, gotRest, gotErr := DecodeUpdateInto(data, intern)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("data %v: err = %v, DecodeUpdate err = %v", data, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if gotU != wantU || string(gotRest) != string(wantRest) {
+			t.Fatalf("data %v: got (%v, %q), want (%v, %q)", data, gotU, gotRest, wantU, wantRest)
+		}
+	}
+}

@@ -195,6 +195,95 @@ func DecodeBatch(b []byte) (batch Batch, itemErrs []ItemError, rest []byte, err 
 	return batch, itemErrs, b, nil
 }
 
+// Intern resolves an encoded variable name to its VarName. The receive hot
+// path passes an interning function so that decoding a datagram for a
+// variable it has seen before allocates nothing: the map lookup
+// m[string(name)] compiles without a conversion allocation, and the
+// returned VarName shares the map key's backing. The name slice aliases
+// the input buffer and is only valid during the call — an implementation
+// that retains it must copy.
+type Intern func(name []byte) event.VarName
+
+// DecodeBatchInto is DecodeBatch with caller-owned memory: decoded updates
+// are appended to scratch[:0] (whose backing array the returned
+// Batch.Updates aliases — reuse invalidates earlier results), and the
+// variable name is resolved through intern instead of allocating a fresh
+// string. A nil intern falls back to allocating; a nil scratch grows one.
+// Frame acceptance, item tolerance, and results are otherwise byte-for-byte
+// identical to DecodeBatch, which FuzzDecodeBatchInto pins.
+func DecodeBatchInto(b []byte, scratch []event.Update, intern Intern) (batch Batch, itemErrs []ItemError, rest []byte, err error) {
+	if len(b) == 0 || b[0] != tagBatch {
+		return Batch{}, nil, nil, errf("not a batch message")
+	}
+	b = b[1:]
+	name, b, err := readStringBytes(b)
+	if err != nil {
+		return Batch{}, nil, nil, err
+	}
+	if len(b) < 2 {
+		return Batch{}, nil, nil, errf("truncated batch count")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < 16*n {
+		return Batch{}, nil, nil, errf("truncated batch body (want %d items, have %d bytes)", n, len(b))
+	}
+	if intern != nil {
+		batch = Batch{Var: intern(name)}
+	} else {
+		batch = Batch{Var: event.VarName(name)}
+	}
+	if n > 0 {
+		batch.Updates = scratch[:0]
+	}
+	last := int64(-1)
+	for i := 0; i < n; i++ {
+		seqNo := int64(binary.BigEndian.Uint64(b))
+		value := math.Float64frombits(binary.BigEndian.Uint64(b[8:]))
+		b = b[16:]
+		switch {
+		case seqNo < 0:
+			itemErrs = append(itemErrs, ItemError{Index: i, Err: errf("negative sequence number %d", seqNo)})
+			continue
+		case seqNo <= last:
+			itemErrs = append(itemErrs, ItemError{Index: i, Err: errf("sequence number %d does not exceed predecessor %d", seqNo, last)})
+			continue
+		}
+		last = seqNo
+		batch.Updates = append(batch.Updates, event.Update{Var: batch.Var, SeqNo: seqNo, Value: value})
+	}
+	return batch, itemErrs, b, nil
+}
+
+// DecodeUpdateInto is DecodeUpdate with the variable name resolved through
+// intern instead of allocating a fresh string — the single-datagram analog
+// of DecodeBatchInto. A nil intern falls back to allocating.
+func DecodeUpdateInto(b []byte, intern Intern) (event.Update, []byte, error) {
+	if intern == nil {
+		return DecodeUpdate(b)
+	}
+	if len(b) == 0 || b[0] != tagUpdate {
+		return event.Update{}, nil, errf("not an update message")
+	}
+	b = b[1:]
+	name, b, err := readStringBytes(b)
+	if err != nil {
+		return event.Update{}, nil, err
+	}
+	if len(b) < 16 {
+		return event.Update{}, nil, errf("truncated update body")
+	}
+	u := event.Update{
+		Var:   intern(name),
+		SeqNo: int64(binary.BigEndian.Uint64(b)),
+		Value: math.Float64frombits(binary.BigEndian.Uint64(b[8:])),
+	}
+	if u.SeqNo < 0 {
+		return event.Update{}, nil, errf("negative sequence number %d", u.SeqNo)
+	}
+	return u, b[16:], nil
+}
+
 // Mux is a multiplexed back-link frame: one stream's coalesced run of
 // alerts, in send order. Streams let many CE replicas share a single TCP
 // connection — the frame tags each run with the 32-bit stream id the sender
@@ -491,13 +580,23 @@ func appendString(dst []byte, s string) []byte {
 }
 
 func readString(b []byte) (string, []byte, error) {
+	s, rest, err := readStringBytes(b)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(s), rest, nil
+}
+
+// readStringBytes is readString without the string allocation: the returned
+// slice aliases b and is only valid while b is.
+func readStringBytes(b []byte) ([]byte, []byte, error) {
 	if len(b) < 2 {
-		return "", nil, errf("truncated string length")
+		return nil, nil, errf("truncated string length")
 	}
 	n := int(binary.BigEndian.Uint16(b))
 	b = b[2:]
 	if len(b) < n {
-		return "", nil, errf("truncated string body (want %d bytes, have %d)", n, len(b))
+		return nil, nil, errf("truncated string body (want %d bytes, have %d)", n, len(b))
 	}
-	return string(b[:n]), b[n:], nil
+	return b[:n], b[n:], nil
 }
