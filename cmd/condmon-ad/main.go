@@ -18,13 +18,21 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 
 	"condmon/internal/ad"
+	"condmon/internal/durable"
 	"condmon/internal/event"
 	"condmon/internal/obs"
 	"condmon/internal/transport"
 )
+
+// adCompactEvery is how many journaled alert deltas elapse between
+// compacting checkpoints of the filter state. Filter snapshots are small
+// (bounded per-variable latches), so compacting often keeps replay short
+// after a restart.
+const adCompactEvery = 256
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -44,6 +52,8 @@ func run(args []string, out io.Writer) error {
 		mux      = fs.Bool("mux", false, "accept the multiplexed back-link protocol (stream-tagged 'M' frames)")
 		tracing  = fs.Bool("tracing", false, "record backlink/ad spans in a flight recorder (served at /trace with -metrics)")
 		staleAft = fs.Duration("stale-after", 0, "back link reported stale on /healthz after this long without traffic (default 10s)")
+		stateDir = fs.String("state-dir", "", "directory for the durable filter-state WAL; recover from it on start and journal into it while running")
+		fsync    = fs.Int("fsync", 0, "fsync the WAL after every N journaled alerts (1 = every alert, 0 = leave delta persistence to the OS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,14 +74,44 @@ func run(args []string, out io.Writer) error {
 		tr  *obs.Tracer
 		hl  *obs.Health
 	)
+	if *maddr != "" {
+		reg = obs.NewRegistry()
+		hl = obs.NewHealth()
+	}
+
+	// The durable wrap goes on first so the raw filter it journals is the
+	// same one recovery replays into; tracing and instrumentation layer on
+	// top and stay stateless across restarts.
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			return err
+		}
+		wal, err := durable.Open(filepath.Join(*stateDir, "ad.wal"),
+			durable.Options{SyncEvery: *fsync, Metrics: durable.RegisterMetrics(reg, "durable.wal")})
+		if err != nil {
+			return err
+		}
+		defer wal.Close()
+		if replayed, err := durable.RecoverFilter(wal, filter); err != nil {
+			return fmt.Errorf("recover %s: %w", wal.Path(), err)
+		} else if replayed > 0 {
+			fmt.Fprintf(out, "AD recovered %d records from %s\n", replayed, wal.Path())
+		}
+		lf := durable.LogFilter(filter, wal, adCompactEvery)
+		defer func() {
+			if err := lf.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "condmon-ad: durable journal:", err)
+			}
+		}()
+		filter = lf
+	}
+
 	if *tracing {
 		tr = obs.NewTracer(obs.DefaultTraceCap)
 		filter = ad.NewTraced(filter, tr)
 	}
 	if *maddr != "" {
-		reg = obs.NewRegistry()
 		filter = ad.RegisterInstrumented(reg, "ad", filter)
-		hl = obs.NewHealth()
 		srv, err := obs.ServeWith(*maddr, obs.MuxOptions{Registry: reg, Trace: tr, Health: hl})
 		if err != nil {
 			return err

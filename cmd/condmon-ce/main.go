@@ -18,15 +18,23 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 
 	"condmon/internal/ce"
 	"condmon/internal/cond"
+	"condmon/internal/durable"
 	"condmon/internal/event"
 	"condmon/internal/link"
 	"condmon/internal/obs"
 	"condmon/internal/transport"
 	"condmon/internal/wire"
 )
+
+// ceCompactEvery is how many journaled updates elapse between compacting
+// checkpoints of the evaluator's window state. Windows are tiny (a few
+// updates per variable), so frequent compaction keeps the WAL near its
+// floor size without measurable feed-path cost.
+const ceCompactEvery = 512
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -51,6 +59,8 @@ func run(args []string, out io.Writer) error {
 		stream   = fs.Uint("stream", 0, "mux stream id tagging this replica's alerts (with -mux)")
 		tracing  = fs.Bool("tracing", false, "record link/feed/backlink spans in a flight recorder (served at /trace with -metrics)")
 		staleAft = fs.Duration("stale-after", 0, "front link reported stale on /healthz after this long without traffic (default 10s)")
+		stateDir = fs.String("state-dir", "", "directory for the durable window-state WAL; recover from it on start and journal into it while running")
+		fsync    = fs.Int("fsync", 0, "fsync the WAL after every N journaled updates (1 = every update, 0 = leave delta persistence to the OS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +92,24 @@ func run(args []string, out io.Writer) error {
 	if *tracing {
 		tr = obs.NewTracer(obs.DefaultTraceCap)
 		eval.SetTracer(tr)
+	}
+
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			return err
+		}
+		wal, err := durable.Open(filepath.Join(*stateDir, "ce-"+*id+".wal"),
+			durable.Options{SyncEvery: *fsync, Metrics: durable.RegisterMetrics(reg, "durable.wal")})
+		if err != nil {
+			return err
+		}
+		defer wal.Close()
+		if replayed, err := durable.RecoverEvaluator(wal, eval); err != nil {
+			return fmt.Errorf("recover %s: %w", wal.Path(), err)
+		} else if replayed > 0 {
+			fmt.Fprintf(out, "%s recovered %d records from %s\n", *id, replayed, wal.Path())
+		}
+		eval.SetJournal(durable.EvaluatorJournal(wal, eval, ceCompactEvery))
 	}
 
 	var forced link.Model

@@ -14,9 +14,9 @@
 // violated (the violations are printed).
 //
 // The docs subcommand lints Go source trees for undocumented exported
-// identifiers (the CI documentation gate):
+// identifiers (the CI documentation gate runs it repo-wide):
 //
-//	condmon-check docs ./internal
+//	condmon-check docs .
 package main
 
 import (

@@ -43,12 +43,16 @@ func run(args []string, out io.Writer) error {
 		maddr     = fs.String("metrics", "", "serve /metrics and /debug/pprof/ on this address while sending")
 		tracing   = fs.Bool("tracing", false, "annotate datagrams with trace trailers and record emit spans (served at /trace with -metrics)")
 		linger    = fs.Duration("linger", 0, "keep running (and serving -metrics endpoints) this long after the last update")
+		startSeq  = fs.Int64("start-seq", 1, "sequence number of the first update sent; the generator still produces the earlier prefix (discarded) so values stay continuous across a restart")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *ceAddrs == "" {
 		return fmt.Errorf("need -ce with at least one endpoint")
+	}
+	if *startSeq < 1 {
+		return fmt.Errorf("-start-seq must be >= 1")
 	}
 
 	var updates []event.Update
@@ -70,6 +74,15 @@ func run(args []string, out io.Writer) error {
 		if len(updates) == 0 {
 			return fmt.Errorf("trace has no updates for variable %q", *varName)
 		}
+		if *startSeq > 1 {
+			kept := updates[:0]
+			for _, u := range updates {
+				if u.SeqNo >= *startSeq {
+					kept = append(kept, u)
+				}
+			}
+			updates = kept
+		}
 	} else {
 		var src workload.Source
 		switch *source {
@@ -82,7 +95,7 @@ func run(args []string, out io.Writer) error {
 		default:
 			return fmt.Errorf("unknown source %q", *source)
 		}
-		updates = workload.Generate(event.VarName(*varName), src, *n)
+		updates = workload.Generate(event.VarName(*varName), src, int(*startSeq-1)+*n)[*startSeq-1:]
 	}
 
 	pub, err := transport.NewUDPPublisher(strings.Split(*ceAddrs, ",")...)

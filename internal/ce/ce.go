@@ -133,6 +133,12 @@ type Evaluator struct {
 	// tr is the optional flight recorder; nil (the default) means tracing
 	// is off and every Feed outcome site pays one nil check.
 	tr *obs.Tracer
+
+	// journal, when set, receives every update accepted into a window
+	// (after TryPush succeeds, before evaluation) so a durable layer can
+	// log it; nil (the default) keeps the hot path at one nil check.
+	// Replay via Absorb bypasses it.
+	journal func(event.Update) error
 }
 
 // winSlot pairs a variable with its window for slice-backed lookup.
@@ -257,6 +263,80 @@ func (e *Evaluator) SetMetrics(m *Metrics) { e.m = m }
 // calls, so the tracing-off hot path keeps its zero-allocation pin.
 func (e *Evaluator) SetTracer(t *obs.Tracer) { e.tr = t }
 
+// SetJournal attaches (or, with nil, detaches) a durable journal sink:
+// fn is called with every update the evaluator accepts into a window,
+// in acceptance order, before the update can influence an evaluation.
+// A journal error fails the Feed that carried the update (FeedBatch
+// reports it as its first error), because an unjournaled-but-applied
+// update would break crash/restart equivalence. Call it before feeding
+// updates — it is not synchronized against a concurrent Feed.
+func (e *Evaluator) SetJournal(fn func(event.Update) error) { e.journal = fn }
+
+// Absorb re-applies one journaled update during recovery: the window push
+// and bookkeeping of Feed with no evaluation, no journaling, no metrics,
+// and no down-state handling. It reports whether the update was accepted
+// (replaying onto a restored checkpoint makes re-applied prefixes
+// harmless: their pushes are rejected as stale). Replay order must match
+// journal order.
+func (e *Evaluator) Absorb(u event.Update) bool {
+	w := e.window(u.Var)
+	if w == nil {
+		return false
+	}
+	wasFull := w.Full()
+	if !w.TryPush(u) {
+		return false
+	}
+	e.fed++
+	if !wasFull && w.Full() {
+		e.notFull--
+	}
+	return true
+}
+
+// WindowStates snapshots every history window for checkpointing, in the
+// condition's variable order (duplicate variables contribute once). The
+// returned histories are deep copies, safe to serialize after further
+// feeding.
+func (e *Evaluator) WindowStates() []event.History {
+	vars := e.cond.Vars()
+	out := make([]event.History, 0, len(vars))
+	seen := make(map[event.VarName]bool, len(vars))
+	for _, v := range vars {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if w := e.window(v); w != nil {
+			out = append(out, w.History())
+		}
+	}
+	return out
+}
+
+// RestoreWindows loads checkpointed histories back into the evaluator's
+// windows, replacing their contents, and recomputes the not-full count.
+// States for variables outside the condition's set are an error: a
+// checkpoint belongs to one (condition, evaluator) pair.
+func (e *Evaluator) RestoreWindows(states []event.History) error {
+	for _, h := range states {
+		w := e.window(h.Var)
+		if w == nil {
+			return fmt.Errorf("ce: %s: restore for unknown variable %q", e.id, h.Var)
+		}
+		if err := w.Restore(h.Recent); err != nil {
+			return fmt.Errorf("ce: %s: %w", e.id, err)
+		}
+	}
+	e.notFull = 0
+	for _, w := range e.windows {
+		if !w.Full() {
+			e.notFull++
+		}
+	}
+	return nil
+}
+
 // feedSpan records one StageFeed span; callers nil-check e.tr first so the
 // tracing-off path never pays the call.
 func (e *Evaluator) feedSpan(u event.Update, disp string) {
@@ -320,6 +400,11 @@ func (e *Evaluator) Feed(u event.Update) (event.Alert, bool, error) {
 	e.m.incFed()
 	if !wasFull && w.Full() {
 		e.notFull--
+	}
+	if e.journal != nil {
+		if err := e.journal(u); err != nil {
+			return event.Alert{}, false, fmt.Errorf("ce: %s: journal %q: %w", e.id, e.cond.Name(), err)
+		}
 	}
 	if e.notFull > 0 {
 		if e.tr != nil {
@@ -418,6 +503,11 @@ func (e *Evaluator) feedBatch(us []event.Update, dst []event.Alert) ([]event.Ale
 		e.m.incFed()
 		if !wasFull && w.Full() {
 			e.notFull--
+		}
+		if e.journal != nil {
+			if err := e.journal(u); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("ce: %s: journal %q: %w", e.id, e.cond.Name(), err)
+			}
 		}
 		if e.notFull > 0 {
 			if e.tr != nil {

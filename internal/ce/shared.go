@@ -28,6 +28,7 @@ package ce
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
 	"condmon/internal/cond"
@@ -153,6 +154,12 @@ type SharedEvaluator struct {
 
 	fired []int32 // scratch for Pack.EvalAppend
 	m     *Metrics
+
+	// journal, when set, receives every update delivered to the lane (in
+	// delivery order, before any window mutates) so a durable layer can
+	// log it; nil keeps the hot path at one nil check. Replay via Absorb
+	// bypasses it.
+	journal func(event.Update) error
 }
 
 // NewSharedEvaluator creates an empty lane evaluator with the given
@@ -297,6 +304,14 @@ func (s *SharedEvaluator) Unregister(r Ref) {
 // do not stop the pass; the first is returned at the end.
 func (s *SharedEvaluator) Feed(u event.Update, out []MemberAlert) ([]MemberAlert, error) {
 	var firstErr error
+	if s.journal != nil {
+		// Journal the delivery itself, not its effects: the replayed
+		// sequence re-derives every window (shared and straggler) exactly,
+		// as long as the registration set matches the journaled run.
+		if err := s.journal(u); err != nil {
+			firstErr = fmt.Errorf("ce: %s: journal: %w", s.id, err)
+		}
+	}
 	if w := s.wins.Window(u.Var); w != nil {
 		if w.TryPush(u) {
 			s.m.incFed()
@@ -351,4 +366,110 @@ func (s *SharedEvaluator) Feed(u event.Update, out []MemberAlert) ([]MemberAlert
 		}
 	}
 	return out, firstErr
+}
+
+// SetJournal attaches (or, with nil, detaches) a durable journal sink: fn
+// is called with every update Feed delivers, in delivery order, before
+// any window mutates. A journal error surfaces as the Feed's first error.
+// Call before feeding updates — not synchronized against a concurrent
+// Feed.
+func (s *SharedEvaluator) SetJournal(fn func(event.Update) error) { s.journal = fn }
+
+// Absorb re-applies one journaled delivery during recovery: shared-window
+// push plus straggler pushes, with no evaluation, no journaling, and no
+// metrics. Replay order must match journal order; re-applied prefixes
+// (a delta also covered by a later checkpoint) are rejected as stale by
+// the windows and harmless.
+func (s *SharedEvaluator) Absorb(u event.Update) {
+	if w := s.wins.Window(u.Var); w != nil {
+		w.TryPush(u)
+	}
+	for _, st := range s.byVarS[u.Var] {
+		st.ev.Absorb(u)
+	}
+}
+
+// Crash simulates a fail-stop restart of the whole lane without stable
+// storage: shared windows and every straggler's private windows empty, as
+// Evaluator.Crash does for a single condition.
+func (s *SharedEvaluator) Crash() {
+	for _, w := range s.wins.wins {
+		w.Reset()
+	}
+	s.visitStragglers(func(ev *Evaluator) { ev.Crash() })
+}
+
+// SharedWindowStates snapshots every shared window for checkpointing, in
+// sorted variable order so the encoding is deterministic. The histories
+// are deep copies.
+func (s *SharedEvaluator) SharedWindowStates() []event.History {
+	vars := make([]string, 0, len(s.wins.wins))
+	for v := range s.wins.wins {
+		vars = append(vars, string(v))
+	}
+	sort.Strings(vars)
+	out := make([]event.History, 0, len(vars))
+	for _, v := range vars {
+		out = append(out, s.wins.wins[event.VarName(v)].History())
+	}
+	return out
+}
+
+// RestoreSharedWindows loads checkpointed shared histories back into the
+// lane. It is deliberately lenient about registration drift: states for
+// variables no longer tracked are skipped, and states deeper than the
+// current window degree keep only their most recent entries — a restarted
+// lane with a changed condition set recovers what still applies.
+func (s *SharedEvaluator) RestoreSharedWindows(states []event.History) error {
+	for _, h := range states {
+		w := s.wins.Window(h.Var)
+		if w == nil {
+			continue
+		}
+		recent := h.Recent
+		if len(recent) > w.Degree() {
+			recent = recent[:w.Degree()]
+		}
+		if err := w.Restore(recent); err != nil {
+			return fmt.Errorf("ce: %s: %w", s.id, err)
+		}
+	}
+	return nil
+}
+
+// VisitStragglers calls fn once per live straggler evaluator, in condition
+// name order (deterministic for checkpoint encoding).
+func (s *SharedEvaluator) VisitStragglers(fn func(ev *Evaluator)) { s.visitStragglers(fn) }
+
+func (s *SharedEvaluator) visitStragglers(fn func(ev *Evaluator)) {
+	seen := make(map[*straggler]bool, s.nStragglers)
+	evs := make([]*Evaluator, 0, s.nStragglers)
+	for _, list := range s.byVarS {
+		for _, st := range list {
+			if st.live && !seen[st] {
+				seen[st] = true
+				evs = append(evs, st.ev)
+			}
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		return evs[i].Condition().Name() < evs[j].Condition().Name()
+	})
+	for _, ev := range evs {
+		fn(ev)
+	}
+}
+
+// StragglerFor returns the live straggler evaluator monitoring the named
+// condition, or nil — the recovery router for checkpointed straggler
+// window sets.
+func (s *SharedEvaluator) StragglerFor(name string) *Evaluator {
+	for _, list := range s.byVarS {
+		for _, st := range list {
+			if st.live && st.ev.Condition().Name() == name {
+				return st.ev
+			}
+		}
+	}
+	return nil
 }

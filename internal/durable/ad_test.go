@@ -1,0 +1,165 @@
+package durable
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/event"
+)
+
+// adAlert builds a single-variable alert whose history lists seqNos
+// most-recent-first, mirroring what a CE emits.
+func adAlert(v string, seqNos ...int64) event.Alert {
+	vn := event.VarName(v)
+	h := event.History{Var: vn}
+	for _, s := range seqNos {
+		h.Recent = append(h.Recent, event.Update{Var: vn, SeqNo: s, Value: float64(s * 100)})
+	}
+	return event.NewAlert("c", event.HistorySet{vn: h}, "CE1")
+}
+
+// adStream is a verdict-rich alert sequence: fresh alerts, exact
+// duplicates, instance-level duplicates (same window head, different
+// depth), and a stale regression — with the duplicates positioned so that
+// every crash point in the test splits at least one dup pair across the
+// boundary.
+func adStream() []event.Alert {
+	return []event.Alert{
+		adAlert("x", 3, 2, 1),
+		adAlert("x", 3, 2, 1), // exact duplicate
+		adAlert("x", 4, 3, 2),
+		adAlert("x", 4, 3), // same head, shallower window
+		adAlert("x", 2, 1), // stale regression
+		adAlert("x", 5, 4, 3),
+		adAlert("x", 4, 3, 2), // duplicate across typical crash points
+		adAlert("x", 6, 5, 4),
+		adAlert("x", 6, 5, 4), // duplicate in the tail
+		adAlert("x", 7, 6, 5),
+		adAlert("x", 5, 4, 3), // late duplicate of a pre-crash alert
+		adAlert("x", 8, 7, 6),
+	}
+}
+
+func TestLoggedFilterKillRestartEquivalence(t *testing.T) {
+	algos := map[string]func() ad.Filter{
+		"AD1":     func() ad.Filter { return ad.NewAD1() },
+		"AD2":     func() ad.Filter { return ad.NewAD2("x") },
+		"AD3":     func() ad.Filter { return ad.NewAD3("x") },
+		"AD5":     func() ad.Filter { return ad.NewAD5("x") },
+		"AD6":     func() ad.Filter { return ad.NewAD6("x") },
+		"Combine": func() ad.Filter { return ad.NewCombine("both", ad.NewAD1(), ad.NewAD2("x")) },
+	}
+	stream := adStream()
+	for name, mk := range algos {
+		for _, compactEvery := range []int{0, 2} {
+			for _, crashAt := range []int{1, len(stream) / 2, len(stream) - 1} {
+				t.Run(fmt.Sprintf("%s/compact=%d/crash=%d", name, compactEvery, crashAt), func(t *testing.T) {
+					// Baseline: the uninterrupted verdict sequence.
+					base := mk()
+					var want []bool
+					for _, a := range stream {
+						want = append(want, ad.Offer(base, a))
+					}
+
+					path := filepath.Join(t.TempDir(), "ad.wal")
+					l := openT(t, path, Options{})
+					lf := LogFilter(mk(), l, compactEvery)
+					var got []bool
+					for _, a := range stream[:crashAt] {
+						got = append(got, ad.Offer(lf, a))
+					}
+					if err := lf.Err(); err != nil {
+						t.Fatalf("pre-crash journal error: %v", err)
+					}
+					// Kill: drop the live filter and its log handle on the
+					// floor (no Close — a SIGKILL never runs one) and restart
+					// from the file alone.
+					l2 := openT(t, path, Options{})
+					fresh := mk()
+					if _, err := RecoverFilter(l2, fresh); err != nil {
+						t.Fatalf("RecoverFilter: %v", err)
+					}
+					lf2 := LogFilter(fresh, l2, compactEvery)
+					for _, a := range stream[crashAt:] {
+						got = append(got, ad.Offer(lf2, a))
+					}
+					if err := lf2.Err(); err != nil {
+						t.Fatalf("post-crash journal error: %v", err)
+					}
+					defer l2.Close()
+
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("verdict %d (%v): crash/restart run said %v, uninterrupted said %v",
+								i, stream[i], got[i], want[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestLoggedFilterRecoverAcrossCompaction pins that recovery works when the
+// log holds a checkpoint plus a delta suffix (not just raw deltas).
+func TestLoggedFilterRecoverAcrossCompaction(t *testing.T) {
+	stream := adStream()
+	path := filepath.Join(t.TempDir(), "ad.wal")
+	l := openT(t, path, Options{})
+	lf := LogFilter(ad.NewAD1(), l, 3)
+	for _, a := range stream[:8] {
+		ad.Offer(lf, a)
+	}
+	if err := lf.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 accepted-or-rejected offers with compactEvery=3 must have compacted
+	// at least once; the recovery below therefore exercises the
+	// checkpoint-then-deltas path.
+	hasCkpt := false
+	l.Replay(func(kind byte, _ []byte) error {
+		if kind == RecCheckpoint {
+			hasCkpt = true
+		}
+		return nil
+	})
+	if !hasCkpt {
+		t.Fatal("expected at least one checkpoint in the log")
+	}
+
+	base := ad.NewAD1()
+	for _, a := range stream[:8] {
+		ad.Offer(base, a)
+	}
+
+	l2 := openT(t, path, Options{})
+	defer l2.Close()
+	fresh := ad.NewAD1()
+	if _, err := RecoverFilter(l2, fresh); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range stream[8:] {
+		if got, want := ad.Offer(fresh, a), ad.Offer(base, a); got != want {
+			t.Fatalf("post-recovery verdict %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestFilterSnapshotterUnwraps(t *testing.T) {
+	f := ad.NewAD1()
+	if s, ok := FilterSnapshotter(f); !ok || s == nil {
+		t.Fatal("AD1 should expose a Snapshotter directly")
+	}
+	path := filepath.Join(t.TempDir(), "w.wal")
+	l := openT(t, path, Options{})
+	defer l.Close()
+	wrapped := LogFilter(f, l, 0)
+	if s, ok := FilterSnapshotter(wrapped); !ok || s == nil {
+		t.Fatal("LoggedFilter should unwrap to its inner Snapshotter")
+	}
+	if _, ok := FilterSnapshotter(ad.NewPassthrough()); ok {
+		t.Fatal("the passthrough filter keeps no state and must not report a Snapshotter")
+	}
+}

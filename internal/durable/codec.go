@@ -1,0 +1,228 @@
+// CE checkpoint codec: versioned, strictly-validated binary serialization
+// of evaluator window state. AD checkpoints need no codec of their own —
+// ad.Snapshotter already produces an opaque self-describing blob — so this
+// file only covers the CE half: plain evaluators (EvalState) and shared
+// engine lanes (LaneState).
+//
+// Layout (all integers big-endian, counts and string lengths uvarint):
+//
+//	EvalState:  [1B version][uvarint nWindows] nWindows × window
+//	LaneState:  [1B version][uvarint nShared] nShared × window
+//	            [uvarint nStragglers] nStragglers × ([string cond] [uvarint n] n × window)
+//	window:     [string var][uvarint nRecent] nRecent × ([8B seqno][8B float64 bits])
+//
+// Windows store updates most-recent-first, exactly as event.History.Recent
+// does; each update's Var is implied by the window and re-stamped on
+// decode. Decoding is strict: counts are bounded against the remaining
+// bytes before allocating, and trailing bytes are an error — the contract
+// FuzzCheckpointRoundTrip pins.
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"condmon/internal/event"
+)
+
+// stateVersion is the CE checkpoint codec version byte.
+const stateVersion = 1
+
+// perUpdateSize is the encoded size of one window entry (seqno + value).
+const perUpdateSize = 16
+
+// EvalState is the durable evidence of one plain ce.Evaluator: the full
+// contents of its per-variable history windows.
+type EvalState struct {
+	// Windows holds one history per condition variable, most recent first.
+	Windows []event.History
+}
+
+// StragglerState is the durable evidence of one private (non-packable)
+// evaluator riding inside a shared lane.
+type StragglerState struct {
+	// Cond names the straggler's condition; recovery routes the windows
+	// back to the evaluator registered under the same name.
+	Cond string
+	// Windows holds the straggler's private history windows.
+	Windows []event.History
+}
+
+// LaneState is the durable evidence of one ce.SharedEvaluator lane: the
+// shared per-variable windows plus every straggler's private windows.
+type LaneState struct {
+	// Shared holds the lane's shared per-variable windows.
+	Shared []event.History
+	// Stragglers holds the private window sets, sorted by condition name.
+	Stragglers []StragglerState
+}
+
+// AppendEvalState appends st's encoding to dst and returns the result.
+func AppendEvalState(dst []byte, st EvalState) []byte {
+	dst = append(dst, stateVersion)
+	dst = appendHistories(dst, st.Windows)
+	return dst
+}
+
+// DecodeEvalState decodes a checkpoint produced by AppendEvalState,
+// rejecting version mismatches, malformed counts, and trailing bytes.
+func DecodeEvalState(b []byte) (EvalState, error) {
+	var st EvalState
+	rest, err := decodeVersion(b)
+	if err != nil {
+		return st, err
+	}
+	st.Windows, rest, err = readHistories(rest)
+	if err != nil {
+		return st, err
+	}
+	if len(rest) != 0 {
+		return EvalState{}, fmt.Errorf("durable: %d trailing bytes after evaluator state", len(rest))
+	}
+	return st, nil
+}
+
+// AppendLaneState appends st's encoding to dst and returns the result.
+func AppendLaneState(dst []byte, st LaneState) []byte {
+	dst = append(dst, stateVersion)
+	dst = appendHistories(dst, st.Shared)
+	dst = binary.AppendUvarint(dst, uint64(len(st.Stragglers)))
+	for _, sg := range st.Stragglers {
+		dst = appendStr(dst, sg.Cond)
+		dst = appendHistories(dst, sg.Windows)
+	}
+	return dst
+}
+
+// DecodeLaneState decodes a checkpoint produced by AppendLaneState with
+// the same strictness as DecodeEvalState.
+func DecodeLaneState(b []byte) (LaneState, error) {
+	var st LaneState
+	rest, err := decodeVersion(b)
+	if err != nil {
+		return st, err
+	}
+	st.Shared, rest, err = readHistories(rest)
+	if err != nil {
+		return st, err
+	}
+	n, rest, err := readCount(rest, 1)
+	if err != nil {
+		return LaneState{}, fmt.Errorf("durable: straggler count: %w", err)
+	}
+	if n > 0 {
+		st.Stragglers = make([]StragglerState, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		var sg StragglerState
+		sg.Cond, rest, err = readStr(rest)
+		if err != nil {
+			return LaneState{}, fmt.Errorf("durable: straggler %d: %w", i, err)
+		}
+		sg.Windows, rest, err = readHistories(rest)
+		if err != nil {
+			return LaneState{}, fmt.Errorf("durable: straggler %q: %w", sg.Cond, err)
+		}
+		st.Stragglers = append(st.Stragglers, sg)
+	}
+	if len(rest) != 0 {
+		return LaneState{}, fmt.Errorf("durable: %d trailing bytes after lane state", len(rest))
+	}
+	return st, nil
+}
+
+func decodeVersion(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("durable: empty checkpoint")
+	}
+	if b[0] != stateVersion {
+		return nil, fmt.Errorf("durable: unsupported checkpoint version %d (want %d)", b[0], stateVersion)
+	}
+	return b[1:], nil
+}
+
+func appendHistories(dst []byte, hs []event.History) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(hs)))
+	for _, h := range hs {
+		dst = appendStr(dst, string(h.Var))
+		dst = binary.AppendUvarint(dst, uint64(len(h.Recent)))
+		for _, u := range h.Recent {
+			dst = binary.BigEndian.AppendUint64(dst, uint64(u.SeqNo))
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(u.Value))
+		}
+	}
+	return dst
+}
+
+func readHistories(b []byte) ([]event.History, []byte, error) {
+	// Each window needs at least a one-byte var length and a one-byte
+	// update count, bounding the worst-case allocation.
+	n, b, err := readCount(b, 2)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: window count: %w", err)
+	}
+	var hs []event.History
+	if n > 0 {
+		hs = make([]event.History, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		var h event.History
+		var v string
+		v, b, err = readStr(b)
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: window %d: %w", i, err)
+		}
+		h.Var = event.VarName(v)
+		var m int
+		m, b, err = readCount(b, perUpdateSize)
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: window %q: %w", v, err)
+		}
+		if m > 0 {
+			h.Recent = make([]event.Update, 0, m)
+		}
+		for j := 0; j < m; j++ {
+			h.Recent = append(h.Recent, event.Update{
+				Var:   h.Var,
+				SeqNo: int64(binary.BigEndian.Uint64(b[:8])),
+				Value: math.Float64frombits(binary.BigEndian.Uint64(b[8:16])),
+			})
+			b = b[perUpdateSize:]
+		}
+		hs = append(hs, h)
+	}
+	return hs, b, nil
+}
+
+// readCount reads a uvarint count and rejects any value whose elements
+// (minSize bytes each, at minimum) could not fit in the remaining input —
+// the guard that keeps a fuzzed length field from driving allocation.
+func readCount(b []byte, minSize int) (int, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("truncated count")
+	}
+	b = b[n:]
+	if v > uint64(len(b))/uint64(minSize) {
+		return 0, nil, fmt.Errorf("count %d exceeds remaining %d bytes", v, len(b))
+	}
+	return int(v), b, nil
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readStr(b []byte) (string, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return "", nil, fmt.Errorf("truncated string length")
+	}
+	b = b[n:]
+	if v > uint64(len(b)) {
+		return "", nil, fmt.Errorf("string length %d exceeds remaining %d bytes", v, len(b))
+	}
+	return string(b[:v]), b[v:], nil
+}

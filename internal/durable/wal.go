@@ -1,0 +1,488 @@
+// Package durable persists displayer evidence across process restarts.
+//
+// The paper's property guarantees (Tables 1-3) hang off exactly two pieces
+// of in-memory state: the Alert Displayer's filter evidence (dedup keys,
+// Received/Missed sets behind ad.Snapshotter) and the Condition Evaluators'
+// per-variable history windows. This package gives both a write-ahead log
+// with periodic compacting checkpoints, so a killed and restarted AD or CE
+// process reloads its evidence and resumes mid-stream instead of replaying
+// from genesis.
+//
+// The on-disk format is a single append-only file per component:
+//
+//	header:  "CMWL" magic, one version byte, three reserved bytes
+//	record:  [1B kind][4B big-endian payload length][payload][4B CRC32-C]
+//
+// Record kinds are RecCheckpoint ('C', a full state snapshot) and RecDelta
+// ('D', one incremental event: a displayed alert for AD logs, an accepted
+// update for CE logs). The CRC is Castagnoli, computed over kind + length +
+// payload. On reopen the log is scanned front to back: a damaged record
+// followed by at least one valid record is skipped and counted as corrupt
+// (a torn middle cannot happen under append-only writes, so this indicates
+// media damage); damaged or incomplete bytes at the tail are the signature
+// of a torn write during a crash and are truncated away. Replay starts at
+// the newest checkpoint — everything before it is superseded.
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"condmon/internal/obs"
+)
+
+const (
+	walMagic   = "CMWL"
+	walVersion = 1
+
+	headerSize     = 8 // magic + version + reserved
+	recHeaderSize  = 5 // kind + payload length
+	recTrailerSize = 4 // CRC32-C
+
+	// maxRecordSize bounds one payload so a corrupted length field can
+	// never drive the scanner into a multi-gigabyte allocation.
+	maxRecordSize = 1 << 28
+)
+
+// Record kinds stored in a WAL frame.
+const (
+	// RecCheckpoint carries a full serialized state snapshot; replay
+	// restores it and then applies only the deltas that follow.
+	RecCheckpoint byte = 'C'
+	// RecDelta carries one incremental event to re-apply on top of the
+	// latest checkpoint (or an empty state if none exists).
+	RecDelta byte = 'D'
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Metrics holds the nil-safe counters a Log reports into. A nil *Metrics
+// (or any nil field) disables that measurement without branching at call
+// sites, matching the repo-wide observability contract.
+type Metrics struct {
+	// Appends counts delta records written (durable.wal.appends).
+	Appends *obs.Counter
+	// Checkpoints counts checkpoint records written, whether appended or
+	// via compaction (durable.wal.checkpoints).
+	Checkpoints *obs.Counter
+	// Compactions counts whole-file compactions (durable.wal.compactions).
+	Compactions *obs.Counter
+	// Corrupt counts CRC-damaged mid-file records skipped during an open
+	// scan (durable.wal.corrupt).
+	Corrupt *obs.Counter
+	// TornTail counts reopens that truncated an incomplete or damaged
+	// tail left by a crash mid-write (durable.wal.torn).
+	TornTail *obs.Counter
+	// Replayed counts records delivered to Replay callbacks
+	// (durable.wal.replayed).
+	Replayed *obs.Counter
+}
+
+func (m *Metrics) incAppends() {
+	if m != nil && m.Appends != nil {
+		m.Appends.Inc()
+	}
+}
+
+func (m *Metrics) incCheckpoints() {
+	if m != nil && m.Checkpoints != nil {
+		m.Checkpoints.Inc()
+	}
+}
+
+func (m *Metrics) incCompactions() {
+	if m != nil && m.Compactions != nil {
+		m.Compactions.Inc()
+	}
+}
+
+func (m *Metrics) addCorrupt(n int64) {
+	if m != nil && m.Corrupt != nil {
+		m.Corrupt.Add(n)
+	}
+}
+
+func (m *Metrics) incTornTail() {
+	if m != nil && m.TornTail != nil {
+		m.TornTail.Inc()
+	}
+}
+
+func (m *Metrics) incReplayed() {
+	if m != nil && m.Replayed != nil {
+		m.Replayed.Inc()
+	}
+}
+
+// RegisterMetrics creates the durable.wal.* counter family on reg and
+// returns a Metrics wired to it. A nil registry returns nil, which every
+// Log method tolerates.
+func RegisterMetrics(reg *obs.Registry, prefix string) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	if prefix == "" {
+		prefix = "durable.wal"
+	}
+	return &Metrics{
+		Appends:     reg.Counter(prefix + ".appends"),
+		Checkpoints: reg.Counter(prefix + ".checkpoints"),
+		Compactions: reg.Counter(prefix + ".compactions"),
+		Corrupt:     reg.Counter(prefix + ".corrupt"),
+		TornTail:    reg.Counter(prefix + ".torn"),
+		Replayed:    reg.Counter(prefix + ".replayed"),
+	}
+}
+
+// Options configures a Log's durability/throughput trade-off and its
+// observability hookup.
+type Options struct {
+	// SyncEvery is the fsync policy for delta appends: 1 fsyncs after
+	// every record (strongest, slowest), N>1 after every N records, and
+	// 0 leaves delta persistence to the OS page cache (a crash may lose
+	// the most recent deltas, which the recovery model treats exactly
+	// like front-link loss). Checkpoints, compactions, and Close always
+	// fsync regardless of this setting.
+	SyncEvery int
+	// Metrics receives the durable.wal.* counters; nil disables them.
+	Metrics *Metrics
+}
+
+// recRef locates one valid record inside the file.
+type recRef struct {
+	off  int64
+	kind byte
+	size int32
+}
+
+// Log is a single-component write-ahead log: an append-only file of
+// CRC-framed checkpoint and delta records. A Log is safe for concurrent use
+// by multiple goroutines — in a live system the appending side (the AD
+// accept path, the CE feed loop) and the recovering side (a Replay swapping
+// in rebuilt state) may run on different goroutines. Replay holds the
+// log's lock for its duration, so its callback must not call back into the
+// same Log.
+type Log struct {
+	path string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	end      int64    // offset one past the last valid record
+	recs     []recRef // valid records in file order
+	lastCkpt int      // index into recs of the newest checkpoint, -1 if none
+	pending  int      // appends since the last fsync
+	buf      []byte   // frame scratch, reused across appends
+}
+
+// Open opens (creating if absent) the WAL at path and scans it for valid
+// records, truncating any torn tail left by a crash. The returned Log is
+// positioned to append.
+func Open(path string, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open %s: %w", path, err)
+	}
+	l := &Log{path: path, f: f, opts: opts, lastCkpt: -1}
+	if err := l.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// scan validates the header, indexes every intact record, counts and skips
+// mid-file corruption, and truncates a torn tail.
+func (l *Log) scan() error {
+	info, err := l.f.Stat()
+	if err != nil {
+		return fmt.Errorf("durable: stat %s: %w", l.path, err)
+	}
+	size := info.Size()
+	if size < headerSize {
+		// Empty file, or a crash tore even the header: start fresh.
+		if err := l.writeHeader(); err != nil {
+			return err
+		}
+		if size != 0 {
+			l.opts.Metrics.incTornTail()
+		}
+		l.end = headerSize
+		return nil
+	}
+	var hdr [headerSize]byte
+	if _, err := l.f.ReadAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("durable: read header %s: %w", l.path, err)
+	}
+	if string(hdr[:4]) != walMagic {
+		return fmt.Errorf("durable: %s is not a condmon WAL (bad magic)", l.path)
+	}
+	if hdr[4] != walVersion {
+		return fmt.Errorf("durable: %s: unsupported WAL version %d (want %d)", l.path, hdr[4], walVersion)
+	}
+
+	l.end = headerSize
+	off := int64(headerSize)
+	pendingCorrupt := int64(0) // damaged records awaiting a valid successor
+	var h [recHeaderSize]byte
+	for off < size {
+		if off+recHeaderSize+recTrailerSize > size {
+			break // incomplete frame header: torn tail
+		}
+		if _, err := l.f.ReadAt(h[:], off); err != nil {
+			return fmt.Errorf("durable: scan %s: %w", l.path, err)
+		}
+		kind := h[0]
+		plen := int64(binary.BigEndian.Uint32(h[1:5]))
+		if (kind != RecCheckpoint && kind != RecDelta) || plen > maxRecordSize {
+			// Unrecognizable framing: record boundaries are lost from
+			// here on, so the rest of the file is a torn tail.
+			break
+		}
+		recEnd := off + recHeaderSize + plen + recTrailerSize
+		if recEnd > size {
+			break // payload runs past EOF: torn tail
+		}
+		frame := make([]byte, recHeaderSize+plen+recTrailerSize)
+		if _, err := l.f.ReadAt(frame, off); err != nil {
+			return fmt.Errorf("durable: scan %s: %w", l.path, err)
+		}
+		stored := binary.BigEndian.Uint32(frame[recHeaderSize+plen:])
+		if crc32.Checksum(frame[:recHeaderSize+plen], castagnoli) != stored {
+			// Framing is intact but the contents are damaged. Whether this
+			// is mid-file corruption (skip) or a torn tail (truncate)
+			// depends on whether a valid record follows.
+			pendingCorrupt++
+			off = recEnd
+			continue
+		}
+		if pendingCorrupt > 0 {
+			l.opts.Metrics.addCorrupt(pendingCorrupt)
+			pendingCorrupt = 0
+		}
+		l.recs = append(l.recs, recRef{off: off, kind: kind, size: int32(plen)})
+		if kind == RecCheckpoint {
+			l.lastCkpt = len(l.recs) - 1
+		}
+		l.end = recEnd
+		off = recEnd
+	}
+	if l.end < size {
+		// Torn or trailing-damaged bytes: drop them so the next append
+		// starts on a clean frame boundary.
+		if err := l.f.Truncate(l.end); err != nil {
+			return fmt.Errorf("durable: truncate torn tail %s: %w", l.path, err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("durable: sync %s: %w", l.path, err)
+		}
+		l.opts.Metrics.incTornTail()
+	}
+	return nil
+}
+
+func (l *Log) writeHeader() error {
+	var hdr [headerSize]byte
+	copy(hdr[:], walMagic)
+	hdr[4] = walVersion
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("durable: truncate %s: %w", l.path, err)
+	}
+	if _, err := l.f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("durable: write header %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("durable: sync %s: %w", l.path, err)
+	}
+	return nil
+}
+
+// Append writes one delta record and applies the SyncEvery policy.
+func (l *Log) Append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.append(RecDelta, payload); err != nil {
+		return err
+	}
+	l.opts.Metrics.incAppends()
+	return l.maybeSync()
+}
+
+// AppendCheckpoint writes one checkpoint record in place (without
+// discarding history — see Compact for that) and fsyncs unconditionally:
+// a checkpoint that is not durable is worse than none, because replay
+// would trust it over the deltas it supersedes.
+func (l *Log) AppendCheckpoint(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.append(RecCheckpoint, payload); err != nil {
+		return err
+	}
+	l.lastCkpt = len(l.recs) - 1
+	l.opts.Metrics.incCheckpoints()
+	return l.sync()
+}
+
+func (l *Log) append(kind byte, payload []byte) error {
+	if len(payload) > maxRecordSize {
+		return fmt.Errorf("durable: %s: record payload %d exceeds %d bytes", l.path, len(payload), maxRecordSize)
+	}
+	l.buf = l.buf[:0]
+	l.buf = append(l.buf, kind)
+	l.buf = binary.BigEndian.AppendUint32(l.buf, uint32(len(payload)))
+	l.buf = append(l.buf, payload...)
+	l.buf = binary.BigEndian.AppendUint32(l.buf, crc32.Checksum(l.buf, castagnoli))
+	if _, err := l.f.WriteAt(l.buf, l.end); err != nil {
+		return fmt.Errorf("durable: append %s: %w", l.path, err)
+	}
+	l.recs = append(l.recs, recRef{off: l.end, kind: kind, size: int32(len(payload))})
+	l.end += int64(len(l.buf))
+	return nil
+}
+
+func (l *Log) maybeSync() error {
+	if l.opts.SyncEvery <= 0 {
+		return nil
+	}
+	l.pending++
+	if l.pending >= l.opts.SyncEvery {
+		return l.sync()
+	}
+	return nil
+}
+
+func (l *Log) sync() error {
+	l.pending = 0
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("durable: sync %s: %w", l.path, err)
+	}
+	return nil
+}
+
+// Compact rewrites the log as a header plus a single checkpoint record,
+// discarding all prior history. The new file is written to a temporary
+// sibling, fsynced, and renamed over the log path, so a crash at any point
+// leaves either the complete old log or the complete new one.
+func (l *Log) Compact(checkpoint []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tmp := l.path + ".tmp"
+	g, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: compact %s: %w", l.path, err)
+	}
+	frame := make([]byte, 0, headerSize+recHeaderSize+len(checkpoint)+recTrailerSize)
+	frame = append(frame, walMagic...)
+	frame = append(frame, walVersion, 0, 0, 0)
+	rec := make([]byte, 0, recHeaderSize+len(checkpoint)+recTrailerSize)
+	rec = append(rec, RecCheckpoint)
+	rec = binary.BigEndian.AppendUint32(rec, uint32(len(checkpoint)))
+	rec = append(rec, checkpoint...)
+	rec = binary.BigEndian.AppendUint32(rec, crc32.Checksum(rec, castagnoli))
+	frame = append(frame, rec...)
+	if _, err := g.WriteAt(frame, 0); err != nil {
+		g.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: compact %s: %w", l.path, err)
+	}
+	if err := g.Sync(); err != nil {
+		g.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: compact %s: %w", l.path, err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		g.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: compact %s: %w", l.path, err)
+	}
+	// Make the rename itself durable; failure here is tolerable (the
+	// rename is atomic in the filesystem's journal on the platforms we
+	// target), so best effort.
+	if d, err := os.Open(filepath.Dir(l.path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	l.f.Close()
+	l.f = g
+	l.recs = l.recs[:0]
+	l.recs = append(l.recs, recRef{off: headerSize, kind: RecCheckpoint, size: int32(len(checkpoint))})
+	l.lastCkpt = 0
+	l.end = int64(len(frame))
+	l.pending = 0
+	l.opts.Metrics.incCheckpoints()
+	l.opts.Metrics.incCompactions()
+	return nil
+}
+
+// Replay streams the log's logical contents to fn in order, starting at
+// the newest checkpoint (records before it are superseded; with no
+// checkpoint, every delta from the beginning). It returns the number of
+// records delivered; fn's first error stops the replay and is returned.
+func (l *Log) Replay(fn func(kind byte, payload []byte) error) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := 0
+	if l.lastCkpt >= 0 {
+		start = l.lastCkpt
+	}
+	n := 0
+	for _, r := range l.recs[start:] {
+		payload := make([]byte, r.size)
+		if _, err := l.f.ReadAt(payload, r.off+recHeaderSize); err != nil {
+			return n, fmt.Errorf("durable: replay %s: %w", l.path, err)
+		}
+		if err := fn(r.kind, payload); err != nil {
+			return n, err
+		}
+		n++
+		l.opts.Metrics.incReplayed()
+	}
+	return n, nil
+}
+
+// Records reports how many valid records the log currently holds.
+func (l *Log) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// Size reports the byte length of the valid portion of the log file.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.end
+}
+
+// Path reports the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Sync forces an fsync regardless of the SyncEvery policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sync()
+}
+
+// Close fsyncs and closes the underlying file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	l.f = nil
+	if syncErr != nil {
+		return fmt.Errorf("durable: close %s: %w", l.path, syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("durable: close %s: %w", l.path, closeErr)
+	}
+	return nil
+}

@@ -473,3 +473,28 @@ func (w *Window) Live() History {
 // Reset discards all state, as when a CE crashes and restarts without
 // stable storage.
 func (w *Window) Reset() { w.recent = w.recent[:0] }
+
+// Restore replaces the window's contents with updates read back from a
+// durable checkpoint, given most recent first as History.Recent holds
+// them. The updates must carry the window's variable, hold strictly
+// decreasing sequence numbers, and fit the degree; on any violation the
+// window is left empty and an error returned, so a damaged checkpoint
+// degrades to the Reset (crash-without-storage) behavior rather than a
+// corrupt history.
+func (w *Window) Restore(recent []Update) error {
+	w.recent = w.recent[:0]
+	if len(recent) > w.degree {
+		return fmt.Errorf("event: restore of %d updates exceeds window degree %d for %q",
+			len(recent), w.degree, w.varName)
+	}
+	for i, u := range recent {
+		if u.Var != w.varName {
+			return fmt.Errorf("event: restore for %q holds update for %q", w.varName, u.Var)
+		}
+		if i > 0 && u.SeqNo >= recent[i-1].SeqNo {
+			return fmt.Errorf("event: restore for %q not strictly decreasing at index %d", w.varName, i)
+		}
+	}
+	w.recent = append(w.recent, recent...)
+	return nil
+}

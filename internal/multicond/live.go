@@ -51,6 +51,21 @@ func (d *LiveDemux) Register(name string, epoch uint64, f ad.Filter) error {
 	return nil
 }
 
+// ReplaceFilter swaps the condition's filter instance while keeping its
+// epoch and displayed history — the recovery hook for installing a filter
+// rebuilt from a durable log (durable.RecoverFilter) into a live demux.
+func (d *LiveDemux) ReplaceFilter(name string, f ad.Filter) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[name]
+	if !ok {
+		return fmt.Errorf("multicond: condition %q not registered", name)
+	}
+	e.filter = f
+	d.entries[name] = e
+	return nil
+}
+
 // Unregister removes the condition's entry immediately. Alerts for the
 // name that arrive afterwards — regardless of epoch — are fenced. The
 // condition's already-displayed subsequence remains queryable.

@@ -73,6 +73,19 @@ func (d *Demux) Offer(a event.Alert) (bool, error) {
 	return false, nil
 }
 
+// ReplaceFilter swaps one condition's filter instance, keeping the merged
+// displayed history — the recovery hook for installing a filter rebuilt
+// from a durable log (durable.RecoverFilter) into a running demux.
+func (d *Demux) ReplaceFilter(name string, f ad.Filter) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.filters[name]; !ok {
+		return fmt.Errorf("multicond: condition %q not registered", name)
+	}
+	d.filters[name] = f
+	return nil
+}
+
 // Displayed returns a copy of the merged displayed sequence.
 func (d *Demux) Displayed() []event.Alert {
 	d.mu.Lock()

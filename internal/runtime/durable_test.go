@@ -1,0 +1,455 @@
+package runtime
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/durable"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/wire"
+)
+
+// wireUpdate encodes u as the delta payload durable.RecoverEvaluator
+// replays; encoding only fails on absurd variable names, so panic is fine
+// in a test helper.
+func wireUpdate(u event.Update) []byte {
+	b, err := wire.EncodeUpdate(u)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// The kill-and-restart acceptance gate: a run whose displayer state (AD
+// filter + CE history windows) is crashed mid-stream and rebuilt from the
+// durable WAL must display exactly what the uninterrupted run displays —
+// per condition, same alerts, same order — under every loss schedule, for
+// per-update and batched emission. Crashes happen in place (windows cleared
+// on the live objects, state replayed from the log) so the per-link RNGs
+// keep their position: a whole-process restart would reseed the loss
+// schedule and make the comparison meaningless. Disk-truth reopen of the
+// same WAL files is covered by the durable package tests and the restart
+// smoke script.
+
+// crashHalf selects which displayer state is lost at the midpoint.
+type crashHalf struct {
+	ce, adf bool
+	// recover false is the negative control: state is lost and NOT
+	// rebuilt, which must change the displayed stream.
+	recover bool
+}
+
+// emitEngineHalf interleaves x and y updates over index range [from, to) so
+// a midpoint crash leaves every window — shared, straggler, and both
+// variables — partially filled.
+func emitEngineHalf(t *testing.T, ng *Engine, from, to, batch int) {
+	t.Helper()
+	vals := func(v event.VarName, i int) float64 {
+		phase := int(hashVar(v) % 37)
+		return float64(((i + phase) * 13) % 1000)
+	}
+	if batch <= 1 {
+		for i := from; i < to; i++ {
+			for _, v := range []event.VarName{"x", "y"} {
+				if _, err := ng.Emit(v, vals(v, i)); err != nil {
+					t.Fatalf("Emit: %v", err)
+				}
+			}
+		}
+		return
+	}
+	for i := from; i < to; i += batch {
+		j := i + batch
+		if j > to {
+			j = to
+		}
+		for _, v := range []event.VarName{"x", "y"} {
+			chunk := make([]float64, 0, j-i)
+			for k := i; k < j; k++ {
+				chunk = append(chunk, vals(v, k))
+			}
+			if _, err := ng.EmitBatch(v, chunk); err != nil {
+				t.Fatalf("EmitBatch: %v", err)
+			}
+		}
+	}
+}
+
+// runEngineDurable drives one journaled Engine over the interleaved stream,
+// optionally crashing displayer state at the midpoint, and returns the
+// per-condition displayed sequences.
+func runEngineDurable(t *testing.T, loss func(int, int, event.VarName) link.Model, batch int, crash *crashHalf) map[string][]event.Alert {
+	t.Helper()
+	const (
+		n              = 400
+		adCompactEvery = 8
+		laneCompact    = 64
+	)
+	dir := t.TempDir()
+	adLogs := make(map[string]*durable.Log)
+	laneLogs := make(map[string]*durable.Log)
+	openLog := func(name string) *durable.Log {
+		l, err := durable.Open(filepath.Join(dir, name+".wal"), durable.Options{})
+		if err != nil {
+			t.Fatalf("durable.Open(%s): %v", name, err)
+		}
+		return l
+	}
+	ng, err := NewEngine(func(c cond.Condition) ad.Filter {
+		l := openLog("ad-" + c.Name())
+		adLogs[c.Name()] = l
+		return durable.LogFilter(ad.NewAD1(), l, adCompactEvery)
+	}, EngineOptions{
+		Replicas: 2, Workers: 4, Seed: 42, Loss: loss,
+		Journal: func(shard, replica int, se *ce.SharedEvaluator) func(event.Update) error {
+			key := fmt.Sprintf("lane-%d-%d", shard, replica)
+			l := openLog(key)
+			laneLogs[key] = l
+			return durable.LaneJournal(l, se, laneCompact)
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	conds := engineFleet()
+	for _, c := range conds {
+		if _, err := ng.Register(c); err != nil {
+			t.Fatalf("Register(%s): %v", c.Name(), err)
+		}
+	}
+
+	emitEngineHalf(t, ng, 0, n/2, batch)
+	// Drain so the crash point is quiescent and totally ordered after the
+	// first half — the same barrier the baseline run crosses.
+	if err := ng.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if crash != nil {
+		if crash.ce {
+			err := ng.VisitLanes(func(shard, replica int, se *ce.SharedEvaluator) error {
+				se.Crash()
+				if !crash.recover {
+					return nil
+				}
+				key := fmt.Sprintf("lane-%d-%d", shard, replica)
+				_, err := durable.RecoverLane(laneLogs[key], se)
+				return err
+			})
+			if err != nil {
+				t.Fatalf("VisitLanes crash/recover: %v", err)
+			}
+		}
+		if crash.adf {
+			for _, c := range conds {
+				l := adLogs[c.Name()]
+				raw := ad.NewAD1()
+				if crash.recover {
+					if _, err := durable.RecoverFilter(l, raw); err != nil {
+						t.Fatalf("RecoverFilter(%s): %v", c.Name(), err)
+					}
+				}
+				if err := ng.ReplaceFilter(c.Name(), durable.LogFilter(raw, l, adCompactEvery)); err != nil {
+					t.Fatalf("ReplaceFilter(%s): %v", c.Name(), err)
+				}
+			}
+		}
+	}
+	emitEngineHalf(t, ng, n/2, n, batch)
+	if _, err := ng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	out := make(map[string][]event.Alert, len(conds))
+	for _, c := range conds {
+		out[c.Name()] = ng.Demux().DisplayedFor(c.Name())
+	}
+	for _, l := range adLogs {
+		l.Close()
+	}
+	for _, l := range laneLogs {
+		l.Close()
+	}
+	return out
+}
+
+// TestEngineKillRestartEquivalence is the durability acceptance gate at the
+// engine level: for every loss schedule, crashing and recovering the CE
+// half, the AD half, or both at the midpoint must leave the displayed
+// streams identical to the uninterrupted journaled run — which itself must
+// display something, or the gate proves nothing.
+func TestEngineKillRestartEquivalence(t *testing.T) {
+	bern := func(p float64) link.Model {
+		m, err := link.NewBernoulli(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	schedules := map[string]func(int, int, event.VarName) link.Model{
+		"lossless": nil,
+		"bernoulli": func(shard, replica int, v event.VarName) link.Model {
+			return bern(0.2)
+		},
+		"burst": func(shard, replica int, v event.VarName) link.Model {
+			m, err := link.NewBurst(0.1, 0.5, 0.9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		},
+		"mixed": func(shard, replica int, v event.VarName) link.Model {
+			if replica == 0 {
+				return bern(0.3)
+			}
+			return nil
+		},
+	}
+	halves := map[string]crashHalf{
+		"ce":   {ce: true, recover: true},
+		"ad":   {adf: true, recover: true},
+		"both": {ce: true, adf: true, recover: true},
+	}
+	for name, loss := range schedules {
+		t.Run(name, func(t *testing.T) {
+			want := runEngineDurable(t, loss, 1, nil)
+			fired := 0
+			for _, alerts := range want {
+				fired += len(alerts)
+			}
+			if fired == 0 {
+				t.Fatal("baseline displayed nothing; stream too tame")
+			}
+			for half, ch := range halves {
+				ch := ch
+				got := runEngineDurable(t, loss, 1, &ch)
+				compareDisplayed(t, "crash="+half+"/per-update", want, got)
+			}
+			// Batched emission with the full crash.
+			both := halves["both"]
+			wantB := runEngineDurable(t, loss, 64, nil)
+			compareDisplayed(t, "crash=both/batch=64", wantB,
+				runEngineDurable(t, loss, 64, &both))
+		})
+	}
+}
+
+// TestEngineCrashWithoutRecoveryDiverges is the negative control for the
+// gate above: losing the CE windows at the midpoint WITHOUT replaying the
+// journal must change the displayed stream under the lossless schedule,
+// proving the crash point is observable.
+func TestEngineCrashWithoutRecoveryDiverges(t *testing.T) {
+	want := runEngineDurable(t, nil, 1, nil)
+	got := runEngineDurable(t, nil, 1, &crashHalf{ce: true, recover: false})
+	for name, wantAlerts := range want {
+		gotAlerts := got[name]
+		if len(gotAlerts) != len(wantAlerts) {
+			return // diverged, as required
+		}
+		for i := range wantAlerts {
+			if wantAlerts[i].Key() != gotAlerts[i].Key() {
+				return
+			}
+		}
+	}
+	t.Fatal("unrecovered crash displayed the baseline stream; the equivalence gate proves nothing")
+}
+
+// TestSystemKillRestartEquivalence covers the single-condition System's
+// hooks: Options.CEJournal, Drain + VisitReplica as the ordered crash
+// point, and Displayer.ReplaceFilter for the AD half. The System merges
+// per-variable front links nondeterministically, so only a
+// single-variable condition with Replicas=1 yields a deterministic
+// displayed stream to compare; the multi-variable and multi-replica cases
+// are covered by the MultiSystem and Engine tests, whose per-shard
+// channels deliver deterministically.
+func TestSystemKillRestartEquivalence(t *testing.T) {
+	c := cond.MustParse("deep", "x[0] - x[-2] > 150")
+	loss := func(replica int, v event.VarName) link.Model {
+		m, err := link.NewBernoulli(0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	const n = 600
+	emitHalf := func(s *System, from, to int) {
+		for i := from; i < to; i++ {
+			if _, err := s.Emit("x", float64((i*137)%1000)); err != nil {
+				t.Fatalf("Emit: %v", err)
+			}
+		}
+	}
+
+	run := func(crash bool) []event.Alert {
+		dir := t.TempDir()
+		ceLog, err := durable.Open(filepath.Join(dir, "ce.wal"), durable.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		adLog, err := durable.Open(filepath.Join(dir, "ad.wal"), durable.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ceLog.Close()
+		defer adLog.Close()
+		sys, err := New(c, durable.LogFilter(ad.NewAD1(), adLog, 8), Options{
+			Replicas: 1, Seed: 7, Loss: loss,
+			CEJournal: func(replica int) func(event.Update) error {
+				return func(u event.Update) error { return ceLog.Append(wireUpdate(u)) }
+			},
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		emitHalf(sys, 0, n/2)
+		// Drain makes the crash point quiescent end to end: every first-half
+		// alert has passed the AD filter, so replaying its log races with
+		// nothing. Both runs cross the same barrier.
+		if err := sys.Drain(); err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+		err = sys.VisitReplica(0, func(ev *ce.Evaluator) error {
+			if !crash {
+				return nil
+			}
+			ev.Crash()
+			_, err := durable.RecoverEvaluator(ceLog, ev)
+			return err
+		})
+		if err != nil {
+			t.Fatalf("VisitReplica: %v", err)
+		}
+		if crash {
+			raw := ad.NewAD1()
+			if _, err := durable.RecoverFilter(adLog, raw); err != nil {
+				t.Fatalf("RecoverFilter: %v", err)
+			}
+			sys.Displayer().ReplaceFilter(durable.LogFilter(raw, adLog, 8))
+		}
+		emitHalf(sys, n/2, n)
+		return sys.Close()
+	}
+
+	want := run(false)
+	if len(want) == 0 {
+		t.Fatal("baseline displayed nothing")
+	}
+	got := run(true)
+	if len(got) != len(want) {
+		t.Fatalf("crash run displayed %d alerts, baseline %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Key() != got[i].Key() {
+			t.Fatalf("alert %d: crash run %s, baseline %s", i, got[i].Key(), want[i].Key())
+		}
+	}
+}
+
+// TestMultiSystemKillRestartEquivalence covers the pooled MultiSystem's
+// hooks: MultiOptions.CEJournal per station, Drain + VisitStations as the
+// ordered crash point, and ReplaceFilter for the AD half, with two replicas
+// per condition under a mixed loss schedule.
+func TestMultiSystemKillRestartEquivalence(t *testing.T) {
+	loss := func(condName string, replica int, v event.VarName) link.Model {
+		if replica == 0 {
+			m, err := link.NewBernoulli(0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		return nil
+	}
+	conds := equivConds()
+	const n = 300
+	emitHalf := func(sys *MultiSystem, from, to int) {
+		for i := from; i < to; i++ {
+			for _, v := range []event.VarName{"x", "y"} {
+				phase := int(hashVar(v) % 37)
+				if _, err := sys.Emit(v, float64(((i+phase)*13)%1000)); err != nil {
+					t.Fatalf("Emit: %v", err)
+				}
+			}
+		}
+	}
+
+	run := func(crash bool) map[string][]event.Alert {
+		dir := t.TempDir()
+		ceLogs := make(map[string]*durable.Log)
+		adLogs := make(map[string]*durable.Log)
+		openLog := func(m map[string]*durable.Log, name string) *durable.Log {
+			l, err := durable.Open(filepath.Join(dir, name+".wal"), durable.Options{})
+			if err != nil {
+				t.Fatalf("durable.Open(%s): %v", name, err)
+			}
+			m[name] = l
+			return l
+		}
+		sys, err := NewMulti(conds, func(c cond.Condition) ad.Filter {
+			return durable.LogFilter(ad.NewAD1(), openLog(adLogs, "ad-"+c.Name()), 8)
+		}, MultiOptions{
+			Replicas: 2, Seed: 42, Loss: loss,
+			CEJournal: func(condName string, replica int) func(event.Update) error {
+				l := openLog(ceLogs, fmt.Sprintf("ce-%s-%d", condName, replica))
+				return func(u event.Update) error { return l.Append(wireUpdate(u)) }
+			},
+		})
+		if err != nil {
+			t.Fatalf("NewMulti: %v", err)
+		}
+		emitHalf(sys, 0, n/2)
+		if err := sys.Drain(); err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+		if crash {
+			err := sys.VisitStations(func(condName string, replica int, ev *ce.Evaluator) error {
+				ev.Crash()
+				l := ceLogs[fmt.Sprintf("ce-%s-%d", condName, replica)]
+				_, err := durable.RecoverEvaluator(l, ev)
+				return err
+			})
+			if err != nil {
+				t.Fatalf("VisitStations crash/recover: %v", err)
+			}
+			for _, c := range conds {
+				l := adLogs["ad-"+c.Name()]
+				raw := ad.NewAD1()
+				if _, err := durable.RecoverFilter(l, raw); err != nil {
+					t.Fatalf("RecoverFilter(%s): %v", c.Name(), err)
+				}
+				if err := sys.ReplaceFilter(c.Name(), durable.LogFilter(raw, l, 8)); err != nil {
+					t.Fatalf("ReplaceFilter(%s): %v", c.Name(), err)
+				}
+			}
+		}
+		emitHalf(sys, n/2, n)
+		if _, err := sys.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		out := make(map[string][]event.Alert, len(conds))
+		for _, c := range conds {
+			out[c.Name()] = sys.Demux().DisplayedFor(c.Name())
+		}
+		for _, l := range ceLogs {
+			l.Close()
+		}
+		for _, l := range adLogs {
+			l.Close()
+		}
+		return out
+	}
+
+	want := run(false)
+	fired := 0
+	for _, alerts := range want {
+		fired += len(alerts)
+	}
+	if fired == 0 {
+		t.Fatal("baseline displayed nothing")
+	}
+	compareDisplayed(t, "multisystem/crash", want, run(true))
+}

@@ -148,6 +148,7 @@ type emsg struct {
 const (
 	ctlAdd = iota
 	ctlRemove
+	ctlVisitLanes
 )
 
 // ectl is one registry control request, applied to every lane of the
@@ -158,6 +159,9 @@ type ectl struct {
 	c     cond.Condition // ctlAdd
 	name  string         // ctlRemove
 	epoch uint64
+	// visit runs against each lane in order (ctlVisitLanes); the first
+	// error is reported through done.
+	visit func(replica int, se *ce.SharedEvaluator) error
 	done  chan error
 }
 
@@ -257,6 +261,11 @@ type EngineOptions struct {
 	Loss func(shard, replica int, v event.VarName) link.Model
 	// Seed drives link randomness.
 	Seed int64
+	// Journal, if non-nil, returns the durable journal sink for the lane
+	// evaluator of (shard, replica) — see ce.SharedEvaluator.SetJournal
+	// and durable.LaneJournal; a nil return leaves that lane unjournaled.
+	// Nil (the default) disables lane journaling.
+	Journal func(shard, replica int, se *ce.SharedEvaluator) func(event.Update) error
 	// Metrics, if non-nil, instruments the engine in the given registry:
 	// engine.emitted / engine.emit_batches at the DMs, engine.delivered /
 	// engine.lost aggregated over every lane link, engine.ce.* counters
@@ -322,6 +331,11 @@ func NewEngine(newFilter func(c cond.Condition) ad.Filter, opts EngineOptions) (
 			}
 			if ng.m != nil {
 				se.SetMetrics(ng.m.ce)
+			}
+			if opts.Journal != nil {
+				if fn := opts.Journal(i, r, se); fn != nil {
+					se.SetJournal(fn)
+				}
 			}
 			sh.lanes[r] = &elane{se: se, links: make(map[event.VarName]*frontLink)}
 		}
@@ -586,6 +600,14 @@ func (ng *Engine) applyCtl(sh *eshard, c *ectl) {
 		}
 		delete(sh.byName, c.name)
 		c.done <- nil
+	case ctlVisitLanes:
+		var first error
+		for i, ln := range sh.lanes {
+			if err := c.visit(i, ln.se); err != nil && first == nil {
+				first = err
+			}
+		}
+		c.done <- first
 	}
 }
 
@@ -815,6 +837,57 @@ func (ng *Engine) Drain() error {
 	ng.backlink <- ebackFrame{done: flushed}
 	<-flushed
 	return nil
+}
+
+// VisitLanes runs fn against every lane evaluator, on the owning shard
+// workers' own goroutines, totally ordered after every update enqueued
+// before the call — the recovery hook: fn can crash a lane and replay a
+// durable log into it (durable.RecoverLane) at a well-defined point of
+// the stream. Within a shard, lanes are visited in replica order; across
+// shards the visits run concurrently. The call blocks until every shard
+// has finished and returns the first error.
+func (ng *Engine) VisitLanes(fn func(shard, replica int, se *ce.SharedEvaluator) error) error {
+	if fn == nil {
+		return fmt.Errorf("runtime: VisitLanes needs a callback")
+	}
+	ng.regMu.Lock()
+	defer ng.regMu.Unlock()
+	if ng.closed {
+		return fmt.Errorf("runtime: VisitLanes: %w", ErrClosed)
+	}
+	dones := make([]chan error, len(ng.shards))
+	for i, sh := range ng.shards {
+		i := i
+		dones[i] = make(chan error, 1)
+		sh.in <- emsg{ctl: &ectl{
+			op:    ctlVisitLanes,
+			visit: func(r int, se *ce.SharedEvaluator) error { return fn(i, r, se) },
+			done:  dones[i],
+		}}
+	}
+	var first error
+	for _, d := range dones {
+		if err := <-d; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ReplaceFilter swaps a registered condition's filter instance while
+// keeping its epoch and displayed history — the recovery hook for
+// installing a filter rebuilt from a durable log (durable.RecoverFilter)
+// into a live engine.
+func (ng *Engine) ReplaceFilter(name string, f ad.Filter) error {
+	ng.regMu.Lock()
+	defer ng.regMu.Unlock()
+	if ng.closed {
+		return fmt.Errorf("runtime: ReplaceFilter: %w", ErrClosed)
+	}
+	if _, ok := ng.regs[name]; !ok {
+		return fmt.Errorf("runtime: condition %q not registered", name)
+	}
+	return ng.demux.ReplaceFilter(name, f)
 }
 
 // Demux exposes the fencing Alert Displayer for inspection.

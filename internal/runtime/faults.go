@@ -2,6 +2,8 @@ package runtime
 
 import (
 	"fmt"
+	gort "runtime"
+	"sync/atomic"
 
 	"condmon/internal/ce"
 	"condmon/internal/event"
@@ -20,6 +22,7 @@ const (
 	ctlSetDown ctlKind = iota + 1
 	ctlSetUp
 	ctlCrash
+	ctlVisit
 )
 
 // ctlMsg is a control request carried in-band through the update pipeline.
@@ -31,6 +34,10 @@ type ctlMsg struct {
 	kind      ctlKind
 	remaining int
 	done      chan struct{}
+	// visit carries the ctlVisit callback; err its result, valid once
+	// done is closed.
+	visit func(*ce.Evaluator) error
+	err   error
 }
 
 // SetReplicaDown fails (down=true) or revives (down=false) replica i
@@ -43,21 +50,54 @@ func (s *System) SetReplicaDown(i int, down bool) error {
 	if down {
 		kind = ctlSetDown
 	}
-	return s.control(i, kind)
+	return s.control(i, kind, nil)
 }
 
 // CrashReplica simulates a fail-stop restart of replica i without stable
 // storage: its history windows are cleared and must refill before it can
 // fire again.
 func (s *System) CrashReplica(i int) error {
-	return s.control(i, ctlCrash)
+	return s.control(i, ctlCrash, nil)
 }
 
-func (s *System) control(i int, kind ctlKind) error {
+// VisitReplica runs fn on replica i's evaluator, on that replica's own
+// goroutine, totally ordered after every previously emitted update — the
+// recovery hook: fn can crash the evaluator and replay a durable log into
+// it (durable.RecoverEvaluator) at a well-defined point of the stream.
+// The call blocks until fn returns; its error is passed through.
+func (s *System) VisitReplica(i int, fn func(ev *ce.Evaluator) error) error {
+	return s.control(i, ctlVisit, fn)
+}
+
+// Drain blocks until every update emitted before the call has been fully
+// processed end to end: fed to every replica and any resulting alerts
+// offered to the Alert Displayer. When Drain returns, the displayed stream
+// is final for the emitted prefix — the quiescent point for swapping
+// displayer state during recovery (Displayer.ReplaceFilter).
+func (s *System) Drain() error {
+	// A nil visit on each replica is a pure barrier: it applies only after
+	// every previously emitted update has been fed, and each feed counts
+	// its alert in alertsSent before the control is reached.
+	for i := 0; i < s.replicas; i++ {
+		if err := s.control(i, ctlVisit, nil); err != nil {
+			return err
+		}
+	}
+	// The alerts are now either consumed or sitting in the buffered back
+	// links; wait for the displayer's receivers to run them through the
+	// filter.
+	target := s.alertsSent.Load()
+	for s.adSrv.received() < target {
+		gort.Gosched()
+	}
+	return nil
+}
+
+func (s *System) control(i int, kind ctlKind, visit func(*ce.Evaluator) error) error {
 	if i < 0 || i >= s.replicas {
 		return fmt.Errorf("runtime: replica index %d outside [0,%d)", i, s.replicas)
 	}
-	msg := &ctlMsg{kind: kind, remaining: len(s.vars), done: make(chan struct{})}
+	msg := &ctlMsg{kind: kind, remaining: len(s.vars), done: make(chan struct{}), visit: visit}
 	for _, v := range s.vars {
 		dm := s.dms[v]
 		dm.mu.Lock()
@@ -70,7 +110,7 @@ func (s *System) control(i int, kind ctlKind) error {
 	}
 	select {
 	case <-msg.done:
-		return nil
+		return msg.err
 	case <-s.shutdown:
 		return fmt.Errorf("runtime: control interrupted by shutdown")
 	}
@@ -90,13 +130,19 @@ func applyCtl(eval *ce.Evaluator, msg *ctlMsg) {
 		eval.SetDown(false)
 	case ctlCrash:
 		eval.Crash()
+	case ctlVisit:
+		if msg.visit != nil {
+			msg.err = msg.visit(eval)
+		}
 	}
 	close(msg.done)
 }
 
 // ceLoop is the replica server loop: updates and in-band control frames
-// are serialized on one goroutine.
-func ceLoop(index int, eval *ce.Evaluator, in chan frame, back chan event.Alert) {
+// are serialized on one goroutine. Each fired alert is counted in sent
+// before the next frame is processed, which is what lets Drain's control
+// barrier read a complete count for the emitted prefix.
+func ceLoop(index int, eval *ce.Evaluator, in chan frame, back chan event.Alert, sent *atomic.Int64) {
 	defer close(back)
 	feed := func(u event.Update) {
 		a, fired, err := eval.Feed(u)
@@ -104,6 +150,7 @@ func ceLoop(index int, eval *ce.Evaluator, in chan frame, back chan event.Alert)
 			panic(fmt.Sprintf("runtime: %s: %v", eval.ID(), err))
 		}
 		if fired {
+			sent.Add(1)
 			back <- a
 		}
 	}

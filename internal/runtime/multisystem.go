@@ -73,6 +73,17 @@ type MultiSystem struct {
 type backFrame struct {
 	stream int
 	alerts []event.Alert
+	// done, when non-nil, marks a flush barrier: the pump closes it after
+	// every earlier frame's alerts have been offered (see Drain).
+	done chan struct{}
+}
+
+// stationVisit is a control frame run by a shard worker against every
+// station it owns — the in-band barrier Drain and VisitStations ride on.
+type stationVisit struct {
+	// fn may be nil for a pure barrier.
+	fn   func(condName string, replica int, ev *ce.Evaluator) error
+	done chan error
 }
 
 // multiMetrics is the MultiSystem's aggregate instrumentation. Front-link
@@ -147,6 +158,10 @@ type multiDM struct {
 type shard struct {
 	in    chan frame
 	byVar map[event.VarName][]*station
+	// stations lists every station exactly once, in the deterministic
+	// construction order (condition order × replica order) — the
+	// iteration domain for VisitStations.
+	stations []*station
 	// active is merge scratch for deliverBatchAll: the stations of the
 	// current frame that fired at least once.
 	active []*station
@@ -178,6 +193,8 @@ type station struct {
 	scratch []event.Alert // reused FeedBatch output buffer
 	cursor  int           // merge position in scratch during deliverBatchAll
 	head    int64         // triggering seqno of scratch[cursor], cached for the merge
+	cname   string        // condition name, for VisitStations callbacks
+	replica int           // replica index, for VisitStations callbacks
 }
 
 // frontLink is the loss state of one DM→CE link.
@@ -202,6 +219,11 @@ type MultiOptions struct {
 	Loss func(condName string, replica int, v event.VarName) link.Model
 	// Seed drives link randomness.
 	Seed int64
+	// CEJournal, if non-nil, returns the durable journal sink for the
+	// evaluator of (condition, replica) — see ce.Evaluator.SetJournal and
+	// durable.EvaluatorJournal; a nil return leaves that station
+	// unjournaled. Nil (the default) disables CE journaling.
+	CEJournal func(condName string, replica int) func(event.Update) error
 	// Metrics, if non-nil, instruments the system in the given registry:
 	// multi.emitted / multi.emit_batches at the DMs, multi.delivered /
 	// multi.lost aggregated over every front link, multi.ce.* counters
@@ -315,7 +337,18 @@ func NewMulti(conds []cond.Condition, newFilter func(c cond.Condition) ad.Filter
 				eval.SetMetrics(sys.m.ce)
 			}
 			eval.SetTracer(opts.Trace)
-			st := &station{eval: eval, links: make(map[event.VarName]*frontLink, len(c.Vars()))}
+			if opts.CEJournal != nil {
+				if fn := opts.CEJournal(c.Name(), i); fn != nil {
+					eval.SetJournal(fn)
+				}
+			}
+			st := &station{
+				eval:    eval,
+				links:   make(map[event.VarName]*frontLink, len(c.Vars())),
+				cname:   c.Name(),
+				replica: i,
+			}
+			sh.stations = append(sh.stations, st)
 			for _, v := range c.Vars() {
 				model := link.Model(link.None{})
 				if opts.Loss != nil {
@@ -400,6 +433,21 @@ func NewMulti(conds []cond.Condition, newFilter func(c cond.Condition) ad.Filter
 // station inline. stream is the shard's index — its back-link stream id.
 func (s *MultiSystem) shardLoop(stream int, sh *shard) {
 	for f := range sh.in {
+		if f.visit != nil {
+			// A control frame: FIFO on the shard channel totally orders it
+			// after every previously enqueued update, so the callback sees
+			// each station exactly as the emitted prefix left it.
+			var first error
+			if f.visit.fn != nil {
+				for _, st := range sh.stations {
+					if err := f.visit.fn(st.cname, st.replica, st.eval); err != nil && first == nil {
+						first = err
+					}
+				}
+			}
+			f.visit.done <- first
+			continue
+		}
 		if f.us != nil {
 			s.deliverBatchAll(stream, sh, sh.byVar[f.us[0].Var], f.us)
 			continue
@@ -415,6 +463,12 @@ func (s *MultiSystem) shardLoop(stream int, sh *shard) {
 // per-condition order) while decoupling shard workers from filter latency.
 func (s *MultiSystem) pumpLoop() {
 	for f := range s.backlink {
+		if f.done != nil {
+			// A flush barrier: every frame enqueued before it has been
+			// offered to the demux by now (the pump is the sole consumer).
+			close(f.done)
+			continue
+		}
 		for _, a := range f.alerts {
 			if _, err := s.demux.Offer(a); err != nil {
 				s.recordErr(err)
@@ -728,6 +782,69 @@ func (s *MultiSystem) InjectBatch(v event.VarName, us []event.Update) error {
 // Demux exposes the Alert Displayer for inspection.
 func (s *MultiSystem) Demux() *multicond.Demux { return s.demux }
 
+// VisitStations runs fn against every station, on the owning shard
+// workers' own goroutines, totally ordered after every update enqueued
+// before the call — the recovery hook: fn can crash an evaluator and
+// replay a durable log into it (durable.RecoverEvaluator) at a
+// well-defined point of the stream. Within a shard, stations are visited
+// in the deterministic construction order (condition order × replica
+// order); across shards the visits run concurrently. The call blocks
+// until every shard has finished and returns the first error.
+func (s *MultiSystem) VisitStations(fn func(condName string, replica int, ev *ce.Evaluator) error) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("runtime: VisitStations: %w", ErrClosed)
+	}
+	dones := make([]chan error, len(s.shards))
+	for i, sh := range s.shards {
+		dones[i] = make(chan error, 1)
+		sh.in <- frame{visit: &stationVisit{fn: fn, done: dones[i]}}
+	}
+	s.mu.Unlock()
+	var first error
+	for _, d := range dones {
+		if err := <-d; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Drain blocks until every update emitted before the call has been fully
+// processed: shard queues flushed through the evaluators and — when the
+// multiplexed back link is active — every resulting alert offered to the
+// demux. It is the quiescent point for crash/recover surgery: after Drain
+// returns, Displayed captures exactly the emitted prefix.
+func (s *MultiSystem) Drain() error {
+	// A nil-callback visit is a pure barrier through every shard queue.
+	if err := s.VisitStations(nil); err != nil {
+		return err
+	}
+	if s.backlink == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("runtime: Drain: %w", ErrClosed)
+	}
+	flushed := make(chan struct{})
+	s.backlink <- backFrame{done: flushed}
+	s.mu.Unlock()
+	<-flushed
+	return nil
+}
+
+// ReplaceFilter swaps one condition's filter instance in the demux while
+// keeping the merged displayed history — the recovery hook for installing
+// a filter rebuilt from a durable log (durable.RecoverFilter). Note the
+// replacement is installed as-is: re-wrap it (ad.RegisterInstrumented,
+// ad.NewTraced) if the displaced instance was instrumented.
+func (s *MultiSystem) ReplaceFilter(name string, f ad.Filter) error {
+	return s.demux.ReplaceFilter(name, f)
+}
+
 // Close drains the pipeline and returns the merged displayed sequence,
 // plus the first evaluation error encountered (if any).
 func (s *MultiSystem) Close() ([]event.Alert, error) {
@@ -739,7 +856,12 @@ func (s *MultiSystem) Close() ([]event.Alert, error) {
 		return s.demux.Displayed(), s.err
 	}
 	s.closed = true
-	s.mu.Unlock()
+	// s.mu stays held through the channel closes: VisitStations and Drain
+	// send control frames on these channels under the same lock after
+	// checking closed, so the hold is what makes close/send exclusive.
+	// Shard workers and the pump never take s.mu, so waiting under it
+	// cannot deadlock.
+	defer s.mu.Unlock()
 
 	// Stop every DM first: once each dm.mu has been held with closed set,
 	// no Emit can be mid-send, so the shard channels are safe to close.

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"condmon/internal/ad"
 	"condmon/internal/ce"
@@ -68,6 +69,11 @@ type Options struct {
 	// Displayer. Nil (the default) leaves the pipeline uninstrumented and
 	// allocation-free.
 	Metrics *obs.Registry
+	// CEJournal, if non-nil, returns the durable journal sink for replica
+	// i's evaluator (see ce.Evaluator.SetJournal and
+	// durable.EvaluatorJournal); a nil return leaves that replica
+	// unjournaled. Nil (the default) disables CE journaling entirely.
+	CEJournal func(replica int) func(event.Update) error
 	// Trace, if non-nil, threads the flight recorder through the whole
 	// pipeline: StageEmit spans at the DMs, StageLink delivered/lost spans
 	// per front link, StageFeed spans in every evaluator
@@ -96,6 +102,10 @@ type System struct {
 
 	m  *sysMetrics // nil when Options.Metrics was nil
 	tr *obs.Tracer // nil when Options.Trace was nil
+
+	// alertsSent counts alerts pushed onto the back links; paired with the
+	// Displayer's received count it gives Drain its termination condition.
+	alertsSent atomic.Int64
 
 	mu     sync.Mutex // guards closed
 	closed bool
@@ -142,6 +152,9 @@ type frame struct {
 	// target.
 	ctl    *ctlMsg
 	target int
+	// visit, when non-nil, marks a MultiSystem station-visit control
+	// frame (see VisitStations); System channels never carry one.
+	visit *stationVisit
 }
 
 // dataMonitor is the DM for one variable: it owns the sequence counter and
@@ -322,13 +335,18 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 		if opts.Metrics != nil {
 			eval.SetMetrics(ce.RegisterMetrics(opts.Metrics, fmt.Sprintf("ce.CE%d", i+1)))
 		}
+		if opts.CEJournal != nil {
+			if fn := opts.CEJournal(i); fn != nil {
+				eval.SetJournal(fn)
+			}
+		}
 		eval.SetTracer(opts.Trace)
 		back := make(chan event.Alert, backlinkBuffer)
 		sys.adSrv.attach(back)
 		sys.wg.Add(1)
 		go func(i int, eval *ce.Evaluator, in chan frame, back chan event.Alert) {
 			defer sys.wg.Done()
-			ceLoop(i, eval, in, back)
+			ceLoop(i, eval, in, back, &sys.alertsSent)
 		}(i, eval, ceIn, back)
 	}
 
@@ -462,6 +480,7 @@ type Displayer struct {
 	pending   []event.Alert
 	displayed []event.Alert
 	suppress  int
+	nReceived int64 // alerts taken off the back links, buffered or offered
 	links     []chan event.Alert
 	started   bool
 }
@@ -502,6 +521,7 @@ func (d *Displayer) start(wg *sync.WaitGroup) {
 func (d *Displayer) offer(a event.Alert) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.nReceived++
 	if !d.connected {
 		d.pending = append(d.pending, a)
 		return
@@ -548,6 +568,15 @@ func (d *Displayer) Displayed() []event.Alert {
 	return out
 }
 
+// received reports how many alerts have been taken off the back links so
+// far (whether displayed, suppressed, or buffered while disconnected);
+// System.Drain compares it against the replicas' send count.
+func (d *Displayer) received() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nReceived
+}
+
 // Suppressed returns how many alerts the filter discarded.
 func (d *Displayer) Suppressed() int {
 	d.mu.Lock()
@@ -587,6 +616,20 @@ func (d *Displayer) RestoreFilter(data []byte) error {
 		return fmt.Errorf("runtime: filter %s does not support snapshots", d.filter.Name())
 	}
 	return s.Restore(data)
+}
+
+// ReplaceFilter swaps the displayer's filter instance while keeping the
+// displayed history and connection state — the recovery hook for
+// installing a filter rebuilt from a durable log (durable.RecoverFilter)
+// into a live system. The replacement should carry the same algorithm and
+// evidence trajectory as the filter it displaces; alerts in flight on the
+// back link are offered to whichever instance is installed when they
+// arrive, so equivalence holds exactly when the two agree on the evidence
+// so far.
+func (d *Displayer) ReplaceFilter(f ad.Filter) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.filter = f
 }
 
 // snapshotter finds the Snapshotter behind any chain of observability

@@ -1,0 +1,114 @@
+#!/bin/sh
+# End-to-end crash/recovery smoke: run a durable fleet (DM -> CE1 -> AD,
+# both stateful processes journaling to -state-dir with -fsync 1), SIGKILL
+# the AD and the CE mid-stream, restart them against the same state
+# directories, and redeliver an overlapping tail with `condmon-dm
+# -start-seq`. The stitched displayed stream (phase 1 + phase 2) must be
+# identical to an uninterrupted reference run.
+#
+# A second, deliberately stateless CE replica joins only after the
+# restart: it re-fires alerts for redelivered sequence numbers that were
+# already displayed before the crash, so the recovered AD filter must
+# suppress them from its WAL-restored state — the cross-restart duplicate
+# suppression that Section 3's AD algorithms exist to provide.
+#
+# Usage: scripts/e2e_restart_smoke.sh  (from the repository root)
+set -eu
+
+workdir=$(mktemp -d)
+trap 'kill $(cat "$workdir"/*.pid 2>/dev/null) 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir" ./cmd/condmon-ad ./cmd/condmon-ce ./cmd/condmon-dm
+
+AD_LISTEN=127.0.0.1:7270
+CE1_LISTEN=127.0.0.1:7271
+CE2_LISTEN=127.0.0.1:7272
+COND='x[0] > 3000'
+TOTAL=40     # updates in the full stream
+CUT=20       # last seq delivered before the crash
+RESTART=15   # phase-2 start seq: overlaps [RESTART, CUT] for redelivery
+
+fail() {
+    echo "FAIL: $1"
+    for f in "$workdir"/*.log; do echo "--- $f:"; cat "$f"; done
+    exit 1
+}
+
+# Reference run: the same stream end to end with no crash.
+"$workdir/condmon-ad" -listen "$AD_LISTEN" -ad-algo AD-1 -vars x \
+    > "$workdir/ref-ad.log" 2>&1 &
+echo $! > "$workdir/ad.pid"
+sleep 0.3
+"$workdir/condmon-ce" -id CE1 -listen "$CE1_LISTEN" -ad "$AD_LISTEN" \
+    -cond "$COND" > "$workdir/ref-ce1.log" 2>&1 &
+echo $! > "$workdir/ce1.pid"
+sleep 0.3
+"$workdir/condmon-dm" -var x -ce "$CE1_LISTEN" -source reactor \
+    -n "$TOTAL" -interval 5ms > "$workdir/ref-dm.log" 2>&1
+sleep 1
+kill "$(cat "$workdir/ad.pid")" "$(cat "$workdir/ce1.pid")" 2>/dev/null || true
+sleep 0.3
+
+# Crash run, phase 1: durable AD and CE1, stream cut at seq CUT.
+"$workdir/condmon-ad" -listen "$AD_LISTEN" -ad-algo AD-1 -vars x \
+    -state-dir "$workdir/ad-state" -fsync 1 > "$workdir/p1-ad.log" 2>&1 &
+echo $! > "$workdir/ad.pid"
+sleep 0.3
+"$workdir/condmon-ce" -id CE1 -listen "$CE1_LISTEN" -ad "$AD_LISTEN" \
+    -cond "$COND" -state-dir "$workdir/ce-state" -fsync 1 > "$workdir/p1-ce1.log" 2>&1 &
+echo $! > "$workdir/ce1.pid"
+sleep 0.3
+"$workdir/condmon-dm" -var x -ce "$CE1_LISTEN" -source reactor \
+    -n "$CUT" -interval 5ms > "$workdir/p1-dm.log" 2>&1
+sleep 1
+
+# Kill without warning: no Close, no final fsync beyond the per-record
+# policy — recovery must come entirely from the WALs.
+kill -9 "$(cat "$workdir/ad.pid")" "$(cat "$workdir/ce1.pid")"
+sleep 0.3
+
+# Phase 2: restart both against the same state directories, plus a
+# stateless CE2 that will regenerate duplicates for the overlap window.
+"$workdir/condmon-ad" -listen "$AD_LISTEN" -ad-algo AD-1 -vars x \
+    -state-dir "$workdir/ad-state" -fsync 1 > "$workdir/p2-ad.log" 2>&1 &
+echo $! > "$workdir/ad.pid"
+sleep 0.3
+"$workdir/condmon-ce" -id CE1 -listen "$CE1_LISTEN" -ad "$AD_LISTEN" \
+    -cond "$COND" -state-dir "$workdir/ce-state" -fsync 1 > "$workdir/p2-ce1.log" 2>&1 &
+echo $! > "$workdir/ce1.pid"
+"$workdir/condmon-ce" -id CE2 -listen "$CE2_LISTEN" -ad "$AD_LISTEN" \
+    -cond "$COND" > "$workdir/p2-ce2.log" 2>&1 &
+echo $! > "$workdir/ce2.pid"
+sleep 0.3
+"$workdir/condmon-dm" -var x -ce "$CE1_LISTEN,$CE2_LISTEN" -source reactor \
+    -start-seq "$RESTART" -n $((TOTAL - RESTART + 1)) -interval 5ms \
+    > "$workdir/p2-dm.log" 2>&1
+sleep 1
+kill "$(cat "$workdir/ad.pid")" "$(cat "$workdir/ce1.pid")" "$(cat "$workdir/ce2.pid")" 2>/dev/null || true
+sleep 0.3
+
+# Both durable processes must have announced a WAL replay on restart.
+grep -q 'AD recovered [1-9][0-9]* records'  "$workdir/p2-ad.log"  || fail "AD did not replay its WAL"
+grep -q 'CE1 recovered [1-9][0-9]* records' "$workdir/p2-ce1.log" || fail "CE1 did not replay its WAL"
+
+# The stitched displayed stream equals the uninterrupted reference,
+# alert for alert and in order (sources stripped: which replica's copy
+# of a duplicate wins the race is immaterial).
+displayed() { sed -n 's/^ALERT \(a([^)]*)\).*/\1/p' "$@"; }
+displayed "$workdir/ref-ad.log" > "$workdir/ref-stream.txt"
+displayed "$workdir/p1-ad.log" "$workdir/p2-ad.log" > "$workdir/stitched-stream.txt"
+[ -s "$workdir/ref-stream.txt" ] || fail "reference run displayed nothing"
+diff -u "$workdir/ref-stream.txt" "$workdir/stitched-stream.txt" \
+    || fail "stitched displayed stream differs from uninterrupted reference"
+
+# The recovered AD must have suppressed CE2's replayed duplicates —
+# proof the filter state survived the SIGKILL, not just the stream shape.
+grep -q '(suppressed' "$workdir/p2-ad.log" || fail "recovered AD suppressed no duplicates"
+
+# The recovered CE1 must not have re-fired for the redelivered overlap:
+# every alert it ever fires appears exactly once across both phases.
+ce1_ref=$(grep -c '^CE1 alert' "$workdir/ref-ce1.log" || true)
+ce1_got=$(cat "$workdir/p1-ce1.log" "$workdir/p2-ce1.log" | grep -c '^CE1 alert' || true)
+[ "$ce1_ref" = "$ce1_got" ] || fail "CE1 fired $ce1_got alerts across the crash, reference fired $ce1_ref"
+
+echo "e2e restart smoke OK"
