@@ -46,6 +46,7 @@ type perfReport struct {
 	MultiSystem map[string]throughputResult `json:"multi_system,omitempty"`
 	Backlink    map[string]backlinkResult   `json:"backlink,omitempty"`
 	Ingest      map[string]ingestResult     `json:"ingest,omitempty"`
+	Hot         map[string]hotVarResult     `json:"hot_variable,omitempty"`
 	Million     map[string]millionResult    `json:"million_conditions,omitempty"`
 }
 
@@ -55,7 +56,7 @@ type perfReport struct {
 // act, opted into by name.
 var perfScenarios = []string{
 	"CEFeed", "DSLEval", "Filters", "MultiSystem", "Backlink", "IngestThroughput",
-	"MillionConditions",
+	"HotVariable", "MillionConditions",
 }
 
 // parseScenarios resolves a comma-separated, case-insensitive -scenario
@@ -253,8 +254,9 @@ func multiThroughput(batchSize, conditions, total int, reg *obs.Registry, tr *ob
 // MultiSystem and MillionConditions runs carry pipeline counters and the
 // registry is served over HTTP for the hold duration afterwards (the
 // serving notice goes to stderr so out stays valid JSON). scale sets the
-// MillionConditions condition count.
-func runPerf(out io.Writer, metricsAddr string, hold time.Duration, scenarios string, scale int) error {
+// MillionConditions condition count; hotScale shrinks the HotVariable
+// burst geometry (1.0 = full measurement, smaller for smoke runs).
+func runPerf(out io.Writer, metricsAddr string, hold time.Duration, scenarios string, scale int, hotScale float64) error {
 	sel, err := parseScenarios(scenarios)
 	if err != nil {
 		return err
@@ -371,6 +373,33 @@ func runPerf(out io.Writer, metricsAddr string, hold time.Duration, scenarios st
 				return fmt.Errorf("%s: %w", m.key, err)
 			}
 			report.Ingest[m.key] = res
+		}
+	}
+
+	if sel["hotvariable"] {
+		// The multipath scenario: one variable carries ~90% of the traffic
+		// in open-loop bursts. Pinned legs cap the hot variable at one
+		// socket (more sockets don't help — that's the point); striped
+		// legs spread it across the whole group behind the reorder layer.
+		report.Hot = map[string]hotVarResult{}
+		for _, m := range []struct {
+			key     string
+			sockets int
+			stripe  bool
+		}{
+			{"HotVariable/pinned_1socket", 1, false},
+			{"HotVariable/pinned_8socket", 8, false},
+			// striped_1socket is the control: the reorder layer alone,
+			// with no extra buffer capacity behind it, wins nothing.
+			{"HotVariable/striped_1socket", 1, true},
+			{"HotVariable/striped_4socket", 4, true},
+			{"HotVariable/striped_8socket", 8, true},
+		} {
+			res, err := hotVariable(m.sockets, m.stripe, hotScale)
+			if err != nil {
+				return fmt.Errorf("%s: %w", m.key, err)
+			}
+			report.Hot[m.key] = res
 		}
 	}
 

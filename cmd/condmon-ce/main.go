@@ -7,6 +7,7 @@
 //
 //	condmon-ce -id CE1 -listen 127.0.0.1:7101 -ad 127.0.0.1:7200 -cond 'x[0] > 3000'
 //	condmon-ce -id CE2 -listen 127.0.0.1:7102 -ad 127.0.0.1:7200 -cond 'x[0] > 3000' -drop 0.3 -n 50
+//	condmon-ce -id CE3 -listen 127.0.0.1:7103 -sockets 4 -reorder-depth 64 -ad 127.0.0.1:7200 -cond 'x[0] > 3000'
 //
 // With -n the evaluator exits after receiving that many updates (handy for
 // scripted demos); otherwise it runs until interrupted.
@@ -49,6 +50,8 @@ func run(args []string, out io.Writer) error {
 		id       = fs.String("id", "CE1", "replica identity carried in alerts")
 		listen   = fs.String("listen", "127.0.0.1:0", "UDP endpoint for the front link")
 		sockets  = fs.Int("sockets", 1, "SO_REUSEPORT receive sockets on the front-link port (>1 needs Linux; falls back to 1 elsewhere)")
+		rdepth   = fs.Int("reorder-depth", 0, "per-variable reorder window in updates (0 = in-order acceptance; required for publishers sending with -stripe)")
+		rskew    = fs.Duration("reorder-skew", 0, "how long a missing update blocks its successors before the gap is declared lost (with -reorder-depth; default 5ms)")
 		adAddr   = fs.String("ad", "", "Alert Displayer TCP address")
 		condExpr = fs.String("cond", "", "condition DSL expression")
 		dropP    = fs.Float64("drop", 0, "forced front-link drop probability (testing aid)")
@@ -121,13 +124,15 @@ func run(args []string, out io.Writer) error {
 		forced = b
 	}
 	recv, err := transport.ListenUDPGroup(*listen, *sockets, transport.UDPReceiverOptions{
-		ForcedLoss: forced,
-		Seed:       *seed,
-		Metrics:    reg,
-		Trace:      tr,
-		TraceName:  *id,
-		Health:     hl,
-		StaleAfter: *staleAft,
+		ForcedLoss:   forced,
+		Seed:         *seed,
+		Metrics:      reg,
+		Trace:        tr,
+		TraceName:    *id,
+		Health:       hl,
+		StaleAfter:   *staleAft,
+		ReorderDepth: *rdepth,
+		ReorderSkew:  *rskew,
 	})
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@
 //
 //	condmon-dm -var x -ce 127.0.0.1:7101,127.0.0.1:7102 -source reactor -n 50 -interval 20ms
 //	condmon-dm -var x -ce 127.0.0.1:7101 -trace trace.txt
+//	condmon-dm -var x -ce 127.0.0.1:7101 -senders 4 -stripe   # multipath: CE needs -reorder-depth
 package main
 
 import (
@@ -44,6 +45,8 @@ func run(args []string, out io.Writer) error {
 		tracing   = fs.Bool("tracing", false, "annotate datagrams with trace trailers and record emit spans (served at /trace with -metrics)")
 		linger    = fs.Duration("linger", 0, "keep running (and serving -metrics endpoints) this long after the last update")
 		startSeq  = fs.Int64("start-seq", 1, "sequence number of the first update sent; the generator still produces the earlier prefix (discarded) so values stay continuous across a restart")
+		senders   = fs.Int("senders", 1, "UDP sender lanes per endpoint (distinct source ports; >1 spreads load across a CE's SO_REUSEPORT group)")
+		stripe    = fs.Bool("stripe", false, "round-robin datagrams across the sender lanes instead of pinning each variable to one; the CE must run -reorder-depth > 0")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,7 +101,9 @@ func run(args []string, out io.Writer) error {
 		updates = workload.Generate(event.VarName(*varName), src, int(*startSeq-1)+*n)[*startSeq-1:]
 	}
 
-	pub, err := transport.NewUDPPublisher(strings.Split(*ceAddrs, ",")...)
+	pub, err := transport.NewUDPPublisherOpts(
+		transport.UDPPublisherOptions{Senders: *senders, Stripe: *stripe},
+		strings.Split(*ceAddrs, ",")...)
 	if err != nil {
 		return err
 	}

@@ -746,7 +746,10 @@ func (ng *Engine) EmitBatch(v event.VarName, values []float64) (int64, error) {
 // sequence numbers were assigned upstream (a remote DM behind a
 // transport.UDPReceiver). The DM counter advances past u.SeqNo so a later
 // Emit never reuses a sequence number; per-variable ordering is the
-// caller's responsibility (the receiver's in-order acceptance provides it).
+// caller's responsibility — the receiver's in-order acceptance provides
+// it, and in multipath mode its reorder layer
+// (UDPReceiverOptions.ReorderDepth) re-serializes cross-socket races
+// before dispatching here.
 func (ng *Engine) Inject(u event.Update) error {
 	ng.dmMu.RLock()
 	dm := ng.dms[u.Var]

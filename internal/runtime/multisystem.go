@@ -723,8 +723,10 @@ func (s *MultiSystem) EmitBatch(v event.VarName, values []float64) (int64, error
 // updates whose sequence numbers were assigned upstream (a remote DM
 // behind a transport.UDPReceiver). The DM's own counter advances past
 // u.SeqNo so a later Emit never reuses a sequence number. The caller is
-// responsible for per-variable ordering (the receiver's in-order
-// acceptance provides it).
+// responsible for per-variable ordering: the receiver's in-order
+// acceptance provides it, and in multipath mode the receiver's reorder
+// layer (UDPReceiverOptions.ReorderDepth) re-serializes cross-socket
+// races before its Dispatch callback calls here.
 func (s *MultiSystem) Inject(u event.Update) error {
 	dm, ok := s.dms[u.Var]
 	if !ok {

@@ -1,0 +1,269 @@
+package seq
+
+// The bounded reorder/dedup buffer: the acceptance-layer core that relaxes
+// the paper's in-order front-link assumption (Section 2.1) to the bounded
+// out-of-order delivery real multipath transports provide, in the style of
+// POLIMON's skew-windowed monitors. Arrivals are keyed by sequence number
+// into a fixed ring of slots; releases come out in strictly increasing
+// seqno order. Three rules bound the buffer:
+//
+//   - Duplicates drop: a seqno at or behind the release horizon, or one
+//     already buffered, is dropped and counted — at-least-once and
+//     duplicated-path transports become safe.
+//   - Depth evicts: an arrival more than `depth` ahead of the horizon
+//     slides the window forward, releasing everything it passes; seqnos
+//     skipped over are declared lost.
+//   - Skew times out: when a missing seqno blocks the head of the ring
+//     longer than the skew bound, the gap is declared lost and the
+//     buffered successors release.
+//
+// Declaring a gap lost is exactly the paper's front-link loss model: the
+// update is treated as never delivered, later arrivals of it are
+// duplicates, and every downstream property (Tables 1-3) already accounts
+// for it. That mapping is why the reorder layer composes with the rest of
+// the pipeline unchanged — see DESIGN.md §14.
+//
+// The ring is deliberately clock-free: callers pass `now` timestamps in,
+// so tests and fuzzers drive it deterministically, and the zero value of
+// time never sneaks into release decisions.
+
+// OfferVerdict reports what happened to one offered element, as a bit set:
+// zero means it was buffered (and possibly released by the same call).
+type OfferVerdict uint8
+
+const (
+	// OfferDup marks an element dropped as a duplicate: its seqno was at
+	// or behind the release horizon, or already occupied its ring slot.
+	OfferDup OfferVerdict = 1 << iota
+	// OfferReordered marks an element that arrived below the highest
+	// seqno seen so far — it was overtaken in flight. Informational: a
+	// reordered element may still be buffered and released normally.
+	OfferReordered
+)
+
+// ReorderStats are cumulative counts over a ring's lifetime.
+type ReorderStats struct {
+	// Released elements left the ring in seqno order.
+	Released int64
+	// Dups were dropped (behind the horizon or already buffered).
+	Dups int64
+	// Reordered arrivals came in below the highest seqno seen.
+	Reordered int64
+	// GapLost counts missing seqnos declared lost — skipped over by a
+	// depth eviction, a skew timeout, or a final flush.
+	GapLost int64
+}
+
+// reorderSlot is one ring position: the buffered element, its seqno, and
+// the caller-clock reading at which it arrived (so an expiry sweep can
+// release every gap whose successors have already out-waited the skew).
+type reorderSlot[T any] struct {
+	seq int64
+	at  int64
+	val T
+	set bool
+}
+
+// Reorder is a bounded reorder/dedup buffer over elements keyed by int64
+// sequence numbers. It is not safe for concurrent use; callers serialize
+// access per stream (the transport layer holds one per variable under a
+// per-variable lock).
+type Reorder[T any] struct {
+	depth   int64
+	skew    int64 // gap-release bound in the caller's `now` units
+	base    int64 // release horizon: highest seqno released so far
+	maxSeen int64 // highest seqno ever offered
+	slots   []reorderSlot[T]
+	pending int
+	// gapSince is the `now` at which the current head gap started blocking
+	// release; zero means no gap is pending.
+	gapSince int64
+	stats    ReorderStats
+}
+
+// NewReorder builds a ring whose release horizon starts at base (elements
+// with seqno ≤ base are duplicates from the start), holding up to depth
+// out-of-order elements, with gaps declared lost after skew units of the
+// caller's clock. A depth below 1 is clamped to 1; a negative skew is
+// clamped to 0 (gaps release on the first flush after they appear).
+func NewReorder[T any](base int64, depth int, skew int64) *Reorder[T] {
+	if depth < 1 {
+		depth = 1
+	}
+	if skew < 0 {
+		skew = 0
+	}
+	return &Reorder[T]{
+		depth:   int64(depth),
+		skew:    skew,
+		base:    base,
+		maxSeen: base,
+		slots:   make([]reorderSlot[T], depth),
+	}
+}
+
+// Pending returns the number of buffered elements awaiting release.
+func (r *Reorder[T]) Pending() int { return r.pending }
+
+// Base returns the release horizon: the highest seqno released so far.
+func (r *Reorder[T]) Base() int64 { return r.base }
+
+// Stats returns the cumulative counters.
+func (r *Reorder[T]) Stats() ReorderStats { return r.stats }
+
+// Offer feeds one element into the ring. Elements released by this call —
+// in strictly increasing seqno order, possibly including earlier buffered
+// elements the new arrival unblocked — are appended to out, which is
+// returned (pass a pooled slice to keep the hot path allocation-free).
+// now is the caller's clock reading, used only to start the gap timer.
+func (r *Reorder[T]) Offer(s int64, v T, now int64, out []T) ([]T, OfferVerdict) {
+	var verdict OfferVerdict
+	if s < r.maxSeen {
+		verdict |= OfferReordered
+		r.stats.Reordered++
+	} else if s > r.maxSeen {
+		r.maxSeen = s
+	}
+	if s <= r.base {
+		r.stats.Dups++
+		return out, verdict | OfferDup
+	}
+	base0 := r.base
+	if s > r.base+r.depth {
+		// Depth eviction: the window slides so (s-depth, s] fits; every
+		// slot it passes releases, every missing seqno it passes is lost.
+		out = r.slide(s-r.depth, out)
+	}
+	sl := &r.slots[s%r.depth]
+	if sl.set {
+		// The window invariant (occupied slots hold seqnos in
+		// (base, base+depth]) means an occupied slot is this exact seqno.
+		r.gapClock(now, r.base != base0)
+		r.stats.Dups++
+		return out, verdict | OfferDup
+	}
+	sl.seq, sl.at, sl.val, sl.set = s, now, v, true
+	r.pending++
+	out = r.drain(out)
+	r.gapClock(now, r.base != base0)
+	return out, verdict
+}
+
+// FlushExpired releases past every expired gap: once the head gap has been
+// blocking longer than the skew bound, the missing seqnos are declared lost
+// and the run behind them is appended to out — and so is every further gap
+// whose buffered successors have themselves been waiting at least the skew.
+// A loss burst (a dropped datagram run, a kernel buffer overflow) shares
+// one arrival window, so its gaps expire together; sweeping them in one
+// call keeps recovery at one skew total rather than one skew per gap. A
+// ring with no pending gap (or one still inside the bound) returns out
+// unchanged.
+func (r *Reorder[T]) FlushExpired(now int64, out []T) []T {
+	if r.pending == 0 || r.gapSince == 0 || now-r.gapSince < r.skew {
+		return out
+	}
+	out = r.skipHeadGap(out)
+	for r.pending > 0 {
+		at := r.headArrival()
+		if now-at < r.skew {
+			// The remaining head element has not out-waited the skew yet;
+			// its gap expires at at+skew, not a full skew from now.
+			r.gapSince = at
+			return out
+		}
+		out = r.skipHeadGap(out)
+	}
+	r.gapSince = 0
+	return out
+}
+
+// headArrival returns the arrival clock of the first buffered element past
+// the horizon. Requires pending > 0.
+func (r *Reorder[T]) headArrival() int64 {
+	for s := r.base + 1; ; s++ {
+		if sl := &r.slots[s%r.depth]; sl.set && sl.seq == s {
+			return sl.at
+		}
+	}
+}
+
+// FlushAll releases every buffered element in seqno order, declaring all
+// interior gaps lost — the shutdown path.
+func (r *Reorder[T]) FlushAll(out []T) []T {
+	for r.pending > 0 {
+		out = r.skipHeadGap(out)
+	}
+	r.gapSince = 0
+	return out
+}
+
+// skipHeadGap advances the horizon to the first occupied slot, counting
+// the missing seqnos it passes as lost, then drains the contiguous run.
+// Requires pending > 0.
+func (r *Reorder[T]) skipHeadGap(out []T) []T {
+	s := r.base + 1
+	for {
+		if sl := &r.slots[s%r.depth]; sl.set && sl.seq == s {
+			break
+		}
+		s++
+	}
+	r.stats.GapLost += s - 1 - r.base
+	r.base = s - 1
+	return r.drain(out)
+}
+
+// drain releases the contiguous run at the head of the window.
+func (r *Reorder[T]) drain(out []T) []T {
+	for r.pending > 0 {
+		s := r.base + 1
+		sl := &r.slots[s%r.depth]
+		if !sl.set || sl.seq != s {
+			break
+		}
+		out = append(out, sl.val)
+		var zero T
+		sl.val, sl.set = zero, false
+		r.pending--
+		r.base = s
+		r.stats.Released++
+	}
+	return out
+}
+
+// slide force-advances the horizon to newBase: occupied slots at or below
+// it release in seqno order, missing seqnos below it are lost.
+func (r *Reorder[T]) slide(newBase int64, out []T) []T {
+	span := newBase - r.base
+	var released int64
+	hi := r.base + r.depth
+	if newBase < hi {
+		hi = newBase
+	}
+	for s := r.base + 1; s <= hi && r.pending > 0; s++ {
+		sl := &r.slots[s%r.depth]
+		if sl.set && sl.seq == s {
+			out = append(out, sl.val)
+			var zero T
+			sl.val, sl.set = zero, false
+			r.pending--
+			r.stats.Released++
+			released++
+		}
+	}
+	r.stats.GapLost += span - released
+	r.base = newBase
+	return out
+}
+
+// gapClock restarts or clears the head-gap timer after any state change:
+// an empty ring has no gap; a ring whose horizon just moved (progressed)
+// has a fresh gap; an unmoved, already-timed gap keeps its start.
+func (r *Reorder[T]) gapClock(now int64, progressed bool) {
+	switch {
+	case r.pending == 0:
+		r.gapSince = 0
+	case progressed || r.gapSince == 0:
+		r.gapSince = now
+	}
+}

@@ -1,0 +1,324 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// offerAll feeds seqnos (value = seqno) and returns everything released.
+func offerAll(t *testing.T, r *Reorder[int64], now int64, seqs ...int64) []int64 {
+	t.Helper()
+	var out []int64
+	for _, s := range seqs {
+		out, _ = r.Offer(s, s, now, out)
+	}
+	return out
+}
+
+func TestReorderInOrderPassthrough(t *testing.T) {
+	r := NewReorder[int64](-1, 8, 1000)
+	out := offerAll(t, r, 0, 0, 1, 2, 3, 4)
+	if len(out) != 5 {
+		t.Fatalf("released %d, want 5 (in-order input releases immediately)", len(out))
+	}
+	for i, v := range out {
+		if v != int64(i) {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i)
+		}
+	}
+	if r.Pending() != 0 || r.Base() != 4 {
+		t.Fatalf("pending=%d base=%d, want 0/4", r.Pending(), r.Base())
+	}
+}
+
+func TestReorderRestoresOrder(t *testing.T) {
+	r := NewReorder[int64](0, 8, 1000)
+	out := offerAll(t, r, 0, 3, 1, 4, 2, 5)
+	want := []int64{1, 2, 3, 4, 5}
+	if len(out) != len(want) {
+		t.Fatalf("released %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("released %v, want %v", out, want)
+		}
+	}
+	if st := r.Stats(); st.Reordered != 2 { // 1 after 3, 2 after 4
+		t.Fatalf("Reordered = %d, want 2", st.Reordered)
+	}
+}
+
+func TestReorderDuplicates(t *testing.T) {
+	r := NewReorder[int64](0, 8, 1000)
+	var out []int64
+	out, v := r.Offer(1, 1, 0, out)
+	if v != 0 || len(out) != 1 {
+		t.Fatalf("first offer: verdict %v released %v", v, out)
+	}
+	// Behind the horizon.
+	if _, v = r.Offer(1, 1, 0, nil); v&OfferDup == 0 {
+		t.Fatalf("replayed released seqno: verdict %v, want dup", v)
+	}
+	// Already buffered (3 waits on 2).
+	if _, v = r.Offer(3, 3, 0, nil); v != 0 {
+		t.Fatalf("buffering 3: verdict %v, want 0", v)
+	}
+	if _, v = r.Offer(3, 3, 0, nil); v&OfferDup == 0 {
+		t.Fatalf("re-offered buffered seqno: verdict %v, want dup", v)
+	}
+	if st := r.Stats(); st.Dups != 2 {
+		t.Fatalf("Dups = %d, want 2", st.Dups)
+	}
+}
+
+func TestReorderSkewTimeout(t *testing.T) {
+	r := NewReorder[int64](0, 8, 100)
+	out := offerAll(t, r, 50, 2, 3) // 1 missing: nothing releases
+	if len(out) != 0 {
+		t.Fatalf("released %v before the gap resolved", out)
+	}
+	if got := r.FlushExpired(149, nil); len(got) != 0 {
+		t.Fatalf("gap released at 99 elapsed, inside the 100 bound: %v", got)
+	}
+	got := r.FlushExpired(150, nil)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("expired flush released %v, want [2 3]", got)
+	}
+	if st := r.Stats(); st.GapLost != 1 {
+		t.Fatalf("GapLost = %d, want 1 (seqno 1)", st.GapLost)
+	}
+	// A late arrival of the lost seqno is now a duplicate — the paper's
+	// loss semantics: lost means never delivered, forever.
+	if _, v := r.Offer(1, 1, 200, nil); v&OfferDup == 0 {
+		t.Fatalf("arrival of a declared-lost seqno must be a dup, got %v", v)
+	}
+}
+
+func TestReorderGapClockRestartsOnProgress(t *testing.T) {
+	r := NewReorder[int64](0, 16, 100)
+	offerAll(t, r, 0, 2)     // gap at 1, clock starts at 0
+	offerAll(t, r, 90, 1, 4) // 1,2 release; new gap at 3 starts at 90
+	if got := r.FlushExpired(120, nil); len(got) != 0 {
+		t.Fatalf("fresh gap (30 elapsed) must not release, got %v", got)
+	}
+	if got := r.FlushExpired(191, nil); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("expired second gap released %v, want [4]", got)
+	}
+}
+
+func TestReorderExpirySweepsLossBurst(t *testing.T) {
+	// A loss burst leaves many interleaved gaps that share one arrival
+	// window; one expired flush must sweep them all, not one per skew.
+	r := NewReorder[int64](0, 64, 100)
+	out := offerAll(t, r, 10, 2, 4, 6, 8) // gaps at 1, 3, 5, 7
+	if len(out) != 0 {
+		t.Fatalf("released %v with the head gap open", out)
+	}
+	got := r.FlushExpired(110, nil)
+	want := []int64{2, 4, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("one expired flush released %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("one expired flush released %v, want %v", got, want)
+		}
+	}
+	if st := r.Stats(); st.GapLost != 4 {
+		t.Fatalf("GapLost = %d, want 4", st.GapLost)
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d after full sweep, want 0", r.Pending())
+	}
+}
+
+func TestReorderExpirySweepStopsAtFreshArrival(t *testing.T) {
+	// The sweep releases only gaps whose successors out-waited the skew:
+	// an element that arrived recently keeps its gap open until its own
+	// deadline (arrival + skew), not a full skew from the sweep.
+	r := NewReorder[int64](0, 64, 100)
+	offerAll(t, r, 10, 2) // gap at 1, old
+	offerAll(t, r, 95, 4) // gap at 3, fresh
+	got := r.FlushExpired(110, nil)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("sweep released %v, want [2] (4 arrived 15 ago)", got)
+	}
+	if got := r.FlushExpired(194, nil); len(got) != 0 {
+		t.Fatalf("gap at 3 released at 99 elapsed since 4 arrived: %v", got)
+	}
+	if got := r.FlushExpired(195, nil); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("gap at 3 expired flush released %v, want [4]", got)
+	}
+}
+
+func TestReorderDepthEviction(t *testing.T) {
+	r := NewReorder[int64](0, 4, 1000)
+	offerAll(t, r, 0, 2, 3) // 1 missing
+	// 8 is 8 ahead of base 0 with depth 4: window slides to (4, 8],
+	// releasing 2 and 3, declaring 1 and 4 lost.
+	out, _ := r.Offer(8, 8, 0, nil)
+	if len(out) != 2 || out[0] != 2 || out[1] != 3 {
+		t.Fatalf("eviction released %v, want [2 3]", out)
+	}
+	if st := r.Stats(); st.GapLost != 2 {
+		t.Fatalf("GapLost = %d, want 2 (seqnos 1 and 4)", st.GapLost)
+	}
+	if r.Base() != 4 || r.Pending() != 1 {
+		t.Fatalf("base=%d pending=%d, want 4/1", r.Base(), r.Pending())
+	}
+}
+
+func TestReorderHugeJumpBounded(t *testing.T) {
+	// A forged or wildly corrupt seqno must not make the ring scan its
+	// whole numeric span; it releases the window and moves on.
+	r := NewReorder[int64](0, 8, 1000)
+	offerAll(t, r, 0, 1, 3)
+	out, _ := r.Offer(1<<60, 0, 0, nil)
+	if len(out) != 1 || out[0] != 3 {
+		t.Fatalf("jump released %v, want [3]", out)
+	}
+	if r.Base() != 1<<60-8 {
+		t.Fatalf("base = %d, want %d", r.Base(), int64(1<<60-8))
+	}
+	// Everything sane is now behind the horizon.
+	if _, v := r.Offer(4, 4, 0, nil); v&OfferDup == 0 {
+		t.Fatalf("post-jump sane seqno: verdict %v, want dup", v)
+	}
+}
+
+func TestReorderFlushAll(t *testing.T) {
+	r := NewReorder[int64](0, 16, 1000)
+	offerAll(t, r, 0, 2, 5, 9)
+	out := r.FlushAll(nil)
+	want := []int64{2, 5, 9}
+	if len(out) != len(want) {
+		t.Fatalf("FlushAll released %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("FlushAll released %v, want %v", out, want)
+		}
+	}
+	if st := r.Stats(); st.GapLost != 6 { // 1,3,4,6,7,8
+		t.Fatalf("GapLost = %d, want 6", st.GapLost)
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d after FlushAll", r.Pending())
+	}
+}
+
+// TestReorderPermutationsExhaustive releases every bounded permutation of
+// a short stream in exact seqno order with nothing lost — the property
+// the ingest-equivalence suite relies on, checked exhaustively here.
+func TestReorderPermutationsExhaustive(t *testing.T) {
+	seqs := []int64{1, 2, 3, 4, 5, 6}
+	var permute func([]int64, int)
+	check := func(p []int64) {
+		r := NewReorder[int64](0, len(p), 1000)
+		var out []int64
+		for _, s := range p {
+			out, _ = r.Offer(s, s, 0, out)
+		}
+		if len(out) != len(p) {
+			t.Fatalf("perm %v released %d of %d", p, len(out), len(p))
+		}
+		for i, v := range out {
+			if v != int64(i+1) {
+				t.Fatalf("perm %v released %v out of order", p, out)
+			}
+		}
+		if st := r.Stats(); st.GapLost != 0 || st.Dups != 0 {
+			t.Fatalf("perm %v: lost=%d dups=%d", p, st.GapLost, st.Dups)
+		}
+	}
+	permute = func(p []int64, i int) {
+		if i == len(p) {
+			check(p)
+			return
+		}
+		for j := i; j < len(p); j++ {
+			p[i], p[j] = p[j], p[i]
+			permute(p, i+1)
+			p[i], p[j] = p[j], p[i]
+		}
+	}
+	permute(seqs, 0)
+}
+
+// FuzzReorderRelease drives the ring with arbitrary arrival schedules —
+// permuted, duplicated, gapped, with interleaved expiry flushes — and
+// checks the two invariants everything downstream depends on: releases
+// come out in strictly increasing seqno order (never twice), and after a
+// final flush every offered seqno was either released exactly once or
+// accounted as a duplicate, with lost gaps only where the schedule
+// actually left gaps.
+func FuzzReorderRelease(f *testing.F) {
+	f.Add(int64(1), uint8(8), []byte{3, 1, 0, 2, 5, 4})
+	f.Add(int64(7), uint8(3), []byte{0, 0, 255, 1, 9, 9, 2})
+	f.Add(int64(42), uint8(1), []byte{250, 251, 252, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, seed int64, depth uint8, schedule []byte) {
+		d := int(depth%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		r := NewReorder[int64](0, d, 50)
+		released := make(map[int64]bool)
+		lastReleased := int64(0)
+		now := int64(0)
+		var out []int64
+		account := func(vs []int64) {
+			for _, v := range vs {
+				if v <= lastReleased {
+					t.Fatalf("released %d after %d: order violated", v, lastReleased)
+				}
+				if released[v] {
+					t.Fatalf("seqno %d released twice", v)
+				}
+				released[v] = true
+				lastReleased = v
+			}
+		}
+		offered := make(map[int64]int)
+		for _, b := range schedule {
+			now += int64(b % 16)
+			switch {
+			case b%16 == 15:
+				out = r.FlushExpired(now, out[:0])
+				account(out)
+			default:
+				// Arrivals near the current horizon, spread ±2·depth so the
+				// schedule exercises buffering, dups, and evictions alike.
+				s := r.Base() + 1 + rng.Int63n(int64(2*d)) - int64(d)/2
+				if s < 1 {
+					s = 1
+				}
+				offered[s]++
+				out, _ = r.Offer(s, s, now, out[:0])
+				account(out)
+			}
+		}
+		out = r.FlushAll(out[:0])
+		account(out)
+		if r.Pending() != 0 {
+			t.Fatalf("pending %d after FlushAll", r.Pending())
+		}
+		// Conservation: every offered seqno is released at most once, and
+		// offered copies beyond the released one are dups or losses.
+		st := r.Stats()
+		var totalOffered, uniqueReleased int64
+		for s, n := range offered {
+			totalOffered += int64(n)
+			if released[s] {
+				uniqueReleased++
+			}
+		}
+		if st.Released != int64(len(released)) || uniqueReleased != int64(len(released)) {
+			t.Fatalf("released count %d, map %d, offered-and-released %d",
+				st.Released, len(released), uniqueReleased)
+		}
+		if st.Released+st.Dups != totalOffered {
+			// Anything offered is either released once or dropped as a dup:
+			// lost seqnos are ones that were never offered before the
+			// horizon passed them — if offered later they count as dups.
+			t.Fatalf("released %d + dups %d != offered %d", st.Released, st.Dups, totalOffered)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -45,6 +46,13 @@ func ingestStream(v event.VarName, n int) []event.Update {
 type ingestMode struct {
 	sockets  int  // receive group width (and publisher sender lanes)
 	dispatch bool // direct shard dispatch vs the Updates channel
+
+	// Multipath legs: striped publishing over a reorder-buffered receiver,
+	// with adversarial arrival schedules layered on top.
+	stripe       bool // round-robin datagrams across sender lanes
+	reorderDepth int  // receiver reorder ring depth (0 = pinned path)
+	permute      bool // send each chunk's updates as single datagrams, shuffled
+	dup          bool // replay a few updates of every chunk
 }
 
 // runIngest drives one fixed stream through a real loopback UDP hop in the
@@ -70,6 +78,13 @@ func runIngest(t *testing.T, lossFor func(v event.VarName) link.Model, mode inge
 		Seed:    99,
 		Metrics: reg,
 	}
+	if mode.reorderDepth > 0 {
+		opts.ReorderDepth = mode.reorderDepth
+		// A skew far beyond the lockstep round-trip: gap release must never
+		// fire in these runs — every seqno eventually arrives, so the ring
+		// alone restores order and the displayed streams stay byte-identical.
+		opts.ReorderSkew = 2 * time.Second
+	}
 	if mode.dispatch {
 		opts.Dispatch = func(v event.VarName, us []event.Update) {
 			if err := sys.InjectBatch(v, us); err != nil {
@@ -93,7 +108,7 @@ func runIngest(t *testing.T, lossFor func(v event.VarName) link.Model, mode inge
 			}
 		}()
 	}
-	pub, err := NewUDPPublisherOpts(UDPPublisherOptions{Senders: mode.sockets}, recv.Addr())
+	pub, err := NewUDPPublisherOpts(UDPPublisherOptions{Senders: mode.sockets, Stripe: mode.stripe}, recv.Addr())
 	if err != nil {
 		t.Fatalf("NewUDPPublisherOpts: %v", err)
 	}
@@ -128,6 +143,10 @@ func runIngest(t *testing.T, lossFor func(v event.VarName) link.Model, mode inge
 	for _, v := range ingestVars {
 		streams[v] = ingestStream(v, n)
 	}
+	// Deterministic per-leg arrival schedule for the permute/dup modes; the
+	// point of the equivalence matrix is that the displayed streams do NOT
+	// depend on this seed.
+	rng := rand.New(rand.NewSource(int64(1000*mode.sockets + 7)))
 	for i := 0; i < n; i += chunk {
 		for _, v := range ingestVars {
 			us := streams[v]
@@ -135,10 +154,39 @@ func runIngest(t *testing.T, lossFor func(v event.VarName) link.Model, mode inge
 			if j > len(us) {
 				j = len(us)
 			}
-			if err := pub.PublishBatch(v, us[i:j]); err != nil {
-				t.Fatalf("PublishBatch: %v", err)
+			switch {
+			case mode.permute || mode.dup:
+				// Adversarial multipath arrivals: every update of the chunk
+				// travels as its own datagram (so striping scatters them
+				// across sockets), shuffled within the chunk when permuting,
+				// with a couple of replayed updates when duplicating.
+				run := us[i:j]
+				order := rng.Perm(len(run))
+				if !mode.permute {
+					for k := range order {
+						order[k] = k
+					}
+				}
+				for _, k := range order {
+					if err := pub.Publish(run[k]); err != nil {
+						t.Fatalf("Publish: %v", err)
+					}
+				}
+				sent += len(run)
+				if mode.dup {
+					for _, k := range []int{0, len(run) - 1} {
+						if err := pub.Publish(run[k]); err != nil {
+							t.Fatalf("Publish (dup): %v", err)
+						}
+						sent++
+					}
+				}
+			default:
+				if err := pub.PublishBatch(v, us[i:j]); err != nil {
+					t.Fatalf("PublishBatch: %v", err)
+				}
+				sent += j - i
 			}
-			sent += j - i
 			waitAccounted()
 		}
 	}

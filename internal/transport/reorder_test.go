@@ -1,0 +1,348 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/obs"
+	"condmon/internal/wire"
+)
+
+// TestStripedIngestEquivalence is the acceptance gate for the multipath
+// ingest plane: for every loss schedule × adversarial arrival schedule
+// (bounded reorder, duplication, both), the per-condition displayed alert
+// sequences of a striped N-socket run through the reorder buffer must be
+// byte-identical to the pinned 1-socket baseline. The key invariant is
+// that the ring releases in seqno order and drops duplicates before the
+// forced-loss draw, so a variable's loss schedule depends only on its own
+// update sequence — the same property the pinned plane gets for free.
+func TestStripedIngestEquivalence(t *testing.T) {
+	bern := func(p float64) link.Model {
+		m, err := link.NewBernoulli(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	schedules := map[string]func(v event.VarName) link.Model{
+		"lossless": nil,
+		"bernoulli": func(v event.VarName) link.Model {
+			return bern(0.2)
+		},
+		"burst": func(v event.VarName) link.Model {
+			m, err := link.NewBurst(0.1, 0.5, 0.9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		},
+		"mixed": func(v event.VarName) link.Model {
+			if v == "x" {
+				return bern(0.3)
+			}
+			return nil
+		},
+	}
+	arrivals := []struct {
+		name         string
+		permute, dup bool
+		legs         []int
+	}{
+		{"reorder", true, false, []int{4}},
+		{"dup", false, true, []int{4}},
+		{"reorder+dup", true, true, []int{1, 4, 8}},
+	}
+	for name, loss := range schedules {
+		t.Run(name, func(t *testing.T) {
+			want := runIngest(t, loss, ingestMode{sockets: 1})
+			for _, ar := range arrivals {
+				for _, sockets := range ar.legs {
+					got := runIngest(t, loss, ingestMode{
+						sockets: sockets, dispatch: true, stripe: true,
+						reorderDepth: 32, permute: ar.permute, dup: ar.dup,
+					})
+					compareIngest(t, fmt.Sprintf("%s/%d-socket striped", ar.name, sockets), want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSendersClamp pins the satellite publisher option: sender-lane counts
+// are validated at construction — zero and negative mean one lane, absurd
+// values clamp to the maxSenders bound.
+func TestSendersClamp(t *testing.T) {
+	recv, err := ListenUDP("127.0.0.1:0", UDPReceiverOptions{})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer recv.Close()
+	for _, tc := range []struct {
+		give, want int
+	}{
+		{0, 1},
+		{-3, 1},
+		{1, 1},
+		{5, 5},
+		{maxSenders, maxSenders},
+		{100000, maxSenders},
+	} {
+		pub, err := NewUDPPublisherOpts(UDPPublisherOptions{Senders: tc.give}, recv.Addr())
+		if err != nil {
+			t.Fatalf("NewUDPPublisherOpts(Senders=%d): %v", tc.give, err)
+		}
+		if pub.Senders() != tc.want {
+			t.Errorf("Senders(%d) clamps to %d, want %d", tc.give, pub.Senders(), tc.want)
+		}
+		pub.Close()
+	}
+}
+
+// TestPinnedDuplicateReplay is the satellite coverage for the pinned
+// (zero-buffer) path: a replayed batch datagram must neither double-count
+// accepted nor feed the dispatch callback twice — every replayed update is
+// discarded by the in-order rule, and the one sitting exactly at the
+// horizon is classified as a duplicate on the per-socket counter.
+func TestPinnedDuplicateReplay(t *testing.T) {
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	var fed []int64
+	recv, err := ListenUDP("127.0.0.1:0", UDPReceiverOptions{
+		Metrics: reg,
+		Dispatch: func(v event.VarName, us []event.Update) {
+			mu.Lock()
+			for _, u := range us {
+				fed = append(fed, u.SeqNo)
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer recv.Close()
+
+	mkFrame := func(lo, hi int64) []byte {
+		us := make([]event.Update, 0, hi-lo+1)
+		for s := lo; s <= hi; s++ {
+			us = append(us, event.U("x", s, float64(s)))
+		}
+		frame, err := wire.EncodeBatch("x", us)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame
+	}
+	scratch := make([]event.Update, 0, 16)
+	first := mkFrame(1, 5)
+	scratch = recv.handleDatagram(0, first, scratch)
+	scratch = recv.handleDatagram(0, first, scratch) // replayed datagram
+	recv.handleDatagram(0, mkFrame(6, 10), scratch)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fed) != 10 {
+		t.Fatalf("dispatch fed %d updates, want 10 (replay double-fed?): %v", len(fed), fed)
+	}
+	for i, s := range fed {
+		if s != int64(i+1) {
+			t.Fatalf("dispatch stream %v out of order at %d", fed, i)
+		}
+	}
+	if got := reg.Counter("transport.recv.accepted").Value(); got != 10 {
+		t.Errorf("accepted = %d, want 10 (replay double-counted?)", got)
+	}
+	if got := reg.Counter("transport.recv.discarded").Value(); got != 5 {
+		t.Errorf("discarded = %d, want 5 (the replayed frame)", got)
+	}
+	// Within the replayed frame, seqno 5 sits exactly at the horizon — a
+	// provable duplicate; 1..4 are below it and indistinguishable from
+	// out-of-order arrivals.
+	dup := reg.Counter("transport.recv.0.dup").Value()
+	reord := reg.Counter("transport.recv.0.reordered").Value()
+	if dup != 1 || dup+reord != 5 {
+		t.Errorf("per-socket dup=%d reordered=%d, want 1 and 4", dup, reord)
+	}
+}
+
+// TestDupFrameDrop pins the duplication-safe framing fast path: a striped
+// frame replayed byte-for-byte is dropped on its path trailer in O(1) —
+// counted as a dup frame, never reaching per-update acceptance — while a
+// re-send of the same updates under a fresh datagram seqno falls through
+// to the per-update rules.
+func TestDupFrameDrop(t *testing.T) {
+	reg := obs.NewRegistry()
+	var fed int
+	var mu sync.Mutex
+	recv, err := ListenUDP("127.0.0.1:0", UDPReceiverOptions{
+		Metrics: reg,
+		Dispatch: func(v event.VarName, us []event.Update) {
+			mu.Lock()
+			fed += len(us)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer recv.Close()
+
+	us := make([]event.Update, 5)
+	for i := range us {
+		us[i] = event.U("x", int64(i+1), float64(i))
+	}
+	body, err := wire.EncodeBatch("x", us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := wire.AppendPath(body, wire.Path{ID: 7, Seq: 1})
+	scratch := make([]event.Update, 0, 16)
+	scratch = recv.handleDatagram(0, frame, scratch)
+	scratch = recv.handleDatagram(0, frame, scratch) // exact replay
+	if got := reg.Counter("transport.recv.dup_frames").Value(); got != 1 {
+		t.Errorf("dup_frames = %d, want 1", got)
+	}
+	if got := reg.Counter("transport.recv.discarded").Value(); got != 0 {
+		t.Errorf("discarded = %d, want 0: a dup frame drops before per-update work", got)
+	}
+	// Same updates, fresh datagram seqno: not a frame dup, so the
+	// per-update rules account for it instead.
+	recv.handleDatagram(0, wire.AppendPath(body, wire.Path{ID: 7, Seq: 2}), scratch)
+	if got := reg.Counter("transport.recv.discarded").Value(); got != 5 {
+		t.Errorf("discarded = %d after re-send, want 5", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fed != 5 {
+		t.Errorf("dispatch fed %d updates, want 5", fed)
+	}
+}
+
+// TestReorderGapTimeoutRelease drives the skew bound end to end: a missing
+// seqno blocks its variable's release until the flusher declares the gap
+// lost, then the buffered successors release in order and the loss shows
+// up on the gap_loss counter — the paper's loss model, enforced by clock.
+func TestReorderGapTimeoutRelease(t *testing.T) {
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	var fed []int64
+	recv, err := ListenUDP("127.0.0.1:0", UDPReceiverOptions{
+		Metrics:      reg,
+		ReorderDepth: 8,
+		ReorderSkew:  20 * time.Millisecond,
+		Dispatch: func(v event.VarName, us []event.Update) {
+			mu.Lock()
+			for _, u := range us {
+				fed = append(fed, u.SeqNo)
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer recv.Close()
+
+	scratch := make([]event.Update, 0, 4)
+	for _, s := range []int64{2, 3} { // seqno 1 never arrives
+		frame, err := wire.EncodeUpdate(event.U("x", s, float64(s)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = recv.handleDatagram(0, frame, scratch)
+	}
+	mu.Lock()
+	if len(fed) != 0 {
+		t.Fatalf("released %v before the gap resolved", fed)
+	}
+	mu.Unlock()
+	if recv.ReorderPending() != 2 {
+		t.Fatalf("ReorderPending = %d, want 2", recv.ReorderPending())
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(fed)
+		mu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gap never timed out: released %d of 2", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fed[0] != 2 || fed[1] != 3 {
+		t.Fatalf("released %v, want [2 3]", fed)
+	}
+	if got := reg.Counter("transport.recv.reorder.gap_loss").Value(); got != 1 {
+		t.Errorf("gap_loss = %d, want 1 (seqno 1)", got)
+	}
+	if got := reg.Counter("transport.recv.reorder.released").Value(); got != 2 {
+		t.Errorf("reorder.released = %d, want 2", got)
+	}
+	if got := reg.Counter("transport.recv.accepted").Value(); got != 2 {
+		t.Errorf("accepted = %d, want 2", got)
+	}
+}
+
+// TestReorderDispatchAllocs pins the multipath hot path at the PR 7 ~0
+// band: with warm lanes, a pooled release slice, and preallocated ring
+// slots, handling batch datagrams that arrive out of order at frame
+// granularity (adjacent frames swapped — exactly what cross-socket
+// striping produces) allocates nothing: every odd call buffers a frame,
+// every even call releases two frames' worth in restored order.
+func TestReorderDispatchAllocs(t *testing.T) {
+	var got int64
+	recv, err := ListenUDP("127.0.0.1:0", UDPReceiverOptions{
+		ReorderDepth: 32,
+		ReorderSkew:  time.Second, // flusher idles during the measurement
+		Dispatch:     func(v event.VarName, us []event.Update) { got += int64(len(us)) },
+	})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer recv.Close()
+
+	const runs = 200
+	const perFrame = 16
+	frames := make([][]byte, runs+4) // AllocsPerRun runs the body runs+1 times
+	seq := int64(0)
+	for i := range frames {
+		us := make([]event.Update, perFrame)
+		for j := range us {
+			seq++
+			us[j] = event.U("x", seq, float64(j))
+		}
+		frame, err := wire.EncodeBatch("x", us)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = frame
+	}
+	// Arrival order: frame 0 warms the lane, then every adjacent pair
+	// arrives swapped (2, 1, 4, 3, ...).
+	feed := make([]int, 0, runs+2)
+	for k := 1; len(feed) < runs+2; k += 2 {
+		feed = append(feed, k+1, k)
+	}
+	scratch := make([]event.Update, 0, perFrame)
+	scratch = recv.handleDatagram(0, frames[0], scratch) // warm the lane
+	next := 0
+	if avg := testing.AllocsPerRun(runs, func() {
+		scratch = recv.handleDatagram(0, frames[feed[next]], scratch)
+		next++
+	}); avg != 0 {
+		t.Errorf("reorder dispatch path allocates %.1f per datagram, want 0", avg)
+	}
+	if got == 0 {
+		t.Fatal("dispatch never fed: the measurement exercised nothing")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"condmon/internal/link"
 	"condmon/internal/obs"
 	"condmon/internal/runtime"
+	"condmon/internal/seq"
 	"condmon/internal/wire"
 
 	"math/rand"
@@ -47,6 +48,17 @@ const maxDatagram = 64 * 1024
 // the batch header, a long variable name, a trace trailer, and at least one
 // record.
 const minDatagram = 512
+
+// maxSenders bounds the sender-lane count: beyond a few hundred source
+// sockets per endpoint the file-descriptor cost dwarfs any striping gain,
+// and an absurd request is almost certainly a sign error.
+const maxSenders = 256
+
+// DefaultReorderSkew is the gap-release bound used when ReorderDepth is
+// set without an explicit ReorderSkew: long enough for cross-socket
+// scheduling skew on a loaded host, short enough that a genuinely lost
+// update stalls its variable's release for only a few milliseconds.
+const DefaultReorderSkew = 5 * time.Millisecond
 
 // updateBuffer sizes receiver channels; UDP senders never block on the
 // receiver, so a full buffer simply looks like link loss — faithful to the
@@ -67,17 +79,32 @@ func hashVarName(v event.VarName) uint64 {
 
 // UDPPublisherOptions configure the DM side of a front link.
 type UDPPublisherOptions struct {
-	// Senders is the number of source sockets per CE endpoint (default 1).
-	// Variables are sharded across senders by name hash, so a variable's
-	// datagrams always leave on the same socket — the 4-tuple stability
-	// that keeps an SO_REUSEPORT receive group's per-variable streams on
-	// one receive socket. Different senders may publish concurrently;
-	// publishes of variables sharing a sender serialize on its lock.
+	// Senders is the number of source sockets per CE endpoint. Values
+	// below 1 (zero, negative) mean 1; values above 256 are clamped to
+	// 256. In the default pinned mode variables are sharded across senders
+	// by name hash, so a variable's datagrams always leave on the same
+	// socket — the 4-tuple stability that keeps an SO_REUSEPORT receive
+	// group's per-variable streams on one receive socket. Different
+	// senders may publish concurrently; publishes of variables sharing a
+	// sender serialize on its lock.
 	Senders int
 	// MaxDatagram bounds the size of a batch datagram. Values outside
 	// [512, 64KB] are clamped to that range; zero means 64KB — the
 	// receiver's read-buffer size, which no setting may exceed.
 	MaxDatagram int
+	// Stripe un-pins variables from their hash lane: each datagram —
+	// every Publish, every PublishBatch chunk — takes the next sender
+	// lane round-robin, so one hot variable's stream spreads across all
+	// lanes, all 4-tuples, and therefore all sockets of an SO_REUSEPORT
+	// receive group. Striped datagrams carry a path trailer (lane id +
+	// per-lane datagram seqno) so receivers can drop duplicated frames
+	// cheaply. The receiving CE MUST run with ReorderDepth > 0: striping
+	// trades the pinned mode's free in-order guarantee for multipath
+	// parallelism, and without a reorder buffer the cross-socket races
+	// are discarded as out-of-order arrivals. Receivers that predate the
+	// path trailer reject striped frames as trailing garbage, which is
+	// why striping is opt-in per publisher.
+	Stripe bool
 }
 
 // UDPPublisher is the DM side of a front link: it multicasts each update to
@@ -94,6 +121,11 @@ type UDPPublisher struct {
 	payload int
 	maxDg   int
 
+	// stripe round-robins datagrams across lanes instead of pinning by
+	// name hash; rr is the shared lane cursor.
+	stripe bool
+	rr     atomic.Uint64
+
 	// Optional instrumentation; nil counters no-op.
 	cDatagrams *obs.Counter // datagrams written (one per endpoint per send)
 	cUpdates   *obs.Counter // updates published (before fan-out)
@@ -107,11 +139,15 @@ type UDPPublisher struct {
 
 // udpSender is one source-socket lane of a publisher: its connected
 // sockets (one per endpoint, all sharing this lane's source port per
-// endpoint) and the encode buffer its datagrams are built in.
+// endpoint) and the encode buffer its datagrams are built in. Striping
+// publishers also stamp each lane's datagrams with (pathID, dgSeq) — the
+// path trailer that lets receivers spot duplicated frames.
 type udpSender struct {
-	mu    sync.Mutex
-	conns []*net.UDPConn
-	buf   []byte
+	mu     sync.Mutex
+	conns  []*net.UDPConn
+	buf    []byte
+	pathID uint32 // random lane instance id (stripe mode)
+	dgSeq  uint64 // this lane's datagram counter, from 1 (under mu)
 }
 
 // SetMetrics registers publisher counters in reg under prefix:
@@ -152,8 +188,11 @@ func NewUDPPublisherOpts(opts UDPPublisherOptions, addrs ...string) (*UDPPublish
 	if len(addrs) == 0 {
 		return nil, errors.New("transport: publisher needs at least one address")
 	}
-	if opts.Senders < 1 {
+	switch {
+	case opts.Senders < 1:
 		opts.Senders = 1
+	case opts.Senders > maxSenders:
+		opts.Senders = maxSenders
 	}
 	maxDg := opts.MaxDatagram
 	switch {
@@ -167,11 +206,15 @@ func NewUDPPublisherOpts(opts UDPPublisherOptions, addrs ...string) (*UDPPublish
 	p := &UDPPublisher{
 		senders: make([]*udpSender, 0, opts.Senders),
 		maxDg:   maxDg,
+		stripe:  opts.Stripe,
 		// Fixed batch-frame overhead (tag, name length, item count) plus a
 		// reserved trace trailer, whether or not tracing is on: computing
 		// the budget once here is what keeps PublishBatch's split point out
 		// of the per-call path.
 		payload: maxDg - (1 + 2 + 2) - wire.TraceLen,
+	}
+	if opts.Stripe {
+		p.payload -= wire.PathLen // every striped datagram carries one
 	}
 	dsts := make([]*net.UDPAddr, 0, len(addrs))
 	for _, a := range addrs {
@@ -182,7 +225,10 @@ func NewUDPPublisherOpts(opts UDPPublisherOptions, addrs ...string) (*UDPPublish
 		dsts = append(dsts, dst)
 	}
 	for i := 0; i < opts.Senders; i++ {
-		s := &udpSender{conns: make([]*net.UDPConn, 0, len(dsts))}
+		s := &udpSender{
+			conns:  make([]*net.UDPConn, 0, len(dsts)),
+			pathID: rand.Uint32(),
+		}
 		for _, dst := range dsts {
 			conn, err := net.DialUDP("udp", nil, dst)
 			if err != nil {
@@ -202,7 +248,7 @@ func (p *UDPPublisher) Senders() int { return len(p.senders) }
 // MaxDatagram returns the effective (clamped) batch datagram bound.
 func (p *UDPPublisher) MaxDatagram() int { return p.maxDg }
 
-// senderFor returns the sender lane that carries variable v.
+// senderFor returns the pinned sender lane that carries variable v.
 func (p *UDPPublisher) senderFor(v event.VarName) *udpSender {
 	if len(p.senders) == 1 {
 		return p.senders[0]
@@ -210,16 +256,31 @@ func (p *UDPPublisher) senderFor(v event.VarName) *udpSender {
 	return p.senders[hashVarName(v)%uint64(len(p.senders))]
 }
 
+// lane picks the sender lane for one outgoing datagram of variable v:
+// the hash-pinned lane normally, the next lane round-robin in stripe
+// mode — the per-datagram rotation that spreads one variable's stream
+// across every 4-tuple.
+func (p *UDPPublisher) lane(v event.VarName) *udpSender {
+	if p.stripe && len(p.senders) > 1 {
+		return p.senders[p.rr.Add(1)%uint64(len(p.senders))]
+	}
+	return p.senderFor(v)
+}
+
 // Publish sends the update to every CE endpoint. Send errors on individual
 // endpoints are ignored — a front link is allowed to lose updates, and a
 // dead receiver is indistinguishable from a lossy link.
 func (p *UDPPublisher) Publish(u event.Update) error {
-	s := p.senderFor(u.Var)
+	s := p.lane(u.Var)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, err := wire.AppendUpdate(s.buf[:0], u)
 	if err != nil {
 		return err
+	}
+	if p.stripe {
+		s.dgSeq++
+		b = wire.AppendPath(b, wire.Path{ID: s.pathID, Seq: s.dgSeq})
 	}
 	if p.annotate {
 		now := time.Now().UnixNano()
@@ -254,38 +315,76 @@ func (p *UDPPublisher) PublishBatch(v event.VarName, us []event.Update) error {
 	if perChunk < 1 {
 		return fmt.Errorf("transport: variable name %q leaves no room for updates", v)
 	}
-	s := p.senderFor(v)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !p.stripe {
+		// Pinned fast path: the whole run flows through one lane under one
+		// lock acquisition.
+		s := p.senderFor(v)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for len(us) > 0 {
+			n := len(us)
+			if n > perChunk {
+				n = perChunk
+			}
+			if err := p.sendChunkLocked(s, v, us[:n]); err != nil {
+				return err
+			}
+			us = us[n:]
+		}
+		return nil
+	}
+	// Stripe mode: every chunk datagram takes the next lane, so a long run
+	// of one hot variable fans out across all lanes (and the receive
+	// group's sockets). Locks are taken per chunk — concurrent publishers
+	// interleave at datagram granularity, which the receiver's reorder
+	// buffer absorbs.
 	for len(us) > 0 {
 		n := len(us)
 		if n > perChunk {
 			n = perChunk
 		}
-		b, err := wire.AppendBatch(s.buf[:0], v, us[:n])
+		s := p.lane(v)
+		s.mu.Lock()
+		err := p.sendChunkLocked(s, v, us[:n])
+		s.mu.Unlock()
 		if err != nil {
 			return err
 		}
-		if p.annotate {
-			// One trailer per chunk: the whole run shares one emit instant.
-			now := time.Now().UnixNano()
-			b = wire.AppendTrace(b, wire.Trace{Flags: wire.TraceFlagSampled, Origin: now})
-			for _, u := range us[:n] {
-				p.tr.Record(obs.Span{
-					Var: string(u.Var), Seq: u.SeqNo,
-					Stage: obs.StageEmit, Replica: p.traceName, Disp: obs.DispEmitted,
-					Time: now, Origin: now,
-				})
-			}
-		}
-		s.buf = b
-		for _, c := range s.conns {
-			_, _ = c.Write(b) // best-effort: loss is part of the model
-		}
-		p.cUpdates.Add(int64(n))
-		p.cDatagrams.Add(int64(len(s.conns)))
 		us = us[n:]
 	}
+	return nil
+}
+
+// sendChunkLocked encodes one batch chunk into s's pooled buffer, appends
+// the optional path and trace trailers, and writes it to every endpoint.
+// Caller holds s.mu.
+func (p *UDPPublisher) sendChunkLocked(s *udpSender, v event.VarName, us []event.Update) error {
+	b, err := wire.AppendBatch(s.buf[:0], v, us)
+	if err != nil {
+		return err
+	}
+	if p.stripe {
+		s.dgSeq++
+		b = wire.AppendPath(b, wire.Path{ID: s.pathID, Seq: s.dgSeq})
+	}
+	if p.annotate {
+		// One trailer per chunk: the whole run shares one emit instant.
+		now := time.Now().UnixNano()
+		b = wire.AppendTrace(b, wire.Trace{Flags: wire.TraceFlagSampled, Origin: now})
+		for _, u := range us {
+			p.tr.Record(obs.Span{
+				Var: string(u.Var), Seq: u.SeqNo,
+				Stage: obs.StageEmit, Replica: p.traceName, Disp: obs.DispEmitted,
+				Time: now, Origin: now,
+			})
+		}
+	}
+	s.buf = b
+	for _, c := range s.conns {
+		_, _ = c.Write(b) // best-effort: loss is part of the model
+	}
+	p.cUpdates.Add(int64(len(us)))
+	p.cDatagrams.Add(int64(len(s.conns)))
 	return nil
 }
 
@@ -319,12 +418,32 @@ type UDPReceiverOptions struct {
 	// mode: each accepted in-order run is handed to this callback
 	// synchronously on the owning socket's read goroutine, and the Updates
 	// channel stays empty. The run aliases a pooled decode buffer — consume
-	// or copy before returning. Dispatch may be called concurrently from
-	// different sockets, but all updates of one variable arrive from one
-	// goroutine at a time (sender lanes pin each variable's 4-tuple to one
-	// receive socket). Wire it to MultiSystem.InjectBatch or
+	// or copy before returning. Dispatch may be called concurrently for
+	// different variables, but one variable's runs are always handed over
+	// serially and in seqno order: in pinned mode because sender lanes pin
+	// each variable's 4-tuple to one receive socket, and with ReorderDepth
+	// set because the reorder ring releases under a per-variable lock held
+	// across the hand-off. Wire it to MultiSystem.InjectBatch or
 	// Engine.InjectBatch to feed shard lanes without the channel hop.
 	Dispatch func(v event.VarName, us []event.Update)
+	// ReorderDepth, when positive, inserts the bounded reorder/dedup
+	// acceptance layer (seq.Reorder) between the sockets and delivery: a
+	// per-variable ring of this many slots buffers out-of-order arrivals
+	// and releases them in seqno order, which is what lets one variable's
+	// stream span sender lanes and receive sockets (the publisher's Stripe
+	// mode). Duplicates drop, and a missing seqno blocks its variable for
+	// at most ReorderSkew before being declared lost — the paper's
+	// front-link loss semantics, so every downstream property is
+	// preserved. The ring assumes the system-wide convention that a
+	// variable's updates are numbered from 1 (an update with seqno ≤ 0 is
+	// dropped as a duplicate). Zero keeps the zero-buffer pinned fast
+	// path, which requires each variable's stream to stay on one socket.
+	ReorderDepth int
+	// ReorderSkew bounds how long a gap (missing seqno) may block a
+	// variable's release when ReorderDepth > 0; on expiry the gap is
+	// counted as <prefix>.reorder.gap_loss and the buffered successors
+	// release. Zero or negative means DefaultReorderSkew.
+	ReorderSkew time.Duration
 	// Metrics, if non-nil, registers receiver counters: accepted updates,
 	// out-of-order discards, forced-loss drops, and overruns (updates
 	// dropped because the consumer fell behind). Names are prefixed with
@@ -361,12 +480,25 @@ type varState struct {
 	lossMu *sync.Mutex
 	model  link.Model
 	rng    *rand.Rand
+
+	// Reorder lane, nil in pinned mode. ringMu serializes the ring AND
+	// the release→deliver hand-off: holding it across deliverRun is what
+	// keeps one variable's releases in seqno order even when its datagrams
+	// race up through several sockets. release is the pooled output slice
+	// the ring drains into; gapSeen is the last GapLost reading already
+	// forwarded to the gap-loss counter.
+	ringMu  sync.Mutex
+	ring    *seq.Reorder[event.Update]
+	release []event.Update
+	gapSeen int64
 }
 
 // sockStats is one socket's load instrumentation; nil counters no-op.
 type sockStats struct {
 	datagrams *obs.Counter
 	accepted  *obs.Counter
+	reordered *obs.Counter // arrivals below the variable's highest seqno
+	dup       *obs.Counter // duplicate updates dropped on this socket
 }
 
 // UDPReceiver is the CE side of a front link: one or more UDP sockets
@@ -386,6 +518,20 @@ type UDPReceiver struct {
 	vars   atomic.Pointer[map[string]*varState]
 	varsMu sync.Mutex
 
+	// Reorder layer (rDepth > 0): per-variable rings hang off varState;
+	// the flusher goroutine (fwg, stopped via done) releases gaps whose
+	// skew bound expired even when no more traffic arrives.
+	rDepth int
+	rSkew  time.Duration
+	done   chan struct{}
+	fwg    sync.WaitGroup
+
+	// paths is the copy-on-write per-lane frame-dedup index: last datagram
+	// seqno seen per path trailer id, so an exact replay of a lane's most
+	// recent frame drops in O(1) before any per-update work.
+	paths   atomic.Pointer[map[uint32]*pathSeq]
+	pathsMu sync.Mutex
+
 	discarded atomic.Int64
 	forced    atomic.Int64
 
@@ -398,9 +544,16 @@ type UDPReceiver struct {
 	// Optional instrumentation; nil counters, tracer, and link health
 	// no-op.
 	cAccepted, cDiscarded, cForced, cOverrun *obs.Counter
+	cReleased, cRDup, cGapLoss, cDupFrames   *obs.Counter
+	gRDepth                                  *obs.Gauge
 	tr                                       *obs.Tracer
 	trName                                   string
 	lh                                       *obs.LinkHealth
+}
+
+// pathSeq tracks one sender lane's forward-only datagram-seqno horizon.
+type pathSeq struct {
+	last atomic.Uint64
 }
 
 // ListenUDP starts a single-socket receiver on addr (use "127.0.0.1:0" for
@@ -472,12 +625,22 @@ func ListenUDPGroup(addr string, sockets int, opts UDPReceiverOptions) (*UDPRece
 		dispatch: opts.Dispatch,
 		lossFor:  opts.LossFor,
 		seed:     opts.Seed,
+		done:     make(chan struct{}),
+	}
+	if opts.ReorderDepth > 0 {
+		r.rDepth = opts.ReorderDepth
+		r.rSkew = opts.ReorderSkew
+		if r.rSkew <= 0 {
+			r.rSkew = DefaultReorderSkew
+		}
 	}
 	if opts.LossFor == nil {
 		r.lossShared = opts.ForcedLoss
 	}
 	m := make(map[string]*varState)
 	r.vars.Store(&m)
+	pm := make(map[uint32]*pathSeq)
+	r.paths.Store(&pm)
 	if opts.Trace != nil {
 		r.tr = opts.Trace
 		r.trName = opts.TraceName
@@ -501,16 +664,29 @@ func ListenUDPGroup(addr string, sockets int, opts UDPReceiverOptions) (*UDPRece
 		r.cDiscarded = opts.Metrics.Counter(prefix + ".discarded")
 		r.cForced = opts.Metrics.Counter(prefix + ".forced_loss")
 		r.cOverrun = opts.Metrics.Counter(prefix + ".overrun")
+		r.cDupFrames = opts.Metrics.Counter(prefix + ".dup_frames")
+		if r.rDepth > 0 {
+			r.cReleased = opts.Metrics.Counter(prefix + ".reorder.released")
+			r.cRDup = opts.Metrics.Counter(prefix + ".reorder.dropped_dup")
+			r.cGapLoss = opts.Metrics.Counter(prefix + ".reorder.gap_loss")
+			r.gRDepth = opts.Metrics.Gauge(prefix + ".reorder.depth")
+		}
 		for i := range r.socks {
 			r.socks[i] = sockStats{
 				datagrams: opts.Metrics.Counter(fmt.Sprintf("%s.%d.datagrams", prefix, i)),
 				accepted:  opts.Metrics.Counter(fmt.Sprintf("%s.%d.accepted", prefix, i)),
+				reordered: opts.Metrics.Counter(fmt.Sprintf("%s.%d.reordered", prefix, i)),
+				dup:       opts.Metrics.Counter(fmt.Sprintf("%s.%d.dup", prefix, i)),
 			}
 		}
 	}
 	for i := range r.conns {
 		r.wg.Add(1)
 		go r.readLoop(i)
+	}
+	if r.rDepth > 0 {
+		r.fwg.Add(1)
+		go r.flushLoop()
 	}
 	return r, nil
 }
@@ -534,12 +710,20 @@ func (r *UDPReceiver) Stats() (discarded, forced int64) {
 }
 
 // Close stops the receiver; Updates is closed after every read loop exits.
+// With a reorder layer the rings are drained last — buffered updates
+// release in seqno order (interior gaps declared lost), so a closing
+// receiver never swallows traffic it already held.
 func (r *UDPReceiver) Close() {
 	r.once.Do(func() {
+		close(r.done)
+		r.fwg.Wait()
 		for _, c := range r.conns {
 			_ = c.Close()
 		}
 		r.wg.Wait()
+		if r.rDepth > 0 {
+			r.flushAllRings()
+		}
 		close(r.out)
 	})
 }
@@ -575,6 +759,15 @@ func (r *UDPReceiver) addVar(name string) *varState {
 	}
 	st := &varState{name: event.VarName(name)}
 	st.lastSeq.Store(-1)
+	if r.rDepth > 0 {
+		// DMs number every variable's updates from 1 (dm.seq++ from the
+		// zero value), so the ring's release horizon anchors at 0: seqno 1
+		// releases immediately and the window never waits on a phantom
+		// seqno 0. Releases are strictly ascending and therefore always
+		// pass the acceptance CAS below (whose own horizon starts at -1).
+		st.ring = seq.NewReorder[event.Update](0, r.rDepth, int64(r.rSkew))
+		st.release = make([]event.Update, 0, 64)
+	}
 	var model link.Model
 	if r.lossFor != nil {
 		model = r.lossFor(st.name)
@@ -636,12 +829,20 @@ func (r *UDPReceiver) handleDatagram(idx int, b []byte, scratch []event.Update) 
 		if len(batch.Updates) > 0 {
 			scratch = batch.Updates // keep any growth
 		}
+		pth, pok, rest, perr := wire.TakePath(rest)
+		if perr != nil {
+			return scratch
+		}
 		t, _, rest, terr := wire.TakeTrace(rest)
 		if terr != nil || len(rest) != 0 {
 			return scratch
 		}
+		if pok && r.dupFrame(pth) {
+			r.cDupFrames.Inc()
+			return scratch
+		}
 		if len(batch.Updates) > 0 {
-			r.deliverRun(idx, r.lookup(batch.Var), batch.Updates, t.Origin)
+			r.acceptRun(idx, r.lookup(batch.Var), batch.Updates, t.Origin)
 		}
 		return scratch
 	}
@@ -649,19 +850,82 @@ func (r *UDPReceiver) handleDatagram(idx int, b []byte, scratch []event.Update) 
 	if err != nil {
 		return scratch
 	}
+	pth, pok, rest, perr := wire.TakePath(rest)
+	if perr != nil {
+		return scratch
+	}
 	t, _, rest, terr := wire.TakeTrace(rest)
 	if terr != nil || len(rest) != 0 {
 		return scratch
 	}
+	if pok && r.dupFrame(pth) {
+		r.cDupFrames.Inc()
+		return scratch
+	}
 	run := append(scratch[:0], u)
-	r.deliverRun(idx, r.lookup(u.Var), run, t.Origin)
+	r.acceptRun(idx, r.lookup(u.Var), run, t.Origin)
 	return run[:0]
+}
+
+// dupFrame reports whether this frame is an exact replay of its lane's
+// most recent datagram — the O(1) duplication-safe framing check striped
+// publishers enable with the path trailer. A lane's datagram seqno only
+// moves forward; an equal reading is a replay, a lower one is frame
+// reordering and proceeds to per-update acceptance (which catches any
+// duplicate updates inside it).
+func (r *UDPReceiver) dupFrame(p wire.Path) bool {
+	ps, ok := (*r.paths.Load())[p.ID]
+	if !ok {
+		ps = r.addPath(p.ID)
+	}
+	for {
+		last := ps.last.Load()
+		switch {
+		case p.Seq == last:
+			return true
+		case p.Seq < last:
+			return false
+		}
+		if ps.last.CompareAndSwap(last, p.Seq) {
+			return false
+		}
+	}
+}
+
+// addPath installs a new lane's frame-dedup horizon (copy-on-write).
+func (r *UDPReceiver) addPath(id uint32) *pathSeq {
+	r.pathsMu.Lock()
+	defer r.pathsMu.Unlock()
+	old := *r.paths.Load()
+	if ps, ok := old[id]; ok {
+		return ps // lost the race to another socket
+	}
+	ps := new(pathSeq)
+	next := make(map[uint32]*pathSeq, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[id] = ps
+	r.paths.Store(&next)
+	return ps
+}
+
+// acceptRun routes one decoded run of a variable into the acceptance
+// machinery: through the reorder ring when the layer is on, straight to
+// in-order delivery in pinned mode.
+func (r *UDPReceiver) acceptRun(idx int, st *varState, us []event.Update, origin int64) {
+	if st.ring != nil {
+		r.reorderRun(idx, st, us, origin)
+		return
+	}
+	r.deliverRun(idx, st, us, origin)
 }
 
 // acceptance verdicts of one update against its variable's lane.
 const (
-	acceptOK = iota
-	acceptDiscard
+	acceptOK      = iota
+	acceptDiscard // out-of-order: seqno below the horizon
+	acceptDup     // exact replay: seqno equals the horizon
 	acceptForced
 )
 
@@ -672,8 +936,11 @@ const (
 func (st *varState) accept(u event.Update) int {
 	for {
 		last := st.lastSeq.Load()
-		if u.SeqNo <= last {
-			return acceptDiscard // out-of-order or duplicate (Section 2.1)
+		if u.SeqNo == last {
+			return acceptDup // replayed datagram (Section 2.1 discard rule)
+		}
+		if u.SeqNo < last {
+			return acceptDiscard // out-of-order (Section 2.1)
 		}
 		if st.lastSeq.CompareAndSwap(last, u.SeqNo) {
 			break
@@ -696,7 +963,8 @@ func (st *varState) accept(u event.Update) int {
 // acceptance, compacting survivors in place, then hands them to the
 // dispatch callback or the output channel. origin is the annotated frame's
 // emit timestamp (zero when untagged); it labels the link spans and is
-// remembered per variable for LastOrigin.
+// remembered per variable for LastOrigin. idx is the receiving socket, or
+// -1 when the run comes from the reorder flusher rather than a read loop.
 func (r *UDPReceiver) deliverRun(idx int, st *varState, us []event.Update, origin int64) {
 	r.lh.Touch() // any datagram-borne update is link activity
 	kept := us[:0]
@@ -705,6 +973,16 @@ func (r *UDPReceiver) deliverRun(idx int, st *varState, us []event.Update, origi
 		case acceptDiscard:
 			r.discarded.Add(1)
 			r.cDiscarded.Inc()
+			if idx >= 0 {
+				r.socks[idx].reordered.Inc()
+			}
+			r.linkSpan(u, obs.DispDiscarded, origin)
+		case acceptDup:
+			r.discarded.Add(1)
+			r.cDiscarded.Inc()
+			if idx >= 0 {
+				r.socks[idx].dup.Inc()
+			}
 			r.linkSpan(u, obs.DispDiscarded, origin)
 		case acceptForced:
 			r.forced.Add(1)
@@ -723,7 +1001,9 @@ func (r *UDPReceiver) deliverRun(idx int, st *varState, us []event.Update, origi
 	if r.dispatch != nil {
 		r.dispatch(st.name, kept)
 		r.cAccepted.Add(int64(len(kept)))
-		r.socks[idx].accepted.Add(int64(len(kept)))
+		if idx >= 0 {
+			r.socks[idx].accepted.Add(int64(len(kept)))
+		}
 		if r.tr != nil {
 			for _, u := range kept {
 				r.linkSpan(u, obs.DispDelivered, origin)
@@ -735,7 +1015,9 @@ func (r *UDPReceiver) deliverRun(idx int, st *varState, us []event.Update, origi
 		select {
 		case r.out <- u:
 			r.cAccepted.Inc()
-			r.socks[idx].accepted.Inc()
+			if idx >= 0 {
+				r.socks[idx].accepted.Inc()
+			}
 			r.linkSpan(u, obs.DispDelivered, origin)
 		default:
 			// Receiver overrun: drop, indistinguishable from link loss.
@@ -743,6 +1025,128 @@ func (r *UDPReceiver) deliverRun(idx int, st *varState, us []event.Update, origi
 			r.linkSpan(u, obs.DispLost, origin)
 		}
 	}
+}
+
+// reorderRun feeds one decoded run through the variable's reorder ring and
+// delivers whatever the ring releases — all under the variable's ring
+// lock, which serializes both the ring state and the hand-off to
+// deliverRun, so a variable's releases reach dispatch in seqno order even
+// when its datagrams race up through several sockets concurrently. The
+// clock is read once per datagram, not per update.
+func (r *UDPReceiver) reorderRun(idx int, st *varState, us []event.Update, origin int64) {
+	now := time.Now().UnixNano()
+	st.ringMu.Lock()
+	defer st.ringMu.Unlock()
+	out := st.release[:0]
+	pend0 := st.ring.Pending()
+	var dups, reord int64
+	for _, u := range us {
+		var v seq.OfferVerdict
+		out, v = st.ring.Offer(u.SeqNo, u, now, out)
+		if v&seq.OfferDup != 0 {
+			dups++
+		}
+		if v&seq.OfferReordered != 0 {
+			reord++
+		}
+	}
+	r.finishReorder(idx, st, out, origin, pend0, dups, reord)
+}
+
+// finishReorder does the post-ring bookkeeping shared by arrivals and
+// flushes — counters, the depth gauge delta, and delivery of the released
+// run. Caller holds st.ringMu.
+func (r *UDPReceiver) finishReorder(idx int, st *varState, out []event.Update, origin int64, pend0 int, dups, reord int64) {
+	if dups > 0 {
+		// Ring-level duplicates fold into the receiver-wide discarded
+		// aggregate (the Stats identity stays sent = accepted + discarded +
+		// forced for duplicate-free schedules and counts every drop
+		// otherwise) and into the dedicated reorder counter.
+		r.discarded.Add(dups)
+		r.cDiscarded.Add(dups)
+		r.cRDup.Add(dups)
+		if idx >= 0 {
+			r.socks[idx].dup.Add(dups)
+		}
+	}
+	if reord > 0 && idx >= 0 {
+		r.socks[idx].reordered.Add(reord)
+	}
+	if gl := st.ring.Stats().GapLost; gl != st.gapSeen {
+		r.cGapLoss.Add(gl - st.gapSeen)
+		st.gapSeen = gl
+	}
+	r.gRDepth.Add(int64(st.ring.Pending() - pend0))
+	if len(out) > 0 {
+		r.cReleased.Add(int64(len(out)))
+		r.deliverRun(idx, st, out, origin)
+	}
+	// Keep any growth of the pooled release slice.
+	st.release = out[:0]
+}
+
+// flushLoop is the reorder layer's skew clock: arrivals start gap timers
+// (seq.Reorder.Offer), and this loop releases the gaps whose bound expired
+// with no further traffic to observe it.
+func (r *UDPReceiver) flushLoop() {
+	defer r.fwg.Done()
+	period := r.rSkew / 4
+	if period < 200*time.Microsecond {
+		period = 200 * time.Microsecond
+	}
+	if period > 50*time.Millisecond {
+		period = 50 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-tick.C:
+			r.flushExpired(time.Now().UnixNano())
+		}
+	}
+}
+
+// flushExpired releases every variable's expired head gap (if any),
+// declaring the missing seqnos lost.
+func (r *UDPReceiver) flushExpired(now int64) {
+	for _, st := range *r.vars.Load() {
+		st.ringMu.Lock()
+		pend0 := st.ring.Pending()
+		out := st.ring.FlushExpired(now, st.release[:0])
+		r.finishReorder(-1, st, out, st.lastOrigin.Load(), pend0, 0, 0)
+		st.ringMu.Unlock()
+	}
+}
+
+// flushAllRings drains every ring on shutdown: buffered updates release in
+// seqno order with interior gaps declared lost.
+func (r *UDPReceiver) flushAllRings() {
+	for _, st := range *r.vars.Load() {
+		st.ringMu.Lock()
+		pend0 := st.ring.Pending()
+		out := st.ring.FlushAll(st.release[:0])
+		r.finishReorder(-1, st, out, st.lastOrigin.Load(), pend0, 0, 0)
+		st.ringMu.Unlock()
+	}
+}
+
+// ReorderPending returns the number of updates currently buffered across
+// all reorder rings (always zero in pinned mode) — the same quantity the
+// <prefix>.reorder.depth gauge tracks, but available without a registry.
+func (r *UDPReceiver) ReorderPending() int {
+	if r.rDepth == 0 {
+		return 0
+	}
+	n := 0
+	for _, st := range *r.vars.Load() {
+		st.ringMu.Lock()
+		n += st.ring.Pending()
+		st.ringMu.Unlock()
+	}
+	return n
 }
 
 // LastOrigin returns the origin timestamp (Unix nanoseconds) carried by

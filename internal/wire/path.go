@@ -1,0 +1,61 @@
+package wire
+
+// The path trailer: a tiny optional annotation striped publishers append
+// after a frame body ('U' or 'B', before any trace trailer) that makes a
+// datagram self-identifying on a multipath front link. It carries the
+// sending lane's random instance id and a per-lane datagram sequence
+// number, so a receiver can (a) attribute traffic to paths and (b) drop an
+// exact duplicate of a lane's most recent datagram in O(1), before any
+// per-update work — the duplication-safe framing that lets duplicating
+// transports (retransmitting middleboxes, redundant multipath send) feed
+// the reorder layer without inflating its duplicate accounting.
+//
+// Correctness never depends on the trailer: update-level dedup in the
+// reorder ring (and the pinned path's in-order rule) catches every
+// duplicate the frame check misses. Compatibility follows the trace
+// trailer's convention — TakePath returns ok=false on frames without the
+// tag, and receivers that predate it reject annotated frames as trailing
+// garbage, which is why striping is opt-in per publisher.
+
+import "encoding/binary"
+
+// tagPath marks a path trailer after a frame body.
+const tagPath byte = 'P'
+
+// PathLen is the encoded size of a path trailer in bytes.
+const PathLen = 1 + 4 + 8
+
+// Path identifies the datagram's position on its sending lane.
+type Path struct {
+	// ID is the sending lane's instance id, drawn at random when the lane
+	// is built so concurrent publishers never share one.
+	ID uint32
+	// Seq numbers this lane's datagrams from 1, independent of the update
+	// seqnos inside: two frames with the same (ID, Seq) are byte-identical
+	// duplicates of one datagram.
+	Seq uint64
+}
+
+// AppendPath appends the trailer encoding of p to dst.
+func AppendPath(dst []byte, p Path) []byte {
+	dst = append(dst, tagPath)
+	dst = binary.BigEndian.AppendUint32(dst, p.ID)
+	return binary.BigEndian.AppendUint64(dst, p.Seq)
+}
+
+// TakePath consumes an optional path trailer from the front of b (a frame
+// decoder's trailing bytes, before TakeTrace). An empty b or one that does
+// not start with the path tag returns ok=false with rest=b untouched — the
+// frame simply was not striped. A buffer that starts the trailer but
+// truncates it is corrupt and returns an error.
+func TakePath(b []byte) (p Path, ok bool, rest []byte, err error) {
+	if len(b) == 0 || b[0] != tagPath {
+		return Path{}, false, b, nil
+	}
+	if len(b) < PathLen {
+		return Path{}, false, nil, errf("truncated path trailer (want %d bytes, have %d)", PathLen, len(b))
+	}
+	p.ID = binary.BigEndian.Uint32(b[1:])
+	p.Seq = binary.BigEndian.Uint64(b[5:])
+	return p, true, b[PathLen:], nil
+}

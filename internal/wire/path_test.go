@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPathRoundTrip(t *testing.T) {
+	for _, p := range []Path{
+		{},
+		{ID: 1, Seq: 1},
+		{ID: 0xdeadbeef, Seq: 1<<63 + 7},
+	} {
+		b := AppendPath(nil, p)
+		if len(b) != PathLen {
+			t.Fatalf("encoded %d bytes, want %d", len(b), PathLen)
+		}
+		got, ok, rest, err := TakePath(b)
+		if err != nil || !ok {
+			t.Fatalf("TakePath: ok=%v err=%v", ok, err)
+		}
+		if got != p {
+			t.Fatalf("round trip %+v -> %+v", p, got)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("rest = %d bytes, want 0", len(rest))
+		}
+	}
+}
+
+func TestPathAbsentAndTruncated(t *testing.T) {
+	// Absent: empty rest and foreign tags pass through untouched.
+	for _, b := range [][]byte{nil, {}, {'T', 1}, {'X'}} {
+		p, ok, rest, err := TakePath(b)
+		if err != nil || ok || (p != Path{}) {
+			t.Fatalf("TakePath(%q): p=%+v ok=%v err=%v, want absent", b, p, ok, err)
+		}
+		if !bytes.Equal(rest, b) {
+			t.Fatalf("TakePath(%q) consumed bytes: rest=%q", b, rest)
+		}
+	}
+	// Truncated: a started trailer that cannot complete is corrupt.
+	full := AppendPath(nil, Path{ID: 9, Seq: 9})
+	for n := 1; n < PathLen; n++ {
+		if _, _, _, err := TakePath(full[:n]); err == nil {
+			t.Fatalf("TakePath of %d/%d bytes: want error", n, PathLen)
+		}
+	}
+}
+
+// TestPathBeforeTraceComposition pins the trailer order striped publishers
+// use: frame body, then 'P', then 'T' — a receiver takes the path trailer
+// first, the trace trailer second, and must end with an empty rest.
+func TestPathBeforeTraceComposition(t *testing.T) {
+	b := AppendPath(nil, Path{ID: 3, Seq: 44})
+	b = AppendTrace(b, Trace{Flags: TraceFlagSampled, Origin: 12345})
+	p, ok, rest, err := TakePath(b)
+	if err != nil || !ok || p.ID != 3 || p.Seq != 44 {
+		t.Fatalf("TakePath: %+v ok=%v err=%v", p, ok, err)
+	}
+	tr, ok, rest, err := TakeTrace(rest)
+	if err != nil || !ok || tr.Origin != 12345 {
+		t.Fatalf("TakeTrace after path: %+v ok=%v err=%v", tr, ok, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("rest = %d bytes after both trailers", len(rest))
+	}
+}
