@@ -1,0 +1,169 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"condmon/internal/event"
+	"condmon/internal/transport"
+	"condmon/internal/wire"
+)
+
+// evidenceFor builds a chained prefix digest for x⟨1..n⟩ with the given
+// values.
+func evidenceFor(t *testing.T, vals []float64) wire.Evidence {
+	t.Helper()
+	h := wire.EvidenceHashSeed
+	for i, v := range vals {
+		h = wire.EvidenceHashStep(h, int64(i+1), v)
+	}
+	return wire.Evidence{Var: "x", Base: 0, UpTo: int64(len(vals)), PrefixHash: h, Vals: vals}
+}
+
+// startAD launches run in a goroutine and waits for the announced back-link
+// address.
+func startAD(t *testing.T, args []string) (*syncWriter, string, chan error) {
+	t.Helper()
+	out := &syncWriter{}
+	done := make(chan error, 1)
+	go func() { done <- run(args, out) }()
+	re := regexp.MustCompile(`listening on ([0-9.:]+)`)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			return out, m[1], done
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("AD never announced its address:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func waitADExit(t *testing.T, done chan error) {
+	t.Helper()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("AD did not exit after -n alerts")
+	}
+}
+
+func adAlert(seq int64, value float64, source string) event.Alert {
+	return event.Alert{Cond: "c1", Source: source, Histories: event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", seq, value)}},
+	}}
+}
+
+// A clean run under -audit: the correct filter keeps the matrix free of
+// violations, orderedness and consistency confirmed, completeness
+// PLAUSIBLE (no evidence reaches a bare displayer).
+func TestRunAuditClean(t *testing.T) {
+	out, addr, done := startAD(t, []string{
+		"-listen", "127.0.0.1:0", "-ad-algo", "AD-1", "-vars", "x", "-audit", "-n", "3"})
+	snd, err := transport.DialAD(addr)
+	if err != nil {
+		t.Fatalf("DialAD: %v", err)
+	}
+	defer func() { _ = snd.Close() }()
+	for _, a := range []event.Alert{
+		adAlert(1, 3100, "CE1"), adAlert(1, 3100, "CE2"), adAlert(2, 3200, "CE1"),
+	} {
+		if err := snd.Send(a); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	waitADExit(t, done)
+	got := out.String()
+	if !strings.Contains(got, "audit: ordered=CONFIRMED complete=PLAUSIBLE consistent=CONFIRMED violations=0") {
+		t.Errorf("clean audit summary missing:\n%s", got)
+	}
+}
+
+// The dedup negative control: the broken filter displays the duplicate,
+// and the auditor flips Complete to VIOLATED with the duplicate named.
+func TestRunAuditBreakDedup(t *testing.T) {
+	out, addr, done := startAD(t, []string{
+		"-listen", "127.0.0.1:0", "-ad-algo", "AD-1", "-vars", "x",
+		"-audit", "-audit-break", "dedup", "-n", "2"})
+	snd, err := transport.DialAD(addr)
+	if err != nil {
+		t.Fatalf("DialAD: %v", err)
+	}
+	defer func() { _ = snd.Close() }()
+	for _, a := range []event.Alert{adAlert(1, 3100, "CE1"), adAlert(1, 3100, "CE2")} {
+		if err := snd.Send(a); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	waitADExit(t, done)
+	got := out.String()
+	if !strings.Contains(got, "complete=VIOLATED") {
+		t.Errorf("broken dedup must flip Complete:\n%s", got)
+	}
+	if !strings.Contains(got, "duplicate displayed alert") {
+		t.Errorf("violation detail missing:\n%s", got)
+	}
+}
+
+// The reorder negative control: adjacent alerts are swapped before
+// offering, so an ascending pair displays descending and Ordered flips.
+func TestRunAuditBreakReorder(t *testing.T) {
+	out, addr, done := startAD(t, []string{
+		"-listen", "127.0.0.1:0", "-ad-algo", "AD-1", "-vars", "x",
+		"-audit", "-audit-break", "reorder", "-n", "2"})
+	snd, err := transport.DialAD(addr)
+	if err != nil {
+		t.Fatalf("DialAD: %v", err)
+	}
+	defer func() { _ = snd.Close() }()
+	for _, a := range []event.Alert{adAlert(1, 3100, "CE1"), adAlert(2, 3200, "CE1")} {
+		if err := snd.Send(a); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	waitADExit(t, done)
+	got := out.String()
+	if !strings.Contains(got, "ordered=VIOLATED") {
+		t.Errorf("injected reorder must flip Ordered:\n%s", got)
+	}
+	if !strings.Contains(got, "violations=1") {
+		t.Errorf("violation count missing:\n%s", got)
+	}
+}
+
+// Evidence forwarded over the back link refutes a displayed value the DM
+// never emitted: both evidence-backed properties flip.
+func TestRunAuditEvidenceContradiction(t *testing.T) {
+	out, addr, done := startAD(t, []string{
+		"-listen", "127.0.0.1:0", "-ad-algo", "AD-1", "-vars", "x", "-audit", "-n", "1"})
+	snd, err := transport.DialAD(addr)
+	if err != nil {
+		t.Fatalf("DialAD: %v", err)
+	}
+	defer func() { _ = snd.Close() }()
+
+	ev := evidenceFor(t, []float64{3100, 3200})
+	if err := snd.SendEvidence(ev); err != nil {
+		t.Fatalf("SendEvidence: %v", err)
+	}
+	// The displayed alert claims x@2 = 9999, contradicting the digest. Give
+	// the evidence goroutine a moment to absorb the frame first.
+	time.Sleep(100 * time.Millisecond)
+	if err := snd.Send(adAlert(2, 9999, "CE1")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	waitADExit(t, done)
+	got := out.String()
+	if !strings.Contains(got, "complete=VIOLATED consistent=VIOLATED") {
+		t.Errorf("evidence contradiction must flip Complete and Consistent:\n%s", got)
+	}
+	if !strings.Contains(got, "contradicts evidenced") {
+		t.Errorf("violation detail missing:\n%s", got)
+	}
+}

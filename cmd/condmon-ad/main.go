@@ -20,8 +20,11 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"condmon/internal/ad"
+	"condmon/internal/audit"
+	"condmon/internal/cond"
 	"condmon/internal/durable"
 	"condmon/internal/event"
 	"condmon/internal/obs"
@@ -54,9 +57,19 @@ func run(args []string, out io.Writer) error {
 		staleAft = fs.Duration("stale-after", 0, "back link reported stale on /healthz after this long without traffic (default 10s)")
 		stateDir = fs.String("state-dir", "", "directory for the durable filter-state WAL; recover from it on start and journal into it while running")
 		fsync    = fs.Int("fsync", 0, "fsync the WAL after every N journaled alerts (1 = every alert, 0 = leave delta persistence to the OS)")
+		auditOn  = fs.Bool("audit", false, "run the online guarantee auditor over the displayed stream (matrix served at /audit with -metrics, printed on exit)")
+		auditCnd = fs.String("audit-cond", "", "condition DSL expression the auditor checks evidence-backed completeness against (same expression the CEs run)")
+		auditSLO = fs.Duration("audit-slo", 0, "end-to-end alert latency objective; origin-stamped alerts over this bump audit.slo_breaches (needs CEs sending with -tracing)")
+		auditNFL = fs.Bool("audit-assume-no-loss", false, "assert the front links are lossless, letting DM evidence alone decide completeness at /audit")
+		auditBrk = fs.String("audit-break", "", "inject a violation for negative-control testing: 'dedup' (filter displays duplicates) or 'reorder' (adjacent alerts swapped before offering)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *auditBrk {
+	case "", "dedup", "reorder":
+	default:
+		return fmt.Errorf("unknown -audit-break %q (want dedup or reorder)", *auditBrk)
 	}
 
 	var varNames []event.VarName
@@ -110,14 +123,44 @@ func run(args []string, out io.Writer) error {
 		tr = obs.NewTracer(obs.DefaultTraceCap)
 		filter = ad.NewTraced(filter, tr)
 	}
+	if *auditBrk == "dedup" {
+		// Negative control: defeat the filter's suppression so duplicate
+		// alerts reach the display — the auditor must flip Complete.
+		filter = brokenDedup{filter}
+	}
+
+	var au *audit.Auditor
+	var origins *originStore
+	if *auditOn {
+		var conds []cond.Condition
+		if *auditCnd != "" {
+			c, err := cond.Parse("cond", *auditCnd)
+			if err != nil {
+				return fmt.Errorf("-audit-cond: %w", err)
+			}
+			conds = append(conds, c)
+		}
+		au = audit.New(audit.Options{
+			Conds:             conds,
+			AssumeNoFrontLoss: *auditNFL,
+			LatencySLO:        *auditSLO,
+			Metrics:           reg,
+		})
+		origins = &originStore{m: make(map[string]int64)}
+	}
+
 	if *maddr != "" {
 		filter = ad.RegisterInstrumented(reg, "ad", filter)
-		srv, err := obs.ServeWith(*maddr, obs.MuxOptions{Registry: reg, Trace: tr, Health: hl})
+		mo := obs.MuxOptions{Registry: reg, Trace: tr, Health: hl}
+		if au != nil {
+			mo.Audit = audit.Handler(au)
+		}
+		srv, err := obs.ServeWith(*maddr, mo)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(out, "metrics: http://%s/metrics (trace at /trace, health at /healthz)\n", srv.Addr())
+		fmt.Fprintf(out, "metrics: http://%s/metrics (trace at /trace, health at /healthz, audit at /audit)\n", srv.Addr())
 	}
 
 	// Normalize both listener shapes to one stream-tagged channel: the
@@ -126,9 +169,16 @@ func run(args []string, out io.Writer) error {
 		alerts <-chan transport.StreamAlert
 		addr   string
 	)
+	// The listeners hand each decoded alert's trace-trailer origin to the
+	// origin store; the main loop takes it back out when the alert is
+	// offered, anchoring the auditor's end-to-end latency histogram.
+	var observe func(event.Alert, int64)
+	if origins != nil {
+		observe = origins.put
+	}
 	if *mux {
 		l, err := transport.ListenMux(*listen, transport.MuxListenerOptions{
-			Metrics: reg, Trace: tr, Health: hl, StaleAfter: *staleAft,
+			Metrics: reg, Trace: tr, Health: hl, StaleAfter: *staleAft, Observe: observe,
 		})
 		if err != nil {
 			return err
@@ -137,12 +187,21 @@ func run(args []string, out io.Writer) error {
 		alerts, addr = l.Alerts(), l.Addr()
 	} else {
 		l, err := transport.ListenADOpts(*listen, transport.ADListenerOptions{
-			Trace: tr, Health: hl, StaleAfter: *staleAft,
+			Trace: tr, Health: hl, StaleAfter: *staleAft, Observe: observe,
 		})
 		if err != nil {
 			return err
 		}
 		defer l.Close()
+		if au != nil {
+			// DM evidence frames forwarded by auditing CEs feed the
+			// auditor's per-variable digest store.
+			go func() {
+				for ev := range l.Evidence() {
+					au.ObserveEvidence(ev)
+				}
+			}()
+		}
 		ch := make(chan transport.StreamAlert)
 		go func() {
 			defer close(ch)
@@ -159,13 +218,65 @@ func run(args []string, out io.Writer) error {
 	defer signal.Stop(interrupt)
 
 	received, displayed, suppressed := 0, 0, 0
+	// offer runs one alert through the filter, prints the outcome, and
+	// feeds the auditor (nil-safe when auditing is off).
+	offer := func(a event.Alert, tag string) {
+		if ad.Offer(filter, a) {
+			displayed++
+			var origin int64
+			if origins != nil {
+				origin = origins.take(a.Key())
+			}
+			au.ObserveDisplayed(a, origin)
+			fmt.Fprintf(out, "ALERT %v from %s%s\n", a, a.Source, tag)
+		} else {
+			suppressed++
+			au.ObserveSuppressed(a)
+			fmt.Fprintf(out, "  (suppressed %v from %s%s)\n", a, a.Source, tag)
+		}
+	}
+	// The reorder negative control holds one alert back and offers each
+	// pair swapped; the held alert is flushed on exit.
+	var held *event.Alert
+	var heldTag string
+	process := func(a event.Alert, tag string) {
+		if *auditBrk != "reorder" {
+			offer(a, tag)
+			return
+		}
+		if held == nil {
+			cp := a
+			held, heldTag = &cp, tag
+			return
+		}
+		offer(a, tag)
+		offer(*held, heldTag)
+		held = nil
+	}
+	finish := func() {
+		if held != nil {
+			offer(*held, heldTag)
+			held = nil
+		}
+		fmt.Fprintf(out, "received=%d displayed=%d suppressed=%d\n", received, displayed, suppressed)
+		if au != nil {
+			m := au.Finalize()
+			rep := au.Report()
+			fmt.Fprintf(out, "audit: ordered=%s complete=%s consistent=%s violations=%d\n",
+				m.Ordered.Label(), m.Complete.Label(), m.Consistent.Label(), rep.Violations)
+			if rep.LastViolation != "" {
+				fmt.Fprintf(out, "audit: last violation: %s\n", rep.LastViolation)
+			}
+		}
+	}
 	for {
 		select {
 		case <-interrupt:
-			fmt.Fprintf(out, "received=%d displayed=%d suppressed=%d\n", received, displayed, suppressed)
+			finish()
 			return nil
 		case sa, ok := <-alerts:
 			if !ok {
+				finish()
 				return nil
 			}
 			a := sa.Alert
@@ -174,17 +285,47 @@ func run(args []string, out io.Writer) error {
 				tag = fmt.Sprintf(" [stream %d]", sa.Stream)
 			}
 			received++
-			if ad.Offer(filter, a) {
-				displayed++
-				fmt.Fprintf(out, "ALERT %v from %s%s\n", a, a.Source, tag)
-			} else {
-				suppressed++
-				fmt.Fprintf(out, "  (suppressed %v from %s%s)\n", a, a.Source, tag)
-			}
+			process(a, tag)
 			if *n > 0 && received >= *n {
-				fmt.Fprintf(out, "received=%d displayed=%d suppressed=%d\n", received, displayed, suppressed)
+				finish()
 				return nil
 			}
 		}
 	}
+}
+
+// brokenDedup is the -audit-break dedup negative control: it defeats the
+// wrapped filter's suppression so every offer — duplicates included —
+// reaches the display. The auditor must flip Complete to VIOLATED on the
+// first duplicate.
+type brokenDedup struct{ ad.Filter }
+
+func (brokenDedup) Test(event.Alert) bool { return true }
+func (brokenDedup) Accept(event.Alert)    {}
+func (b brokenDedup) Name() string        { return b.Filter.Name() + "+broken-dedup" }
+
+// originStore maps in-flight alert keys to the origin timestamps their
+// back-link frames carried, bridging the listener's Observe hook to the
+// offer path. Entries are removed when taken, so it stays bounded by the
+// number of alerts between arrival and offer.
+type originStore struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func (s *originStore) put(a event.Alert, origin int64) {
+	if origin <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.m[a.Key()] = origin
+	s.mu.Unlock()
+}
+
+func (s *originStore) take(k string) int64 {
+	s.mu.Lock()
+	o := s.m[k]
+	delete(s.m, k)
+	s.mu.Unlock()
+	return o
 }

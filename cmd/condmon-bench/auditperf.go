@@ -1,0 +1,94 @@
+package main
+
+// The AuditOverhead scenario: what does switching the online guarantee
+// auditor on cost the paths it instruments? Three measurements bracket
+// the deployment:
+//
+//   - displayer_audit_off / displayer_audit_on: the AD offer loop over the
+//     Filters scenario's precomputed lossy two-CE alert stream, with a
+//     fresh filter (and, when on, a fresh auditor) per op — the per-alert
+//     streaming-check cost at the displayer.
+//   - observe_emitted: the DM-side hook, one auditor observing a long
+//     ascending update stream — the per-update digest cost.
+//   - evidence_builder: the standalone DM evidence path, Observe per
+//     update with a Frame cut every 64 updates, as condmon-dm
+//     -audit-evidence 64 would.
+//
+// The audit-off displayer numbers double as the regression pin for the
+// nil-auditor contract: the off path must stay in the Filters/AD-1 band.
+
+import (
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/audit"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+)
+
+// displayerBench drives the merged alert stream through a fresh AD-1
+// filter per op; withAudit attaches a fresh auditor checking the stream's
+// own condition, exercising ObserveDisplayed/ObserveSuppressed inline.
+func displayerBench(withAudit bool, merged []event.Alert) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f := ad.NewAD1()
+			var au *audit.Auditor
+			if withAudit {
+				au = audit.New(audit.Options{Conds: []cond.Condition{cond.NewRiseAggressive("x")}})
+			}
+			for _, a := range merged {
+				if ad.Offer(f, a) {
+					au.ObserveDisplayed(a, 0)
+				} else {
+					au.ObserveSuppressed(a)
+				}
+			}
+		}
+	}
+}
+
+// observeEmittedBench measures the DM-side per-update hook on one
+// long-lived auditor: an ascending seqno stream, the steady state of
+// runtime.System.Emit with Options.Audit set.
+func observeEmittedBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		au := audit.New(audit.Options{Conds: []cond.Condition{cond.NewRiseAggressive("x")}})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			au.ObserveEmitted(event.U("x", int64(i+1), float64(i%500)))
+		}
+	}
+}
+
+// evidenceBuilderBench measures the standalone DM evidence pipeline:
+// Observe per update, a frame cut every 64 updates.
+func evidenceBuilderBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		ev := audit.NewEvidenceBuilder("x", 0, audit.DefaultEvidenceTail)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.Observe(event.U("x", int64(i+1), float64(i%500)))
+			if (i+1)%64 == 0 {
+				ev.Frame()
+			}
+		}
+	}
+}
+
+// auditOverhead runs the scenario and returns its measurement map.
+func auditOverhead() (map[string]perfResult, error) {
+	merged, err := filterStream()
+	if err != nil {
+		return nil, err
+	}
+	return map[string]perfResult{
+		"AuditOverhead/displayer_audit_off": measure(displayerBench(false, merged)),
+		"AuditOverhead/displayer_audit_on":  measure(displayerBench(true, merged)),
+		"AuditOverhead/observe_emitted":     measure(observeEmittedBench()),
+		"AuditOverhead/evidence_builder":    measure(evidenceBuilderBench()),
+	}, nil
+}

@@ -8,13 +8,13 @@
 //	condmon-bench [flags] [experiment ...]
 //
 // Experiments: table1 table2 table-ad3 table-ad4 table3 table-ad6
-// domination benefit tradeoff maximality table1-3ce replicas downtime all
-// (default: all).
+// reorder-tables domination benefit tradeoff maximality table1-3ce
+// replicas downtime all (default: all).
 //
 // With -perf the paper experiments are skipped and the hot-path
 // measurement scenarios run instead; -scenario filters them by name
 // (CEFeed DSLEval Filters MultiSystem Backlink IngestThroughput
-// HotVariable MillionConditions), -scale sizes the MillionConditions
+// HotVariable AuditOverhead MillionConditions), -scale sizes the MillionConditions
 // engine, and -hot-scale sizes the HotVariable bursts.
 package main
 
@@ -45,7 +45,7 @@ func run(args []string, out io.Writer) error {
 		lossP  = fs.Float64("loss", 0.3, "per-update front-link drop probability in lossy rows")
 		asCSV  = fs.Bool("csv", false, "emit curve experiments (benefit, tradeoff, replicas, downtime) as CSV")
 		perf   = fs.Bool("perf", false, "measure hot-path micro-benchmarks and emit JSON (see BENCH_PR1.json); skips the paper experiments")
-		scen   = fs.String("scenario", "", "with -perf, comma-separated scenario filter: CEFeed DSLEval Filters MultiSystem Backlink IngestThroughput HotVariable MillionConditions all (default: all but MillionConditions)")
+		scen   = fs.String("scenario", "", "with -perf, comma-separated scenario filter: CEFeed DSLEval Filters MultiSystem Backlink IngestThroughput HotVariable AuditOverhead MillionConditions all (default: all but MillionConditions)")
 		scale  = fs.Int("scale", 1_000_000, "with -perf -scenario MillionConditions, how many conditions to register")
 		hscale = fs.Float64("hot-scale", 1.0, "with -perf -scenario HotVariable, burst-size multiplier (use ~0.05 for smoke runs)")
 		maddr  = fs.String("metrics", "", "with -perf, attach pipeline counters to the MultiSystem runs and serve /metrics and /debug/pprof/ on this address afterwards")
@@ -90,6 +90,22 @@ func run(args []string, out io.Writer) error {
 		{"table-ad4", table(exp.RunTableAD4)},
 		{"table3", table(exp.RunTable3)},
 		{"table-ad6", table(exp.RunTableAD6)},
+		{"reorder-tables", func() (fmt.Stringer, error) {
+			ms, err := exp.RunReorderTables(cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			var b strings.Builder
+			match := true
+			for _, m := range ms {
+				b.WriteString(m.Format())
+				b.WriteString("\n")
+				if !m.Matches() {
+					match = false
+				}
+			}
+			return stringer{strings.TrimRight(b.String(), "\n"), match}, nil
+		}},
 		{"domination", func() (fmt.Stringer, error) {
 			d, err := exp.RunDomination(cfg)
 			if err != nil {
@@ -169,7 +185,7 @@ func run(args []string, out io.Writer) error {
 	}
 	for w := range selected {
 		if !known[w] {
-			return fmt.Errorf("unknown experiment %q (known: table1 table2 table-ad3 table-ad4 table3 table-ad6 domination benefit tradeoff maximality table1-3ce replicas downtime all)", w)
+			return fmt.Errorf("unknown experiment %q (known: table1 table2 table-ad3 table-ad4 table3 table-ad6 reorder-tables domination benefit tradeoff maximality table1-3ce replicas downtime all)", w)
 		}
 	}
 

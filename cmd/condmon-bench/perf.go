@@ -48,6 +48,7 @@ type perfReport struct {
 	Ingest      map[string]ingestResult     `json:"ingest,omitempty"`
 	Hot         map[string]hotVarResult     `json:"hot_variable,omitempty"`
 	Million     map[string]millionResult    `json:"million_conditions,omitempty"`
+	Audit       map[string]perfResult       `json:"audit_overhead,omitempty"`
 }
 
 // perfScenarios names the -scenario groups in canonical order. The
@@ -56,7 +57,7 @@ type perfReport struct {
 // act, opted into by name.
 var perfScenarios = []string{
 	"CEFeed", "DSLEval", "Filters", "MultiSystem", "Backlink", "IngestThroughput",
-	"HotVariable", "MillionConditions",
+	"HotVariable", "AuditOverhead", "MillionConditions",
 }
 
 // parseScenarios resolves a comma-separated, case-insensitive -scenario
@@ -401,6 +402,14 @@ func runPerf(out io.Writer, metricsAddr string, hold time.Duration, scenarios st
 			}
 			report.Hot[m.key] = res
 		}
+	}
+
+	if sel["auditoverhead"] {
+		audits, err := auditOverhead()
+		if err != nil {
+			return fmt.Errorf("AuditOverhead: %w", err)
+		}
+		report.Audit = audits
 	}
 
 	if sel["millionconditions"] {

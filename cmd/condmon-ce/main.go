@@ -64,12 +64,16 @@ func run(args []string, out io.Writer) error {
 		staleAft = fs.Duration("stale-after", 0, "front link reported stale on /healthz after this long without traffic (default 10s)")
 		stateDir = fs.String("state-dir", "", "directory for the durable window-state WAL; recover from it on start and journal into it while running")
 		fsync    = fs.Int("fsync", 0, "fsync the WAL after every N journaled updates (1 = every update, 0 = leave delta persistence to the OS)")
+		auditFwd = fs.Bool("audit", false, "forward DM evidence frames arriving on the front link to the AD over the back link (needs the dedicated back-link protocol, not -mux)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *adAddr == "" || *condExpr == "" {
 		return fmt.Errorf("need -ad and -cond")
+	}
+	if *auditFwd && *mux {
+		return fmt.Errorf("-audit needs the dedicated back-link protocol; drop -mux")
 	}
 
 	c, err := cond.Parse("cond", *condExpr)
@@ -189,6 +193,18 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		defer func() { _ = snd.Close() }()
+		if *auditFwd {
+			// Relay DM evidence digests to the AD-side auditor. Forwarding is
+			// best-effort like the rest of the evidence path: a send error
+			// only costs the frame (the next one's overlapping tail
+			// re-attests those values), and the alert path reports its own
+			// errors.
+			go func() {
+				for ev := range recv.Evidence() {
+					_ = snd.SendEvidence(ev)
+				}
+			}()
+		}
 		send = snd.Send
 		if tr != nil {
 			send = func(a event.Alert) error {

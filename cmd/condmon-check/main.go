@@ -17,6 +17,11 @@
 // identifiers (the CI documentation gate runs it repo-wide):
 //
 //	condmon-check docs .
+//
+// The metrics subcommand lints the README's metric tables against the
+// registrations in the source tree (the CI metrics gate):
+//
+//	condmon-check metrics -readme README.md .
 package main
 
 import (
@@ -46,6 +51,9 @@ func main() {
 func run(args []string, out io.Writer) (int, error) {
 	if len(args) > 0 && args[0] == "docs" {
 		return runDocs(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "metrics" {
+		return runMetrics(args[1:], out)
 	}
 	fs := flag.NewFlagSet("condmon-check", flag.ContinueOnError)
 	var (

@@ -1,0 +1,287 @@
+package main
+
+// The metrics subcommand is the metric-name linter behind the CI gate: it
+// cross-checks the README's metric tables against the Counter / Gauge /
+// GaugeFunc / Histogram registrations the source tree actually makes, so
+// a renamed or deleted counter can never leave a stale row in the
+// operator docs.
+//
+//	condmon-check metrics -readme README.md .
+//
+// The check is one-directional by design: every documented metric must be
+// realizable by some registration call. Code may register more than the
+// README documents (per-condition and per-shard families are summarized
+// as rows with placeholders), so the reverse direction is not an error.
+//
+// Registration names are resolved from the AST: string literals stay
+// literal, concatenations resolve piecewise, fmt.Sprintf collapses its
+// verbs to "*", and anything else (a prefix variable, a helper call)
+// becomes "*". README names normalize "<placeholder>" spans to "*". A
+// documented row matches when its pattern and some registration pattern
+// can name a common metric — "*" on either side spanning any run of
+// characters, dots included.
+//
+// Exit status mirrors the docs linter: 0 when every documented metric
+// matches, 2 when stale rows are printed, 1 on a parse error.
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func runMetrics(args []string, out io.Writer) (int, error) {
+	fs2 := flag.NewFlagSet("condmon-check metrics", flag.ContinueOnError)
+	readme := fs2.String("readme", "README.md", "markdown file whose metric tables are checked")
+	if err := fs2.Parse(args); err != nil {
+		return 1, err
+	}
+	roots := fs2.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+
+	documented, err := readmeMetricNames(*readme)
+	if err != nil {
+		return 1, err
+	}
+	if len(documented) == 0 {
+		return 1, fmt.Errorf("metrics: no `| metric | meaning |` table rows found in %s", *readme)
+	}
+	registered, err := registeredMetricPatterns(roots)
+	if err != nil {
+		return 1, err
+	}
+	if len(registered) == 0 {
+		return 1, fmt.Errorf("metrics: no Counter/Gauge/GaugeFunc/Histogram registrations found under %s", strings.Join(roots, " "))
+	}
+
+	var stale []string
+	for _, d := range documented {
+		matched := false
+		for _, r := range registered {
+			if patternsIntersect(d.pattern, r) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			stale = append(stale, fmt.Sprintf("%s:%d: documented metric %q matches no registration", *readme, d.line, d.name))
+		}
+	}
+	for _, s := range stale {
+		fmt.Fprintln(out, s)
+	}
+	if len(stale) > 0 {
+		fmt.Fprintf(out, "%d documented metric(s) match no registration (%d rows checked against %d registration patterns)\n",
+			len(stale), len(documented), len(registered))
+		return 2, nil
+	}
+	fmt.Fprintf(out, "%d documented metric(s) all match a registration\n", len(documented))
+	return 0, nil
+}
+
+// docMetric is one metric name lifted from a README table row.
+type docMetric struct {
+	name    string // as written, placeholders included
+	pattern string // normalized: <placeholder> spans collapsed to "*"
+	line    int
+}
+
+var (
+	metricTableHeader = regexp.MustCompile(`^\|\s*metric\s*\|`)
+	tableSeparator    = regexp.MustCompile(`^\|[\s|:-]+$`)
+	backtickSpan      = regexp.MustCompile("`([^`]+)`")
+	placeholderSpan   = regexp.MustCompile(`<[^>]*>`)
+)
+
+// readmeMetricNames extracts metric names from every markdown table whose
+// header row starts `| metric |`. Within a row's first cell, backticked
+// tokens are names; a token starting with "." is shorthand for the
+// previous full name with as many trailing segments replaced as the
+// suffix carries (`a.b.delivered` / `.lost` documents a.b.lost).
+func readmeMetricNames(path string) ([]docMetric, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var names []docMetric
+	inTable := false
+	base := ""
+	for i, line := range strings.Split(string(raw), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !inTable {
+			if metricTableHeader.MatchString(trimmed) {
+				inTable = true
+			}
+			continue
+		}
+		if !strings.HasPrefix(trimmed, "|") {
+			inTable = false
+			continue
+		}
+		if tableSeparator.MatchString(trimmed) {
+			continue
+		}
+		cells := strings.SplitN(trimmed, "|", 3)
+		if len(cells) < 3 {
+			continue
+		}
+		for _, m := range backtickSpan.FindAllStringSubmatch(cells[1], -1) {
+			tok := strings.TrimSpace(m[1])
+			name := tok
+			if strings.HasPrefix(tok, ".") && base != "" {
+				drop := strings.Count(tok, ".")
+				segs := strings.Split(base, ".")
+				if drop >= len(segs) {
+					continue
+				}
+				name = strings.Join(segs[:len(segs)-drop], ".") + tok
+			} else {
+				base = tok
+			}
+			names = append(names, docMetric{
+				name:    name,
+				pattern: placeholderSpan.ReplaceAllString(name, "*"),
+				line:    i + 1,
+			})
+		}
+	}
+	return names, nil
+}
+
+// metricRegistrars are the obs.Registry constructor methods whose first
+// argument is a metric name.
+var metricRegistrars = map[string]bool{
+	"Counter": true, "Gauge": true, "GaugeFunc": true, "Histogram": true,
+}
+
+// registeredMetricPatterns walks the source roots and resolves the name
+// argument of every registration call to a wildcard pattern.
+func registeredMetricPatterns(roots []string) ([]string, error) {
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	var patterns []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if name := d.Name(); path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			file, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				return err
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !metricRegistrars[sel.Sel.Name] {
+					return true
+				}
+				p := collapseStars(resolveNameExpr(call.Args[0]))
+				if !seen[p] {
+					seen[p] = true
+					patterns = append(patterns, p)
+				}
+				return true
+			})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return patterns, nil
+}
+
+var sprintfVerb = regexp.MustCompile(`%[#+\- 0-9.]*[a-zA-Z]`)
+
+// resolveNameExpr turns a name-argument expression into a wildcard
+// pattern: literals stay, "+" concatenations resolve piecewise,
+// fmt.Sprintf keeps its format with verbs as "*", everything else is "*".
+func resolveNameExpr(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		if v.Kind == token.STRING {
+			if s, err := strconv.Unquote(v.Value); err == nil {
+				return s
+			}
+		}
+	case *ast.ParenExpr:
+		return resolveNameExpr(v.X)
+	case *ast.BinaryExpr:
+		if v.Op == token.ADD {
+			return resolveNameExpr(v.X) + resolveNameExpr(v.Y)
+		}
+	case *ast.CallExpr:
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sprintf" && len(v.Args) > 0 {
+			if lit, ok := v.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				if s, err := strconv.Unquote(lit.Value); err == nil {
+					return sprintfVerb.ReplaceAllString(strings.ReplaceAll(s, "%%", "%"), "*")
+				}
+			}
+		}
+	}
+	return "*"
+}
+
+// collapseStars folds adjacent wildcards so concatenated unknowns behave
+// as one.
+func collapseStars(s string) string {
+	for strings.Contains(s, "**") {
+		s = strings.ReplaceAll(s, "**", "*")
+	}
+	return s
+}
+
+// patternsIntersect reports whether two wildcard patterns can name a
+// common metric, with "*" on either side matching any (possibly empty)
+// run of characters.
+func patternsIntersect(a, b string) bool {
+	type key struct{ i, j int }
+	memo := map[key]bool{}
+	var walk func(i, j int) bool
+	walk = func(i, j int) bool {
+		if i == len(a) && j == len(b) {
+			return true
+		}
+		k := key{i, j}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		memo[k] = false // cut cycles while computing
+		res := false
+		if i < len(a) && a[i] == '*' {
+			res = walk(i+1, j) || (j < len(b) && walk(i, j+1))
+		}
+		if !res && j < len(b) && b[j] == '*' {
+			res = walk(i, j+1) || (i < len(a) && walk(i+1, j))
+		}
+		if !res && i < len(a) && j < len(b) && a[i] != '*' && b[j] != '*' && a[i] == b[j] {
+			res = walk(i+1, j+1)
+		}
+		memo[k] = res
+		return res
+	}
+	return walk(0, 0)
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const metricsFixtureSrc = `package fixture
+
+import "fmt"
+
+type reg struct{}
+
+func (reg) Counter(string) int   { return 0 }
+func (reg) Gauge(string) int     { return 0 }
+func (reg) Histogram(string) int { return 0 }
+
+func register(r reg, prefix string, i int) {
+	r.Counter("pipe.emitted")
+	r.Counter(prefix + ".violations")
+	r.Gauge(fmt.Sprintf("pipe.shard.%d.queue", i))
+	r.Histogram("pipe.feed_ns")
+}
+`
+
+const metricsFixtureReadme = "# fixture\n\n" +
+	"| metric | meaning |\n" +
+	"|---|---|\n" +
+	"| `pipe.emitted` | updates emitted |\n" +
+	"| `audit.violations` | prefix-registered counter |\n" +
+	"| `pipe.shard.<i>.queue` | per-shard gauge via Sprintf |\n" +
+	"| `pipe.feed_ns`, `pipe.feed_batch_ns` | two names in one row |\n"
+
+// The linter resolves literals, prefix concatenations, and Sprintf
+// formats; placeholders and suffix shorthand on the README side line up
+// against them.
+func TestMetricsLintMatches(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "fixture.go"), metricsFixtureSrc)
+	// pipe.feed_batch_ns is NOT registered: the second name in the last
+	// row must be flagged, everything else must match.
+	writeFile(t, filepath.Join(dir, "README.md"), metricsFixtureReadme)
+
+	var out strings.Builder
+	code, err := runMetrics([]string{"-readme", filepath.Join(dir, "README.md"), dir}, &out)
+	if err != nil {
+		t.Fatalf("runMetrics: %v", err)
+	}
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (one stale row):\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "pipe.feed_batch_ns") {
+		t.Errorf("stale metric not named:\n%s", got)
+	}
+	if strings.Count(got, "matches no registration") != 1 {
+		t.Errorf("want exactly one stale finding:\n%s", got)
+	}
+}
+
+// Suffix shorthand replaces trailing segments of the previous full name.
+func TestReadmeSuffixShorthand(t *testing.T) {
+	dir := t.TempDir()
+	readme := "| metric | meaning |\n|---|---|\n" +
+		"| `link.CE<i>.delivered` / `.lost` | fates |\n"
+	writeFile(t, filepath.Join(dir, "README.md"), readme)
+	names, err := readmeMetricNames(filepath.Join(dir, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"link.CE<i>.delivered", "link.CE<i>.lost"}
+	if len(names) != len(want) {
+		t.Fatalf("got %d names, want %d: %+v", len(names), len(want), names)
+	}
+	for i, n := range names {
+		if n.name != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, n.name, want[i])
+		}
+	}
+	if names[0].pattern != "link.CE*.delivered" {
+		t.Errorf("pattern = %q, want placeholder collapsed", names[0].pattern)
+	}
+}
+
+func TestPatternsIntersect(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"audit.violations", "*.violations", true},
+		{"pipe.shard.*.queue", "pipe.shard.*.queue", true},
+		{"multi.ce.*", "*.fed", true},
+		{"audit.displayed", "audit.suppressed", false},
+		{"link.CE*.lost", "*.delivered", false},
+		{"a.*.c", "a.b.d", false},
+		{"*", "anything.at.all", true},
+	}
+	for _, c := range cases {
+		if got := patternsIntersect(c.a, c.b); got != c.want {
+			t.Errorf("patternsIntersect(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// The repository's own README must stay in sync with the registrations —
+// the same invocation the CI gate runs.
+func TestMetricsLintRepository(t *testing.T) {
+	var out strings.Builder
+	code, err := runMetrics([]string{"-readme", "../../README.md", "../../"}, &out)
+	if err != nil {
+		t.Fatalf("runMetrics: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("repository README has stale metric rows:\n%s", out.String())
+	}
+}

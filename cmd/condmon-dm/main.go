@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"condmon/internal/audit"
 	"condmon/internal/event"
 	"condmon/internal/obs"
 	"condmon/internal/transport"
@@ -47,6 +48,7 @@ func run(args []string, out io.Writer) error {
 		startSeq  = fs.Int64("start-seq", 1, "sequence number of the first update sent; the generator still produces the earlier prefix (discarded) so values stay continuous across a restart")
 		senders   = fs.Int("senders", 1, "UDP sender lanes per endpoint (distinct source ports; >1 spreads load across a CE's SO_REUSEPORT group)")
 		stripe    = fs.Bool("stripe", false, "round-robin datagrams across the sender lanes instead of pinning each variable to one; the CE must run -reorder-depth > 0")
+		evEvery   = fs.Int("audit-evidence", 0, "publish a 'G' evidence frame (CRC-framed prefix digest of the emitted sequence) every N updates, for CEs forwarding to an auditing AD (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,12 +127,50 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "metrics: http://%s/metrics (trace at /trace, pprof at /debug/pprof/)\n", srv.Addr())
 	}
 
-	for _, u := range updates {
+	// With -audit-evidence, the DM interleaves prefix digests of everything
+	// it has sent so far into the update stream. The tail covers at least
+	// two publication periods so a lost frame's values are re-attested by
+	// the next one.
+	var ev *audit.EvidenceBuilder
+	if *evEvery > 0 {
+		tail := 2 * *evEvery
+		if tail < audit.DefaultEvidenceTail {
+			tail = audit.DefaultEvidenceTail
+		}
+		if tail > 2048 {
+			tail = 2048 // the wire format's frame bound
+		}
+		ev = audit.NewEvidenceBuilder(event.VarName(*varName), *startSeq, tail)
+	}
+	publishEvidence := func() error {
+		f, ok := ev.Frame()
+		if !ok {
+			return nil
+		}
+		return pub.PublishEvidence(f)
+	}
+
+	for i, u := range updates {
 		if err := pub.Publish(u); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "sent %v\n", u)
+		if ev != nil {
+			ev.Observe(u)
+			if (i+1)%*evEvery == 0 {
+				if err := publishEvidence(); err != nil {
+					return err
+				}
+			}
+		}
 		time.Sleep(*interval)
+	}
+	if ev != nil {
+		// A closing frame attests the stream's tail even when its length is
+		// not a multiple of the period.
+		if err := publishEvidence(); err != nil {
+			return err
+		}
 	}
 	if *linger > 0 {
 		time.Sleep(*linger)

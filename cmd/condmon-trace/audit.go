@@ -1,0 +1,153 @@
+package main
+
+// The audit mode: poll the /audit endpoints of a running fleet (condmon-ad
+// started with -audit and -metrics) and render the live property matrix in
+// the shape of the paper's Tables 1–3 — one row per condition with its
+// orderedness / completeness / consistency verdicts, plus the alert-latency
+// and SLO columns the paper's tables do not have but an operator does.
+// Verdicts from multiple displayers are And-merged: a property holds for
+// the fleet only at the strength of its weakest member.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"condmon/internal/audit"
+)
+
+func runAudit(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("condmon-trace audit", flag.ContinueOnError)
+	var (
+		endpoints = fs.String("endpoints", "", "comma-separated /audit endpoint bases (host:port or http://host:port)")
+		interval  = fs.Duration("interval", 500*time.Millisecond, "poll interval")
+		duration  = fs.Duration("for", 0, "keep polling this long, rendering the matrix after every round (0 = poll once)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *endpoints == "" {
+		return fmt.Errorf("need -endpoints with at least one /audit base URL")
+	}
+	var bases []string
+	for _, e := range strings.Split(*endpoints, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			if !strings.Contains(e, "://") {
+				e = "http://" + e
+			}
+			bases = append(bases, e)
+		}
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(*duration)
+	for {
+		reports := make(map[string]audit.Report, len(bases))
+		for _, base := range bases {
+			rep, err := fetchAudit(client, base)
+			if err != nil {
+				// A fleet member may not be up yet (or already gone);
+				// auditing a fleet is best-effort by design.
+				fmt.Fprintf(out, "# %s: %v\n", base, err)
+				continue
+			}
+			reports[base] = rep
+		}
+		renderAuditMatrix(out, bases, reports)
+		if *duration <= 0 || !time.Now().Before(deadline) {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fetchAudit(client *http.Client, base string) (audit.Report, error) {
+	var rep audit.Report
+	resp, err := client.Get(base + "/audit")
+	if err != nil {
+		return rep, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return rep, fmt.Errorf("GET /audit: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("decode /audit: %w", err)
+	}
+	return rep, nil
+}
+
+// verdictFromLabel inverts Verdict.Label; unknown labels (an empty report
+// from an audit-disabled daemon) read as PLAUSIBLE — never stronger than
+// what the endpoint actually claimed.
+func verdictFromLabel(label string) audit.Verdict {
+	switch label {
+	case "VIOLATED":
+		return audit.Violated
+	case "CONFIRMED":
+		return audit.Confirmed
+	default:
+		return audit.Plausible
+	}
+}
+
+// renderAuditMatrix prints the fleet property matrix: one row per
+// (endpoint, condition), then the And across everything — the Tables 1–3
+// shape with live columns appended.
+func renderAuditMatrix(out io.Writer, bases []string, reports map[string]audit.Report) {
+	fmt.Fprintf(out, "%-28s %-12s %3s %4s %4s %9s %10s %9s %4s\n",
+		"endpoint", "condition", "ord", "comp", "cons", "displayed", "suppressed", "latency", "slo")
+	fleet := audit.Matrix{Ordered: audit.Confirmed, Complete: audit.Confirmed, Consistent: audit.Confirmed}
+	var violations int64
+	merged := 0
+	for _, base := range bases {
+		rep, ok := reports[base]
+		if !ok {
+			continue
+		}
+		merged++
+		violations += rep.Violations
+		m := audit.Matrix{
+			Ordered:    verdictFromLabel(rep.Ordered),
+			Complete:   verdictFromLabel(rep.Complete),
+			Consistent: verdictFromLabel(rep.Consistent),
+		}
+		fleet = fleet.And(m)
+		name := base
+		if len(name) > 28 {
+			name = "…" + name[len(name)-27:]
+		}
+		rows := rep.Conds
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Cond < rows[j].Cond })
+		if len(rows) == 0 {
+			fmt.Fprintf(out, "%-28s %-12s %3s %4s %4s %9s %10s %9s %4s\n",
+				name, "(none)", m.Ordered, m.Complete, m.Consistent, "-", "-", "-", "-")
+			continue
+		}
+		for _, cr := range rows {
+			lat := "-"
+			if cr.LastLatencyNanos >= 0 {
+				lat = time.Duration(cr.LastLatencyNanos).Round(time.Microsecond).String()
+			}
+			slo := "ok"
+			if !cr.SLOOK {
+				slo = "MISS"
+			}
+			fmt.Fprintf(out, "%-28s %-12s %3s %4s %4s %9d %10d %9s %4s\n",
+				name, cr.Cond,
+				verdictFromLabel(cr.Ordered), verdictFromLabel(cr.Complete), verdictFromLabel(cr.Consistent),
+				cr.Displayed, cr.Suppressed, lat, slo)
+		}
+	}
+	if merged == 0 {
+		fmt.Fprintln(out, "# no endpoint answered")
+		return
+	}
+	fmt.Fprintf(out, "%-28s %-12s %3s %4s %4s   violations=%d\n",
+		"(fleet ∧)", "", fleet.Ordered, fleet.Complete, fleet.Consistent, violations)
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"condmon/internal/audit"
+)
+
+// The audit mode renders each endpoint's matrix and the fleet And: a
+// PLAUSIBLE cell anywhere caps the fleet verdict at '?', and violations
+// sum across displayers.
+func TestRunAuditMatrix(t *testing.T) {
+	serve := func(rep audit.Report) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/audit" {
+				http.NotFound(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(rep)
+		}))
+	}
+	clean := serve(audit.Report{
+		Ordered: "CONFIRMED", Complete: "CONFIRMED", Consistent: "CONFIRMED",
+		Conds: []audit.CondReport{{
+			Cond: "c1", Ordered: "CONFIRMED", Complete: "CONFIRMED", Consistent: "CONFIRMED",
+			Displayed: 5, Suppressed: 2, LastLatencyNanos: 1500000, SLOOK: true,
+		}},
+	})
+	defer clean.Close()
+	weak := serve(audit.Report{
+		Ordered: "CONFIRMED", Complete: "PLAUSIBLE", Consistent: "CONFIRMED",
+		Violations: 1, LastViolation: "c2: completeness: duplicate displayed alert",
+		Conds: []audit.CondReport{{
+			Cond: "c2", Ordered: "CONFIRMED", Complete: "PLAUSIBLE", Consistent: "CONFIRMED",
+			Displayed: 3, LastLatencyNanos: -1, SLOOK: false,
+		}},
+	})
+	defer weak.Close()
+
+	var out strings.Builder
+	if err := runAudit([]string{"-endpoints", clean.URL + "," + weak.URL}, &out); err != nil {
+		t.Fatalf("runAudit: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"c1", "c2", "violations=1", "(fleet ∧)", "MISS", "1.5ms"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// Fleet And: c2's PLAUSIBLE completeness caps the fleet row at '?'.
+	fleetLine := ""
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "(fleet ∧)") {
+			fleetLine = line
+		}
+	}
+	if !strings.Contains(fleetLine, "?") {
+		t.Errorf("fleet row must show PLAUSIBLE completeness: %q", fleetLine)
+	}
+
+	// A dead endpoint is reported, not fatal.
+	out.Reset()
+	if err := runAudit([]string{"-endpoints", "127.0.0.1:1"}, &out); err != nil {
+		t.Fatalf("runAudit with dead endpoint: %v", err)
+	}
+	if !strings.Contains(out.String(), "no endpoint answered") {
+		t.Errorf("dead endpoint output:\n%s", out.String())
+	}
+}

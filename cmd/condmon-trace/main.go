@@ -7,6 +7,7 @@
 //	condmon-trace info   -in trace.txt
 //	condmon-trace alerts -in trace.txt -cond 'x[0] > 3000' -ad AD-1 -loss 0.3 -seed 2
 //	condmon-trace follow -endpoints 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 -var x -for 3s
+//	condmon-trace audit  -endpoints 127.0.0.1:9203 -for 3s
 //
 // The alerts mode replays the trace through a two-replica lossy run and
 // tags every alert reaching the displayer with its originating replica,
@@ -52,8 +53,10 @@ func run(args []string, out io.Writer) error {
 		return runAlerts(args[1:], out)
 	case "follow":
 		return runFollow(args[1:], out)
+	case "audit":
+		return runAudit(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want gen, info, alerts, or follow)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want gen, info, alerts, follow, or audit)", args[0])
 	}
 }
 

@@ -1,0 +1,699 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/obs"
+	"condmon/internal/props"
+	"condmon/internal/seq"
+	"condmon/internal/sim"
+	"condmon/internal/wire"
+)
+
+// DefaultMaxStoredAlerts bounds the per-condition displayed-alert store
+// used by Finalize's exact checks. Past the bound, streaming verdicts keep
+// running on O(window) state but Finalize can no longer replay the output,
+// so completeness stays at its streaming strength.
+const DefaultMaxStoredAlerts = 4096
+
+// defaultMaxEvidenceVals bounds each variable's evidence value store when
+// full-stream reconstruction is not requested.
+const defaultMaxEvidenceVals = 4096
+
+// Options configures an Auditor. The zero value is usable: exact
+// incremental checks only, no metrics, no SLO.
+type Options struct {
+	// Conds names the monitored conditions. A condition the auditor knows
+	// is eligible for decisive completeness/consistency at Finalize (the
+	// checks re-evaluate it over evidence streams); alerts for unknown
+	// conditions still get the full streaming treatment.
+	Conds []cond.Condition
+	// AssumeNoFrontLoss asserts the deployment's front links are lossless
+	// (or the auditor is attached in-process before any link). Under the
+	// assumption, source evidence alone makes completeness decisive at
+	// Finalize: U1 = U2 = U, so ΦA = ΦT(U) is checkable from the
+	// reconstructed emitted stream. It also lifts the evidence value-store
+	// bound, since reconstruction needs every value.
+	AssumeNoFrontLoss bool
+	// LatencySLO, when positive, is the end-to-end alert latency objective:
+	// alerts whose origin-to-display latency exceeds it bump the breach
+	// counter and drop the slo_ok gauge.
+	LatencySLO time.Duration
+	// MaxStoredAlerts caps the per-condition displayed store Finalize
+	// replays (DefaultMaxStoredAlerts when 0; negative = unlimited).
+	MaxStoredAlerts int
+	// Metrics registers the audit.* metrics (nil: metrics off — verdicts
+	// are still served through Report and the HTTP handler).
+	Metrics *obs.Registry
+	// MetricsPrefix overrides the "audit" metric namespace.
+	MetricsPrefix string
+	// Now overrides the wall clock (unix nanoseconds) for tests.
+	Now func() int64
+}
+
+// Auditor is the online guarantee auditor: it ingests one AD's displayed
+// and suppressed alerts (plus optional DM-side evidence and delivery
+// observations) and maintains the per-condition property matrix, latency
+// histogram, and staleness gauges. All methods are safe on a nil receiver
+// and for concurrent use; a nil *Auditor is the audit-off state and costs
+// one nil check.
+type Auditor struct {
+	mu           sync.Mutex
+	conds        map[string]cond.Condition
+	assumeNoLoss bool
+	slo          int64
+	maxStored    int
+	maxEvVals    int
+	now          func() int64
+
+	state     map[string]*condState
+	order     []string // condition names in first-seen order
+	ev        map[event.VarName]*varEvidence
+	delivered map[int]map[event.VarName][]event.Update
+
+	aggregate     Matrix
+	violations    int64
+	lastViolation string
+
+	reg    *obs.Registry
+	prefix string
+
+	gOrdered, gComplete, gConsistent *obs.Gauge
+	cViolations                      *obs.Counter
+	cDisplayed, cSuppressed          *obs.Counter
+	cEvFrames, cEvRejected           *obs.Counter
+	hLatency                         *obs.Histogram
+	cSLOBreaches                     *obs.Counter
+	gSLOOK                           *obs.Gauge
+}
+
+// condState is the streaming state of one condition's property row.
+type condState struct {
+	name      string
+	m         Matrix
+	lastSeq   map[event.VarName]int64
+	seen      map[string]struct{}
+	received  map[event.VarName]seq.Set
+	missed    map[event.VarName]seq.Set
+	displayed []event.Alert
+	truncated bool
+	multiVar  bool
+
+	nDisplayed, nSuppressed int64
+	lastDisplayNanos        int64
+	lastLatencyNanos        int64 // -1 until an alert carries an origin
+	sloOK                   bool
+}
+
+// New builds an Auditor.
+func New(o Options) *Auditor {
+	a := &Auditor{
+		conds:        make(map[string]cond.Condition, len(o.Conds)),
+		assumeNoLoss: o.AssumeNoFrontLoss,
+		slo:          int64(o.LatencySLO),
+		maxStored:    o.MaxStoredAlerts,
+		maxEvVals:    defaultMaxEvidenceVals,
+		now:          o.Now,
+		state:        make(map[string]*condState),
+		ev:           make(map[event.VarName]*varEvidence),
+		delivered:    make(map[int]map[event.VarName][]event.Update),
+		aggregate:    NewMatrix(),
+	}
+	if a.maxStored == 0 {
+		a.maxStored = DefaultMaxStoredAlerts
+	}
+	if a.assumeNoLoss {
+		a.maxEvVals = 0 // reconstruction needs every value
+	}
+	if a.now == nil {
+		a.now = func() int64 { return time.Now().UnixNano() }
+	}
+	for _, c := range o.Conds {
+		a.conds[c.Name()] = c
+	}
+	a.prefix = o.MetricsPrefix
+	if a.prefix == "" {
+		a.prefix = "audit"
+	}
+	if r := o.Metrics; r != nil {
+		a.reg = r
+		p := a.prefix
+		a.gOrdered = r.Gauge(p + ".ordered")
+		a.gComplete = r.Gauge(p + ".complete")
+		a.gConsistent = r.Gauge(p + ".consistent")
+		a.cViolations = r.Counter(p + ".violations")
+		a.cDisplayed = r.Counter(p + ".displayed")
+		a.cSuppressed = r.Counter(p + ".suppressed")
+		a.cEvFrames = r.Counter(p + ".evidence_frames")
+		a.cEvRejected = r.Counter(p + ".evidence_rejected")
+		a.hLatency = r.Histogram(p + ".latency_ns")
+		a.cSLOBreaches = r.Counter(p + ".slo_breaches")
+		a.gSLOOK = r.Gauge(p + ".slo_ok")
+		a.gSLOOK.Set(1)
+		r.GaugeFunc(p+".staleness_ns", a.stalenessNanos)
+		a.publishAggregate()
+	}
+	return a
+}
+
+// ObserveDisplayed folds one displayed alert into the matrix.
+// originNanos, when positive, is the alert's origin timestamp (the PR 5
+// trace-trailer anchor: the freshest contributing update's emit time) and
+// drives the end-to-end latency histogram and the SLO gauge.
+func (a *Auditor) ObserveDisplayed(al event.Alert, originNanos int64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.condState(al.Cond)
+	st.nDisplayed++
+	a.cDisplayed.Inc()
+	now := a.now()
+	st.lastDisplayNanos = now
+
+	if originNanos > 0 {
+		lat := now - originNanos
+		a.hLatency.Observe(lat)
+		st.lastLatencyNanos = lat
+		st.sloOK = a.slo <= 0 || lat <= a.slo
+		if !st.sloOK {
+			a.cSLOBreaches.Inc()
+		}
+		a.publishSLO()
+	}
+
+	// Orderedness: Π_v monotone, incrementally.
+	for v, h := range al.Histories {
+		if len(h.Recent) == 0 {
+			continue
+		}
+		n := h.Latest().SeqNo
+		if last, ok := st.lastSeq[v]; ok && n < last {
+			a.violate(st, &st.m.Ordered, fmt.Sprintf("orderedness: %s seqno %d displayed after %d", v, n, last))
+		} else if !ok || n > last {
+			st.lastSeq[v] = n
+		}
+	}
+	if len(al.Histories) > 1 && !st.multiVar {
+		st.multiVar = true
+		// Multi-variable consistency needs the Lemma 5 precedence search;
+		// conflict-freedom alone can only refute, so the streaming verdict
+		// weakens to PLAUSIBLE until Finalize decides it.
+		if st.m.Consistent == Confirmed {
+			st.m.Consistent = Plausible
+			a.republish()
+		}
+	}
+
+	// Completeness surrogate: the AD-1 contract. Φ is a set, so offline
+	// completeness cannot see duplicates — but a duplicate display is a
+	// filter breach and exactly what the negative controls inject.
+	k := al.Key()
+	if _, dup := st.seen[k]; dup {
+		a.violate(st, &st.m.Complete, "completeness: duplicate displayed alert "+k)
+	} else {
+		st.seen[k] = struct{}{}
+	}
+
+	// Consistency (Theorem 7): asserted-received and asserted-missed must
+	// stay disjoint. Checking each new assertion against the opposite set
+	// keeps the pass O(window) per alert.
+	for v, h := range al.Histories {
+		rec, miss := st.received[v], st.missed[v]
+		if rec == nil {
+			rec, miss = make(seq.Set), make(seq.Set)
+			st.received[v], st.missed[v] = rec, miss
+		}
+		win := h.SeqNosAscending()
+		for _, s := range win {
+			if miss.Contains(s) {
+				a.violate(st, &st.m.Consistent, fmt.Sprintf("consistency: %s seqno %d asserted both received and missed", v, s))
+			}
+			rec.Add(s)
+		}
+		for s := range seq.Gaps(win) {
+			if rec.Contains(s) {
+				a.violate(st, &st.m.Consistent, fmt.Sprintf("consistency: %s seqno %d asserted both received and missed", v, s))
+			}
+			miss.Add(s)
+		}
+		// Source evidence value check: a window claiming a value the DM
+		// never emitted is not in T(U′) for any U′ ⊑ U — it refutes both
+		// evidence-backed properties.
+		if e := a.ev[v]; e != nil {
+			for _, u := range h.Recent {
+				if val, ok := e.valueAt(u.SeqNo); ok && val != u.Value {
+					detail := fmt.Sprintf("%s seqno %d displayed value %g contradicts evidenced %g", v, u.SeqNo, u.Value, val)
+					a.violate(st, &st.m.Complete, "completeness: "+detail)
+					a.violate(st, &st.m.Consistent, "consistency: "+detail)
+					break
+				}
+			}
+		}
+	}
+
+	if a.maxStored < 0 || len(st.displayed) < a.maxStored {
+		st.displayed = append(st.displayed, al.Clone())
+	} else {
+		st.truncated = true
+	}
+}
+
+// ObserveSuppressed counts one suppressed offer for the condition.
+func (a *Auditor) ObserveSuppressed(al event.Alert) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.condState(al.Cond).nSuppressed++
+	a.mu.Unlock()
+	a.cSuppressed.Inc()
+}
+
+// ObserveEmitted folds one source-side emitted update into the evidence
+// store — the in-process equivalent of a DM's published digest, with the
+// chain trusted rather than re-derived.
+func (a *Auditor) ObserveEmitted(u event.Update) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.varEvidence(u.Var).absorbUpdate(u.SeqNo, u.Value)
+	a.mu.Unlock()
+}
+
+// ObserveDelivered records that the given CE replica (0-based) received u.
+// Delivery evidence is what makes every verdict decisive at Finalize; it
+// is available in-process, in simulation, and at the experiment layer —
+// never over the wire.
+func (a *Auditor) ObserveDelivered(replica int, u event.Update) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	m := a.delivered[replica]
+	if m == nil {
+		m = make(map[event.VarName][]event.Update)
+		a.delivered[replica] = m
+	}
+	m[u.Var] = append(m[u.Var], u)
+	a.mu.Unlock()
+}
+
+// ObserveEvidence folds one decoded DM evidence frame into the store.
+func (a *Auditor) ObserveEvidence(e wire.Evidence) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	ok := a.varEvidence(e.Var).absorbFrame(e)
+	a.mu.Unlock()
+	a.cEvFrames.Inc()
+	if !ok {
+		a.cEvRejected.Inc()
+	}
+}
+
+// Verdicts returns the current streaming aggregate: the And across every
+// condition observed so far.
+func (a *Auditor) Verdicts() Matrix {
+	if a == nil {
+		return NewMatrix()
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.aggregate
+}
+
+// CondVerdicts returns the current streaming matrix of one condition (the
+// starting matrix if it has not been observed).
+func (a *Auditor) CondVerdicts(name string) Matrix {
+	if a == nil {
+		return NewMatrix()
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st, ok := a.state[name]; ok {
+		return st.m
+	}
+	return NewMatrix()
+}
+
+// Finalize runs the decisive end-of-run checks over everything observed —
+// the retroactive evidence value pass, then exact completeness and
+// consistency wherever delivery or source evidence suffices — and returns
+// the resulting aggregate. Verdicts only move between Plausible and a
+// decisive state: a streaming VIOLATED stays violated, a CONFIRMED stays
+// confirmed. Finalize may be called repeatedly (each /audit request could
+// call it); it recomputes from retained state.
+func (a *Auditor) Finalize() Matrix {
+	if a == nil {
+		return NewMatrix()
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Registered conditions that never displayed still have a row: an empty
+	// output is itself a completeness claim (ΦA = ∅) the evidence can decide.
+	names := make([]string, 0, len(a.conds))
+	for name := range a.conds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a.condState(name)
+	}
+	for _, name := range a.order {
+		a.finalizeCond(a.state[name])
+	}
+	a.recomputeAggregate()
+	return a.aggregate
+}
+
+// finalizeCond applies the decisive checks to one condition; the caller
+// holds a.mu.
+func (a *Auditor) finalizeCond(st *condState) {
+	// Retroactive value pass: evidence that arrived after an alert was
+	// displayed still refutes it.
+	for _, al := range st.displayed {
+		for v, h := range al.Histories {
+			e := a.ev[v]
+			if e == nil {
+				continue
+			}
+			for _, u := range h.Recent {
+				if val, ok := e.valueAt(u.SeqNo); ok && val != u.Value {
+					detail := fmt.Sprintf("%s seqno %d displayed value %g contradicts evidenced %g", v, u.SeqNo, u.Value, val)
+					a.violate(st, &st.m.Complete, "completeness: "+detail)
+					a.violate(st, &st.m.Consistent, "consistency: "+detail)
+				}
+			}
+		}
+	}
+	if st.truncated {
+		return // the stored output is partial: no exact replay possible
+	}
+	c := a.conds[st.name]
+	if c == nil {
+		return
+	}
+	vars := c.Vars()
+
+	// Prefer delivery evidence: it decides the real (lossy-link) property.
+	if combined, ok := a.combinedStreams(vars); ok {
+		if st.m.Complete == Plausible {
+			a.decideComplete(st, c, vars, combined)
+		}
+		if st.m.Consistent == Plausible && st.multiVar {
+			if consistent, err := props.ConsistentMulti(st.displayed, c, combined); err == nil {
+				if consistent {
+					st.m.Consistent = Confirmed
+				} else {
+					a.violate(st, &st.m.Consistent, "consistency: no feasible U′ over delivered streams")
+				}
+			}
+		}
+		return
+	}
+
+	// Source evidence under the no-front-loss assumption: U1 = U2 = U, so
+	// the reconstructed emitted stream plays the role of both deliveries.
+	if a.assumeNoLoss && st.m.Complete == Plausible {
+		combined := make(map[event.VarName][]event.Update, len(vars))
+		for _, v := range vars {
+			vals, ok := a.ev[v].fullStream()
+			if !ok {
+				return
+			}
+			us := make([]event.Update, len(vals))
+			for i, val := range vals {
+				us[i] = event.Update{Var: v, SeqNo: int64(i + 1), Value: val}
+			}
+			combined[v] = us
+		}
+		a.decideComplete(st, c, vars, combined)
+	}
+}
+
+// decideComplete runs the exact completeness check against combined
+// per-variable streams; errors (enumeration bounds) leave PLAUSIBLE.
+func (a *Auditor) decideComplete(st *condState, c cond.Condition, vars []event.VarName, combined map[event.VarName][]event.Update) {
+	var complete bool
+	var err error
+	if len(vars) == 1 {
+		var want []event.Alert
+		want, err = ce.T(c, combined[vars[0]])
+		if err == nil {
+			complete = event.KeySetEqual(st.displayed, want)
+		}
+	} else {
+		complete, err = props.CompleteMulti(st.displayed, c, combined)
+	}
+	if err != nil {
+		return
+	}
+	if complete {
+		st.m.Complete = Confirmed
+	} else {
+		a.violate(st, &st.m.Complete, "completeness: ΦA ≠ ΦT over evidenced streams")
+	}
+}
+
+// combinedStreams builds the per-variable ordered union of the delivered
+// streams; the caller holds a.mu. Delivery evidence is all-or-nothing by
+// contract (a caller wiring ObserveDelivered must report every delivery),
+// so once any observation exists, a variable with no recorded deliveries
+// is evidence of an empty delivered stream — on a lossy run a variable
+// really can lose every update, and bailing there would leave exactly
+// those runs undecided.
+func (a *Auditor) combinedStreams(vars []event.VarName) (map[event.VarName][]event.Update, bool) {
+	if len(a.delivered) == 0 {
+		return nil, false
+	}
+	out := make(map[event.VarName][]event.Update, len(vars))
+	for _, v := range vars {
+		var merged []event.Update
+		first := true
+		for _, m := range a.delivered {
+			us := m[v]
+			if first {
+				merged = append([]event.Update(nil), us...)
+				first = false
+				continue
+			}
+			u, err := sim.OrderedUnionUpdates(merged, us)
+			if err != nil {
+				return nil, false
+			}
+			merged = u
+		}
+		out[v] = merged
+	}
+	return out, true
+}
+
+// condState returns (creating on first sight) one condition's state; the
+// caller holds a.mu.
+func (a *Auditor) condState(name string) *condState {
+	st, ok := a.state[name]
+	if !ok {
+		st = &condState{
+			name:             name,
+			m:                NewMatrix(),
+			lastSeq:          make(map[event.VarName]int64),
+			seen:             make(map[string]struct{}),
+			received:         make(map[event.VarName]seq.Set),
+			missed:           make(map[event.VarName]seq.Set),
+			lastLatencyNanos: -1,
+			sloOK:            true,
+		}
+		a.state[name] = st
+		a.order = append(a.order, name)
+	}
+	return st
+}
+
+// varEvidence returns (creating on first sight) one variable's evidence
+// store; the caller holds a.mu.
+func (a *Auditor) varEvidence(v event.VarName) *varEvidence {
+	e, ok := a.ev[v]
+	if !ok {
+		e = newVarEvidence(a.maxEvVals)
+		a.ev[v] = e
+	}
+	return e
+}
+
+// violate flips one verdict to VIOLATED (sticky), records the detail, and
+// bumps the violation counter; the caller holds a.mu.
+func (a *Auditor) violate(st *condState, v *Verdict, detail string) {
+	if *v == Violated {
+		return
+	}
+	*v = Violated
+	a.violations++
+	a.cViolations.Inc()
+	a.lastViolation = st.name + ": " + detail
+	a.republish()
+}
+
+// republish folds the changed condition into the aggregate and pushes the
+// gauges; streaming verdicts only ever weaken, so min-folding the current
+// states is exact. The caller holds a.mu.
+func (a *Auditor) republish() {
+	a.recomputeAggregate()
+}
+
+// recomputeAggregate rebuilds the aggregate matrix from every condition's
+// current state and pushes the verdict gauges; the caller holds a.mu. The
+// fold seed is all-CONFIRMED (the identity of And); NewMatrix's starting
+// PLAUSIBLE completeness would otherwise cap the aggregate below what every
+// condition proved.
+func (a *Auditor) recomputeAggregate() {
+	if len(a.state) == 0 {
+		a.aggregate = NewMatrix()
+		a.publishAggregate()
+		return
+	}
+	m := Matrix{Ordered: Confirmed, Complete: Confirmed, Consistent: Confirmed}
+	for _, st := range a.state {
+		m = m.And(st.m)
+	}
+	a.aggregate = m
+	a.publishAggregate()
+}
+
+// publishAggregate pushes the aggregate verdicts to the gauges (encoded
+// 0=VIOLATED, 1=PLAUSIBLE, 2=CONFIRMED); the caller holds a.mu.
+func (a *Auditor) publishAggregate() {
+	a.gOrdered.Set(int64(a.aggregate.Ordered))
+	a.gComplete.Set(int64(a.aggregate.Complete))
+	a.gConsistent.Set(int64(a.aggregate.Consistent))
+}
+
+// publishSLO pushes the fleet slo_ok gauge: 1 only while every condition's
+// most recent latencied alert met the objective. The caller holds a.mu.
+func (a *Auditor) publishSLO() {
+	ok := int64(1)
+	for _, st := range a.state {
+		if !st.sloOK {
+			ok = 0
+			break
+		}
+	}
+	a.gSLOOK.Set(ok)
+}
+
+// stalenessNanos is the sampled staleness gauge: the age of the oldest
+// condition's last display (0 before any display).
+func (a *Auditor) stalenessNanos() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	oldest := int64(0)
+	now := a.now()
+	for _, st := range a.state {
+		if st.lastDisplayNanos == 0 {
+			continue
+		}
+		if age := now - st.lastDisplayNanos; age > oldest {
+			oldest = age
+		}
+	}
+	return oldest
+}
+
+// CondReport is one condition's row in a Report.
+type CondReport struct {
+	Cond       string `json:"cond"`
+	Ordered    string `json:"ordered"`
+	Complete   string `json:"complete"`
+	Consistent string `json:"consistent"`
+	Displayed  int64  `json:"displayed"`
+	Suppressed int64  `json:"suppressed"`
+	MultiVar   bool   `json:"multi_var,omitempty"`
+	// LastLatencyNanos is -1 until an alert carried an origin timestamp.
+	LastLatencyNanos int64 `json:"last_latency_ns"`
+	StalenessNanos   int64 `json:"staleness_ns"`
+	SLOOK            bool  `json:"slo_ok"`
+}
+
+// EvidenceReport is one variable's evidence-store summary in a Report.
+type EvidenceReport struct {
+	Var      string `json:"var"`
+	Frames   int64  `json:"frames"`
+	Rejected int64  `json:"rejected"`
+	Holes    int64  `json:"holes"`
+	UpTo     int64  `json:"up_to"`
+	ChainOK  bool   `json:"chain_ok"`
+}
+
+// Report is the full audit snapshot served at /audit and consumed by
+// condmon-trace audit.
+type Report struct {
+	NowNanos      int64            `json:"now_ns"`
+	Ordered       string           `json:"ordered"`
+	Complete      string           `json:"complete"`
+	Consistent    string           `json:"consistent"`
+	Violations    int64            `json:"violations"`
+	LastViolation string           `json:"last_violation,omitempty"`
+	Conds         []CondReport     `json:"conds"`
+	Evidence      []EvidenceReport `json:"evidence,omitempty"`
+}
+
+// Report snapshots the auditor, running Finalize's decisive checks first
+// so the served matrix is as strong as the accumulated evidence allows.
+func (a *Auditor) Report() Report {
+	if a == nil {
+		m := NewMatrix()
+		return Report{Ordered: m.Ordered.Label(), Complete: m.Complete.Label(), Consistent: m.Consistent.Label()}
+	}
+	a.Finalize()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	r := Report{
+		NowNanos:      now,
+		Ordered:       a.aggregate.Ordered.Label(),
+		Complete:      a.aggregate.Complete.Label(),
+		Consistent:    a.aggregate.Consistent.Label(),
+		Violations:    a.violations,
+		LastViolation: a.lastViolation,
+	}
+	for _, name := range a.order {
+		st := a.state[name]
+		cr := CondReport{
+			Cond:             name,
+			Ordered:          st.m.Ordered.Label(),
+			Complete:         st.m.Complete.Label(),
+			Consistent:       st.m.Consistent.Label(),
+			Displayed:        st.nDisplayed,
+			Suppressed:       st.nSuppressed,
+			MultiVar:         st.multiVar,
+			LastLatencyNanos: st.lastLatencyNanos,
+			SLOOK:            st.sloOK,
+		}
+		if st.lastDisplayNanos > 0 {
+			cr.StalenessNanos = now - st.lastDisplayNanos
+		}
+		r.Conds = append(r.Conds, cr)
+	}
+	vars := make([]string, 0, len(a.ev))
+	for v := range a.ev {
+		vars = append(vars, string(v))
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		e := a.ev[event.VarName(v)]
+		r.Evidence = append(r.Evidence, EvidenceReport{
+			Var: v, Frames: e.frames, Rejected: e.rejected, Holes: e.holes,
+			UpTo: e.maxHeld, ChainOK: e.chainOK,
+		})
+	}
+	return r
+}

@@ -1,0 +1,465 @@
+package audit
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"condmon/internal/ce"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/obs"
+	"condmon/internal/wire"
+)
+
+// mkAlert builds a displayed alert whose per-variable windows are given
+// oldest-first (the natural reading order) and converted to the
+// most-recent-first layout History uses.
+func mkAlert(name string, hists map[event.VarName][]event.Update) event.Alert {
+	hs := make(event.HistorySet, len(hists))
+	for v, asc := range hists {
+		recent := make([]event.Update, len(asc))
+		for i, u := range asc {
+			recent[len(asc)-1-i] = u
+		}
+		hs[v] = event.History{Var: v, Recent: recent}
+	}
+	return event.NewAlert(name, hs, "test")
+}
+
+func xAlert(name string, seqs ...int64) event.Alert {
+	us := make([]event.Update, len(seqs))
+	for i, s := range seqs {
+		us[i] = event.U("x", s, float64(s)*100)
+	}
+	return mkAlert(name, map[event.VarName][]event.Update{"x": us})
+}
+
+// The negative control the e2e smoke injects: a broken dedup filter that
+// displays the same alert twice must flip completeness to VIOLATED and
+// bump the violation counter.
+func TestAuditDuplicateDisplayFlipsComplete(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := New(Options{Metrics: reg})
+	al := xAlert("c1", 1, 2)
+
+	a.ObserveDisplayed(al, 0)
+	if m := a.Verdicts(); m.Complete != Plausible || m.Ordered != Confirmed {
+		t.Fatalf("after one display: %v", m)
+	}
+	a.ObserveDisplayed(al, 0)
+	m := a.Verdicts()
+	if m.Complete != Violated {
+		t.Fatalf("duplicate display: Complete = %v, want VIOLATED", m.Complete)
+	}
+	if m.Ordered == Violated || m.Consistent == Violated {
+		t.Fatalf("duplicate display must only hit completeness: %v", m)
+	}
+	r := a.Report()
+	if r.Violations != 1 {
+		t.Fatalf("violations = %d, want 1", r.Violations)
+	}
+	if !strings.Contains(r.LastViolation, "duplicate displayed alert") {
+		t.Fatalf("last violation %q lacks detail", r.LastViolation)
+	}
+	if p, ok := reg.Get("audit.violations"); !ok || p.Value != 1 {
+		t.Fatalf("audit.violations = %+v", p)
+	}
+	if p, ok := reg.Get("audit.complete"); !ok || p.Value != int64(Violated) {
+		t.Fatalf("audit.complete gauge = %+v", p)
+	}
+}
+
+// The reorder negative control: a window whose Π_v regresses must flip
+// orderedness and nothing else.
+func TestAuditReorderFlipsOrdered(t *testing.T) {
+	a := New(Options{})
+	a.ObserveDisplayed(xAlert("c1", 2, 3), 0)
+	a.ObserveDisplayed(xAlert("c1", 1, 2), 0)
+	m := a.Verdicts()
+	if m.Ordered != Violated {
+		t.Fatalf("regressing seqno: Ordered = %v, want VIOLATED", m.Ordered)
+	}
+	if m.Consistent == Violated {
+		t.Fatalf("reorder alone must not refute consistency: %v", m)
+	}
+}
+
+// Theorem 7's conflict: a seqno asserted missed by one window and received
+// by another refutes consistency incrementally.
+func TestAuditConsistencyConflictIncremental(t *testing.T) {
+	a := New(Options{})
+	a.ObserveDisplayed(xAlert("c1", 1, 2, 3), 0)
+	// Window ⟨1,3⟩ asserts 2 missed; the first window asserted it received.
+	a.ObserveDisplayed(xAlert("c1", 1, 3), 0)
+	m := a.Verdicts()
+	if m.Consistent != Violated {
+		t.Fatalf("conflicting assertion: Consistent = %v, want VIOLATED", m.Consistent)
+	}
+	if m.Ordered == Violated {
+		t.Fatalf("Π_v never regressed: %v", m)
+	}
+}
+
+// A displayed value the DM evidence contradicts is outside T(U′) for every
+// U′ ⊑ U: both evidence-backed properties flip, whether the evidence
+// arrived before (streaming pass) or after (Finalize retroactive pass).
+func TestAuditEvidenceValueContradiction(t *testing.T) {
+	for _, order := range []string{"evidence-first", "alert-first"} {
+		a := New(Options{})
+		feed := func() {
+			a.ObserveEmitted(event.U("x", 1, 100))
+			a.ObserveEmitted(event.U("x", 2, 200))
+		}
+		bogus := mkAlert("c1", map[event.VarName][]event.Update{
+			"x": {event.U("x", 1, 100), event.U("x", 2, 999)},
+		})
+		if order == "evidence-first" {
+			feed()
+			a.ObserveDisplayed(bogus, 0)
+		} else {
+			a.ObserveDisplayed(bogus, 0)
+			feed()
+		}
+		m := a.Finalize()
+		if m.Complete != Violated || m.Consistent != Violated {
+			t.Fatalf("%s: contradicted value left %v", order, m)
+		}
+	}
+}
+
+// Clean emitted evidence under AssumeNoFrontLoss makes completeness
+// decisive at Finalize: displaying exactly ΦT(U) confirms, omitting an
+// alert violates.
+func TestAuditNoFrontLossCompleteness(t *testing.T) {
+	c := cond.NewRiseAggressive("x")
+	stream := []event.Update{
+		event.U("x", 1, 400), event.U("x", 2, 700), event.U("x", 3, 720),
+		event.U("x", 4, 1300), event.U("x", 5, 1250),
+	}
+	want, err := ce.T(c, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 2 {
+		t.Fatalf("test stream too quiet: ΦT has %d alerts", len(want))
+	}
+
+	t.Run("exact output confirms", func(t *testing.T) {
+		a := New(Options{Conds: []cond.Condition{c}, AssumeNoFrontLoss: true})
+		for _, u := range stream {
+			a.ObserveEmitted(u)
+		}
+		for _, al := range want {
+			a.ObserveDisplayed(al, 0)
+		}
+		m := a.Finalize()
+		if m.Complete != Confirmed {
+			t.Fatalf("exact ΦT display: Complete = %v, want CONFIRMED", m.Complete)
+		}
+		if !m.Decisive() {
+			t.Fatalf("full evidence left a non-decisive matrix %v", m)
+		}
+	})
+
+	t.Run("missing alert violates", func(t *testing.T) {
+		a := New(Options{Conds: []cond.Condition{c}, AssumeNoFrontLoss: true})
+		for _, u := range stream {
+			a.ObserveEmitted(u)
+		}
+		for _, al := range want[:len(want)-1] {
+			a.ObserveDisplayed(al, 0)
+		}
+		if m := a.Finalize(); m.Complete != Violated {
+			t.Fatalf("dropped alert: Complete = %v, want VIOLATED", m.Complete)
+		}
+	})
+
+	t.Run("silent displayer with empty T confirms", func(t *testing.T) {
+		quiet := cond.NewOverheat("x")
+		a := New(Options{Conds: []cond.Condition{quiet}, AssumeNoFrontLoss: true})
+		for _, u := range stream {
+			a.ObserveEmitted(u)
+		}
+		// Nothing displayed, and ΦT(U) for overheat on this stream is ∅.
+		if m := a.Finalize(); m.Complete != Confirmed {
+			t.Fatalf("empty output vs empty ΦT: Complete = %v, want CONFIRMED", m.Complete)
+		}
+	})
+}
+
+// Evidence frames from a builder absorb cleanly; a frame claiming a hash
+// the values do not support is rejected whole and counted.
+func TestAuditEvidenceFrameAbsorption(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := New(Options{Metrics: reg})
+	b := NewEvidenceBuilder("x", 1, 8)
+	for s := int64(1); s <= 10; s++ {
+		b.Observe(event.U("x", s, float64(s)*10))
+	}
+	f, ok := b.Frame()
+	if !ok {
+		t.Fatal("builder with observations returned no frame")
+	}
+	a.ObserveEvidence(f)
+	r := a.Report()
+	if len(r.Evidence) != 1 || r.Evidence[0].UpTo != 10 || r.Evidence[0].Rejected != 0 {
+		t.Fatalf("evidence report = %+v", r.Evidence)
+	}
+
+	// A corrupted frame (values mutated after hashing) must be rejected
+	// without disturbing the store.
+	bad := f
+	bad.Vals = append([]float64(nil), f.Vals...)
+	bad.Vals[0] += 1
+	bad.UpTo += 1 // pretend it extends the chain
+	bad.PrefixHash = 12345
+	a.ObserveEvidence(bad)
+	r = a.Report()
+	if r.Evidence[0].Rejected != 1 {
+		t.Fatalf("corrupted frame not rejected: %+v", r.Evidence[0])
+	}
+	if r.Evidence[0].UpTo != 10 {
+		t.Fatalf("rejected frame mutated the store: %+v", r.Evidence[0])
+	}
+	if p, _ := reg.Get("audit.evidence_frames"); p.Value != 2 {
+		t.Fatalf("audit.evidence_frames = %d, want 2", p.Value)
+	}
+	if p, _ := reg.Get("audit.evidence_rejected"); p.Value != 1 {
+		t.Fatalf("audit.evidence_rejected = %d, want 1", p.Value)
+	}
+}
+
+// Overlapping tails let the receiver survive a lost evidence frame: frame
+// 2's tail re-covers what frame 1 carried, so skipping frame 1 entirely
+// still yields a verified chain.
+func TestAuditEvidenceSurvivesLostFrame(t *testing.T) {
+	b := NewEvidenceBuilder("x", 1, 64)
+	for s := int64(1); s <= 3; s++ {
+		b.Observe(event.U("x", s, float64(s)))
+	}
+	if _, ok := b.Frame(); !ok { // frame 1: published but "lost"
+		t.Fatal("no frame 1")
+	}
+	for s := int64(4); s <= 6; s++ {
+		b.Observe(event.U("x", s, float64(s)))
+	}
+	f2, _ := b.Frame()
+
+	a := New(Options{AssumeNoFrontLoss: true})
+	a.ObserveEvidence(f2)
+	a.mu.Lock()
+	vals, ok := a.ev["x"].fullStream()
+	a.mu.Unlock()
+	if !ok || len(vals) != 6 {
+		t.Fatalf("fullStream after lost frame: ok=%v len=%d", ok, len(vals))
+	}
+	for i, v := range vals {
+		if v != float64(i+1) {
+			t.Fatalf("vals[%d] = %g", i, v)
+		}
+	}
+}
+
+// A genuine gap (tail shorter than the hole) re-anchors: the chain is no
+// longer a verified prefix from seqno 1, so reconstruction refuses.
+func TestAuditEvidenceHoleReanchors(t *testing.T) {
+	b := NewEvidenceBuilder("x", 1, 2) // tail of 2: frames cover little
+	for s := int64(1); s <= 2; s++ {
+		b.Observe(event.U("x", s, float64(s)))
+	}
+	f1, _ := b.Frame()
+	for s := int64(3); s <= 8; s++ {
+		b.Observe(event.U("x", s, float64(s)))
+	}
+	f2, _ := b.Frame() // covers only ⟨7,8⟩: hole after f1's ⟨1,2⟩
+
+	a := New(Options{AssumeNoFrontLoss: true})
+	a.ObserveEvidence(f1)
+	a.ObserveEvidence(f2)
+	r := a.Report()
+	if len(r.Evidence) != 1 || r.Evidence[0].Holes != 1 {
+		t.Fatalf("expected one hole: %+v", r.Evidence)
+	}
+	a.mu.Lock()
+	_, ok := a.ev["x"].fullStream()
+	a.mu.Unlock()
+	if ok {
+		t.Fatal("fullStream reconstructed across a hole")
+	}
+	// Values in the surviving run still answer point queries.
+	a.mu.Lock()
+	v, have := a.ev["x"].valueAt(8)
+	a.mu.Unlock()
+	if !have || v != 8 {
+		t.Fatalf("valueAt(8) = %g,%v", v, have)
+	}
+}
+
+// The latency/SLO surface: origin timestamps drive the histogram, breach
+// counter, slo_ok gauge, and the sampled staleness gauge.
+func TestAuditLatencySLO(t *testing.T) {
+	now := int64(1_000_000)
+	reg := obs.NewRegistry()
+	a := New(Options{
+		Metrics:    reg,
+		LatencySLO: 100 * time.Nanosecond,
+		Now:        func() int64 { return now },
+	})
+
+	a.ObserveDisplayed(xAlert("c1", 1), now-50) // 50ns: within SLO
+	r := a.Report()
+	if !r.Conds[0].SLOOK || r.Conds[0].LastLatencyNanos != 50 {
+		t.Fatalf("within-SLO alert: %+v", r.Conds[0])
+	}
+	if p, _ := reg.Get("audit.slo_ok"); p.Value != 1 {
+		t.Fatalf("audit.slo_ok = %d, want 1", p.Value)
+	}
+
+	a.ObserveDisplayed(xAlert("c1", 2), now-500) // 500ns: breach
+	if p, _ := reg.Get("audit.slo_breaches"); p.Value != 1 {
+		t.Fatalf("audit.slo_breaches = %d, want 1", p.Value)
+	}
+	if p, _ := reg.Get("audit.slo_ok"); p.Value != 0 {
+		t.Fatalf("audit.slo_ok = %d, want 0", p.Value)
+	}
+	if p, _ := reg.Get("audit.latency_ns"); p.Value != 2 {
+		t.Fatalf("latency histogram count = %d, want 2", p.Value)
+	}
+
+	// Staleness: sampled as now - lastDisplay.
+	now += 700
+	if p, _ := reg.Get("audit.staleness_ns"); p.Value != 700 {
+		t.Fatalf("audit.staleness_ns = %d, want 700", p.Value)
+	}
+	r = a.Report()
+	if r.Conds[0].StalenessNanos != 700 {
+		t.Fatalf("report staleness = %d, want 700", r.Conds[0].StalenessNanos)
+	}
+}
+
+// Every method is a no-op on a nil auditor, and the handler still serves
+// the empty starting report — the audit-off contract.
+func TestAuditNilSafe(t *testing.T) {
+	var a *Auditor
+	a.ObserveDisplayed(xAlert("c1", 1), 1)
+	a.ObserveSuppressed(xAlert("c1", 1))
+	a.ObserveEmitted(event.U("x", 1, 1))
+	a.ObserveDelivered(0, event.U("x", 1, 1))
+	a.ObserveEvidence(wire.Evidence{Var: "x", UpTo: 1, Vals: []float64{1}})
+	if m := a.Verdicts(); m != NewMatrix() {
+		t.Fatalf("nil Verdicts = %v", m)
+	}
+	if m := a.Finalize(); m != NewMatrix() {
+		t.Fatalf("nil Finalize = %v", m)
+	}
+	if r := a.Report(); r.Ordered != "CONFIRMED" || r.Complete != "PLAUSIBLE" {
+		t.Fatalf("nil Report = %+v", r)
+	}
+
+	rec := httptest.NewRecorder()
+	Handler(a).ServeHTTP(rec, httptest.NewRequest("GET", "/audit", nil))
+	var rep Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("nil handler JSON: %v", err)
+	}
+	rec = httptest.NewRecorder()
+	Handler(a).ServeHTTP(rec, httptest.NewRequest("GET", "/audit?format=prom", nil))
+	if !strings.Contains(rec.Body.String(), "# EOF") {
+		t.Fatalf("nil handler prom output: %q", rec.Body.String())
+	}
+}
+
+// The HTTP surface: JSON by default, the audit namespace in Prometheus
+// exposition with ?format=prom or a scraper Accept header.
+func TestAuditHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := New(Options{Metrics: reg})
+	al := xAlert("c1", 1, 2)
+	a.ObserveDisplayed(al, 0)
+	a.ObserveDisplayed(al, 0) // duplicate: Complete → VIOLATED
+
+	rec := httptest.NewRecorder()
+	Handler(a).ServeHTTP(rec, httptest.NewRequest("GET", "/audit", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var rep Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete != "VIOLATED" || rep.Violations != 1 || len(rep.Conds) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	rec = httptest.NewRecorder()
+	Handler(a).ServeHTTP(rec, httptest.NewRequest("GET", "/audit?format=prom", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"audit_ordered", "audit_complete", "audit_violations", "# EOF"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("prom body lacks %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "\naudit_complete{") && !strings.Contains(body, `audit_complete{name="audit.complete"} 0`) {
+		t.Fatalf("violated gauge not 0 in prom body:\n%s", body)
+	}
+
+	req := httptest.NewRequest("GET", "/audit", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	rec = httptest.NewRecorder()
+	Handler(a).ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "audit_ordered") {
+		t.Fatalf("Accept negotiation failed:\n%s", rec.Body.String())
+	}
+
+	// Without a registry the handler synthesizes the core point set.
+	bare := New(Options{})
+	bare.ObserveDisplayed(al, 0)
+	rec = httptest.NewRecorder()
+	Handler(bare).ServeHTTP(rec, httptest.NewRequest("GET", "/audit?format=prom", nil))
+	if body := rec.Body.String(); !strings.Contains(body, `audit_displayed{name="audit.displayed"} 1`) {
+		t.Fatalf("synthesized prom body:\n%s", body)
+	}
+}
+
+// Suppressed offers count per condition without touching verdicts.
+func TestAuditSuppressedCounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := New(Options{Metrics: reg})
+	a.ObserveDisplayed(xAlert("c1", 1), 0)
+	a.ObserveSuppressed(xAlert("c1", 1))
+	a.ObserveSuppressed(xAlert("c1", 1))
+	r := a.Report()
+	if r.Conds[0].Displayed != 1 || r.Conds[0].Suppressed != 2 {
+		t.Fatalf("counts = %+v", r.Conds[0])
+	}
+	if p, _ := reg.Get("audit.suppressed"); p.Value != 2 {
+		t.Fatalf("audit.suppressed = %d", p.Value)
+	}
+	if m := a.Verdicts(); m.Ordered == Violated || m.Complete == Violated || m.Consistent == Violated {
+		t.Fatalf("suppression flipped a verdict: %v", m)
+	}
+}
+
+// Multi-variable displays weaken streaming consistency to PLAUSIBLE (the
+// Lemma 5 search is Finalize's job) and aggregate across conditions by And.
+func TestAuditMultiVarPlausibleAndAggregate(t *testing.T) {
+	a := New(Options{})
+	a.ObserveDisplayed(mkAlert("cm", map[event.VarName][]event.Update{
+		"x": {event.U("x", 1, 1000)},
+		"y": {event.U("y", 1, 1050)},
+	}), 0)
+	if m := a.CondVerdicts("cm"); m.Consistent != Plausible {
+		t.Fatalf("multi-var streaming Consistent = %v, want PLAUSIBLE", m.Consistent)
+	}
+	// A second, single-var condition stays Confirmed; the aggregate is min.
+	a.ObserveDisplayed(xAlert("c1", 1), 0)
+	if m := a.CondVerdicts("c1"); m.Consistent != Confirmed {
+		t.Fatalf("single-var Consistent = %v", m.Consistent)
+	}
+	if m := a.Verdicts(); m.Consistent != Plausible {
+		t.Fatalf("aggregate Consistent = %v, want PLAUSIBLE", m.Consistent)
+	}
+}

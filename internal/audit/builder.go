@@ -1,0 +1,97 @@
+package audit
+
+// The publisher side of the evidence path: EvidenceBuilder runs next to an
+// emit loop (condmon-dm's send loop, or a runtime System's Emit path) and
+// maintains the chained prefix hash plus a bounded tail of recent values,
+// ready to be framed as wire.Evidence at whatever cadence the publisher
+// chooses. Consecutive frames carry overlapping tails, so a receiver that
+// loses individual evidence frames can still rebuild a contiguous prefix.
+
+import (
+	"sync"
+
+	"condmon/internal/event"
+	"condmon/internal/wire"
+)
+
+// DefaultEvidenceTail is the tail length used when NewEvidenceBuilder is
+// given a non-positive one: long enough that a receiver survives several
+// consecutive lost evidence frames at typical publish cadences, short
+// enough that a frame always fits a datagram.
+const DefaultEvidenceTail = 64
+
+// EvidenceBuilder accumulates one variable's emitted updates into
+// publishable evidence frames. Safe for concurrent use; Observe is O(1).
+type EvidenceBuilder struct {
+	mu   sync.Mutex
+	v    event.VarName
+	base int64
+	upTo int64
+	hash uint64
+	some bool
+	// tail is a ring of the most recent values; tail[(upTo-i) % len] holds
+	// the value of seqno upTo-i while upTo-i > base.
+	tail []float64
+}
+
+// NewEvidenceBuilder returns a builder for v whose first observed update
+// will carry sequence number startSeq (1 for a fresh stream; the redelivery
+// start for a restarted DM — the hash chain is anchored at startSeq-1, so
+// digests never claim a prefix the publisher did not itself emit).
+func NewEvidenceBuilder(v event.VarName, startSeq int64, tailLen int) *EvidenceBuilder {
+	if tailLen <= 0 {
+		tailLen = DefaultEvidenceTail
+	}
+	return &EvidenceBuilder{
+		v:    v,
+		base: startSeq - 1,
+		upTo: startSeq - 1,
+		hash: wire.EvidenceHashSeed,
+		tail: make([]float64, tailLen),
+	}
+}
+
+// Observe folds one emitted update into the chain. Updates must arrive in
+// emission order; a sequence jump re-anchors the chain at the jump (the
+// builder never claims a prefix it did not see).
+func (b *EvidenceBuilder) Observe(u event.Update) {
+	if b == nil || u.Var != b.v {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if u.SeqNo != b.upTo+1 {
+		if u.SeqNo <= b.upTo {
+			return // replayed duplicate: already folded in
+		}
+		b.base = u.SeqNo - 1
+		b.hash = wire.EvidenceHashSeed
+	}
+	b.some = true
+	b.upTo = u.SeqNo
+	b.hash = wire.EvidenceHashStep(b.hash, u.SeqNo, u.Value)
+	b.tail[u.SeqNo%int64(len(b.tail))] = u.Value
+}
+
+// Frame snapshots the current chain as a publishable evidence frame. ok is
+// false until at least one update has been observed.
+func (b *EvidenceBuilder) Frame() (e wire.Evidence, ok bool) {
+	if b == nil {
+		return wire.Evidence{}, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.some {
+		return wire.Evidence{}, false
+	}
+	n := b.upTo - b.base
+	if m := int64(len(b.tail)); n > m {
+		n = m
+	}
+	e = wire.Evidence{Var: b.v, Base: b.base, UpTo: b.upTo, PrefixHash: b.hash, Vals: make([]float64, n)}
+	for i := int64(0); i < n; i++ {
+		s := e.First() + i
+		e.Vals[i] = b.tail[s%int64(len(b.tail))]
+	}
+	return e, true
+}

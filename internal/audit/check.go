@@ -1,0 +1,102 @@
+package audit
+
+// The bridge between the streaming auditor and the offline internal/props
+// checkers: run the same recorded simulation runs through a fresh Auditor
+// per arrival order, with full delivery evidence, and collapse the
+// finalized matrices to props verdicts. On these inputs every verdict is
+// decisive, so CheckSingleVarRunStreaming must agree bit-for-bit with
+// props.CheckSingleVarRun — the equivalence the CI gate pins — and the
+// experiment layer reuses the same entry points to regenerate the Tables
+// 1–3 matrices per reorder schedule.
+
+import (
+	"fmt"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/props"
+	"condmon/internal/sim"
+)
+
+// CheckSingleVarRunStreaming evaluates the three properties of a recorded
+// single-variable run with the streaming auditor, quantifying over every
+// arrival order like props.CheckSingleVarRun. Each arrival gets a fresh
+// filter and a fresh Auditor primed with the run's delivery evidence; the
+// verdict is the conjunction across arrivals.
+func CheckSingleVarRunStreaming(run *sim.SingleVarRun, newFilter props.FilterFactory) (props.Verdict, error) {
+	v := props.AllVerdict()
+	var checkErr error
+	err := sim.ForEachArrival(run.A1, run.A2, func(merged []event.Alert) bool {
+		m, err := auditArrival(merged, newFilter(), func(a *Auditor) {
+			for _, u := range run.U1 {
+				a.ObserveDelivered(0, u)
+			}
+			for _, u := range run.U2 {
+				a.ObserveDelivered(1, u)
+			}
+		}, Options{Conds: []cond.Condition{run.Cond}})
+		if err != nil {
+			checkErr = err
+			return false
+		}
+		v = v.And(m.PropsVerdict())
+		return v.Ordered || v.Complete || v.Consistent
+	})
+	if err != nil {
+		return props.Verdict{}, err
+	}
+	if checkErr != nil {
+		return props.Verdict{}, checkErr
+	}
+	return v, nil
+}
+
+// CheckMultiVarRunStreaming is the multi-variable counterpart of
+// CheckSingleVarRunStreaming, matching props.CheckMultiVarRun.
+func CheckMultiVarRunStreaming(run *sim.MultiVarRun, newFilter props.FilterFactory) (props.Verdict, error) {
+	v := props.AllVerdict()
+	var checkErr error
+	err := sim.ForEachArrival(run.A1, run.A2, func(merged []event.Alert) bool {
+		m, err := auditArrival(merged, newFilter(), func(a *Auditor) {
+			for i := 0; i < 2; i++ {
+				for _, u := range run.Inputs[i] {
+					a.ObserveDelivered(i, u)
+				}
+			}
+		}, Options{Conds: []cond.Condition{run.Cond}})
+		if err != nil {
+			checkErr = err
+			return false
+		}
+		v = v.And(m.PropsVerdict())
+		return v.Ordered || v.Complete || v.Consistent
+	})
+	if err != nil {
+		return props.Verdict{}, err
+	}
+	if checkErr != nil {
+		return props.Verdict{}, checkErr
+	}
+	return v, nil
+}
+
+// auditArrival streams one merged arrival through the filter into a fresh
+// Auditor, requiring the finalized matrix to be decisive — an equivalence
+// check that came back PLAUSIBLE would compare unknowns against answers.
+func auditArrival(merged []event.Alert, f ad.Filter, evidence func(*Auditor), opts Options) (Matrix, error) {
+	a := New(opts)
+	evidence(a)
+	for _, al := range merged {
+		if ad.Offer(f, al) {
+			a.ObserveDisplayed(al, 0)
+		} else {
+			a.ObserveSuppressed(al)
+		}
+	}
+	m := a.Finalize()
+	if !m.Decisive() {
+		return Matrix{}, fmt.Errorf("audit: arrival left a non-decisive matrix %v despite full delivery evidence", m)
+	}
+	return m, nil
+}

@@ -1,0 +1,222 @@
+package audit
+
+// The streaming-vs-offline equivalence gate: over the paper's canonical
+// proof scenarios and seeded random lossy runs, the streaming auditor's
+// finalized verdicts must agree bit-for-bit with the offline
+// internal/props checkers on the same recorded run. CI runs these tests
+// under -race (the auditor is a concurrent structure even when driven
+// sequentially here).
+
+import (
+	"math/rand"
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/props"
+	"condmon/internal/sim"
+)
+
+var singleVarFactories = []struct {
+	name string
+	f    props.FilterFactory
+}{
+	{"AD-1", func() ad.Filter { return ad.NewAD1() }},
+	{"AD-2", func() ad.Filter { return ad.NewAD2("x") }},
+	{"AD-3", func() ad.Filter { return ad.NewAD3("x") }},
+	{"AD-4", func() ad.Filter { return ad.NewAD4("x") }},
+}
+
+var multiVarFactories = []struct {
+	name string
+	f    props.FilterFactory
+}{
+	{"AD-5", func() ad.Filter { return ad.NewAD5("x", "y") }},
+	{"AD-6", func() ad.Filter { return ad.NewAD6("x", "y") }},
+}
+
+// canonicalSingleVarRuns reconstructs the theorem-proof scenarios behind
+// Tables 1 and 2: the deterministic witnesses for every ✗ cell.
+func canonicalSingleVarRuns(t *testing.T) []*sim.SingleVarRun {
+	t.Helper()
+	mk := func(c cond.Condition, u []event.Update, l1, l2 link.Model) *sim.SingleVarRun {
+		run, err := sim.RunSingleVar(c, u, l1, l2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run
+	}
+	theorem3 := []event.Update{
+		event.U("x", 1, 1000), event.U("x", 2, 1500),
+		event.U("x", 3, 2000), event.U("x", 4, 2500),
+	}
+	return []*sim.SingleVarRun{
+		// Theorem 2: overheat, CE2 misses seqno 1.
+		mk(cond.NewOverheat("x"),
+			[]event.Update{event.U("x", 1, 3100), event.U("x", 2, 3500)},
+			link.None{}, link.NewDropSeqNos("x", 1)),
+		// Theorem 3: conservative rise, disjoint halves lost.
+		mk(cond.NewRiseConservative("x"), theorem3,
+			link.NewDropSeqNos("x", 3, 4), link.NewDropSeqNos("x", 1, 2)),
+		// Theorem 4: aggressive rise, CE2 misses seqno 2.
+		mk(cond.NewRiseAggressive("x"),
+			[]event.Update{event.U("x", 1, 400), event.U("x", 2, 700), event.U("x", 3, 720)},
+			link.None{}, link.NewDropSeqNos("x", 2)),
+		// Theorem 3's shape under the aggressive condition.
+		mk(cond.NewRiseAggressive("x"), theorem3,
+			link.NewDropSeqNos("x", 3, 4), link.NewDropSeqNos("x", 1, 2)),
+		// Lossless control: every property should hold.
+		mk(cond.NewRiseAggressive("x"), theorem3, link.None{}, link.None{}),
+	}
+}
+
+func volatileStream(r *rand.Rand, n int) []event.Update {
+	out := make([]event.Update, n)
+	val := 2900.0
+	for i := range out {
+		val += float64(r.Intn(700) - 250)
+		out[i] = event.U("x", int64(i+1), val)
+	}
+	return out
+}
+
+func TestAuditEquivalenceSingleVar(t *testing.T) {
+	runs := canonicalSingleVarRuns(t)
+
+	// Seeded random lossy runs widen the net beyond the proof scenarios.
+	r := rand.New(rand.NewSource(11))
+	conds := []cond.Condition{
+		cond.NewOverheat("x"), cond.NewRiseConservative("x"), cond.NewRiseAggressive("x"),
+	}
+	for trial := 0; trial < 25; trial++ {
+		c := conds[trial%len(conds)]
+		loss1, loss2 := link.Model(link.None{}), link.Model(link.None{})
+		if trial%4 != 0 {
+			loss1, loss2 = link.Bernoulli{P: 0.3}, link.Bernoulli{P: 0.3}
+		}
+		run, err := sim.RunSingleVar(c, volatileStream(r, 5), loss1, loss2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, run)
+	}
+
+	for i, run := range runs {
+		for _, fac := range singleVarFactories {
+			want, _, err := props.CheckSingleVarRun(run, fac.f)
+			if err != nil {
+				t.Fatalf("run %d %s offline: %v", i, fac.name, err)
+			}
+			got, err := CheckSingleVarRunStreaming(run, fac.f)
+			if err != nil {
+				t.Fatalf("run %d %s streaming: %v", i, fac.name, err)
+			}
+			if got != want {
+				t.Errorf("run %d (%s) under %s: streaming %+v ≠ offline %+v",
+					i, run.Cond.Name(), fac.name, got, want)
+			}
+		}
+	}
+}
+
+// canonicalMultiVarRuns reconstructs the Table 3 witnesses: Theorem 10's
+// opposite interleavings and Theorem 4 lifted to two variables.
+func canonicalMultiVarRuns(t *testing.T) []*sim.MultiVarRun {
+	t.Helper()
+	t10, err := sim.RunMultiVar(cond.NewTempDiff("x", "y"),
+		map[event.VarName][]event.Update{
+			"x": {event.U("x", 1, 1000), event.U("x", 2, 1200)},
+			"y": {event.U("y", 1, 1050), event.U("y", 2, 1150)},
+		},
+		[2]map[event.VarName]link.Model{},
+		[2]sim.Interleaver{sim.Sequential, sim.SequentialReverse}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yFirst := func(streams map[event.VarName][]event.Update, _ *rand.Rand) []event.Update {
+		var out []event.Update
+		out = append(out, streams["y"]...)
+		out = append(out, streams["x"]...)
+		return out
+	}
+	t4, err := sim.RunMultiVar(cond.MustParse("cm-aggr", "x[0] - x[-1] > 200 && y[0] > 0"),
+		map[event.VarName][]event.Update{
+			"x": {event.U("x", 1, 400), event.U("x", 2, 700), event.U("x", 3, 720)},
+			"y": {event.U("y", 1, 1)},
+		},
+		[2]map[event.VarName]link.Model{
+			nil,
+			{"x": link.NewDropSeqNos("x", 2)},
+		},
+		[2]sim.Interleaver{yFirst, yFirst}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*sim.MultiVarRun{t10, t4}
+}
+
+func multiVolatileStreams(r *rand.Rand, n int) map[event.VarName][]event.Update {
+	xs := make([]event.Update, n)
+	val := 1000.0
+	for i := range xs {
+		val += float64(r.Intn(700) - 250)
+		xs[i] = event.U("x", int64(i+1), val)
+	}
+	ys := make([]event.Update, n)
+	val = 1050.0
+	for i := range ys {
+		val += float64(r.Intn(200) - 100)
+		ys[i] = event.U("y", int64(i+1), val)
+	}
+	return map[event.VarName][]event.Update{"x": xs, "y": ys}
+}
+
+func TestAuditEquivalenceMultiVar(t *testing.T) {
+	runs := canonicalMultiVarRuns(t)
+
+	r := rand.New(rand.NewSource(13))
+	conds := []cond.Condition{
+		cond.NewTempDiff("x", "y"),
+		cond.MustParse("cm-cons", "x[0] - x[-1] > 200 && y[0] > 0 && consecutive(x)"),
+		cond.MustParse("cm-aggr", "x[0] - x[-1] > 200 && y[0] > 0"),
+	}
+	interleavers := []sim.Interleaver{sim.RandomInterleave, sim.RoundRobin, sim.Sequential, sim.SequentialReverse}
+	for trial := 0; trial < 12; trial++ {
+		c := conds[trial%len(conds)]
+		var loss [2]map[event.VarName]link.Model
+		if trial%3 != 0 {
+			loss = [2]map[event.VarName]link.Model{
+				{"x": link.Bernoulli{P: 0.3}, "y": link.Bernoulli{P: 0.3}},
+				{"x": link.Bernoulli{P: 0.3}, "y": link.Bernoulli{P: 0.3}},
+			}
+		}
+		inter := [2]sim.Interleaver{
+			interleavers[r.Intn(len(interleavers))],
+			interleavers[r.Intn(len(interleavers))],
+		}
+		run, err := sim.RunMultiVar(c, multiVolatileStreams(r, 2), loss, inter, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, run)
+	}
+
+	for i, run := range runs {
+		for _, fac := range multiVarFactories {
+			want, _, err := props.CheckMultiVarRun(run, fac.f)
+			if err != nil {
+				t.Fatalf("run %d %s offline: %v", i, fac.name, err)
+			}
+			got, err := CheckMultiVarRunStreaming(run, fac.f)
+			if err != nil {
+				t.Fatalf("run %d %s streaming: %v", i, fac.name, err)
+			}
+			if got != want {
+				t.Errorf("run %d (%s) under %s: streaming %+v ≠ offline %+v",
+					i, run.Cond.Name(), fac.name, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package audit
+
+// The receiver side of the evidence path: varEvidence accumulates
+// wire.Evidence prefix digests (or trusted in-process emitted updates)
+// into a compact per-variable store the verdict checks read.
+//
+// The store's invariants:
+//
+//   - It only ever holds a contiguous run of values [minHeld, maxHeld]. A
+//     frame (or in-process update) that lands beyond the run's tail opens
+//     a hole; the store re-anchors on the new frame rather than keeping a
+//     fragmented map, because every consumer (value contradiction checks,
+//     full-stream reconstruction) wants contiguity.
+//   - The chained prefix hash is advanced only over values the store
+//     actually holds, so chainOK means "the DM's PrefixHash claims have
+//     been re-derived and matched from (base, hashedTo]". After a hole the
+//     chain can only restart if the new frame's tail reaches back to its
+//     own Base.
+//   - A frame whose hash claim contradicts the store is rejected whole:
+//     evidence is advisory, so a divergent frame must not poison the
+//     values already verified.
+
+import "condmon/internal/wire"
+
+type varEvidence struct {
+	vals             map[int64]float64
+	haveAny          bool
+	minHeld, maxHeld int64
+	base             int64 // hash anchor: chain covers (base, hashedTo]
+	hash             uint64
+	hashedTo         int64
+	chainOK          bool
+	holes            int64
+	frames, rejected int64
+	// maxVals bounds the value map; 0 keeps everything (needed for
+	// full-stream reconstruction under AssumeNoFrontLoss).
+	maxVals int
+}
+
+func newVarEvidence(maxVals int) *varEvidence {
+	return &varEvidence{vals: make(map[int64]float64), maxVals: maxVals}
+}
+
+// valueAt returns the evidenced value of seqno s, if held.
+func (e *varEvidence) valueAt(s int64) (float64, bool) {
+	if e == nil || !e.haveAny || s < e.minHeld || s > e.maxHeld {
+		return 0, false
+	}
+	v, ok := e.vals[s]
+	return v, ok
+}
+
+// absorbUpdate folds one in-process emitted update into the store. The
+// emit path is trusted (no CRC, no hash claim to cross-check), so the
+// chain is authoritative as long as the updates arrive consecutively.
+func (e *varEvidence) absorbUpdate(seqNo int64, value float64) {
+	switch {
+	case !e.haveAny:
+		e.haveAny = true
+		e.anchor(seqNo-1, seqNo, seqNo)
+	case seqNo <= e.maxHeld:
+		return // duplicate or replayed overlap: already held (or evicted)
+	case seqNo == e.maxHeld+1:
+		e.maxHeld = seqNo
+	default:
+		e.holes++
+		e.clearVals()
+		e.anchor(seqNo-1, seqNo, seqNo)
+	}
+	if seqNo == e.minHeld {
+		e.hash = wire.EvidenceHashSeed
+		e.chainOK = true
+	}
+	e.vals[seqNo] = value
+	e.hash = wire.EvidenceHashStep(e.hash, seqNo, value)
+	e.hashedTo = seqNo
+	e.evict()
+}
+
+// absorbFrame folds one decoded evidence frame into the store, returning
+// false when the frame was rejected (hash contradiction or value
+// disagreement on the overlap).
+func (e *varEvidence) absorbFrame(ev wire.Evidence) bool {
+	e.frames++
+	if !e.haveAny {
+		return e.reanchor(ev)
+	}
+	if ev.UpTo <= e.maxHeld {
+		return true // stale duplicate of evidence already absorbed
+	}
+	if ev.First() > e.maxHeld+1 {
+		// The tail does not reach back to our run: frames were lost past
+		// the overlap the tails provide. Re-anchor on the new frame.
+		e.holes++
+		e.clearVals()
+		e.haveAny = false
+		return e.reanchor(ev)
+	}
+	// Overlapping extension. Verify the overlap and the hash claim before
+	// mutating anything.
+	for s := ev.First(); s <= e.maxHeld; s++ {
+		if held, ok := e.vals[s]; ok && held != frameVal(ev, s) {
+			e.rejected++
+			return false
+		}
+	}
+	verify := e.chainOK && ev.Base == e.base
+	if verify {
+		h := e.hash
+		for s := e.hashedTo + 1; s <= ev.UpTo; s++ {
+			var v float64
+			if s <= e.maxHeld {
+				var ok bool
+				if v, ok = e.vals[s]; !ok {
+					verify = false // evicted below the overlap; cannot re-derive
+					break
+				}
+			} else {
+				v = frameVal(ev, s)
+			}
+			h = wire.EvidenceHashStep(h, s, v)
+		}
+		if verify {
+			if h != ev.PrefixHash {
+				e.rejected++
+				return false
+			}
+			e.hash = h
+			e.hashedTo = ev.UpTo
+		}
+	}
+	if !verify {
+		e.chainOK = false
+	}
+	for s := e.maxHeld + 1; s <= ev.UpTo; s++ {
+		e.vals[s] = frameVal(ev, s)
+	}
+	e.maxHeld = ev.UpTo
+	e.evict()
+	return true
+}
+
+// reanchor starts the store fresh from one frame. The chain is only
+// trusted when the frame's tail reaches back to its own hash base, so the
+// full claimed prefix can be re-derived and matched.
+func (e *varEvidence) reanchor(ev wire.Evidence) bool {
+	if ev.First() == ev.Base+1 {
+		h := wire.EvidenceHashSeed
+		for s := ev.First(); s <= ev.UpTo; s++ {
+			h = wire.EvidenceHashStep(h, s, frameVal(ev, s))
+		}
+		if h != ev.PrefixHash {
+			e.rejected++
+			return false
+		}
+		e.haveAny = true
+		e.anchor(ev.Base, ev.First(), ev.UpTo)
+		e.hash = h
+		e.hashedTo = ev.UpTo
+		e.chainOK = true
+	} else {
+		e.haveAny = true
+		e.anchor(ev.Base, ev.First(), ev.UpTo)
+		e.chainOK = false
+	}
+	for s := ev.First(); s <= ev.UpTo; s++ {
+		e.vals[s] = frameVal(ev, s)
+	}
+	e.evict()
+	return true
+}
+
+func (e *varEvidence) anchor(base, minHeld, maxHeld int64) {
+	e.base, e.minHeld, e.maxHeld = base, minHeld, maxHeld
+}
+
+func (e *varEvidence) clearVals() {
+	e.vals = make(map[int64]float64)
+}
+
+// evict trims the value map to maxVals entries, keeping the newest. The
+// hash chain survives eviction (it never re-reads absorbed values), but
+// full-stream reconstruction stops being possible once minHeld rises.
+func (e *varEvidence) evict() {
+	if e.maxVals <= 0 {
+		return
+	}
+	for e.maxHeld-e.minHeld+1 > int64(e.maxVals) {
+		delete(e.vals, e.minHeld)
+		e.minHeld++
+	}
+}
+
+// fullStream reports whether the store holds the variable's entire emitted
+// value stream — a verified chain from sequence number 1 with no eviction
+// or holes — and if so returns the values of 1..maxHeld in order. This is
+// what makes completeness decisive under AssumeNoFrontLoss.
+func (e *varEvidence) fullStream() ([]float64, bool) {
+	if e == nil || !e.haveAny || !e.chainOK || e.base != 0 || e.minHeld != 1 {
+		return nil, false
+	}
+	out := make([]float64, e.maxHeld)
+	for s := int64(1); s <= e.maxHeld; s++ {
+		v, ok := e.vals[s]
+		if !ok {
+			return nil, false
+		}
+		out[s-1] = v
+	}
+	return out, true
+}
+
+// frameVal reads the tail value of seqno s from a frame; the caller
+// guarantees First() ≤ s ≤ UpTo.
+func frameVal(ev wire.Evidence, s int64) float64 {
+	return ev.Vals[s-ev.First()]
+}

@@ -1,0 +1,76 @@
+package audit
+
+// The HTTP surface: Handler serves the audit Report as JSON (the default)
+// or as a Prometheus exposition restricted to the audit namespace with
+// ?format=prom — mirroring the obs /metrics content negotiation so the
+// same scrapers work against /audit.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"condmon/internal/obs"
+)
+
+// Handler serves the auditor at any path it is mounted on (by convention
+// /audit on the obs mux). A nil auditor serves the empty starting report —
+// nil-safety all the way to the HTTP surface, matching the rest of the
+// observability stack.
+func Handler(a *Auditor) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = obs.WritePromPoints(w, a.promPoints())
+			return
+		}
+		if accept := req.Header.Get("Accept"); strings.Contains(accept, "openmetrics") ||
+			strings.Contains(accept, "prometheus") {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = obs.WritePromPoints(w, a.promPoints())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(a.Report())
+	})
+}
+
+// promPoints returns the audit namespace as snapshot points: the metric
+// registry's audit.* entries when metrics are wired (full data, including
+// the latency histogram), or a synthesized core set from the auditor's own
+// state when they are not — /audit?format=prom works either way.
+func (a *Auditor) promPoints() []obs.Point {
+	if a == nil {
+		return nil
+	}
+	a.Finalize()
+	a.mu.Lock()
+	reg, prefix := a.reg, a.prefix
+	a.mu.Unlock()
+	if reg != nil {
+		var out []obs.Point
+		for _, p := range reg.Snapshot() {
+			if strings.HasPrefix(p.Name, prefix+".") {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var nDisp, nSupp int64
+	for _, st := range a.state {
+		nDisp += st.nDisplayed
+		nSupp += st.nSuppressed
+	}
+	return []obs.Point{
+		{Name: prefix + ".ordered", Kind: obs.KindGauge, Value: int64(a.aggregate.Ordered)},
+		{Name: prefix + ".complete", Kind: obs.KindGauge, Value: int64(a.aggregate.Complete)},
+		{Name: prefix + ".consistent", Kind: obs.KindGauge, Value: int64(a.aggregate.Consistent)},
+		{Name: prefix + ".violations", Kind: obs.KindCounter, Value: a.violations},
+		{Name: prefix + ".displayed", Kind: obs.KindCounter, Value: nDisp},
+		{Name: prefix + ".suppressed", Kind: obs.KindCounter, Value: nSupp},
+	}
+}

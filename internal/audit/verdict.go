@@ -1,0 +1,136 @@
+// Package audit is the online guarantee auditor: a streaming, incremental
+// version of the internal/props checkers that attaches to a live displayed
+// stream and continuously renders the paper's property matrix
+// (orderedness, completeness, consistency per condition — the shape of
+// Tables 1–3) as observability.
+//
+// The offline checkers in internal/props decide the properties exactly,
+// but need the full recorded run: every delivered stream and every
+// displayed alert. A deployed AD has none of that — it sees its own output
+// and, optionally, compact DM-side evidence (wire.Evidence prefix
+// digests). The auditor therefore works in three verdict strengths:
+//
+//	VIOLATED  — the property is refuted by what was observed. Sound: a
+//	            violation is only ever declared from a check that is a
+//	            necessary condition of the property (or of the AD filter
+//	            contract standing in for it — see Complete below).
+//	PLAUSIBLE — nothing observed refutes the property, but the available
+//	            evidence cannot confirm it either. The auditor prefers
+//	            PLAUSIBLE over guessing: insufficient evidence must never
+//	            false-alarm.
+//	CONFIRMED — the property provably holds on the observed output (and,
+//	            at Finalize time, against the accumulated evidence).
+//
+// Orderedness and single-variable consistency are decided exactly while
+// streaming: Π_v monotonicity is incremental by construction, and the
+// Theorem 7 conflict-freedom criterion (asserted-received vs
+// asserted-missed disjointness) needs only per-variable sets. Completeness
+// is PLAUSIBLE while streaming — ΦA = ΦT(U1 ⊔ U2) quantifies over streams
+// the AD never saw — and becomes decisive at Finalize when delivery or
+// source evidence suffices. The one deliberate surrogate: a duplicate
+// displayed alert key flips Complete to VIOLATED. Φ is a set, so offline
+// completeness is blind to duplicates, but a duplicate display is exactly
+// the AD-1 contract breach an operator wants surfaced, and the injected
+// negative controls prove the mapping fires.
+package audit
+
+import "condmon/internal/props"
+
+// Verdict is the tri-state strength of one property's audit result. The
+// zero value is Violated so that the ordering Violated < Plausible <
+// Confirmed makes And a plain min; fresh matrices are built by
+// NewMatrix, never by zero-valuing.
+type Verdict int
+
+// The verdict strengths, ordered weakest first.
+const (
+	// Violated: the observed output refutes the property. Sticky — once a
+	// stream has violated a property, no suffix restores it (Section 3.1
+	// quantifies over every produced alert sequence).
+	Violated Verdict = iota
+	// Plausible: not refuted, not confirmable from available evidence.
+	Plausible
+	// Confirmed: provably holds on the observed output.
+	Confirmed
+)
+
+// String renders the verdict mark used in the live matrix: ✗ for
+// Violated, ? for Plausible, ✓ for Confirmed.
+func (v Verdict) String() string {
+	switch v {
+	case Violated:
+		return "✗"
+	case Plausible:
+		return "?"
+	default:
+		return "✓"
+	}
+}
+
+// Label renders the verdict word used in JSON reports.
+func (v Verdict) Label() string {
+	switch v {
+	case Violated:
+		return "VIOLATED"
+	case Plausible:
+		return "PLAUSIBLE"
+	default:
+		return "CONFIRMED"
+	}
+}
+
+// And combines verdicts across conditions or processes: a property holds
+// for a fleet only at the strength of its weakest member.
+func (v Verdict) And(o Verdict) Verdict {
+	if o < v {
+		return o
+	}
+	return v
+}
+
+// Matrix is one row of the paper's property tables: the three verdicts for
+// one condition (or the And across a whole fleet).
+type Matrix struct {
+	Ordered    Verdict `json:"-"`
+	Complete   Verdict `json:"-"`
+	Consistent Verdict `json:"-"`
+}
+
+// NewMatrix is the streaming starting point: orderedness and consistency
+// hold vacuously on the empty output (and are checked exactly from the
+// first alert on), completeness cannot be confirmed without evidence.
+func NewMatrix() Matrix {
+	return Matrix{Ordered: Confirmed, Complete: Plausible, Consistent: Confirmed}
+}
+
+// And combines two matrices property-wise.
+func (m Matrix) And(o Matrix) Matrix {
+	return Matrix{
+		Ordered:    m.Ordered.And(o.Ordered),
+		Complete:   m.Complete.And(o.Complete),
+		Consistent: m.Consistent.And(o.Consistent),
+	}
+}
+
+// String renders the matrix as the paper's three-mark row.
+func (m Matrix) String() string {
+	return "ord=" + m.Ordered.String() + " comp=" + m.Complete.String() + " cons=" + m.Consistent.String()
+}
+
+// PropsVerdict collapses the matrix to the offline checkers' boolean
+// verdict: a property "holds" unless the auditor refuted it. This is the
+// bridge the equivalence tests cross — on a finalized run with full
+// delivery evidence every verdict is decisive, so the collapse is exact.
+func (m Matrix) PropsVerdict() props.Verdict {
+	return props.Verdict{
+		Ordered:    m.Ordered != Violated,
+		Complete:   m.Complete != Violated,
+		Consistent: m.Consistent != Violated,
+	}
+}
+
+// Decisive reports whether no verdict is PLAUSIBLE: the matrix is a full
+// answer, not a partial one.
+func (m Matrix) Decisive() bool {
+	return m.Ordered != Plausible && m.Complete != Plausible && m.Consistent != Plausible
+}

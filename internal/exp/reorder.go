@@ -1,0 +1,366 @@
+package exp
+
+// Per-reorder-schedule property matrices: the experiment-layer counterpart
+// of the transport layer's striped-ingest equivalence suite. PR 9 relaxed
+// the paper's in-order front-link assumption to bounded out-of-order
+// delivery re-serialized by seq.Reorder; the claim there was proved as
+// byte-identical displayed streams. Here the same claim is re-verified in
+// the paper's own vocabulary: for every reorder/duplication schedule the
+// acceptance window tolerates, regenerate Tables 1–3 and require every
+// cell to match the paper — because what the window hands the CE is a
+// lossy in-order front link, exactly the model the tables quantify over.
+//
+// Verdicts are produced by the streaming auditor
+// (audit.CheckSingleVarRunStreaming / CheckMultiVarRunStreaming), not the
+// offline props checkers, so the matrices double as an end-to-end exercise
+// of the online guarantee auditor over every scheduled run.
+
+import (
+	"fmt"
+	"strings"
+
+	"condmon/internal/ad"
+	"condmon/internal/audit"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/props"
+	"condmon/internal/seq"
+	"condmon/internal/sim"
+
+	"math/rand"
+)
+
+// ReorderSchedule is one deterministic wire-arrival discipline applied to
+// each front link, plus the acceptance window that re-serializes it. The
+// zero value is the in-order passthrough control.
+type ReorderSchedule struct {
+	// Name labels the schedule in tables and JSON.
+	Name string
+	// Rotate > 1 reverses the arrival order inside consecutive blocks of
+	// this size (a burst whose datagrams took paths of opposing latency);
+	// a tail shorter than one block arrives unpermuted.
+	Rotate int
+	// Swap > 0 swaps every Swap-th adjacent datagram pair in flight
+	// (Swap = 1 swaps every pair — the classic two-path stripe).
+	Swap int
+	// DupEvery > 0 repeats every DupEvery-th datagram immediately after
+	// itself (an at-least-once retransmit path).
+	DupEvery int
+	// Depth is the acceptance window depth handed to seq.NewReorder.
+	Depth int
+}
+
+// String renders the schedule name with its parameters.
+func (s ReorderSchedule) String() string {
+	return fmt.Sprintf("%s (rotate=%d swap=%d dup=%d depth=%d)",
+		s.Name, s.Rotate, s.Swap, s.DupEvery, s.Depth)
+}
+
+// MaxDisplacement bounds how far the schedule moves any datagram from its
+// emission position: the window restores order without declaring loss
+// exactly when Depth exceeds this bound (and the stream has no real gaps).
+func (s ReorderSchedule) MaxDisplacement() int {
+	d := 0
+	if s.Rotate > 1 {
+		d += s.Rotate - 1
+	}
+	if s.Swap > 0 {
+		d++
+	}
+	return d
+}
+
+// WithinWindow reports whether the acceptance window provably restores
+// every schedule arrival of a gap-free stream without induced loss.
+func (s ReorderSchedule) WithinWindow() bool { return s.MaxDisplacement() < s.depth() }
+
+func (s ReorderSchedule) depth() int {
+	if s.Depth < 1 {
+		return 1
+	}
+	return s.Depth
+}
+
+// arrivalOrder applies the schedule's deterministic scramble: rotation
+// first (path-latency bursts), then adjacent swaps (striping), then
+// duplication (retransmits). The input is not modified.
+func (s ReorderSchedule) arrivalOrder(us []event.Update) []event.Update {
+	out := append([]event.Update(nil), us...)
+	if s.Rotate > 1 {
+		for i := 0; i+s.Rotate <= len(out); i += s.Rotate {
+			for a, b := i, i+s.Rotate-1; a < b; a, b = a+1, b-1 {
+				out[a], out[b] = out[b], out[a]
+			}
+		}
+	}
+	if s.Swap > 0 {
+		for p := 0; 2*p+1 < len(out); p++ {
+			if p%s.Swap == 0 {
+				out[2*p], out[2*p+1] = out[2*p+1], out[2*p]
+			}
+		}
+	}
+	if s.DupEvery > 0 {
+		dup := make([]event.Update, 0, len(out)+len(out)/s.DupEvery)
+		for i, u := range out {
+			dup = append(dup, u)
+			if (i+1)%s.DupEvery == 0 {
+				dup = append(dup, u)
+			}
+		}
+		out = dup
+	}
+	return out
+}
+
+// Accept runs the delivered (post-loss, in-order) stream through the
+// schedule's wire scramble and acceptance window and returns what the CE
+// sees: a strictly seqno-increasing subsequence — a paper front link.
+func (s ReorderSchedule) Accept(us []event.Update) []event.Update {
+	if len(us) == 0 {
+		return nil
+	}
+	base := us[0].SeqNo
+	for _, u := range us {
+		if u.SeqNo < base {
+			base = u.SeqNo
+		}
+	}
+	r := seq.NewReorder[event.Update](base-1, s.depth(), 0)
+	var out []event.Update
+	for i, u := range s.arrivalOrder(us) {
+		out, _ = r.Offer(u.SeqNo, u, int64(i), out)
+	}
+	return r.FlushAll(out)
+}
+
+// scheduledLink realizes (loss ∘ schedule ∘ window) for one front link as
+// a deterministic per-seqno drop model over the emitted stream u, so sim
+// replays exactly the delivered stream the acceptance window produced.
+// Depth evictions and dup-shadowed gaps surface as extra dropped seqnos —
+// the paper's loss model, which lossy scenario rows already admit.
+func (s ReorderSchedule) scheduledLink(v event.VarName, u []event.Update, loss link.Model, r *rand.Rand) (link.Model, int) {
+	delivered := s.Accept(link.Apply(u, loss, r))
+	kept := seq.NewSet()
+	for _, d := range delivered {
+		kept.Add(d.SeqNo)
+	}
+	var dropped []int64
+	for _, uu := range u {
+		if uu.Var == v && !kept.Contains(uu.SeqNo) {
+			dropped = append(dropped, uu.SeqNo)
+		}
+	}
+	return link.NewDropSeqNos(v, dropped...), len(dropped)
+}
+
+// ReorderMatrix is Tables 1–3 regenerated under one schedule.
+type ReorderMatrix struct {
+	Schedule ReorderSchedule
+	Tables   []*Table
+}
+
+// Matches reports whether every cell of every table equals the paper's.
+func (m *ReorderMatrix) Matches() bool {
+	for _, t := range m.Tables {
+		if !t.Matches() {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the schedule header and each table.
+func (m *ReorderMatrix) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== schedule %v ==\n", m.Schedule)
+	for _, t := range m.Tables {
+		b.WriteString(t.Format())
+	}
+	return b.String()
+}
+
+// String is Format, satisfying fmt.Stringer for the bench harness.
+func (m *ReorderMatrix) String() string { return m.Format() }
+
+// DefaultReorderSchedules are the wire disciplines the acceptance window
+// tolerates losslessly: the in-order control, two-path striping, a
+// path-latency burst reversal, retransmit duplication, and all three at
+// once behind a deep window.
+func DefaultReorderSchedules() []ReorderSchedule {
+	return []ReorderSchedule{
+		{Name: "in-order", Depth: 1},
+		{Name: "swap-adjacent", Swap: 1, Depth: 2},
+		{Name: "block-reverse-4", Rotate: 4, Depth: 4},
+		{Name: "dup-every-2", DupEvery: 2, Depth: 2},
+		{Name: "storm", Rotate: 4, Swap: 1, DupEvery: 3, Depth: 8},
+	}
+}
+
+// RunReorderTables regenerates Tables 1–3 under each schedule, with every
+// verdict produced by the streaming auditor. Schedules must be within the
+// acceptance window: a schedule that induces loss on a gap-free stream
+// would make the Lossless rows unfaithful to the paper's model, and the
+// run double-checks that invariant per trial.
+func RunReorderTables(cfg Config, schedules []ReorderSchedule) ([]*ReorderMatrix, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(schedules) == 0 {
+		schedules = DefaultReorderSchedules()
+	}
+	out := make([]*ReorderMatrix, 0, len(schedules))
+	for _, s := range schedules {
+		if !s.WithinWindow() {
+			return nil, fmt.Errorf("exp: schedule %v displaces up to %d, beyond its window depth %d — that is the loss model, not a reorder table",
+				s, s.MaxDisplacement(), s.depth())
+		}
+		t1, err := runReorderSingleVarTable(fmt.Sprintf("Table 1 / %s", s.Name), "AD-1", cfg, s,
+			func() ad.Filter { return ad.NewAD1() }, paperTable1())
+		if err != nil {
+			return nil, err
+		}
+		t2, err := runReorderSingleVarTable(fmt.Sprintf("Table 2 / %s", s.Name), "AD-2", cfg, s,
+			func() ad.Filter { return ad.NewAD2("x") }, paperTable2())
+		if err != nil {
+			return nil, err
+		}
+		t3, err := runReorderMultiVarTable(fmt.Sprintf("Table 3 / %s", s.Name), "AD-5", cfg, s,
+			func() ad.Filter { return ad.NewAD5("x", "y") }, paperTable3())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &ReorderMatrix{Schedule: s, Tables: []*Table{t1, t2, t3}})
+	}
+	return out, nil
+}
+
+// runReorderSingleVarTable mirrors runSingleVarTable with two changes: the
+// randomized trials route each front link through the schedule's scramble
+// and acceptance window, and verdicts come from the streaming auditor.
+// Canonical proof runs are kept verbatim — in-order delivery with specific
+// drops is admissible under every schedule, and they pin the ✗ cells.
+func runReorderSingleVarTable(name, algo string, cfg Config, sched ReorderSchedule, factory func() ad.Filter, paper map[cond.Scenario]props.Verdict) (*Table, error) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	table := &Table{Name: name, Algorithm: algo}
+	for _, s := range scenarioOrder {
+		row := Row{Scenario: s, Verdict: props.AllVerdict(), Paper: paper[s]}
+
+		canonical, err := canonicalSingleVarRuns(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, run := range canonical {
+			if err := accumulateStreamingSingleVar(&row, run, factory); err != nil {
+				return nil, err
+			}
+		}
+
+		c := singleVarConditionFor(s)
+		for trial := 0; trial < cfg.Trials; trial++ {
+			loss1, loss2 := link.Model(link.None{}), link.Model(link.None{})
+			if s != cond.ScenarioLossless {
+				loss1, loss2 = link.Bernoulli{P: cfg.LossP}, link.Bernoulli{P: cfg.LossP}
+			}
+			u := volatileStream(r, cfg.StreamLen)
+			m1, d1 := sched.scheduledLink("x", u, loss1, r)
+			m2, d2 := sched.scheduledLink("x", u, loss2, r)
+			if s == cond.ScenarioLossless && d1+d2 > 0 {
+				return nil, fmt.Errorf("exp: schedule %v induced %d drops on a lossless link", sched, d1+d2)
+			}
+			run, err := sim.RunSingleVar(c, u, m1, m2, nil)
+			if err != nil {
+				return nil, err
+			}
+			if err := accumulateStreamingSingleVar(&row, run, factory); err != nil {
+				return nil, err
+			}
+			row.Trials++
+		}
+		table.Rows = append(table.Rows, row)
+	}
+	return table, nil
+}
+
+func accumulateStreamingSingleVar(row *Row, run *sim.SingleVarRun, factory func() ad.Filter) error {
+	v, err := audit.CheckSingleVarRunStreaming(run, props.FilterFactory(factory))
+	if err != nil {
+		return err
+	}
+	row.Verdict = row.Verdict.And(v)
+	return nil
+}
+
+// runReorderMultiVarTable is the Table 3 counterpart: each variable's
+// front link gets its own scramble and acceptance window, matching the
+// transport's per-variable reorder rings.
+func runReorderMultiVarTable(name, algo string, cfg Config, sched ReorderSchedule, factory func() ad.Filter, paper map[cond.Scenario]props.Verdict) (*Table, error) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	interleavers := []sim.Interleaver{sim.RandomInterleave, sim.RoundRobin, sim.Sequential, sim.SequentialReverse}
+	table := &Table{Name: name, Algorithm: algo}
+	for _, s := range scenarioOrder {
+		row := Row{Scenario: s, Verdict: props.AllVerdict(), Paper: paper[s]}
+
+		canonical, err := canonicalMultiVarRuns(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, run := range canonical {
+			if err := accumulateStreamingMultiVar(&row, run, factory); err != nil {
+				return nil, err
+			}
+		}
+
+		c := multiVarConditionFor(s)
+		n := cfg.StreamLen / 2
+		if n < 2 {
+			n = 2
+		}
+		if n > 3 {
+			n = 3
+		}
+		mvTrials := cfg.Trials/10 + 1
+		for trial := 0; trial < mvTrials; trial++ {
+			streams := multiVolatileStreams(r, n)
+			var loss [2]map[event.VarName]link.Model
+			for i := range loss {
+				loss[i] = make(map[event.VarName]link.Model, len(streams))
+				for v, u := range streams {
+					base := link.Model(link.None{})
+					if s != cond.ScenarioLossless {
+						base = link.Bernoulli{P: cfg.LossP}
+					}
+					m, drops := sched.scheduledLink(v, u, base, r)
+					if s == cond.ScenarioLossless && drops > 0 {
+						return nil, fmt.Errorf("exp: schedule %v induced %d drops on lossless %s", sched, drops, v)
+					}
+					loss[i][v] = m
+				}
+			}
+			inter := [2]sim.Interleaver{
+				interleavers[r.Intn(len(interleavers))],
+				interleavers[r.Intn(len(interleavers))],
+			}
+			run, err := sim.RunMultiVar(c, streams, loss, inter, r)
+			if err != nil {
+				return nil, err
+			}
+			if err := accumulateStreamingMultiVar(&row, run, factory); err != nil {
+				return nil, err
+			}
+			row.Trials++
+		}
+		table.Rows = append(table.Rows, row)
+	}
+	return table, nil
+}
+
+func accumulateStreamingMultiVar(row *Row, run *sim.MultiVarRun, factory func() ad.Filter) error {
+	v, err := audit.CheckMultiVarRunStreaming(run, props.FilterFactory(factory))
+	if err != nil {
+		return err
+	}
+	row.Verdict = row.Verdict.And(v)
+	return nil
+}

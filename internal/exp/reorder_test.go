@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"condmon/internal/event"
+)
+
+// reorderConfig keeps the per-schedule regeneration fast: five schedules
+// each regenerate three tables, and every verdict runs the streaming
+// auditor over every arrival order.
+func reorderConfig() Config {
+	return Config{Seed: 1, Trials: 12, StreamLen: 6, LossP: 0.3}
+}
+
+func gapFreeStream(n int) []event.Update {
+	out := make([]event.Update, n)
+	for i := range out {
+		out[i] = event.U("x", int64(i+1), float64(3000+i))
+	}
+	return out
+}
+
+func TestDefaultReorderSchedulesWithinWindow(t *testing.T) {
+	for _, s := range DefaultReorderSchedules() {
+		if !s.WithinWindow() {
+			t.Errorf("default schedule %v displaces %d beyond depth %d", s, s.MaxDisplacement(), s.depth())
+		}
+	}
+}
+
+// The acceptance window must hand the CE the original stream whenever the
+// schedule stays within its depth: scramble and duplication are invisible
+// downstream, which is exactly why the paper's tables keep applying.
+func TestReorderAcceptRestoresGapFreeStream(t *testing.T) {
+	u := gapFreeStream(12)
+	for _, s := range DefaultReorderSchedules() {
+		got := s.Accept(u)
+		if len(got) != len(u) {
+			t.Fatalf("%v: accepted %d of %d updates", s, len(got), len(u))
+		}
+		for i := range u {
+			if got[i] != u[i] {
+				t.Fatalf("%v: accepted[%d] = %v, want %v", s, i, got[i], u[i])
+			}
+		}
+	}
+}
+
+// A lossy delivered stream stays a strictly seqno-increasing subsequence
+// of itself after the window: the schedule never un-drops or reorders what
+// the CE finally sees, so the composite is a legal paper front link.
+func TestReorderAcceptKeepsInOrderSubsequence(t *testing.T) {
+	u := gapFreeStream(12)
+	lossy := []event.Update{u[0], u[4], u[5], u[6], u[10], u[11]}
+	for _, s := range DefaultReorderSchedules() {
+		got := s.Accept(lossy)
+		delivered := make(map[int64]bool, len(lossy))
+		for _, d := range lossy {
+			delivered[d.SeqNo] = true
+		}
+		last := int64(0)
+		for _, g := range got {
+			if !delivered[g.SeqNo] {
+				t.Fatalf("%v: accepted seqno %d was never delivered", s, g.SeqNo)
+			}
+			if g.SeqNo <= last {
+				t.Fatalf("%v: accepted stream out of order at seqno %d after %d", s, g.SeqNo, last)
+			}
+			last = g.SeqNo
+		}
+	}
+}
+
+// The headline claim: every cell of Tables 1–3 matches the paper under
+// every within-window schedule, with the streaming auditor producing the
+// verdicts.
+func TestReorderTablesMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates 15 tables with the streaming checker")
+	}
+	ms, err := RunReorderTables(reorderConfig(), nil)
+	if err != nil {
+		t.Fatalf("RunReorderTables: %v", err)
+	}
+	if len(ms) != len(DefaultReorderSchedules()) {
+		t.Fatalf("got %d matrices, want %d", len(ms), len(DefaultReorderSchedules()))
+	}
+	for _, m := range ms {
+		if len(m.Tables) != 3 {
+			t.Fatalf("schedule %v: %d tables, want 3", m.Schedule, len(m.Tables))
+		}
+		for _, tbl := range m.Tables {
+			for _, row := range tbl.Rows {
+				if !row.Matches() {
+					t.Errorf("%s / %s under %v: measured %v, paper says %v",
+						tbl.Name, row.Scenario, m.Schedule, row.Verdict, row.Paper)
+				}
+			}
+		}
+		if !m.Matches() || !strings.Contains(m.Format(), m.Schedule.Name) {
+			t.Errorf("matrix for %v inconsistent with its rows", m.Schedule)
+		}
+	}
+}
+
+// Beyond the window the schedule is not a reorder table at all: depth
+// evictions are the paper's loss model. RunReorderTables refuses it, and
+// Accept shows the mapping — induced drops, but still an in-order
+// subsequence.
+func TestReorderOverDepthMapsToLoss(t *testing.T) {
+	over := ReorderSchedule{Name: "over-depth", Rotate: 4, Depth: 2}
+	if over.WithinWindow() {
+		t.Fatal("rotate-4/depth-2 must be outside the window")
+	}
+	if _, err := RunReorderTables(reorderConfig(), []ReorderSchedule{over}); err == nil {
+		t.Fatal("RunReorderTables must reject an over-depth schedule")
+	}
+	u := gapFreeStream(12)
+	got := over.Accept(u)
+	if len(got) >= len(u) {
+		t.Fatalf("over-depth schedule accepted %d of %d updates; expected induced loss", len(got), len(u))
+	}
+	last := int64(0)
+	for _, g := range got {
+		if g.SeqNo <= last {
+			t.Fatalf("accepted stream out of order at seqno %d after %d", g.SeqNo, last)
+		}
+		last = g.SeqNo
+	}
+}
+
+// Equal seeds reproduce identical matrices, schedules included.
+func TestReorderTablesDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the schedule matrices twice")
+	}
+	cfg := reorderConfig()
+	cfg.Trials = 6
+	one := []ReorderSchedule{{Name: "swap-adjacent", Swap: 1, Depth: 2}}
+	a, err := RunReorderTables(cfg, one)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := RunReorderTables(cfg, one)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a[0].Format() != b[0].Format() {
+		t.Errorf("same seed produced different matrices:\n%s\nvs\n%s", a[0].Format(), b[0].Format())
+	}
+}

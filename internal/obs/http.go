@@ -89,6 +89,12 @@ type MuxOptions struct {
 	Trace *Tracer
 	// Health backs /healthz (nil always reports healthy).
 	Health *Health
+	// Audit backs /audit. The handler lives in internal/audit (which
+	// depends on this package, so obs cannot name its types); daemons pass
+	// audit.Handler(auditor). Nil serves an empty JSON object, keeping the
+	// endpoint present — and its shape stable for scrapers — on
+	// audit-disabled daemons.
+	Audit http.Handler
 }
 
 // NewMux returns a mux with the metrics observability surface: /metrics
@@ -105,6 +111,14 @@ func NewMuxOpts(o MuxOptions) *http.ServeMux {
 	mux.Handle("/metrics", Handler(o.Registry))
 	mux.Handle("/trace", TraceHandler(o.Trace))
 	mux.Handle("/healthz", HealthHandler(o.Health))
+	audit := o.Audit
+	if audit == nil {
+		audit = http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte("{}\n"))
+		})
+	}
+	mux.Handle("/audit", audit)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

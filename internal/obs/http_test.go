@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The /audit mount: a MuxOptions.Audit handler is served as-is, and the
+// nil default keeps the endpoint present with an empty JSON object, so
+// scrapers see a stable surface on audit-disabled daemons.
+func TestMuxAuditMount(t *testing.T) {
+	get := func(mux *http.ServeMux) (int, string, string) {
+		t.Helper()
+		srv := httptest.NewServer(mux)
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/audit")
+		if err != nil {
+			t.Fatalf("GET /audit: %v", err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+	}
+
+	code, ctype, body := get(NewMuxOpts(MuxOptions{}))
+	if code != http.StatusOK {
+		t.Fatalf("nil audit handler: status %d, want 200", code)
+	}
+	if ctype != "application/json" {
+		t.Fatalf("nil audit handler: Content-Type %q", ctype)
+	}
+	if strings.TrimSpace(body) != "{}" {
+		t.Fatalf("nil audit handler body = %q, want {}", body)
+	}
+
+	custom := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("audit-live"))
+	})
+	if _, _, body := get(NewMuxOpts(MuxOptions{Audit: custom})); body != "audit-live" {
+		t.Fatalf("custom audit handler body = %q", body)
+	}
+}

@@ -67,7 +67,15 @@ func promEscape(v string) string {
 // `_bucket{le=...}` form, and a final `# EOF`. Nil registries write only
 // the `# EOF` terminator.
 func (r *Registry) WriteProm(w io.Writer) error {
-	for _, p := range r.Snapshot() {
+	return WritePromPoints(w, r.Snapshot())
+}
+
+// WritePromPoints writes an arbitrary point set in the same exposition
+// format WriteProm uses — the escape hatch for endpoints that expose a
+// filtered or synthesized subset of a registry (the audit surface serves
+// only its own namespace this way).
+func WritePromPoints(w io.Writer, points []Point) error {
+	for _, p := range points {
 		pn := promName(p.Name)
 		label := fmt.Sprintf(`name=%q`, promEscape(p.Name))
 		switch p.Kind {

@@ -1,0 +1,136 @@
+package runtime
+
+import (
+	"testing"
+
+	"condmon/internal/ad"
+	"condmon/internal/audit"
+	"condmon/internal/cond"
+	"condmon/internal/event"
+	"condmon/internal/link"
+	"condmon/internal/obs"
+)
+
+// A lossless replicated run with the auditor attached must finalize to an
+// all-CONFIRMED, decisive matrix: the in-process delivery evidence covers
+// every link, so nothing is left PLAUSIBLE.
+func TestSystemAuditLosslessAllConfirmed(t *testing.T) {
+	c := cond.NewOverheat("x")
+	reg := obs.NewRegistry()
+	au := audit.New(audit.Options{Conds: []cond.Condition{c}, Metrics: reg})
+	sys, err := New(c, ad.NewAD1(), Options{Replicas: 2, Audit: au})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, v := range []float64{2900, 3100, 3200, 2800, 3050} {
+		if _, err := sys.Emit("x", v); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	displayed := sys.Close()
+	if len(displayed) != 3 {
+		t.Fatalf("displayed %d alerts, want 3", len(displayed))
+	}
+
+	m := au.Finalize()
+	if m != (audit.Matrix{Ordered: audit.Confirmed, Complete: audit.Confirmed, Consistent: audit.Confirmed}) {
+		t.Fatalf("Finalize = %+v, want all CONFIRMED", m)
+	}
+	if !m.Decisive() {
+		t.Fatal("lossless run with delivery evidence must be decisive")
+	}
+	rep := au.Report()
+	if rep.Violations != 0 {
+		t.Fatalf("violations = %d (%s), want 0", rep.Violations, rep.LastViolation)
+	}
+	// The audit and runtime books agree: every displayed alert was observed.
+	if got := counterValue(t, reg, "audit.displayed"); got != 3 {
+		t.Fatalf("audit.displayed = %d, want 3", got)
+	}
+	if got, want := counterValue(t, reg, "audit.suppressed"), int64(3); got != want {
+		t.Fatalf("audit.suppressed = %d, want %d (the second replica's duplicates)", got, want)
+	}
+}
+
+// A seeded lossy run: delivery evidence still decides every property at
+// Finalize, and the correct filter keeps the run violation-free on the
+// decided-in-its-favor cells (AD-2 guarantees orderedness for c1, so that
+// cell must be CONFIRMED; completeness is decided either way).
+func TestSystemAuditLossyDecisive(t *testing.T) {
+	c := cond.NewOverheat("x")
+	au := audit.New(audit.Options{Conds: []cond.Condition{c}})
+	sys, err := New(c, ad.NewAD2("x"), Options{
+		Replicas: 2,
+		Seed:     7,
+		Loss: func(int, event.VarName) link.Model {
+			return link.Bernoulli{P: 0.4}
+		},
+		Audit: au,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	val := 2900.0
+	for i := 0; i < 60; i++ {
+		val += float64((i%7)*120 - 300)
+		if _, err := sys.Emit("x", val); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	sys.Close()
+
+	m := au.Finalize()
+	if !m.Decisive() {
+		t.Fatalf("Finalize = %+v: delivery evidence must leave nothing PLAUSIBLE", m)
+	}
+	if m.Ordered != audit.Confirmed {
+		t.Fatalf("Ordered = %v, want CONFIRMED under AD-2", m.Ordered)
+	}
+	if m.Consistent != audit.Confirmed {
+		t.Fatalf("Consistent = %v, want CONFIRMED (c1 windows cannot conflict)", m.Consistent)
+	}
+}
+
+// EmitBatch feeds the auditor the same evidence Emit does: batched and
+// unbatched runs of the same readings finalize identically.
+func TestSystemAuditBatchEmission(t *testing.T) {
+	c := cond.NewRiseAggressive("x")
+	au := audit.New(audit.Options{Conds: []cond.Condition{c}})
+	sys, err := New(c, ad.NewAD1(), Options{Replicas: 2, Audit: au})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := sys.EmitBatch("x", []float64{400, 700, 720, 1300, 1250}); err != nil {
+		t.Fatalf("EmitBatch: %v", err)
+	}
+	sys.Close()
+	m := au.Finalize()
+	if m != (audit.Matrix{Ordered: audit.Confirmed, Complete: audit.Confirmed, Consistent: audit.Confirmed}) {
+		t.Fatalf("Finalize = %+v, want all CONFIRMED", m)
+	}
+}
+
+// The audit-off hot path must stay allocation-free: the displayer's
+// suppressed outcome with a nil auditor, and the nil-receiver observer
+// calls the pipeline makes per update, may not allocate.
+func TestAuditOffHotPathAllocs(t *testing.T) {
+	d := newDisplayer(ad.NewAD1())
+	al := event.NewAlert("c1", event.HistorySet{
+		"x": {Var: "x", Recent: []event.Update{event.U("x", 1, 3100)}},
+	}, "CE1")
+	d.offer(al) // displayed once; every re-offer below is suppressed
+	if n := testing.AllocsPerRun(500, func() { d.offer(al) }); n != 0 {
+		t.Errorf("suppressed offer with audit off allocates %v times per run", n)
+	}
+
+	var au *audit.Auditor
+	u := event.U("x", 2, 3200)
+	if n := testing.AllocsPerRun(500, func() {
+		au.ObserveEmitted(u)
+		au.ObserveDelivered(0, u)
+		au.ObserveDisplayed(al, 0)
+		au.ObserveSuppressed(al)
+	}); n != 0 {
+		t.Errorf("nil-auditor observers allocate %v times per run", n)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"condmon/internal/ad"
+	"condmon/internal/audit"
 	"condmon/internal/ce"
 	"condmon/internal/cond"
 	"condmon/internal/event"
@@ -82,6 +83,14 @@ type Options struct {
 	// ad.Explain). Nil (the default) leaves tracing off at one nil-check
 	// per hot-path site.
 	Trace *obs.Tracer
+	// Audit, if non-nil, attaches the online guarantee auditor to the
+	// whole pipeline: ObserveEmitted at the DMs, ObserveDelivered at every
+	// front link's receiving end (the delivery evidence that makes
+	// Finalize decisive), and ObserveDisplayed/ObserveSuppressed at the
+	// Alert Displayer. Nil (the default) leaves auditing off at one
+	// nil-check per hot-path site, keeping the audit-off path
+	// allocation-free.
+	Audit *audit.Auditor
 }
 
 func (o *Options) applyDefaults() {
@@ -100,8 +109,9 @@ type System struct {
 	shutdown chan struct{}
 	wg       sync.WaitGroup
 
-	m  *sysMetrics // nil when Options.Metrics was nil
-	tr *obs.Tracer // nil when Options.Trace was nil
+	m  *sysMetrics    // nil when Options.Metrics was nil
+	tr *obs.Tracer    // nil when Options.Trace was nil
+	au *audit.Auditor // nil when Options.Audit was nil
 
 	// alertsSent counts alerts pushed onto the back links; paired with the
 	// Displayer's received count it gives Drain its termination condition.
@@ -190,9 +200,11 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 		sys.m = newSysMetrics(opts.Metrics)
 	}
 	sys.tr = opts.Trace
+	sys.au = opts.Audit
 	// The displayer's filter records its verdict spans itself (NewTraced is
 	// the identity with tracing off).
 	sys.adSrv = newDisplayer(ad.NewTraced(filter, opts.Trace))
+	sys.adSrv.au = opts.Audit
 	if opts.Metrics != nil {
 		sys.adSrv.cOffered = opts.Metrics.Counter("runtime.ad.offered")
 		sys.adSrv.cDisplayed = opts.Metrics.Counter("runtime.ad.displayed")
@@ -257,6 +269,7 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 			// The replica label is precomputed so the traced path never
 			// formats on a per-update basis.
 			tr := opts.Trace
+			au, repIdx := opts.Audit, i
 			replica := fmt.Sprintf("CE%d", i+1)
 			linkSpan := func(u event.Update, disp string) {
 				tr.Record(obs.Span{
@@ -287,6 +300,11 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 									linkSpan(u, obs.DispDelivered)
 								}
 							}
+							if au != nil {
+								for _, u := range f.us {
+									au.ObserveDelivered(repIdx, u)
+								}
+							}
 							ceIn <- f
 							break
 						}
@@ -296,6 +314,9 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 								kept = append(kept, u)
 								if tr != nil {
 									linkSpan(u, obs.DispDelivered)
+								}
+								if au != nil {
+									au.ObserveDelivered(repIdx, u)
 								}
 							} else if tr != nil {
 								linkSpan(u, obs.DispLost)
@@ -310,6 +331,9 @@ func New(c cond.Condition, filter ad.Filter, opts Options) (*System, error) {
 						delivered.Inc()
 						if tr != nil {
 							linkSpan(f.u, obs.DispDelivered)
+						}
+						if au != nil {
+							au.ObserveDelivered(repIdx, f.u)
 						}
 						ceIn <- f
 					default:
@@ -380,10 +404,14 @@ func (s *System) Emit(v event.VarName, value float64) (int64, error) {
 		return 0, fmt.Errorf("runtime: Emit: %w", ErrClosed)
 	}
 	dm.seq++
-	dm.in <- frame{u: event.U(v, dm.seq, value)}
+	u := event.U(v, dm.seq, value)
+	dm.in <- frame{u: u}
 	s.m.addEmitted(1)
 	if s.tr != nil {
 		s.emitSpan(v, dm.seq)
+	}
+	if s.au != nil {
+		s.au.ObserveEmitted(u)
 	}
 	return dm.seq, nil
 }
@@ -430,6 +458,11 @@ func (s *System) EmitBatch(v event.VarName, values []float64) (int64, error) {
 			s.emitSpan(v, u.SeqNo)
 		}
 	}
+	if s.au != nil {
+		for _, u := range us {
+			s.au.ObserveEmitted(u)
+		}
+	}
 	return dm.seq, nil
 }
 
@@ -474,6 +507,12 @@ type Displayer struct {
 	// point. Alerts buffered while disconnected are counted when they are
 	// finally filtered, not when they arrive.
 	cOffered, cDisplayed, cSuppressed *obs.Counter
+
+	// au, when non-nil, receives every filter outcome (the auditor's
+	// ObserveDisplayed / ObserveSuppressed feed). In-process systems carry
+	// no trace trailers, so displayed alerts are observed without an origin
+	// timestamp: the latency histogram is a daemon-side concern.
+	au *audit.Auditor
 
 	mu        sync.Mutex
 	connected bool
@@ -534,9 +573,15 @@ func (d *Displayer) offerLocked(a event.Alert) {
 	if ad.Offer(d.filter, a) {
 		d.displayed = append(d.displayed, a)
 		d.cDisplayed.Inc()
+		if d.au != nil {
+			d.au.ObserveDisplayed(a, 0)
+		}
 	} else {
 		d.suppress++
 		d.cSuppressed.Inc()
+		if d.au != nil {
+			d.au.ObserveSuppressed(a)
+		}
 	}
 }
 

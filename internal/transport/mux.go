@@ -297,6 +297,11 @@ type MuxListenerOptions struct {
 	// after StaleAfter without traffic (obs.DefaultStaleAfter when ≤ 0).
 	Health     *obs.Health
 	StaleAfter time.Duration
+	// Observe, if non-nil, is invoked inline from the connection handler
+	// for every decoded alert with the origin timestamp carried by its
+	// frame's trace trailer (0 when unannotated), before the alert is
+	// enqueued — the AD-side auditor's latency anchor. It must not block.
+	Observe func(a event.Alert, originNanos int64)
 }
 
 // MuxListener is the AD side of multiplexed back links: it accepts any
@@ -312,6 +317,7 @@ type MuxListener struct {
 	cAlerts, cFrames, cItemErrs *obs.Counter
 	tr                          *obs.Tracer
 	lh                          *obs.LinkHealth
+	observe                     func(event.Alert, int64)
 }
 
 // ListenMux starts a multiplexed AD endpoint on addr.
@@ -321,10 +327,11 @@ func ListenMux(addr string, opts MuxListenerOptions) (*MuxListener, error) {
 		return nil, fmt.Errorf("transport: listen mux %q: %w", addr, err)
 	}
 	l := &MuxListener{
-		ln:   ln,
-		out:  make(chan StreamAlert, updateBuffer),
-		done: make(chan struct{}),
-		tr:   opts.Trace,
+		ln:      ln,
+		out:     make(chan StreamAlert, updateBuffer),
+		done:    make(chan struct{}),
+		tr:      opts.Trace,
+		observe: opts.Observe,
 	}
 	if opts.Health != nil {
 		l.lh = opts.Health.Link("backlink", opts.StaleAfter)
@@ -412,6 +419,9 @@ func (l *MuxListener) handle(conn net.Conn) {
 			l.cItemErrs.Add(int64(len(itemErrs)))
 			for _, a := range m.Alerts {
 				arrivalSpans(l.tr, a, t.Origin)
+				if l.observe != nil {
+					l.observe(a, t.Origin)
+				}
 				if !l.emit(StreamAlert{Stream: m.Stream, Alert: a}) {
 					return
 				}
@@ -427,6 +437,9 @@ func (l *MuxListener) handle(conn net.Conn) {
 			}
 			l.lh.Touch()
 			arrivalSpans(l.tr, a, t.Origin)
+			if l.observe != nil {
+				l.observe(a, t.Origin)
+			}
 			if !l.emit(StreamAlert{Alert: a}) {
 				return
 			}

@@ -510,8 +510,12 @@ type UDPReceiver struct {
 	conns []*net.UDPConn
 	socks []sockStats
 	out   chan event.Update
-	wg    sync.WaitGroup
-	once  sync.Once
+	// evidence carries decoded DM evidence frames ('G') to whoever asked
+	// for them via Evidence(); unconsumed frames drop (they are advisory
+	// digests, re-sent at the publisher's cadence).
+	evidence chan wire.Evidence
+	wg       sync.WaitGroup
+	once     sync.Once
 
 	// vars is the copy-on-write variable-state index: read lock-free on
 	// every datagram, copied under varsMu when a new variable appears.
@@ -545,6 +549,7 @@ type UDPReceiver struct {
 	// no-op.
 	cAccepted, cDiscarded, cForced, cOverrun *obs.Counter
 	cReleased, cRDup, cGapLoss, cDupFrames   *obs.Counter
+	cEvidence                                *obs.Counter
 	gRDepth                                  *obs.Gauge
 	tr                                       *obs.Tracer
 	trName                                   string
@@ -622,6 +627,7 @@ func ListenUDPGroup(addr string, sockets int, opts UDPReceiverOptions) (*UDPRece
 		conns:    conns,
 		socks:    make([]sockStats, len(conns)),
 		out:      make(chan event.Update, updateBuffer),
+		evidence: make(chan wire.Evidence, evidenceBuffer),
 		dispatch: opts.Dispatch,
 		lossFor:  opts.LossFor,
 		seed:     opts.Seed,
@@ -665,6 +671,7 @@ func ListenUDPGroup(addr string, sockets int, opts UDPReceiverOptions) (*UDPRece
 		r.cForced = opts.Metrics.Counter(prefix + ".forced_loss")
 		r.cOverrun = opts.Metrics.Counter(prefix + ".overrun")
 		r.cDupFrames = opts.Metrics.Counter(prefix + ".dup_frames")
+		r.cEvidence = opts.Metrics.Counter(prefix + ".evidence")
 		if r.rDepth > 0 {
 			r.cReleased = opts.Metrics.Counter(prefix + ".reorder.released")
 			r.cRDup = opts.Metrics.Counter(prefix + ".reorder.dropped_dup")
@@ -725,6 +732,7 @@ func (r *UDPReceiver) Close() {
 			r.flushAllRings()
 		}
 		close(r.out)
+		close(r.evidence)
 	})
 }
 
@@ -843,6 +851,22 @@ func (r *UDPReceiver) handleDatagram(idx int, b []byte, scratch []event.Update) 
 		}
 		if len(batch.Updates) > 0 {
 			r.acceptRun(idx, r.lookup(batch.Var), batch.Updates, t.Origin)
+		}
+		return scratch
+	}
+	if len(b) > 0 && b[0] == 'G' {
+		// A DM evidence frame: CRC-framed prefix digest for the audit path.
+		// Decoders that predate the tag drop these whole, which is why
+		// evidence publishing is opt-in per daemon.
+		ev, rest, err := wire.DecodeEvidence(b)
+		if err != nil || len(rest) != 0 {
+			return scratch
+		}
+		r.lh.Touch() // evidence is link activity too
+		r.cEvidence.Inc()
+		select {
+		case r.evidence <- ev:
+		default: // advisory digests: the next frame re-covers this one
 		}
 		return scratch
 	}
@@ -1034,6 +1058,11 @@ func (r *UDPReceiver) deliverRun(idx int, st *varState, us []event.Update, origi
 // when its datagrams race up through several sockets concurrently. The
 // clock is read once per datagram, not per update.
 func (r *UDPReceiver) reorderRun(idx int, st *varState, us []event.Update, origin int64) {
+	// Touch link health on arrival, not release: a datagram the ring fully
+	// buffers (its seqnos wait behind a gap) is still link activity, and
+	// /healthz must not report a front link stale while its traffic is
+	// merely parked in the reorder rings.
+	r.lh.Touch()
 	now := time.Now().UnixNano()
 	st.ringMu.Lock()
 	defer st.ringMu.Unlock()
@@ -1257,12 +1286,14 @@ type ADListener struct {
 	ln      net.Listener
 	out     chan event.Alert
 	digests chan wire.Digest
+	evs     chan wire.Evidence
 	wg      sync.WaitGroup
 	done    chan struct{}
 
 	// Optional instrumentation; nil tracer and link health no-op.
-	tr *obs.Tracer
-	lh *obs.LinkHealth
+	tr      *obs.Tracer
+	lh      *obs.LinkHealth
+	observe func(event.Alert, int64)
 }
 
 // ADListenerOptions configure the AD side of the back links.
@@ -1277,6 +1308,12 @@ type ADListenerOptions struct {
 	// after StaleAfter without traffic (obs.DefaultStaleAfter when ≤ 0).
 	Health     *obs.Health
 	StaleAfter time.Duration
+	// Observe, if non-nil, is invoked inline from the connection handler
+	// for every decoded alert with the origin timestamp carried by its
+	// trace trailer (0 when the frame was unannotated), before the alert
+	// is enqueued. It is how the AD-side auditor learns each alert's
+	// end-to-end latency anchor; it must not block.
+	Observe func(a event.Alert, originNanos int64)
 }
 
 // ListenAD starts an AD endpoint on addr.
@@ -1295,8 +1332,10 @@ func ListenADOpts(addr string, opts ADListenerOptions) (*ADListener, error) {
 		ln:      ln,
 		out:     make(chan event.Alert, updateBuffer),
 		digests: make(chan wire.Digest, updateBuffer),
+		evs:     make(chan wire.Evidence, evidenceBuffer),
 		done:    make(chan struct{}),
 		tr:      opts.Trace,
+		observe: opts.Observe,
 	}
 	if opts.Health != nil {
 		l.lh = opts.Health.Link("backlink", opts.StaleAfter)
@@ -1336,6 +1375,7 @@ func (l *ADListener) Close() {
 	l.wg.Wait()
 	close(l.out)
 	close(l.digests)
+	close(l.evs)
 }
 
 func (l *ADListener) acceptLoop() {
@@ -1385,6 +1425,9 @@ func (l *ADListener) handle(conn net.Conn) {
 			}
 			l.lh.Touch()
 			arrivalSpans(l.tr, a, t.Origin)
+			if l.observe != nil {
+				l.observe(a, t.Origin)
+			}
 			select {
 			case l.out <- a:
 			case <-l.done:
@@ -1401,6 +1444,20 @@ func (l *ADListener) handle(conn net.Conn) {
 			l.lh.Touch()
 			select {
 			case l.digests <- d:
+			case <-l.done:
+				return
+			}
+		case 'G':
+			// A forwarded DM evidence frame, relayed by a CE running with
+			// -audit: the AD-side auditor cross-checks displayed values
+			// against these digests.
+			ev, rest, err := wire.DecodeEvidence(body)
+			if err != nil || len(rest) != 0 {
+				return
+			}
+			l.lh.Touch()
+			select {
+			case l.evs <- ev:
 			case <-l.done:
 				return
 			}

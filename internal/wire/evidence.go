@@ -1,0 +1,148 @@
+package wire
+
+// The audit evidence frame: a compact, CRC-framed prefix digest of one
+// variable's emitted update sequence, published periodically by a DM (or an
+// in-process emit path) so a downstream auditor can check displayed alerts
+// against what the source actually sent — without replaying full histories.
+//
+// Layout: tag byte 'G', the variable name, the base and upper sequence
+// numbers the chained prefix hash covers, the hash itself, a tail of the
+// most recent values (consecutive seqnos ending at the upper bound), and an
+// IEEE CRC-32 over everything before it. The CRC makes a truncated or
+// bit-flipped frame fail closed — evidence is only ever used to *confirm*
+// or *refute* a verdict, so a damaged frame must be dropped rather than
+// half-trusted.
+//
+// Compatibility follows the 'T' trailer precedent: receivers from before
+// this frame existed reject the unknown tag as a corrupt datagram (UDP) or
+// a corrupt stream (TCP), which is why evidence publishing and forwarding
+// are opt-in per daemon and off by default.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+
+	"condmon/internal/event"
+)
+
+// maxEvidenceTail bounds the value tail of one evidence frame; longer tails
+// indicate a corrupt frame (and would not fit a datagram anyway).
+const maxEvidenceTail = 2048
+
+// EvidenceHashSeed is the FNV-1a offset basis the chained prefix hash
+// starts from at its base sequence number.
+const EvidenceHashSeed uint64 = 14695981039346656037
+
+// evidenceHashPrime is the FNV-1a prime.
+const evidenceHashPrime uint64 = 1099511628211
+
+// Evidence is one decoded prefix-digest frame: the claim "variable Var's
+// updates (Base, UpTo] hash-chain to PrefixHash, and the most recent
+// len(Vals) of them carried these values". The tail's sequence numbers are
+// implicit: Vals[i] is the value of update UpTo-len(Vals)+1+i.
+type Evidence struct {
+	// Var is the variable the digest describes.
+	Var event.VarName
+	// Base anchors the prefix hash: the hash covers updates with sequence
+	// numbers in (Base, UpTo]. A DM that has emitted from seqno 1 uses
+	// Base 0; one restarted with an overlap uses the seqno before its first.
+	Base int64
+	// UpTo is the highest emitted sequence number the digest covers.
+	UpTo int64
+	// PrefixHash is the chained FNV-1a hash over (seqno, value) pairs for
+	// Base+1 … UpTo in emission order, starting from EvidenceHashSeed.
+	PrefixHash uint64
+	// Vals carries the values of the tail run ending at UpTo. Overlapping
+	// tails across consecutive frames are what let a receiver rebuild a
+	// contiguous evidence prefix even when individual frames are lost.
+	Vals []float64
+}
+
+// First returns the sequence number of the first tail value, or UpTo+1 for
+// an empty tail.
+func (e Evidence) First() int64 { return e.UpTo - int64(len(e.Vals)) + 1 }
+
+// EvidenceHashStep folds one update into a chained prefix hash: the FNV-1a
+// absorption of its sequence number and value bits. Builders and verifiers
+// must apply it in emission order starting from EvidenceHashSeed.
+func EvidenceHashStep(h uint64, seqNo int64, value float64) uint64 {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(seqNo))
+	binary.BigEndian.PutUint64(buf[8:], math.Float64bits(value))
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= evidenceHashPrime
+	}
+	return h
+}
+
+// AppendEvidence appends the encoding of e, CRC included, to dst.
+func AppendEvidence(dst []byte, e Evidence) ([]byte, error) {
+	if len(e.Var) > maxStringLen {
+		return nil, errf("evidence variable name of %d bytes exceeds limit", len(e.Var))
+	}
+	if len(e.Vals) > maxEvidenceTail {
+		return nil, errf("evidence tail of %d values exceeds limit %d", len(e.Vals), maxEvidenceTail)
+	}
+	if e.UpTo < e.Base || e.First() <= e.Base {
+		return nil, errf("evidence tail %d..%d escapes its hash range (%d, %d]", e.First(), e.UpTo, e.Base, e.UpTo)
+	}
+	start := len(dst)
+	dst = append(dst, tagEvidence)
+	dst = appendString(dst, string(e.Var))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(e.Base))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(e.UpTo))
+	dst = binary.BigEndian.AppendUint64(dst, e.PrefixHash)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(e.Vals)))
+	for _, v := range e.Vals {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:])), nil
+}
+
+// DecodeEvidence decodes an evidence frame, verifying its CRC, and returns
+// any trailing bytes. A frame whose CRC does not match its content is
+// corrupt: evidence must fail closed, never half-decode.
+func DecodeEvidence(b []byte) (Evidence, []byte, error) {
+	if len(b) == 0 || b[0] != tagEvidence {
+		return Evidence{}, nil, errf("not an evidence frame")
+	}
+	full := b
+	b = b[1:]
+	name, b, err := readString(b)
+	if err != nil {
+		return Evidence{}, nil, err
+	}
+	if len(b) < 8+8+8+2 {
+		return Evidence{}, nil, errf("truncated evidence header")
+	}
+	e := Evidence{
+		Var:        event.VarName(name),
+		Base:       int64(binary.BigEndian.Uint64(b)),
+		UpTo:       int64(binary.BigEndian.Uint64(b[8:])),
+		PrefixHash: binary.BigEndian.Uint64(b[16:]),
+	}
+	n := int(binary.BigEndian.Uint16(b[24:]))
+	b = b[26:]
+	if n > maxEvidenceTail {
+		return Evidence{}, nil, errf("evidence tail of %d values exceeds limit %d", n, maxEvidenceTail)
+	}
+	if len(b) < 8*n+4 {
+		return Evidence{}, nil, errf("truncated evidence tail (want %d values)", n)
+	}
+	e.Vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		e.Vals[i] = math.Float64frombits(binary.BigEndian.Uint64(b))
+		b = b[8:]
+	}
+	body := len(full) - len(b) // bytes covered by the CRC
+	want := binary.BigEndian.Uint32(b)
+	if got := crc32.ChecksumIEEE(full[:body]); got != want {
+		return Evidence{}, nil, errf("evidence CRC mismatch (frame %08x, content %08x)", want, got)
+	}
+	if e.UpTo < e.Base || e.First() <= e.Base {
+		return Evidence{}, nil, errf("evidence tail %d..%d escapes its hash range (%d, %d]", e.First(), e.UpTo, e.Base, e.UpTo)
+	}
+	return e, b[4:], nil
+}

@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"testing"
+
+	"condmon/internal/event"
+)
+
+func evidenceFixture() Evidence {
+	e := Evidence{Var: "reactor", Base: 0, UpTo: 9, Vals: []float64{600, 700, 800, 3000}}
+	h := EvidenceHashSeed
+	for s := int64(1); s <= e.UpTo; s++ {
+		h = EvidenceHashStep(h, s, float64(s*100))
+	}
+	e.PrefixHash = h
+	return e
+}
+
+func TestEvidenceRoundTrip(t *testing.T) {
+	cases := []Evidence{
+		evidenceFixture(),
+		{Var: "x", Base: 0, UpTo: 1, PrefixHash: 7, Vals: []float64{42}},
+		{Var: "x", Base: 40, UpTo: 45, PrefixHash: 9, Vals: []float64{1, 2, 3}},
+		{Var: "", Base: 2, UpTo: 5, PrefixHash: 0, Vals: []float64{-1.5, 0, 2.25}},
+	}
+	for _, want := range cases {
+		buf, err := AppendEvidence(nil, want)
+		if err != nil {
+			t.Fatalf("AppendEvidence(%+v): %v", want, err)
+		}
+		got, rest, err := DecodeEvidence(buf)
+		if err != nil {
+			t.Fatalf("DecodeEvidence(%+v): %v", want, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("DecodeEvidence left %d trailing bytes", len(rest))
+		}
+		if got.Var != want.Var || got.Base != want.Base || got.UpTo != want.UpTo || got.PrefixHash != want.PrefixHash {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+		if len(got.Vals) != len(want.Vals) {
+			t.Fatalf("round trip tail: got %v want %v", got.Vals, want.Vals)
+		}
+		for i := range got.Vals {
+			if got.Vals[i] != want.Vals[i] {
+				t.Fatalf("round trip tail[%d]: got %v want %v", i, got.Vals[i], want.Vals[i])
+			}
+		}
+		if got.First() != want.UpTo-int64(len(want.Vals))+1 {
+			t.Fatalf("First() = %d, want %d", got.First(), want.UpTo-int64(len(want.Vals))+1)
+		}
+	}
+}
+
+func TestEvidenceTrailingBytesReturned(t *testing.T) {
+	buf, err := AppendEvidence(nil, evidenceFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, 0xDE, 0xAD)
+	_, rest, err := DecodeEvidence(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 2 || rest[0] != 0xDE || rest[1] != 0xAD {
+		t.Fatalf("rest = %x, want dead", rest)
+	}
+}
+
+func TestEvidenceCRCRejectsCorruption(t *testing.T) {
+	buf, err := AppendEvidence(nil, evidenceFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip every byte in turn: each single-bit-of-a-byte corruption must be
+	// detected either by the structural checks or by the CRC.
+	for i := range buf {
+		bad := append([]byte(nil), buf...)
+		bad[i] ^= 0x01
+		if _, _, err := DecodeEvidence(bad); err == nil {
+			t.Fatalf("corruption at byte %d decoded cleanly", i)
+		}
+	}
+	// Truncation at every length must also fail.
+	for n := 0; n < len(buf); n++ {
+		if _, _, err := DecodeEvidence(buf[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", n)
+		}
+	}
+}
+
+func TestEvidenceRejectsBadRanges(t *testing.T) {
+	cases := []Evidence{
+		{Var: "x", Base: 5, UpTo: 4, Vals: nil},                   // inverted range
+		{Var: "x", Base: 0, UpTo: 3, Vals: []float64{1, 2, 3, 4}}, // tail escapes base
+	}
+	for _, e := range cases {
+		if _, err := AppendEvidence(nil, e); err == nil {
+			t.Fatalf("AppendEvidence(%+v) succeeded, want range error", e)
+		}
+	}
+}
+
+func TestEvidenceHashChainMatchesIncremental(t *testing.T) {
+	// A builder hashing updates one at a time and a verifier re-deriving the
+	// chain from a replayed stream must agree.
+	us := []event.Update{
+		event.U("x", 1, 600), event.U("x", 2, 700), event.U("x", 3, 3000),
+	}
+	h1 := EvidenceHashSeed
+	for _, u := range us {
+		h1 = EvidenceHashStep(h1, u.SeqNo, u.Value)
+	}
+	h2 := EvidenceHashSeed
+	for _, u := range us {
+		h2 = EvidenceHashStep(h2, u.SeqNo, u.Value)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash chain not deterministic: %x vs %x", h1, h2)
+	}
+	// Any difference in value or order must change the hash.
+	h3 := EvidenceHashSeed
+	h3 = EvidenceHashStep(h3, 1, 600)
+	h3 = EvidenceHashStep(h3, 3, 3000)
+	h3 = EvidenceHashStep(h3, 2, 700)
+	if h3 == h1 {
+		t.Fatal("hash chain insensitive to order")
+	}
+}
+
+func FuzzDecodeEvidence(f *testing.F) {
+	seed, err := AppendEvidence(nil, evidenceFixture())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{'G'})
+	f.Add([]byte{'G', 0, 1, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, rest, err := DecodeEvidence(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode to the exact consumed bytes.
+		if len(e.Vals) > maxEvidenceTail {
+			t.Fatalf("decoded oversize tail: %d", len(e.Vals))
+		}
+		buf, err := AppendEvidence(nil, e)
+		if err != nil {
+			t.Fatalf("re-encode of decoded evidence failed: %v", err)
+		}
+		consumed := data[:len(data)-len(rest)]
+		if string(buf) != string(consumed) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", buf, consumed)
+		}
+	})
+}

@@ -22,11 +22,12 @@ import (
 
 // Message type tags.
 const (
-	tagUpdate byte = 'U'
-	tagAlert  byte = 'A'
-	tagDigest byte = 'D'
-	tagBatch  byte = 'B'
-	tagMux    byte = 'M'
+	tagUpdate   byte = 'U'
+	tagAlert    byte = 'A'
+	tagDigest   byte = 'D'
+	tagBatch    byte = 'B'
+	tagMux      byte = 'M'
+	tagEvidence byte = 'G'
 )
 
 // maxStringLen bounds encoded names; longer inputs are rejected rather
